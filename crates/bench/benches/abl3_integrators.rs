@@ -1,0 +1,34 @@
+//! Abl-3 bench: backward-Euler vs trapezoidal transient cost on the
+//! same ring circuit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use spicelite::transient::{run_transient, Integrator, TranOptions};
+use stdcell::library::CellLibrary;
+use tsense_core::gate::GateKind;
+
+fn bench_abl3(c: &mut Criterion) {
+    let lib = CellLibrary::um350(2.0);
+    let ring = lib.uniform_ring(GateKind::Inv, 5).expect("ring");
+    let ckt = ring.elaborate(27.0).expect("circuit");
+
+    let mut group = c.benchmark_group("abl3");
+    group.sample_size(10);
+    for (name, integ) in
+        [("backward_euler", Integrator::BackwardEuler), ("trapezoidal", Integrator::Trapezoidal)]
+    {
+        group.bench_with_input(BenchmarkId::new("tran_2ns_1ps", name), &integ, |b, &integ| {
+            b.iter(|| {
+                let opts = TranOptions::to_time(2e-9)
+                    .with_uic()
+                    .with_steps(1e-12, 1e-12)
+                    .with_integrator(integ);
+                black_box(run_transient(black_box(&ckt), &opts).expect("tran")).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_abl3);
+criterion_main!(benches);

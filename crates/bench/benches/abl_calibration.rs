@@ -1,0 +1,38 @@
+//! Abl-1 bench: the Monte-Carlo variation study behind the calibration
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsense_core::gate::{Gate, GateKind};
+use tsense_core::ring::RingOscillator;
+use tsense_core::tech::Technology;
+use tsense_core::units::TempRange;
+use tsense_core::variation::{MonteCarloStudy, VariationSpec};
+
+fn bench_abl1(c: &mut Criterion) {
+    let tech = Technology::um350();
+    let ring =
+        RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"), 5)
+            .expect("ring");
+
+    let mut group = c.benchmark_group("abl1");
+    group.bench_function("monte_carlo_16_dies", |b| {
+        b.iter(|| {
+            let study = MonteCarloStudy::run(
+                black_box(&ring),
+                &tech,
+                &VariationSpec::default(),
+                TempRange::paper(),
+                21,
+                16,
+                42,
+            )
+            .expect("study");
+            black_box(study.two_point_stats())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_abl1);
+criterion_main!(benches);

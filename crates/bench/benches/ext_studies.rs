@@ -1,0 +1,104 @@
+//! Benches for the extension studies: extended-set search (Ext-1),
+//! supply-sensitivity evaluation (Ext-2/3), sensor placement, and the
+//! gate-level mux scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sensor::gateunit::GateLevelUnit;
+use sensor::muxscan::GateLevelMuxScan;
+use thermal::placement::{all_cells, greedy_placement, ScenarioSet};
+use thermal::{DieSpec, Floorplan};
+use tsense_core::dualring::DualRingSensor;
+use tsense_core::gate::GateKind;
+use tsense_core::optimize::{exhaustive_config_search, SweepSettings};
+use tsense_core::ring::{CellConfig, RingOscillator};
+use tsense_core::tech::Technology;
+use tsense_core::units::{Celsius, Hertz, Seconds};
+
+fn bench_ext(c: &mut Criterion) {
+    let tech = Technology::um350();
+    let settings = SweepSettings::default();
+
+    let mut group = c.benchmark_group("ext");
+    group.bench_function("ext1_extended_search_462", |b| {
+        b.iter(|| {
+            black_box(
+                exhaustive_config_search(
+                    black_box(&tech),
+                    &GateKind::EXTENDED_SET,
+                    5,
+                    1e-6,
+                    1.5,
+                    &settings,
+                )
+                .expect("search"),
+            )
+            .len()
+        })
+    });
+
+    group.bench_function("ext3_dual_ring_rejection", |b| {
+        let sense = RingOscillator::from_config(
+            &CellConfig::uniform(GateKind::Nand2, 5).expect("config"),
+            1e-6,
+            1.5,
+        )
+        .expect("ring");
+        let reference = RingOscillator::from_config(
+            &CellConfig::uniform(GateKind::Nand3, 5).expect("config"),
+            1e-6,
+            3.0,
+        )
+        .expect("ring");
+        let dual = DualRingSensor::new(sense, reference).expect("pair");
+        b.iter(|| black_box(dual.supply_rejection(&tech, Celsius::new(85.0)).expect("rej")))
+    });
+
+    group.sample_size(10);
+    group.bench_function("placement_greedy_k4_16x16", |b| {
+        let spec = DieSpec::default_1cm2(16, 16);
+        let plans: Vec<Floorplan> = [(0.0005, 0.0005), (0.0075, 0.0005), (0.0035, 0.0075)]
+            .iter()
+            .map(|&(x, y)| Floorplan::new().block("hot", x, y, 0.002, 0.002, 4.0))
+            .collect();
+        let scen = ScenarioSet::solve(&spec, &plans).expect("scenarios");
+        let candidates = all_cells(16, 16);
+        b.iter(|| {
+            black_box(greedy_placement(&scen, &candidates, 4).expect("placement")).len()
+        })
+    });
+
+    group.bench_function("gateunit_full_conversion", |b| {
+        b.iter(|| {
+            let mut unit = GateLevelUnit::new(
+                Seconds::from_nanos(1.5),
+                Hertz::from_mega(1000.0),
+                16,
+                128,
+            )
+            .expect("unit");
+            black_box(unit.convert().expect("convert")).count
+        })
+    });
+
+    group.bench_function("muxscan_4ch_gate_level", |b| {
+        b.iter(|| {
+            let mut scan = GateLevelMuxScan::new(
+                &[
+                    Seconds::from_nanos(1.2),
+                    Seconds::from_nanos(1.5),
+                    Seconds::from_nanos(1.8),
+                    Seconds::from_nanos(2.1),
+                ],
+                Hertz::from_mega(1000.0),
+                64,
+            )
+            .expect("scan");
+            black_box(scan.scan_all().expect("readings")).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ext);
+criterion_main!(benches);

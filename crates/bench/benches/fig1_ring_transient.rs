@@ -1,0 +1,28 @@
+//! Fig. 1 bench: transistor-level transient of the 5-stage inverter
+//! ring (the paper's waveform) and the period measurement on top of it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stdcell::library::CellLibrary;
+use tsense_core::gate::GateKind;
+
+fn bench_fig1(c: &mut Criterion) {
+    let lib = CellLibrary::um350(2.0);
+    let ring = lib.uniform_ring(GateKind::Inv, 5).expect("ring");
+
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("transient_1500ps", |b| {
+        b.iter(|| {
+            let wave = ring.simulate(black_box(27.0), 1.5e-9, 2e-12).expect("transient");
+            black_box(wave.len())
+        })
+    });
+    group.bench_function("measure_period_27c", |b| {
+        b.iter(|| black_box(ring.measure_period(black_box(27.0)).expect("period")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 2 bench: the analytical Wp/Wn ratio sweep (five ratios, 41
+//! temperatures each) and the golden-section ratio optimizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsense_core::gate::GateKind;
+use tsense_core::optimize::{best_ratio, ratio_sweep, SweepSettings};
+use tsense_core::tech::Technology;
+
+fn bench_fig2(c: &mut Criterion) {
+    let tech = Technology::um350();
+    let settings = SweepSettings::default();
+    let ratios = [1.5, 1.75, 2.25, 3.0, 4.0];
+
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("ratio_sweep_5x41", |b| {
+        b.iter(|| {
+            let pts = ratio_sweep(
+                black_box(&tech),
+                GateKind::Inv,
+                1e-6,
+                5,
+                black_box(&ratios),
+                &settings,
+            )
+            .expect("sweep");
+            black_box(pts.len())
+        })
+    });
+    group.bench_function("best_ratio_golden_section", |b| {
+        b.iter(|| {
+            black_box(
+                best_ratio(black_box(&tech), GateKind::Inv, 1e-6, 5, 1.0, 6.0, &settings)
+                    .expect("search"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 3 bench: ranking the paper's six cell configurations and the
+//! exhaustive search over all 126 five-stage multisets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsense_core::gate::GateKind;
+use tsense_core::optimize::{config_search, exhaustive_config_search, SweepSettings};
+use tsense_core::ring::CellConfig;
+use tsense_core::tech::Technology;
+
+fn bench_fig3(c: &mut Criterion) {
+    let tech = Technology::um350();
+    let settings = SweepSettings::default();
+    let paper = CellConfig::paper_fig3_set();
+
+    let mut group = c.benchmark_group("fig3");
+    group.bench_function("paper_set_6_configs", |b| {
+        b.iter(|| {
+            black_box(
+                config_search(black_box(&tech), &paper, 1e-6, 1.5, &settings).expect("search"),
+            )
+            .len()
+        })
+    });
+    group.bench_function("exhaustive_126_configs", |b| {
+        b.iter(|| {
+            black_box(
+                exhaustive_config_search(
+                    black_box(&tech),
+                    &GateKind::PAPER_SET,
+                    5,
+                    1e-6,
+                    1.5,
+                    &settings,
+                )
+                .expect("search"),
+            )
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

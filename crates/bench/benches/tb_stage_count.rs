@@ -1,0 +1,31 @@
+//! T-B bench: analytical period curves for 5-, 9- and 21-stage rings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsense_core::gate::{Gate, GateKind};
+use tsense_core::ring::RingOscillator;
+use tsense_core::tech::Technology;
+use tsense_core::units::TempRange;
+
+fn bench_tb(c: &mut Criterion) {
+    let tech = Technology::um350();
+    let gate = Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate");
+
+    let mut group = c.benchmark_group("tb_stage_count");
+    for n in [5usize, 9, 21] {
+        let ring = RingOscillator::uniform(gate, n).expect("ring");
+        group.bench_with_input(BenchmarkId::new("period_curve_41", n), &ring, |b, ring| {
+            b.iter(|| {
+                black_box(
+                    ring.period_curve(black_box(&tech), TempRange::paper(), 41)
+                        .expect("curve"),
+                )
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tb);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! T-C bench: one behavioural conversion, one gate-level digitizer run,
+//! and a full 3x3 multiplexed map scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sensor::digitizer::GateLevelDigitizer;
+use sensor::unit::{SensorConfig, SmartSensorUnit};
+use sensor::SensorArray;
+use tsense_core::gate::{Gate, GateKind};
+use tsense_core::ring::RingOscillator;
+use tsense_core::tech::Technology;
+use tsense_core::units::{Celsius, Hertz, Seconds};
+
+fn calibrated_unit() -> SmartSensorUnit {
+    let tech = Technology::um350();
+    let ring =
+        RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"), 5)
+            .expect("ring");
+    let mut unit = SmartSensorUnit::new(SensorConfig::new(ring, tech)).expect("unit");
+    unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).expect("cal");
+    unit
+}
+
+fn bench_tc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tc_smart_unit");
+
+    let mut unit = calibrated_unit();
+    group.bench_function("behavioural_measure", |b| {
+        b.iter(|| black_box(unit.measure(black_box(Celsius::new(85.0))).expect("measure")))
+    });
+
+    group.sample_size(10);
+    group.bench_function("gate_level_digitizer_64cyc", |b| {
+        let d = GateLevelDigitizer::new(Seconds::from_nanos(1.5), Hertz::from_mega(1000.0), 64)
+            .expect("plan");
+        b.iter(|| black_box(d.run().expect("run")).count)
+    });
+
+    group.bench_function("scan_3x3_array", |b| {
+        let mut array = SensorArray::new();
+        for iy in 0..3 {
+            for ix in 0..3 {
+                array = array.with_site(
+                    format!("s{ix}{iy}"),
+                    0.002 + 0.003 * ix as f64,
+                    0.002 + 0.003 * iy as f64,
+                    calibrated_unit(),
+                );
+            }
+        }
+        b.iter(|| {
+            black_box(array.scan(&|x, y| 25.0 + 2000.0 * (x + y)).expect("scan"))
+                .points()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tc);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! T-D bench: steady-state and transient thermal solves of the die grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use thermal::{DieSpec, Floorplan, ThermalGrid};
+
+fn bench_td(c: &mut Criterion) {
+    let mut group = c.benchmark_group("td_thermal");
+    for n in [16usize, 32] {
+        group.bench_with_input(BenchmarkId::new("steady_sor", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut grid = ThermalGrid::new(DieSpec::default_1cm2(n, n)).expect("grid");
+                Floorplan::processor_like(0.01, 0.01, 5.0).apply(&mut grid).expect("plan");
+                let sweeps = grid.solve_steady(1e-6, 50_000).expect("solve");
+                black_box((grid.max_temp(), sweeps))
+            })
+        });
+    }
+    group.bench_function("transient_100_steps_24x24", |b| {
+        b.iter(|| {
+            let mut grid = ThermalGrid::new(DieSpec::default_1cm2(24, 24)).expect("grid");
+            Floorplan::processor_like(0.01, 0.01, 5.0).apply(&mut grid).expect("plan");
+            let dt = grid.global_time_constant() / 100.0;
+            grid.run_transient(dt, 100).expect("transient");
+            black_box(grid.mean_temp())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_td);
+criterion_main!(benches);

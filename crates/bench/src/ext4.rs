@@ -1,0 +1,113 @@
+//! Ext-4 — extension study: does the method port across technology
+//! nodes?
+//!
+//! The paper works in one 0.35 µm-class process; its introduction argues
+//! the problem *worsens* with scaling. This study reruns the two
+//! optimization knobs on every built-in node preset (0.35 → 0.13 µm):
+//! the optimal `Wp/Wn` ratio, the non-linearity it achieves, and the
+//! best cell mix at a fixed library sizing.
+//!
+//! Finding: the recipe holds at 0.35/0.25 µm but *degrades* at
+//! 0.18/0.13 µm — the lower supply inflates the threshold-compensation
+//! term `α·κ/V_ov`, the curvature balance escapes the practical sizing
+//! range (the optimum pegs at the search boundary), and even the best
+//! cell mix no longer reaches the 0.2 % bar at 0.13 µm. That matches
+//! history: deep-submicron on-die sensors moved to other architectures
+//! (dual-slope, subthreshold, TDC-based) rather than plain rings.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use tsense_core::gate::GateKind;
+use tsense_core::optimize::{best_ratio, exhaustive_config_search, SweepSettings};
+use tsense_core::ring::CellConfig;
+use tsense_core::tech::Technology;
+
+use crate::{render_table, write_artifact};
+
+/// Runs the experiment; see module docs.
+///
+/// # Panics
+///
+/// Panics if any evaluation fails.
+pub fn run(out_dir: &Path) -> String {
+    let settings = SweepSettings::default();
+    let mut rows = Vec::new();
+    let mut csv = String::from(
+        "node,opt_ratio,opt_nl_pct,inv_nl_at_1p5,best_mix_nl_at_1p5,best_mix\n",
+    );
+    let mut all_pass = true;
+    for tech in Technology::presets() {
+        let (ratio, nl) =
+            best_ratio(&tech, GateKind::Inv, 1e-6, 5, 1.0, 10.0, &settings).expect("search");
+        let ranked = exhaustive_config_search(
+            &tech,
+            &GateKind::PAPER_SET,
+            5,
+            1e-6,
+            1.5,
+            &settings,
+        )
+        .expect("config search");
+        let inv_cfg = CellConfig::uniform(GateKind::Inv, 5).expect("config");
+        let inv_nl = ranked
+            .iter()
+            .find(|p| p.config == inv_cfg)
+            .expect("inverter in enumeration")
+            .max_nl_percent;
+        let best = &ranked[0];
+        // The paper's own claims concern its process class; the deep
+        // submicron rows document the degradation.
+        if tech.node_nm >= 250 {
+            all_pass &= nl < 0.2 && best.max_nl_percent < inv_nl;
+        }
+        let _ = writeln!(
+            csv,
+            "{},{ratio:.3},{nl:.4},{inv_nl:.4},{:.4},{}",
+            tech.name, best.max_nl_percent, best.config
+        );
+        rows.push(vec![
+            tech.name.clone(),
+            format!("{ratio:.2}"),
+            format!("{nl:.4}"),
+            format!("{inv_nl:.4}"),
+            format!("{:.4}", best.max_nl_percent),
+            format!("{}", best.config),
+        ]);
+    }
+    write_artifact(out_dir, "ext4_nodes.csv", &csv);
+
+    let mut report = String::new();
+    report.push_str("Ext-4 — node portability of the two optimization knobs\n\n");
+    report.push_str(&render_table(
+        &["node", "opt W p/Wn", "opt NL %", "5xINV@1.5 %", "best mix %", "best mix"],
+        &rows,
+    ));
+    let _ = writeln!(
+        report,
+        "\npaper recipe holds in its process class (0.35/0.25 um: optimum < 0.2 %,\n\
+         cell mix beats the fixed-sizing ring): {}",
+        if all_pass { "PASS" } else { "FAIL" }
+    );
+    report.push_str(
+        "finding: at 0.18/0.13 um the lower supply inflates alpha*kappa/V_ov, the\n\
+         curvature balance escapes the practical sizing range, and even the best\n\
+         mix misses 0.2 % at 0.13 um -- consistent with deep-submicron sensors\n\
+         moving beyond plain delay-based rings.\n",
+    );
+    let _ = writeln!(report, "series CSV: ext4_nodes.csv");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext4_report_passes_on_all_nodes() {
+        let dir = std::env::temp_dir().join("tsense_ext4_test");
+        let report = run(&dir);
+        assert!(!report.contains("FAIL"), "{report}");
+        assert!(dir.join("ext4_nodes.csv").exists());
+    }
+}

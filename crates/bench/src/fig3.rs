@@ -1,0 +1,182 @@
+//! Fig. 3 — non-linearity error for different ring-oscillator cell
+//! configurations.
+//!
+//! The paper's central experiment: keep the library sizing fixed and
+//! replace inverters with other inverting cells. We evaluate the six
+//! configurations the figure plots at a deliberately suboptimal library
+//! ratio (`Wp/Wn = 1.5`, a typical area-optimized library), then run the
+//! full exhaustive search over every 5-stage multiset of the paper's
+//! cell set to find the best achievable mix — demonstrating the claim
+//! that cell selection recovers the linearity that fixed sizing loses.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use stdcell::library::CellLibrary;
+use tsense_core::gate::GateKind;
+use tsense_core::linearity::{FitKind, NonLinearity};
+use tsense_core::optimize::{config_search, exhaustive_config_search, SweepSettings};
+use tsense_core::ring::{CellConfig, PeriodCurve};
+use tsense_core::tech::Technology;
+use tsense_core::units::{Celsius, Seconds};
+
+use crate::{render_table, write_artifact};
+
+/// Worst-case non-linearity of a transistor-level ring built from a
+/// cell configuration, from simulated periods at `n_temps` points.
+fn transistor_level_nl(config: &CellConfig, n_temps: usize) -> f64 {
+    let lib = CellLibrary::um350(LIBRARY_RATIO);
+    let ring = lib.ring_from_config(config).expect("ring");
+    let temps: Vec<f64> = (0..n_temps)
+        .map(|i| -50.0 + 200.0 * i as f64 / (n_temps - 1) as f64)
+        .collect();
+    let curve = ring.period_curve(&temps).expect("simulated curve");
+    let pc = PeriodCurve::new(
+        curve.iter().map(|&(t, _)| Celsius::new(t)).collect(),
+        curve.iter().map(|&(_, p)| Seconds::new(p)).collect(),
+    );
+    NonLinearity::of_curve(&pc, FitKind::LeastSquares)
+        .expect("NL analysis")
+        .max_abs_percent()
+}
+
+/// The fixed library sizing ratio for this experiment.
+pub const LIBRARY_RATIO: f64 = 1.5;
+
+/// Runs the experiment; see module docs.
+///
+/// # Panics
+///
+/// Panics if any evaluation fails.
+pub fn run(out_dir: &Path) -> String {
+    let tech = Technology::um350();
+    let settings = SweepSettings::default();
+    let paper_set = CellConfig::paper_fig3_set();
+    let ranked =
+        config_search(&tech, &paper_set, 1e-6, LIBRARY_RATIO, &settings).expect("config search");
+
+    // CSV of the paper-set traces.
+    let mut csv = String::from("temp_c");
+    for p in &ranked {
+        let _ = write!(csv, ",nl_pct_{}", format!("{}", p.config).replace([' ', '×'], ""));
+    }
+    csv.push('\n');
+    let n = ranked[0].nonlinearity.temps().len();
+    for i in 0..n {
+        let _ = write!(csv, "{:.1}", ranked[0].nonlinearity.temps()[i].get());
+        for p in &ranked {
+            let _ = write!(csv, ",{:.6}", p.nonlinearity.error_percent()[i]);
+        }
+        csv.push('\n');
+    }
+    write_artifact(out_dir, "fig3_nonlinearity.csv", &csv);
+
+    let rows: Vec<Vec<String>> = ranked
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.config),
+                format!("{:.4}", p.max_nl_percent),
+                format!("{:.3}", p.nonlinearity.max_abs_celsius()),
+            ]
+        })
+        .collect();
+
+    // Exhaustive search over every odd 5-multiset of the paper's cells.
+    let full = exhaustive_config_search(
+        &tech,
+        &GateKind::PAPER_SET,
+        5,
+        1e-6,
+        LIBRARY_RATIO,
+        &settings,
+    )
+    .expect("exhaustive search");
+    let pure_inv = full
+        .iter()
+        .find(|p| p.config == CellConfig::uniform(GateKind::Inv, 5).expect("valid"))
+        .expect("pure ring in enumeration");
+    let best = &full[0];
+    let top_rows: Vec<Vec<String>> = full
+        .iter()
+        .take(5)
+        .map(|p| vec![format!("{}", p.config), format!("{:.4}", p.max_nl_percent)])
+        .collect();
+
+    // Transistor-level cross-check. The analytical layer's curvature
+    // balance point differs in detail from the Level-1 transient's, so
+    // the analytical ranking is used the way such models are used in
+    // practice: as a *candidate generator*. The top analytical mixes are
+    // re-simulated at transistor level and the simulated winner must
+    // beat the simulated 5xINV baseline.
+    let shortlist: Vec<&CellConfig> = full.iter().take(8).map(|p| &p.config).collect();
+    let mut sim_rows = Vec::new();
+    let mut best_sim_nl = f64::INFINITY;
+    let mut best_sim_config = String::new();
+    for config in &shortlist {
+        let nl = transistor_level_nl(config, 9);
+        if nl < best_sim_nl {
+            best_sim_nl = nl;
+            best_sim_config = format!("{config}");
+        }
+        sim_rows.push(vec![format!("{config}"), format!("{nl:.4}")]);
+    }
+    let inv_config = CellConfig::uniform(GateKind::Inv, 5).expect("config");
+    let inv_sim_nl = transistor_level_nl(&inv_config, 9);
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "Fig. 3 — non-linearity per cell configuration (5 stages, library Wp/Wn = {LIBRARY_RATIO})\n\n",
+    ));
+    report.push_str("paper's six configurations, ranked:\n");
+    report.push_str(&render_table(&["configuration", "max |NL| %FS", "max |err| C"], &rows));
+    let _ = writeln!(
+        report,
+        "\nexhaustive search over all {} odd multisets of {{INV, NAND2, NAND3, NOR2, NOR3}}:",
+        full.len()
+    );
+    report.push_str(&render_table(&["configuration", "max |NL| %FS"], &top_rows));
+    let _ = writeln!(
+        report,
+        "\n5xINV baseline at this sizing : {:.4} %FS",
+        pure_inv.max_nl_percent
+    );
+    let _ = writeln!(
+        report,
+        "best cell mix                 : {:.4} %FS ({})",
+        best.max_nl_percent, best.config
+    );
+    let _ = writeln!(
+        report,
+        "paper check (cell selection reduces the error, like resizing would): {}",
+        if best.max_nl_percent < 0.5 * pure_inv.max_nl_percent && best.max_nl_percent < 0.2 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    report.push_str(
+        "\ntransistor-level re-simulation of the analytical top-8 (spicelite, 9 temps):\n",
+    );
+    report.push_str(&render_table(&["candidate mix", "sim NL %FS"], &sim_rows));
+    let _ = writeln!(
+        report,
+        "\nsim winner {best_sim_config} at {best_sim_nl:.4} % vs 5xINV {inv_sim_nl:.4} % -> {}",
+        if best_sim_nl < inv_sim_nl { "PASS" } else { "FAIL" }
+    );
+    let _ = writeln!(report, "series CSV: fig3_nonlinearity.csv");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_report_passes_its_check() {
+        let dir = std::env::temp_dir().join("tsense_fig3_test");
+        let report = run(&dir);
+        assert!(!report.contains("FAIL"), "{report}");
+        assert!(dir.join("fig3_nonlinearity.csv").exists());
+    }
+}

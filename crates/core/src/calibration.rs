@@ -1,0 +1,540 @@
+//! Converting an oscillation period into a temperature reading.
+//!
+//! The smart unit's digital block reports a *period-derived count*; turning
+//! that into degrees requires calibration. Two industry-standard schemes
+//! are modelled:
+//!
+//! * **Two-point** ([`TwoPoint`]): measure the period at two known
+//!   temperatures (e.g. wafer test at 25 °C and burn-in at 125 °C) and
+//!   interpolate linearly. Absorbs both process-induced offset *and* slope
+//!   error; the residual is exactly the transfer-curve non-linearity.
+//! * **One-point** ([`OnePoint`]): measure at a single temperature and
+//!   re-use the typical (nominal-model) slope. Cheaper on the tester but
+//!   leaves any process-induced slope error uncorrected — the ablation
+//!   study quantifies the difference.
+
+use std::fmt;
+
+use crate::error::{ModelError, Result};
+use crate::ring::{PeriodCurve, RingOscillator};
+use crate::tech::Technology;
+use crate::units::{Celsius, Seconds, TempRange};
+
+/// A calibrated inverse transfer function: period in → temperature out.
+pub trait Calibration {
+    /// Estimated junction temperature for a measured oscillation period.
+    fn estimate(&self, period: Seconds) -> Celsius;
+
+    /// Short human-readable scheme name.
+    fn scheme(&self) -> &'static str;
+}
+
+/// Two-point linear calibration.
+///
+/// ```
+/// use tsense_core::calibration::{Calibration, TwoPoint};
+/// use tsense_core::units::{Celsius, Seconds};
+///
+/// let cal = TwoPoint::fit(
+///     Celsius::new(25.0), Seconds::from_picos(300.0),
+///     Celsius::new(125.0), Seconds::from_picos(360.0),
+/// )?;
+/// let reading = cal.estimate(Seconds::from_picos(330.0));
+/// assert!((reading.get() - 75.0).abs() < 1e-9);
+/// # Ok::<(), tsense_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPoint {
+    /// °C per second of period (inverse sensitivity).
+    slope_c_per_s: f64,
+    /// Temperature at zero period (extrapolated intercept).
+    intercept_c: f64,
+}
+
+impl TwoPoint {
+    /// Fits the calibration from two anchor measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadCalibration`] when the anchors coincide in
+    /// temperature or period, or are not finite.
+    pub fn fit(t1: Celsius, p1: Seconds, t2: Celsius, p2: Seconds) -> Result<Self> {
+        if !(t1.is_finite() && t2.is_finite() && p1.is_finite() && p2.is_finite()) {
+            return Err(ModelError::BadCalibration {
+                reason: "anchor values must be finite".to_string(),
+            });
+        }
+        if (t2.get() - t1.get()).abs() < 1e-12 {
+            return Err(ModelError::BadCalibration {
+                reason: "anchor temperatures coincide".to_string(),
+            });
+        }
+        if (p2.get() - p1.get()).abs() < 1e-30 {
+            return Err(ModelError::BadCalibration {
+                reason: "anchor periods coincide; sensor has no sensitivity".to_string(),
+            });
+        }
+        let slope = (t2.get() - t1.get()) / (p2.get() - p1.get());
+        let intercept = t1.get() - slope * p1.get();
+        Ok(TwoPoint { slope_c_per_s: slope, intercept_c: intercept })
+    }
+
+    /// Convenience: fit from a ring model by *simulated* anchor
+    /// measurements at `t1` and `t2`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates period-evaluation errors and anchor-fit failures.
+    pub fn fit_ring(
+        ring: &RingOscillator,
+        tech: &Technology,
+        t1: Celsius,
+        t2: Celsius,
+    ) -> Result<Self> {
+        let p1 = ring.period(tech, t1)?;
+        let p2 = ring.period(tech, t2)?;
+        TwoPoint::fit(t1, p1, t2, p2)
+    }
+
+    /// °C of temperature change per second of period change.
+    #[inline]
+    pub fn slope_c_per_s(&self) -> f64 {
+        self.slope_c_per_s
+    }
+}
+
+impl Calibration for TwoPoint {
+    fn estimate(&self, period: Seconds) -> Celsius {
+        Celsius::new(self.intercept_c + self.slope_c_per_s * period.get())
+    }
+
+    fn scheme(&self) -> &'static str {
+        "two-point"
+    }
+}
+
+impl fmt::Display for TwoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "two-point calibration ({:.3} °C/ns)",
+            self.slope_c_per_s * 1e-9
+        )
+    }
+}
+
+/// One-point calibration: measured offset, typical slope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnePoint {
+    slope_c_per_s: f64,
+    intercept_c: f64,
+}
+
+impl OnePoint {
+    /// Fits from one anchor `(t0, p0)` plus an externally supplied typical
+    /// slope (°C per second of period), usually taken from the nominal
+    /// design model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadCalibration`] for non-finite anchors or a
+    /// zero slope.
+    pub fn fit(t0: Celsius, p0: Seconds, typical_slope_c_per_s: f64) -> Result<Self> {
+        if !(t0.is_finite() && p0.is_finite() && typical_slope_c_per_s.is_finite()) {
+            return Err(ModelError::BadCalibration {
+                reason: "anchor values must be finite".to_string(),
+            });
+        }
+        if typical_slope_c_per_s == 0.0 {
+            return Err(ModelError::BadCalibration {
+                reason: "typical slope must be non-zero".to_string(),
+            });
+        }
+        Ok(OnePoint {
+            slope_c_per_s: typical_slope_c_per_s,
+            intercept_c: t0.get() - typical_slope_c_per_s * p0.get(),
+        })
+    }
+
+    /// Fits from one simulated anchor on `ring`, taking the typical slope
+    /// from a *nominal* reference ring (the design-kit model), as a real
+    /// production flow would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates period-evaluation errors and anchor-fit failures.
+    pub fn fit_ring(
+        ring: &RingOscillator,
+        tech: &Technology,
+        t0: Celsius,
+        nominal_ring: &RingOscillator,
+        nominal_tech: &Technology,
+        range: TempRange,
+    ) -> Result<Self> {
+        let p0 = ring.period(tech, t0)?;
+        let pa = nominal_ring.period(nominal_tech, range.low())?;
+        let pb = nominal_ring.period(nominal_tech, range.high())?;
+        let slope = range.span() / (pb.get() - pa.get());
+        OnePoint::fit(t0, p0, slope)
+    }
+}
+
+impl Calibration for OnePoint {
+    fn estimate(&self, period: Seconds) -> Celsius {
+        Celsius::new(self.intercept_c + self.slope_c_per_s * period.get())
+    }
+
+    fn scheme(&self) -> &'static str {
+        "one-point"
+    }
+}
+
+impl fmt::Display for OnePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "one-point calibration ({:.3} °C/ns typical slope)",
+            self.slope_c_per_s * 1e-9
+        )
+    }
+}
+
+/// Three-point quadratic calibration: `T = a + b·P + c·P²`.
+///
+/// A second tester insertion temperature buys a second-order correction
+/// that absorbs most of the transfer curve's residual bow — the standard
+/// upgrade when two-point linearity is not enough.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreePoint {
+    a: f64,
+    b: f64,
+    c: f64,
+}
+
+impl ThreePoint {
+    /// Fits the quadratic through three anchor measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadCalibration`] when anchors coincide in
+    /// temperature or period, or are not finite.
+    pub fn fit(
+        t1: Celsius,
+        p1: Seconds,
+        t2: Celsius,
+        p2: Seconds,
+        t3: Celsius,
+        p3: Seconds,
+    ) -> Result<Self> {
+        let ts = [t1.get(), t2.get(), t3.get()];
+        let ps = [p1.get(), p2.get(), p3.get()];
+        if ts.iter().any(|t| !t.is_finite()) || ps.iter().any(|p| !p.is_finite()) {
+            return Err(ModelError::BadCalibration {
+                reason: "anchor values must be finite".to_string(),
+            });
+        }
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                if (ps[i] - ps[j]).abs() < 1e-30 {
+                    return Err(ModelError::BadCalibration {
+                        reason: "anchor periods coincide; quadratic is underdetermined"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        // Lagrange interpolation through (P, T) pairs, expanded to
+        // monomial coefficients. Periods are rescaled to O(1) first to
+        // keep the arithmetic well-conditioned (P² of picoseconds is
+        // ~1e-19 otherwise).
+        let scale = ps.iter().map(|p| p.abs()).fold(f64::MIN_POSITIVE, f64::max);
+        let q: Vec<f64> = ps.iter().map(|p| p / scale).collect();
+        let mut a = 0.0;
+        let mut b = 0.0;
+        let mut c = 0.0;
+        for i in 0..3 {
+            let (j, k) = ((i + 1) % 3, (i + 2) % 3);
+            let denom = (q[i] - q[j]) * (q[i] - q[k]);
+            let w = ts[i] / denom;
+            // w·(x − q_j)(x − q_k) = w·x² − w(q_j+q_k)x + w·q_j·q_k
+            c += w;
+            b -= w * (q[j] + q[k]);
+            a += w * q[j] * q[k];
+        }
+        Ok(ThreePoint { a, b: b / scale, c: c / (scale * scale) })
+    }
+
+    /// Convenience: fit from a ring model by simulated anchor
+    /// measurements at three temperatures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates period-evaluation errors and anchor-fit failures.
+    pub fn fit_ring(
+        ring: &RingOscillator,
+        tech: &Technology,
+        t1: Celsius,
+        t2: Celsius,
+        t3: Celsius,
+    ) -> Result<Self> {
+        let p1 = ring.period(tech, t1)?;
+        let p2 = ring.period(tech, t2)?;
+        let p3 = ring.period(tech, t3)?;
+        ThreePoint::fit(t1, p1, t2, p2, t3, p3)
+    }
+}
+
+impl Calibration for ThreePoint {
+    fn estimate(&self, period: Seconds) -> Celsius {
+        let p = period.get();
+        Celsius::new(self.a + self.b * p + self.c * p * p)
+    }
+
+    fn scheme(&self) -> &'static str {
+        "three-point"
+    }
+}
+
+impl fmt::Display for ThreePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "three-point quadratic calibration")
+    }
+}
+
+/// Accuracy report of a calibration evaluated against a known transfer
+/// curve (simulation ground truth).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    temps: Vec<Celsius>,
+    errors_c: Vec<f64>,
+}
+
+impl CalibrationReport {
+    /// Evaluates `cal` over a sampled transfer curve: at every sample the
+    /// calibrated estimate is compared with the true temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve is empty (a [`PeriodCurve`] never is).
+    pub fn evaluate(cal: &dyn Calibration, curve: &PeriodCurve) -> Self {
+        assert!(!curve.is_empty(), "curve must contain samples");
+        let mut temps = Vec::with_capacity(curve.len());
+        let mut errors_c = Vec::with_capacity(curve.len());
+        for (t, p) in curve.iter() {
+            temps.push(t);
+            errors_c.push(cal.estimate(p).get() - t.get());
+        }
+        CalibrationReport { temps, errors_c }
+    }
+
+    /// Sample temperatures.
+    #[inline]
+    pub fn temps(&self) -> &[Celsius] {
+        &self.temps
+    }
+
+    /// Signed estimation error (estimate − truth) at each sample, °C.
+    #[inline]
+    pub fn errors_celsius(&self) -> &[f64] {
+        &self.errors_c
+    }
+
+    /// Worst-case |error| in °C.
+    pub fn max_abs_celsius(&self) -> f64 {
+        self.errors_c.iter().fold(0.0_f64, |m, e| m.max(e.abs()))
+    }
+
+    /// Mean signed error in °C.
+    pub fn mean_celsius(&self) -> f64 {
+        self.errors_c.iter().sum::<f64>() / self.errors_c.len() as f64
+    }
+
+    /// Root-mean-square error in °C.
+    pub fn rms_celsius(&self) -> f64 {
+        let n = self.errors_c.len() as f64;
+        (self.errors_c.iter().map(|e| e * e).sum::<f64>() / n).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{Gate, GateKind};
+
+    fn setup() -> (Technology, RingOscillator) {
+        let tech = Technology::um350();
+        let g = Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap();
+        (tech, RingOscillator::uniform(g, 5).unwrap())
+    }
+
+    #[test]
+    fn two_point_exact_at_anchors() {
+        let (tech, ring) = setup();
+        let (t1, t2) = (Celsius::new(-50.0), Celsius::new(150.0));
+        let cal = TwoPoint::fit_ring(&ring, &tech, t1, t2).unwrap();
+        let p1 = ring.period(&tech, t1).unwrap();
+        let p2 = ring.period(&tech, t2).unwrap();
+        assert!((cal.estimate(p1).get() - t1.get()).abs() < 1e-9);
+        assert!((cal.estimate(p2).get() - t2.get()).abs() < 1e-9);
+        assert_eq!(cal.scheme(), "two-point");
+    }
+
+    #[test]
+    fn two_point_residual_is_the_nonlinearity() {
+        // With endpoint anchors, the calibration error over the range is
+        // bounded by the endpoint-INL expressed in °C.
+        let (tech, ring) = setup();
+        let cal =
+            TwoPoint::fit_ring(&ring, &tech, Celsius::new(-50.0), Celsius::new(150.0)).unwrap();
+        let curve = ring.period_curve(&tech, TempRange::paper(), 41).unwrap();
+        let report = CalibrationReport::evaluate(&cal, &curve);
+        // The optimal-ratio ring is very linear: sub-degree accuracy.
+        assert!(report.max_abs_celsius() < 1.0, "max {}", report.max_abs_celsius());
+        assert!(report.rms_celsius() <= report.max_abs_celsius());
+    }
+
+    #[test]
+    fn one_point_with_true_slope_matches_two_point_shape() {
+        let (tech, ring) = setup();
+        let range = TempRange::paper();
+        let cal =
+            OnePoint::fit_ring(&ring, &tech, Celsius::new(27.0), &ring, &tech, range).unwrap();
+        let p27 = ring.period(&tech, Celsius::new(27.0)).unwrap();
+        assert!((cal.estimate(p27).get() - 27.0).abs() < 1e-9, "exact at the anchor");
+        let curve = ring.period_curve(&tech, range, 41).unwrap();
+        let report = CalibrationReport::evaluate(&cal, &curve);
+        assert!(report.max_abs_celsius() < 2.0);
+        assert_eq!(cal.scheme(), "one-point");
+    }
+
+    #[test]
+    fn one_point_suffers_from_wrong_slope() {
+        let (tech, ring) = setup();
+        let p27 = ring.period(&tech, Celsius::new(27.0)).unwrap();
+        // A slope 10 % off (as an un-recalibrated process shift would give).
+        let range = TempRange::paper();
+        let pa = ring.period(&tech, range.low()).unwrap();
+        let pb = ring.period(&tech, range.high()).unwrap();
+        let true_slope = range.span() / (pb.get() - pa.get());
+        let cal = OnePoint::fit(Celsius::new(27.0), p27, true_slope * 1.1).unwrap();
+        let curve = ring.period_curve(&tech, range, 41).unwrap();
+        let report = CalibrationReport::evaluate(&cal, &curve);
+        // 10 % slope error over ±~120 °C from the anchor → degrees of error.
+        assert!(report.max_abs_celsius() > 5.0, "max {}", report.max_abs_celsius());
+    }
+
+    #[test]
+    fn degenerate_anchors_rejected() {
+        let p = Seconds::from_picos(300.0);
+        assert!(TwoPoint::fit(Celsius::new(25.0), p, Celsius::new(25.0), p).is_err());
+        assert!(TwoPoint::fit(
+            Celsius::new(25.0),
+            p,
+            Celsius::new(125.0),
+            p
+        )
+        .is_err());
+        assert!(OnePoint::fit(Celsius::new(25.0), p, 0.0).is_err());
+        assert!(TwoPoint::fit(
+            Celsius::new(f64::NAN),
+            p,
+            Celsius::new(125.0),
+            Seconds::from_picos(310.0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn report_statistics_consistent() {
+        let (tech, ring) = setup();
+        let cal =
+            TwoPoint::fit_ring(&ring, &tech, Celsius::new(0.0), Celsius::new(100.0)).unwrap();
+        let curve = ring.period_curve(&tech, TempRange::paper(), 21).unwrap();
+        let report = CalibrationReport::evaluate(&cal, &curve);
+        assert_eq!(report.temps().len(), report.errors_celsius().len());
+        assert!(report.mean_celsius().abs() <= report.max_abs_celsius());
+    }
+
+    #[test]
+    fn three_point_exact_at_all_anchors() {
+        let (tech, ring) = setup();
+        let anchors = [Celsius::new(-50.0), Celsius::new(50.0), Celsius::new(150.0)];
+        let cal =
+            ThreePoint::fit_ring(&ring, &tech, anchors[0], anchors[1], anchors[2]).unwrap();
+        for t in anchors {
+            let p = ring.period(&tech, t).unwrap();
+            assert!(
+                (cal.estimate(p).get() - t.get()).abs() < 1e-6,
+                "anchor {t}: {}",
+                cal.estimate(p)
+            );
+        }
+        assert_eq!(cal.scheme(), "three-point");
+        assert!(format!("{cal}").contains("three-point"));
+    }
+
+    #[test]
+    fn three_point_beats_two_point_on_the_full_range() {
+        // Use a deliberately bowed transfer (ratio 4.0, far from the
+        // curvature balance): its residual is dominated by the quadratic
+        // term the third anchor removes. (On the curvature-balanced
+        // ratio-2 ring the remaining residual is higher-order and the
+        // quadratic gains little — that is the point of Fig. 2.)
+        let tech = Technology::um350();
+        let ring = RingOscillator::uniform(
+            crate::gate::Gate::with_ratio(crate::gate::GateKind::Inv, 1e-6, 4.0).unwrap(),
+            5,
+        )
+        .unwrap();
+        let range = TempRange::paper();
+        let two =
+            TwoPoint::fit_ring(&ring, &tech, range.low(), range.high()).unwrap();
+        let three = ThreePoint::fit_ring(
+            &ring,
+            &tech,
+            range.low(),
+            range.midpoint(),
+            range.high(),
+        )
+        .unwrap();
+        let curve = ring.period_curve(&tech, range, 41).unwrap();
+        let two_err = CalibrationReport::evaluate(&two, &curve).max_abs_celsius();
+        let three_err = CalibrationReport::evaluate(&three, &curve).max_abs_celsius();
+        assert!(
+            three_err < 0.5 * two_err,
+            "quadratic {three_err} vs linear {two_err}"
+        );
+    }
+
+    #[test]
+    fn three_point_degenerate_anchors_rejected() {
+        let p = Seconds::from_picos(300.0);
+        assert!(ThreePoint::fit(
+            Celsius::new(0.0),
+            p,
+            Celsius::new(50.0),
+            p,
+            Celsius::new(100.0),
+            Seconds::from_picos(310.0)
+        )
+        .is_err());
+        assert!(ThreePoint::fit(
+            Celsius::new(f64::INFINITY),
+            p,
+            Celsius::new(50.0),
+            Seconds::from_picos(305.0),
+            Celsius::new(100.0),
+            Seconds::from_picos(310.0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn displays_mention_scheme() {
+        let (tech, ring) = setup();
+        let cal =
+            TwoPoint::fit_ring(&ring, &tech, Celsius::new(0.0), Celsius::new(100.0)).unwrap();
+        assert!(format!("{cal}").contains("two-point"));
+        assert!(cal.slope_c_per_s() > 0.0);
+    }
+}

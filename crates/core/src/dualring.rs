@@ -1,0 +1,251 @@
+//! Dual-ring ratiometric sensing — cancelling supply droop.
+//!
+//! Ext-2 shows a single ring reads ~0.1 °C per millivolt of supply
+//! error. The classic countermeasure is *ratiometric* sensing: digitize
+//! the ratio of two co-located rings built from **different cell mixes**.
+//! Both rings share the same rail, so the (similar) supply dependence
+//! divides out to first order, while their *different* temperature
+//! slopes leave a usable — if smaller — temperature signal:
+//!
+//! ```text
+//! R(T, V) = P_sense / P_ref
+//! ∂lnR/∂V = ∂lnP_s/∂V − ∂lnP_r/∂V   (small: same rail, similar α/V_ov)
+//! ∂lnR/∂T = ∂lnP_s/∂T − ∂lnP_r/∂T   (finite: different cell mixes)
+//! ```
+//!
+//! The figure of merit is the °C-per-mV error of the ratio channel
+//! compared to a single ring; [`DualRingSensor::supply_rejection`]
+//! reports the improvement factor.
+
+use crate::error::{ModelError, Result};
+use crate::linearity::LinearFit;
+use crate::ring::RingOscillator;
+use crate::tech::Technology;
+use crate::units::{Celsius, TempRange, Volts};
+
+/// Two co-located rings read ratiometrically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualRingSensor {
+    sense: RingOscillator,
+    reference: RingOscillator,
+}
+
+impl DualRingSensor {
+    /// Pairs a sensing ring with a reference ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidRing`] when the rings are identical
+    /// stage-for-stage — the ratio of identical rings carries no
+    /// temperature signal.
+    pub fn new(sense: RingOscillator, reference: RingOscillator) -> Result<Self> {
+        if sense == reference {
+            return Err(ModelError::InvalidRing {
+                reason: "sense and reference rings are identical; the ratio cancels the signal"
+                    .to_string(),
+            });
+        }
+        Ok(DualRingSensor { sense, reference })
+    }
+
+    /// The sensing ring.
+    #[inline]
+    pub fn sense(&self) -> &RingOscillator {
+        &self.sense
+    }
+
+    /// The reference ring.
+    #[inline]
+    pub fn reference(&self) -> &RingOscillator {
+        &self.reference
+    }
+
+    /// The ratio `P_sense / P_ref` at one operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates period-evaluation failures.
+    pub fn ratio(&self, tech: &Technology, t: Celsius) -> Result<f64> {
+        Ok(self.sense.period(tech, t)? / self.reference.period(tech, t)?)
+    }
+
+    /// Samples the ratio across a temperature range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates period-evaluation failures.
+    pub fn ratio_curve(
+        &self,
+        tech: &Technology,
+        range: TempRange,
+        samples: usize,
+    ) -> Result<Vec<(Celsius, f64)>> {
+        range
+            .samples(samples)
+            .into_iter()
+            .map(|t| self.ratio(tech, t).map(|r| (t, r)))
+            .collect()
+    }
+
+    /// Temperature sensitivity of the log-ratio, `∂ln R/∂T` per kelvin.
+    ///
+    /// # Errors
+    ///
+    /// Propagates period-evaluation failures.
+    pub fn temp_slope(&self, tech: &Technology, t: Celsius) -> Result<f64> {
+        let h = 0.1;
+        let hi = self.ratio(tech, Celsius::new(t.get() + h))?;
+        let lo = self.ratio(tech, Celsius::new(t.get() - h))?;
+        Ok((hi.ln() - lo.ln()) / (2.0 * h))
+    }
+
+    /// Supply sensitivity of the log-ratio, `∂ln R/∂V` per volt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates period-evaluation failures.
+    pub fn supply_slope(&self, tech: &Technology, t: Celsius) -> Result<f64> {
+        let dv = 0.01;
+        let mut hi = tech.clone();
+        hi.vdd = Volts::new(tech.vdd.get() + dv);
+        let mut lo = tech.clone();
+        lo.vdd = Volts::new(tech.vdd.get() - dv);
+        let r_hi = self.ratio(&hi, t)?;
+        let r_lo = self.ratio(&lo, t)?;
+        Ok((r_hi.ln() - r_lo.ln()) / (2.0 * dv))
+    }
+
+    /// Apparent temperature error per millivolt of supply error, for the
+    /// ratio channel (°C/mV).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DegenerateFit`] when the pair has no
+    /// temperature signal at `t`, or propagates evaluation failures.
+    pub fn temp_error_per_mv(&self, tech: &Technology, t: Celsius) -> Result<f64> {
+        let st = self.temp_slope(tech, t)?;
+        if st.abs() < 1e-12 {
+            return Err(ModelError::DegenerateFit {
+                reason: "ratio has no temperature sensitivity at this point".to_string(),
+            });
+        }
+        Ok(self.supply_slope(tech, t)? * 1e-3 / st)
+    }
+
+    /// Supply-rejection improvement of the ratio channel over the sense
+    /// ring alone: `(°C/mV single) / (°C/mV ratio)`. Values above 1 mean
+    /// the ratiometric read-out is more droop-tolerant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures and the no-signal condition.
+    pub fn supply_rejection(&self, tech: &Technology, t: Celsius) -> Result<f64> {
+        let single = crate::supply::SupplySensitivity::at(&self.sense, tech, t)?;
+        let single_err = (single.temp_error_per_mv).abs();
+        let ratio_err = self.temp_error_per_mv(tech, t)?.abs();
+        Ok(single_err / ratio_err)
+    }
+
+    /// Linearity of the ratio transfer over a range: R² of the best-fit
+    /// line of `ratio` against temperature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation and fit failures.
+    pub fn ratio_linearity(
+        &self,
+        tech: &Technology,
+        range: TempRange,
+        samples: usize,
+    ) -> Result<LinearFit> {
+        let curve = self.ratio_curve(tech, range, samples)?;
+        let xs: Vec<f64> = curve.iter().map(|(t, _)| t.get()).collect();
+        let ys: Vec<f64> = curve.iter().map(|(_, r)| *r).collect();
+        LinearFit::least_squares(&xs, &ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{Gate, GateKind};
+    use crate::ring::CellConfig;
+
+    fn pair() -> (Technology, DualRingSensor) {
+        // A pair found by sweeping cell kinds and sizings for maximum
+        // droop rejection: both rings are NAND-stack types (very similar
+        // supply dependence), but their sizing ratios sit on opposite
+        // sides of the temperature-balance point, leaving a clean
+        // differential temperature signal.
+        let tech = Technology::um350();
+        let sense = RingOscillator::from_config(
+            &CellConfig::uniform(GateKind::Nand2, 5).unwrap(),
+            1e-6,
+            1.5,
+        )
+        .unwrap();
+        let reference = RingOscillator::from_config(
+            &CellConfig::uniform(GateKind::Nand3, 5).unwrap(),
+            1e-6,
+            3.0,
+        )
+        .unwrap();
+        (tech, DualRingSensor::new(sense, reference).unwrap())
+    }
+
+    #[test]
+    fn identical_rings_rejected() {
+        let ring = RingOscillator::uniform(
+            Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(),
+            5,
+        )
+        .unwrap();
+        assert!(DualRingSensor::new(ring.clone(), ring).is_err());
+    }
+
+    #[test]
+    fn ratio_carries_a_temperature_signal() {
+        let (tech, dual) = pair();
+        let slope = dual.temp_slope(&tech, Celsius::new(27.0)).unwrap();
+        assert!(slope.abs() > 1e-5, "log-ratio slope {slope}/K");
+        // And the ratio is monotone over the range for this pair.
+        let curve = dual.ratio_curve(&tech, TempRange::paper(), 21).unwrap();
+        let monotone = curve.windows(2).all(|w| w[1].1 > w[0].1)
+            || curve.windows(2).all(|w| w[1].1 < w[0].1);
+        assert!(monotone, "{curve:?}");
+    }
+
+    #[test]
+    fn supply_rejection_beats_the_single_ring() {
+        let (tech, dual) = pair();
+        let rejection = dual.supply_rejection(&tech, Celsius::new(85.0)).unwrap();
+        assert!(rejection > 5.0, "rejection {rejection}x");
+    }
+
+    #[test]
+    fn ratio_channel_error_per_mv_is_small() {
+        let (tech, dual) = pair();
+        let err = dual.temp_error_per_mv(&tech, Celsius::new(85.0)).unwrap().abs();
+        // Single ring: ~0.1 °C/mV (Ext-2). The ratio channel must do
+        // meaningfully better.
+        assert!(err < 0.02, "ratio channel {err} °C/mV");
+    }
+
+    #[test]
+    fn ratio_transfer_is_linear_enough_to_calibrate() {
+        let (tech, dual) = pair();
+        let fit = dual.ratio_linearity(&tech, TempRange::paper(), 21).unwrap();
+        // The differential signal is small, so its *relative* curvature
+        // is larger than a single ring's — the honest price of the
+        // droop rejection. Still comfortably calibratable.
+        assert!(fit.r_squared > 0.98, "R² = {}", fit.r_squared);
+        assert!(fit.slope.abs() > 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let (_, dual) = pair();
+        assert_eq!(dual.sense().stage_count(), 5);
+        assert_eq!(dual.reference().stage_count(), 5);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared by the analytical sensor models.
+
+use std::fmt;
+
+/// Errors produced by the analytical model layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A ring-oscillator description was structurally invalid (for example
+    /// an even number of inverting stages, which latches instead of
+    /// oscillating).
+    InvalidRing {
+        /// Human-readable reason the ring is rejected.
+        reason: String,
+    },
+    /// A device or technology parameter was out of its physical domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value that was supplied.
+        value: f64,
+        /// Constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The transistor would be off over part of the requested temperature
+    /// range (gate overdrive fell to zero), so no delay is defined there.
+    NoOverdrive {
+        /// Temperature at which the overdrive first collapsed, in °C.
+        at_celsius: f64,
+    },
+    /// A numerical fit was requested on insufficient or degenerate data.
+    DegenerateFit {
+        /// Reason the fit could not be computed.
+        reason: String,
+    },
+    /// A calibration was attempted with unusable anchor points.
+    BadCalibration {
+        /// Reason the calibration is rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidRing { reason } => {
+                write!(f, "invalid ring oscillator: {reason}")
+            }
+            ModelError::InvalidParameter { name, value, constraint } => {
+                write!(f, "parameter `{name}` = {value} violates constraint: {constraint}")
+            }
+            ModelError::NoOverdrive { at_celsius } => {
+                write!(f, "gate overdrive collapsed at {at_celsius} °C; device is off")
+            }
+            ModelError::DegenerateFit { reason } => {
+                write!(f, "degenerate fit: {reason}")
+            }
+            ModelError::BadCalibration { reason } => {
+                write!(f, "bad calibration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ModelError::InvalidRing { reason: "2 stages".into() };
+        assert_eq!(e.to_string(), "invalid ring oscillator: 2 stages");
+
+        let e = ModelError::InvalidParameter {
+            name: "alpha",
+            value: -1.0,
+            constraint: "must be in (0.5, 2.5]",
+        };
+        assert!(e.to_string().contains("alpha"));
+        assert!(e.to_string().contains("-1"));
+
+        let e = ModelError::NoOverdrive { at_celsius: 150.0 };
+        assert!(e.to_string().contains("150"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_good<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_good::<ModelError>();
+    }
+}

@@ -1,0 +1,60 @@
+//! # tsense-core — analytical models for ring-oscillator temperature sensors
+//!
+//! This crate implements the analytical layer of the reproduction of
+//! *"Smart Temperature Sensor for Thermal Testing of Cell-Based ICs"*
+//! (Bota, Rosales, Segura — DATE 2005): closed-form alpha-power-law gate
+//! delays with NMOS/PMOS temperature asymmetry, ring-oscillator period
+//! models, linearity metrics, and the two optimization knobs the paper
+//! studies — transistor sizing ratio (Fig. 2) and standard-cell mix
+//! (Fig. 3) — plus calibration (one/two/three-point), supply-droop and
+//! dual-ring cross-sensitivity analysis, and Monte-Carlo process
+//! variation. Complex inverting cells (AOI21/OAI21) are supported via
+//! series/parallel [`network::PullNetwork`] trees.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tsense_core::gate::{Gate, GateKind};
+//! use tsense_core::linearity::{FitKind, NonLinearity};
+//! use tsense_core::ring::RingOscillator;
+//! use tsense_core::tech::Technology;
+//! use tsense_core::units::TempRange;
+//!
+//! let tech = Technology::um350();
+//! let inv = Gate::with_ratio(GateKind::Inv, 1.0e-6, 2.25)?;
+//! let ring = RingOscillator::uniform(inv, 5)?;
+//! let curve = ring.period_curve(&tech, TempRange::paper(), 41)?;
+//! let nl = NonLinearity::of_curve(&curve, FitKind::LeastSquares)?;
+//! println!("worst-case non-linearity: {:.3} % FS", nl.max_abs_percent());
+//! # Ok::<(), tsense_core::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Validation deliberately writes `!(x > 0.0)` instead of `x <= 0.0`:
+// the negated form also rejects NaN, which the comparison form lets
+// through silently.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod calibration;
+pub mod dualring;
+pub mod error;
+pub mod gate;
+pub mod linearity;
+pub mod mosfet;
+pub mod network;
+pub mod optimize;
+pub mod ring;
+pub mod sensitivity;
+pub mod supply;
+pub mod tech;
+pub mod units;
+pub mod variation;
+
+pub use error::{ModelError, Result};
+pub use gate::{Gate, GateKind};
+pub use linearity::{FitKind, LinearFit, NonLinearity};
+pub use network::PullNetwork;
+pub use ring::{CellConfig, PeriodCurve, RingOscillator};
+pub use tech::{Polarity, Technology};
+pub use units::{Celsius, Hertz, Kelvin, Seconds, TempRange, Volts};

@@ -1,0 +1,377 @@
+//! Linearity analysis of the sensor transfer curve.
+//!
+//! The paper's Figs. 2 and 3 plot the *non-linearity error* of the
+//! period-versus-temperature characteristic over −50 °C … 150 °C, in
+//! percent. This module implements that metric: a straight line is fitted
+//! to the sampled curve (least-squares by default, endpoint fit as the
+//! classic data-sheet alternative) and the residual at each temperature is
+//! normalized to the full-scale period span.
+//!
+//! A temperature-referred view is also provided: inverting the fitted line
+//! turns a period into an estimated temperature, and the residual becomes
+//! an error in °C — the figure a sensor user actually cares about.
+
+use std::fmt;
+
+use crate::error::{ModelError, Result};
+use crate::ring::PeriodCurve;
+use crate::units::{Celsius, Seconds};
+
+/// A straight line `y = intercept + slope·x` fitted to data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination of the fit (1 = perfect line).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Ordinary least-squares fit of `ys` against `xs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DegenerateFit`] when fewer than two points
+    /// are given, the arrays differ in length, or all `xs` coincide.
+    pub fn least_squares(xs: &[f64], ys: &[f64]) -> Result<LinearFit> {
+        if xs.len() != ys.len() {
+            return Err(ModelError::DegenerateFit {
+                reason: format!("length mismatch: {} xs vs {} ys", xs.len(), ys.len()),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(ModelError::DegenerateFit {
+                reason: format!("need at least 2 points, got {}", xs.len()),
+            });
+        }
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            sxx += (x - mx) * (x - mx);
+            sxy += (x - mx) * (y - my);
+            syy += (y - my) * (y - my);
+        }
+        if sxx == 0.0 {
+            return Err(ModelError::DegenerateFit {
+                reason: "all x values coincide".to_string(),
+            });
+        }
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+        Ok(LinearFit { slope, intercept, r_squared })
+    }
+
+    /// Endpoint fit: the line through the first and last samples. This is
+    /// the conventional data-sheet INL reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DegenerateFit`] under the same conditions as
+    /// [`LinearFit::least_squares`].
+    pub fn endpoints(xs: &[f64], ys: &[f64]) -> Result<LinearFit> {
+        if xs.len() != ys.len() || xs.len() < 2 {
+            return Err(ModelError::DegenerateFit {
+                reason: "endpoint fit needs two parallel samples".to_string(),
+            });
+        }
+        let (x0, xn) = (xs[0], xs[xs.len() - 1]);
+        let (y0, yn) = (ys[0], ys[ys.len() - 1]);
+        if xn == x0 {
+            return Err(ModelError::DegenerateFit {
+                reason: "endpoints coincide in x".to_string(),
+            });
+        }
+        let slope = (yn - y0) / (xn - x0);
+        let intercept = y0 - slope * x0;
+        // Report R² against the same data for comparability.
+        let n = xs.len() as f64;
+        let my = ys.iter().sum::<f64>() / n;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            let e = y - (intercept + slope * x);
+            ss_res += e * e;
+            ss_tot += (y - my) * (y - my);
+        }
+        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        Ok(LinearFit { slope, intercept, r_squared })
+    }
+
+    /// Value of the fitted line at `x`.
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Inverts the line: the `x` whose fitted value is `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DegenerateFit`] when the slope is zero.
+    pub fn invert(&self, y: f64) -> Result<f64> {
+        if self.slope == 0.0 {
+            return Err(ModelError::DegenerateFit {
+                reason: "cannot invert a zero-slope line".to_string(),
+            });
+        }
+        Ok((y - self.intercept) / self.slope)
+    }
+}
+
+/// Which reference line the non-linearity is measured against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FitKind {
+    /// Ordinary least squares over all samples (best-fit INL). This is the
+    /// default and matches the near-zero-mean error traces of Figs. 2–3.
+    #[default]
+    LeastSquares,
+    /// Straight line through the range endpoints (data-sheet INL).
+    Endpoint,
+}
+
+/// Non-linearity analysis of a period-versus-temperature curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonLinearity {
+    temps: Vec<Celsius>,
+    /// Residual at each sample, in percent of the full-scale period span.
+    error_percent: Vec<f64>,
+    /// Residual expressed as a temperature error in °C.
+    error_celsius: Vec<f64>,
+    fit: LinearFit,
+    full_scale: Seconds,
+    fit_kind: FitKind,
+}
+
+impl NonLinearity {
+    /// Analyses a sampled curve against the chosen reference line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DegenerateFit`] when the curve has fewer than
+    /// three samples (a two-point curve is trivially linear) or zero
+    /// period span.
+    pub fn of_curve(curve: &PeriodCurve, fit_kind: FitKind) -> Result<NonLinearity> {
+        if curve.len() < 3 {
+            return Err(ModelError::DegenerateFit {
+                reason: format!("need at least 3 samples, got {}", curve.len()),
+            });
+        }
+        let xs: Vec<f64> = curve.temps().iter().map(|t| t.get()).collect();
+        let ys: Vec<f64> = curve.periods().iter().map(|p| p.get()).collect();
+        let fit = match fit_kind {
+            FitKind::LeastSquares => LinearFit::least_squares(&xs, &ys)?,
+            FitKind::Endpoint => LinearFit::endpoints(&xs, &ys)?,
+        };
+        let full_scale = curve.full_scale();
+        if full_scale.get() <= 0.0 {
+            return Err(ModelError::DegenerateFit {
+                reason: "curve has zero full-scale span".to_string(),
+            });
+        }
+        let mut error_percent = Vec::with_capacity(xs.len());
+        let mut error_celsius = Vec::with_capacity(xs.len());
+        for (&x, &y) in xs.iter().zip(&ys) {
+            let resid = y - fit.predict(x);
+            error_percent.push(100.0 * resid / full_scale.get());
+            error_celsius.push(resid / fit.slope);
+        }
+        Ok(NonLinearity {
+            temps: curve.temps().to_vec(),
+            error_percent,
+            error_celsius,
+            fit,
+            full_scale,
+            fit_kind,
+        })
+    }
+
+    /// Sample temperatures.
+    #[inline]
+    pub fn temps(&self) -> &[Celsius] {
+        &self.temps
+    }
+
+    /// Non-linearity error at each sample, in percent of full scale —
+    /// the y-axis of the paper's Figs. 2 and 3.
+    #[inline]
+    pub fn error_percent(&self) -> &[f64] {
+        &self.error_percent
+    }
+
+    /// Non-linearity expressed as a temperature error in °C at each
+    /// sample.
+    #[inline]
+    pub fn error_celsius(&self) -> &[f64] {
+        &self.error_celsius
+    }
+
+    /// The fitted reference line.
+    #[inline]
+    pub fn fit(&self) -> LinearFit {
+        self.fit
+    }
+
+    /// Which reference line was used.
+    #[inline]
+    pub fn fit_kind(&self) -> FitKind {
+        self.fit_kind
+    }
+
+    /// Full-scale period span of the analysed curve.
+    #[inline]
+    pub fn full_scale(&self) -> Seconds {
+        self.full_scale
+    }
+
+    /// Worst-case |error| in percent of full scale — the paper's headline
+    /// "below 0.2 %" figure of merit.
+    pub fn max_abs_percent(&self) -> f64 {
+        self.error_percent.iter().fold(0.0_f64, |m, e| m.max(e.abs()))
+    }
+
+    /// Worst-case |error| referred to temperature, in °C.
+    pub fn max_abs_celsius(&self) -> f64 {
+        self.error_celsius.iter().fold(0.0_f64, |m, e| m.max(e.abs()))
+    }
+
+    /// Root-mean-square error in percent of full scale.
+    pub fn rms_percent(&self) -> f64 {
+        let n = self.error_percent.len() as f64;
+        (self.error_percent.iter().map(|e| e * e).sum::<f64>() / n).sqrt()
+    }
+
+    /// Iterates over `(temperature, error %)` pairs — one figure trace.
+    pub fn iter_percent(&self) -> impl Iterator<Item = (Celsius, f64)> + '_ {
+        self.temps.iter().copied().zip(self.error_percent.iter().copied())
+    }
+}
+
+impl fmt::Display for NonLinearity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NL max {:.3} % FS ({:.2} °C), rms {:.3} %, R²={:.6}",
+            self.max_abs_percent(),
+            self.max_abs_celsius(),
+            self.rms_percent(),
+            self.fit.r_squared
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Celsius, Seconds};
+
+    fn curve_from_fn(f: impl Fn(f64) -> f64, n: usize) -> PeriodCurve {
+        let temps: Vec<Celsius> = (0..n)
+            .map(|i| Celsius::new(-50.0 + 200.0 * i as f64 / (n - 1) as f64))
+            .collect();
+        let periods: Vec<Seconds> = temps.iter().map(|t| Seconds::new(f(t.get()))).collect();
+        PeriodCurve::new(temps, periods)
+    }
+
+    #[test]
+    fn perfect_line_has_zero_nonlinearity() {
+        let curve = curve_from_fn(|t| 1e-9 + 2e-12 * t, 21);
+        let nl = NonLinearity::of_curve(&curve, FitKind::LeastSquares).unwrap();
+        assert!(nl.max_abs_percent() < 1e-9);
+        assert!(nl.max_abs_celsius() < 1e-9);
+        assert!((nl.fit().r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_recovers_known_coefficients() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 0.5 * x).collect();
+        let fit = LinearFit::least_squares(&xs, &ys).unwrap();
+        assert!((fit.slope - 0.5).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.predict(4.0) - 5.0).abs() < 1e-12);
+        assert!((fit.invert(5.0).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_curve_shows_symmetric_residual() {
+        // y = t² has a classic -, +, - residual against its best line.
+        let curve = curve_from_fn(|t| 1e-9 + 2e-12 * t + 1e-15 * t * t, 41);
+        let nl = NonLinearity::of_curve(&curve, FitKind::LeastSquares).unwrap();
+        assert!(nl.max_abs_percent() > 0.0);
+        let errs = nl.error_percent();
+        // Ends and middle carry opposite signs for a parabola.
+        assert!(errs[0] * errs[20] < 0.0);
+        assert!(errs[40] * errs[20] < 0.0);
+        // Least-squares residuals sum to ~zero.
+        let mean: f64 = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn endpoint_fit_pins_the_ends() {
+        let curve = curve_from_fn(|t| 1e-9 + 2e-12 * t + 1e-15 * t * t, 21);
+        let nl = NonLinearity::of_curve(&curve, FitKind::Endpoint).unwrap();
+        let errs = nl.error_percent();
+        assert!(errs[0].abs() < 1e-9);
+        assert!(errs[20].abs() < 1e-9);
+        assert_eq!(nl.fit_kind(), FitKind::Endpoint);
+    }
+
+    #[test]
+    fn endpoint_inl_at_least_as_large_as_best_fit() {
+        let curve = curve_from_fn(|t| 1e-9 + 2e-12 * t + 1e-15 * t * t, 21);
+        let best = NonLinearity::of_curve(&curve, FitKind::LeastSquares).unwrap();
+        let ep = NonLinearity::of_curve(&curve, FitKind::Endpoint).unwrap();
+        assert!(ep.max_abs_percent() >= best.max_abs_percent() - 1e-12);
+    }
+
+    #[test]
+    fn temperature_referred_error_consistent_with_percent() {
+        let curve = curve_from_fn(|t| 1e-9 + 2e-12 * t + 5e-16 * t * t, 21);
+        let nl = NonLinearity::of_curve(&curve, FitKind::LeastSquares).unwrap();
+        // error_°C = error_% /100 * full_scale / slope
+        for i in 0..21 {
+            let expect = nl.error_percent()[i] / 100.0 * nl.full_scale().get() / nl.fit().slope;
+            assert!((nl.error_celsius()[i] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(LinearFit::least_squares(&[1.0], &[2.0]).is_err());
+        assert!(LinearFit::least_squares(&[1.0, 1.0], &[2.0, 3.0]).is_err());
+        assert!(LinearFit::least_squares(&[1.0, 2.0], &[2.0]).is_err());
+        assert!(LinearFit::endpoints(&[1.0, 1.0], &[0.0, 1.0]).is_err());
+        let flat = LinearFit { slope: 0.0, intercept: 1.0, r_squared: 1.0 };
+        assert!(flat.invert(2.0).is_err());
+
+        let curve = PeriodCurve::new(
+            vec![Celsius::new(0.0), Celsius::new(1.0)],
+            vec![Seconds::new(1.0), Seconds::new(2.0)],
+        );
+        assert!(NonLinearity::of_curve(&curve, FitKind::LeastSquares).is_err());
+    }
+
+    #[test]
+    fn rms_not_larger_than_max() {
+        let curve = curve_from_fn(|t| 1e-9 + 2e-12 * t + 1e-15 * t * t, 33);
+        let nl = NonLinearity::of_curve(&curve, FitKind::LeastSquares).unwrap();
+        assert!(nl.rms_percent() <= nl.max_abs_percent() + 1e-15);
+        assert!(nl.rms_percent() > 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_stats() {
+        let curve = curve_from_fn(|t| 1e-9 + 2e-12 * t + 1e-15 * t * t, 21);
+        let nl = NonLinearity::of_curve(&curve, FitKind::LeastSquares).unwrap();
+        let s = format!("{nl}");
+        assert!(s.contains("NL max") && s.contains("%"));
+    }
+}

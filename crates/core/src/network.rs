@@ -1,0 +1,268 @@
+//! Pull-network topologies as series/parallel expression trees.
+//!
+//! Simple NAND/NOR cells need only "k in series" / "k in parallel", but
+//! the standard-cell style the paper advocates offers richer inverting
+//! cells — AOI/OAI complex gates — whose pull networks mix both. A
+//! [`PullNetwork`] describes any such series/parallel composition of
+//! unit transistors; the gate layer reduces it to an equivalent device
+//! (effective width + worst-case stack threshold shift) and the
+//! transistor-level layer emits it verbatim.
+
+use crate::error::{ModelError, Result};
+
+/// A series/parallel composition of unit-width transistors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PullNetwork {
+    /// A single transistor of the cell's unit width.
+    Device,
+    /// Children conducting in series (all must be on).
+    Series(Vec<PullNetwork>),
+    /// Children conducting in parallel (any may conduct; with tied
+    /// inputs they all switch together).
+    Parallel(Vec<PullNetwork>),
+}
+
+impl PullNetwork {
+    /// A chain of `k` series transistors (NAND pull-down, NOR pull-up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn series_chain(k: usize) -> Self {
+        assert!(k > 0, "a network needs at least one device");
+        if k == 1 {
+            PullNetwork::Device
+        } else {
+            PullNetwork::Series(vec![PullNetwork::Device; k])
+        }
+    }
+
+    /// A bank of `k` parallel transistors (NAND pull-up, NOR pull-down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn parallel_bank(k: usize) -> Self {
+        assert!(k > 0, "a network needs at least one device");
+        if k == 1 {
+            PullNetwork::Device
+        } else {
+            PullNetwork::Parallel(vec![PullNetwork::Device; k])
+        }
+    }
+
+    /// Validates the tree: every composite node must have ≥ 2 children
+    /// (singleton composites should be collapsed) and subtrees must be
+    /// valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for degenerate nodes.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            PullNetwork::Device => Ok(()),
+            PullNetwork::Series(children) | PullNetwork::Parallel(children) => {
+                if children.len() < 2 {
+                    return Err(ModelError::InvalidParameter {
+                        name: "pull network",
+                        value: children.len() as f64,
+                        constraint: "composite nodes need at least 2 children",
+                    });
+                }
+                children.iter().try_for_each(PullNetwork::validate)
+            }
+        }
+    }
+
+    /// Number of transistors in the network.
+    pub fn device_count(&self) -> usize {
+        match self {
+            PullNetwork::Device => 1,
+            PullNetwork::Series(c) | PullNetwork::Parallel(c) => {
+                c.iter().map(PullNetwork::device_count).sum()
+            }
+        }
+    }
+
+    /// The deepest series path (number of stacked devices between the
+    /// output and the rail) — sets the body-effect threshold shift.
+    pub fn max_stack_depth(&self) -> usize {
+        match self {
+            PullNetwork::Device => 1,
+            PullNetwork::Series(c) => c.iter().map(PullNetwork::max_stack_depth).sum(),
+            PullNetwork::Parallel(c) => {
+                c.iter().map(PullNetwork::max_stack_depth).max().unwrap_or(1)
+            }
+        }
+    }
+
+    /// The dual network (series ↔ parallel): a CMOS gate's pull-up is
+    /// the dual of its pull-down.
+    pub fn dual(&self) -> PullNetwork {
+        match self {
+            PullNetwork::Device => PullNetwork::Device,
+            PullNetwork::Series(c) => {
+                PullNetwork::Parallel(c.iter().map(PullNetwork::dual).collect())
+            }
+            PullNetwork::Parallel(c) => {
+                PullNetwork::Series(c.iter().map(PullNetwork::dual).collect())
+            }
+        }
+    }
+
+    /// Conductance of the network relative to one unit device (pure
+    /// series/parallel composition, no stack correction).
+    pub fn relative_conductance(&self) -> f64 {
+        match self {
+            PullNetwork::Device => 1.0,
+            PullNetwork::Series(c) => {
+                1.0 / c.iter().map(|n| 1.0 / n.relative_conductance()).sum::<f64>()
+            }
+            PullNetwork::Parallel(c) => {
+                c.iter().map(PullNetwork::relative_conductance).sum()
+            }
+        }
+    }
+
+    /// Effective electrical width of the network for unit-device width
+    /// `w`, including the stack resistance penalty
+    /// `1 / (1 + stack_res_factor · (depth − 1))` applied for the
+    /// deepest series path.
+    pub fn effective_width(&self, w: f64, stack_res_factor: f64) -> f64 {
+        let depth = self.max_stack_depth() as f64;
+        w * self.relative_conductance() / (1.0 + stack_res_factor * (depth - 1.0))
+    }
+
+    /// Number of device drains electrically connected to the output node
+    /// (the side the network is attached to): sets the junction
+    /// parasitic on the cell output.
+    pub fn output_drain_count(&self) -> usize {
+        match self {
+            PullNetwork::Device => 1,
+            // Only the first series element touches the output.
+            PullNetwork::Series(c) => c.first().map_or(0, PullNetwork::output_drain_count),
+            PullNetwork::Parallel(c) => c.iter().map(PullNetwork::output_drain_count).sum(),
+        }
+    }
+}
+
+impl std::fmt::Display for PullNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PullNetwork::Device => write!(f, "D"),
+            PullNetwork::Series(c) => {
+                write!(f, "(")?;
+                for (i, n) in c.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "-")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                write!(f, ")")
+            }
+            PullNetwork::Parallel(c) => {
+                write!(f, "[")?;
+                for (i, n) in c.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_and_banks_collapse_singletons() {
+        assert_eq!(PullNetwork::series_chain(1), PullNetwork::Device);
+        assert_eq!(PullNetwork::parallel_bank(1), PullNetwork::Device);
+        assert_eq!(PullNetwork::series_chain(3).device_count(), 3);
+        assert_eq!(PullNetwork::parallel_bank(4).device_count(), 4);
+    }
+
+    #[test]
+    fn conductance_composition() {
+        assert!((PullNetwork::Device.relative_conductance() - 1.0).abs() < 1e-12);
+        assert!((PullNetwork::series_chain(2).relative_conductance() - 0.5).abs() < 1e-12);
+        assert!((PullNetwork::parallel_bank(3).relative_conductance() - 3.0).abs() < 1e-12);
+        // AOI21 pull-down: (A·B) ∥ C → series-2 parallel a device.
+        let aoi_pd = PullNetwork::Parallel(vec![
+            PullNetwork::series_chain(2),
+            PullNetwork::Device,
+        ]);
+        assert!((aoi_pd.relative_conductance() - 1.5).abs() < 1e-12);
+        // Its dual (the pull-up): (A∥B) in series with C.
+        let aoi_pu = aoi_pd.dual();
+        assert!((aoi_pu.relative_conductance() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_and_drains() {
+        let aoi_pd = PullNetwork::Parallel(vec![
+            PullNetwork::series_chain(2),
+            PullNetwork::Device,
+        ]);
+        assert_eq!(aoi_pd.max_stack_depth(), 2);
+        assert_eq!(aoi_pd.output_drain_count(), 2, "stack top + the lone device");
+        let aoi_pu = aoi_pd.dual();
+        assert_eq!(aoi_pu.max_stack_depth(), 2);
+        assert_eq!(aoi_pu.output_drain_count(), 2, "both parallel devices at the top");
+        assert_eq!(PullNetwork::series_chain(4).max_stack_depth(), 4);
+        assert_eq!(PullNetwork::series_chain(4).output_drain_count(), 1);
+    }
+
+    #[test]
+    fn effective_width_matches_legacy_formulas() {
+        // Series(k): w / (k·(1 + srf·(k−1))).
+        let srf = 0.12;
+        for k in 1..=4usize {
+            let net = PullNetwork::series_chain(k);
+            let expect = 1e-6 / (k as f64 * (1.0 + srf * (k as f64 - 1.0)));
+            assert!((net.effective_width(1e-6, srf) - expect).abs() < 1e-18, "k={k}");
+        }
+        // Parallel(k): k·w, no penalty.
+        let net = PullNetwork::parallel_bank(3);
+        assert!((net.effective_width(1e-6, srf) - 3e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn dual_is_involutive() {
+        let aoi_pd = PullNetwork::Parallel(vec![
+            PullNetwork::series_chain(2),
+            PullNetwork::Device,
+        ]);
+        assert_eq!(aoi_pd.dual().dual(), aoi_pd);
+    }
+
+    #[test]
+    fn validation_rejects_singleton_composites() {
+        assert!(PullNetwork::Series(vec![PullNetwork::Device]).validate().is_err());
+        assert!(PullNetwork::Parallel(vec![]).validate().is_err());
+        let good = PullNetwork::Parallel(vec![
+            PullNetwork::series_chain(2),
+            PullNetwork::Device,
+        ]);
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let aoi_pd = PullNetwork::Parallel(vec![
+            PullNetwork::series_chain(2),
+            PullNetwork::Device,
+        ]);
+        assert_eq!(format!("{aoi_pd}"), "[(D-D)|D]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_chain_rejected() {
+        let _ = PullNetwork::series_chain(0);
+    }
+}

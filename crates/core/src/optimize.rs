@@ -1,0 +1,361 @@
+//! The paper's two linearity-optimization knobs.
+//!
+//! * **Transistor-level (Fig. 2):** sweep the `Wp/Wn` sizing ratio of a
+//!   uniform inverter ring; an adequate ratio drives the worst-case
+//!   non-linearity below 0.2 % of full scale. [`ratio_sweep`] reproduces
+//!   the sweep, [`best_ratio`] refines the optimum by golden-section
+//!   search.
+//! * **Cell-based (Fig. 3):** keep the library sizing fixed and search the
+//!   *mix of inverting cells* instead. [`enumerate_configs`] generates
+//!   every odd multiset of a cell set; [`config_search`] ranks them by
+//!   worst-case non-linearity.
+//!
+//! Both return full [`NonLinearity`] analyses so callers can plot the
+//! error traces, not just the scalar optimum.
+
+use crate::error::Result;
+use crate::gate::{Gate, GateKind};
+use crate::linearity::{FitKind, NonLinearity};
+use crate::ring::{CellConfig, RingOscillator};
+use crate::tech::Technology;
+use crate::units::TempRange;
+
+/// Settings shared by every sweep: the evaluated temperature range, the
+/// number of samples on it, and the reference-line convention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepSettings {
+    /// Temperature range of the evaluation (paper: −50 °C … 150 °C).
+    pub range: TempRange,
+    /// Number of temperature samples.
+    pub samples: usize,
+    /// Reference-line convention for the non-linearity metric.
+    pub fit: FitKind,
+}
+
+impl Default for SweepSettings {
+    /// The paper's evaluation conditions: −50 °C … 150 °C, 41 samples
+    /// (5 °C pitch), least-squares reference line.
+    fn default() -> Self {
+        SweepSettings { range: TempRange::paper(), samples: 41, fit: FitKind::LeastSquares }
+    }
+}
+
+/// One point of a `Wp/Wn` ratio sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioPoint {
+    /// The evaluated `Wp/Wn` ratio.
+    pub ratio: f64,
+    /// Worst-case |non-linearity| in percent of full scale.
+    pub max_nl_percent: f64,
+    /// The full non-linearity trace (the Fig. 2 curve for this ratio).
+    pub nonlinearity: NonLinearity,
+}
+
+/// Evaluates the non-linearity of an `n`-stage uniform ring of `kind`
+/// cells for each `Wp/Wn` ratio in `ratios` — the paper's Fig. 2
+/// experiment when called with `GateKind::Inv`, 5 stages and the ratios
+/// `{1.5, 1.75, 2.25, 3, 4}`.
+///
+/// # Errors
+///
+/// Propagates gate-sizing, ring-validity and fit errors.
+pub fn ratio_sweep(
+    tech: &Technology,
+    kind: GateKind,
+    wn: f64,
+    stages: usize,
+    ratios: &[f64],
+    settings: &SweepSettings,
+) -> Result<Vec<RatioPoint>> {
+    let mut out = Vec::with_capacity(ratios.len());
+    for &ratio in ratios {
+        let gate = Gate::with_ratio(kind, wn, ratio)?;
+        let ring = RingOscillator::uniform(gate, stages)?;
+        let curve = ring.period_curve(tech, settings.range, settings.samples)?;
+        let nonlinearity = NonLinearity::of_curve(&curve, settings.fit)?;
+        out.push(RatioPoint { ratio, max_nl_percent: nonlinearity.max_abs_percent(), nonlinearity });
+    }
+    Ok(out)
+}
+
+/// Finds the `Wp/Wn` ratio minimizing worst-case non-linearity inside
+/// `[lo, hi]` by golden-section search (the objective is unimodal in the
+/// ratio: one curvature sign flip).
+///
+/// Returns `(ratio, max_nl_percent)` at the optimum.
+///
+/// # Errors
+///
+/// Propagates model errors from the evaluations.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or either bound is non-positive.
+pub fn best_ratio(
+    tech: &Technology,
+    kind: GateKind,
+    wn: f64,
+    stages: usize,
+    lo: f64,
+    hi: f64,
+    settings: &SweepSettings,
+) -> Result<(f64, f64)> {
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    let eval = |r: f64| -> Result<f64> {
+        let gate = Gate::with_ratio(kind, wn, r)?;
+        let ring = RingOscillator::uniform(gate, stages)?;
+        let curve = ring.period_curve(tech, settings.range, settings.samples)?;
+        Ok(NonLinearity::of_curve(&curve, settings.fit)?.max_abs_percent())
+    };
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - PHI * (b - a);
+    let mut d = a + PHI * (b - a);
+    let mut fc = eval(c)?;
+    let mut fd = eval(d)?;
+    for _ in 0..60 {
+        if (b - a).abs() < 1e-4 {
+            break;
+        }
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - PHI * (b - a);
+            fc = eval(c)?;
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + PHI * (b - a);
+            fd = eval(d)?;
+        }
+    }
+    let r = 0.5 * (a + b);
+    Ok((r, eval(r)?))
+}
+
+/// One evaluated cell configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigPoint {
+    /// The cell mix.
+    pub config: CellConfig,
+    /// Worst-case |non-linearity| in percent of full scale.
+    pub max_nl_percent: f64,
+    /// The full non-linearity trace (one Fig. 3 curve).
+    pub nonlinearity: NonLinearity,
+}
+
+/// Enumerates every multiset of `stages` cells drawn from `kinds`
+/// (configurations differing only in order are generated once; the ring
+/// constructor interleaves them deterministically).
+///
+/// `stages` must be odd — even counts cannot ring, so they are skipped by
+/// construction rather than reported as errors.
+pub fn enumerate_configs(kinds: &[GateKind], stages: usize) -> Vec<CellConfig> {
+    fn rec(
+        kinds: &[GateKind],
+        start: usize,
+        left: usize,
+        current: &mut Vec<(usize, GateKind)>,
+        out: &mut Vec<Vec<(usize, GateKind)>>,
+    ) {
+        if left == 0 {
+            out.push(current.clone());
+            return;
+        }
+        if start >= kinds.len() {
+            return;
+        }
+        for take in (0..=left).rev() {
+            if take > 0 {
+                current.push((take, kinds[start]));
+            }
+            rec(kinds, start + 1, left - take, current, out);
+            if take > 0 {
+                current.pop();
+            }
+        }
+    }
+    if stages < 3 || stages.is_multiple_of(2) {
+        return Vec::new();
+    }
+    let mut groups = Vec::new();
+    rec(kinds, 0, stages, &mut Vec::new(), &mut groups);
+    groups
+        .into_iter()
+        .filter_map(|g| CellConfig::from_groups(&g).ok())
+        .collect()
+}
+
+/// Evaluates a set of cell configurations at a fixed library sizing and
+/// returns them ranked best (lowest worst-case non-linearity) first —
+/// the generalized Fig. 3 experiment.
+///
+/// # Errors
+///
+/// Propagates model errors from the evaluations.
+pub fn config_search(
+    tech: &Technology,
+    configs: &[CellConfig],
+    wn: f64,
+    ratio: f64,
+    settings: &SweepSettings,
+) -> Result<Vec<ConfigPoint>> {
+    let mut out = Vec::with_capacity(configs.len());
+    for config in configs {
+        let ring = RingOscillator::from_config(config, wn, ratio)?;
+        let curve = ring.period_curve(tech, settings.range, settings.samples)?;
+        let nonlinearity = NonLinearity::of_curve(&curve, settings.fit)?;
+        out.push(ConfigPoint {
+            config: config.clone(),
+            max_nl_percent: nonlinearity.max_abs_percent(),
+            nonlinearity,
+        });
+    }
+    out.sort_by(|a, b| {
+        a.max_nl_percent
+            .partial_cmp(&b.max_nl_percent)
+            .expect("non-linearity values are finite")
+    });
+    Ok(out)
+}
+
+/// Exhaustive cell-based optimization: enumerate every odd multiset of
+/// `kinds` with `stages` cells and rank them. The best entry is the ring
+/// a cell-based designer would instantiate.
+///
+/// # Errors
+///
+/// Propagates model errors from the evaluations.
+pub fn exhaustive_config_search(
+    tech: &Technology,
+    kinds: &[GateKind],
+    stages: usize,
+    wn: f64,
+    ratio: f64,
+    settings: &SweepSettings,
+) -> Result<Vec<ConfigPoint>> {
+    let configs = enumerate_configs(kinds, stages);
+    config_search(tech, &configs, wn, ratio, settings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::um350()
+    }
+
+    #[test]
+    fn ratio_sweep_reproduces_fig2_shape() {
+        // NL(r) dips to a minimum and rises toward both extremes.
+        let settings = SweepSettings::default();
+        let ratios = [1.5, 1.75, 2.0, 2.25, 3.0, 4.0];
+        let pts =
+            ratio_sweep(&tech(), GateKind::Inv, 1e-6, 5, &ratios, &settings).unwrap();
+        assert_eq!(pts.len(), 6);
+        let nl: Vec<f64> = pts.iter().map(|p| p.max_nl_percent).collect();
+        // Minimum strictly inside the sweep.
+        let min_idx = nl
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(min_idx > 0 && min_idx < nl.len() - 1, "interior minimum, got idx {min_idx}");
+        // Paper claim: the optimum is below 0.2 % of full scale.
+        assert!(nl[min_idx] < 0.2, "min NL {} must beat 0.2 %", nl[min_idx]);
+        // Extremes are clearly worse.
+        assert!(nl[0] > nl[min_idx] && nl[5] > nl[min_idx]);
+    }
+
+    #[test]
+    fn best_ratio_beats_every_swept_point() {
+        let settings = SweepSettings::default();
+        let (r, min_nl) =
+            best_ratio(&tech(), GateKind::Inv, 1e-6, 5, 1.0, 6.0, &settings).unwrap();
+        assert!(r > 1.0 && r < 6.0);
+        assert!(min_nl < 0.2);
+        let pts = ratio_sweep(&tech(), GateKind::Inv, 1e-6, 5, &[1.5, 4.0], &settings).unwrap();
+        for p in pts {
+            assert!(min_nl <= p.max_nl_percent + 1e-9);
+        }
+    }
+
+    #[test]
+    fn enumerate_counts_match_stars_and_bars() {
+        // Multisets of size 5 over 5 kinds: C(9,4) = 126.
+        let configs = enumerate_configs(&GateKind::PAPER_SET, 5);
+        assert_eq!(configs.len(), 126);
+        // Size 3 over 2 kinds: C(4,1) = 4.
+        let configs = enumerate_configs(&[GateKind::Inv, GateKind::Nor2], 3);
+        assert_eq!(configs.len(), 4);
+        // Even or tiny stage counts yield nothing.
+        assert!(enumerate_configs(&GateKind::PAPER_SET, 4).is_empty());
+        assert!(enumerate_configs(&GateKind::PAPER_SET, 1).is_empty());
+    }
+
+    #[test]
+    fn config_search_ranks_best_first() {
+        let settings = SweepSettings::default();
+        let ranked = config_search(
+            &tech(),
+            &CellConfig::paper_fig3_set(),
+            1e-6,
+            1.5,
+            &settings,
+        )
+        .unwrap();
+        assert_eq!(ranked.len(), 6);
+        for w in ranked.windows(2) {
+            assert!(w[0].max_nl_percent <= w[1].max_nl_percent);
+        }
+    }
+
+    #[test]
+    fn cell_mix_beats_pure_inverter_at_fixed_library_sizing() {
+        // The paper's core claim: with sizing fixed (here a deliberately
+        // suboptimal library ratio of 1.5), choosing an adequate set of
+        // standard cells reduces the non-linearity error.
+        let settings = SweepSettings::default();
+        let ranked = exhaustive_config_search(
+            &tech(),
+            &GateKind::PAPER_SET,
+            5,
+            1e-6,
+            1.5,
+            &settings,
+        )
+        .unwrap();
+        let best = &ranked[0];
+        let pure_inv = ranked
+            .iter()
+            .find(|p| p.config == CellConfig::uniform(GateKind::Inv, 5).unwrap())
+            .expect("pure inverter ring is in the enumeration");
+        assert!(
+            best.max_nl_percent < 0.5 * pure_inv.max_nl_percent,
+            "best mix {} must at least halve the 5×INV error {}",
+            best.max_nl_percent,
+            pure_inv.max_nl_percent,
+        );
+        assert!(best.max_nl_percent < 0.2, "best mix must beat the paper's 0.2 % bar");
+        // And the best mix is genuinely mixed, not a pure ring.
+        assert!(best.config.histogram().len() > 1, "best config: {}", best.config);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < lo < hi")]
+    fn best_ratio_rejects_bad_interval() {
+        let _ = best_ratio(
+            &tech(),
+            GateKind::Inv,
+            1e-6,
+            5,
+            2.0,
+            1.0,
+            &SweepSettings::default(),
+        );
+    }
+}

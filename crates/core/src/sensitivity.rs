@@ -1,0 +1,233 @@
+//! Sensitivity, resolution and conversion-time analysis.
+//!
+//! The smart unit digitizes the ring period by counting a reference clock
+//! over a window of `M` oscillation cycles. This module provides the
+//! closed-form design equations tying the sensing element (period slope
+//! `dP/dT`) to the digital specs a system integrator cares about:
+//! temperature resolution per LSB and conversion time. The Abl-2 bench
+//! sweeps the window length against these predictions.
+
+use crate::error::{ModelError, Result};
+use crate::ring::RingOscillator;
+use crate::tech::Technology;
+use crate::units::{Celsius, Hertz, Seconds, TempRange};
+
+/// Sensitivity of a ring at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sensitivity {
+    /// Period change per kelvin, in s/K.
+    pub dp_dt: f64,
+    /// Relative sensitivity `(1/P)·dP/dT` per kelvin.
+    pub relative_per_k: f64,
+    /// Operating period at the evaluation temperature.
+    pub period: Seconds,
+}
+
+impl Sensitivity {
+    /// Evaluates the sensitivity of `ring` at `t` by a centred finite
+    /// difference with step `h_kelvin` (default callers use 0.1 K).
+    ///
+    /// # Errors
+    ///
+    /// Propagates period-evaluation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h_kelvin` is not positive.
+    pub fn at(
+        ring: &RingOscillator,
+        tech: &Technology,
+        t: Celsius,
+        h_kelvin: f64,
+    ) -> Result<Sensitivity> {
+        assert!(h_kelvin > 0.0, "finite-difference step must be positive");
+        let p = ring.period(tech, t)?;
+        let p_hi = ring.period(tech, Celsius::new(t.get() + h_kelvin))?;
+        let p_lo = ring.period(tech, Celsius::new(t.get() - h_kelvin))?;
+        let dp_dt = (p_hi.get() - p_lo.get()) / (2.0 * h_kelvin);
+        Ok(Sensitivity { dp_dt, relative_per_k: dp_dt / p.get(), period: p })
+    }
+
+    /// Period sensitivity expressed in ps/°C — the unit data sheets use.
+    #[inline]
+    pub fn picos_per_celsius(&self) -> f64 {
+        self.dp_dt * 1e12
+    }
+}
+
+/// Specification of the counting digitizer in the smart unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigitizerSpec {
+    /// Reference-clock frequency (system clock available on-chip).
+    pub ref_clock: Hertz,
+    /// Number of ring-oscillator cycles in the measurement window.
+    pub window_cycles: u32,
+}
+
+impl DigitizerSpec {
+    /// Creates a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for a non-positive clock
+    /// or an empty window.
+    pub fn new(ref_clock: Hertz, window_cycles: u32) -> Result<Self> {
+        if !(ref_clock.get() > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "ref_clock",
+                value: ref_clock.get(),
+                constraint: "reference clock must be positive",
+            });
+        }
+        if window_cycles == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "window_cycles",
+                value: 0.0,
+                constraint: "window must span at least one ring cycle",
+            });
+        }
+        Ok(DigitizerSpec { ref_clock, window_cycles })
+    }
+
+    /// Ideal (un-quantized) count for a given ring period:
+    /// `M · P_ring / T_ref`.
+    pub fn ideal_count(&self, ring_period: Seconds) -> f64 {
+        self.window_cycles as f64 * ring_period.get() * self.ref_clock.get()
+    }
+
+    /// The integer count the hardware counter would report.
+    pub fn quantized_count(&self, ring_period: Seconds) -> u64 {
+        self.ideal_count(ring_period).floor() as u64
+    }
+
+    /// Temperature represented by one count LSB, given the sensing
+    /// element's period slope: `T_ref / (M · dP/dT)` in °C.
+    pub fn resolution_celsius(&self, sensitivity: &Sensitivity) -> f64 {
+        1.0 / (self.ref_clock.get() * self.window_cycles as f64 * sensitivity.dp_dt)
+    }
+
+    /// Duration of one conversion (the window itself): `M · P_ring`.
+    pub fn conversion_time(&self, ring_period: Seconds) -> Seconds {
+        ring_period * self.window_cycles as f64
+    }
+
+    /// Number of counter bits needed to hold the worst-case (hottest,
+    /// longest-period) count without overflow.
+    pub fn counter_bits(&self, max_ring_period: Seconds) -> u32 {
+        let max_count = self.ideal_count(max_ring_period).ceil() as u64;
+        (64 - max_count.leading_zeros()).max(1)
+    }
+}
+
+/// End-to-end resolution/conversion-time trade-off table across a range
+/// of window lengths — the design-space view of the Abl-2 ablation.
+///
+/// Returns `(window_cycles, resolution °C/LSB, conversion time)` rows.
+///
+/// # Errors
+///
+/// Propagates sensitivity-evaluation failures.
+pub fn window_tradeoff(
+    ring: &RingOscillator,
+    tech: &Technology,
+    ref_clock: Hertz,
+    windows: &[u32],
+    range: TempRange,
+) -> Result<Vec<(u32, f64, Seconds)>> {
+    let mid = range.midpoint();
+    let sens = Sensitivity::at(ring, tech, mid, 0.1)?;
+    let hot_period = ring.period(tech, range.high())?;
+    let mut rows = Vec::with_capacity(windows.len());
+    for &m in windows {
+        let spec = DigitizerSpec::new(ref_clock, m)?;
+        rows.push((m, spec.resolution_celsius(&sens), spec.conversion_time(hot_period)));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{Gate, GateKind};
+
+    fn setup() -> (Technology, RingOscillator) {
+        let tech = Technology::um350();
+        let g = Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap();
+        (tech, RingOscillator::uniform(g, 5).unwrap())
+    }
+
+    #[test]
+    fn sensitivity_is_positive_and_sub_picosecond_per_kelvin() {
+        let (tech, ring) = setup();
+        let s = Sensitivity::at(&ring, &tech, Celsius::new(27.0), 0.1).unwrap();
+        assert!(s.dp_dt > 0.0, "period must increase with temperature");
+        // A ~300 ps ring shifting ~0.1 %/K gives ~0.1–1 ps/K.
+        assert!(s.picos_per_celsius() > 0.01 && s.picos_per_celsius() < 10.0);
+        assert!(s.relative_per_k > 0.0 && s.relative_per_k < 0.01);
+    }
+
+    #[test]
+    fn resolution_improves_with_window_length() {
+        let (tech, ring) = setup();
+        let s = Sensitivity::at(&ring, &tech, Celsius::new(27.0), 0.1).unwrap();
+        let clk = Hertz::from_mega(100.0);
+        let short = DigitizerSpec::new(clk, 1 << 8).unwrap();
+        let long = DigitizerSpec::new(clk, 1 << 12).unwrap();
+        let r_short = short.resolution_celsius(&s);
+        let r_long = long.resolution_celsius(&s);
+        assert!(r_long < r_short);
+        assert!((r_short / r_long - 16.0).abs() < 1e-9, "resolution scales as 1/M");
+    }
+
+    #[test]
+    fn conversion_time_scales_with_window() {
+        let (tech, ring) = setup();
+        let p = ring.period(&tech, Celsius::new(27.0)).unwrap();
+        let spec = DigitizerSpec::new(Hertz::from_mega(100.0), 1024).unwrap();
+        let tconv = spec.conversion_time(p);
+        assert!((tconv.get() / p.get() - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantized_count_within_one_lsb_of_ideal() {
+        let spec = DigitizerSpec::new(Hertz::from_mega(100.0), 4096).unwrap();
+        let p = Seconds::from_picos(321.7);
+        let ideal = spec.ideal_count(p);
+        let q = spec.quantized_count(p) as f64;
+        assert!(ideal - q >= 0.0 && ideal - q < 1.0);
+    }
+
+    #[test]
+    fn counter_bits_hold_worst_case() {
+        let spec = DigitizerSpec::new(Hertz::from_mega(100.0), 4096).unwrap();
+        let p = Seconds::from_picos(400.0);
+        let bits = spec.counter_bits(p);
+        let max_count = spec.ideal_count(p).ceil() as u64;
+        assert!(max_count < (1u64 << bits));
+        assert!(bits == 1 || max_count >= (1u64 << (bits - 1)));
+    }
+
+    #[test]
+    fn tradeoff_rows_are_consistent() {
+        let (tech, ring) = setup();
+        let rows = window_tradeoff(
+            &ring,
+            &tech,
+            Hertz::from_mega(100.0),
+            &[64, 256, 1024, 4096],
+            TempRange::paper(),
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            assert!(w[1].1 < w[0].1, "finer resolution with longer window");
+            assert!(w[1].2.get() > w[0].2.get(), "longer conversion with longer window");
+        }
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert!(DigitizerSpec::new(Hertz::new(0.0), 16).is_err());
+        assert!(DigitizerSpec::new(Hertz::from_mega(100.0), 0).is_err());
+    }
+}

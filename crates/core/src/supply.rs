@@ -1,0 +1,139 @@
+//! Supply-voltage sensitivity of the ring sensor.
+//!
+//! A ring oscillator's period depends on `V_DD` as well as temperature —
+//! the classic weakness of delay-based sensing: supply droop reads as a
+//! temperature change. This module quantifies the coupling so a system
+//! integrator can budget it (regulate the sensor rail, or bound the
+//! error given the SoC's supply tolerance).
+
+use crate::error::Result;
+use crate::ring::RingOscillator;
+use crate::sensitivity::Sensitivity;
+use crate::tech::Technology;
+use crate::units::{Celsius, Seconds, Volts};
+
+/// Supply/temperature cross-sensitivity of a ring at an operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupplySensitivity {
+    /// Period change per volt of supply, s/V (negative: more supply →
+    /// faster ring).
+    pub dp_dv: f64,
+    /// Period change per kelvin, s/K.
+    pub dp_dt: f64,
+    /// Apparent temperature error per millivolt of supply error, °C/mV.
+    pub temp_error_per_mv: f64,
+    /// Operating period.
+    pub period: Seconds,
+}
+
+impl SupplySensitivity {
+    /// Evaluates the cross-sensitivity of `ring` at `(t, tech.vdd)` by
+    /// centred finite differences.
+    ///
+    /// # Errors
+    ///
+    /// Propagates period-evaluation failures (e.g. the supply stepped
+    /// below the device thresholds).
+    pub fn at(ring: &RingOscillator, tech: &Technology, t: Celsius) -> Result<Self> {
+        let dv = 0.01; // 10 mV steps
+        let mut hi = tech.clone();
+        hi.vdd = Volts::new(tech.vdd.get() + dv);
+        let mut lo = tech.clone();
+        lo.vdd = Volts::new(tech.vdd.get() - dv);
+        let p_hi = ring.period(&hi, t)?;
+        let p_lo = ring.period(&lo, t)?;
+        let dp_dv = (p_hi.get() - p_lo.get()) / (2.0 * dv);
+        let sens = Sensitivity::at(ring, tech, t, 0.1)?;
+        Ok(SupplySensitivity {
+            dp_dv,
+            dp_dt: sens.dp_dt,
+            temp_error_per_mv: dp_dv * 1e-3 / sens.dp_dt,
+            period: sens.period,
+        })
+    }
+
+    /// Apparent temperature error for a given supply deviation.
+    pub fn temp_error_for(&self, dv: Volts) -> f64 {
+        self.temp_error_per_mv * dv.get() * 1e3
+    }
+}
+
+/// Samples the period across a supply range at fixed temperature — the
+/// supply-droop transfer curve.
+///
+/// # Errors
+///
+/// Propagates period-evaluation failures.
+pub fn period_vs_supply(
+    ring: &RingOscillator,
+    tech: &Technology,
+    t: Celsius,
+    vdd_values: &[f64],
+) -> Result<Vec<(f64, Seconds)>> {
+    vdd_values
+        .iter()
+        .map(|&v| {
+            let mut tv = tech.clone();
+            tv.vdd = Volts::new(v);
+            ring.period(&tv, t).map(|p| (v, p))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{Gate, GateKind};
+
+    fn setup() -> (Technology, RingOscillator) {
+        let tech = Technology::um350();
+        let ring = RingOscillator::uniform(
+            Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(),
+            5,
+        )
+        .unwrap();
+        (tech, ring)
+    }
+
+    #[test]
+    fn more_supply_means_faster_ring() {
+        let (tech, ring) = setup();
+        let curve =
+            period_vs_supply(&ring, &tech, Celsius::new(27.0), &[3.0, 3.15, 3.3, 3.45, 3.6])
+                .unwrap();
+        for w in curve.windows(2) {
+            assert!(w[1].1.get() < w[0].1.get(), "period falls with VDD: {curve:?}");
+        }
+    }
+
+    #[test]
+    fn cross_sensitivity_magnitudes_are_realistic() {
+        let (tech, ring) = setup();
+        let s = SupplySensitivity::at(&ring, &tech, Celsius::new(27.0)).unwrap();
+        assert!(s.dp_dv < 0.0, "negative supply slope");
+        assert!(s.dp_dt > 0.0, "positive temperature slope");
+        // A ±10 mV droop must read as degrees — the reason data sheets
+        // demand a clean sensor rail.
+        let err_10mv = s.temp_error_for(Volts::new(0.010)).abs();
+        assert!(err_10mv > 0.2 && err_10mv < 20.0, "10 mV → {err_10mv} °C");
+    }
+
+    #[test]
+    fn error_scales_linearly_with_droop() {
+        let (tech, ring) = setup();
+        let s = SupplySensitivity::at(&ring, &tech, Celsius::new(85.0)).unwrap();
+        let e1 = s.temp_error_for(Volts::new(0.005));
+        let e2 = s.temp_error_for(Volts::new(0.010));
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finite_difference_consistent_with_curve() {
+        let (tech, ring) = setup();
+        let s = SupplySensitivity::at(&ring, &tech, Celsius::new(27.0)).unwrap();
+        let curve =
+            period_vs_supply(&ring, &tech, Celsius::new(27.0), &[3.29, 3.31]).unwrap();
+        let slope = (curve[1].1.get() - curve[0].1.get()) / 0.02;
+        assert!((slope - s.dp_dv).abs() / s.dp_dv.abs() < 0.05, "{slope} vs {}", s.dp_dv);
+    }
+}

@@ -1,0 +1,533 @@
+//! CMOS technology descriptions: supply, device parameters and parasitics.
+//!
+//! The paper evaluates a 0.35 µm-class CMOS process in HSPICE with foundry
+//! models. We reproduce the *first-order* temperature physics those models
+//! encode with an alpha-power-law parameter set per device polarity:
+//!
+//! * threshold voltage with a linear temperature coefficient
+//!   `Vth(T) = Vth(T₀) − κ·(T − T₀)`;
+//! * carrier mobility with a power-law roll-off
+//!   `µ(T) = µ(T₀)·(T/T₀)^(−m)`;
+//! * saturation current `I = (W)·k·µrel(T)·(V_DD − Vth(T))^α`
+//!   (the width-normalized drive constant `k` folds in `µ(T₀)·C_ox/L_eff`).
+//!
+//! NMOS and PMOS intentionally get *different* `κ` and `m`: that asymmetry
+//! is what makes the `t_PHL`/`t_PLH` balance — and therefore the Wp/Wn
+//! ratio (Fig. 2) or the NAND/NOR cell mix (Fig. 3) — a usable knob on the
+//! linearity of period versus temperature.
+//!
+//! ```
+//! use tsense_core::tech::Technology;
+//!
+//! let tech = Technology::um350();
+//! assert_eq!(tech.node_nanometers(), 350);
+//! assert!(tech.vdd.get() > 3.0);
+//! ```
+
+use crate::error::{ModelError, Result};
+use crate::units::{Celsius, Kelvin, Volts};
+
+/// Reference temperature at which nominal parameters are quoted (27 °C).
+pub const T_REF: Kelvin = Kelvin::new(300.15);
+
+/// Which carrier type a MOS device conducts with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// N-channel device (pull-down networks).
+    Nmos,
+    /// P-channel device (pull-up networks).
+    Pmos,
+}
+
+impl Polarity {
+    /// The complementary polarity.
+    #[inline]
+    pub fn complement(self) -> Polarity {
+        match self {
+            Polarity::Nmos => Polarity::Pmos,
+            Polarity::Pmos => Polarity::Nmos,
+        }
+    }
+}
+
+impl std::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Polarity::Nmos => write!(f, "NMOS"),
+            Polarity::Pmos => write!(f, "PMOS"),
+        }
+    }
+}
+
+/// Alpha-power-law parameters for one device polarity.
+///
+/// All voltages are magnitudes; polarity is handled by the consumer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceParams {
+    /// Threshold-voltage magnitude at the reference temperature.
+    pub vth0: Volts,
+    /// Threshold temperature coefficient `κ` in V/K (Vth magnitude
+    /// *decreases* by `κ` per kelvin of heating).
+    pub vth_tempco: f64,
+    /// Mobility power-law exponent `m` in `µ ∝ T^(−m)`.
+    pub mobility_exp: f64,
+    /// Velocity-saturation index `α` of the alpha-power law
+    /// (2 = long-channel square law, →1 = fully velocity saturated).
+    pub alpha: f64,
+    /// Width-normalized drive constant at `T₀` in A·m⁻¹·V^(−α):
+    /// `I_sat = W · k_drive · µrel(T) · V_ov^α`.
+    pub k_drive: f64,
+}
+
+impl DeviceParams {
+    /// Validates physical plausibility of the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when a field is outside its
+    /// physical domain (non-positive Vth or drive, α outside (0.5, 2.5],
+    /// negative tempco, mobility exponent outside [0.5, 3]).
+    pub fn validate(&self) -> Result<()> {
+        if !(self.vth0.get() > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "vth0",
+                value: self.vth0.get(),
+                constraint: "threshold magnitude must be positive",
+            });
+        }
+        if !(self.vth_tempco >= 0.0 && self.vth_tempco < 0.01) {
+            return Err(ModelError::InvalidParameter {
+                name: "vth_tempco",
+                value: self.vth_tempco,
+                constraint: "must be in [0, 10 mV/K)",
+            });
+        }
+        if !(self.mobility_exp >= 0.5 && self.mobility_exp <= 3.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "mobility_exp",
+                value: self.mobility_exp,
+                constraint: "must be in [0.5, 3.0]",
+            });
+        }
+        if !(self.alpha > 0.5 && self.alpha <= 2.5) {
+            return Err(ModelError::InvalidParameter {
+                name: "alpha",
+                value: self.alpha,
+                constraint: "must be in (0.5, 2.5]",
+            });
+        }
+        if !(self.k_drive > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "k_drive",
+                value: self.k_drive,
+                constraint: "drive constant must be positive",
+            });
+        }
+        Ok(())
+    }
+
+    /// Threshold-voltage magnitude at junction temperature `t`.
+    #[inline]
+    pub fn vth(&self, t: Celsius) -> Volts {
+        let dt = t.to_kelvin().get() - T_REF.get();
+        Volts::new(self.vth0.get() - self.vth_tempco * dt)
+    }
+
+    /// Relative mobility `µ(T)/µ(T₀)` at junction temperature `t`.
+    #[inline]
+    pub fn mobility_rel(&self, t: Celsius) -> f64 {
+        (t.to_kelvin().get() / T_REF.get()).powf(-self.mobility_exp)
+    }
+}
+
+/// A complete technology description.
+///
+/// Construct via the node presets ([`Technology::um350`] and friends) or
+/// [`TechnologyBuilder`] for custom processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Human-readable name, e.g. `"cmos-0.35um"`.
+    pub name: String,
+    /// Drawn feature size in nanometres (350 for the paper's process class).
+    pub node_nm: u32,
+    /// Nominal supply voltage.
+    pub vdd: Volts,
+    /// NMOS parameters.
+    pub nmos: DeviceParams,
+    /// PMOS parameters.
+    pub pmos: DeviceParams,
+    /// Gate capacitance per metre of transistor width, including overlap
+    /// and a Miller allowance (F/m).
+    pub cg_per_width: f64,
+    /// Drain junction/parasitic capacitance per metre of width (F/m).
+    pub cj_per_width: f64,
+    /// Minimum drawable transistor width in metres.
+    pub w_min: f64,
+    /// Threshold-magnitude increase per extra series device in a stack
+    /// (body-effect surrogate), in volts.
+    pub stack_vth_shift: f64,
+    /// Extra resistance factor per series device beyond the first
+    /// (accounts for intermediate-node charge); effective drive of a
+    /// k-stack is `W/(k·(1 + stack_res_factor·(k−1)))`.
+    pub stack_res_factor: f64,
+}
+
+impl Technology {
+    /// The paper's process class: 0.35 µm, 3.3 V CMOS.
+    pub fn um350() -> Self {
+        Technology {
+            name: "cmos-0.35um".to_string(),
+            node_nm: 350,
+            vdd: Volts::new(3.3),
+            nmos: DeviceParams {
+                vth0: Volts::new(0.55),
+                vth_tempco: 0.8e-3,
+                mobility_exp: 1.55,
+                alpha: 1.55,
+                k_drive: 110.0,
+            },
+            pmos: DeviceParams {
+                vth0: Volts::new(0.65),
+                vth_tempco: 1.5e-3,
+                mobility_exp: 1.15,
+                alpha: 1.70,
+                k_drive: 42.0,
+            },
+            cg_per_width: 2.0e-9,
+            cj_per_width: 1.0e-9,
+            w_min: 0.5e-6,
+            stack_vth_shift: 0.045,
+            stack_res_factor: 0.12,
+        }
+    }
+
+    /// 0.25 µm, 2.5 V CMOS.
+    pub fn um250() -> Self {
+        Technology {
+            name: "cmos-0.25um".to_string(),
+            node_nm: 250,
+            vdd: Volts::new(2.5),
+            nmos: DeviceParams {
+                vth0: Volts::new(0.50),
+                vth_tempco: 0.75e-3,
+                mobility_exp: 1.5,
+                alpha: 1.45,
+                k_drive: 150.0,
+            },
+            pmos: DeviceParams {
+                vth0: Volts::new(0.58),
+                vth_tempco: 1.4e-3,
+                mobility_exp: 1.15,
+                alpha: 1.60,
+                k_drive: 60.0,
+            },
+            cg_per_width: 1.7e-9,
+            cj_per_width: 0.85e-9,
+            w_min: 0.36e-6,
+            stack_vth_shift: 0.04,
+            stack_res_factor: 0.12,
+        }
+    }
+
+    /// 0.18 µm, 1.8 V CMOS.
+    pub fn um180() -> Self {
+        Technology {
+            name: "cmos-0.18um".to_string(),
+            node_nm: 180,
+            vdd: Volts::new(1.8),
+            nmos: DeviceParams {
+                vth0: Volts::new(0.45),
+                vth_tempco: 0.7e-3,
+                mobility_exp: 1.45,
+                alpha: 1.35,
+                k_drive: 230.0,
+            },
+            pmos: DeviceParams {
+                vth0: Volts::new(0.50),
+                vth_tempco: 1.3e-3,
+                mobility_exp: 1.15,
+                alpha: 1.50,
+                k_drive: 95.0,
+            },
+            cg_per_width: 1.4e-9,
+            cj_per_width: 0.7e-9,
+            w_min: 0.27e-6,
+            stack_vth_shift: 0.035,
+            stack_res_factor: 0.13,
+        }
+    }
+
+    /// 0.13 µm, 1.2 V CMOS — the scaled node the paper's introduction
+    /// cites as running 3.2× hotter than 0.35 µm under equivalent
+    /// conditions.
+    pub fn um130() -> Self {
+        Technology {
+            name: "cmos-0.13um".to_string(),
+            node_nm: 130,
+            vdd: Volts::new(1.2),
+            nmos: DeviceParams {
+                vth0: Volts::new(0.35),
+                vth_tempco: 0.65e-3,
+                mobility_exp: 1.4,
+                alpha: 1.25,
+                k_drive: 380.0,
+            },
+            pmos: DeviceParams {
+                vth0: Volts::new(0.38),
+                vth_tempco: 1.2e-3,
+                mobility_exp: 1.1,
+                alpha: 1.40,
+                k_drive: 160.0,
+            },
+            cg_per_width: 1.1e-9,
+            cj_per_width: 0.55e-9,
+            w_min: 0.2e-6,
+            stack_vth_shift: 0.03,
+            stack_res_factor: 0.14,
+        }
+    }
+
+    /// All built-in node presets, coarsest first.
+    pub fn presets() -> Vec<Technology> {
+        vec![
+            Technology::um350(),
+            Technology::um250(),
+            Technology::um180(),
+            Technology::um130(),
+        ]
+    }
+
+    /// Feature size in nanometres.
+    #[inline]
+    pub fn node_nanometers(&self) -> u32 {
+        self.node_nm
+    }
+
+    /// Parameters for the requested polarity.
+    #[inline]
+    pub fn device(&self, polarity: Polarity) -> &DeviceParams {
+        match polarity {
+            Polarity::Nmos => &self.nmos,
+            Polarity::Pmos => &self.pmos,
+        }
+    }
+
+    /// Validates the full technology description.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ModelError::InvalidParameter`] found in the
+    /// supply, device parameter sets or parasitics.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.vdd.get() > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "vdd",
+                value: self.vdd.get(),
+                constraint: "supply must be positive",
+            });
+        }
+        self.nmos.validate()?;
+        self.pmos.validate()?;
+        for (name, v) in [
+            ("cg_per_width", self.cg_per_width),
+            ("cj_per_width", self.cj_per_width),
+            ("w_min", self.w_min),
+        ] {
+            if !(v > 0.0) {
+                return Err(ModelError::InvalidParameter {
+                    name,
+                    value: v,
+                    constraint: "must be positive",
+                });
+            }
+        }
+        if !(self.stack_vth_shift >= 0.0 && self.stack_res_factor >= 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "stack parameters",
+                value: self.stack_vth_shift.min(self.stack_res_factor),
+                constraint: "stack corrections must be non-negative",
+            });
+        }
+        // The devices must stay on over the paper range for the sensor to
+        // make sense at all; check the worst (cold) corner.
+        let cold = Celsius::new(-50.0);
+        for p in [Polarity::Nmos, Polarity::Pmos] {
+            let vth = self.device(p).vth(cold);
+            if vth.get() >= self.vdd.get() {
+                return Err(ModelError::NoOverdrive { at_celsius: cold.get() });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for custom [`Technology`] descriptions, starting from a preset.
+///
+/// ```
+/// use tsense_core::tech::{Technology, TechnologyBuilder};
+/// use tsense_core::units::Volts;
+///
+/// let tech = TechnologyBuilder::from(Technology::um350())
+///     .vdd(Volts::new(3.0))
+///     .name("cmos-0.35um-lowv")
+///     .build()
+///     .expect("valid tech");
+/// assert_eq!(tech.name, "cmos-0.35um-lowv");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TechnologyBuilder {
+    tech: Technology,
+}
+
+impl From<Technology> for TechnologyBuilder {
+    fn from(tech: Technology) -> Self {
+        TechnologyBuilder { tech }
+    }
+}
+
+impl TechnologyBuilder {
+    /// Starts from the 0.35 µm preset.
+    pub fn new() -> Self {
+        TechnologyBuilder { tech: Technology::um350() }
+    }
+
+    /// Sets the technology name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.tech.name = name.into();
+        self
+    }
+
+    /// Sets the supply voltage.
+    pub fn vdd(mut self, vdd: Volts) -> Self {
+        self.tech.vdd = vdd;
+        self
+    }
+
+    /// Replaces the NMOS parameter set.
+    pub fn nmos(mut self, params: DeviceParams) -> Self {
+        self.tech.nmos = params;
+        self
+    }
+
+    /// Replaces the PMOS parameter set.
+    pub fn pmos(mut self, params: DeviceParams) -> Self {
+        self.tech.pmos = params;
+        self
+    }
+
+    /// Sets gate capacitance per metre of width.
+    pub fn cg_per_width(mut self, cg: f64) -> Self {
+        self.tech.cg_per_width = cg;
+        self
+    }
+
+    /// Sets junction capacitance per metre of width.
+    pub fn cj_per_width(mut self, cj: f64) -> Self {
+        self.tech.cj_per_width = cj;
+        self
+    }
+
+    /// Validates and returns the technology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Technology::validate`] failures.
+    pub fn build(self) -> Result<Technology> {
+        self.tech.validate()?;
+        Ok(self.tech)
+    }
+}
+
+impl Default for TechnologyBuilder {
+    fn default() -> Self {
+        TechnologyBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for t in Technology::presets() {
+            t.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", t.name));
+        }
+    }
+
+    #[test]
+    fn vth_decreases_with_temperature() {
+        let tech = Technology::um350();
+        let cold = tech.nmos.vth(Celsius::new(-50.0));
+        let hot = tech.nmos.vth(Celsius::new(150.0));
+        assert!(cold.get() > hot.get());
+        // 200 K * 0.8 mV/K = 0.16 V drop.
+        assert!((cold.get() - hot.get() - 0.16).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mobility_decreases_with_temperature() {
+        let tech = Technology::um350();
+        let cold = tech.nmos.mobility_rel(Celsius::new(-50.0));
+        let ref_t = tech.nmos.mobility_rel(Celsius::new(27.0));
+        let hot = tech.nmos.mobility_rel(Celsius::new(150.0));
+        assert!(cold > ref_t && ref_t > hot);
+        assert!((ref_t - 1.0).abs() < 1e-9, "unity at the reference point");
+    }
+
+    #[test]
+    fn pmos_threshold_more_temperature_sensitive_than_nmos() {
+        // The curvature-cancellation knob relies on this asymmetry.
+        for t in Technology::presets() {
+            assert!(
+                t.pmos.vth_tempco > t.nmos.vth_tempco,
+                "{}: PMOS κ must exceed NMOS κ",
+                t.name
+            );
+            assert!(
+                t.nmos.mobility_exp > t.pmos.mobility_exp,
+                "{}: NMOS mobility exponent must exceed PMOS",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn polarity_accessors() {
+        let t = Technology::um350();
+        assert_eq!(t.device(Polarity::Nmos).vth0, t.nmos.vth0);
+        assert_eq!(t.device(Polarity::Pmos).vth0, t.pmos.vth0);
+        assert_eq!(Polarity::Nmos.complement(), Polarity::Pmos);
+        assert_eq!(Polarity::Pmos.complement(), Polarity::Nmos);
+        assert_eq!(format!("{}", Polarity::Nmos), "NMOS");
+    }
+
+    #[test]
+    fn builder_customizes_and_validates() {
+        let t = TechnologyBuilder::new()
+            .name("custom")
+            .vdd(Volts::new(2.8))
+            .cg_per_width(1.9e-9)
+            .build()
+            .expect("valid");
+        assert_eq!(t.name, "custom");
+        assert!((t.vdd.get() - 2.8).abs() < 1e-12);
+
+        let bad = TechnologyBuilder::new().vdd(Volts::new(-1.0)).build();
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        let mut p = Technology::um350().nmos;
+        p.alpha = 3.0;
+        let err = p.validate().unwrap_err();
+        assert!(matches!(err, ModelError::InvalidParameter { name: "alpha", .. }));
+    }
+
+    #[test]
+    fn subthreshold_supply_rejected() {
+        let t = TechnologyBuilder::new().vdd(Volts::new(0.3)).build();
+        assert!(matches!(t, Err(ModelError::NoOverdrive { .. })));
+    }
+}

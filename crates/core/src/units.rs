@@ -1,0 +1,499 @@
+//! Strongly-typed physical quantities used throughout the sensor models.
+//!
+//! The paper's analysis spans several unit systems (temperatures in °C on
+//! the figure axes, Kelvin inside the mobility law, volts, picosecond
+//! delays, megahertz oscillation frequencies). Newtypes keep those
+//! interpretations apart at compile time ([C-NEWTYPE]): a function that
+//! wants a junction temperature takes [`Celsius`], and the mobility law,
+//! which is only meaningful on an absolute scale, takes [`Kelvin`].
+//!
+//! ```
+//! use tsense_core::units::{Celsius, Kelvin};
+//!
+//! let t = Celsius::new(27.0);
+//! let k: Kelvin = t.into();
+//! assert!((k.get() - 300.15).abs() < 1e-9);
+//! ```
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Offset between the Celsius and Kelvin scales.
+pub const KELVIN_OFFSET: f64 = 273.15;
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $symbol:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw `f64` value in this unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw `f64` value.
+            #[inline]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value of the quantity.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// `true` when the underlying value is finite (not NaN/∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is a bare number.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $symbol)
+            }
+        }
+
+        impl From<$name> for f64 {
+            #[inline]
+            fn from(v: $name) -> f64 {
+                v.0
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A temperature on the Celsius scale, as used on the paper's figure axes.
+    Celsius,
+    "°C"
+);
+quantity!(
+    /// An absolute temperature in Kelvin, as used inside the mobility law.
+    Kelvin,
+    "K"
+);
+quantity!(
+    /// An electric potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// A time span in seconds. Picosecond-scale helpers are provided because
+    /// gate delays live there.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// A frequency in hertz.
+    Hertz,
+    "Hz"
+);
+quantity!(
+    /// A length in metres. Transistor geometry helpers use micrometres.
+    Meters,
+    "m"
+);
+quantity!(
+    /// An electric current in amperes.
+    Amperes,
+    "A"
+);
+quantity!(
+    /// A capacitance in farads.
+    Farads,
+    "F"
+);
+quantity!(
+    /// A power in watts (used by the self-heating model).
+    Watts,
+    "W"
+);
+
+impl From<Celsius> for Kelvin {
+    #[inline]
+    fn from(c: Celsius) -> Kelvin {
+        Kelvin(c.0 + KELVIN_OFFSET)
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    #[inline]
+    fn from(k: Kelvin) -> Celsius {
+        Celsius(k.0 - KELVIN_OFFSET)
+    }
+}
+
+impl Celsius {
+    /// Converts to Kelvin.
+    #[inline]
+    pub fn to_kelvin(self) -> Kelvin {
+        self.into()
+    }
+}
+
+impl Kelvin {
+    /// Converts to Celsius.
+    #[inline]
+    pub fn to_celsius(self) -> Celsius {
+        self.into()
+    }
+}
+
+impl Seconds {
+    /// Constructs a time span from picoseconds.
+    #[inline]
+    pub fn from_picos(ps: f64) -> Self {
+        Seconds(ps * 1e-12)
+    }
+
+    /// Constructs a time span from nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Self {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Constructs a time span from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Seconds(us * 1e-6)
+    }
+
+    /// This span expressed in picoseconds.
+    #[inline]
+    pub fn as_picos(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// This span expressed in nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// The frequency whose period is this span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is zero or negative: a period must be positive.
+    #[inline]
+    pub fn to_frequency(self) -> Hertz {
+        assert!(self.0 > 0.0, "period must be positive to yield a frequency");
+        Hertz(1.0 / self.0)
+    }
+}
+
+impl Hertz {
+    /// Constructs a frequency from megahertz.
+    #[inline]
+    pub fn from_mega(mhz: f64) -> Self {
+        Hertz(mhz * 1e6)
+    }
+
+    /// This frequency expressed in megahertz.
+    #[inline]
+    pub fn as_mega(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// The period of one cycle at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero or negative.
+    #[inline]
+    pub fn to_period(self) -> Seconds {
+        assert!(self.0 > 0.0, "frequency must be positive to yield a period");
+        Seconds(1.0 / self.0)
+    }
+}
+
+impl Meters {
+    /// Constructs a length from micrometres (the natural unit for widths).
+    #[inline]
+    pub fn from_micros(um: f64) -> Self {
+        Meters(um * 1e-6)
+    }
+
+    /// Constructs a length from nanometres.
+    #[inline]
+    pub fn from_nanos(nm: f64) -> Self {
+        Meters(nm * 1e-9)
+    }
+
+    /// This length expressed in micrometres.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Farads {
+    /// Constructs a capacitance from femtofarads.
+    #[inline]
+    pub fn from_femtos(ff: f64) -> Self {
+        Farads(ff * 1e-15)
+    }
+
+    /// This capacitance expressed in femtofarads.
+    #[inline]
+    pub fn as_femtos(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+/// An inclusive temperature range, e.g. the paper's −50 °C … 150 °C span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TempRange {
+    low: Celsius,
+    high: Celsius,
+}
+
+impl TempRange {
+    /// Creates a range from its endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high` or either endpoint is not finite.
+    pub fn new(low: Celsius, high: Celsius) -> Self {
+        assert!(low.is_finite() && high.is_finite(), "endpoints must be finite");
+        assert!(low.get() <= high.get(), "low endpoint must not exceed high endpoint");
+        TempRange { low, high }
+    }
+
+    /// The military-grade span the paper evaluates: −50 °C … 150 °C.
+    pub fn paper() -> Self {
+        TempRange::new(Celsius::new(-50.0), Celsius::new(150.0))
+    }
+
+    /// Lower endpoint.
+    #[inline]
+    pub fn low(&self) -> Celsius {
+        self.low
+    }
+
+    /// Upper endpoint.
+    #[inline]
+    pub fn high(&self) -> Celsius {
+        self.high
+    }
+
+    /// Width of the range in kelvins (== °C of span).
+    #[inline]
+    pub fn span(&self) -> f64 {
+        self.high.get() - self.low.get()
+    }
+
+    /// Midpoint of the range.
+    #[inline]
+    pub fn midpoint(&self) -> Celsius {
+        Celsius::new(0.5 * (self.low.get() + self.high.get()))
+    }
+
+    /// `true` when `t` lies inside the range (inclusive).
+    #[inline]
+    pub fn contains(&self, t: Celsius) -> bool {
+        t.get() >= self.low.get() && t.get() <= self.high.get()
+    }
+
+    /// `n` evenly spaced sample temperatures covering the range (inclusive
+    /// of both endpoints). With `n == 1` the midpoint is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn samples(&self, n: usize) -> Vec<Celsius> {
+        assert!(n > 0, "sample count must be positive");
+        if n == 1 {
+            return vec![self.midpoint()];
+        }
+        let step = self.span() / (n - 1) as f64;
+        (0..n)
+            .map(|i| Celsius::new(self.low.get() + step * i as f64))
+            .collect()
+    }
+}
+
+impl Default for TempRange {
+    fn default() -> Self {
+        TempRange::paper()
+    }
+}
+
+impl fmt::Display for TempRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.low, self.high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let c = Celsius::new(25.0);
+        let k: Kelvin = c.into();
+        assert!((k.get() - 298.15).abs() < 1e-12);
+        let back: Celsius = k.into();
+        assert!((back.get() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_on_quantities() {
+        let a = Volts::new(3.3);
+        let b = Volts::new(0.3);
+        assert!(((a - b).get() - 3.0).abs() < 1e-12);
+        assert!(((a + b).get() - 3.6).abs() < 1e-12);
+        assert!(((a * 2.0).get() - 6.6).abs() < 1e-12);
+        assert!(((2.0 * a).get() - 6.6).abs() < 1e-12);
+        assert!((a / b - 11.0).abs() < 1e-12);
+        assert!(((-b).get() + 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_conversions() {
+        let t = Seconds::from_picos(250.0);
+        assert!((t.as_picos() - 250.0).abs() < 1e-9);
+        assert!((t.as_nanos() - 0.25).abs() < 1e-12);
+        let f = t.to_frequency();
+        assert!((f.get() - 4e9).abs() < 1.0);
+        assert!((f.to_period().as_picos() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hertz_conversions() {
+        let f = Hertz::from_mega(100.0);
+        assert!((f.as_mega() - 100.0).abs() < 1e-12);
+        assert!((f.to_period().as_nanos() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meters_and_farads() {
+        assert!((Meters::from_micros(0.35).as_micros() - 0.35).abs() < 1e-12);
+        assert!((Meters::from_nanos(350.0).as_micros() - 0.35).abs() < 1e-12);
+        assert!((Farads::from_femtos(5.0).as_femtos() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_has_no_frequency() {
+        let _ = Seconds::new(0.0).to_frequency();
+    }
+
+    #[test]
+    fn range_samples_cover_endpoints() {
+        let r = TempRange::paper();
+        let s = r.samples(9);
+        assert_eq!(s.len(), 9);
+        assert!((s[0].get() + 50.0).abs() < 1e-9);
+        assert!((s[8].get() - 150.0).abs() < 1e-9);
+        assert!((s[4].get() - 50.0).abs() < 1e-9);
+        assert!(r.contains(s[3]));
+        assert!((r.span() - 200.0).abs() < 1e-12);
+        assert!((r.midpoint().get() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_single_sample_is_midpoint() {
+        let r = TempRange::new(Celsius::new(0.0), Celsius::new(100.0));
+        let s = r.samples(1);
+        assert_eq!(s.len(), 1);
+        assert!((s[0].get() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "low endpoint")]
+    fn inverted_range_rejected() {
+        let _ = TempRange::new(Celsius::new(10.0), Celsius::new(-10.0));
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Celsius::new(-5.0);
+        let b = Celsius::new(3.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!((a.abs().get() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_symbol() {
+        assert_eq!(format!("{}", Celsius::new(27.0)), "27 °C");
+        assert_eq!(format!("{}", Hertz::new(5.0)), "5 Hz");
+    }
+}

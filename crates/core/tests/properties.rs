@@ -1,0 +1,209 @@
+//! Property-based tests of the analytical layer's invariants.
+
+use proptest::prelude::*;
+
+use tsense_core::calibration::{Calibration, TwoPoint};
+use tsense_core::gate::{Gate, GateKind};
+use tsense_core::linearity::{FitKind, LinearFit, NonLinearity};
+use tsense_core::optimize::enumerate_configs;
+use tsense_core::ring::{CellConfig, PeriodCurve, RingOscillator};
+use tsense_core::sensitivity::DigitizerSpec;
+use tsense_core::tech::Technology;
+use tsense_core::units::{Celsius, Hertz, Kelvin, Seconds, TempRange};
+
+fn arb_kind() -> impl Strategy<Value = GateKind> {
+    prop::sample::select(GateKind::ALL.to_vec())
+}
+
+fn arb_stage_count() -> impl Strategy<Value = usize> {
+    (1usize..=10).prop_map(|k| 2 * k + 1) // odd, 3..=21
+}
+
+proptest! {
+    #[test]
+    fn celsius_kelvin_round_trip(t in -273.0f64..1000.0) {
+        let c = Celsius::new(t);
+        let k: Kelvin = c.into();
+        let back: Celsius = k.into();
+        prop_assert!((back.get() - t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temp_range_samples_sorted_and_bounded(
+        lo in -100.0f64..50.0,
+        span in 1.0f64..300.0,
+        n in 2usize..50,
+    ) {
+        let range = TempRange::new(Celsius::new(lo), Celsius::new(lo + span));
+        let samples = range.samples(n);
+        prop_assert_eq!(samples.len(), n);
+        for w in samples.windows(2) {
+            prop_assert!(w[1].get() > w[0].get());
+        }
+        prop_assert!((samples[0].get() - lo).abs() < 1e-9);
+        prop_assert!((samples[n - 1].get() - (lo + span)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_period_monotone_in_temperature(
+        kind in arb_kind(),
+        wn_um in 0.5f64..4.0,
+        ratio in 1.0f64..4.0,
+        stages in arb_stage_count(),
+    ) {
+        let tech = Technology::um350();
+        let gate = Gate::with_ratio(kind, wn_um * 1e-6, ratio).expect("gate");
+        let ring = RingOscillator::uniform(gate, stages).expect("ring");
+        let curve = ring.period_curve(&tech, TempRange::paper(), 21).expect("curve");
+        prop_assert!(curve.is_monotonic_increasing(), "ring {ring}");
+    }
+
+    #[test]
+    fn uniform_ring_period_proportional_to_stage_count(
+        kind in arb_kind(),
+        ratio in 1.0f64..4.0,
+    ) {
+        let tech = Technology::um350();
+        let gate = Gate::with_ratio(kind, 1e-6, ratio).expect("gate");
+        let t = Celsius::new(27.0);
+        let p5 = RingOscillator::uniform(gate, 5).expect("ring").period(&tech, t).expect("p");
+        let p9 = RingOscillator::uniform(gate, 9).expect("ring").period(&tech, t).expect("p");
+        prop_assert!((p9.get() / p5.get() - 9.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonlinearity_invariant_under_period_scaling(
+        scale in 0.1f64..100.0,
+        curvature in -5.0f64..5.0,
+    ) {
+        // NL is normalized to full scale, so multiplying every period by a
+        // constant must not change it.
+        let temps: Vec<Celsius> =
+            (0..21).map(|i| Celsius::new(-50.0 + 10.0 * i as f64)).collect();
+        let base: Vec<f64> = temps
+            .iter()
+            .map(|t| 1e-9 + 2e-12 * t.get() + curvature * 1e-16 * t.get() * t.get())
+            .collect();
+        let c1 = PeriodCurve::new(temps.clone(), base.iter().map(|&p| Seconds::new(p)).collect());
+        let c2 = PeriodCurve::new(temps, base.iter().map(|&p| Seconds::new(p * scale)).collect());
+        let n1 = NonLinearity::of_curve(&c1, FitKind::LeastSquares).expect("nl");
+        let n2 = NonLinearity::of_curve(&c2, FitKind::LeastSquares).expect("nl");
+        prop_assert!((n1.max_abs_percent() - n2.max_abs_percent()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn least_squares_residuals_orthogonal(
+        ys in prop::collection::vec(-100.0f64..100.0, 3..40),
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let fit = LinearFit::least_squares(&xs, &ys).expect("fit");
+        let resid: Vec<f64> = xs.iter().zip(&ys).map(|(&x, &y)| y - fit.predict(x)).collect();
+        let sum: f64 = resid.iter().sum();
+        let dot: f64 = resid.iter().zip(&xs).map(|(r, x)| r * x).sum();
+        let scale = ys.iter().map(|y| y.abs()).fold(1.0, f64::max) * ys.len() as f64;
+        prop_assert!(sum.abs() < 1e-8 * scale, "residual sum {sum}");
+        prop_assert!(dot.abs() < 1e-6 * scale * xs.len() as f64, "residual·x {dot}");
+    }
+
+    #[test]
+    fn fit_predict_invert_round_trip(
+        slope in prop::num::f64::NORMAL.prop_filter("nonzero", |s| s.abs() > 1e-6 && s.abs() < 1e6),
+        intercept in -1e3f64..1e3,
+        x in -1e3f64..1e3,
+    ) {
+        let fit = LinearFit { slope, intercept, r_squared: 1.0 };
+        let y = fit.predict(x);
+        let back = fit.invert(y).expect("invertible");
+        prop_assert!((back - x).abs() < 1e-6 * (1.0 + x.abs()));
+    }
+
+    #[test]
+    fn two_point_calibration_exact_at_anchors(
+        t1 in -50.0f64..40.0,
+        dt in 10.0f64..110.0,
+    ) {
+        let tech = Technology::um350();
+        let gate = Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate");
+        let ring = RingOscillator::uniform(gate, 5).expect("ring");
+        let (a, b) = (Celsius::new(t1), Celsius::new(t1 + dt));
+        let cal = TwoPoint::fit_ring(&ring, &tech, a, b).expect("cal");
+        let pa = ring.period(&tech, a).expect("p");
+        let pb = ring.period(&tech, b).expect("p");
+        prop_assert!((cal.estimate(pa).get() - a.get()).abs() < 1e-6);
+        prop_assert!((cal.estimate(pb).get() - b.get()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn config_round_trip_preserves_multiset(
+        counts in prop::collection::vec(0usize..4, 5),
+    ) {
+        let total: usize = counts.iter().sum();
+        prop_assume!(total >= 3 && total % 2 == 1);
+        let groups: Vec<(usize, GateKind)> = counts
+            .iter()
+            .zip(GateKind::PAPER_SET)
+            .filter(|(&c, _)| c > 0)
+            .map(|(&c, k)| (c, k))
+            .collect();
+        let config = CellConfig::from_groups(&groups).expect("config");
+        prop_assert_eq!(config.stage_count(), total);
+        let hist = config.histogram();
+        for (count, kind) in &groups {
+            let found = hist.iter().find(|(k, _)| k == kind).map(|(_, n)| *n);
+            prop_assert_eq!(found, Some(*count));
+        }
+    }
+
+    #[test]
+    fn enumeration_count_matches_stars_and_bars(
+        kinds_n in 1usize..5,
+        half_stages in 1usize..4,
+    ) {
+        let stages = 2 * half_stages + 1;
+        let kinds = &GateKind::ALL[..kinds_n];
+        let configs = enumerate_configs(kinds, stages);
+        // C(stages + kinds_n - 1, kinds_n - 1)
+        let mut expect = 1usize;
+        for i in 0..(kinds_n - 1) {
+            expect = expect * (stages + kinds_n - 1 - i) / (i + 1);
+        }
+        prop_assert_eq!(configs.len(), expect);
+        // All distinct.
+        let mut seen = std::collections::HashSet::new();
+        for c in &configs {
+            prop_assert!(seen.insert(format!("{c}")), "duplicate config {c}");
+        }
+    }
+
+    #[test]
+    fn digitizer_quantization_within_one_lsb(
+        period_ps in 50.0f64..2000.0,
+        window_pow in 4u32..16,
+        ref_mhz in 10.0f64..1000.0,
+    ) {
+        let spec = DigitizerSpec::new(Hertz::from_mega(ref_mhz), 1 << window_pow)
+            .expect("spec");
+        let p = Seconds::from_picos(period_ps);
+        let ideal = spec.ideal_count(p);
+        let q = spec.quantized_count(p) as f64;
+        prop_assert!(ideal - q >= 0.0 && ideal - q < 1.0);
+    }
+
+    #[test]
+    fn gate_delays_scale_inversely_with_width(
+        kind in arb_kind(),
+        w_scale in 1.1f64..5.0,
+    ) {
+        // Doubling all widths at fixed external load speeds the gate up,
+        // but never superlinearly (self-loading grows too).
+        let tech = Technology::um350();
+        let t = Celsius::new(27.0);
+        let load = tsense_core::units::Farads::from_femtos(20.0);
+        let small = Gate::sized(kind, 1e-6, 2e-6).expect("gate");
+        let large = Gate::sized(kind, w_scale * 1e-6, w_scale * 2e-6).expect("gate");
+        let d_small = small.delays(&tech, t, load).expect("delays");
+        let d_large = large.delays(&tech, t, load).expect("delays");
+        prop_assert!(d_large.tphl.get() < d_small.tphl.get());
+        prop_assert!(d_large.tphl.get() > d_small.tphl.get() / w_scale - 1e-15);
+    }
+}

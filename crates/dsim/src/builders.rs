@@ -1,0 +1,311 @@
+//! Structural builders for common sequential blocks.
+//!
+//! These emit real gate/flip-flop netlists (no behavioural shortcuts), so
+//! the smart unit's digitizer can be simulated at gate level and compared
+//! against its behavioural model.
+
+use crate::logic::Logic;
+use crate::netlist::{GateOp, Netlist, SignalId};
+
+/// Default gate delay used by the builders, femtoseconds (≈ one 0.35 µm
+/// gate delay).
+pub const GATE_DELAY_FS: u64 = 100_000;
+
+/// Default flip-flop clock-to-Q delay, femtoseconds.
+pub const DFF_DELAY_FS: u64 = 150_000;
+
+/// An asynchronous (ripple) up-counter: bit `i` toggles on the falling
+/// edge of bit `i−1`; bit 0 toggles on the rising edge of `clk`.
+///
+/// Returns the counter bits, LSB first. `rst_n` (active low) clears all
+/// bits. Gate and flip-flop delays are the builder defaults.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn ripple_counter(
+    nl: &mut Netlist,
+    clk: SignalId,
+    rst_n: SignalId,
+    bits: usize,
+    prefix: &str,
+) -> Vec<SignalId> {
+    assert!(bits > 0, "counter needs at least one bit");
+    let mut qs = Vec::with_capacity(bits);
+    let mut stage_clk = clk;
+    for i in 0..bits {
+        let q = nl.signal_with_init(format!("{prefix}.q{i}"), Logic::Zero);
+        let qb = nl.signal_with_init(format!("{prefix}.qb{i}"), Logic::One);
+        // T-flip-flop: D = Q̄.
+        nl.dff(qb, stage_clk, Some(rst_n), q, DFF_DELAY_FS);
+        nl.gate(GateOp::Inv, &[q], qb, GATE_DELAY_FS);
+        qs.push(q);
+        // Next stage increments when this bit wraps 1 → 0, i.e. on the
+        // rising edge of Q̄.
+        stage_clk = qb;
+    }
+    qs
+}
+
+/// A synchronous up-counter with enable: all bits are clocked by `clk`;
+/// bit `i` toggles when every lower bit is 1 and `enable` is high.
+///
+/// Returns the counter bits, LSB first.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn sync_counter(
+    nl: &mut Netlist,
+    clk: SignalId,
+    rst_n: SignalId,
+    enable: SignalId,
+    bits: usize,
+    prefix: &str,
+) -> Vec<SignalId> {
+    assert!(bits > 0, "counter needs at least one bit");
+    let mut qs = Vec::with_capacity(bits);
+    let mut carry = enable;
+    for i in 0..bits {
+        let q = nl.signal_with_init(format!("{prefix}.q{i}"), Logic::Zero);
+        let d = nl.signal(format!("{prefix}.d{i}"));
+        // D = Q XOR carry.
+        nl.gate(GateOp::Xor, &[q, carry], d, GATE_DELAY_FS);
+        nl.dff(d, clk, Some(rst_n), q, DFF_DELAY_FS);
+        // carry' = carry AND Q.
+        if i + 1 < bits {
+            let c = nl.signal(format!("{prefix}.c{i}"));
+            nl.gate(GateOp::And, &[carry, q], c, GATE_DELAY_FS);
+            carry = c;
+        }
+        qs.push(q);
+    }
+    qs
+}
+
+/// A parallel register: `q[i]` samples `d[i]` on each rising `clk` edge.
+///
+/// Returns the register outputs in input order.
+pub fn register(
+    nl: &mut Netlist,
+    d_bits: &[SignalId],
+    clk: SignalId,
+    rst_n: Option<SignalId>,
+    prefix: &str,
+) -> Vec<SignalId> {
+    d_bits
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            let q = nl.signal_with_init(format!("{prefix}.q{i}"), Logic::Zero);
+            nl.dff(d, clk, rst_n, q, DFF_DELAY_FS);
+            q
+        })
+        .collect()
+}
+
+/// A rising-edge detector: output pulses high for one gate delay chain
+/// when `input` rises (input AND NOT delayed-input).
+pub fn edge_detector(nl: &mut Netlist, input: SignalId, prefix: &str) -> SignalId {
+    let delayed = nl.signal(format!("{prefix}.dly"));
+    let delayed_n = nl.signal(format!("{prefix}.dlyn"));
+    let pulse = nl.signal(format!("{prefix}.pulse"));
+    nl.gate(GateOp::Buf, &[input], delayed, 3 * GATE_DELAY_FS);
+    nl.gate(GateOp::Inv, &[delayed], delayed_n, GATE_DELAY_FS);
+    nl.gate(GateOp::And, &[input, delayed_n], pulse, GATE_DELAY_FS);
+    pulse
+}
+
+/// A 2-to-1 multiplexer built from NAND gates: `sel = 0` routes `a`,
+/// `sel = 1` routes `b`.
+pub fn mux2(nl: &mut Netlist, a: SignalId, b: SignalId, sel: SignalId, prefix: &str) -> SignalId {
+    let sel_n = nl.signal(format!("{prefix}.seln"));
+    let t0 = nl.signal(format!("{prefix}.t0"));
+    let t1 = nl.signal(format!("{prefix}.t1"));
+    let y = nl.signal(format!("{prefix}.y"));
+    nl.gate(GateOp::Inv, &[sel], sel_n, GATE_DELAY_FS);
+    nl.gate(GateOp::Nand, &[a, sel_n], t0, GATE_DELAY_FS);
+    nl.gate(GateOp::Nand, &[b, sel], t1, GATE_DELAY_FS);
+    nl.gate(GateOp::Nand, &[t0, t1], y, GATE_DELAY_FS);
+    y
+}
+
+/// An N-to-1 one-hot multiplexer tree built from [`mux2`] stages; `sels`
+/// are binary select lines, LSB first.
+///
+/// # Panics
+///
+/// Panics unless `inputs.len() == 2^sels.len()` and inputs are non-empty.
+pub fn mux_tree(
+    nl: &mut Netlist,
+    inputs: &[SignalId],
+    sels: &[SignalId],
+    prefix: &str,
+) -> SignalId {
+    assert!(!inputs.is_empty(), "mux needs inputs");
+    assert_eq!(inputs.len(), 1 << sels.len(), "need 2^sels inputs");
+    if sels.is_empty() {
+        return inputs[0];
+    }
+    let mut layer: Vec<SignalId> = inputs.to_vec();
+    for (level, &sel) in sels.iter().enumerate() {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for (pair, chunk) in layer.chunks(2).enumerate() {
+            next.push(mux2(nl, chunk[0], chunk[1], sel, &format!("{prefix}.l{level}p{pair}")));
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::bits_to_u64;
+    use crate::sim::Simulator;
+
+    const CLK_PERIOD: u64 = 2_000_000; // 2 ns in fs
+
+    fn read(sim: &Simulator, bits: &[SignalId]) -> u64 {
+        bits_to_u64(&bits.iter().map(|&b| sim.value(b)).collect::<Vec<_>>())
+            .expect("counter bits must be definite")
+    }
+
+    fn counter_fixture(
+        build: impl Fn(&mut Netlist, SignalId, SignalId) -> Vec<SignalId>,
+    ) -> (Simulator, Vec<SignalId>) {
+        let mut nl = Netlist::new();
+        let clk = nl.signal("clk");
+        let rst_n = nl.signal_with_init("rst_n", Logic::One);
+        nl.symmetric_clock(clk, CLK_PERIOD, CLK_PERIOD / 2);
+        let qs = build(&mut nl, clk, rst_n);
+        (Simulator::new(nl), qs)
+    }
+
+    #[test]
+    fn ripple_counter_counts_clock_edges() {
+        let (mut sim, qs) =
+            counter_fixture(|nl, clk, rst| ripple_counter(nl, clk, rst, 6, "cnt"));
+        // 10 rising edges.
+        sim.run_until(CLK_PERIOD * 10 + CLK_PERIOD / 4);
+        assert_eq!(read(&sim, &qs), 10);
+        sim.run_until(CLK_PERIOD * 37 + CLK_PERIOD / 4);
+        assert_eq!(read(&sim, &qs), 37);
+    }
+
+    #[test]
+    fn ripple_counter_wraps() {
+        let (mut sim, qs) =
+            counter_fixture(|nl, clk, rst| ripple_counter(nl, clk, rst, 3, "cnt"));
+        sim.run_until(CLK_PERIOD * 9 + CLK_PERIOD / 4);
+        assert_eq!(read(&sim, &qs), 1, "9 mod 8");
+    }
+
+    #[test]
+    fn sync_counter_matches_ripple() {
+        let mut nl = Netlist::new();
+        let clk = nl.signal("clk");
+        let rst_n = nl.signal_with_init("rst_n", Logic::One);
+        let en = nl.signal_with_init("en", Logic::One);
+        nl.symmetric_clock(clk, CLK_PERIOD, CLK_PERIOD / 2);
+        let qs = sync_counter(&mut nl, clk, rst_n, en, 6, "cnt");
+        let mut sim = Simulator::new(nl);
+        sim.run_until(CLK_PERIOD * 23 + CLK_PERIOD / 4);
+        assert_eq!(read(&sim, &qs), 23);
+    }
+
+    #[test]
+    fn sync_counter_enable_gates_counting() {
+        let mut nl = Netlist::new();
+        let clk = nl.signal("clk");
+        let rst_n = nl.signal_with_init("rst_n", Logic::One);
+        let en = nl.signal_with_init("en", Logic::One);
+        nl.symmetric_clock(clk, CLK_PERIOD, CLK_PERIOD / 2);
+        let qs = sync_counter(&mut nl, clk, rst_n, en, 4, "cnt");
+        let mut sim = Simulator::new(nl);
+        sim.run_until(CLK_PERIOD * 5 + CLK_PERIOD / 4);
+        assert_eq!(read(&sim, &qs), 5);
+        sim.poke(en, Logic::Zero);
+        sim.run_until(CLK_PERIOD * 12);
+        assert_eq!(read(&sim, &qs), 5, "frozen while disabled");
+        sim.poke(en, Logic::One);
+        sim.run_until(CLK_PERIOD * 15 + CLK_PERIOD / 4);
+        assert_eq!(read(&sim, &qs), 8, "resumes counting");
+    }
+
+    #[test]
+    fn counter_reset_clears() {
+        let (mut sim, qs) =
+            counter_fixture(|nl, clk, rst| ripple_counter(nl, clk, rst, 4, "cnt"));
+        let rst_n = sim.netlist().find_signal("rst_n").unwrap();
+        sim.run_until(CLK_PERIOD * 6 + CLK_PERIOD / 4);
+        assert_eq!(read(&sim, &qs), 6);
+        sim.poke(rst_n, Logic::Zero);
+        sim.run_for(CLK_PERIOD);
+        assert_eq!(read(&sim, &qs), 0);
+    }
+
+    #[test]
+    fn register_captures_bus() {
+        let mut nl = Netlist::new();
+        let clk = nl.signal("clk");
+        nl.symmetric_clock(clk, CLK_PERIOD, CLK_PERIOD / 2);
+        let d: Vec<SignalId> =
+            (0..4).map(|i| nl.signal_with_init(format!("d{i}"), Logic::Zero)).collect();
+        let q = register(&mut nl, &d, clk, None, "reg");
+        let mut sim = Simulator::new(nl);
+        for (i, &bit) in crate::logic::u64_to_bits(0b1010, 4).iter().enumerate() {
+            sim.poke(d[i], bit);
+        }
+        sim.run_until(CLK_PERIOD * 2);
+        assert_eq!(read(&sim, &q), 0b1010);
+    }
+
+    #[test]
+    fn edge_detector_pulses_once_per_edge() {
+        let mut nl = Netlist::new();
+        let a = nl.signal_with_init("a", Logic::Zero);
+        let pulse = edge_detector(&mut nl, a, "ed");
+        let mut sim = Simulator::new(nl);
+        sim.count_edges(pulse);
+        sim.run_for(GATE_DELAY_FS * 10);
+        sim.poke(a, Logic::One);
+        sim.run_for(GATE_DELAY_FS * 10);
+        sim.poke(a, Logic::Zero);
+        sim.run_for(GATE_DELAY_FS * 10);
+        sim.poke(a, Logic::One);
+        sim.run_for(GATE_DELAY_FS * 10);
+        assert_eq!(sim.edge_count(pulse), 2, "one pulse per rising edge");
+    }
+
+    #[test]
+    fn mux_tree_selects() {
+        let mut nl = Netlist::new();
+        let inputs: Vec<SignalId> = (0..4)
+            .map(|i| {
+                nl.signal_with_init(format!("in{i}"), Logic::from_bool(i == 2))
+            })
+            .collect();
+        let s0 = nl.signal_with_init("s0", Logic::Zero);
+        let s1 = nl.signal_with_init("s1", Logic::Zero);
+        let y = mux_tree(&mut nl, &inputs, &[s0, s1], "mux");
+        let mut sim = Simulator::new(nl);
+        sim.run_for(GATE_DELAY_FS * 20);
+        assert_eq!(sim.value(y), Logic::Zero, "input 0 selected");
+        sim.poke(s1, Logic::One); // select index 2 (binary 10)
+        sim.run_for(GATE_DELAY_FS * 20);
+        assert_eq!(sim.value(y), Logic::One, "input 2 selected");
+        sim.poke(s0, Logic::One); // index 3
+        sim.run_for(GATE_DELAY_FS * 20);
+        assert_eq!(sim.value(y), Logic::Zero, "input 3 selected");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bit_counter_rejected() {
+        let mut nl = Netlist::new();
+        let clk = nl.signal("clk");
+        let rst = nl.signal("rst_n");
+        let _ = ripple_counter(&mut nl, clk, rst, 0, "cnt");
+    }
+}

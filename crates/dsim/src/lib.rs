@@ -1,0 +1,42 @@
+//! # dsim — an event-driven four-value gate-level logic simulator
+//!
+//! The digital substrate of the smart-sensor reproduction: the paper's
+//! "digital processing bloc" (Section 3) is simulated at gate level with
+//! this crate. It provides:
+//!
+//! * [`logic`] — 0/1/X/Z algebra;
+//! * [`netlist`] — signals, combinational primitives with **inertial**
+//!   delays, rising-edge D flip-flops with async reset, and free-running
+//!   clock sources (femtosecond resolution);
+//! * [`sim`] — the single-queue event kernel with pre-edge sampling (no
+//!   flip-flop races) and rising-edge counters;
+//! * [`builders`] — structural counters, registers, edge detectors and
+//!   mux trees;
+//! * [`vcd`] — IEEE 1364 VCD export.
+//!
+//! ```
+//! use dsim::logic::Logic;
+//! use dsim::netlist::{GateOp, Netlist};
+//! use dsim::sim::Simulator;
+//!
+//! let mut nl = Netlist::new();
+//! let a = nl.signal_with_init("a", Logic::Zero);
+//! let y = nl.signal("y");
+//! nl.gate(GateOp::Inv, &[a], y, 100);
+//! let mut sim = Simulator::new(nl);
+//! sim.run_for(1_000);
+//! assert_eq!(sim.value(y), Logic::One);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod logic;
+pub mod netlist;
+pub mod sim;
+pub mod vcd;
+
+pub use logic::Logic;
+pub use netlist::{Component, GateOp, Netlist, SignalId};
+pub use sim::{Change, Simulator};

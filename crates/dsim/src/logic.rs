@@ -1,0 +1,200 @@
+//! Four-valued logic: `0`, `1`, `X` (unknown), `Z` (high-impedance).
+
+use std::fmt;
+
+/// A four-valued logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialized.
+    #[default]
+    X,
+    /// High impedance (undriven).
+    Z,
+}
+
+impl std::ops::Not for Logic {
+    type Output = Logic;
+    fn not(self) -> Logic {
+        Logic::not(self)
+    }
+}
+
+impl Logic {
+    /// Logical negation. `X`/`Z` stay unknown. Also available through
+    /// the `!` operator.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X | Logic::Z => Logic::X,
+        }
+    }
+
+    /// Logical AND with dominance: `0 AND anything = 0`.
+    pub fn and(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical OR with dominance: `1 OR anything = 1`.
+    pub fn or(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical XOR; unknown if either side is unknown.
+    pub fn xor(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::Zero, Logic::Zero) | (Logic::One, Logic::One) => Logic::Zero,
+            (Logic::Zero, Logic::One) | (Logic::One, Logic::Zero) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// `true` only for a definite `1`.
+    #[inline]
+    pub fn is_one(self) -> bool {
+        self == Logic::One
+    }
+
+    /// `true` only for a definite `0`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Logic::Zero
+    }
+
+    /// `true` for `X` or `Z`.
+    #[inline]
+    pub fn is_unknown(self) -> bool {
+        matches!(self, Logic::X | Logic::Z)
+    }
+
+    /// Converts a bool.
+    #[inline]
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Converts to a bool if definite.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Packs a slice of logic levels (LSB first) into an integer; `None` if
+/// any bit is unknown.
+pub fn bits_to_u64(bits: &[Logic]) -> Option<u64> {
+    let mut value = 0u64;
+    for (i, &b) in bits.iter().enumerate() {
+        match b {
+            Logic::One => value |= 1 << i,
+            Logic::Zero => {}
+            _ => return None,
+        }
+    }
+    Some(value)
+}
+
+/// Unpacks an integer into `n` logic levels, LSB first.
+pub fn u64_to_bits(value: u64, n: usize) -> Vec<Logic> {
+    (0..n).map(|i| Logic::from_bool((value >> i) & 1 == 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_truth_table() {
+        assert_eq!(Logic::Zero.not(), Logic::One);
+        assert_eq!(Logic::One.not(), Logic::Zero);
+        assert_eq!(Logic::X.not(), Logic::X);
+        assert_eq!(Logic::Z.not(), Logic::X);
+    }
+
+    #[test]
+    fn and_dominance() {
+        assert_eq!(Logic::Zero.and(Logic::X), Logic::Zero);
+        assert_eq!(Logic::X.and(Logic::Zero), Logic::Zero);
+        assert_eq!(Logic::One.and(Logic::One), Logic::One);
+        assert_eq!(Logic::One.and(Logic::X), Logic::X);
+        assert_eq!(Logic::Z.and(Logic::One), Logic::X);
+    }
+
+    #[test]
+    fn or_dominance() {
+        assert_eq!(Logic::One.or(Logic::X), Logic::One);
+        assert_eq!(Logic::X.or(Logic::One), Logic::One);
+        assert_eq!(Logic::Zero.or(Logic::Zero), Logic::Zero);
+        assert_eq!(Logic::Zero.or(Logic::Z), Logic::X);
+    }
+
+    #[test]
+    fn xor_unknowns_propagate() {
+        assert_eq!(Logic::Zero.xor(Logic::One), Logic::One);
+        assert_eq!(Logic::One.xor(Logic::One), Logic::Zero);
+        assert_eq!(Logic::One.xor(Logic::X), Logic::X);
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Logic::from_bool(true), Logic::One);
+        assert_eq!(Logic::from(false), Logic::Zero);
+        assert_eq!(Logic::One.to_bool(), Some(true));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert!(Logic::X.is_unknown() && Logic::Z.is_unknown());
+        assert!(Logic::One.is_one() && Logic::Zero.is_zero());
+    }
+
+    #[test]
+    fn bit_packing() {
+        let bits = u64_to_bits(0b1011, 4);
+        assert_eq!(bits, vec![Logic::One, Logic::One, Logic::Zero, Logic::One]);
+        assert_eq!(bits_to_u64(&bits), Some(0b1011));
+        let with_x = vec![Logic::One, Logic::X];
+        assert_eq!(bits_to_u64(&with_x), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}{}{}{}", Logic::Zero, Logic::One, Logic::X, Logic::Z), "01xz");
+    }
+}

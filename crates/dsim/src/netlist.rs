@@ -1,0 +1,368 @@
+//! Gate-level netlists: signals and components.
+//!
+//! Time is measured in integer **femtoseconds** (`u64`), fine enough to
+//! represent picosecond-scale ring periods without rounding artefacts
+//! over millions of cycles.
+
+use std::fmt;
+
+use crate::logic::Logic;
+
+/// Identifier of a signal (net) in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) usize);
+
+impl SignalId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Boolean function of a combinational primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateOp {
+    /// Identity (single input).
+    Buf,
+    /// Negation (single input).
+    Inv,
+    /// AND of all inputs.
+    And,
+    /// NAND of all inputs.
+    Nand,
+    /// OR of all inputs.
+    Or,
+    /// NOR of all inputs.
+    Nor,
+    /// XOR of all inputs (parity).
+    Xor,
+    /// XNOR of all inputs.
+    Xnor,
+}
+
+impl GateOp {
+    /// Evaluates the function over the input levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn eval(self, inputs: &[Logic]) -> Logic {
+        assert!(!inputs.is_empty(), "gate must have at least one input");
+        match self {
+            GateOp::Buf => inputs[0],
+            GateOp::Inv => inputs[0].not(),
+            GateOp::And => inputs.iter().copied().fold(Logic::One, Logic::and),
+            GateOp::Nand => inputs.iter().copied().fold(Logic::One, Logic::and).not(),
+            GateOp::Or => inputs.iter().copied().fold(Logic::Zero, Logic::or),
+            GateOp::Nor => inputs.iter().copied().fold(Logic::Zero, Logic::or).not(),
+            GateOp::Xor => inputs.iter().copied().fold(Logic::Zero, Logic::xor),
+            GateOp::Xnor => inputs.iter().copied().fold(Logic::Zero, Logic::xor).not(),
+        }
+    }
+}
+
+/// A netlist component.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Component {
+    /// Combinational gate with an inertial propagation delay.
+    Gate {
+        /// Boolean function.
+        op: GateOp,
+        /// Input signals.
+        inputs: Vec<SignalId>,
+        /// Output signal.
+        output: SignalId,
+        /// Propagation delay, femtoseconds.
+        delay_fs: u64,
+    },
+    /// Rising-edge D flip-flop with optional active-low asynchronous
+    /// reset.
+    Dff {
+        /// Data input.
+        d: SignalId,
+        /// Clock input (rising edge).
+        clk: SignalId,
+        /// Active-low asynchronous reset, if present.
+        rst_n: Option<SignalId>,
+        /// Output.
+        q: SignalId,
+        /// Clock-to-Q delay, femtoseconds.
+        delay_fs: u64,
+    },
+    /// Level-sensitive (transparent-high) latch with optional
+    /// active-low asynchronous reset.
+    Latch {
+        /// Data input.
+        d: SignalId,
+        /// Enable input (transparent while high).
+        en: SignalId,
+        /// Active-low asynchronous reset, if present.
+        rst_n: Option<SignalId>,
+        /// Output.
+        q: SignalId,
+        /// Data-to-Q delay while transparent, femtoseconds.
+        delay_fs: u64,
+    },
+    /// Free-running clock source.
+    Clock {
+        /// Output signal.
+        output: SignalId,
+        /// Time spent low each cycle, femtoseconds.
+        low_fs: u64,
+        /// Time spent high each cycle, femtoseconds.
+        high_fs: u64,
+        /// Phase offset before the first rising edge, femtoseconds.
+        start_fs: u64,
+    },
+}
+
+/// A flat gate-level netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    names: Vec<String>,
+    initials: Vec<Logic>,
+    components: Vec<Component>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Declares a signal with an initial level of `X`.
+    pub fn signal(&mut self, name: impl Into<String>) -> SignalId {
+        self.signal_with_init(name, Logic::X)
+    }
+
+    /// Declares a signal with an explicit initial level.
+    pub fn signal_with_init(&mut self, name: impl Into<String>, init: Logic) -> SignalId {
+        let id = SignalId(self.names.len());
+        self.names.push(name.into());
+        self.initials.push(init);
+        id
+    }
+
+    /// Adds a combinational gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or a signal id is foreign.
+    pub fn gate(&mut self, op: GateOp, inputs: &[SignalId], output: SignalId, delay_fs: u64) {
+        assert!(!inputs.is_empty(), "gate must have at least one input");
+        for s in inputs.iter().chain(std::iter::once(&output)) {
+            assert!(s.0 < self.names.len(), "signal does not belong to this netlist");
+        }
+        self.components.push(Component::Gate {
+            op,
+            inputs: inputs.to_vec(),
+            output,
+            delay_fs,
+        });
+    }
+
+    /// Adds a rising-edge D flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a signal id is foreign.
+    pub fn dff(
+        &mut self,
+        d: SignalId,
+        clk: SignalId,
+        rst_n: Option<SignalId>,
+        q: SignalId,
+        delay_fs: u64,
+    ) {
+        for s in [Some(d), Some(clk), rst_n, Some(q)].into_iter().flatten() {
+            assert!(s.0 < self.names.len(), "signal does not belong to this netlist");
+        }
+        self.components.push(Component::Dff { d, clk, rst_n, q, delay_fs });
+    }
+
+    /// Adds a transparent-high level-sensitive latch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a signal id is foreign.
+    pub fn latch(
+        &mut self,
+        d: SignalId,
+        en: SignalId,
+        rst_n: Option<SignalId>,
+        q: SignalId,
+        delay_fs: u64,
+    ) {
+        for s in [Some(d), Some(en), rst_n, Some(q)].into_iter().flatten() {
+            assert!(s.0 < self.names.len(), "signal does not belong to this netlist");
+        }
+        self.components.push(Component::Latch { d, en, rst_n, q, delay_fs });
+    }
+
+    /// Adds a free-running clock with the given low/high interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either interval is zero.
+    pub fn clock(&mut self, output: SignalId, low_fs: u64, high_fs: u64, start_fs: u64) {
+        assert!(low_fs > 0 && high_fs > 0, "clock intervals must be positive");
+        assert!(output.0 < self.names.len(), "signal does not belong to this netlist");
+        self.components.push(Component::Clock { output, low_fs, high_fs, start_fs });
+    }
+
+    /// Adds a symmetric clock of the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is below 2 fs.
+    pub fn symmetric_clock(&mut self, output: SignalId, period_fs: u64, start_fs: u64) {
+        assert!(period_fs >= 2, "period must be at least 2 fs");
+        self.clock(output, period_fs / 2, period_fs - period_fs / 2, start_fs);
+    }
+
+    /// Number of declared signals.
+    #[inline]
+    pub fn signal_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    pub fn signal_name(&self, id: SignalId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Finds a signal by name.
+    pub fn find_signal(&self, name: &str) -> Option<SignalId> {
+        self.names.iter().position(|n| n == name).map(SignalId)
+    }
+
+    /// Every declared signal id, in declaration order.
+    pub fn signal_ids(&self) -> Vec<SignalId> {
+        (0..self.names.len()).map(SignalId).collect()
+    }
+
+    /// Initial level of a signal.
+    pub(crate) fn initial(&self, id: SignalId) -> Logic {
+        self.initials[id.0]
+    }
+
+    /// The components.
+    #[inline]
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Builds, for each signal, the list of component indices that read
+    /// it (fan-out table used by the simulator).
+    pub(crate) fn fanout_table(&self) -> Vec<Vec<usize>> {
+        let mut fanout = vec![Vec::new(); self.names.len()];
+        for (ci, comp) in self.components.iter().enumerate() {
+            match comp {
+                Component::Gate { inputs, .. } => {
+                    for s in inputs {
+                        fanout[s.0].push(ci);
+                    }
+                }
+                Component::Dff { d, clk, rst_n, .. } => {
+                    fanout[d.0].push(ci);
+                    fanout[clk.0].push(ci);
+                    if let Some(r) = rst_n {
+                        fanout[r.0].push(ci);
+                    }
+                }
+                Component::Latch { d, en, rst_n, .. } => {
+                    fanout[d.0].push(ci);
+                    fanout[en.0].push(ci);
+                    if let Some(r) = rst_n {
+                        fanout[r.0].push(ci);
+                    }
+                }
+                Component::Clock { .. } => {}
+            }
+        }
+        for list in &mut fanout {
+            list.dedup();
+        }
+        fanout
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist: {} signals, {} components",
+            self.names.len(),
+            self.components.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_eval_tables() {
+        use Logic::*;
+        assert_eq!(GateOp::Nand.eval(&[One, One]), Zero);
+        assert_eq!(GateOp::Nand.eval(&[One, Zero]), One);
+        assert_eq!(GateOp::Nor.eval(&[Zero, Zero]), One);
+        assert_eq!(GateOp::Xor.eval(&[One, One, One]), One, "3-input parity");
+        assert_eq!(GateOp::Xnor.eval(&[One, Zero]), Zero);
+        assert_eq!(GateOp::Buf.eval(&[X]), X);
+        assert_eq!(GateOp::Inv.eval(&[Zero]), One);
+        assert_eq!(GateOp::And.eval(&[One, One, Zero]), Zero);
+        assert_eq!(GateOp::Or.eval(&[Zero, Zero, One]), One);
+    }
+
+    #[test]
+    fn signal_registry() {
+        let mut nl = Netlist::new();
+        let a = nl.signal("a");
+        let b = nl.signal_with_init("b", Logic::Zero);
+        assert_eq!(nl.signal_count(), 2);
+        assert_eq!(nl.signal_name(a), "a");
+        assert_eq!(nl.find_signal("b"), Some(b));
+        assert_eq!(nl.find_signal("c"), None);
+        assert_eq!(nl.initial(a), Logic::X);
+        assert_eq!(nl.initial(b), Logic::Zero);
+    }
+
+    #[test]
+    fn fanout_table_tracks_readers() {
+        let mut nl = Netlist::new();
+        let a = nl.signal("a");
+        let b = nl.signal("b");
+        let y = nl.signal("y");
+        let q = nl.signal("q");
+        nl.gate(GateOp::Nand, &[a, b], y, 100);
+        nl.dff(y, a, None, q, 50);
+        let fanout = nl.fanout_table();
+        assert_eq!(fanout[a.0], vec![0, 1], "a feeds the gate and clocks the dff");
+        assert_eq!(fanout[b.0], vec![0]);
+        assert_eq!(fanout[y.0], vec![1]);
+        assert!(fanout[q.0].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_gate_rejected() {
+        let mut nl = Netlist::new();
+        let y = nl.signal("y");
+        nl.gate(GateOp::And, &[], y, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "intervals must be positive")]
+    fn zero_clock_rejected() {
+        let mut nl = Netlist::new();
+        let c = nl.signal("c");
+        nl.clock(c, 0, 10, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests of the logic simulator: algebraic identities of
+//! the 4-value logic, counter correctness against a reference model, and
+//! inertial-delay semantics.
+
+use proptest::prelude::*;
+
+use dsim::builders::{ripple_counter, sync_counter, GATE_DELAY_FS};
+use dsim::logic::{bits_to_u64, u64_to_bits, Logic};
+use dsim::netlist::{GateOp, Netlist};
+use dsim::sim::Simulator;
+
+fn arb_logic() -> impl Strategy<Value = Logic> {
+    prop::sample::select(vec![Logic::Zero, Logic::One, Logic::X, Logic::Z])
+}
+
+proptest! {
+    #[test]
+    fn de_morgan_holds_in_kleene_logic(a in arb_logic(), b in arb_logic()) {
+        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+    }
+
+    #[test]
+    fn and_or_commutative_and_idempotent(a in arb_logic(), b in arb_logic()) {
+        prop_assert_eq!(a.and(b), b.and(a));
+        prop_assert_eq!(a.or(b), b.or(a));
+        // Idempotence holds for definite values; X/Z normalize to X.
+        let aa = a.and(a);
+        if a.is_unknown() {
+            prop_assert_eq!(aa, Logic::X);
+        } else {
+            prop_assert_eq!(aa, a);
+        }
+    }
+
+    #[test]
+    fn double_negation_on_definite_values(a in arb_logic()) {
+        if let Some(v) = a.to_bool() {
+            prop_assert_eq!(a.not().not(), Logic::from_bool(v));
+        } else {
+            prop_assert_eq!(a.not().not(), Logic::X);
+        }
+    }
+
+    #[test]
+    fn xor_is_addition_mod_two_on_definite(a in any::<bool>(), b in any::<bool>()) {
+        let l = Logic::from_bool(a).xor(Logic::from_bool(b));
+        prop_assert_eq!(l, Logic::from_bool(a ^ b));
+    }
+
+    #[test]
+    fn bit_packing_round_trip(value in 0u64..1_000_000, extra_bits in 0usize..4) {
+        let n = (64 - value.leading_zeros() as usize).max(1) + extra_bits;
+        let bits = u64_to_bits(value, n);
+        prop_assert_eq!(bits_to_u64(&bits), Some(value));
+    }
+
+    #[test]
+    fn gate_eval_matches_bool_semantics(
+        op in prop::sample::select(vec![
+            GateOp::And, GateOp::Nand, GateOp::Or, GateOp::Nor, GateOp::Xor, GateOp::Xnor,
+        ]),
+        inputs in prop::collection::vec(any::<bool>(), 1..6),
+    ) {
+        let levels: Vec<Logic> = inputs.iter().map(|&b| Logic::from_bool(b)).collect();
+        let expect = match op {
+            GateOp::And => inputs.iter().all(|&b| b),
+            GateOp::Nand => !inputs.iter().all(|&b| b),
+            GateOp::Or => inputs.iter().any(|&b| b),
+            GateOp::Nor => !inputs.iter().any(|&b| b),
+            GateOp::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateOp::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(op.eval(&levels), Logic::from_bool(expect));
+    }
+
+    #[test]
+    fn ripple_counter_matches_reference_model(
+        edges in 1u64..200,
+        bits in 1usize..8,
+    ) {
+        // The clock must be slow enough that the worst-case ripple
+        // (bits · (DFF + INV) ≈ 2 ns for 8 bits) settles between edges —
+        // the same constraint a real ripple counter imposes on reads.
+        const CLK: u64 = 4_000_000;
+        let mut nl = Netlist::new();
+        let clk = nl.signal("clk");
+        let rst_n = nl.signal_with_init("rst_n", Logic::One);
+        nl.symmetric_clock(clk, CLK, CLK / 2);
+        let qs = ripple_counter(&mut nl, clk, rst_n, bits, "cnt");
+        let mut sim = Simulator::new(nl);
+        // Rising edges at CLK/2 + k·CLK; read 2.5 ns after the last edge,
+        // well past the ripple but before the next edge.
+        sim.run_until(CLK / 2 + (edges - 1) * CLK + 5 * CLK / 8);
+        let levels: Vec<Logic> = qs.iter().map(|&q| sim.value(q)).collect();
+        let got = bits_to_u64(&levels).expect("definite");
+        prop_assert_eq!(got, edges % (1 << bits), "after {} edges", edges);
+    }
+
+    #[test]
+    fn sync_counter_matches_ripple_counter(edges in 1u64..100, bits in 2usize..7) {
+        const CLK: u64 = 4_000_000;
+        let build_and_run = |sync: bool| {
+            let mut nl = Netlist::new();
+            let clk = nl.signal("clk");
+            let rst_n = nl.signal_with_init("rst_n", Logic::One);
+            nl.symmetric_clock(clk, CLK, CLK / 2);
+            let qs = if sync {
+                let en = nl.signal_with_init("en", Logic::One);
+                sync_counter(&mut nl, clk, rst_n, en, bits, "cnt")
+            } else {
+                ripple_counter(&mut nl, clk, rst_n, bits, "cnt")
+            };
+            let mut sim = Simulator::new(nl);
+            sim.run_until(CLK / 2 + (edges - 1) * CLK + 5 * CLK / 8);
+            bits_to_u64(&qs.iter().map(|&q| sim.value(q)).collect::<Vec<_>>())
+                .expect("definite")
+        };
+        prop_assert_eq!(build_and_run(true), build_and_run(false));
+    }
+
+    #[test]
+    fn glitches_narrower_than_the_gate_delay_are_swallowed(
+        pulse_fs in 1u64..900,
+        delay_fs in 1_000u64..10_000,
+    ) {
+        let mut nl = Netlist::new();
+        let a = nl.signal_with_init("a", Logic::Zero);
+        let y = nl.signal_with_init("y", Logic::One);
+        nl.gate(GateOp::Inv, &[a], y, delay_fs);
+        let mut sim = Simulator::new(nl);
+        sim.enable_trace();
+        let t0 = 50_000;
+        sim.schedule(a, Logic::One, t0);
+        sim.schedule(a, Logic::Zero, t0 + pulse_fs);
+        sim.run_until(t0 + 10 * delay_fs);
+        let y_changes = sim.changes().iter().filter(|c| c.signal == y).count();
+        prop_assert_eq!(y_changes, 0, "pulse {} fs vs delay {} fs", pulse_fs, delay_fs);
+        prop_assert_eq!(sim.value(y), Logic::One);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        seedlike in 0u64..1000,
+        period_a in 3_000u64..20_000,
+        period_b in 3_000u64..20_000,
+    ) {
+        let run = || {
+            let mut nl = Netlist::new();
+            let a = nl.signal("a");
+            let b = nl.signal("b");
+            let y = nl.signal("y");
+            nl.symmetric_clock(a, period_a, seedlike % period_a);
+            nl.symmetric_clock(b, period_b, 0);
+            nl.gate(GateOp::Xor, &[a, b], y, 500);
+            let mut sim = Simulator::new(nl);
+            sim.enable_trace();
+            sim.run_until(500_000);
+            sim.changes().to_vec()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clock_edge_count_matches_arithmetic(
+        period in 2_000u64..50_000,
+        start in 0u64..50_000,
+        horizon in 100_000u64..2_000_000,
+    ) {
+        let mut nl = Netlist::new();
+        let clk = nl.signal("clk");
+        nl.symmetric_clock(clk, period, start);
+        let mut sim = Simulator::new(nl);
+        sim.count_edges(clk);
+        sim.run_until(horizon);
+        let expect = if horizon >= start { (horizon - start) / period + 1 } else { 0 };
+        prop_assert_eq!(sim.edge_count(clk), expect);
+    }
+}
+
+#[test]
+fn edge_detector_counts_match_input_edges() {
+    // Deterministic complement to the proptest suite: N input rising
+    // edges produce exactly N pulses.
+    let mut nl = Netlist::new();
+    let a = nl.signal_with_init("a", Logic::Zero);
+    let pulse = dsim::builders::edge_detector(&mut nl, a, "ed");
+    let mut sim = Simulator::new(nl);
+    sim.count_edges(pulse);
+    let mut t = 100 * GATE_DELAY_FS;
+    for _ in 0..7 {
+        sim.schedule(a, Logic::One, t);
+        sim.schedule(a, Logic::Zero, t + 20 * GATE_DELAY_FS);
+        t += 40 * GATE_DELAY_FS;
+    }
+    sim.run_until(t + 100 * GATE_DELAY_FS);
+    assert_eq!(sim.edge_count(pulse), 7);
+}

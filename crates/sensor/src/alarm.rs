@@ -1,0 +1,237 @@
+//! Thermal alarm and watchdog — the *thermal management* side of the
+//! paper's motivation.
+//!
+//! The introduction cites products that incorporate "design techniques
+//! for thermal testability and thermal management" (diode sensors in the
+//! Pentium 4, the PowerPC Thermal Assist Unit). This module provides the
+//! digital decision layer those systems put behind the sensor: a
+//! threshold comparator with hysteresis ([`ThermalAlarm`]) and a
+//! periodic-sampling watchdog ([`ThermalWatchdog`]) that duty-cycles the
+//! oscillator between polls.
+
+use tsense_core::units::{Celsius, Seconds};
+
+use crate::error::Result;
+use crate::unit::SmartSensorUnit;
+
+/// What an alarm update observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlarmEvent {
+    /// Temperature crossed above the trip threshold.
+    Tripped,
+    /// Temperature fell back below `threshold − hysteresis`.
+    Cleared,
+    /// No state change.
+    None,
+}
+
+/// A trip/clear comparator with hysteresis.
+///
+/// ```
+/// use sensor::alarm::{AlarmEvent, ThermalAlarm};
+/// use tsense_core::units::Celsius;
+///
+/// let mut alarm = ThermalAlarm::new(Celsius::new(100.0), 5.0);
+/// assert_eq!(alarm.update(Celsius::new(101.0)), AlarmEvent::Tripped);
+/// assert_eq!(alarm.update(Celsius::new(97.0)), AlarmEvent::None); // hysteresis
+/// assert_eq!(alarm.update(Celsius::new(94.0)), AlarmEvent::Cleared);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalAlarm {
+    threshold: Celsius,
+    hysteresis: f64,
+    tripped: bool,
+}
+
+impl ThermalAlarm {
+    /// Creates an alarm tripping above `threshold` and clearing below
+    /// `threshold − hysteresis_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hysteresis is negative.
+    pub fn new(threshold: Celsius, hysteresis_k: f64) -> Self {
+        assert!(hysteresis_k >= 0.0, "hysteresis must be non-negative");
+        ThermalAlarm { threshold, hysteresis: hysteresis_k, tripped: false }
+    }
+
+    /// The trip threshold.
+    #[inline]
+    pub fn threshold(&self) -> Celsius {
+        self.threshold
+    }
+
+    /// `true` while the alarm is latched.
+    #[inline]
+    pub fn is_tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Feeds one temperature reading; returns the resulting event.
+    pub fn update(&mut self, reading: Celsius) -> AlarmEvent {
+        if !self.tripped && reading.get() > self.threshold.get() {
+            self.tripped = true;
+            AlarmEvent::Tripped
+        } else if self.tripped && reading.get() < self.threshold.get() - self.hysteresis {
+            self.tripped = false;
+            AlarmEvent::Cleared
+        } else {
+            AlarmEvent::None
+        }
+    }
+}
+
+/// One watchdog poll result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PollOutcome {
+    /// The calibrated reading.
+    pub temperature: Celsius,
+    /// The alarm transition this reading caused.
+    pub event: AlarmEvent,
+    /// Oscillator duty cycle so far (on-time / wall time).
+    pub duty: f64,
+}
+
+/// A periodic thermal watchdog: sample, compare, and keep the oscillator
+/// off between polls.
+#[derive(Debug, Clone)]
+pub struct ThermalWatchdog {
+    unit: SmartSensorUnit,
+    alarm: ThermalAlarm,
+    poll_interval: Seconds,
+    wall_time: Seconds,
+}
+
+impl ThermalWatchdog {
+    /// Creates a watchdog polling every `poll_interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is not positive.
+    pub fn new(unit: SmartSensorUnit, alarm: ThermalAlarm, poll_interval: Seconds) -> Self {
+        assert!(poll_interval.get() > 0.0, "poll interval must be positive");
+        ThermalWatchdog { unit, alarm, poll_interval, wall_time: Seconds::new(0.0) }
+    }
+
+    /// The wrapped sensor unit.
+    #[inline]
+    pub fn unit(&self) -> &SmartSensorUnit {
+        &self.unit
+    }
+
+    /// `true` while the alarm is latched.
+    #[inline]
+    pub fn is_tripped(&self) -> bool {
+        self.alarm.is_tripped()
+    }
+
+    /// Performs one poll at the given junction temperature: one
+    /// conversion (the oscillator runs only for that conversion) plus
+    /// the idle remainder of the interval.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement failures.
+    pub fn poll(&mut self, junction: Celsius) -> Result<PollOutcome> {
+        let m = self.unit.measure(junction)?;
+        self.wall_time = self.wall_time + self.poll_interval.max(m.conversion_time);
+        let event = self.alarm.update(m.temperature);
+        let duty = self.unit.total_osc_on_time().get() / self.wall_time.get();
+        Ok(PollOutcome { temperature: m.temperature, event, duty })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsense_core::gate::{Gate, GateKind};
+    use tsense_core::ring::RingOscillator;
+    use tsense_core::tech::Technology;
+
+    fn calibrated_unit() -> SmartSensorUnit {
+        let tech = Technology::um350();
+        let ring = RingOscillator::uniform(
+            Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(),
+            5,
+        )
+        .unwrap();
+        let mut u =
+            SmartSensorUnit::new(crate::unit::SensorConfig::new(ring, tech)).unwrap();
+        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).unwrap();
+        u
+    }
+
+    #[test]
+    fn alarm_trips_and_clears_with_hysteresis() {
+        let mut a = ThermalAlarm::new(Celsius::new(100.0), 5.0);
+        assert!(!a.is_tripped());
+        assert_eq!(a.update(Celsius::new(95.0)), AlarmEvent::None);
+        assert_eq!(a.update(Celsius::new(101.0)), AlarmEvent::Tripped);
+        assert!(a.is_tripped());
+        // Inside the hysteresis band: still tripped.
+        assert_eq!(a.update(Celsius::new(97.0)), AlarmEvent::None);
+        assert!(a.is_tripped());
+        // Below threshold − hysteresis: clears.
+        assert_eq!(a.update(Celsius::new(94.0)), AlarmEvent::Cleared);
+        assert!(!a.is_tripped());
+        // Repeated updates do not re-fire events.
+        assert_eq!(a.update(Celsius::new(94.0)), AlarmEvent::None);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_chatter_at_the_threshold() {
+        // A reading oscillating ±1 °C around the trip point must produce
+        // exactly one trip, not a trip/clear storm.
+        let mut a = ThermalAlarm::new(Celsius::new(100.0), 5.0);
+        let mut events = 0;
+        for i in 0..20 {
+            let t = 100.0 + if i % 2 == 0 { 1.0 } else { -1.0 };
+            if a.update(Celsius::new(t)) != AlarmEvent::None {
+                events += 1;
+            }
+        }
+        assert_eq!(events, 1, "one trip only");
+        assert!(a.is_tripped());
+    }
+
+    #[test]
+    fn watchdog_detects_an_overheating_excursion() {
+        let unit = calibrated_unit();
+        let alarm = ThermalAlarm::new(Celsius::new(110.0), 5.0);
+        let mut wd = ThermalWatchdog::new(unit, alarm, Seconds::new(1e-3));
+        // Junction climbs, overshoots, and cools back down.
+        let profile = [60.0, 90.0, 105.0, 115.0, 125.0, 112.0, 104.0, 95.0, 80.0];
+        let mut log = Vec::new();
+        for &t in &profile {
+            let p = wd.poll(Celsius::new(t)).unwrap();
+            log.push(p.event);
+        }
+        assert_eq!(log.iter().filter(|e| **e == AlarmEvent::Tripped).count(), 1);
+        assert_eq!(log.iter().filter(|e| **e == AlarmEvent::Cleared).count(), 1);
+        let trip_idx = log.iter().position(|e| *e == AlarmEvent::Tripped).unwrap();
+        let clear_idx = log.iter().position(|e| *e == AlarmEvent::Cleared).unwrap();
+        assert!(trip_idx < clear_idx);
+        assert!(!wd.is_tripped(), "cooled down at the end");
+    }
+
+    #[test]
+    fn watchdog_duty_cycle_stays_low() {
+        let unit = calibrated_unit();
+        let alarm = ThermalAlarm::new(Celsius::new(150.0), 5.0);
+        let mut wd = ThermalWatchdog::new(unit, alarm, Seconds::new(1e-3));
+        let mut last = None;
+        for _ in 0..10 {
+            last = Some(wd.poll(Celsius::new(85.0)).unwrap());
+        }
+        let duty = last.unwrap().duty;
+        // ~20 µs conversion per 1 ms interval ≈ 2 %.
+        assert!(duty < 0.05, "duty {duty}");
+        assert!(duty > 0.001, "oscillator does run: {duty}");
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn negative_hysteresis_rejected() {
+        let _ = ThermalAlarm::new(Celsius::new(100.0), -1.0);
+    }
+}

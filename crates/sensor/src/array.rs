@@ -1,0 +1,318 @@
+//! Multiplexed sensor arrays and die thermal mapping.
+//!
+//! The paper's last listed feature: *"multiplexing the readout from
+//! different ring-oscillators distributed on different points for
+//! thermal mapping"*. A [`SensorArray`] owns one [`SmartSensorUnit`] per
+//! die location and a channel multiplexer; [`SensorArray::scan`] walks
+//! the channels sequentially (one conversion at a time, as the single
+//! shared digitizer would) and produces a measured map that can be
+//! compared against a [`thermal::ThermalGrid`] ground truth.
+
+use thermal::ThermalGrid;
+use tsense_core::units::{Celsius, Seconds};
+
+use crate::error::{Result, SensorError};
+use crate::unit::SmartSensorUnit;
+
+/// One sensor site on the die.
+#[derive(Debug, Clone)]
+pub struct SensorSite {
+    /// Site name (e.g. `"core0"`).
+    pub name: String,
+    /// Die x coordinate, metres.
+    pub x_m: f64,
+    /// Die y coordinate, metres.
+    pub y_m: f64,
+    /// The sensor instance at this site.
+    pub unit: SmartSensorUnit,
+}
+
+/// One point of a measured thermal map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapPoint {
+    /// Site name.
+    pub name: String,
+    /// Die x coordinate, metres.
+    pub x_m: f64,
+    /// Die y coordinate, metres.
+    pub y_m: f64,
+    /// Ground-truth junction temperature at the site.
+    pub true_c: f64,
+    /// Sensor reading.
+    pub measured_c: f64,
+}
+
+impl MapPoint {
+    /// Signed measurement error, °C.
+    #[inline]
+    pub fn error_c(&self) -> f64 {
+        self.measured_c - self.true_c
+    }
+}
+
+/// A measured thermal map with its accuracy statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalMap {
+    points: Vec<MapPoint>,
+    /// Total scan time (sum of the per-site conversions).
+    pub scan_time: Seconds,
+}
+
+impl ThermalMap {
+    /// The measured points, in scan order.
+    #[inline]
+    pub fn points(&self) -> &[MapPoint] {
+        &self.points
+    }
+
+    /// Worst-case |error| over the map, °C.
+    pub fn max_abs_error_c(&self) -> f64 {
+        self.points.iter().fold(0.0_f64, |m, p| m.max(p.error_c().abs()))
+    }
+
+    /// Root-mean-square error over the map, °C.
+    pub fn rms_error_c(&self) -> f64 {
+        let n = self.points.len() as f64;
+        (self.points.iter().map(|p| p.error_c().powi(2)).sum::<f64>() / n).sqrt()
+    }
+
+    /// The hottest measured site.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty map (scans of empty arrays are rejected
+    /// earlier).
+    pub fn hottest(&self) -> &MapPoint {
+        self.points
+            .iter()
+            .max_by(|a, b| a.measured_c.partial_cmp(&b.measured_c).expect("finite"))
+            .expect("map is non-empty")
+    }
+}
+
+/// A multiplexed array of smart sensors.
+#[derive(Debug, Clone, Default)]
+pub struct SensorArray {
+    sites: Vec<SensorSite>,
+    selected: usize,
+}
+
+impl SensorArray {
+    /// An empty array.
+    pub fn new() -> Self {
+        SensorArray::default()
+    }
+
+    /// Adds a site (chainable).
+    #[must_use]
+    pub fn with_site(
+        mut self,
+        name: impl Into<String>,
+        x_m: f64,
+        y_m: f64,
+        unit: SmartSensorUnit,
+    ) -> Self {
+        self.sites.push(SensorSite { name: name.into(), x_m, y_m, unit });
+        self
+    }
+
+    /// Number of channels.
+    #[inline]
+    pub fn channel_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The sites.
+    #[inline]
+    pub fn sites(&self) -> &[SensorSite] {
+        &self.sites
+    }
+
+    /// Selects a multiplexer channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::BadChannel`] for an out-of-range channel.
+    pub fn select(&mut self, channel: usize) -> Result<()> {
+        if channel >= self.sites.len() {
+            return Err(SensorError::BadChannel {
+                channel,
+                available: self.sites.len(),
+            });
+        }
+        self.selected = channel;
+        Ok(())
+    }
+
+    /// The currently selected channel.
+    #[inline]
+    pub fn selected(&self) -> usize {
+        self.selected
+    }
+
+    /// Measures the selected channel against a junction-temperature
+    /// field given as a function of die position.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement failures; [`SensorError::BadChannel`] if
+    /// the array is empty.
+    pub fn measure_selected(&mut self, field: &dyn Fn(f64, f64) -> f64) -> Result<MapPoint> {
+        let site = self
+            .sites
+            .get_mut(self.selected)
+            .ok_or(SensorError::BadChannel { channel: 0, available: 0 })?;
+        let true_c = field(site.x_m, site.y_m);
+        let m = site.unit.measure(Celsius::new(true_c))?;
+        Ok(MapPoint {
+            name: site.name.clone(),
+            x_m: site.x_m,
+            y_m: site.y_m,
+            true_c,
+            measured_c: m.temperature.get(),
+        })
+    }
+
+    /// Scans every channel in order against a position-indexed field and
+    /// assembles the thermal map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-site failures; [`SensorError::BadChannel`] for an
+    /// empty array.
+    pub fn scan(&mut self, field: &dyn Fn(f64, f64) -> f64) -> Result<ThermalMap> {
+        if self.sites.is_empty() {
+            return Err(SensorError::BadChannel { channel: 0, available: 0 });
+        }
+        let mut points = Vec::with_capacity(self.sites.len());
+        let mut scan_time = Seconds::new(0.0);
+        for ch in 0..self.sites.len() {
+            self.select(ch)?;
+            let site = &mut self.sites[ch];
+            let true_c = field(site.x_m, site.y_m);
+            let m = site.unit.measure(Celsius::new(true_c))?;
+            scan_time = scan_time + m.conversion_time;
+            points.push(MapPoint {
+                name: site.name.clone(),
+                x_m: site.x_m,
+                y_m: site.y_m,
+                true_c,
+                measured_c: m.temperature.get(),
+            });
+        }
+        Ok(ThermalMap { points, scan_time })
+    }
+
+    /// Scans against a solved [`ThermalGrid`] as the ground-truth field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures and out-of-die site positions.
+    pub fn scan_grid(&mut self, grid: &ThermalGrid) -> Result<ThermalMap> {
+        // Validate site positions up front for a precise error.
+        for site in &self.sites {
+            grid.temp_at(site.x_m, site.y_m)?;
+        }
+        self.scan(&|x, y| grid.temp_at(x, y).expect("validated above"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::{SensorConfig, SmartSensorUnit};
+    use thermal::{DieSpec, Floorplan};
+    use tsense_core::gate::{Gate, GateKind};
+    use tsense_core::ring::RingOscillator;
+    use tsense_core::tech::Technology;
+
+    fn calibrated_unit() -> SmartSensorUnit {
+        let tech = Technology::um350();
+        let ring = RingOscillator::uniform(
+            Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(),
+            5,
+        )
+        .unwrap();
+        let mut u = SmartSensorUnit::new(SensorConfig::new(ring, tech)).unwrap();
+        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).unwrap();
+        u
+    }
+
+    fn grid_array() -> SensorArray {
+        let mut array = SensorArray::new();
+        for iy in 0..3 {
+            for ix in 0..3 {
+                let x = 0.0015 + 0.0035 * ix as f64;
+                let y = 0.0015 + 0.0035 * iy as f64;
+                array = array.with_site(format!("s{ix}{iy}"), x, y, calibrated_unit());
+            }
+        }
+        array
+    }
+
+    #[test]
+    fn channel_selection_bounds() {
+        let mut a = grid_array();
+        assert_eq!(a.channel_count(), 9);
+        a.select(8).unwrap();
+        assert_eq!(a.selected(), 8);
+        assert!(matches!(a.select(9), Err(SensorError::BadChannel { .. })));
+    }
+
+    #[test]
+    fn scan_of_uniform_field_is_flat_and_accurate() {
+        let mut a = grid_array();
+        let map = a.scan(&|_, _| 85.0).unwrap();
+        assert_eq!(map.points().len(), 9);
+        assert!(map.max_abs_error_c() < 2.0, "max err {}", map.max_abs_error_c());
+        assert!(map.rms_error_c() <= map.max_abs_error_c());
+        assert!(map.scan_time.get() > 0.0);
+    }
+
+    #[test]
+    fn map_recovers_a_hotspot_from_the_thermal_grid() {
+        let mut grid = ThermalGrid::new(DieSpec::default_1cm2(24, 24)).unwrap();
+        Floorplan::new()
+            .block("hot", 0.0005, 0.0005, 0.002, 0.002, 4.0)
+            .apply(&mut grid)
+            .unwrap();
+        grid.solve_steady(1e-8, 20_000).unwrap();
+
+        let mut a = grid_array();
+        let map = a.scan_grid(&grid).unwrap();
+        // The hottest measured site is the one nearest the hotspot.
+        assert_eq!(map.hottest().name, "s00", "{:?}", map.points());
+        // Readings track the truth.
+        assert!(map.max_abs_error_c() < 2.0, "max err {}", map.max_abs_error_c());
+        // And the map shows a real gradient.
+        let hottest = map.hottest().measured_c;
+        let coldest = map
+            .points()
+            .iter()
+            .map(|p| p.measured_c)
+            .fold(f64::INFINITY, f64::min);
+        assert!(hottest - coldest > 1.0, "gradient visible: {hottest} vs {coldest}");
+    }
+
+    #[test]
+    fn out_of_die_site_rejected_by_scan_grid() {
+        let grid = ThermalGrid::new(DieSpec::default_1cm2(8, 8)).unwrap();
+        let mut a = SensorArray::new().with_site("far", 0.5, 0.5, calibrated_unit());
+        assert!(matches!(a.scan_grid(&grid), Err(SensorError::Thermal(_))));
+    }
+
+    #[test]
+    fn empty_array_scan_rejected() {
+        let mut a = SensorArray::new();
+        assert!(matches!(a.scan(&|_, _| 25.0), Err(SensorError::BadChannel { .. })));
+    }
+
+    #[test]
+    fn measure_selected_reads_one_site() {
+        let mut a = grid_array();
+        a.select(4).unwrap();
+        let p = a.measure_selected(&|x, y| 25.0 + 1000.0 * (x + y)).unwrap();
+        assert_eq!(p.name, "s11");
+        assert!((p.error_c()).abs() < 2.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The measurement-control finite-state machine.
+//!
+//! The paper's smart unit can *disable the oscillator to minimize
+//! self-heating* and *produce an output signal to indicate that a
+//! measurement is in progress*. This FSM is that controller:
+//!
+//! ```text
+//!            start                settle elapsed           window done
+//!  Idle ───────────────▶ Settle ───────────────▶ Measure ─────────────▶ Done
+//!   ▲  osc off, !busy    osc on, busy            osc on, busy            │
+//!   └───────────────────────────── acknowledge ◀─────────────────────────┘
+//!                                                osc off, !busy, data valid
+//! ```
+//!
+//! The settle phase lets the freshly enabled ring reach steady
+//! oscillation before the counting window opens.
+
+use std::fmt;
+
+/// The controller states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Oscillator disabled, waiting for a start request.
+    Idle,
+    /// Oscillator enabled, waiting for start-up transients to die out.
+    /// Carries the remaining settle time in femtoseconds.
+    Settle {
+        /// Remaining settle time, femtoseconds.
+        remaining_fs: u64,
+    },
+    /// Counting window open. Carries the remaining window time.
+    Measure {
+        /// Remaining window time, femtoseconds.
+        remaining_fs: u64,
+    },
+    /// Measurement complete; data valid until acknowledged.
+    Done,
+}
+
+/// Observable outputs of the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outputs {
+    /// Ring-oscillator enable (the self-heating control).
+    pub osc_enable: bool,
+    /// Measurement-in-progress flag.
+    pub busy: bool,
+    /// Result-register valid flag.
+    pub data_valid: bool,
+}
+
+/// The measurement FSM with femtosecond timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureFsm {
+    state: State,
+    settle_fs: u64,
+    window_fs: u64,
+    /// Cumulative time the oscillator has spent enabled (self-heating
+    /// bookkeeping).
+    osc_on_time_fs: u64,
+    /// Completed measurements since construction.
+    completed: u64,
+}
+
+impl MeasureFsm {
+    /// Creates an idle controller with the given settle and window times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero (a measurement must take time).
+    pub fn new(settle_fs: u64, window_fs: u64) -> Self {
+        assert!(window_fs > 0, "measurement window must be positive");
+        MeasureFsm { state: State::Idle, settle_fs, window_fs, osc_on_time_fs: 0, completed: 0 }
+    }
+
+    /// Current state.
+    #[inline]
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Output signals for the current state.
+    pub fn outputs(&self) -> Outputs {
+        match self.state {
+            State::Idle => Outputs { osc_enable: false, busy: false, data_valid: false },
+            State::Settle { .. } | State::Measure { .. } => {
+                Outputs { osc_enable: true, busy: true, data_valid: false }
+            }
+            State::Done => Outputs { osc_enable: false, busy: false, data_valid: true },
+        }
+    }
+
+    /// Requests a measurement. Ignored unless idle (one conversion at a
+    /// time, like the real unit).
+    pub fn start(&mut self) {
+        if self.state == State::Idle {
+            self.state = if self.settle_fs == 0 {
+                State::Measure { remaining_fs: self.window_fs }
+            } else {
+                State::Settle { remaining_fs: self.settle_fs }
+            };
+        }
+    }
+
+    /// Acknowledges a completed measurement, returning to idle.
+    pub fn acknowledge(&mut self) {
+        if self.state == State::Done {
+            self.state = State::Idle;
+        }
+    }
+
+    /// Advances time by `dt_fs` femtoseconds, walking through phase
+    /// boundaries exactly (a long `dt` can cross several).
+    pub fn tick(&mut self, mut dt_fs: u64) {
+        while dt_fs > 0 {
+            match self.state {
+                State::Idle | State::Done => return,
+                State::Settle { remaining_fs } => {
+                    let used = remaining_fs.min(dt_fs);
+                    self.osc_on_time_fs += used;
+                    dt_fs -= used;
+                    self.state = if used == remaining_fs {
+                        State::Measure { remaining_fs: self.window_fs }
+                    } else {
+                        State::Settle { remaining_fs: remaining_fs - used }
+                    };
+                }
+                State::Measure { remaining_fs } => {
+                    let used = remaining_fs.min(dt_fs);
+                    self.osc_on_time_fs += used;
+                    dt_fs -= used;
+                    if used == remaining_fs {
+                        self.state = State::Done;
+                        self.completed += 1;
+                    } else {
+                        self.state = State::Measure { remaining_fs: remaining_fs - used };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total time the oscillator has been enabled, femtoseconds.
+    #[inline]
+    pub fn osc_on_time_fs(&self) -> u64 {
+        self.osc_on_time_fs
+    }
+
+    /// Number of completed measurements.
+    #[inline]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Duration of one full conversion (settle + window), femtoseconds.
+    #[inline]
+    pub fn conversion_time_fs(&self) -> u64 {
+        self.settle_fs + self.window_fs
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            State::Idle => write!(f, "idle"),
+            State::Settle { remaining_fs } => write!(f, "settling ({remaining_fs} fs left)"),
+            State::Measure { remaining_fs } => write!(f, "measuring ({remaining_fs} fs left)"),
+            State::Done => write!(f, "done"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_cycle_walkthrough() {
+        let mut fsm = MeasureFsm::new(1_000, 10_000);
+        assert_eq!(fsm.state(), State::Idle);
+        assert!(!fsm.outputs().osc_enable && !fsm.outputs().busy);
+
+        fsm.start();
+        assert!(matches!(fsm.state(), State::Settle { remaining_fs: 1_000 }));
+        let o = fsm.outputs();
+        assert!(o.osc_enable && o.busy && !o.data_valid);
+
+        fsm.tick(400);
+        assert!(matches!(fsm.state(), State::Settle { remaining_fs: 600 }));
+        fsm.tick(600);
+        assert!(matches!(fsm.state(), State::Measure { remaining_fs: 10_000 }));
+
+        fsm.tick(10_000);
+        assert_eq!(fsm.state(), State::Done);
+        let o = fsm.outputs();
+        assert!(!o.osc_enable && !o.busy && o.data_valid, "oscillator disabled when done");
+        assert_eq!(fsm.completed(), 1);
+
+        fsm.acknowledge();
+        assert_eq!(fsm.state(), State::Idle);
+    }
+
+    #[test]
+    fn one_tick_can_cross_phases() {
+        let mut fsm = MeasureFsm::new(1_000, 2_000);
+        fsm.start();
+        fsm.tick(5_000);
+        assert_eq!(fsm.state(), State::Done);
+        assert_eq!(fsm.osc_on_time_fs(), 3_000, "oscillator only ran settle+window");
+    }
+
+    #[test]
+    fn start_ignored_outside_idle() {
+        let mut fsm = MeasureFsm::new(100, 100);
+        fsm.start();
+        fsm.tick(50);
+        let before = fsm.state();
+        fsm.start();
+        assert_eq!(fsm.state(), before, "re-start mid-conversion ignored");
+        fsm.tick(1_000);
+        assert_eq!(fsm.state(), State::Done);
+        fsm.start();
+        assert_eq!(fsm.state(), State::Done, "start ignored until acknowledged");
+    }
+
+    #[test]
+    fn acknowledge_only_from_done() {
+        let mut fsm = MeasureFsm::new(100, 100);
+        fsm.acknowledge();
+        assert_eq!(fsm.state(), State::Idle);
+        fsm.start();
+        fsm.acknowledge();
+        assert!(matches!(fsm.state(), State::Settle { .. }), "ack mid-conversion ignored");
+    }
+
+    #[test]
+    fn zero_settle_goes_straight_to_measure() {
+        let mut fsm = MeasureFsm::new(0, 500);
+        fsm.start();
+        assert!(matches!(fsm.state(), State::Measure { .. }));
+    }
+
+    #[test]
+    fn idle_time_does_not_heat_the_oscillator() {
+        let mut fsm = MeasureFsm::new(100, 100);
+        fsm.tick(1_000_000);
+        assert_eq!(fsm.osc_on_time_fs(), 0);
+        fsm.start();
+        fsm.tick(1_000_000);
+        assert_eq!(fsm.osc_on_time_fs(), 200, "only the conversion itself");
+        assert_eq!(fsm.conversion_time_fs(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = MeasureFsm::new(100, 0);
+    }
+
+    #[test]
+    fn state_display() {
+        assert_eq!(format!("{}", State::Idle), "idle");
+        assert!(format!("{}", State::Settle { remaining_fs: 5 }).contains("5 fs"));
+    }
+}

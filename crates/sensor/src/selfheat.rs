@@ -1,0 +1,222 @@
+//! Self-heating of the sensing ring — why the smart unit can disable it.
+//!
+//! An oscillating ring dissipates `P = C_sw·V²·f` locally. Through the
+//! sensor's local thermal resistance that power raises the very junction
+//! temperature being measured. The paper lists *"the possibility to
+//! disable the oscillator in order to minimize self-heating"* as a key
+//! feature; this module quantifies the benefit: continuous operation
+//! settles at the full `P·R_th` error, duty-cycled operation at roughly
+//! `duty · P·R_th`.
+
+use tsense_core::ring::RingOscillator;
+use tsense_core::tech::Technology;
+use tsense_core::units::{Celsius, Seconds};
+
+use crate::error::Result;
+
+/// First-order (single-pole) local thermal model of the sensor site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelfHeatModel {
+    /// Sensor-local junction-to-die thermal resistance, K/W.
+    pub r_th: f64,
+    /// Local thermal time constant, seconds.
+    pub tau: f64,
+    rise_k: f64,
+}
+
+impl SelfHeatModel {
+    /// A representative local model: a small sensor macro sees a few
+    /// hundred K/W to the surrounding die with a ~100 µs time constant.
+    pub fn new(r_th: f64, tau: f64) -> Self {
+        assert!(r_th > 0.0 && tau > 0.0, "thermal parameters must be positive");
+        SelfHeatModel { r_th, tau, rise_k: 0.0 }
+    }
+
+    /// Default parameters (300 K/W, 100 µs).
+    pub fn default_macro() -> Self {
+        SelfHeatModel::new(300.0, 100e-6)
+    }
+
+    /// Current self-heating rise above the die temperature, K.
+    #[inline]
+    pub fn rise_k(&self) -> f64 {
+        self.rise_k
+    }
+
+    /// Advances the state by `dt` seconds with `power_w` dissipated
+    /// (0 while the oscillator is disabled): exact exponential update of
+    /// the single pole.
+    pub fn step(&mut self, power_w: f64, dt: Seconds) {
+        let target = power_w * self.r_th;
+        let alpha = (-dt.get() / self.tau).exp();
+        self.rise_k = target + (self.rise_k - target) * alpha;
+    }
+
+    /// Steady-state rise for continuous dissipation, K.
+    pub fn steady_rise_k(&self, power_w: f64) -> f64 {
+        power_w * self.r_th
+    }
+}
+
+/// Outcome of the continuous-versus-duty-cycled comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelfHeatStudy {
+    /// Ring power at the study temperature, W.
+    pub ring_power_w: f64,
+    /// Measurement error from continuous oscillation, K.
+    pub continuous_error_k: f64,
+    /// Measurement error with the FSM's duty cycling, K.
+    pub duty_cycled_error_k: f64,
+    /// The duty cycle used (conversion time / repeat interval).
+    pub duty: f64,
+}
+
+/// Quantifies the benefit of the disable feature at `ambient` junction
+/// temperature: the oscillator either free-runs or is enabled only for
+/// `conversion_time` out of every `repeat_interval`.
+///
+/// The duty-cycled error is evaluated by stepping the thermal pole
+/// through enough on/off cycles to reach periodic steady state and
+/// reading the rise at the *end of a conversion* (when the count is
+/// latched — the worst case within the cycle).
+///
+/// # Errors
+///
+/// Propagates ring-model failures.
+///
+/// # Panics
+///
+/// Panics if `repeat_interval < conversion_time`.
+pub fn study(
+    ring: &RingOscillator,
+    tech: &Technology,
+    model: SelfHeatModel,
+    ambient: Celsius,
+    conversion_time: Seconds,
+    repeat_interval: Seconds,
+) -> Result<SelfHeatStudy> {
+    assert!(
+        repeat_interval.get() >= conversion_time.get(),
+        "repeat interval must cover the conversion"
+    );
+    let power = ring.dynamic_power(tech, ambient)?.get();
+    let continuous = model.steady_rise_k(power);
+
+    // Periodic steady state: simulate on/off cycles until the end-of-
+    // conversion rise converges.
+    let mut m = model;
+    let on = conversion_time;
+    let off = Seconds::new(repeat_interval.get() - conversion_time.get());
+    let mut last_peak = f64::INFINITY;
+    let mut peak = 0.0;
+    for _cycle in 0..10_000 {
+        m.step(power, on);
+        peak = m.rise_k();
+        m.step(0.0, off);
+        if (peak - last_peak).abs() < 1e-9 {
+            break;
+        }
+        last_peak = peak;
+    }
+    Ok(SelfHeatStudy {
+        ring_power_w: power,
+        continuous_error_k: continuous,
+        duty_cycled_error_k: peak,
+        duty: conversion_time.get() / repeat_interval.get(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsense_core::gate::{Gate, GateKind};
+
+    fn fixture() -> (Technology, RingOscillator) {
+        let tech = Technology::um350();
+        let ring = RingOscillator::uniform(
+            Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(),
+            5,
+        )
+        .unwrap();
+        (tech, ring)
+    }
+
+    #[test]
+    fn exponential_step_reaches_steady_state() {
+        let mut m = SelfHeatModel::new(100.0, 1e-3);
+        m.step(0.01, Seconds::new(10e-3)); // 10 τ
+        assert!((m.rise_k() - 1.0).abs() < 1e-4, "P·Rth = 1 K, got {}", m.rise_k());
+        m.step(0.0, Seconds::new(10e-3));
+        assert!(m.rise_k() < 1e-4, "cools back down");
+    }
+
+    #[test]
+    fn single_tau_step_is_63_percent() {
+        let mut m = SelfHeatModel::new(100.0, 1e-3);
+        m.step(0.01, Seconds::new(1e-3));
+        let expect = 1.0 - (-1.0_f64).exp();
+        assert!((m.rise_k() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duty_cycling_reduces_the_error() {
+        let (tech, ring) = fixture();
+        // 2 µs conversion every 1 ms → 0.2 % duty.
+        let s = study(
+            &ring,
+            &tech,
+            SelfHeatModel::default_macro(),
+            Celsius::new(85.0),
+            Seconds::from_micros(2.0),
+            Seconds::new(1e-3),
+        )
+        .unwrap();
+        assert!(s.ring_power_w > 0.0);
+        assert!(s.continuous_error_k > 0.1, "continuous rise {}", s.continuous_error_k);
+        assert!(
+            s.duty_cycled_error_k < 0.2 * s.continuous_error_k,
+            "duty-cycled {} vs continuous {}",
+            s.duty_cycled_error_k,
+            s.continuous_error_k
+        );
+        assert!((s.duty - 0.002).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_duty_equals_continuous() {
+        let (tech, ring) = fixture();
+        let t = Seconds::from_micros(10.0);
+        let s = study(
+            &ring,
+            &tech,
+            SelfHeatModel::default_macro(),
+            Celsius::new(85.0),
+            t,
+            t,
+        )
+        .unwrap();
+        // On 100 % of the time: the periodic peak approaches the
+        // continuous steady state (within the convergence of the loop).
+        assert!(s.duty_cycled_error_k > 0.9 * s.continuous_error_k);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeat interval")]
+    fn repeat_shorter_than_conversion_rejected() {
+        let (tech, ring) = fixture();
+        let _ = study(
+            &ring,
+            &tech,
+            SelfHeatModel::default_macro(),
+            Celsius::new(25.0),
+            Seconds::from_micros(10.0),
+            Seconds::from_micros(5.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_model_rejected() {
+        let _ = SelfHeatModel::new(0.0, 1.0);
+    }
+}

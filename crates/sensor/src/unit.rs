@@ -1,0 +1,358 @@
+//! The smart temperature-sensor unit (paper Section 3).
+//!
+//! A [`SmartSensorUnit`] bundles the sensing ring-oscillator model, the
+//! measurement FSM (enable/disable + busy flag), the counting digitizer,
+//! and a code-domain two-point calibration into the component a SoC
+//! integrator would instantiate: request a measurement, wait for
+//! `busy` to drop, read the temperature word.
+//!
+//! ```
+//! use sensor::unit::{SensorConfig, SmartSensorUnit};
+//! use tsense_core::gate::{Gate, GateKind};
+//! use tsense_core::ring::RingOscillator;
+//! use tsense_core::tech::Technology;
+//! use tsense_core::units::Celsius;
+//!
+//! let tech = Technology::um350();
+//! let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1.0e-6, 2.0)?, 5)?;
+//! let mut unit = SmartSensorUnit::new(SensorConfig::new(ring, tech))?;
+//! unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))?;
+//! let m = unit.measure(Celsius::new(85.0))?;
+//! assert!((m.temperature.get() - 85.0).abs() < 2.0);
+//! # Ok::<(), sensor::SensorError>(())
+//! ```
+
+use tsense_core::ring::RingOscillator;
+use tsense_core::sensitivity::DigitizerSpec;
+use tsense_core::tech::Technology;
+use tsense_core::units::{Celsius, Hertz, Seconds, Watts};
+
+use crate::digitizer::BehavioralDigitizer;
+use crate::error::{Result, SensorError};
+use crate::fsm::MeasureFsm;
+
+/// Static configuration of a smart unit.
+#[derive(Debug, Clone)]
+pub struct SensorConfig {
+    /// The sensing element.
+    pub ring: RingOscillator,
+    /// The process it is fabricated in.
+    pub tech: Technology,
+    /// On-chip reference clock for the digitizer.
+    pub ref_clock: Hertz,
+    /// Measurement window length in ring cycles.
+    pub window_cycles: u32,
+    /// Settling time before the window opens, in ring cycles.
+    pub settle_cycles: u32,
+}
+
+impl SensorConfig {
+    /// Defaults matched to a 0.35 µm SoC: 100 MHz reference, 2¹⁶-cycle
+    /// window (≈ 20 µs conversion, ≈ 0.13 °C/LSB), 64-cycle settle.
+    pub fn new(ring: RingOscillator, tech: Technology) -> Self {
+        SensorConfig {
+            ring,
+            tech,
+            ref_clock: Hertz::from_mega(100.0),
+            window_cycles: 1 << 16,
+            settle_cycles: 64,
+        }
+    }
+
+    /// Overrides the reference clock.
+    #[must_use]
+    pub fn with_ref_clock(mut self, f: Hertz) -> Self {
+        self.ref_clock = f;
+        self
+    }
+
+    /// Overrides the window length (ring cycles).
+    #[must_use]
+    pub fn with_window(mut self, cycles: u32) -> Self {
+        self.window_cycles = cycles;
+        self
+    }
+}
+
+/// Linear code-to-temperature calibration (`T = offset + gain·code`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodeCalibration {
+    /// °C per LSB.
+    pub gain: f64,
+    /// Temperature at code zero (extrapolated), °C.
+    pub offset: f64,
+}
+
+impl CodeCalibration {
+    /// Fits from two `(code, temperature)` anchors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidConfig`] when the codes coincide
+    /// (no sensitivity between the anchors).
+    pub fn fit(code1: u64, t1: Celsius, code2: u64, t2: Celsius) -> Result<Self> {
+        if code1 == code2 {
+            return Err(SensorError::InvalidConfig {
+                reason: format!("calibration anchors share the code {code1}"),
+            });
+        }
+        let gain = (t2.get() - t1.get()) / (code2 as f64 - code1 as f64);
+        Ok(CodeCalibration { gain, offset: t1.get() - gain * code1 as f64 })
+    }
+
+    /// Temperature represented by a code.
+    pub fn decode(&self, code: u64) -> Celsius {
+        Celsius::new(self.offset + self.gain * code as f64)
+    }
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Raw digitizer code.
+    pub code: u64,
+    /// Calibrated temperature.
+    pub temperature: Celsius,
+    /// Total conversion time (settle + window) at this temperature.
+    pub conversion_time: Seconds,
+    /// The underlying ring period.
+    pub ring_period: Seconds,
+    /// Ring power while it was enabled.
+    pub ring_power: Watts,
+}
+
+/// The smart sensor unit: ring + FSM + digitizer + calibration.
+#[derive(Debug, Clone)]
+pub struct SmartSensorUnit {
+    config: SensorConfig,
+    digitizer: BehavioralDigitizer,
+    calibration: Option<CodeCalibration>,
+    measurements: u64,
+    total_osc_on: Seconds,
+}
+
+impl SmartSensorUnit {
+    /// Builds a unit and validates its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidConfig`] for a zero window and
+    /// propagates digitizer-spec validation.
+    pub fn new(config: SensorConfig) -> Result<Self> {
+        let spec = DigitizerSpec::new(config.ref_clock, config.window_cycles)
+            .map_err(SensorError::Model)?;
+        config.tech.validate().map_err(SensorError::Model)?;
+        Ok(SmartSensorUnit {
+            digitizer: BehavioralDigitizer::new(spec),
+            config,
+            calibration: None,
+            measurements: 0,
+            total_osc_on: Seconds::new(0.0),
+        })
+    }
+
+    /// The configuration.
+    #[inline]
+    pub fn config(&self) -> &SensorConfig {
+        &self.config
+    }
+
+    /// The active calibration, if any.
+    #[inline]
+    pub fn calibration(&self) -> Option<CodeCalibration> {
+        self.calibration
+    }
+
+    /// Raw digitizer code at a junction temperature (no calibration
+    /// needed — this is what the tester reads during calibration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates ring-model failures.
+    pub fn raw_code(&self, junction: Celsius) -> Result<u64> {
+        let period = self.config.ring.period(&self.config.tech, junction)?;
+        Ok(self.digitizer.convert(period))
+    }
+
+    /// Two-point calibration: simulate tester measurements at two known
+    /// temperatures and fit the code-domain line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ring-model failures and anchor degeneracy.
+    pub fn calibrate_two_point(&mut self, t1: Celsius, t2: Celsius) -> Result<()> {
+        let c1 = self.raw_code(t1)?;
+        let c2 = self.raw_code(t2)?;
+        self.calibration = Some(CodeCalibration::fit(c1, t1, c2, t2)?);
+        Ok(())
+    }
+
+    /// Installs an externally computed calibration (e.g. shared across
+    /// a wafer from a golden die).
+    pub fn set_calibration(&mut self, cal: CodeCalibration) {
+        self.calibration = Some(cal);
+    }
+
+    /// Runs one complete measurement at the given junction temperature:
+    /// the FSM walks Idle → Settle → Measure → Done, the oscillator is
+    /// enabled only for the conversion, and the calibrated temperature
+    /// is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::NotReady`] when no calibration is
+    /// installed, or propagates model failures.
+    pub fn measure(&mut self, junction: Celsius) -> Result<Measurement> {
+        let cal = self.calibration.ok_or(SensorError::NotReady)?;
+        let period = self.config.ring.period(&self.config.tech, junction)?;
+        let period_fs = (period.get() * 1e15).round().max(1.0) as u64;
+        let settle_fs = self.config.settle_cycles as u64 * period_fs;
+        let window_fs = self.config.window_cycles as u64 * period_fs;
+
+        let mut fsm = MeasureFsm::new(settle_fs, window_fs);
+        fsm.start();
+        debug_assert!(fsm.outputs().busy);
+        fsm.tick(settle_fs + window_fs);
+        debug_assert!(fsm.outputs().data_valid && !fsm.outputs().osc_enable);
+
+        let code = self.digitizer.convert(period);
+        let conversion_time = Seconds::new((settle_fs + window_fs) as f64 * 1e-15);
+        self.measurements += 1;
+        self.total_osc_on = self.total_osc_on + conversion_time;
+        Ok(Measurement {
+            code,
+            temperature: cal.decode(code),
+            conversion_time,
+            ring_period: period,
+            ring_power: self.config.ring.dynamic_power(&self.config.tech, junction)?,
+        })
+    }
+
+    /// Completed measurements since construction.
+    #[inline]
+    pub fn measurement_count(&self) -> u64 {
+        self.measurements
+    }
+
+    /// Cumulative oscillator-on time — what the disable feature
+    /// minimizes.
+    #[inline]
+    pub fn total_osc_on_time(&self) -> Seconds {
+        self.total_osc_on
+    }
+
+    /// Temperature resolution per LSB around the given operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sensitivity-evaluation failures.
+    pub fn resolution_at(&self, junction: Celsius) -> Result<f64> {
+        let sens = tsense_core::sensitivity::Sensitivity::at(
+            &self.config.ring,
+            &self.config.tech,
+            junction,
+            0.1,
+        )
+        .map_err(SensorError::Model)?;
+        Ok(self.digitizer.spec().resolution_celsius(&sens))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsense_core::gate::{Gate, GateKind};
+    use tsense_core::units::TempRange;
+
+    fn unit() -> SmartSensorUnit {
+        let tech = Technology::um350();
+        let ring = RingOscillator::uniform(
+            Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(),
+            5,
+        )
+        .unwrap();
+        SmartSensorUnit::new(SensorConfig::new(ring, tech)).unwrap()
+    }
+
+    #[test]
+    fn uncalibrated_unit_refuses_to_measure() {
+        let mut u = unit();
+        assert!(matches!(u.measure(Celsius::new(25.0)), Err(SensorError::NotReady)));
+    }
+
+    #[test]
+    fn calibrated_unit_accurate_over_the_paper_range() {
+        let mut u = unit();
+        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).unwrap();
+        let mut worst = 0.0_f64;
+        for t in TempRange::paper().samples(21) {
+            let m = u.measure(t).unwrap();
+            worst = worst.max((m.temperature.get() - t.get()).abs());
+        }
+        // Residual = transfer non-linearity + quantization; both small.
+        assert!(worst < 2.0, "worst error {worst} °C");
+        assert_eq!(u.measurement_count(), 21);
+    }
+
+    #[test]
+    fn codes_increase_with_temperature() {
+        let u = unit();
+        let c_cold = u.raw_code(Celsius::new(-50.0)).unwrap();
+        let c_hot = u.raw_code(Celsius::new(150.0)).unwrap();
+        assert!(c_hot > c_cold, "codes: {c_cold} → {c_hot}");
+    }
+
+    #[test]
+    fn measurement_reports_plausible_metadata() {
+        let mut u = unit();
+        u.calibrate_two_point(Celsius::new(0.0), Celsius::new(100.0)).unwrap();
+        let m = u.measure(Celsius::new(50.0)).unwrap();
+        assert!(m.ring_period.as_picos() > 100.0 && m.ring_period.as_picos() < 1000.0);
+        // 2¹⁶ + 64 ring cycles at a few hundred ps each → tens of µs.
+        assert!(m.conversion_time.get() > 1e-6 && m.conversion_time.get() < 1e-4);
+        assert!(m.ring_power.get() > 0.0);
+        assert!(m.code > 0);
+    }
+
+    #[test]
+    fn osc_on_time_accumulates_only_during_conversions() {
+        let mut u = unit();
+        u.calibrate_two_point(Celsius::new(0.0), Celsius::new(100.0)).unwrap();
+        assert_eq!(u.total_osc_on_time().get(), 0.0);
+        let m = u.measure(Celsius::new(40.0)).unwrap();
+        let after_one = u.total_osc_on_time().get();
+        assert!((after_one - m.conversion_time.get()).abs() < 1e-18);
+        u.measure(Celsius::new(40.0)).unwrap();
+        assert!((u.total_osc_on_time().get() - 2.0 * after_one).abs() < 1e-15);
+    }
+
+    #[test]
+    fn resolution_matches_design_equation() {
+        let u = unit();
+        let r = u.resolution_at(Celsius::new(50.0)).unwrap();
+        // 100 MHz reference, 4096-cycle window, ~0.3 ps/K slope
+        // → sub-0.1 °C per LSB.
+        assert!(r > 0.001 && r < 0.5, "resolution {r} °C/LSB");
+    }
+
+    #[test]
+    fn code_calibration_algebra() {
+        let cal = CodeCalibration::fit(100, Celsius::new(0.0), 300, Celsius::new(100.0)).unwrap();
+        assert!((cal.decode(200).get() - 50.0).abs() < 1e-9);
+        assert!((cal.gain - 0.5).abs() < 1e-12);
+        assert!(CodeCalibration::fit(5, Celsius::new(0.0), 5, Celsius::new(10.0)).is_err());
+    }
+
+    #[test]
+    fn external_calibration_installable() {
+        let mut u = unit();
+        let golden = {
+            let mut g = unit();
+            g.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).unwrap();
+            g.calibration().unwrap()
+        };
+        u.set_calibration(golden);
+        let m = u.measure(Celsius::new(25.0)).unwrap();
+        assert!((m.temperature.get() - 25.0).abs() < 2.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the smart unit's control and conversion
+//! invariants.
+
+use proptest::prelude::*;
+
+use sensor::fsm::{MeasureFsm, State};
+use sensor::unit::{CodeCalibration, SensorConfig, SmartSensorUnit};
+use tsense_core::gate::{Gate, GateKind};
+use tsense_core::ring::RingOscillator;
+use tsense_core::tech::Technology;
+use tsense_core::units::{Celsius, Hertz};
+
+fn unit_with(ratio: f64, window_pow: u32) -> SmartSensorUnit {
+    let tech = Technology::um350();
+    let ring = RingOscillator::uniform(
+        Gate::with_ratio(GateKind::Inv, 1e-6, ratio).expect("gate"),
+        5,
+    )
+    .expect("ring");
+    let config = SensorConfig::new(ring, tech)
+        .with_window(1 << window_pow)
+        .with_ref_clock(Hertz::from_mega(100.0));
+    SmartSensorUnit::new(config).expect("unit")
+}
+
+proptest! {
+    #[test]
+    fn fsm_reaches_done_and_accounts_osc_time(
+        settle in 0u64..100_000,
+        window in 1u64..1_000_000,
+        chunk in 1u64..50_000,
+    ) {
+        let mut fsm = MeasureFsm::new(settle, window);
+        fsm.start();
+        let total = settle + window;
+        let mut elapsed = 0;
+        while elapsed < total {
+            fsm.tick(chunk);
+            elapsed += chunk;
+            prop_assert!(fsm.osc_on_time_fs() <= total, "never over-counts");
+        }
+        prop_assert_eq!(fsm.state(), State::Done);
+        prop_assert_eq!(fsm.osc_on_time_fs(), total);
+        prop_assert_eq!(fsm.completed(), 1);
+        // Extra time in Done adds nothing.
+        fsm.tick(10 * total.max(1));
+        prop_assert_eq!(fsm.osc_on_time_fs(), total);
+    }
+
+    #[test]
+    fn fsm_outputs_consistent_in_every_state(
+        settle in 0u64..10_000,
+        window in 1u64..10_000,
+        ticks in prop::collection::vec(1u64..5_000, 0..10),
+    ) {
+        let mut fsm = MeasureFsm::new(settle, window);
+        fsm.start();
+        for t in ticks {
+            fsm.tick(t);
+            let o = fsm.outputs();
+            match fsm.state() {
+                State::Idle => prop_assert!(!o.osc_enable && !o.busy && !o.data_valid),
+                State::Settle { .. } | State::Measure { .. } => {
+                    prop_assert!(o.osc_enable && o.busy && !o.data_valid)
+                }
+                State::Done => prop_assert!(!o.osc_enable && !o.busy && o.data_valid),
+            }
+        }
+    }
+
+    #[test]
+    fn codes_monotone_in_temperature(
+        ratio in 1.5f64..3.0,
+        window_pow in 12u32..17,
+    ) {
+        let unit = unit_with(ratio, window_pow);
+        let mut last = 0u64;
+        for i in 0..9 {
+            let t = Celsius::new(-50.0 + 25.0 * i as f64);
+            let code = unit.raw_code(t).expect("code");
+            prop_assert!(code >= last, "codes non-decreasing: {code} after {last}");
+            last = code;
+        }
+    }
+
+    #[test]
+    fn calibrated_error_bounded_by_nl_plus_quantization(
+        ratio in 1.7f64..2.5,
+        t in -50.0f64..150.0,
+    ) {
+        let mut unit = unit_with(ratio, 16);
+        unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).expect("cal");
+        let resolution = unit.resolution_at(Celsius::new(50.0)).expect("res");
+        let m = unit.measure(Celsius::new(t)).expect("measure");
+        let err = (m.temperature.get() - t).abs();
+        // Near-optimal ratios keep NL ≤ ~0.5 °C; quantization adds ≤ 2 LSB
+        // (one at each anchor plus the sample itself).
+        prop_assert!(
+            err < 0.6 + 3.0 * resolution,
+            "error {err} vs resolution {resolution} at ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn code_calibration_inverts_its_anchors(
+        c1 in 0u64..10_000,
+        dc in 1u64..10_000,
+        t1 in -60.0f64..100.0,
+        dt in 1.0f64..200.0,
+    ) {
+        let c2 = c1 + dc;
+        let (a, b) = (Celsius::new(t1), Celsius::new(t1 + dt));
+        let cal = CodeCalibration::fit(c1, a, c2, b).expect("fit");
+        prop_assert!((cal.decode(c1).get() - a.get()).abs() < 1e-9);
+        prop_assert!((cal.decode(c2).get() - b.get()).abs() < 1e-9);
+        // Midpoint code decodes between the anchors.
+        let mid = cal.decode(c1 + dc / 2).get();
+        prop_assert!(mid >= a.get() - 1e-9 && mid <= b.get() + 1e-9);
+    }
+
+    #[test]
+    fn conversion_time_scales_with_window(
+        window_pow in 8u32..16,
+        t in -40.0f64..140.0,
+    ) {
+        let mut small = unit_with(2.0, window_pow);
+        let mut large = unit_with(2.0, window_pow + 1);
+        small.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).expect("cal");
+        large.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).expect("cal");
+        let ms = small.measure(Celsius::new(t)).expect("m");
+        let ml = large.measure(Celsius::new(t)).expect("m");
+        let ratio = ml.conversion_time.get() / ms.conversion_time.get();
+        // Window doubles; the fixed 64-cycle settle prefix pulls the
+        // ratio below 2 — down to (64 + 512)/(64 + 256) = 1.8 at the
+        // smallest window.
+        prop_assert!(ratio > 1.75 && ratio < 2.05, "ratio {ratio}");
+    }
+}

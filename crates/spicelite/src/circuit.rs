@@ -1,0 +1,421 @@
+//! Circuit container: named nodes, devices, analysis conditions.
+//!
+//! A [`Circuit`] is built programmatically (see the `stdcell` crate for
+//! generated standard-cell subcircuits) or parsed from a SPICE-subset
+//! netlist (the [`crate::netlist`] module). Node `0` is ground.
+//!
+//! ```
+//! use spicelite::circuit::Circuit;
+//! use spicelite::devices::Stimulus;
+//!
+//! let mut ckt = Circuit::new();
+//! let vdd = ckt.node("vdd");
+//! let out = ckt.node("out");
+//! ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3))?;
+//! ckt.add_resistor("R1", vdd, out, 10e3)?;
+//! ckt.add_resistor("R2", out, Circuit::GROUND, 10e3)?;
+//! let op = spicelite::dc::solve_dc(&ckt, &Default::default())?;
+//! assert!((op.voltage(&ckt, "out")? - 1.65).abs() < 1e-6);
+//! # Ok::<(), spicelite::SimError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::devices::{Device, MosModel, Stimulus};
+use crate::error::{Result, SimError};
+
+/// Identifier of a circuit node. `NodeId::GROUND` is the reference node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground (reference) node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index (0 = ground; unknowns start at 1).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// `true` for the reference node.
+    #[inline]
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A circuit under construction or analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    name_to_id: HashMap<String, NodeId>,
+    devices: Vec<Device>,
+    temperature_c: f64,
+    initial_conditions: Vec<(NodeId, f64)>,
+}
+
+impl Circuit {
+    /// The ground node, for call-site readability.
+    pub const GROUND: NodeId = NodeId::GROUND;
+
+    /// Creates an empty circuit at 27 °C with only the ground node.
+    pub fn new() -> Self {
+        let mut name_to_id = HashMap::new();
+        name_to_id.insert("0".to_string(), NodeId::GROUND);
+        name_to_id.insert("gnd".to_string(), NodeId::GROUND);
+        Circuit {
+            node_names: vec!["0".to_string()],
+            name_to_id,
+            devices: Vec::new(),
+            temperature_c: 27.0,
+            initial_conditions: Vec::new(),
+        }
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// Names are case-sensitive except the aliases `0`/`gnd` for ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.name_to_id.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.name_to_id.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] when no node has that name.
+    pub fn find_node(&self, name: &str) -> Result<NodeId> {
+        self.name_to_id
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::UnknownNode { name: name.to_string() })
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// Total number of nodes including ground.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of unknown node voltages (excludes ground).
+    #[inline]
+    pub fn unknown_node_count(&self) -> usize {
+        self.node_names.len() - 1
+    }
+
+    /// The devices, in insertion order.
+    #[inline]
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Number of voltage-source branches (extra MNA unknowns).
+    pub fn branch_count(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| matches!(d, Device::Vsource { .. }))
+            .count()
+    }
+
+    /// Size of the MNA unknown vector (nodes + branches).
+    pub fn unknown_count(&self) -> usize {
+        self.unknown_node_count() + self.branch_count()
+    }
+
+    /// Simulation junction temperature in °C (default 27 °C).
+    #[inline]
+    pub fn temperature(&self) -> f64 {
+        self.temperature_c
+    }
+
+    /// Sets the simulation junction temperature in °C.
+    pub fn set_temperature(&mut self, celsius: f64) {
+        self.temperature_c = celsius;
+    }
+
+    /// Declares a transient initial condition `V(node) = volts`.
+    pub fn set_initial_condition(&mut self, node: NodeId, volts: f64) {
+        self.initial_conditions.push((node, volts));
+    }
+
+    /// The declared initial conditions.
+    #[inline]
+    pub fn initial_conditions(&self) -> &[(NodeId, f64)] {
+        &self.initial_conditions
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidDevice`] for a non-positive resistance.
+    pub fn add_resistor(
+        &mut self,
+        name: impl Into<String>,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> Result<()> {
+        let name = name.into();
+        if !(ohms > 0.0) {
+            return Err(SimError::InvalidDevice {
+                device: name,
+                reason: format!("resistance {ohms} must be positive"),
+            });
+        }
+        self.devices.push(Device::Resistor { name, a, b, ohms });
+        Ok(())
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidDevice`] for a non-positive capacitance.
+    pub fn add_capacitor(
+        &mut self,
+        name: impl Into<String>,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    ) -> Result<()> {
+        let name = name.into();
+        if !(farads > 0.0) {
+            return Err(SimError::InvalidDevice {
+                device: name,
+                reason: format!("capacitance {farads} must be positive"),
+            });
+        }
+        self.devices.push(Device::Capacitor { name, a, b, farads });
+        Ok(())
+    }
+
+    /// Adds an independent voltage source (`pos` − `neg` = stimulus).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible but returns `Result` for uniformity with the
+    /// other constructors; reserved for waveform validation.
+    pub fn add_vsource(
+        &mut self,
+        name: impl Into<String>,
+        pos: NodeId,
+        neg: NodeId,
+        stimulus: Stimulus,
+    ) -> Result<()> {
+        self.devices.push(Device::Vsource { name: name.into(), pos, neg, stimulus });
+        Ok(())
+    }
+
+    /// Adds an independent DC current source pushing `amps` from
+    /// `from` into `to`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; `Result` for uniformity with the other
+    /// constructors.
+    pub fn add_isource(
+        &mut self,
+        name: impl Into<String>,
+        from: NodeId,
+        to: NodeId,
+        amps: f64,
+    ) -> Result<()> {
+        self.devices.push(Device::Isource { name: name.into(), from, to, amps });
+        Ok(())
+    }
+
+    /// Replaces the DC value of a named voltage source (used by DC
+    /// sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidDevice`] when no voltage source of
+    /// that name exists.
+    pub fn set_vsource_value(&mut self, name: &str, volts: f64) -> Result<()> {
+        for dev in &mut self.devices {
+            if let Device::Vsource { name: n, stimulus, .. } = dev {
+                if n == name {
+                    *stimulus = Stimulus::Dc(volts);
+                    return Ok(());
+                }
+            }
+        }
+        Err(SimError::InvalidDevice {
+            device: name.to_string(),
+            reason: "no voltage source with this name".to_string(),
+        })
+    }
+
+    /// Adds a bare Level-1 MOSFET (no parasitic capacitances).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidDevice`] for non-positive geometry.
+    #[allow(clippy::too_many_arguments)] // d/g/s + model + geometry are irreducible
+    pub fn add_mosfet(
+        &mut self,
+        name: impl Into<String>,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        model: MosModel,
+        w: f64,
+        l: f64,
+    ) -> Result<()> {
+        let name = name.into();
+        if !(w > 0.0 && l > 0.0) {
+            return Err(SimError::InvalidDevice {
+                device: name,
+                reason: format!("geometry W={w} L={l} must be positive"),
+            });
+        }
+        self.devices.push(Device::Mosfet { name, d, g, s, model, w, l });
+        Ok(())
+    }
+
+    /// Adds a MOSFET together with its linear parasitic capacitances
+    /// (Cgs, Cgd from the model's gate capacitance split evenly; Cdb from
+    /// the junction capacitance, to ground). This is the constructor the
+    /// standard-cell layer uses: delays come out wrong without parasitics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Circuit::add_mosfet`] /
+    /// [`Circuit::add_capacitor`].
+    #[allow(clippy::too_many_arguments)] // d/g/s + model + geometry are irreducible
+    pub fn add_mosfet_with_caps(
+        &mut self,
+        name: impl Into<String>,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        model: MosModel,
+        w: f64,
+        l: f64,
+    ) -> Result<()> {
+        let name = name.into();
+        let cg_half = 0.5 * model.cg_per_width * w;
+        let cj = model.cj_per_width * w;
+        self.add_mosfet(name.clone(), d, g, s, model, w, l)?;
+        self.add_capacitor(format!("{name}.cgs"), g, s, cg_half)?;
+        self.add_capacitor(format!("{name}.cgd"), g, d, cg_half)?;
+        self.add_capacitor(format!("{name}.cdb"), d, NodeId::GROUND, cj)?;
+        Ok(())
+    }
+
+    /// All node names except ground, in index order (the row order of the
+    /// MNA unknowns).
+    pub fn unknown_node_names(&self) -> Vec<&str> {
+        self.node_names[1..].iter().map(|s| s.as_str()).collect()
+    }
+}
+
+impl Default for Circuit {
+    fn default() -> Self {
+        Circuit::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_preregistered() {
+        let ckt = Circuit::new();
+        assert_eq!(ckt.find_node("0").unwrap(), NodeId::GROUND);
+        assert_eq!(ckt.find_node("gnd").unwrap(), NodeId::GROUND);
+        assert!(NodeId::GROUND.is_ground());
+        assert_eq!(ckt.node_count(), 1);
+        assert_eq!(ckt.unknown_node_count(), 0);
+    }
+
+    #[test]
+    fn node_creation_is_idempotent() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let a2 = ckt.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(ckt.node_count(), 2);
+        assert_eq!(ckt.node_name(a), "a");
+        assert!(!a.is_ground());
+        assert!(ckt.find_node("missing").is_err());
+    }
+
+    #[test]
+    fn device_counting() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(1.0)).unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-12).unwrap();
+        assert_eq!(ckt.devices().len(), 3);
+        assert_eq!(ckt.branch_count(), 1);
+        assert_eq!(ckt.unknown_count(), 3); // 2 nodes + 1 branch
+        assert_eq!(ckt.unknown_node_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn invalid_passives_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        assert!(ckt.add_resistor("R", a, Circuit::GROUND, 0.0).is_err());
+        assert!(ckt.add_resistor("R", a, Circuit::GROUND, -5.0).is_err());
+        assert!(ckt.add_capacitor("C", a, Circuit::GROUND, 0.0).is_err());
+    }
+
+    #[test]
+    fn mosfet_with_caps_adds_three_capacitors() {
+        let mut ckt = Circuit::new();
+        let (nmos, _) = crate::devices::models_um350();
+        let d = ckt.node("d");
+        let g = ckt.node("g");
+        ckt.add_mosfet_with_caps("M1", d, g, Circuit::GROUND, nmos, 1e-6, 0.35e-6)
+            .unwrap();
+        assert_eq!(ckt.devices().len(), 4);
+        let caps = ckt
+            .devices()
+            .iter()
+            .filter(|d| matches!(d, Device::Capacitor { .. }))
+            .count();
+        assert_eq!(caps, 3);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        let mut ckt = Circuit::new();
+        let (nmos, _) = crate::devices::models_um350();
+        let d = ckt.node("d");
+        assert!(ckt
+            .add_mosfet("M1", d, d, Circuit::GROUND, nmos, 0.0, 0.35e-6)
+            .is_err());
+    }
+
+    #[test]
+    fn temperature_and_ics() {
+        let mut ckt = Circuit::new();
+        assert_eq!(ckt.temperature(), 27.0);
+        ckt.set_temperature(125.0);
+        assert_eq!(ckt.temperature(), 125.0);
+        let a = ckt.node("a");
+        ckt.set_initial_condition(a, 3.3);
+        assert_eq!(ckt.initial_conditions(), &[(a, 3.3)]);
+    }
+}

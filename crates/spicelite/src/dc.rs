@@ -1,0 +1,423 @@
+//! DC operating-point analysis: Newton–Raphson with gmin and source
+//! stepping.
+//!
+//! The solver relinearizes the circuit around the current guess
+//! ([`crate::mna::assemble`]), solves the linear system, damps the update
+//! and iterates to convergence. When plain Newton fails (strongly
+//! nonlinear bias points), two homotopies are tried in order: *gmin
+//! stepping* (start with large leak conductances and relax them) and
+//! *source stepping* (ramp the supplies from zero).
+
+use crate::circuit::{Circuit, NodeId};
+use crate::error::{Result, SimError};
+use crate::linalg::vec_norm_inf;
+use crate::mna::{assemble, node_voltage, CapCompanion};
+
+/// Tolerances and iteration limits of the Newton solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverOptions {
+    /// Maximum Newton iterations per attempt.
+    pub max_iterations: usize,
+    /// Absolute voltage tolerance, volts.
+    pub vtol: f64,
+    /// Relative tolerance against the solution magnitude.
+    pub reltol: f64,
+    /// Maximum per-unknown update per iteration (damping), volts.
+    pub max_step: f64,
+    /// Baseline leak conductance, siemens.
+    pub gmin: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            max_iterations: 200,
+            vtol: 1e-6,
+            reltol: 1e-4,
+            max_step: 0.5,
+            gmin: 1e-12,
+        }
+    }
+}
+
+/// A solved operating point (node voltages + source branch currents).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    x: Vec<f64>,
+    n_nodes: usize,
+}
+
+impl DcSolution {
+    pub(crate) fn new(x: Vec<f64>, n_nodes: usize) -> Self {
+        DcSolution { x, n_nodes }
+    }
+
+    /// The raw unknown vector (node voltages then branch currents).
+    #[inline]
+    pub fn unknowns(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Voltage of a node by id.
+    #[inline]
+    pub fn node_voltage(&self, node: NodeId) -> f64 {
+        node_voltage(&self.x, node)
+    }
+
+    /// Voltage of a node by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] for an unknown name.
+    pub fn voltage(&self, circuit: &Circuit, name: &str) -> Result<f64> {
+        Ok(self.node_voltage(circuit.find_node(name)?))
+    }
+
+    /// Branch current of the `k`-th voltage source (device order).
+    /// Positive current flows *into* the source's positive terminal
+    /// (SPICE convention: a sourcing supply reads negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn source_current(&self, k: usize) -> f64 {
+        self.x[self.n_nodes + k]
+    }
+}
+
+/// One full Newton solve (shared by DC and each transient step).
+///
+/// `time`/`cap_companions` select the analysis context; see
+/// [`crate::mna::assemble`].
+pub(crate) fn newton_solve(
+    circuit: &Circuit,
+    x0: &[f64],
+    time: Option<f64>,
+    cap_companions: Option<&[CapCompanion]>,
+    gmin: f64,
+    source_scale: f64,
+    opts: &SolverOptions,
+) -> Result<Vec<f64>> {
+    let mut x = x0.to_vec();
+    if x.is_empty() {
+        return Ok(x);
+    }
+    for _iter in 0..opts.max_iterations {
+        let mut sys = assemble(circuit, &x, time, cap_companions, gmin, source_scale);
+        let mut rhs = sys.z.clone();
+        sys.a.solve_in_place(&mut rhs)?;
+        // Damped update.
+        let mut max_delta = 0.0_f64;
+        for (xi, xn) in x.iter_mut().zip(&rhs) {
+            let mut delta = xn - *xi;
+            if delta > opts.max_step {
+                delta = opts.max_step;
+            } else if delta < -opts.max_step {
+                delta = -opts.max_step;
+            }
+            max_delta = max_delta.max(delta.abs());
+            *xi += delta;
+        }
+        if max_delta < opts.vtol + opts.reltol * vec_norm_inf(&x) {
+            return Ok(x);
+        }
+    }
+    Err(SimError::NoConvergence {
+        analysis: if time.is_some() { "transient step" } else { "DC" },
+        iterations: opts.max_iterations,
+    })
+}
+
+/// Solves the DC operating point of `circuit`.
+///
+/// Initial conditions declared on the circuit seed the Newton guess (they
+/// are not enforced as constraints in DC; use them to pick a stable
+/// equilibrium of multistable circuits).
+///
+/// # Errors
+///
+/// Returns [`SimError::NoConvergence`] when Newton, gmin stepping and
+/// source stepping all fail, or [`SimError::SingularMatrix`] for a
+/// structurally defective circuit.
+pub fn solve_dc(circuit: &Circuit, opts: &SolverOptions) -> Result<DcSolution> {
+    let n = circuit.unknown_count();
+    let n_nodes = circuit.unknown_node_count();
+    let mut x0 = vec![0.0; n];
+    for &(node, v) in circuit.initial_conditions() {
+        if !node.is_ground() {
+            x0[node.index() - 1] = v;
+        }
+    }
+
+    // Plain Newton.
+    if let Ok(x) = newton_solve(circuit, &x0, None, None, opts.gmin, 1.0, opts) {
+        return Ok(DcSolution::new(x, n_nodes));
+    }
+
+    // Gmin stepping: solve with a large leak, relax geometrically.
+    let mut x = x0.clone();
+    let mut gmin = 1e-2;
+    let mut ok = true;
+    while gmin >= opts.gmin {
+        match newton_solve(circuit, &x, None, None, gmin, 1.0, opts) {
+            Ok(sol) => x = sol,
+            Err(_) => {
+                ok = false;
+                break;
+            }
+        }
+        gmin /= 100.0;
+    }
+    if ok {
+        if let Ok(sol) = newton_solve(circuit, &x, None, None, opts.gmin, 1.0, opts) {
+            return Ok(DcSolution::new(sol, n_nodes));
+        }
+    }
+
+    // Source stepping: ramp the supplies from 10 % to 100 %.
+    let mut x = x0;
+    for step in 1..=10 {
+        let scale = step as f64 / 10.0;
+        x = newton_solve(circuit, &x, None, None, opts.gmin, scale, opts).map_err(|_| {
+            SimError::NoConvergence { analysis: "DC", iterations: opts.max_iterations }
+        })?;
+    }
+    Ok(DcSolution::new(x, n_nodes))
+}
+
+/// Sweeps the DC value of the named voltage source over `values`,
+/// solving the operating point at each step (warm-started from the
+/// previous solution, as SPICE's `.dc` does).
+///
+/// Returns `(value, solution)` pairs in sweep order.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidDevice`] when the source does not exist,
+/// or propagates solver failures at any sweep point.
+pub fn dc_sweep(
+    circuit: &Circuit,
+    source: &str,
+    values: &[f64],
+    opts: &SolverOptions,
+) -> Result<Vec<(f64, DcSolution)>> {
+    let mut work = circuit.clone();
+    let n_nodes = work.unknown_node_count();
+    let mut out = Vec::with_capacity(values.len());
+    let mut seed: Option<Vec<f64>> = None;
+    for &v in values {
+        work.set_vsource_value(source, v)?;
+        let x0 = match &seed {
+            Some(x) => x.clone(),
+            None => {
+                let mut x0 = vec![0.0; work.unknown_count()];
+                for &(node, ic) in work.initial_conditions() {
+                    if !node.is_ground() {
+                        x0[node.index() - 1] = ic;
+                    }
+                }
+                x0
+            }
+        };
+        // Warm-started Newton; fall back to the full homotopy ladder.
+        let x = match newton_solve(&work, &x0, None, None, opts.gmin, 1.0, opts) {
+            Ok(x) => x,
+            Err(_) => solve_dc(&work, opts)?.unknowns().to_vec(),
+        };
+        seed = Some(x.clone());
+        out.push((v, DcSolution::new(x, n_nodes)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::devices::{models_um350, Stimulus};
+
+    #[test]
+    fn resistor_divider() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(3.0)).unwrap();
+        ckt.add_resistor("R1", a, b, 2e3).unwrap();
+        ckt.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+        let op = solve_dc(&ckt, &SolverOptions::default()).unwrap();
+        assert!((op.voltage(&ckt, "b").unwrap() - 1.0).abs() < 1e-5);
+        assert!((op.source_current(0) + 1e-3).abs() < 1e-7);
+    }
+
+    #[test]
+    fn nmos_diode_connected_bias() {
+        // Diode-connected NMOS pulled up through a resistor: the gate
+        // voltage settles a bit above Vth.
+        let (nmos, _) = models_um350();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let d = ckt.node("d");
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).unwrap();
+        ckt.add_resistor("R1", vdd, d, 100e3).unwrap();
+        ckt.add_mosfet("M1", d, d, Circuit::GROUND, nmos.clone(), 2e-6, 0.35e-6)
+            .unwrap();
+        let op = solve_dc(&ckt, &SolverOptions::default()).unwrap();
+        let vd = op.voltage(&ckt, "d").unwrap();
+        assert!(vd > nmos.vto && vd < 1.5, "v(d) = {vd}");
+        // KCL check: resistor current equals device current.
+        let ir = (3.3 - vd) / 100e3;
+        assert!(ir > 1e-6, "device is conducting");
+    }
+
+    #[test]
+    fn cmos_inverter_transfer_extremes() {
+        let (nmos, pmos) = models_um350();
+        let build = |vin: f64| {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let inn = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).unwrap();
+            ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(vin)).unwrap();
+            ckt.add_mosfet("MN", out, inn, Circuit::GROUND, nmos.clone(), 1e-6, 0.35e-6)
+                .unwrap();
+            ckt.add_mosfet("MP", out, inn, vdd, pmos.clone(), 2e-6, 0.35e-6).unwrap();
+            ckt
+        };
+        let lo = build(0.0);
+        let op = solve_dc(&lo, &SolverOptions::default()).unwrap();
+        assert!((op.voltage(&lo, "out").unwrap() - 3.3).abs() < 0.01, "input low → output high");
+        let hi = build(3.3);
+        let op = solve_dc(&hi, &SolverOptions::default()).unwrap();
+        assert!(op.voltage(&hi, "out").unwrap() < 0.01, "input high → output low");
+    }
+
+    #[test]
+    fn cmos_inverter_switching_threshold_moves_with_ratio() {
+        // A stronger PMOS pushes the switching threshold upward.
+        let (nmos, pmos) = models_um350();
+        let vm = |wp: f64| {
+            // Bisection on the input for v(out) = vdd/2.
+            let eval = |vin: f64| {
+                let mut ckt = Circuit::new();
+                let vdd = ckt.node("vdd");
+                let inn = ckt.node("in");
+                let out = ckt.node("out");
+                ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).unwrap();
+                ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(vin)).unwrap();
+                ckt.add_mosfet("MN", out, inn, Circuit::GROUND, nmos.clone(), 1e-6, 0.35e-6)
+                    .unwrap();
+                ckt.add_mosfet("MP", out, inn, vdd, pmos.clone(), wp, 0.35e-6).unwrap();
+                let op = solve_dc(&ckt, &SolverOptions::default()).unwrap();
+                op.voltage(&ckt, "out").unwrap()
+            };
+            let (mut lo, mut hi) = (0.5, 2.8);
+            for _ in 0..40 {
+                let mid = 0.5 * (lo + hi);
+                if eval(mid) > 1.65 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        };
+        let vm_weak = vm(1e-6);
+        let vm_strong = vm(4e-6);
+        assert!(vm_strong > vm_weak + 0.1, "weak {vm_weak} strong {vm_strong}");
+        // Both thresholds are inside the rails, away from them.
+        assert!(vm_weak > 0.8 && vm_strong < 2.5);
+    }
+
+    #[test]
+    fn initial_conditions_select_latch_state() {
+        // Two cross-coupled inverters (a latch). Seeding picks the state.
+        let (nmos, pmos) = models_um350();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let q = ckt.node("q");
+        let qb = ckt.node("qb");
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).unwrap();
+        for (name, inn, out) in [("i1", q, qb), ("i2", qb, q)] {
+            ckt.add_mosfet(format!("MN{name}"), out, inn, Circuit::GROUND, nmos.clone(), 1e-6, 0.35e-6)
+                .unwrap();
+            ckt.add_mosfet(format!("MP{name}"), out, inn, vdd, pmos.clone(), 2e-6, 0.35e-6)
+                .unwrap();
+        }
+        ckt.set_initial_condition(q, 3.3);
+        ckt.set_initial_condition(qb, 0.0);
+        let op = solve_dc(&ckt, &SolverOptions::default()).unwrap();
+        let (vq, vqb) = (op.voltage(&ckt, "q").unwrap(), op.voltage(&ckt, "qb").unwrap());
+        assert!(vq > 3.0 && vqb < 0.3, "latched high/low: q={vq} qb={vqb}");
+    }
+
+    #[test]
+    fn floating_node_is_singular_without_gmin() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(1.0)).unwrap();
+        // b floats entirely — only the solver's gmin ties it down.
+        let _ = b;
+        // With gmin the solve still succeeds (gmin ties b to ground).
+        let op = solve_dc(&ckt, &SolverOptions::default()).unwrap();
+        assert!((op.voltage(&ckt, "a").unwrap() - 1.0).abs() < 1e-6);
+        assert!(op.voltage(&ckt, "b").unwrap().abs() < 1e-6);
+    }
+
+    #[test]
+    fn dc_sweep_traces_the_inverter_vtc() {
+        let (nmos, pmos) = models_um350();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inn = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).unwrap();
+        ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(0.0)).unwrap();
+        ckt.add_mosfet("MN", out, inn, Circuit::GROUND, nmos, 1e-6, 0.35e-6).unwrap();
+        ckt.add_mosfet("MP", out, inn, vdd, pmos, 2e-6, 0.35e-6).unwrap();
+        let values: Vec<f64> = (0..=33).map(|i| 3.3 * i as f64 / 33.0).collect();
+        let sweep = dc_sweep(&ckt, "VIN", &values, &SolverOptions::default()).unwrap();
+        assert_eq!(sweep.len(), 34);
+        // Monotone falling VTC from rail to rail.
+        let outs: Vec<f64> =
+            sweep.iter().map(|(_, s)| s.voltage(&ckt, "out").unwrap()).collect();
+        assert!(outs[0] > 3.29);
+        assert!(outs[33] < 0.01);
+        for w in outs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "monotone VTC");
+        }
+        // The original circuit is untouched by the sweep.
+        let op = solve_dc(&ckt, &SolverOptions::default()).unwrap();
+        assert!((op.voltage(&ckt, "out").unwrap() - 3.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn dc_sweep_unknown_source_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(1.0)).unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        assert!(matches!(
+            dc_sweep(&ckt, "nope", &[1.0], &SolverOptions::default()),
+            Err(SimError::InvalidDevice { .. })
+        ));
+    }
+
+    #[test]
+    fn isource_into_resistor_sets_ohms_law_voltage() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_isource("I1", Circuit::GROUND, a, 1e-3).unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 2.2e3).unwrap();
+        let op = solve_dc(&ckt, &SolverOptions::default()).unwrap();
+        assert!((op.voltage(&ckt, "a").unwrap() - 2.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_circuit_solves_trivially() {
+        let ckt = Circuit::new();
+        let op = solve_dc(&ckt, &SolverOptions::default()).unwrap();
+        assert!(op.unknowns().is_empty());
+    }
+}

@@ -1,0 +1,465 @@
+//! Circuit elements: passives, sources and the Level-1 MOSFET.
+//!
+//! The MOSFET is a Shichman–Hodges (SPICE Level-1) model extended with
+//! the two first-order temperature dependences the sensor physics needs:
+//! a linear threshold temperature coefficient and a power-law mobility
+//! roll-off. That matches the analytical layer in `tsense-core`, so the
+//! transistor-level and closed-form paths describe the same silicon.
+
+use crate::circuit::NodeId;
+
+/// Reference temperature for nominal device parameters, in kelvin (27 °C).
+pub const T_REF_K: f64 = 300.15;
+
+/// Time-dependent value of an independent voltage source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stimulus {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE-style pulse train.
+    Pulse {
+        /// Initial value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Delay before the first edge, seconds.
+        delay: f64,
+        /// Rise time, seconds.
+        rise: f64,
+        /// Fall time, seconds.
+        fall: f64,
+        /// Pulse width (time at `v2`), seconds.
+        width: f64,
+        /// Repetition period, seconds (0 ⇒ single pulse).
+        period: f64,
+    },
+    /// Piece-wise linear waveform as `(time, value)` breakpoints sorted by
+    /// time. Held at the first/last value outside the breakpoint span.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Stimulus {
+    /// Source value at simulation time `t` (seconds).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            Stimulus::Dc(v) => *v,
+            Stimulus::Pulse { v1, v2, delay, rise, fall, width, period } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let mut tau = t - delay;
+                if *period > 0.0 {
+                    tau %= period;
+                }
+                if tau < *rise {
+                    if *rise == 0.0 {
+                        return *v2;
+                    }
+                    v1 + (v2 - v1) * tau / rise
+                } else if tau < rise + width {
+                    *v2
+                } else if tau < rise + width + fall {
+                    if *fall == 0.0 {
+                        return *v1;
+                    }
+                    v2 + (v1 - v2) * (tau - rise - width) / fall
+                } else {
+                    *v1
+                }
+            }
+            Stimulus::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                for w in points.windows(2) {
+                    let ((t0, v0), (t1, v1)) = (w[0], w[1]);
+                    if t >= t0 && t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+
+    /// `true` when the source never changes (a DC bias).
+    pub fn is_static(&self) -> bool {
+        match self {
+            Stimulus::Dc(_) => true,
+            Stimulus::Pulse { .. } => false,
+            Stimulus::Pwl(points) => points.len() <= 1,
+        }
+    }
+}
+
+/// MOS device polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosPolarity {
+    /// N-channel.
+    Nmos,
+    /// P-channel.
+    Pmos,
+}
+
+/// Level-1 MOSFET model card with temperature extensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosModel {
+    /// Model name as referenced by instances.
+    pub name: String,
+    /// Polarity.
+    pub polarity: MosPolarity,
+    /// Threshold-voltage magnitude at `T_REF_K`, volts.
+    pub vto: f64,
+    /// Transconductance parameter `KP = µ·Cox` at `T_REF_K`, A/V².
+    pub kp: f64,
+    /// Channel-length modulation, 1/V.
+    pub lambda: f64,
+    /// Threshold temperature coefficient `κ` (magnitude decreases by `κ`
+    /// per kelvin), V/K.
+    pub vto_tempco: f64,
+    /// Mobility power-law exponent `m` in `µ ∝ T^(−m)`.
+    pub mobility_exp: f64,
+    /// Gate-source/gate-drain overlap + channel capacitance per metre of
+    /// width, F/m.
+    pub cg_per_width: f64,
+    /// Drain/source junction capacitance per metre of width, F/m.
+    pub cj_per_width: f64,
+}
+
+impl MosModel {
+    /// Threshold magnitude at junction temperature `t_celsius`.
+    #[inline]
+    pub fn vth(&self, t_celsius: f64) -> f64 {
+        self.vto - self.vto_tempco * (t_celsius + 273.15 - T_REF_K)
+    }
+
+    /// Transconductance parameter at junction temperature `t_celsius`.
+    #[inline]
+    pub fn kp_at(&self, t_celsius: f64) -> f64 {
+        self.kp * ((t_celsius + 273.15) / T_REF_K).powf(-self.mobility_exp)
+    }
+}
+
+/// Small-signal linearization of a MOSFET at an operating point, ready
+/// for MNA stamping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosOperatingPoint {
+    /// Drain current flowing drain → source (signed, positive into the
+    /// drain terminal for NMOS conduction).
+    pub ids: f64,
+    /// Transconductance ∂I/∂Vgs.
+    pub gm: f64,
+    /// Output conductance ∂I/∂Vds.
+    pub gds: f64,
+    /// `true` when drain and source were swapped internally (Vds < 0).
+    pub reversed: bool,
+}
+
+/// Conduction region of a MOSFET operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosRegion {
+    /// Off: `Vgs ≤ Vth`.
+    Cutoff,
+    /// Triode/linear: `Vds < Vgs − Vth`.
+    Triode,
+    /// Saturation: `Vds ≥ Vgs − Vth`.
+    Saturation,
+}
+
+/// Evaluates the Level-1 equations for an *N-type* device given terminal
+/// voltages (the PMOS case is handled by the caller via sign reflection).
+/// `beta = KP(T)·W/L`, `vth = Vth(T)`. Returns the linearization and the
+/// region.
+pub fn eval_nmos(
+    vd: f64,
+    vg: f64,
+    vs: f64,
+    beta: f64,
+    vth: f64,
+    lambda: f64,
+) -> (MosOperatingPoint, MosRegion) {
+    // The Level-1 device is symmetric: conduct from the higher of (d, s).
+    let reversed = vd < vs;
+    let (vd_e, vs_e) = if reversed { (vs, vd) } else { (vd, vs) };
+    let vgs = vg - vs_e;
+    let vds = vd_e - vs_e;
+    let vov = vgs - vth;
+
+    let (mut ids, mut gm, mut gds, region);
+    if vov <= 0.0 {
+        ids = 0.0;
+        gm = 0.0;
+        gds = 0.0;
+        region = MosRegion::Cutoff;
+    } else if vds < vov {
+        let clm = 1.0 + lambda * vds;
+        ids = beta * (vov * vds - 0.5 * vds * vds) * clm;
+        gm = beta * vds * clm;
+        gds = beta * (vov - vds) * clm + beta * (vov * vds - 0.5 * vds * vds) * lambda;
+        region = MosRegion::Triode;
+    } else {
+        let clm = 1.0 + lambda * vds;
+        ids = 0.5 * beta * vov * vov * clm;
+        gm = beta * vov * clm;
+        gds = 0.5 * beta * vov * vov * lambda;
+        region = MosRegion::Saturation;
+    }
+    // Numerical hygiene: never let the linearization go exactly flat.
+    const G_FLOOR: f64 = 1e-12;
+    if gds < G_FLOOR {
+        gds = G_FLOOR;
+    }
+    if gm < 0.0 {
+        gm = 0.0;
+    }
+    if reversed {
+        ids = -ids;
+    }
+    (MosOperatingPoint { ids, gm, gds, reversed }, region)
+}
+
+/// A circuit element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Device {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms (positive).
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads (positive).
+        farads: f64,
+    },
+    /// Independent voltage source from `pos` to `neg`; adds one MNA
+    /// branch unknown (its current).
+    Vsource {
+        /// Instance name.
+        name: String,
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Waveform.
+        stimulus: Stimulus,
+    },
+    /// Independent DC current source pushing `amps` from `from` into
+    /// `to` (through the source externally, i.e. raising `to`'s
+    /// potential for positive `amps`).
+    Isource {
+        /// Instance name.
+        name: String,
+        /// Terminal the current leaves.
+        from: NodeId,
+        /// Terminal the current enters.
+        to: NodeId,
+        /// Source current, amperes.
+        amps: f64,
+    },
+    /// Level-1 MOSFET (3-terminal; bulk tied to the source rail
+    /// implicitly — see crate docs for the modelling note).
+    Mosfet {
+        /// Instance name.
+        name: String,
+        /// Drain terminal.
+        d: NodeId,
+        /// Gate terminal.
+        g: NodeId,
+        /// Source terminal.
+        s: NodeId,
+        /// Model card.
+        model: MosModel,
+        /// Channel width, metres.
+        w: f64,
+        /// Channel length, metres.
+        l: f64,
+    },
+}
+
+impl Device {
+    /// Instance name of the device.
+    pub fn name(&self) -> &str {
+        match self {
+            Device::Resistor { name, .. }
+            | Device::Capacitor { name, .. }
+            | Device::Vsource { name, .. }
+            | Device::Isource { name, .. }
+            | Device::Mosfet { name, .. } => name,
+        }
+    }
+}
+
+/// Representative Level-1 model cards for the 0.35 µm-class process used
+/// by the paper, aligned with `tsense-core`'s analytical parameters.
+pub fn models_um350() -> (MosModel, MosModel) {
+    let nmos = MosModel {
+        name: "nmos350".to_string(),
+        polarity: MosPolarity::Nmos,
+        vto: 0.55,
+        kp: 170e-6,
+        lambda: 0.06,
+        // Chosen so the Level-1 square law (alpha = 2) reproduces the
+        // alpha-power model's d(ln I)/dT: kappa_L1 = alpha*kappa/2.
+        vto_tempco: 0.62e-3,
+        // Calibrated (1.55 -> 1.66) so the *simulated* ring reproduces
+        // the curvature balance of the alpha-power layer: transient
+        // effects absent from the simple delay formula (input slew,
+        // triode traversal, short-circuit current) shift the effective
+        // exponent the ring sees.
+        mobility_exp: 1.66,
+        cg_per_width: 2.0e-9,
+        cj_per_width: 1.0e-9,
+    };
+    let pmos = MosModel {
+        name: "pmos350".to_string(),
+        polarity: MosPolarity::Pmos,
+        vto: 0.65,
+        kp: 58e-6,
+        lambda: 0.08,
+        vto_tempco: 1.28e-3,
+        mobility_exp: 1.15,
+        cg_per_width: 2.0e-9,
+        cj_per_width: 1.0e-9,
+    };
+    (nmos, pmos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_stimulus_constant() {
+        let s = Stimulus::Dc(3.3);
+        assert_eq!(s.value_at(0.0), 3.3);
+        assert_eq!(s.value_at(1.0), 3.3);
+        assert!(s.is_static());
+    }
+
+    #[test]
+    fn pulse_stimulus_shape() {
+        let s = Stimulus::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1e-9,
+            rise: 1e-9,
+            fall: 1e-9,
+            width: 2e-9,
+            period: 10e-9,
+        };
+        assert_eq!(s.value_at(0.0), 0.0);
+        assert!((s.value_at(1.5e-9) - 0.5).abs() < 1e-12, "mid-rise");
+        assert_eq!(s.value_at(3e-9), 1.0);
+        assert!((s.value_at(4.5e-9) - 0.5).abs() < 1e-12, "mid-fall");
+        assert_eq!(s.value_at(6e-9), 0.0);
+        // Periodic repeat.
+        assert!((s.value_at(11.5e-9) - 0.5).abs() < 1e-12);
+        assert!(!s.is_static());
+    }
+
+    #[test]
+    fn pwl_stimulus_interpolates_and_clamps() {
+        let s = Stimulus::Pwl(vec![(1.0, 0.0), (2.0, 10.0)]);
+        assert_eq!(s.value_at(0.0), 0.0);
+        assert!((s.value_at(1.5) - 5.0).abs() < 1e-12);
+        assert_eq!(s.value_at(3.0), 10.0);
+    }
+
+    #[test]
+    fn mos_model_temperature_laws() {
+        let (n, _) = models_um350();
+        assert!((n.vth(27.0) - 0.55).abs() < 1e-9);
+        assert!(n.vth(150.0) < n.vth(27.0));
+        assert!((n.kp_at(27.0) - n.kp).abs() / n.kp < 1e-9);
+        assert!(n.kp_at(150.0) < n.kp_at(27.0));
+    }
+
+    #[test]
+    fn nmos_regions() {
+        let beta = 1e-3;
+        let vth = 0.5;
+        // Cutoff.
+        let (op, reg) = eval_nmos(1.0, 0.3, 0.0, beta, vth, 0.0);
+        assert_eq!(reg, MosRegion::Cutoff);
+        assert_eq!(op.ids, 0.0);
+        // Triode: vds(0.1) < vov(0.5).
+        let (op, reg) = eval_nmos(0.1, 1.0, 0.0, beta, vth, 0.0);
+        assert_eq!(reg, MosRegion::Triode);
+        let expect = beta * (0.5 * 0.1 - 0.5 * 0.01);
+        assert!((op.ids - expect).abs() < 1e-12);
+        // Saturation: vds(2.0) > vov(0.5).
+        let (op, reg) = eval_nmos(2.0, 1.0, 0.0, beta, vth, 0.0);
+        assert_eq!(reg, MosRegion::Saturation);
+        assert!((op.ids - 0.5 * beta * 0.25).abs() < 1e-12);
+        assert!(op.gm > 0.0 && op.gds >= 1e-12);
+    }
+
+    #[test]
+    fn nmos_current_continuous_at_triode_saturation_boundary() {
+        let beta = 1e-3;
+        let vth = 0.5;
+        let vov = 0.5; // vg = 1.0, vs = 0
+        let below = eval_nmos(vov - 1e-9, 1.0, 0.0, beta, vth, 0.05).0.ids;
+        let above = eval_nmos(vov + 1e-9, 1.0, 0.0, beta, vth, 0.05).0.ids;
+        assert!((below - above).abs() < 1e-9 * beta.max(1.0));
+    }
+
+    #[test]
+    fn nmos_symmetric_reversal() {
+        // Drain below source: current flips sign, magnitude matches the
+        // mirrored bias.
+        let beta = 1e-3;
+        let vth = 0.5;
+        let fwd = eval_nmos(2.0, 2.5, 0.0, beta, vth, 0.0).0;
+        let rev = eval_nmos(0.0, 2.5, 2.0, beta, vth, 0.0).0;
+        assert!(rev.reversed);
+        assert!((fwd.ids + rev.ids).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gm_matches_finite_difference_in_saturation() {
+        let beta = 2e-3;
+        let vth = 0.6;
+        let lambda = 0.05;
+        let h = 1e-7;
+        let base = eval_nmos(2.0, 1.5, 0.0, beta, vth, lambda).0;
+        let up = eval_nmos(2.0, 1.5 + h, 0.0, beta, vth, lambda).0;
+        let gm_fd = (up.ids - base.ids) / h;
+        assert!((gm_fd - base.gm).abs() / base.gm < 1e-5);
+        let up_d = eval_nmos(2.0 + h, 1.5, 0.0, beta, vth, lambda).0;
+        let gds_fd = (up_d.ids - base.ids) / h;
+        assert!((gds_fd - base.gds).abs() / base.gds.max(1e-12) < 1e-4);
+    }
+
+    #[test]
+    fn device_names_accessible() {
+        let d = Device::Resistor {
+            name: "R1".into(),
+            a: NodeId::GROUND,
+            b: NodeId::GROUND,
+            ohms: 1.0,
+        };
+        assert_eq!(d.name(), "R1");
+    }
+}

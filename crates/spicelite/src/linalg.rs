@@ -1,0 +1,275 @@
+//! Dense linear algebra for modified nodal analysis.
+//!
+//! Circuit matrices at this scale (a ring oscillator is a few dozen
+//! unknowns) are small and only mildly sparse, so a dense LU with partial
+//! pivoting is both simple and fast. The factorization is done in place;
+//! [`Matrix::solve_in_place`] destroys the matrix, which is fine because
+//! MNA rebuilds it every Newton iteration.
+
+use crate::error::{Result, SimError};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n_rows × n_cols` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        assert!(n_rows > 0 && n_cols > 0, "matrix dimensions must be positive");
+        Matrix { n_rows, n_cols, data: vec![0.0; n_rows * n_cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Resets every entry to zero (reuse between Newton iterations
+    /// without reallocating).
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Adds `value` to entry `(row, col)` — the stamping primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self[(row, col)] += value;
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols, "dimension mismatch");
+        self.data
+            .chunks_exact(self.n_cols)
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Solves `self · x = b` in place by LU with partial pivoting,
+    /// overwriting both the matrix (with its factors) and `b` (with the
+    /// solution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SingularMatrix`] when no usable pivot exists
+    /// (matrix is singular to working precision).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != n`.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<()> {
+        assert_eq!(self.n_rows, self.n_cols, "LU needs a square matrix");
+        assert_eq!(b.len(), self.n_rows, "rhs dimension mismatch");
+        let n = self.n_rows;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = self[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = self[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(SimError::SingularMatrix { pivot_row: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let (a, b2) = (self[(k, c)], self[(pivot_row, c)]);
+                    self[(k, c)] = b2;
+                    self[(pivot_row, c)] = a;
+                }
+                b.swap(k, pivot_row);
+            }
+            // Eliminate below.
+            let pivot = self[(k, k)];
+            for r in (k + 1)..n {
+                let factor = self[(r, k)] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                self[(r, k)] = 0.0;
+                for c in (k + 1)..n {
+                    let v = self[(k, c)];
+                    self[(r, c)] -= factor * v;
+                }
+                b[r] -= factor * b[k];
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut s = b[k];
+            for c in (k + 1)..n {
+                s -= self[(k, c)] * b[c];
+            }
+            b[k] = s / self[(k, k)];
+        }
+        Ok(())
+    }
+
+    /// Infinity norm of the matrix (max absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.n_rows)
+            .map(|i| {
+                self.data[i * self.n_cols..(i + 1) * self.n_cols]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.n_rows && c < self.n_cols, "index out of bounds");
+        &self.data[r * self.n_cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.n_rows && c < self.n_cols, "index out of bounds");
+        &mut self.data[r * self.n_cols + c]
+    }
+}
+
+/// Infinity norm of a vector.
+pub fn vec_norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let mut m = Matrix::identity(4);
+        let mut b = vec![1.0, -2.0, 3.0, 0.5];
+        let expect = b.clone();
+        m.solve_in_place(&mut b).unwrap();
+        assert_eq!(b, expect);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3] x = [5; 10]  ->  x = [1; 3]
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 0)] = 2.0;
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 1.0;
+        m[(1, 1)] = 3.0;
+        let mut b = vec![5.0, 10.0];
+        m.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1; 1 0] x = [2; 3]  ->  x = [3; 2]
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 1.0;
+        let mut b = vec![2.0, 3.0];
+        m.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 0)] = 1.0;
+        m[(0, 1)] = 2.0;
+        m[(1, 0)] = 2.0;
+        m[(1, 1)] = 4.0;
+        let mut b = vec![1.0, 2.0];
+        assert!(matches!(m.solve_in_place(&mut b), Err(SimError::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn mul_vec_matches_solution() {
+        let mut m = Matrix::zeros(3, 3);
+        m[(0, 0)] = 4.0;
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 1.0;
+        m[(1, 1)] = 3.0;
+        m[(1, 2)] = -1.0;
+        m[(2, 1)] = -1.0;
+        m[(2, 2)] = 2.0;
+        let x = vec![1.0, 2.0, 3.0];
+        let b = m.mul_vec(&x);
+        let mut m2 = m.clone();
+        let mut bb = b.clone();
+        m2.solve_in_place(&mut bb).unwrap();
+        for (a, e) in bb.iter().zip(&x) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add(0, 0, 1.5);
+        m.add(0, 0, 2.5);
+        assert!((m[(0, 0)] - 4.0).abs() < 1e-15);
+        m.clear();
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 0)] = -3.0;
+        m[(0, 1)] = 1.0;
+        m[(1, 1)] = 2.0;
+        assert!((m.norm_inf() - 4.0).abs() < 1e-15);
+        assert!((vec_norm_inf(&[1.0, -5.0, 2.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = Matrix::zeros(0, 3);
+    }
+}

@@ -1,0 +1,312 @@
+//! Modified nodal analysis: assembling the linearized system.
+//!
+//! Unknown vector layout: node voltages for nodes `1..n` (ground excluded)
+//! followed by one branch current per voltage source, in device order.
+//!
+//! Every call to [`assemble`] rebuilds the matrix for the supplied
+//! operating-point guess `x` (Newton–Raphson relinearizes nonlinear
+//! devices each iteration). Capacitors are stamped from caller-provided
+//! Norton companions so that DC (open), backward-Euler and trapezoidal
+//! integration all share this code path.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::devices::{eval_nmos, Device, MosPolarity};
+use crate::linalg::Matrix;
+
+/// Norton companion model of one capacitor for the current time step:
+/// `i = geq·v + jeq` (with `v` the voltage across the capacitor).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CapCompanion {
+    /// Companion conductance, siemens.
+    pub geq: f64,
+    /// Companion current source, amperes.
+    pub jeq: f64,
+}
+
+/// The assembled linear system `A·x = z`.
+#[derive(Debug, Clone)]
+pub struct MnaSystem {
+    /// System matrix.
+    pub a: Matrix,
+    /// Right-hand side.
+    pub z: Vec<f64>,
+    n_nodes: usize,
+}
+
+impl MnaSystem {
+    fn new(n_unknowns: usize, n_nodes: usize) -> Self {
+        MnaSystem { a: Matrix::zeros(n_unknowns, n_unknowns), z: vec![0.0; n_unknowns], n_nodes }
+    }
+
+    #[inline]
+    fn row(&self, node: NodeId) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    /// Stamps a conductance `g` between nodes `a` and `b`.
+    pub fn stamp_conductance(&mut self, a: NodeId, b: NodeId, g: f64) {
+        if let Some(i) = self.row(a) {
+            self.a.add(i, i, g);
+        }
+        if let Some(j) = self.row(b) {
+            self.a.add(j, j, g);
+        }
+        if let (Some(i), Some(j)) = (self.row(a), self.row(b)) {
+            self.a.add(i, j, -g);
+            self.a.add(j, i, -g);
+        }
+    }
+
+    /// Stamps a current source driving `amps` from node `a` into node `b`
+    /// (i.e. the current leaves `a` and enters `b`).
+    pub fn stamp_current(&mut self, a: NodeId, b: NodeId, amps: f64) {
+        if let Some(i) = self.row(a) {
+            self.z[i] -= amps;
+        }
+        if let Some(j) = self.row(b) {
+            self.z[j] += amps;
+        }
+    }
+
+    /// Stamps a transconductance: a current `g·(vc − vd)` flowing from
+    /// node `a` into node `b`.
+    pub fn stamp_transconductance(&mut self, a: NodeId, b: NodeId, c: NodeId, d: NodeId, g: f64) {
+        for (node, sign) in [(a, 1.0), (b, -1.0)] {
+            if let Some(i) = self.row(node) {
+                if let Some(k) = self.row(c) {
+                    self.a.add(i, k, sign * g);
+                }
+                if let Some(k) = self.row(d) {
+                    self.a.add(i, k, -sign * g);
+                }
+            }
+        }
+    }
+
+    /// Stamps a voltage source occupying branch row `branch_row`
+    /// (absolute row index in the unknown vector) forcing
+    /// `v(pos) − v(neg) = volts`.
+    pub fn stamp_vsource(&mut self, branch_row: usize, pos: NodeId, neg: NodeId, volts: f64) {
+        if let Some(i) = self.row(pos) {
+            self.a.add(i, branch_row, 1.0);
+            self.a.add(branch_row, i, 1.0);
+        }
+        if let Some(j) = self.row(neg) {
+            self.a.add(j, branch_row, -1.0);
+            self.a.add(branch_row, j, -1.0);
+        }
+        self.z[branch_row] = volts;
+    }
+
+    /// Number of unknown node voltages (rows before the branch block).
+    #[inline]
+    pub fn node_rows(&self) -> usize {
+        self.n_nodes
+    }
+}
+
+/// Reads the voltage of `node` from an unknown vector.
+#[inline]
+pub fn node_voltage(x: &[f64], node: NodeId) -> f64 {
+    if node.is_ground() {
+        0.0
+    } else {
+        x[node.index() - 1]
+    }
+}
+
+/// Assembles the MNA system for the guess `x`.
+///
+/// * `time`: `None` for DC (time-varying sources evaluate at `t = 0`,
+///   capacitors open), `Some(t)` for a transient step.
+/// * `cap_companions`: one entry per capacitor device in device order
+///   (required iff `time.is_some()`).
+/// * `gmin`: leak conductance stamped from every node to ground and
+///   across every MOSFET channel (convergence aid).
+/// * `source_scale`: multiplier on every independent source (source
+///   stepping uses values < 1).
+///
+/// # Panics
+///
+/// Panics if `cap_companions` is shorter than the number of capacitors
+/// when a transient step is assembled.
+pub fn assemble(
+    circuit: &Circuit,
+    x: &[f64],
+    time: Option<f64>,
+    cap_companions: Option<&[CapCompanion]>,
+    gmin: f64,
+    source_scale: f64,
+) -> MnaSystem {
+    let n_nodes = circuit.unknown_node_count();
+    let n_unknowns = circuit.unknown_count();
+    let mut sys = MnaSystem::new(n_unknowns.max(1), n_nodes);
+    let temp = circuit.temperature();
+
+    // Convergence leak on every node.
+    if gmin > 0.0 {
+        for i in 1..circuit.node_count() {
+            sys.stamp_conductance(NodeId(i), NodeId::GROUND, gmin);
+        }
+    }
+
+    let mut branch_row = n_nodes;
+    let mut cap_index = 0usize;
+    for dev in circuit.devices() {
+        match dev {
+            Device::Resistor { a, b, ohms, .. } => {
+                sys.stamp_conductance(*a, *b, 1.0 / ohms);
+            }
+            Device::Capacitor { a, b, .. } => {
+                if time.is_some() {
+                    let comp = cap_companions
+                        .expect("transient assembly requires capacitor companions")
+                        [cap_index];
+                    sys.stamp_conductance(*a, *b, comp.geq);
+                    sys.stamp_current(*a, *b, comp.jeq);
+                }
+                cap_index += 1;
+            }
+            Device::Vsource { pos, neg, stimulus, .. } => {
+                let t = time.unwrap_or(0.0);
+                sys.stamp_vsource(branch_row, *pos, *neg, source_scale * stimulus.value_at(t));
+                branch_row += 1;
+            }
+            Device::Isource { from, to, amps, .. } => {
+                sys.stamp_current(*from, *to, source_scale * amps);
+            }
+            Device::Mosfet { d, g, s, model, w, l, .. } => {
+                let sign = match model.polarity {
+                    MosPolarity::Nmos => 1.0,
+                    MosPolarity::Pmos => -1.0,
+                };
+                // Work in a frame where the device is N-type: mirror all
+                // potentials for PMOS. Conductance stamps are invariant
+                // under mirroring; the companion current flips sign.
+                let vd = sign * node_voltage(x, *d);
+                let vg = sign * node_voltage(x, *g);
+                let vs = sign * node_voltage(x, *s);
+                let reversed = vd < vs;
+                let (nd, ns, vdx, vsx) =
+                    if reversed { (*s, *d, vs, vd) } else { (*d, *s, vd, vs) };
+                let beta = model.kp_at(temp) * w / l;
+                let vth = model.vth(temp);
+                let (op, _region) = eval_nmos(vdx, vg, vsx, beta, vth, model.lambda);
+                debug_assert!(!op.reversed, "frame already oriented");
+                // i(nd→ns) = gm·(vg − v_ns) + gds·(v_nd − v_ns) + sign·jeq
+                let jeq = op.ids - op.gm * (vg - vsx) - op.gds * (vdx - vsx);
+                sys.stamp_conductance(nd, ns, op.gds);
+                sys.stamp_transconductance(nd, ns, *g, ns, op.gm);
+                sys.stamp_current(nd, ns, sign * jeq);
+                // Channel leak keeps the matrix regular when the device
+                // is cut off.
+                if gmin > 0.0 {
+                    sys.stamp_conductance(*d, *s, gmin);
+                }
+            }
+        }
+    }
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{models_um350, Stimulus};
+
+    #[test]
+    fn resistor_divider_assembles_and_solves() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(2.0)).unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+        let x = vec![0.0; ckt.unknown_count()];
+        let mut sys = assemble(&ckt, &x, None, None, 1e-12, 1.0);
+        let mut rhs = sys.z.clone();
+        sys.a.solve_in_place(&mut rhs).unwrap();
+        assert!((rhs[0] - 2.0).abs() < 1e-9, "v(a)");
+        assert!((rhs[1] - 1.0).abs() < 1e-6, "v(b)");
+        // Branch current: 1 mA flowing out of the source's positive
+        // terminal through R1–R2 (MNA convention: current pos→neg inside
+        // the source, so the unknown is −1 mA).
+        assert!((rhs[2] + 1e-3).abs() < 1e-8, "i(V1) = {}", rhs[2]);
+    }
+
+    #[test]
+    fn current_stamp_sign_convention() {
+        // 1 A pushed into node b through a 1 Ω resistor to ground: v(b) = 1 V.
+        let mut ckt = Circuit::new();
+        let b = ckt.node("b");
+        ckt.add_resistor("R", b, Circuit::GROUND, 1.0).unwrap();
+        let x = vec![0.0; ckt.unknown_count()];
+        let mut sys = assemble(&ckt, &x, None, None, 0.0, 1.0);
+        sys.stamp_current(Circuit::GROUND, b, 1.0);
+        let mut rhs = sys.z.clone();
+        sys.a.solve_in_place(&mut rhs).unwrap();
+        assert!((rhs[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitor_open_in_dc_companion_in_transient() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_capacitor("C1", a, Circuit::GROUND, 1e-12).unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let x = vec![0.0; ckt.unknown_count()];
+        let dc = assemble(&ckt, &x, None, None, 0.0, 1.0);
+        assert!((dc.a[(0, 0)] - 1e-3).abs() < 1e-12, "only the resistor in DC");
+        let comps = [CapCompanion { geq: 2e-3, jeq: 0.0 }];
+        let tr = assemble(&ckt, &x, Some(1e-9), Some(&comps), 0.0, 1.0);
+        assert!((tr.a[(0, 0)] - 3e-3).abs() < 1e-12, "resistor + companion");
+    }
+
+    #[test]
+    fn nmos_source_follower_stamp_directions() {
+        // NMOS: drain at 3.3 V, gate at 2 V, source through 10 kΩ to
+        // ground. The source node must settle positive (device conducts
+        // d→s, raising the source).
+        let (nmos, _) = models_um350();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let g = ckt.node("g");
+        let s = ckt.node("s");
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).unwrap();
+        ckt.add_vsource("VG", g, Circuit::GROUND, Stimulus::Dc(2.0)).unwrap();
+        ckt.add_mosfet("M1", vdd, g, s, nmos, 10e-6, 0.35e-6).unwrap();
+        ckt.add_resistor("RS", s, Circuit::GROUND, 10e3).unwrap();
+        // One Newton step from a reasonable guess must push v(s) upward.
+        let mut x = vec![0.0; ckt.unknown_count()];
+        x[0] = 3.3;
+        x[1] = 2.0;
+        let mut sys = assemble(&ckt, &x, None, None, 1e-12, 1.0);
+        let mut rhs = sys.z.clone();
+        sys.a.solve_in_place(&mut rhs).unwrap();
+        let vs_new = rhs[2];
+        assert!(vs_new > 0.1, "source node must rise, got {vs_new}");
+    }
+
+    #[test]
+    fn source_scale_scales_rhs() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(2.0)).unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        let x = vec![0.0; ckt.unknown_count()];
+        let sys = assemble(&ckt, &x, None, None, 0.0, 0.5);
+        assert!((sys.z[1] - 1.0).abs() < 1e-12, "half the 2 V source");
+    }
+
+    #[test]
+    fn node_voltage_helper() {
+        let x = [1.5, 2.5];
+        assert_eq!(node_voltage(&x, NodeId::GROUND), 0.0);
+        assert_eq!(node_voltage(&x, NodeId(1)), 1.5);
+        assert_eq!(node_voltage(&x, NodeId(2)), 2.5);
+    }
+}

@@ -1,0 +1,787 @@
+//! SPICE-subset netlist parser with `.subckt` expansion.
+//!
+//! Supported cards (case-insensitive keywords, `*` comments, `+`
+//! continuation lines, engineering suffixes `t g meg k m u n p f`):
+//!
+//! ```text
+//! * title line is free text
+//! R<name> n1 n2 <ohms>
+//! C<name> n1 n2 <farads>
+//! V<name> n+ n- DC <volts>
+//! V<name> n+ n- PULSE(v1 v2 td tr tf pw per)
+//! V<name> n+ n- PWL(t1 v1 t2 v2 ...)
+//! I<name> n+ n- <amps>          (DC current from n+ into n-)
+//! M<name> d g s <model> W=<w> L=<l>
+//! X<name> <nodes...> <subckt>
+//! .model <name> NMOS|PMOS (VTO=.. KP=.. LAMBDA=.. TCV=.. BEX=.. CGW=.. CJW=..)
+//! .subckt <name> <ports...> / .ends
+//! .ic V(node)=value ...
+//! .temp <celsius>
+//! .tran <tstep> <tstop> [UIC]
+//! .dc <VSOURCE> <start> <stop> <step>
+//! .end
+//! ```
+//!
+//! MOSFETs are instantiated **with** their parasitic capacitances (the
+//! same convention as [`crate::circuit::Circuit::add_mosfet_with_caps`]),
+//! because netlists here describe physical cells.
+//!
+//! ```
+//! use spicelite::netlist::parse;
+//!
+//! let deck = parse("divider
+//! V1 in 0 DC 2.0
+//! R1 in out 1k
+//! R2 out 0 1k
+//! .end
+//! ")?;
+//! let op = spicelite::dc::solve_dc(&deck.circuit, &Default::default())?;
+//! assert!((op.voltage(&deck.circuit, "out")? - 1.0).abs() < 1e-6);
+//! # Ok::<(), spicelite::SimError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::circuit::Circuit;
+use crate::devices::{MosModel, MosPolarity, Stimulus};
+use crate::error::{Result, SimError};
+use crate::transient::TranOptions;
+
+/// A parsed netlist: the flattened circuit plus analysis directives.
+#[derive(Debug, Clone)]
+pub struct Deck {
+    /// Title (first line of the netlist).
+    pub title: String,
+    /// The flattened circuit (subcircuits expanded).
+    pub circuit: Circuit,
+    /// `.tran` directive, if present.
+    pub tran: Option<TranDirective>,
+    /// `.dc` sweep directive, if present.
+    pub dc: Option<DcDirective>,
+}
+
+/// A `.dc VSOURCE start stop step` card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcDirective {
+    /// The swept voltage source's instance name.
+    pub source: String,
+    /// Sweep start value, volts.
+    pub start: f64,
+    /// Sweep stop value, volts.
+    pub stop: f64,
+    /// Sweep step, volts (positive).
+    pub step: f64,
+}
+
+impl DcDirective {
+    /// The sweep values, inclusive of both ends.
+    pub fn values(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut v = self.start;
+        while v <= self.stop + 1e-12 {
+            out.push(v);
+            v += self.step;
+        }
+        out
+    }
+}
+
+/// A `.tran tstep tstop [UIC]` card.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranDirective {
+    /// Suggested time step, seconds.
+    pub tstep: f64,
+    /// Stop time, seconds.
+    pub tstop: f64,
+    /// Start from initial conditions without a DC solve.
+    pub uic: bool,
+}
+
+impl TranDirective {
+    /// Converts the directive into solver options (fixed maximum step =
+    /// `tstep`, trapezoidal).
+    pub fn to_options(self) -> TranOptions {
+        let mut o = TranOptions::to_time(self.tstop).with_steps(self.tstep, self.tstep);
+        o.uic = self.uic;
+        o
+    }
+}
+
+/// Parses an engineering-notation number (`4.7k`, `100n`, `2meg`, `1e-9`).
+///
+/// # Errors
+///
+/// Returns a description of the malformed number (line info is added by
+/// the caller).
+fn parse_number(tok: &str) -> std::result::Result<f64, String> {
+    let t = tok.trim().to_ascii_lowercase();
+    if t.is_empty() {
+        return Err("empty number".to_string());
+    }
+    // Longest-suffix-first so `meg` beats `m`.
+    const SUFFIXES: [(&str, f64); 9] = [
+        ("meg", 1e6),
+        ("t", 1e12),
+        ("g", 1e9),
+        ("k", 1e3),
+        ("m", 1e-3),
+        ("u", 1e-6),
+        ("n", 1e-9),
+        ("p", 1e-12),
+        ("f", 1e-15),
+    ];
+    for (suffix, scale) in SUFFIXES {
+        if let Some(stripped) = t.strip_suffix(suffix) {
+            // Guard against stripping the exponent `e` forms (`1e-9` has
+            // no suffix) and against bare suffixes.
+            if !stripped.is_empty() && stripped.parse::<f64>().is_ok() {
+                return Ok(stripped.parse::<f64>().expect("checked") * scale);
+            }
+        }
+    }
+    t.parse::<f64>().map_err(|_| format!("malformed number `{tok}`"))
+}
+
+#[derive(Debug, Clone)]
+struct Card {
+    line: usize,
+    tokens: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Subckt {
+    ports: Vec<String>,
+    cards: Vec<Card>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> SimError {
+    SimError::Parse { line, message: message.into() }
+}
+
+/// Splits a card into tokens, treating `(`, `)`, `=` and `,` as
+/// separators so `PULSE(0 3.3 ...)` and `W=1u` tokenize naturally.
+fn tokenize(text: &str) -> Vec<String> {
+    text.replace(['(', ')', '=', ','], " ")
+        .split_whitespace()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Joins continuation lines, strips comments, and produces cards.
+fn preprocess(source: &str) -> (String, Vec<Card>) {
+    let mut title = String::new();
+    let mut cards: Vec<Card> = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find(';') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let trimmed = line.trim();
+        if idx == 0 && !trimmed.starts_with('.') && !trimmed.is_empty() {
+            // SPICE convention: the first line is the title...
+            let toks = tokenize(trimmed);
+            // ...unless it clearly looks like an element card.
+            let looks_like_element = toks.len() >= 3
+                && matches!(
+                    trimmed.chars().next().map(|c| c.to_ascii_uppercase()),
+                    Some('R' | 'C' | 'V' | 'M' | 'X')
+                )
+                && toks.last().map(|t| parse_number(t).is_ok()).unwrap_or(false);
+            if !looks_like_element {
+                title = trimmed.to_string();
+                continue;
+            }
+        }
+        if trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('+') {
+            if let Some(last) = cards.last_mut() {
+                last.tokens.extend(tokenize(rest));
+                continue;
+            }
+        }
+        cards.push(Card { line: line_no, tokens: tokenize(trimmed) });
+    }
+    (title, cards)
+}
+
+/// Parses `KEY value` pairs out of a token stream (already `=`-split).
+fn keyed_values(tokens: &[String], line: usize) -> Result<HashMap<String, f64>> {
+    if !tokens.len().is_multiple_of(2) {
+        return Err(err(line, "expected KEY=VALUE pairs"));
+    }
+    let mut map = HashMap::new();
+    for pair in tokens.chunks(2) {
+        let v = parse_number(&pair[1]).map_err(|m| err(line, m))?;
+        map.insert(pair[0].to_ascii_uppercase(), v);
+    }
+    Ok(map)
+}
+
+struct Parser {
+    models: HashMap<String, MosModel>,
+    subckts: HashMap<String, Subckt>,
+    circuit: Circuit,
+    tran: Option<TranDirective>,
+    dc: Option<DcDirective>,
+}
+
+impl Parser {
+    fn new() -> Self {
+        Parser {
+            models: HashMap::new(),
+            subckts: HashMap::new(),
+            circuit: Circuit::new(),
+            tran: None,
+            dc: None,
+        }
+    }
+
+    fn parse_model(&mut self, card: &Card) -> Result<()> {
+        // .model name NMOS|PMOS key value ...
+        if card.tokens.len() < 3 {
+            return Err(err(card.line, ".model needs a name and a type"));
+        }
+        let name = card.tokens[1].to_ascii_lowercase();
+        let polarity = match card.tokens[2].to_ascii_uppercase().as_str() {
+            "NMOS" => MosPolarity::Nmos,
+            "PMOS" => MosPolarity::Pmos,
+            other => return Err(err(card.line, format!("unknown model type `{other}`"))),
+        };
+        let kv = keyed_values(&card.tokens[3..], card.line)?;
+        let model = MosModel {
+            name: name.clone(),
+            polarity,
+            vto: kv.get("VTO").copied().unwrap_or(0.5).abs(),
+            kp: kv.get("KP").copied().unwrap_or(100e-6),
+            lambda: kv.get("LAMBDA").copied().unwrap_or(0.05),
+            vto_tempco: kv.get("TCV").copied().unwrap_or(1e-3),
+            mobility_exp: kv.get("BEX").copied().unwrap_or(1.5),
+            cg_per_width: kv.get("CGW").copied().unwrap_or(2e-9),
+            cj_per_width: kv.get("CJW").copied().unwrap_or(1e-9),
+        };
+        self.models.insert(name, model);
+        Ok(())
+    }
+
+    /// Maps a node name through subcircuit port bindings / prefixing.
+    fn map_node(name: &str, bindings: &HashMap<String, String>, prefix: &str) -> String {
+        let lower = name.to_ascii_lowercase();
+        if lower == "0" || lower == "gnd" {
+            return "0".to_string();
+        }
+        if let Some(mapped) = bindings.get(name) {
+            return mapped.clone();
+        }
+        if prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{prefix}{name}")
+        }
+    }
+
+    fn instantiate(
+        &mut self,
+        card: &Card,
+        bindings: &HashMap<String, String>,
+        prefix: &str,
+        depth: usize,
+    ) -> Result<()> {
+        if depth > 16 {
+            return Err(err(card.line, "subcircuit nesting deeper than 16 (recursive?)"));
+        }
+        let toks = &card.tokens;
+        let kind = toks[0].chars().next().expect("non-empty token").to_ascii_uppercase();
+        let dev_name = format!("{prefix}{}", toks[0]);
+        match kind {
+            'R' | 'C' => {
+                if toks.len() != 4 {
+                    return Err(err(card.line, format!("`{}` needs 2 nodes and a value", toks[0])));
+                }
+                let a = Self::map_node(&toks[1], bindings, prefix);
+                let b = Self::map_node(&toks[2], bindings, prefix);
+                let value = parse_number(&toks[3]).map_err(|m| err(card.line, m))?;
+                let (na, nb) = (self.circuit.node(&a), self.circuit.node(&b));
+                if kind == 'R' {
+                    self.circuit.add_resistor(dev_name, na, nb, value)?;
+                } else {
+                    self.circuit.add_capacitor(dev_name, na, nb, value)?;
+                }
+            }
+            'V' => {
+                if toks.len() < 4 {
+                    return Err(err(card.line, "voltage source needs 2 nodes and a waveform"));
+                }
+                let pos = Self::map_node(&toks[1], bindings, prefix);
+                let neg = Self::map_node(&toks[2], bindings, prefix);
+                let stim = match toks[3].to_ascii_uppercase().as_str() {
+                    "DC" => {
+                        let v = toks
+                            .get(4)
+                            .ok_or_else(|| err(card.line, "DC needs a value"))
+                            .and_then(|t| parse_number(t).map_err(|m| err(card.line, m)))?;
+                        Stimulus::Dc(v)
+                    }
+                    "PULSE" => {
+                        let nums: Vec<f64> = toks[4..]
+                            .iter()
+                            .map(|t| parse_number(t).map_err(|m| err(card.line, m)))
+                            .collect::<Result<_>>()?;
+                        if nums.len() < 6 {
+                            return Err(err(card.line, "PULSE needs v1 v2 td tr tf pw [per]"));
+                        }
+                        Stimulus::Pulse {
+                            v1: nums[0],
+                            v2: nums[1],
+                            delay: nums[2],
+                            rise: nums[3],
+                            fall: nums[4],
+                            width: nums[5],
+                            period: nums.get(6).copied().unwrap_or(0.0),
+                        }
+                    }
+                    "PWL" => {
+                        let nums: Vec<f64> = toks[4..]
+                            .iter()
+                            .map(|t| parse_number(t).map_err(|m| err(card.line, m)))
+                            .collect::<Result<_>>()?;
+                        if nums.len() < 2 || !nums.len().is_multiple_of(2) {
+                            return Err(err(card.line, "PWL needs time/value pairs"));
+                        }
+                        Stimulus::Pwl(nums.chunks(2).map(|p| (p[0], p[1])).collect())
+                    }
+                    _ => {
+                        // Bare value shorthand: `V1 a 0 3.3`.
+                        let v = parse_number(&toks[3]).map_err(|m| err(card.line, m))?;
+                        Stimulus::Dc(v)
+                    }
+                };
+                let (np, nn) = (self.circuit.node(&pos), self.circuit.node(&neg));
+                self.circuit.add_vsource(dev_name, np, nn, stim)?;
+            }
+            'I' => {
+                if toks.len() != 4 {
+                    return Err(err(card.line, "current source needs 2 nodes and a value"));
+                }
+                let from = Self::map_node(&toks[1], bindings, prefix);
+                let to = Self::map_node(&toks[2], bindings, prefix);
+                let amps = parse_number(&toks[3]).map_err(|m| err(card.line, m))?;
+                let (nf, nt) = (self.circuit.node(&from), self.circuit.node(&to));
+                self.circuit.add_isource(dev_name, nf, nt, amps)?;
+            }
+            'M' => {
+                if toks.len() < 5 {
+                    return Err(err(card.line, "MOSFET needs d g s and a model"));
+                }
+                let d = Self::map_node(&toks[1], bindings, prefix);
+                let g = Self::map_node(&toks[2], bindings, prefix);
+                let s = Self::map_node(&toks[3], bindings, prefix);
+                let model_name = toks[4].to_ascii_lowercase();
+                let model = self
+                    .models
+                    .get(&model_name)
+                    .cloned()
+                    .ok_or_else(|| err(card.line, format!("unknown model `{model_name}`")))?;
+                let kv = keyed_values(&toks[5..], card.line)?;
+                let w = kv.get("W").copied().unwrap_or(1e-6);
+                let l = kv.get("L").copied().unwrap_or(0.35e-6);
+                let (nd, ng, ns) =
+                    (self.circuit.node(&d), self.circuit.node(&g), self.circuit.node(&s));
+                self.circuit.add_mosfet_with_caps(dev_name, nd, ng, ns, model, w, l)?;
+            }
+            'X' => {
+                if toks.len() < 3 {
+                    return Err(err(card.line, "subcircuit instance needs nodes and a name"));
+                }
+                let sub_name = toks[toks.len() - 1].to_ascii_lowercase();
+                let sub = self
+                    .subckts
+                    .get(&sub_name)
+                    .cloned()
+                    .ok_or_else(|| err(card.line, format!("unknown subcircuit `{sub_name}`")))?;
+                let actuals = &toks[1..toks.len() - 1];
+                if actuals.len() != sub.ports.len() {
+                    return Err(err(
+                        card.line,
+                        format!(
+                            "`{sub_name}` has {} ports but {} nodes were given",
+                            sub.ports.len(),
+                            actuals.len()
+                        ),
+                    ));
+                }
+                let mut inner_bindings = HashMap::new();
+                for (port, actual) in sub.ports.iter().zip(actuals) {
+                    inner_bindings
+                        .insert(port.clone(), Self::map_node(actual, bindings, prefix));
+                }
+                let inner_prefix = format!("{dev_name}.");
+                for inner_card in &sub.cards {
+                    self.instantiate(inner_card, &inner_bindings, &inner_prefix, depth + 1)?;
+                }
+            }
+            other => {
+                return Err(err(card.line, format!("unsupported element type `{other}`")));
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_directive(&mut self, card: &Card) -> Result<()> {
+        match card.tokens[0].to_ascii_lowercase().as_str() {
+            ".model" => self.parse_model(card),
+            ".temp" => {
+                let t = card
+                    .tokens
+                    .get(1)
+                    .ok_or_else(|| err(card.line, ".temp needs a value"))
+                    .and_then(|t| parse_number(t).map_err(|m| err(card.line, m)))?;
+                self.circuit.set_temperature(t);
+                Ok(())
+            }
+            ".ic" => {
+                // Tokens arrive as: .ic V node value [V node value ...]
+                // (the `(`/`)`/`=` separators were stripped by tokenize).
+                let rest = &card.tokens[1..];
+                if !rest.len().is_multiple_of(3) {
+                    return Err(err(card.line, ".ic expects V(node)=value entries"));
+                }
+                for chunk in rest.chunks(3) {
+                    if !chunk[0].eq_ignore_ascii_case("v") {
+                        return Err(err(card.line, "only V(node)=value initial conditions"));
+                    }
+                    let node = self.circuit.node(&chunk[1]);
+                    let v = parse_number(&chunk[2]).map_err(|m| err(card.line, m))?;
+                    self.circuit.set_initial_condition(node, v);
+                }
+                Ok(())
+            }
+            ".tran" => {
+                let nums: Vec<&String> = card.tokens[1..]
+                    .iter()
+                    .filter(|t| !t.eq_ignore_ascii_case("uic"))
+                    .collect();
+                if nums.len() < 2 {
+                    return Err(err(card.line, ".tran needs tstep and tstop"));
+                }
+                let tstep = parse_number(nums[0]).map_err(|m| err(card.line, m))?;
+                let tstop = parse_number(nums[1]).map_err(|m| err(card.line, m))?;
+                let uic = card.tokens.iter().any(|t| t.eq_ignore_ascii_case("uic"));
+                self.tran = Some(TranDirective { tstep, tstop, uic });
+                Ok(())
+            }
+            ".dc" => {
+                if card.tokens.len() != 5 {
+                    return Err(err(card.line, ".dc needs SOURCE start stop step"));
+                }
+                let start = parse_number(&card.tokens[2]).map_err(|m| err(card.line, m))?;
+                let stop = parse_number(&card.tokens[3]).map_err(|m| err(card.line, m))?;
+                let step = parse_number(&card.tokens[4]).map_err(|m| err(card.line, m))?;
+                if step <= 0.0 || stop < start {
+                    return Err(err(card.line, ".dc needs start <= stop and a positive step"));
+                }
+                self.dc = Some(DcDirective {
+                    source: card.tokens[1].clone(),
+                    start,
+                    stop,
+                    step,
+                });
+                Ok(())
+            }
+            ".end" | ".ends" => Ok(()),
+            other => Err(err(card.line, format!("unknown directive `{other}`"))),
+        }
+    }
+}
+
+/// Parses a netlist into a flattened [`Deck`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Parse`] describing the first malformed card, or
+/// device-construction errors from the underlying circuit builder.
+pub fn parse(source: &str) -> Result<Deck> {
+    let (title, cards) = preprocess(source);
+    let mut parser = Parser::new();
+
+    // Pass 1: collect models and subcircuit bodies.
+    let mut top_cards: Vec<Card> = Vec::new();
+    let mut current_sub: Option<(String, Subckt)> = None;
+    for card in cards {
+        let head = card.tokens[0].to_ascii_lowercase();
+        match head.as_str() {
+            ".subckt" => {
+                if current_sub.is_some() {
+                    return Err(err(card.line, "nested .subckt definitions are not supported"));
+                }
+                if card.tokens.len() < 3 {
+                    return Err(err(card.line, ".subckt needs a name and at least one port"));
+                }
+                let name = card.tokens[1].to_ascii_lowercase();
+                let ports = card.tokens[2..].to_vec();
+                current_sub = Some((name, Subckt { ports, cards: Vec::new() }));
+            }
+            ".ends" => match current_sub.take() {
+                Some((name, sub)) => {
+                    parser.subckts.insert(name, sub);
+                }
+                None => return Err(err(card.line, ".ends without .subckt")),
+            },
+            ".model" => parser.parse_model(&card)?,
+            _ => match &mut current_sub {
+                Some((_, sub)) => sub.cards.push(card),
+                None => top_cards.push(card),
+            },
+        }
+    }
+    if let Some((name, _)) = current_sub {
+        return Err(err(0, format!(".subckt `{name}` never closed with .ends")));
+    }
+
+    // Pass 2: instantiate the top level.
+    let empty = HashMap::new();
+    for card in &top_cards {
+        if card.tokens[0].starts_with('.') {
+            parser.parse_directive(card)?;
+        } else {
+            parser.instantiate(card, &empty, "", 0)?;
+        }
+    }
+    Ok(Deck { title, circuit: parser.circuit, tran: parser.tran, dc: parser.dc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{solve_dc, SolverOptions};
+    use crate::transient::run_transient;
+
+    #[test]
+    fn number_suffixes() {
+        fn close(tok: &str, expect: f64) {
+            let got = parse_number(tok).unwrap();
+            assert!(
+                (got - expect).abs() <= 1e-12 * expect.abs().max(1.0),
+                "{tok}: got {got}, expected {expect}"
+            );
+        }
+        close("4.7k", 4700.0);
+        close("100n", 100e-9);
+        close("2meg", 2e6);
+        close("5f", 5e-15);
+        close("1e-9", 1e-9);
+        close("-3.3", -3.3);
+        close("10p", 10e-12);
+        assert!(parse_number("abc").is_err());
+        assert!(parse_number("").is_err());
+        assert!(parse_number("k").is_err());
+    }
+
+    #[test]
+    fn divider_parses_and_solves() {
+        let deck = parse(
+            "test divider
+V1 in 0 DC 2.0
+R1 in out 1k
+R2 out 0 1k
+.end
+",
+        )
+        .unwrap();
+        assert_eq!(deck.title, "test divider");
+        let op = solve_dc(&deck.circuit, &SolverOptions::default()).unwrap();
+        assert!((op.voltage(&deck.circuit, "out").unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn continuation_and_comments() {
+        let deck = parse(
+            "title
+* a comment
+V1 a 0
++ DC 1.0   ; trailing comment
+R1 a 0 1k
+",
+        )
+        .unwrap();
+        assert_eq!(deck.circuit.devices().len(), 2);
+    }
+
+    #[test]
+    fn subckt_expansion_flattens_with_prefixes() {
+        let deck = parse(
+            "hierarchy
+.model n1 NMOS VTO=0.5 KP=100u
+.subckt stage in out vdd
+M1 out in 0 n1 W=1u L=0.35u
+R1 out vdd 10k
+.ends
+VDD vdd 0 DC 3.3
+X1 a b vdd stage
+X2 b c vdd stage
+.end
+",
+        )
+        .unwrap();
+        // Each stage: 1 MOSFET + 3 parasitic caps + 1 resistor = 5 devices;
+        // plus the supply.
+        assert_eq!(deck.circuit.devices().len(), 11);
+        // Prefixed instance names.
+        assert!(deck.circuit.devices().iter().any(|d| d.name() == "X1.M1"));
+        assert!(deck.circuit.devices().iter().any(|d| d.name() == "X2.R1"));
+        // Shared nodes resolved: X1's `out` is the global `b` = X2's `in`.
+        assert!(deck.circuit.find_node("b").is_ok());
+        // Internal nodes are not leaked unprefixed.
+        assert!(deck.circuit.find_node("out").is_err());
+    }
+
+    #[test]
+    fn ring_oscillator_netlist_runs() {
+        let deck = parse(
+            "5-stage inverter ring
+.model nm NMOS VTO=0.55 KP=170u LAMBDA=0.06 TCV=0.8m BEX=1.55
+.model pm PMOS VTO=0.65 KP=58u LAMBDA=0.08 TCV=1.5m BEX=1.15
+.subckt inv in out vdd
+MN out in 0 nm W=1u L=0.35u
+MP out in vdd pm W=2u L=0.35u
+.ends
+VDD vdd 0 DC 3.3
+X1 n0 n1 vdd inv
+X2 n1 n2 vdd inv
+X3 n2 n3 vdd inv
+X4 n3 n4 vdd inv
+X5 n4 n0 vdd inv
+.ic V(n0)=0 V(n1)=3.3 V(n2)=0 V(n3)=3.3 V(n4)=0
+.tran 2p 1500p UIC
+.end
+",
+        )
+        .unwrap();
+        let tran = deck.tran.expect(".tran parsed");
+        assert!(tran.uic);
+        assert!((tran.tstop - 1.5e-9).abs() < 1e-15);
+        let wave = run_transient(&deck.circuit, &tran.to_options()).unwrap();
+        let period = wave.period("n0", 1.65, 2).unwrap();
+        assert!(period > 50e-12 && period < 1e-9, "period {period}");
+    }
+
+    #[test]
+    fn pulse_and_pwl_sources() {
+        let deck = parse(
+            "sources
+V1 a 0 PULSE(0 3.3 1n 0.1n 0.1n 5n 10n)
+V2 b 0 PWL(0 0 1n 1 2n 0)
+R1 a 0 1k
+R2 b 0 1k
+",
+        )
+        .unwrap();
+        assert_eq!(deck.circuit.branch_count(), 2);
+    }
+
+    #[test]
+    fn isource_element_parses_and_solves() {
+        let deck = parse("t\nI1 0 a 1m\nR1 a 0 1k\n").unwrap();
+        let op = solve_dc(&deck.circuit, &SolverOptions::default()).unwrap();
+        assert!((op.voltage(&deck.circuit, "a").unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn temp_directive() {
+        let deck = parse("t\nV1 a 0 DC 1\nR1 a 0 1k\n.temp 125\n").unwrap();
+        assert_eq!(deck.circuit.temperature(), 125.0);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("t\nR1 a b\n").unwrap_err();
+        match e {
+            SimError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(parse("t\nM1 a b c missing_model W=1u L=1u\n").is_err());
+        assert!(parse("t\nX1 a b nothere\n").is_err());
+        assert!(parse("t\n.subckt s a\nR1 a 0 1k\n").is_err(), "unclosed subckt");
+        assert!(parse("t\n.ends\n").is_err());
+        assert!(parse("t\nQ1 a b c d\n").is_err(), "unsupported element");
+    }
+
+    #[test]
+    fn dc_directive_drives_a_sweep() {
+        let deck = parse(
+            "vtc
+.model nm NMOS VTO=0.55 KP=170u
+.model pm PMOS VTO=0.65 KP=58u
+VDD vdd 0 DC 3.3
+VIN in 0 DC 0
+MN out in 0 nm W=1u L=0.35u
+MP out in vdd pm W=2u L=0.35u
+.dc VIN 0 3.3 0.33
+.end
+",
+        )
+        .unwrap();
+        let dc = deck.dc.expect(".dc parsed");
+        assert_eq!(dc.source, "VIN");
+        let values = dc.values();
+        assert_eq!(values.len(), 11);
+        let sweep = crate::dc::dc_sweep(
+            &deck.circuit,
+            &dc.source,
+            &values,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let first = sweep[0].1.voltage(&deck.circuit, "out").unwrap();
+        let last = sweep[10].1.voltage(&deck.circuit, "out").unwrap();
+        assert!(first > 3.2 && last < 0.1, "VTC endpoints: {first} .. {last}");
+        // Malformed cards rejected.
+        assert!(parse("t\n.dc VIN 0 3.3\n").is_err());
+        assert!(parse("t\n.dc VIN 3.3 0 0.1\n").is_err());
+    }
+
+    #[test]
+    fn nested_subckt_instances_expand() {
+        // An inverter subckt used inside a buffer subckt: two levels of
+        // hierarchy, flattened with composed prefixes.
+        let deck = parse(
+            "nested
+.model nm NMOS VTO=0.55 KP=170u
+.model pm PMOS VTO=0.65 KP=58u
+.subckt inv in out vdd
+MN out in 0 nm W=1u L=0.35u
+MP out in vdd pm W=2u L=0.35u
+.ends
+.subckt buf in out vdd
+X1 in mid vdd inv
+X2 mid out vdd inv
+.ends
+VDD vdd 0 DC 3.3
+VIN a 0 DC 3.3
+XB a y vdd buf
+.end
+",
+        )
+        .unwrap();
+        // 4 MOSFETs, each with 3 parasitic caps, plus 2 sources.
+        assert_eq!(deck.circuit.devices().len(), 4 * 4 + 2);
+        assert!(deck.circuit.devices().iter().any(|d| d.name() == "XB.X1.MN"));
+        assert!(deck.circuit.find_node("XB.mid").is_ok(), "internal node prefixed");
+        let op = solve_dc(&deck.circuit, &SolverOptions::default()).unwrap();
+        let v = op.voltage(&deck.circuit, "y").unwrap();
+        assert!(v > 3.2, "buffer passes the high level: {v}");
+    }
+
+    #[test]
+    fn port_count_mismatch_detected() {
+        let src = "t
+.subckt s a b
+R1 a b 1k
+.ends
+X1 n1 s
+";
+        assert!(parse(src).is_err());
+    }
+}

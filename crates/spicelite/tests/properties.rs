@@ -1,0 +1,203 @@
+//! Property-based tests of the circuit simulator's numerical kernels.
+
+use proptest::prelude::*;
+
+use spicelite::circuit::Circuit;
+use spicelite::dc::{solve_dc, SolverOptions};
+use spicelite::devices::{eval_nmos, Stimulus};
+use spicelite::linalg::Matrix;
+use spicelite::transient::{run_transient, TranOptions};
+
+/// A random diagonally dominant matrix (guaranteed solvable).
+fn arb_dd_system(n: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (
+        prop::collection::vec(prop::collection::vec(-1.0f64..1.0, n), n),
+        prop::collection::vec(-10.0f64..10.0, n),
+    )
+        .prop_map(move |(mut a, x)| {
+            for (i, row) in a.iter_mut().enumerate() {
+                let off: f64 = row.iter().map(|v| v.abs()).sum();
+                row[i] = off + 1.0; // strict dominance
+            }
+            (a, x)
+        })
+}
+
+proptest! {
+    #[test]
+    fn lu_solves_diagonally_dominant_systems((a, x_true) in arb_dd_system(6)) {
+        let n = x_true.len();
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = a[i][j];
+            }
+        }
+        let b = m.mul_vec(&x_true);
+        let mut m2 = m.clone();
+        let mut sol = b;
+        m2.solve_in_place(&mut sol).expect("dominant systems are regular");
+        for (got, want) in sol.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-8 * (1.0 + want.abs()), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn mosfet_current_continuous_across_regions(
+        beta in 1e-5f64..1e-2,
+        vth in 0.2f64..1.0,
+        lambda in 0.0f64..0.2,
+        vg in 0.0f64..3.3,
+    ) {
+        // Walk vds in small steps; the current must be continuous and
+        // non-decreasing for an NMOS with rising drain bias.
+        let mut last = None;
+        for i in 0..=60 {
+            let vd = 3.3 * i as f64 / 60.0;
+            let (op, _) = eval_nmos(vd, vg, 0.0, beta, vth, lambda);
+            if let Some(prev) = last {
+                let step: f64 = op.ids - prev;
+                prop_assert!(step > -1e-12, "current must not decrease: {step}");
+                prop_assert!(step.abs() < 0.2 * beta * 3.3 * 3.3 + 1e-9, "no jumps: {step}");
+            }
+            last = Some(op.ids);
+        }
+    }
+
+    #[test]
+    fn mosfet_symmetric_in_drain_source(
+        beta in 1e-5f64..1e-2,
+        vth in 0.2f64..1.0,
+        va in 0.0f64..3.3,
+        vb in 0.0f64..3.3,
+        vg in 0.0f64..3.3,
+    ) {
+        let fwd = eval_nmos(va, vg, vb, beta, vth, 0.0).0.ids;
+        let rev = eval_nmos(vb, vg, va, beta, vth, 0.0).0.ids;
+        prop_assert!((fwd + rev).abs() < 1e-15, "ids(a,b) = -ids(b,a): {fwd} vs {rev}");
+    }
+
+    #[test]
+    fn pulse_stimulus_bounded(
+        v1 in -5.0f64..5.0,
+        v2 in -5.0f64..5.0,
+        delay in 0.0f64..1e-6,
+        rise in 1e-12f64..1e-7,
+        fall in 1e-12f64..1e-7,
+        width in 1e-9f64..1e-6,
+        t in 0.0f64..1e-5,
+    ) {
+        let s = Stimulus::Pulse { v1, v2, delay, rise, fall, width, period: 0.0 };
+        let v = s.value_at(t);
+        let (lo, hi) = (v1.min(v2), v1.max(v2));
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn pwl_stimulus_within_breakpoint_hull(
+        points in prop::collection::vec((0.0f64..1e-6, -5.0f64..5.0), 2..8),
+        t in 0.0f64..2e-6,
+    ) {
+        let mut pts = points;
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let lo = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let hi = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        let s = Stimulus::Pwl(pts);
+        let v = s.value_at(t);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn resistor_ladder_voltages_monotone(
+        resistors in prop::collection::vec(100.0f64..100e3, 2..8),
+        v in 0.5f64..10.0,
+    ) {
+        // A series ladder from v to ground: node voltages decrease
+        // strictly along the chain and stay inside the rails.
+        let mut ckt = Circuit::new();
+        let top = ckt.node("n0");
+        ckt.add_vsource("V1", top, Circuit::GROUND, Stimulus::Dc(v)).expect("source");
+        let mut prev = top;
+        for (i, &r) in resistors.iter().enumerate() {
+            let next = if i + 1 == resistors.len() {
+                Circuit::GROUND
+            } else {
+                ckt.node(&format!("n{}", i + 1))
+            };
+            ckt.add_resistor(format!("R{i}"), prev, next, r).expect("resistor");
+            prev = next;
+        }
+        let op = solve_dc(&ckt, &SolverOptions::default()).expect("dc");
+        let mut last = v + 1e-9;
+        for i in 0..resistors.len() {
+            let vi = op.voltage(&ckt, &format!("n{i}")).expect("node");
+            prop_assert!(vi < last, "monotone ladder: v(n{i}) = {vi} >= {last}");
+            prop_assert!(vi > -1e-9);
+            last = vi;
+        }
+    }
+
+    #[test]
+    fn rc_transient_settles_to_source(
+        r in 100.0f64..10e3,
+        c_pf in 0.1f64..100.0,
+        v in 0.5f64..5.0,
+    ) {
+        let c = c_pf * 1e-12;
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(v)).expect("source");
+        ckt.add_resistor("R1", a, out, r).expect("resistor");
+        ckt.add_capacitor("C1", out, Circuit::GROUND, c).expect("cap");
+        let opts = TranOptions::to_time(10.0 * tau).with_uic();
+        let wave = run_transient(&ckt, &opts).expect("transient");
+        let v_end = wave.sample_at("out", 10.0 * tau).expect("sample");
+        prop_assert!((v_end - v).abs() < 0.01 * v, "settled to {v_end}, source {v}");
+        // And the charging is monotone.
+        let ys = wave.signal("out").expect("signal");
+        for w in ys.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9 * v, "monotone charge");
+        }
+    }
+
+    #[test]
+    fn cmos_inverter_output_always_inside_rails(vin in 0.0f64..3.3) {
+        let (nmos, pmos) = spicelite::devices::models_um350();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inn = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).expect("vdd");
+        ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(vin)).expect("vin");
+        ckt.add_mosfet("MN", out, inn, Circuit::GROUND, nmos, 1e-6, 0.35e-6).expect("mn");
+        ckt.add_mosfet("MP", out, inn, vdd, pmos, 2e-6, 0.35e-6).expect("mp");
+        let op = solve_dc(&ckt, &SolverOptions::default()).expect("dc");
+        let v = op.voltage(&ckt, "out").expect("node");
+        prop_assert!((-1e-6..=3.3 + 1e-6).contains(&v), "v(out) = {v}");
+    }
+}
+
+#[test]
+fn cmos_inverter_transfer_curve_is_monotone_decreasing() {
+    // Not random, but a sweep: the VTC must fall monotonically.
+    let (nmos, pmos) = spicelite::devices::models_um350();
+    let mut last = f64::INFINITY;
+    for i in 0..=33 {
+        let vin = 3.3 * i as f64 / 33.0;
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inn = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).expect("vdd");
+        ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(vin)).expect("vin");
+        ckt.add_mosfet("MN", out, inn, Circuit::GROUND, nmos.clone(), 1e-6, 0.35e-6)
+            .expect("mn");
+        ckt.add_mosfet("MP", out, inn, vdd, pmos.clone(), 2e-6, 0.35e-6).expect("mp");
+        let op = solve_dc(&ckt, &SolverOptions::default()).expect("dc");
+        let v = op.voltage(&ckt, "out").expect("node");
+        assert!(v <= last + 1e-6, "VTC monotone: v({vin:.2}) = {v:.4} after {last:.4}");
+        last = v;
+    }
+}

@@ -1,0 +1,363 @@
+//! Transistor-level topologies of the inverting standard cells.
+//!
+//! Each cell is emitted directly into a [`spicelite`] circuit with its
+//! inputs tied together (the configuration used in sensor rings). The
+//! topology comes from the cell's [`PullNetwork`] tree, so the same code
+//! emits simple stacks (NAND/NOR) and complex series/parallel mixes
+//! (AOI21/OAI21):
+//!
+//! * series compositions get **real internal nodes**, so stack source
+//!   degeneration is simulated rather than approximated;
+//! * parallel compositions tie their branches between the same pair of
+//!   nodes;
+//! * the network's output side carries the drain parasitics.
+//!
+//! Transistor-level simulation therefore captures exactly the effect the
+//! paper exploits in Fig. 3: the stacks weight the NMOS and PMOS
+//! temperature behaviours differently per cell type.
+
+use spicelite::circuit::{Circuit, NodeId};
+use spicelite::devices::MosModel;
+use spicelite::error::Result;
+use tsense_core::gate::GateKind;
+use tsense_core::network::PullNetwork;
+
+/// Per-transistor sizing of a cell instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSizing {
+    /// NMOS channel width, metres.
+    pub wn: f64,
+    /// PMOS channel width, metres.
+    pub wp: f64,
+    /// Channel length, metres.
+    pub l: f64,
+}
+
+impl CellSizing {
+    /// The library default for a 0.35 µm process: 1 µm NMOS, ratio `r`
+    /// PMOS, minimum length.
+    pub fn um350(ratio: f64) -> Self {
+        CellSizing { wn: 1.0e-6, wp: 1.0e-6 * ratio, l: 0.35e-6 }
+    }
+}
+
+/// Emits one tied-input inverting cell into `circuit`.
+///
+/// `name` prefixes every device; `input` and `output` are the cell pins;
+/// `vdd` is the supply rail. Internal stack nodes are named
+/// `<name>.n.s<i>` / `<name>.p.s<i>`.
+///
+/// # Errors
+///
+/// Propagates device-construction failures (non-positive geometry).
+#[allow(clippy::too_many_arguments)]
+pub fn emit_cell(
+    circuit: &mut Circuit,
+    kind: GateKind,
+    name: &str,
+    input: NodeId,
+    output: NodeId,
+    vdd: NodeId,
+    sizing: CellSizing,
+    nmos: &MosModel,
+    pmos: &MosModel,
+) -> Result<()> {
+    // Pull-down network between output (drain side) and ground.
+    let mut state = EmitState::new(format!("{name}.n"));
+    emit_network(
+        circuit,
+        &kind.pull_down(),
+        &mut state,
+        input,
+        output,
+        Circuit::GROUND,
+        sizing.wn,
+        sizing.l,
+        nmos,
+    )?;
+    // Pull-up network between output (drain side) and vdd.
+    let mut state = EmitState::new(format!("{name}.p"));
+    emit_network(
+        circuit,
+        &kind.pull_up(),
+        &mut state,
+        input,
+        output,
+        vdd,
+        sizing.wp,
+        sizing.l,
+        pmos,
+    )?;
+    Ok(())
+}
+
+/// Running counters for unique device / internal-node names within one
+/// pull network.
+struct EmitState {
+    prefix: String,
+    devices: usize,
+    nodes: usize,
+}
+
+impl EmitState {
+    fn new(prefix: String) -> Self {
+        EmitState { prefix, devices: 0, nodes: 0 }
+    }
+
+    fn next_device(&mut self) -> String {
+        let name = format!("{}{}", self.prefix, self.devices);
+        self.devices += 1;
+        name
+    }
+
+    fn next_node(&mut self, circuit: &mut Circuit) -> NodeId {
+        let name = format!("{}.s{}", self.prefix, self.nodes);
+        self.nodes += 1;
+        circuit.node(&name)
+    }
+}
+
+/// Recursively emits a pull network between `upper` (the output side,
+/// carrying the drains) and `lower` (the rail side).
+#[allow(clippy::too_many_arguments)]
+fn emit_network(
+    circuit: &mut Circuit,
+    network: &PullNetwork,
+    state: &mut EmitState,
+    input: NodeId,
+    upper: NodeId,
+    lower: NodeId,
+    w: f64,
+    l: f64,
+    model: &MosModel,
+) -> Result<()> {
+    match network {
+        PullNetwork::Device => {
+            let name = state.next_device();
+            circuit.add_mosfet_with_caps(name, upper, input, lower, model.clone(), w, l)
+        }
+        PullNetwork::Parallel(children) => {
+            for child in children {
+                emit_network(circuit, child, state, input, upper, lower, w, l, model)?;
+            }
+            Ok(())
+        }
+        PullNetwork::Series(children) => {
+            let mut top = upper;
+            for (i, child) in children.iter().enumerate() {
+                let bottom = if i + 1 == children.len() {
+                    lower
+                } else {
+                    state.next_node(circuit)
+                };
+                emit_network(circuit, child, state, input, top, bottom, w, l, model)?;
+                top = bottom;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Number of transistors a cell contains.
+pub fn transistor_count(kind: GateKind) -> usize {
+    2 * kind.fan_in()
+}
+
+/// Text-emission state mirroring [`EmitState`].
+struct TextState {
+    device_prefix: char,
+    node_prefix: String,
+    devices: usize,
+    nodes: usize,
+    out: String,
+}
+
+fn text_network(
+    network: &PullNetwork,
+    state: &mut TextState,
+    upper: &str,
+    lower: &str,
+    model: &str,
+    w_um: f64,
+    l_um: f64,
+) {
+    match network {
+        PullNetwork::Device => {
+            let i = state.devices;
+            state.devices += 1;
+            state.out.push_str(&format!(
+                "M{}{} {} in {} {} W={:.3}u L={:.3}u\n",
+                state.device_prefix, i, upper, lower, model, w_um, l_um
+            ));
+        }
+        PullNetwork::Parallel(children) => {
+            for child in children {
+                text_network(child, state, upper, lower, model, w_um, l_um);
+            }
+        }
+        PullNetwork::Series(children) => {
+            let mut top = upper.to_string();
+            for (i, child) in children.iter().enumerate() {
+                let bottom = if i + 1 == children.len() {
+                    lower.to_string()
+                } else {
+                    let n = format!("{}{}", state.node_prefix, state.nodes);
+                    state.nodes += 1;
+                    n
+                };
+                text_network(child, state, &top, &bottom, model, w_um, l_um);
+                top = bottom;
+            }
+        }
+    }
+}
+
+/// SPICE `.subckt` text of a cell, for interop with external tools and
+/// round-trip tests against the netlist parser.
+pub fn subckt_text(kind: GateKind, sizing: CellSizing, nmos: &MosModel, pmos: &MosModel) -> String {
+    let cell = kind.name().to_ascii_lowercase();
+    let mut out = format!(".subckt {cell} in out vdd\n");
+
+    let mut n_state = TextState {
+        device_prefix: 'N',
+        node_prefix: "sn".to_string(),
+        devices: 0,
+        nodes: 0,
+        out: String::new(),
+    };
+    text_network(
+        &kind.pull_down(),
+        &mut n_state,
+        "out",
+        "0",
+        &nmos.name,
+        sizing.wn * 1e6,
+        sizing.l * 1e6,
+    );
+    out.push_str(&n_state.out);
+
+    let mut p_state = TextState {
+        device_prefix: 'P',
+        node_prefix: "sp".to_string(),
+        devices: 0,
+        nodes: 0,
+        out: String::new(),
+    };
+    text_network(
+        &kind.pull_up(),
+        &mut p_state,
+        "out",
+        "vdd",
+        &pmos.name,
+        sizing.wp * 1e6,
+        sizing.l * 1e6,
+    );
+    out.push_str(&p_state.out);
+    out.push_str(".ends\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spicelite::dc::{solve_dc, SolverOptions};
+    use spicelite::devices::{models_um350, Device, Stimulus};
+
+    fn cell_circuit(kind: GateKind, vin: f64) -> (Circuit, f64) {
+        let (nmos, pmos) = models_um350();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inn = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).unwrap();
+        ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(vin)).unwrap();
+        emit_cell(
+            &mut ckt,
+            kind,
+            "U1",
+            inn,
+            out,
+            vdd,
+            CellSizing::um350(2.0),
+            &nmos,
+            &pmos,
+        )
+        .unwrap();
+        let op = solve_dc(&ckt, &SolverOptions::default()).unwrap();
+        let v = op.voltage(&ckt, "out").unwrap();
+        (ckt, v)
+    }
+
+    #[test]
+    fn every_cell_inverts_logically() {
+        for kind in GateKind::ALL {
+            let (_, v_low_in) = cell_circuit(kind, 0.0);
+            assert!(v_low_in > 3.2, "{kind}: low in → high out, got {v_low_in}");
+            let (_, v_high_in) = cell_circuit(kind, 3.3);
+            assert!(v_high_in < 0.1, "{kind}: high in → low out, got {v_high_in}");
+        }
+    }
+
+    #[test]
+    fn transistor_counts() {
+        assert_eq!(transistor_count(GateKind::Inv), 2);
+        assert_eq!(transistor_count(GateKind::Nand3), 6);
+        assert_eq!(transistor_count(GateKind::Nor4), 8);
+        assert_eq!(transistor_count(GateKind::Aoi21), 6);
+        for kind in [GateKind::Nand2, GateKind::Aoi21, GateKind::Oai21] {
+            let (ckt, _) = cell_circuit(kind, 0.0);
+            let fets = ckt
+                .devices()
+                .iter()
+                .filter(|d| matches!(d, Device::Mosfet { .. }))
+                .count();
+            assert_eq!(fets, transistor_count(kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn nand_has_internal_stack_nodes() {
+        let (ckt, _) = cell_circuit(GateKind::Nand3, 0.0);
+        assert!(ckt.find_node("U1.n.s0").is_ok());
+        assert!(ckt.find_node("U1.n.s1").is_ok());
+        // NOR3's stack sits in the pull-up.
+        let (ckt, _) = cell_circuit(GateKind::Nor3, 0.0);
+        assert!(ckt.find_node("U1.p.s0").is_ok());
+        // AOI21: one internal node in the pull-down (the A·B stack) and
+        // one in the pull-up (the series composition).
+        let (ckt, _) = cell_circuit(GateKind::Aoi21, 0.0);
+        assert!(ckt.find_node("U1.n.s0").is_ok());
+        assert!(ckt.find_node("U1.p.s0").is_ok());
+    }
+
+    #[test]
+    fn subckt_text_round_trips_through_parser() {
+        let (nmos, pmos) = models_um350();
+        for kind in [GateKind::Inv, GateKind::Nand2, GateKind::Nor3, GateKind::Aoi21, GateKind::Oai21] {
+            let body = subckt_text(kind, CellSizing::um350(2.0), &nmos, &pmos);
+            let cellname = kind.name().to_ascii_lowercase();
+            let src = format!(
+                "roundtrip
+.model {} NMOS VTO=0.55 KP=170u
+.model {} PMOS VTO=0.65 KP=58u
+{body}VDD vdd 0 DC 3.3
+VIN a 0 DC 0
+X1 a b vdd {cellname}
+.end
+",
+                nmos.name, pmos.name
+            );
+            let deck = spicelite::netlist::parse(&src)
+                .unwrap_or_else(|e| panic!("{kind}: {e}\n{src}"));
+            let op = solve_dc(&deck.circuit, &SolverOptions::default()).unwrap();
+            let v = op.voltage(&deck.circuit, "b").unwrap();
+            assert!(v > 3.2, "{kind}: parsed cell inverts, got {v}");
+        }
+    }
+
+    #[test]
+    fn mid_rail_input_biases_cell_in_transition_region() {
+        let (_, v) = cell_circuit(GateKind::Inv, 1.4);
+        assert!(v > 0.3 && v < 3.0, "transition region output: {v}");
+    }
+}

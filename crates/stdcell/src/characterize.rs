@@ -1,0 +1,258 @@
+//! Standard-cell timing characterization.
+//!
+//! A classic library-characterization bench: a pulse source drives the
+//! cell under test, which drives an identical-cell load (fan-out of 1,
+//! the situation inside a sensor ring). Propagation delays are measured
+//! between the 50 % crossings of input and output, per edge:
+//!
+//! * `t_PHL`: input rises → output falls (pull-down network timing);
+//! * `t_PLH`: input falls → output rises (pull-up network timing).
+//!
+//! Sweeping temperature yields a [`TimingTable`] — the transistor-level
+//! ground truth the analytical models in `tsense-core` are validated
+//! against.
+
+use spicelite::circuit::Circuit;
+use spicelite::devices::{MosModel, Stimulus};
+use spicelite::error::{Result, SimError};
+use spicelite::transient::{run_transient, TranOptions};
+use tsense_core::gate::GateKind;
+
+use crate::cells::{emit_cell, CellSizing};
+
+/// Measured propagation delays of one cell at one temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayPair {
+    /// High-to-low propagation delay, seconds.
+    pub tphl: f64,
+    /// Low-to-high propagation delay, seconds.
+    pub tplh: f64,
+}
+
+impl DelayPair {
+    /// `t_PHL + t_PLH` — the per-stage contribution to a ring period.
+    #[inline]
+    pub fn pair_sum(&self) -> f64 {
+        self.tphl + self.tplh
+    }
+}
+
+/// A temperature-indexed delay table for one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingTable {
+    /// The characterized cell.
+    pub kind: GateKind,
+    /// Sample temperatures, °C, ascending.
+    pub temps_c: Vec<f64>,
+    /// Delay pair at each temperature.
+    pub delays: Vec<DelayPair>,
+}
+
+impl TimingTable {
+    /// Linear interpolation of the delay pair at `temp_c` (clamped to
+    /// the characterized span).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty (characterization always yields at
+    /// least one row).
+    pub fn lookup(&self, temp_c: f64) -> DelayPair {
+        assert!(!self.temps_c.is_empty(), "table must not be empty");
+        if temp_c <= self.temps_c[0] {
+            return self.delays[0];
+        }
+        if temp_c >= *self.temps_c.last().expect("non-empty") {
+            return *self.delays.last().expect("non-empty");
+        }
+        let idx = self.temps_c.partition_point(|&t| t < temp_c);
+        let (t0, t1) = (self.temps_c[idx - 1], self.temps_c[idx]);
+        let (d0, d1) = (self.delays[idx - 1], self.delays[idx]);
+        let f = (temp_c - t0) / (t1 - t0);
+        DelayPair {
+            tphl: d0.tphl + f * (d1.tphl - d0.tphl),
+            tplh: d0.tplh + f * (d1.tplh - d0.tplh),
+        }
+    }
+}
+
+/// Characterization bench configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CharacterizeOptions {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Input edge rise/fall time, seconds.
+    pub edge_time: f64,
+    /// Settling time before the measured edges, seconds.
+    pub settle: f64,
+    /// Transient step, seconds.
+    pub dt: f64,
+}
+
+impl Default for CharacterizeOptions {
+    /// Defaults sized for 0.35 µm cells: 3.3 V, 50 ps edges, 2 ns settle.
+    fn default() -> Self {
+        CharacterizeOptions { vdd: 3.3, edge_time: 50e-12, settle: 2e-9, dt: 1e-12 }
+    }
+}
+
+/// Measures the delay pair of `kind` at one temperature.
+///
+/// # Errors
+///
+/// Returns [`SimError::Measurement`] when an expected edge is missing
+/// (cell not switching), or propagates solver failures.
+pub fn measure_delays(
+    kind: GateKind,
+    sizing: CellSizing,
+    nmos: &MosModel,
+    pmos: &MosModel,
+    temp_c: f64,
+    opts: &CharacterizeOptions,
+) -> Result<DelayPair> {
+    let mut ckt = Circuit::new();
+    ckt.set_temperature(temp_c);
+    let vdd = ckt.node("vdd");
+    let input = ckt.node("in");
+    let out = ckt.node("out");
+    let load_out = ckt.node("load_out");
+    ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(opts.vdd))?;
+    // One full pulse: rise at `settle`, fall at `2·settle`.
+    ckt.add_vsource(
+        "VIN",
+        input,
+        Circuit::GROUND,
+        Stimulus::Pulse {
+            v1: 0.0,
+            v2: opts.vdd,
+            delay: opts.settle,
+            rise: opts.edge_time,
+            fall: opts.edge_time,
+            width: opts.settle,
+            period: 0.0,
+        },
+    )?;
+    emit_cell(&mut ckt, kind, "DUT", input, out, vdd, sizing, nmos, pmos)?;
+    emit_cell(&mut ckt, kind, "LOAD", out, load_out, vdd, sizing, nmos, pmos)?;
+
+    let t_stop = 3.0 * opts.settle;
+    let tran = TranOptions::to_time(t_stop).with_steps(opts.dt, opts.dt);
+    let wave = run_transient(&ckt, &tran)?;
+
+    let mid = 0.5 * opts.vdd;
+    let need = |v: Result<Vec<f64>>, what: &str| -> Result<f64> {
+        let list = v?;
+        list.first().copied().ok_or_else(|| SimError::Measurement {
+            message: format!("no {what} found while characterizing {kind}"),
+        })
+    };
+    let in_rise = need(wave.crossings("in", mid, true), "input rising edge")?;
+    let in_fall = need(wave.crossings("in", mid, false), "input falling edge")?;
+    let out_fall = need(
+        wave.crossings("out", mid, false).map(|v| {
+            v.into_iter().filter(|&t| t >= in_rise).collect::<Vec<_>>()
+        }),
+        "output falling edge",
+    )?;
+    let out_rise = need(
+        wave.crossings("out", mid, true).map(|v| {
+            v.into_iter().filter(|&t| t >= in_fall).collect::<Vec<_>>()
+        }),
+        "output rising edge",
+    )?;
+    Ok(DelayPair { tphl: out_fall - in_rise, tplh: out_rise - in_fall })
+}
+
+/// Characterizes `kind` over a temperature list.
+///
+/// # Errors
+///
+/// Propagates the first measurement failure.
+pub fn characterize(
+    kind: GateKind,
+    sizing: CellSizing,
+    nmos: &MosModel,
+    pmos: &MosModel,
+    temps_c: &[f64],
+    opts: &CharacterizeOptions,
+) -> Result<TimingTable> {
+    let mut delays = Vec::with_capacity(temps_c.len());
+    for &t in temps_c {
+        delays.push(measure_delays(kind, sizing, nmos, pmos, t, opts)?);
+    }
+    Ok(TimingTable { kind, temps_c: temps_c.to_vec(), delays })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spicelite::devices::models_um350;
+
+    fn opts() -> CharacterizeOptions {
+        CharacterizeOptions::default()
+    }
+
+    fn measure(kind: GateKind, ratio: f64, temp: f64) -> DelayPair {
+        let (nmos, pmos) = models_um350();
+        measure_delays(kind, CellSizing::um350(ratio), &nmos, &pmos, temp, &opts()).unwrap()
+    }
+
+    #[test]
+    fn inverter_delays_are_tens_of_picoseconds() {
+        let d = measure(GateKind::Inv, 2.0, 27.0);
+        assert!(d.tphl > 1e-12 && d.tphl < 300e-12, "tphl {}", d.tphl);
+        assert!(d.tplh > 1e-12 && d.tplh < 300e-12, "tplh {}", d.tplh);
+        assert!(d.pair_sum() > d.tphl);
+    }
+
+    #[test]
+    fn delays_increase_with_temperature() {
+        let cold = measure(GateKind::Inv, 2.0, -50.0);
+        let hot = measure(GateKind::Inv, 2.0, 150.0);
+        assert!(hot.tphl > cold.tphl, "tphl: {} vs {}", hot.tphl, cold.tphl);
+        assert!(hot.tplh > cold.tplh, "tplh: {} vs {}", hot.tplh, cold.tplh);
+    }
+
+    #[test]
+    fn wider_pmos_speeds_up_the_rising_edge() {
+        let narrow = measure(GateKind::Inv, 1.0, 27.0);
+        let wide = measure(GateKind::Inv, 3.0, 27.0);
+        // tplh improves; tphl degrades (more load on the same NMOS).
+        assert!(wide.tplh < narrow.tplh, "{} vs {}", wide.tplh, narrow.tplh);
+        assert!(wide.tphl > narrow.tphl, "{} vs {}", wide.tphl, narrow.tphl);
+    }
+
+    #[test]
+    fn nand_pull_down_slower_than_inverter() {
+        let inv = measure(GateKind::Inv, 2.0, 27.0);
+        let nand = measure(GateKind::Nand2, 2.0, 27.0);
+        assert!(nand.tphl > 1.3 * inv.tphl, "series stack: {} vs {}", nand.tphl, inv.tphl);
+    }
+
+    #[test]
+    fn nor_pull_up_slower_than_inverter() {
+        let inv = measure(GateKind::Inv, 2.0, 27.0);
+        let nor = measure(GateKind::Nor2, 2.0, 27.0);
+        assert!(nor.tplh > 1.3 * inv.tplh, "series stack: {} vs {}", nor.tplh, inv.tplh);
+    }
+
+    #[test]
+    fn table_interpolation_clamps_and_interpolates() {
+        let (nmos, pmos) = models_um350();
+        let table = characterize(
+            GateKind::Inv,
+            CellSizing::um350(2.0),
+            &nmos,
+            &pmos,
+            &[-50.0, 50.0, 150.0],
+            &opts(),
+        )
+        .unwrap();
+        assert_eq!(table.delays.len(), 3);
+        // Clamped outside.
+        assert_eq!(table.lookup(-100.0), table.delays[0]);
+        assert_eq!(table.lookup(200.0), table.delays[2]);
+        // Interior interpolation lies between neighbours.
+        let mid = table.lookup(0.0);
+        assert!(mid.tphl > table.delays[0].tphl && mid.tphl < table.delays[1].tphl);
+    }
+}

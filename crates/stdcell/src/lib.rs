@@ -1,0 +1,46 @@
+//! # stdcell — transistor-level standard cells for sensor rings
+//!
+//! This crate is the bridge between the analytical models of
+//! [`tsense_core`] and the circuit simulator [`spicelite`]: it emits the
+//! paper's inverting cells (INV, NAND2-4, NOR2-4, all inputs tied) as
+//! real transistor topologies, builds transistor-level ring oscillators
+//! from them, and characterizes their delays over temperature.
+//!
+//! * [`cells`] — transistor topologies (series stacks with real internal
+//!   nodes, parallel banks) and SPICE subckt export;
+//! * [`ring`] — elaborate + simulate + measure ring oscillators;
+//! * [`mod@characterize`] — `t_PHL`/`t_PLH` extraction benches and
+//!   temperature-indexed timing tables;
+//! * [`library`] — the bundled 0.35 µm library;
+//! * [`liberty`] — Liberty-flavoured timing-library export/import for
+//!   caching characterization results;
+//! * [`variation_sim`] — transistor-level Monte-Carlo, cross-validated
+//!   against the analytical variation model.
+//!
+//! ```
+//! use stdcell::library::CellLibrary;
+//! use tsense_core::gate::GateKind;
+//!
+//! let lib = CellLibrary::um350(2.0);
+//! let ring = lib.uniform_ring(GateKind::Inv, 5)?;
+//! let period = ring.measure_period(27.0)?;
+//! assert!(period > 10e-12 && period < 2e-9);
+//! # Ok::<(), spicelite::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cells;
+pub mod characterize;
+pub mod liberty;
+pub mod library;
+pub mod ring;
+pub mod variation_sim;
+
+pub use cells::{emit_cell, CellSizing};
+pub use characterize::{characterize, DelayPair, TimingTable};
+pub use liberty::{from_liberty, to_liberty, TimingLibrary};
+pub use library::CellLibrary;
+pub use ring::TransistorRing;
+pub use variation_sim::{SimMonteCarlo, SimVariationSpec};

@@ -1,0 +1,276 @@
+//! Liberty-flavoured timing-library text: export and re-import.
+//!
+//! Characterized delays become useful to a digital flow as a timing
+//! library. This module serializes [`TimingTable`]s into a compact
+//! Liberty-like format (one `cell` group per gate, temperature-indexed
+//! `cell_fall`/`cell_rise` tables) and parses it back, so characterized
+//! data can be cached, diffed, and shipped without rerunning the
+//! simulator.
+//!
+//! The dialect is a subset of Liberty chosen for round-trip fidelity,
+//! not for feeding a commercial signoff tool; see the grammar in the
+//! [`to_liberty`] docs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use spicelite::error::SimError;
+use tsense_core::gate::GateKind;
+
+use crate::characterize::{DelayPair, TimingTable};
+
+/// A set of characterized cells forming a timing library.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimingLibrary {
+    /// Library name.
+    pub name: String,
+    /// Tables keyed by cell kind.
+    tables: BTreeMap<GateKind, TimingTable>,
+}
+
+impl TimingLibrary {
+    /// Creates an empty library.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimingLibrary { name: name.into(), tables: BTreeMap::new() }
+    }
+
+    /// Inserts (or replaces) one cell's table.
+    pub fn insert(&mut self, table: TimingTable) {
+        self.tables.insert(table.kind, table);
+    }
+
+    /// Table of a cell, if characterized.
+    pub fn table(&self, kind: GateKind) -> Option<&TimingTable> {
+        self.tables.get(&kind)
+    }
+
+    /// Number of characterized cells.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` when no cell has been characterized.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterates over the tables in cell order.
+    pub fn iter(&self) -> impl Iterator<Item = &TimingTable> {
+        self.tables.values()
+    }
+}
+
+/// Serializes a library:
+///
+/// ```text
+/// library (<name>) {
+///   cell (<CELLNAME>) {
+///     temperature_index ("t0, t1, ...");
+///     cell_fall ("tphl0, tphl1, ...");   /* seconds */
+///     cell_rise ("tplh0, tplh1, ...");
+///   }
+/// }
+/// ```
+pub fn to_liberty(lib: &TimingLibrary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library ({}) {{", lib.name);
+    for table in lib.iter() {
+        let _ = writeln!(out, "  cell ({}) {{", table.kind.name());
+        let temps: Vec<String> = table.temps_c.iter().map(|t| format!("{t:.3}")).collect();
+        let falls: Vec<String> =
+            table.delays.iter().map(|d| format!("{:.6e}", d.tphl)).collect();
+        let rises: Vec<String> =
+            table.delays.iter().map(|d| format!("{:.6e}", d.tplh)).collect();
+        let _ = writeln!(out, "    temperature_index (\"{}\");", temps.join(", "));
+        let _ = writeln!(out, "    cell_fall (\"{}\");", falls.join(", "));
+        let _ = writeln!(out, "    cell_rise (\"{}\");", rises.join(", "));
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> SimError {
+    SimError::Parse { line, message: message.into() }
+}
+
+fn parse_quoted_numbers(text: &str, line_no: usize) -> Result<Vec<f64>, SimError> {
+    let start = text.find('"').ok_or_else(|| parse_err(line_no, "missing opening quote"))?;
+    let end = text.rfind('"').filter(|&e| e > start).ok_or_else(|| {
+        parse_err(line_no, "missing closing quote")
+    })?;
+    text[start + 1..end]
+        .split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<f64>()
+                .map_err(|_| parse_err(line_no, format!("malformed number `{}`", tok.trim())))
+        })
+        .collect()
+}
+
+/// Parses library text produced by [`to_liberty`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Parse`] with a line number for malformed input
+/// (unknown cell names, ragged arrays, missing attributes).
+pub fn from_liberty(text: &str) -> Result<TimingLibrary, SimError> {
+    let mut lib = TimingLibrary::new("parsed");
+    let mut current_cell: Option<GateKind> = None;
+    let mut temps: Option<Vec<f64>> = None;
+    let mut falls: Option<Vec<f64>> = None;
+    let mut rises: Option<Vec<f64>> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with("/*") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("library") {
+            let name = rest
+                .trim()
+                .trim_start_matches('(')
+                .split(')')
+                .next()
+                .unwrap_or("parsed")
+                .trim();
+            lib.name = name.to_string();
+        } else if line.starts_with("temperature_index") {
+            temps = Some(parse_quoted_numbers(line, line_no)?);
+        } else if line.starts_with("cell_fall") {
+            falls = Some(parse_quoted_numbers(line, line_no)?);
+        } else if line.starts_with("cell_rise") {
+            rises = Some(parse_quoted_numbers(line, line_no)?);
+        } else if let Some(rest) = line.strip_prefix("cell") {
+            // Checked after cell_fall/cell_rise: `cell` is a prefix of both.
+            let name = rest
+                .trim()
+                .trim_start_matches('(')
+                .split(')')
+                .next()
+                .ok_or_else(|| parse_err(line_no, "cell needs a name"))?
+                .trim();
+            let kind: GateKind = name
+                .parse()
+                .map_err(|_| parse_err(line_no, format!("unknown cell `{name}`")))?;
+            current_cell = Some(kind);
+            temps = None;
+            falls = None;
+            rises = None;
+        } else if line.starts_with('}') {
+            if let Some(kind) = current_cell.take() {
+                let temps = temps.take().ok_or_else(|| {
+                    parse_err(line_no, format!("{kind}: missing temperature_index"))
+                })?;
+                let falls = falls
+                    .take()
+                    .ok_or_else(|| parse_err(line_no, format!("{kind}: missing cell_fall")))?;
+                let rises = rises
+                    .take()
+                    .ok_or_else(|| parse_err(line_no, format!("{kind}: missing cell_rise")))?;
+                if falls.len() != temps.len() || rises.len() != temps.len() {
+                    return Err(parse_err(
+                        line_no,
+                        format!(
+                            "{kind}: ragged arrays ({} temps, {} falls, {} rises)",
+                            temps.len(),
+                            falls.len(),
+                            rises.len()
+                        ),
+                    ));
+                }
+                if temps.is_empty() {
+                    return Err(parse_err(line_no, format!("{kind}: empty table")));
+                }
+                let delays = falls
+                    .iter()
+                    .zip(&rises)
+                    .map(|(&tphl, &tplh)| DelayPair { tphl, tplh })
+                    .collect();
+                lib.insert(TimingTable { kind, temps_c: temps, delays });
+            }
+        }
+    }
+    Ok(lib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::CellLibrary;
+
+    fn small_library() -> TimingLibrary {
+        let cells = CellLibrary::um350(2.0);
+        let mut lib = TimingLibrary::new("stdcell-0.35um");
+        for kind in [GateKind::Inv, GateKind::Nand2, GateKind::Nor2] {
+            lib.insert(cells.characterize_cell(kind, &[-50.0, 50.0, 150.0]).unwrap());
+        }
+        lib
+    }
+
+    #[test]
+    fn round_trip_preserves_every_value() {
+        let lib = small_library();
+        let text = to_liberty(&lib);
+        let parsed = from_liberty(&text).unwrap();
+        assert_eq!(parsed.name, lib.name);
+        assert_eq!(parsed.len(), lib.len());
+        for table in lib.iter() {
+            let back = parsed.table(table.kind).expect("cell survives");
+            assert_eq!(back.temps_c.len(), table.temps_c.len());
+            for (a, b) in back.delays.iter().zip(&table.delays) {
+                // Serialized with 7 significant digits.
+                assert!((a.tphl - b.tphl).abs() < 1e-6 * b.tphl, "{}", table.kind);
+                assert!((a.tplh - b.tplh).abs() < 1e-6 * b.tplh, "{}", table.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn exported_text_is_structured() {
+        let lib = small_library();
+        let text = to_liberty(&lib);
+        assert!(text.starts_with("library (stdcell-0.35um) {"));
+        assert!(text.contains("cell (INV) {"));
+        assert!(text.contains("cell (NAND2) {"));
+        assert!(text.contains("temperature_index"));
+        assert_eq!(text.matches("cell_fall").count(), 3);
+    }
+
+    #[test]
+    fn parsed_tables_interpolate() {
+        let lib = small_library();
+        let parsed = from_liberty(&to_liberty(&lib)).unwrap();
+        let table = parsed.table(GateKind::Inv).unwrap();
+        let mid = table.lookup(0.0);
+        let lo = table.lookup(-50.0);
+        let hi = table.lookup(50.0);
+        assert!(mid.tphl > lo.tphl && mid.tphl < hi.tphl);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected_with_line_numbers() {
+        let bad_cell = "library (x) {\n  cell (FOO42) {\n  }\n}\n";
+        match from_liberty(bad_cell) {
+            Err(SimError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let ragged = "library (x) {\n  cell (INV) {\n    temperature_index (\"0, 50\");\n    cell_fall (\"1e-12\");\n    cell_rise (\"1e-12, 2e-12\");\n  }\n}\n";
+        assert!(from_liberty(ragged).is_err());
+        let missing = "library (x) {\n  cell (INV) {\n    temperature_index (\"0\");\n  }\n}\n";
+        assert!(from_liberty(missing).is_err());
+        let bad_number = "library (x) {\n  cell (INV) {\n    temperature_index (\"zero\");\n    cell_fall (\"1\");\n    cell_rise (\"1\");\n  }\n}\n";
+        assert!(from_liberty(bad_number).is_err());
+    }
+
+    #[test]
+    fn empty_library_round_trips() {
+        let lib = TimingLibrary::new("empty");
+        assert!(lib.is_empty());
+        let parsed = from_liberty(&to_liberty(&lib)).unwrap();
+        assert!(parsed.is_empty());
+        assert_eq!(parsed.name, "empty");
+    }
+}

@@ -1,0 +1,186 @@
+//! A bundled cell library: models, sizing, and ring construction.
+//!
+//! [`CellLibrary`] ties the Level-1 model cards, supply and library
+//! sizing together, and offers one-call constructors for the ring
+//! oscillators the paper studies — both from a uniform cell choice and
+//! from a `tsense-core` [`CellConfig`] mix. It also exports the whole
+//! library as SPICE text for interop with the netlist parser and
+//! external tools.
+
+use spicelite::devices::{models_um350, MosModel};
+use spicelite::error::Result;
+use tsense_core::gate::GateKind;
+use tsense_core::ring::CellConfig;
+use tsense_core::tech::Technology;
+
+use crate::cells::{subckt_text, CellSizing};
+use crate::characterize::{characterize, CharacterizeOptions, TimingTable};
+use crate::ring::TransistorRing;
+
+/// A process-bound standard-cell library.
+#[derive(Debug, Clone)]
+pub struct CellLibrary {
+    /// Library name, e.g. `"stdcell-0.35um"`.
+    pub name: String,
+    /// NMOS model card.
+    pub nmos: MosModel,
+    /// PMOS model card.
+    pub pmos: MosModel,
+    /// Nominal supply, volts.
+    pub vdd: f64,
+    /// Library cell sizing (fixed — that is the premise of the paper's
+    /// cell-based optimization).
+    pub sizing: CellSizing,
+}
+
+impl CellLibrary {
+    /// The 0.35 µm / 3.3 V library with the given `Wp/Wn` sizing ratio.
+    pub fn um350(ratio: f64) -> Self {
+        let (nmos, pmos) = models_um350();
+        CellLibrary {
+            name: "stdcell-0.35um".to_string(),
+            nmos,
+            pmos,
+            vdd: 3.3,
+            sizing: CellSizing::um350(ratio),
+        }
+    }
+
+    /// The analytical technology description that corresponds to this
+    /// library (same threshold/tempco/mobility parameters; drive and
+    /// capacitance constants differ by the Level-1 vs alpha-power
+    /// formulation, so absolute delays agree only to first order).
+    pub fn analytical_technology(&self) -> Technology {
+        Technology::um350()
+    }
+
+    /// A uniform `n`-stage transistor-level ring of `kind` cells.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ring-validity errors.
+    pub fn uniform_ring(&self, kind: GateKind, n: usize) -> Result<TransistorRing> {
+        TransistorRing::uniform(kind, n, self.sizing, self.nmos.clone(), self.pmos.clone(), self.vdd)
+    }
+
+    /// A transistor-level ring following a cell-mix configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ring-validity errors.
+    pub fn ring_from_config(&self, config: &CellConfig) -> Result<TransistorRing> {
+        TransistorRing::new(
+            config.kinds().to_vec(),
+            self.sizing,
+            self.nmos.clone(),
+            self.pmos.clone(),
+            self.vdd,
+        )
+    }
+
+    /// Characterizes one cell of the library over `temps_c`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement failures.
+    pub fn characterize_cell(&self, kind: GateKind, temps_c: &[f64]) -> Result<TimingTable> {
+        let opts = CharacterizeOptions { vdd: self.vdd, ..CharacterizeOptions::default() };
+        characterize(kind, self.sizing, &self.nmos, &self.pmos, temps_c, &opts)
+    }
+
+    /// SPICE text of one cell's subcircuit.
+    pub fn cell_subckt(&self, kind: GateKind) -> String {
+        subckt_text(kind, self.sizing, &self.nmos, &self.pmos)
+    }
+
+    /// Full library header: both `.model` cards plus every cell subckt —
+    /// paste this above instance lines to get a self-contained netlist.
+    pub fn library_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("* {}\n", self.name));
+        out.push_str(&format!(
+            ".model {} NMOS VTO={} KP={} LAMBDA={} TCV={} BEX={} CGW={} CJW={}\n",
+            self.nmos.name,
+            self.nmos.vto,
+            self.nmos.kp,
+            self.nmos.lambda,
+            self.nmos.vto_tempco,
+            self.nmos.mobility_exp,
+            self.nmos.cg_per_width,
+            self.nmos.cj_per_width,
+        ));
+        out.push_str(&format!(
+            ".model {} PMOS VTO={} KP={} LAMBDA={} TCV={} BEX={} CGW={} CJW={}\n",
+            self.pmos.name,
+            self.pmos.vto,
+            self.pmos.kp,
+            self.pmos.lambda,
+            self.pmos.vto_tempco,
+            self.pmos.mobility_exp,
+            self.pmos.cg_per_width,
+            self.pmos.cj_per_width,
+        ));
+        for kind in GateKind::ALL {
+            out.push_str(&self.cell_subckt(kind));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsense_core::ring::CellConfig;
+
+    #[test]
+    fn library_builds_paper_rings() {
+        let lib = CellLibrary::um350(2.0);
+        let ring = lib.uniform_ring(GateKind::Inv, 5).unwrap();
+        assert_eq!(ring.stage_count(), 5);
+        for cfg in CellConfig::paper_fig3_set() {
+            let ring = lib.ring_from_config(&cfg).unwrap();
+            assert_eq!(ring.stage_count(), 5);
+        }
+    }
+
+    #[test]
+    fn library_text_parses_and_simulates() {
+        let lib = CellLibrary::um350(2.0);
+        let src = format!(
+            "{}VDD vdd 0 DC 3.3
+X1 n0 n1 vdd inv
+X2 n1 n2 vdd inv
+X3 n2 n0 vdd inv
+.ic V(n0)=0 V(n1)=3.3 V(n2)=0
+.tran 1p 600p UIC
+.end
+",
+            lib.library_text()
+        );
+        let deck = spicelite::netlist::parse(&src).unwrap();
+        let wave =
+            spicelite::transient::run_transient(&deck.circuit, &deck.tran.unwrap().to_options())
+                .unwrap();
+        let p = wave.period("n0", 1.65, 2).unwrap();
+        assert!(p > 20e-12 && p < 500e-12, "period {p}");
+    }
+
+    #[test]
+    fn analytical_tech_maps_onto_the_level1_cards() {
+        let lib = CellLibrary::um350(2.0);
+        let tech = lib.analytical_technology();
+        assert!((tech.nmos.vth0.get() - lib.nmos.vto).abs() < 1e-12);
+        assert!((tech.pmos.mobility_exp - lib.pmos.mobility_exp).abs() < 1e-12);
+        // The Level-1 square law (alpha = 2) gets kappa scaled so that
+        // alpha*kappa — the overdrive temperature term of d(ln I)/dT —
+        // matches the alpha-power model.
+        for (ana, l1) in [(&tech.nmos, &lib.nmos), (&tech.pmos, &lib.pmos)] {
+            let expect = ana.alpha * ana.vth_tempco / 2.0;
+            assert!(
+                (l1.vto_tempco - expect).abs() < 0.05e-3,
+                "kappa mapping: level-1 {} vs expected {expect}",
+                l1.vto_tempco
+            );
+        }
+    }
+}

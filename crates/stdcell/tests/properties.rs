@@ -1,0 +1,65 @@
+//! Property-based tests of the standard-cell layer: Liberty round trips
+//! on arbitrary tables and timing-table interpolation invariants.
+
+use proptest::prelude::*;
+
+use stdcell::characterize::{DelayPair, TimingTable};
+use stdcell::liberty::{from_liberty, to_liberty, TimingLibrary};
+use tsense_core::gate::GateKind;
+
+fn arb_table(kind: GateKind) -> impl Strategy<Value = TimingTable> {
+    prop::collection::vec((1.0f64..500.0, 1.0f64..500.0), 1..8).prop_map(move |ps| {
+        let n = ps.len();
+        let temps_c: Vec<f64> =
+            (0..n).map(|i| -50.0 + 200.0 * i as f64 / n.max(2) as f64).collect();
+        let delays: Vec<DelayPair> = ps
+            .iter()
+            .map(|&(f, r)| DelayPair { tphl: f * 1e-12, tplh: r * 1e-12 })
+            .collect();
+        TimingTable { kind, temps_c, delays }
+    })
+}
+
+proptest! {
+    #[test]
+    fn liberty_round_trip_on_arbitrary_tables(
+        t_inv in arb_table(GateKind::Inv),
+        t_nand in arb_table(GateKind::Nand3),
+        t_aoi in arb_table(GateKind::Aoi21),
+    ) {
+        let mut lib = TimingLibrary::new("prop");
+        for t in [t_inv, t_nand, t_aoi] {
+            lib.insert(t);
+        }
+        let parsed = from_liberty(&to_liberty(&lib)).expect("round trip");
+        prop_assert_eq!(parsed.len(), lib.len());
+        for table in lib.iter() {
+            let back = parsed.table(table.kind).expect("cell");
+            for (a, b) in back.delays.iter().zip(&table.delays) {
+                prop_assert!((a.tphl - b.tphl).abs() < 1e-6 * b.tphl);
+                prop_assert!((a.tplh - b.tplh).abs() < 1e-6 * b.tplh);
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_stays_inside_the_hull(
+        table in arb_table(GateKind::Inv),
+        t in -100.0f64..200.0,
+    ) {
+        let lo_f = table.delays.iter().map(|d| d.tphl).fold(f64::INFINITY, f64::min);
+        let hi_f = table.delays.iter().map(|d| d.tphl).fold(f64::NEG_INFINITY, f64::max);
+        let d = table.lookup(t);
+        prop_assert!(d.tphl >= lo_f - 1e-18 && d.tphl <= hi_f + 1e-18);
+        prop_assert!(d.pair_sum() >= d.tphl);
+    }
+
+    #[test]
+    fn interpolation_exact_at_the_knots(table in arb_table(GateKind::Nor2)) {
+        for (i, &t) in table.temps_c.iter().enumerate() {
+            let d = table.lookup(t);
+            prop_assert!((d.tphl - table.delays[i].tphl).abs() < 1e-15);
+            prop_assert!((d.tplh - table.delays[i].tplh).abs() < 1e-15);
+        }
+    }
+}

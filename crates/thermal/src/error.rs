@@ -1,0 +1,63 @@
+//! Error type of the thermal simulator.
+
+use std::fmt;
+
+/// Errors produced by the thermal grid and solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// A die/package specification was out of its physical domain.
+    InvalidSpec {
+        /// Reason the specification is rejected.
+        reason: String,
+    },
+    /// A point or rectangle fell outside the die.
+    OutOfDie {
+        /// Offending x coordinate, metres.
+        x_m: f64,
+        /// Offending y coordinate, metres.
+        y_m: f64,
+    },
+    /// An iterative solve did not converge.
+    NoConvergence {
+        /// Sweeps spent.
+        sweeps: usize,
+    },
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::InvalidSpec { reason } => write!(f, "invalid die spec: {reason}"),
+            ThermalError::OutOfDie { x_m, y_m } => {
+                write!(f, "point ({x_m} m, {y_m} m) lies outside the die")
+            }
+            ThermalError::NoConvergence { sweeps } => {
+                write!(f, "thermal solve did not converge within {sweeps} sweeps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ThermalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(ThermalError::InvalidSpec { reason: "bad".into() }.to_string().contains("bad"));
+        assert!(ThermalError::OutOfDie { x_m: 1.0, y_m: 2.0 }.to_string().contains("outside"));
+        assert!(ThermalError::NoConvergence { sweeps: 9 }.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_traits() {
+        fn ok<E: std::error::Error + Send + Sync + 'static>() {}
+        ok::<ThermalError>();
+    }
+}

@@ -1,0 +1,125 @@
+//! Floorplans: named power blocks applied to the thermal grid.
+
+use crate::error::Result;
+use crate::grid::ThermalGrid;
+
+/// A rectangular functional block dissipating power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Block name (e.g. `"core0"`, `"cache"`).
+    pub name: String,
+    /// Lower-left x, metres.
+    pub x_m: f64,
+    /// Lower-left y, metres.
+    pub y_m: f64,
+    /// Width, metres.
+    pub w_m: f64,
+    /// Height, metres.
+    pub h_m: f64,
+    /// Dissipated power, watts.
+    pub power_w: f64,
+}
+
+/// A set of blocks covering (part of) a die.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Floorplan {
+    blocks: Vec<Block>,
+}
+
+impl Floorplan {
+    /// An empty floorplan.
+    pub fn new() -> Self {
+        Floorplan::default()
+    }
+
+    /// Adds a block (chainable).
+    #[allow(clippy::too_many_arguments)]
+    pub fn block(
+        mut self,
+        name: impl Into<String>,
+        x_m: f64,
+        y_m: f64,
+        w_m: f64,
+        h_m: f64,
+        power_w: f64,
+    ) -> Self {
+        self.blocks.push(Block { name: name.into(), x_m, y_m, w_m, h_m, power_w });
+        self
+    }
+
+    /// The blocks.
+    #[inline]
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Total floorplan power, watts.
+    pub fn total_power(&self) -> f64 {
+        self.blocks.iter().map(|b| b.power_w).sum()
+    }
+
+    /// Applies every block's power to `grid` (adds to the existing map).
+    ///
+    /// # Errors
+    ///
+    /// Propagates out-of-die errors from misplaced blocks.
+    pub fn apply(&self, grid: &mut ThermalGrid) -> Result<()> {
+        for b in &self.blocks {
+            grid.add_power_rect(b.x_m, b.y_m, b.w_m, b.h_m, b.power_w)?;
+        }
+        Ok(())
+    }
+
+    /// A processor-like floorplan on a `w × h` die (metres): two hot
+    /// cores along the bottom, a cooler cache band on top, I/O strip in
+    /// between — the kind of layout whose hotspots motivate on-die
+    /// thermal mapping.
+    pub fn processor_like(w: f64, h: f64, total_power_w: f64) -> Self {
+        Floorplan::new()
+            .block("core0", 0.05 * w, 0.05 * h, 0.35 * w, 0.40 * h, 0.38 * total_power_w)
+            .block("core1", 0.60 * w, 0.05 * h, 0.35 * w, 0.40 * h, 0.38 * total_power_w)
+            .block("io", 0.05 * w, 0.50 * h, 0.90 * w, 0.10 * h, 0.08 * total_power_w)
+            .block("cache", 0.05 * w, 0.65 * h, 0.90 * w, 0.30 * h, 0.16 * total_power_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::DieSpec;
+
+    #[test]
+    fn builder_accumulates_blocks() {
+        let fp = Floorplan::new()
+            .block("a", 0.0, 0.0, 0.001, 0.001, 1.0)
+            .block("b", 0.002, 0.002, 0.001, 0.001, 2.0);
+        assert_eq!(fp.blocks().len(), 2);
+        assert!((fp.total_power() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn processor_like_power_sums_to_total() {
+        let fp = Floorplan::processor_like(0.01, 0.01, 5.0);
+        assert!((fp.total_power() - 5.0).abs() < 1e-9);
+        assert_eq!(fp.blocks().len(), 4);
+    }
+
+    #[test]
+    fn applied_floorplan_heats_the_cores_most() {
+        let mut grid = ThermalGrid::new(DieSpec::default_1cm2(24, 24)).unwrap();
+        let fp = Floorplan::processor_like(0.01, 0.01, 5.0);
+        fp.apply(&mut grid).unwrap();
+        assert!((grid.total_power() - 5.0).abs() < 1e-9);
+        grid.solve_steady(1e-8, 20_000).unwrap();
+        let core = grid.temp_at(0.002, 0.002).unwrap();
+        let cache = grid.temp_at(0.005, 0.0085).unwrap();
+        assert!(core > cache + 0.5, "core {core} hotter than cache {cache}");
+    }
+
+    #[test]
+    fn misplaced_block_reported() {
+        let mut grid = ThermalGrid::new(DieSpec::default_1cm2(8, 8)).unwrap();
+        let fp = Floorplan::new().block("bad", 0.02, 0.02, 0.001, 0.001, 1.0);
+        assert!(fp.apply(&mut grid).is_err());
+    }
+}

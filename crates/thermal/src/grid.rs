@@ -1,0 +1,524 @@
+//! The 2-D die thermal RC grid.
+//!
+//! The die is discretized into `nx × ny` cells. Each cell exchanges heat
+//! laterally with its 4-neighbours through silicon conduction
+//! (`G_lat = k·t` per face for square cells) and vertically with the
+//! ambient through the package (the total package conductance `1/θ_JA`
+//! divided evenly over the cells). Each cell stores heat in
+//! `C = c_v · d² · t`.
+//!
+//! ```text
+//! C·dT/dt = P + G_lat·Σ(T_neighbour − T) + G_v·(T_amb − T)
+//! ```
+
+use crate::error::{Result, ThermalError};
+
+/// Physical description of a die and its package.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieSpec {
+    /// Die width, metres.
+    pub width_m: f64,
+    /// Die height, metres.
+    pub height_m: f64,
+    /// Grid columns.
+    pub nx: usize,
+    /// Grid rows.
+    pub ny: usize,
+    /// Die (active silicon + bulk) thickness, metres.
+    pub thickness_m: f64,
+    /// Silicon thermal conductivity, W/(m·K).
+    pub conductivity: f64,
+    /// Junction-to-ambient package resistance, K/W.
+    pub theta_ja: f64,
+    /// Ambient temperature, °C.
+    pub ambient_c: f64,
+    /// Volumetric heat capacity, J/(m³·K).
+    pub heat_capacity: f64,
+}
+
+impl DieSpec {
+    /// A representative 1 cm² die in a 0.35 µm-era package on a 32×32
+    /// grid: 400 µm silicon, θ_JA = 20 K/W, 25 °C ambient.
+    pub fn default_1cm2(nx: usize, ny: usize) -> Self {
+        DieSpec {
+            width_m: 0.01,
+            height_m: 0.01,
+            nx,
+            ny,
+            thickness_m: 400e-6,
+            conductivity: 150.0,
+            theta_ja: 20.0,
+            ambient_c: 25.0,
+            heat_capacity: 1.6e6,
+        }
+    }
+
+    /// Validates physical plausibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidSpec`] when any dimension or
+    /// property is non-positive or the grid is degenerate.
+    pub fn validate(&self) -> Result<()> {
+        let positive = [
+            ("width_m", self.width_m),
+            ("height_m", self.height_m),
+            ("thickness_m", self.thickness_m),
+            ("conductivity", self.conductivity),
+            ("theta_ja", self.theta_ja),
+            ("heat_capacity", self.heat_capacity),
+        ];
+        for (name, v) in positive {
+            if !(v > 0.0) {
+                return Err(ThermalError::InvalidSpec {
+                    reason: format!("{name} = {v} must be positive"),
+                });
+            }
+        }
+        if self.nx < 2 || self.ny < 2 {
+            return Err(ThermalError::InvalidSpec {
+                reason: format!("grid {}×{} too small; need at least 2×2", self.nx, self.ny),
+            });
+        }
+        Ok(())
+    }
+
+    /// Cell pitch in x, metres.
+    #[inline]
+    pub fn dx(&self) -> f64 {
+        self.width_m / self.nx as f64
+    }
+
+    /// Cell pitch in y, metres.
+    #[inline]
+    pub fn dy(&self) -> f64 {
+        self.height_m / self.ny as f64
+    }
+}
+
+/// The discretized die with its power map and temperature field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalGrid {
+    spec: DieSpec,
+    /// Power injected into each cell, watts.
+    power: Vec<f64>,
+    /// Cell temperatures, °C.
+    temps: Vec<f64>,
+    /// Lateral conductance per x-face, W/K.
+    g_lat_x: f64,
+    /// Lateral conductance per y-face, W/K.
+    g_lat_y: f64,
+    /// Vertical conductance per cell, W/K.
+    g_vert: f64,
+    /// Heat capacity per cell, J/K.
+    cap: f64,
+}
+
+impl ThermalGrid {
+    /// Builds a grid at ambient temperature with zero power everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DieSpec::validate`] failures.
+    pub fn new(spec: DieSpec) -> Result<Self> {
+        spec.validate()?;
+        let n = spec.nx * spec.ny;
+        // Conduction through a face: k · (cross-section) / distance.
+        let g_lat_x = spec.conductivity * spec.dy() * spec.thickness_m / spec.dx();
+        let g_lat_y = spec.conductivity * spec.dx() * spec.thickness_m / spec.dy();
+        let g_vert = 1.0 / (spec.theta_ja * n as f64);
+        let cap = spec.heat_capacity * spec.dx() * spec.dy() * spec.thickness_m;
+        Ok(ThermalGrid {
+            power: vec![0.0; n],
+            temps: vec![spec.ambient_c; n],
+            g_lat_x,
+            g_lat_y,
+            g_vert,
+            cap,
+            spec,
+        })
+    }
+
+    /// The die description.
+    #[inline]
+    pub fn spec(&self) -> &DieSpec {
+        &self.spec
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.power.len()
+    }
+
+    #[inline]
+    pub(crate) fn index(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.spec.nx && iy < self.spec.ny);
+        iy * self.spec.nx + ix
+    }
+
+    /// Cell indices covering the physical point `(x, y)` in metres.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::OutOfDie`] for points outside the die.
+    pub fn cell_at(&self, x_m: f64, y_m: f64) -> Result<(usize, usize)> {
+        if !(0.0..=self.spec.width_m).contains(&x_m) || !(0.0..=self.spec.height_m).contains(&y_m)
+        {
+            return Err(ThermalError::OutOfDie { x_m, y_m });
+        }
+        let ix = ((x_m / self.spec.dx()) as usize).min(self.spec.nx - 1);
+        let iy = ((y_m / self.spec.dy()) as usize).min(self.spec.ny - 1);
+        Ok((ix, iy))
+    }
+
+    /// Injects `watts` into the cell containing `(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::OutOfDie`] for points outside the die.
+    pub fn add_power_at(&mut self, x_m: f64, y_m: f64, watts: f64) -> Result<()> {
+        let (ix, iy) = self.cell_at(x_m, y_m)?;
+        let idx = self.index(ix, iy);
+        self.power[idx] += watts;
+        Ok(())
+    }
+
+    /// Spreads `watts` uniformly over the rectangle `[x, x+w] × [y, y+h]`
+    /// (metres), clipped to the die.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::OutOfDie`] when the rectangle lies
+    /// entirely outside the die or has non-positive size.
+    pub fn add_power_rect(&mut self, x: f64, y: f64, w: f64, h: f64, watts: f64) -> Result<()> {
+        if w <= 0.0 || h <= 0.0 {
+            return Err(ThermalError::OutOfDie { x_m: x, y_m: y });
+        }
+        let mut covered = Vec::new();
+        for iy in 0..self.spec.ny {
+            for ix in 0..self.spec.nx {
+                let cx = (ix as f64 + 0.5) * self.spec.dx();
+                let cy = (iy as f64 + 0.5) * self.spec.dy();
+                if cx >= x && cx <= x + w && cy >= y && cy <= y + h {
+                    covered.push(self.index(ix, iy));
+                }
+            }
+        }
+        if covered.is_empty() {
+            return Err(ThermalError::OutOfDie { x_m: x, y_m: y });
+        }
+        let share = watts / covered.len() as f64;
+        for idx in covered {
+            self.power[idx] += share;
+        }
+        Ok(())
+    }
+
+    /// Clears the power map.
+    pub fn clear_power(&mut self) {
+        self.power.iter_mut().for_each(|p| *p = 0.0);
+    }
+
+    /// Total injected power, watts.
+    pub fn total_power(&self) -> f64 {
+        self.power.iter().sum()
+    }
+
+    /// Temperature of cell `(ix, iy)`, °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn cell_temp(&self, ix: usize, iy: usize) -> f64 {
+        self.temps[self.index(ix, iy)]
+    }
+
+    /// Temperature at the physical point `(x, y)` (nearest cell), °C.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::OutOfDie`] for points outside the die.
+    pub fn temp_at(&self, x_m: f64, y_m: f64) -> Result<f64> {
+        let (ix, iy) = self.cell_at(x_m, y_m)?;
+        Ok(self.cell_temp(ix, iy))
+    }
+
+    /// Hottest cell temperature, °C.
+    pub fn max_temp(&self) -> f64 {
+        self.temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Coldest cell temperature, °C.
+    pub fn min_temp(&self) -> f64 {
+        self.temps.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean die temperature, °C.
+    pub fn mean_temp(&self) -> f64 {
+        self.temps.iter().sum::<f64>() / self.temps.len() as f64
+    }
+
+    /// Raw temperature field (row-major, `iy·nx + ix`), °C.
+    #[inline]
+    pub fn temps(&self) -> &[f64] {
+        &self.temps
+    }
+
+    /// Resets the field to ambient.
+    pub fn reset(&mut self) {
+        let amb = self.spec.ambient_c;
+        self.temps.iter_mut().for_each(|t| *t = amb);
+    }
+
+    /// Solves the steady-state field with successive over-relaxation.
+    /// Returns the number of sweeps used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::NoConvergence`] when the residual does not
+    /// drop below `tol_k` kelvins within `max_sweeps`.
+    pub fn solve_steady(&mut self, tol_k: f64, max_sweeps: usize) -> Result<usize> {
+        const OMEGA: f64 = 1.7;
+        let (nx, ny) = (self.spec.nx, self.spec.ny);
+        for sweep in 1..=max_sweeps {
+            let mut max_delta = 0.0_f64;
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let idx = self.index(ix, iy);
+                    let mut g_sum = self.g_vert;
+                    let mut flow = self.g_vert * self.spec.ambient_c + self.power[idx];
+                    if ix > 0 {
+                        g_sum += self.g_lat_x;
+                        flow += self.g_lat_x * self.temps[idx - 1];
+                    }
+                    if ix + 1 < nx {
+                        g_sum += self.g_lat_x;
+                        flow += self.g_lat_x * self.temps[idx + 1];
+                    }
+                    if iy > 0 {
+                        g_sum += self.g_lat_y;
+                        flow += self.g_lat_y * self.temps[idx - nx];
+                    }
+                    if iy + 1 < ny {
+                        g_sum += self.g_lat_y;
+                        flow += self.g_lat_y * self.temps[idx + nx];
+                    }
+                    let t_new = flow / g_sum;
+                    let t_relaxed = self.temps[idx] + OMEGA * (t_new - self.temps[idx]);
+                    max_delta = max_delta.max((t_relaxed - self.temps[idx]).abs());
+                    self.temps[idx] = t_relaxed;
+                }
+            }
+            if max_delta < tol_k {
+                return Ok(sweep);
+            }
+        }
+        Err(ThermalError::NoConvergence { sweeps: max_sweeps })
+    }
+
+    /// Advances the field by one implicit (backward-Euler) step of
+    /// `dt_s` seconds, using Gauss–Seidel inner iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::NoConvergence`] if the inner solve stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not positive.
+    pub fn step_transient(&mut self, dt_s: f64) -> Result<()> {
+        assert!(dt_s > 0.0, "time step must be positive");
+        let (nx, ny) = (self.spec.nx, self.spec.ny);
+        let c_dt = self.cap / dt_s;
+        let t_old = self.temps.clone();
+        for _sweep in 0..500 {
+            let mut max_delta = 0.0_f64;
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let idx = self.index(ix, iy);
+                    let mut g_sum = self.g_vert + c_dt;
+                    let mut flow =
+                        self.g_vert * self.spec.ambient_c + self.power[idx] + c_dt * t_old[idx];
+                    if ix > 0 {
+                        g_sum += self.g_lat_x;
+                        flow += self.g_lat_x * self.temps[idx - 1];
+                    }
+                    if ix + 1 < nx {
+                        g_sum += self.g_lat_x;
+                        flow += self.g_lat_x * self.temps[idx + 1];
+                    }
+                    if iy > 0 {
+                        g_sum += self.g_lat_y;
+                        flow += self.g_lat_y * self.temps[idx - nx];
+                    }
+                    if iy + 1 < ny {
+                        g_sum += self.g_lat_y;
+                        flow += self.g_lat_y * self.temps[idx + nx];
+                    }
+                    let t_new = flow / g_sum;
+                    max_delta = max_delta.max((t_new - self.temps[idx]).abs());
+                    self.temps[idx] = t_new;
+                }
+            }
+            if max_delta < 1e-6 {
+                return Ok(());
+            }
+        }
+        Err(ThermalError::NoConvergence { sweeps: 500 })
+    }
+
+    /// Runs `steps` transient steps of `dt_s` seconds each.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThermalGrid::step_transient`] failures.
+    pub fn run_transient(&mut self, dt_s: f64, steps: usize) -> Result<()> {
+        for _ in 0..steps {
+            self.step_transient(dt_s)?;
+        }
+        Ok(())
+    }
+
+    /// Thermal time constant estimate of one cell, seconds (`C/G`) —
+    /// the scale of *local* diffusion, and a safe transient step size.
+    pub fn time_constant(&self) -> f64 {
+        self.cap / (self.g_vert + 2.0 * (self.g_lat_x + self.g_lat_y))
+    }
+
+    /// Global die-to-ambient time constant, seconds
+    /// (`C_total · θ_JA`) — the scale on which the whole die heats up.
+    pub fn global_time_constant(&self) -> f64 {
+        self.cap * self.cell_count() as f64 * self.spec.theta_ja
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> ThermalGrid {
+        ThermalGrid::new(DieSpec::default_1cm2(16, 16)).unwrap()
+    }
+
+    #[test]
+    fn starts_at_ambient_with_zero_power() {
+        let g = grid();
+        assert_eq!(g.total_power(), 0.0);
+        assert!((g.max_temp() - 25.0).abs() < 1e-12);
+        assert!((g.min_temp() - 25.0).abs() < 1e-12);
+        assert_eq!(g.cell_count(), 256);
+    }
+
+    #[test]
+    fn uniform_power_gives_theta_ja_rise() {
+        // ΔT = P · θ_JA for uniform heating (no lateral gradients).
+        let mut g = grid();
+        g.add_power_rect(0.0, 0.0, 0.01, 0.01, 5.0).unwrap();
+        assert!((g.total_power() - 5.0).abs() < 1e-9);
+        g.solve_steady(1e-9, 10_000).unwrap();
+        let expect = 25.0 + 5.0 * 20.0;
+        assert!((g.mean_temp() - expect).abs() < 0.5, "mean {} vs {}", g.mean_temp(), expect);
+        // Uniform: nearly flat field.
+        assert!(g.max_temp() - g.min_temp() < 0.5);
+    }
+
+    #[test]
+    fn hotspot_creates_a_gradient_peaking_at_the_source() {
+        let mut g = grid();
+        // 3 W in a 1 mm² corner block.
+        g.add_power_rect(0.001, 0.001, 0.001, 0.001, 3.0).unwrap();
+        g.solve_steady(1e-9, 20_000).unwrap();
+        let hot = g.temp_at(0.0015, 0.0015).unwrap();
+        let far = g.temp_at(0.009, 0.009).unwrap();
+        assert!(hot > far + 1.0, "hotspot {hot} vs far corner {far}");
+        assert!(g.max_temp() >= hot - 1e-9);
+        // Maximum principle: nothing below ambient.
+        assert!(g.min_temp() >= 25.0 - 1e-9);
+    }
+
+    #[test]
+    fn energy_balance_at_steady_state() {
+        // All injected power must leave through the package:
+        // Σ G_v·(T − T_amb) = P_total.
+        let mut g = grid();
+        g.add_power_rect(0.002, 0.002, 0.004, 0.004, 2.0).unwrap();
+        g.solve_steady(1e-10, 20_000).unwrap();
+        let n = g.cell_count() as f64;
+        let g_v = 1.0 / (g.spec().theta_ja * n);
+        let out: f64 = g.temps().iter().map(|t| g_v * (t - g.spec().ambient_c)).sum();
+        assert!((out - 2.0).abs() < 0.01, "outflow {out} vs 2 W");
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let mut steady = grid();
+        steady.add_power_rect(0.0, 0.0, 0.01, 0.01, 4.0).unwrap();
+        steady.solve_steady(1e-9, 10_000).unwrap();
+
+        let mut tr = grid();
+        tr.add_power_rect(0.0, 0.0, 0.01, 0.01, 4.0).unwrap();
+        // Integrate well past the global package time constant.
+        let dt = tr.global_time_constant() / 100.0;
+        tr.run_transient(dt, 800).unwrap();
+        assert!(
+            (tr.mean_temp() - steady.mean_temp()).abs() < 1.0,
+            "transient {} vs steady {}",
+            tr.mean_temp(),
+            steady.mean_temp()
+        );
+    }
+
+    #[test]
+    fn transient_monotonic_heating() {
+        let mut g = grid();
+        g.add_power_rect(0.0, 0.0, 0.01, 0.01, 4.0).unwrap();
+        let mut last = g.mean_temp();
+        for _ in 0..5 {
+            g.run_transient(g.global_time_constant() / 50.0, 10).unwrap();
+            let now = g.mean_temp();
+            assert!(now >= last - 1e-9, "heating is monotone: {now} < {last}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn cooling_after_power_off() {
+        let mut g = grid();
+        g.add_power_rect(0.0, 0.0, 0.01, 0.01, 4.0).unwrap();
+        g.solve_steady(1e-9, 10_000).unwrap();
+        let hot = g.mean_temp();
+        g.clear_power();
+        g.run_transient(g.global_time_constant() / 20.0, 100).unwrap();
+        assert!(g.mean_temp() < hot - 0.5);
+        assert!(g.mean_temp() >= 25.0 - 1e-6, "never below ambient");
+    }
+
+    #[test]
+    fn out_of_die_rejected() {
+        let mut g = grid();
+        assert!(matches!(g.temp_at(0.02, 0.0), Err(ThermalError::OutOfDie { .. })));
+        assert!(g.add_power_at(-0.001, 0.0, 1.0).is_err());
+        assert!(g.add_power_rect(0.02, 0.02, 0.001, 0.001, 1.0).is_err());
+        assert!(g.add_power_rect(0.0, 0.0, -1.0, 0.001, 1.0).is_err());
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut s = DieSpec::default_1cm2(16, 16);
+        s.theta_ja = 0.0;
+        assert!(ThermalGrid::new(s).is_err());
+        let mut s = DieSpec::default_1cm2(1, 16);
+        s.nx = 1;
+        assert!(ThermalGrid::new(s).is_err());
+    }
+
+    #[test]
+    fn reset_restores_ambient() {
+        let mut g = grid();
+        g.add_power_rect(0.0, 0.0, 0.01, 0.01, 4.0).unwrap();
+        g.solve_steady(1e-6, 10_000).unwrap();
+        g.reset();
+        assert!((g.mean_temp() - 25.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! # thermal — a 2-D die thermal RC-grid simulator
+//!
+//! The thermal substrate of the smart-sensor reproduction: on-die
+//! temperature fields for the *thermal mapping* application of the
+//! paper's Section 3, and the scaling trends its introduction cites.
+//!
+//! * [`grid`] — the discretized die: lateral silicon conduction,
+//!   vertical package conductance, SOR steady-state and implicit
+//!   transient solvers;
+//! * [`floorplan`] — named power blocks, including a processor-like
+//!   preset with two hot cores;
+//! * [`placement`] — greedy sensor-placement optimization against a
+//!   scenario library (which die points should carry the multiplexed
+//!   oscillators);
+//! * [`trace`] — time-varying workload playback (burst/idle phases)
+//!   with probe sampling;
+//! * [`scenario`] — the introduction's claims as runnable studies
+//!   (135 °C RISC hotspot, 3.2× scaling of the junction-temperature
+//!   rise from 0.35 µm to 0.13 µm).
+//!
+//! ```
+//! use thermal::grid::{DieSpec, ThermalGrid};
+//!
+//! let mut grid = ThermalGrid::new(DieSpec::default_1cm2(16, 16))?;
+//! grid.add_power_rect(0.0, 0.0, 0.01, 0.01, 5.0)?;
+//! grid.solve_steady(1e-9, 10_000)?;
+//! assert!(grid.mean_temp() > 100.0); // 5 W × 20 K/W over 25 °C ambient
+//! # Ok::<(), thermal::ThermalError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Validation deliberately writes `!(x > 0.0)` instead of `x <= 0.0`:
+// the negated form also rejects NaN, which the comparison form lets
+// through silently.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod error;
+pub mod floorplan;
+pub mod grid;
+pub mod placement;
+pub mod scenario;
+pub mod trace;
+
+pub use error::{Result, ThermalError};
+pub use floorplan::{Block, Floorplan};
+pub use grid::{DieSpec, ThermalGrid};
+pub use placement::{greedy_placement, ScenarioSet, Site};
+pub use trace::{play, Phase, PowerTrace, TraceSample};

@@ -1,0 +1,284 @@
+//! Sensor-placement optimization for thermal mapping.
+//!
+//! The paper's smart unit multiplexes "ring-oscillators distributed on
+//! different points" — but *which* points? A sensor only reports the
+//! temperature where it sits, so the placement determines how much of
+//! the true peak the readout can see. This module optimizes placements
+//! against a set of representative power scenarios:
+//!
+//! * the **peak-tracking error** of a placement is, per scenario, the
+//!   gap between the die's true hottest cell and the hottest *sensed*
+//!   cell;
+//! * [`greedy_placement`] adds sensors one at a time, each minimizing
+//!   the **mean** gap over all scenarios (worst-case as tie-break) — the
+//!   standard submodular coverage greedy. The mean is the right per-step
+//!   objective: the worst-case metric is blind to progress until all but
+//!   one scenario is covered, so a minimax greedy stalls.
+
+use crate::error::{Result, ThermalError};
+use crate::floorplan::Floorplan;
+use crate::grid::{DieSpec, ThermalGrid};
+
+/// A candidate or chosen sensor site, in cell coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Site {
+    /// Cell column.
+    pub ix: usize,
+    /// Cell row.
+    pub iy: usize,
+}
+
+/// A library of solved temperature fields (one per power scenario).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSet {
+    nx: usize,
+    ny: usize,
+    /// One row-major field per scenario, °C.
+    fields: Vec<Vec<f64>>,
+}
+
+impl ScenarioSet {
+    /// Solves one steady-state field per floorplan on a fresh grid of
+    /// `spec` and collects them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid construction/solve failures; rejects an empty
+    /// scenario list.
+    pub fn solve(spec: &DieSpec, floorplans: &[Floorplan]) -> Result<Self> {
+        if floorplans.is_empty() {
+            return Err(ThermalError::InvalidSpec {
+                reason: "scenario set needs at least one floorplan".to_string(),
+            });
+        }
+        let mut fields = Vec::with_capacity(floorplans.len());
+        for fp in floorplans {
+            let mut grid = ThermalGrid::new(spec.clone())?;
+            fp.apply(&mut grid)?;
+            grid.solve_steady(1e-7, 50_000)?;
+            fields.push(grid.temps().to_vec());
+        }
+        Ok(ScenarioSet { nx: spec.nx, ny: spec.ny, fields })
+    }
+
+    /// Number of scenarios.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` when no scenario is present (rejected at construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    fn value(&self, scenario: usize, site: Site) -> f64 {
+        self.fields[scenario][site.iy * self.nx + site.ix]
+    }
+
+    fn peak(&self, scenario: usize) -> f64 {
+        self.fields[scenario].iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Per-scenario gap between the true peak and the hottest sensed
+    /// site, K.
+    pub fn peak_gaps(&self, sites: &[Site]) -> Vec<f64> {
+        (0..self.fields.len())
+            .map(|s| {
+                let sensed = sites
+                    .iter()
+                    .map(|&site| self.value(s, site))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                self.peak(s) - sensed
+            })
+            .collect()
+    }
+
+    /// Worst-case peak-tracking error of a placement over all
+    /// scenarios, K. An empty placement senses nothing (infinite gap).
+    pub fn worst_peak_gap(&self, sites: &[Site]) -> f64 {
+        if sites.is_empty() {
+            return f64::INFINITY;
+        }
+        self.peak_gaps(sites).into_iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Every grid cell as a candidate site.
+pub fn all_cells(nx: usize, ny: usize) -> Vec<Site> {
+    (0..ny)
+        .flat_map(|iy| (0..nx).map(move |ix| Site { ix, iy }))
+        .collect()
+}
+
+/// Greedily places `k` sensors from `candidates`, each step adding the
+/// site that most reduces the mean peak-tracking gap (ties break toward
+/// the lowest worst-case gap, then scan order — fully deterministic).
+///
+/// ```
+/// use thermal::placement::{all_cells, greedy_placement, ScenarioSet};
+/// use thermal::{DieSpec, Floorplan};
+///
+/// let spec = DieSpec::default_1cm2(8, 8);
+/// let scenarios = ScenarioSet::solve(&spec, &[
+///     Floorplan::new().block("hot", 0.001, 0.001, 0.003, 0.003, 3.0),
+/// ])?;
+/// let sites = greedy_placement(&scenarios, &all_cells(8, 8), 1)?;
+/// assert!(scenarios.worst_peak_gap(&sites) < 0.5, "sensor sits on the hotspot");
+/// # Ok::<(), thermal::ThermalError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ThermalError::InvalidSpec`] when `k` is zero or exceeds the
+/// candidate count.
+pub fn greedy_placement(
+    scenarios: &ScenarioSet,
+    candidates: &[Site],
+    k: usize,
+) -> Result<Vec<Site>> {
+    if k == 0 || k > candidates.len() {
+        return Err(ThermalError::InvalidSpec {
+            reason: format!("cannot place {k} sensors from {} candidates", candidates.len()),
+        });
+    }
+    let mut chosen: Vec<Site> = Vec::with_capacity(k);
+    let mut remaining: Vec<Site> = candidates.to_vec();
+    for _ in 0..k {
+        let mut best_idx = 0;
+        let mut best_mean = f64::INFINITY;
+        let mut best_worst = f64::INFINITY;
+        for (i, &cand) in remaining.iter().enumerate() {
+            let mut trial = chosen.clone();
+            trial.push(cand);
+            let gaps = scenarios.peak_gaps(&trial);
+            let worst = gaps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            if mean < best_mean - 1e-12
+                || (mean < best_mean + 1e-12 && worst < best_worst - 1e-12)
+            {
+                best_mean = mean;
+                best_worst = worst;
+                best_idx = i;
+            }
+        }
+        chosen.push(remaining.swap_remove(best_idx));
+    }
+    Ok(chosen)
+}
+
+/// A uniform `rows × cols` placement (the naive baseline).
+pub fn uniform_placement(nx: usize, ny: usize, cols: usize, rows: usize) -> Vec<Site> {
+    let mut sites = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let ix = ((c as f64 + 0.5) / cols as f64 * nx as f64) as usize;
+            let iy = ((r as f64 + 0.5) / rows as f64 * ny as f64) as usize;
+            sites.push(Site { ix: ix.min(nx - 1), iy: iy.min(ny - 1) });
+        }
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three scenarios: each powers a different corner block.
+    fn corner_scenarios() -> ScenarioSet {
+        let spec = DieSpec::default_1cm2(16, 16);
+        let blocks = [
+            (0.0005, 0.0005),
+            (0.0075, 0.0005),
+            (0.0035, 0.0075),
+        ];
+        let plans: Vec<Floorplan> = blocks
+            .iter()
+            .map(|&(x, y)| Floorplan::new().block("hot", x, y, 0.002, 0.002, 4.0))
+            .collect();
+        ScenarioSet::solve(&spec, &plans).expect("scenarios")
+    }
+
+    #[test]
+    fn greedy_covers_every_hotspot_with_enough_sensors() {
+        let scen = corner_scenarios();
+        let candidates = all_cells(16, 16);
+        let placement = greedy_placement(&scen, &candidates, 3).expect("placement");
+        assert_eq!(placement.len(), 3);
+        // With one sensor per hotspot, the worst gap collapses to ~0.
+        let gap = scen.worst_peak_gap(&placement);
+        assert!(gap < 0.5, "worst gap {gap} K");
+    }
+
+    #[test]
+    fn greedy_beats_the_uniform_baseline_at_equal_budget() {
+        let scen = corner_scenarios();
+        let candidates = all_cells(16, 16);
+        let greedy = greedy_placement(&scen, &candidates, 4).expect("placement");
+        let uniform = uniform_placement(16, 16, 2, 2);
+        let g = scen.worst_peak_gap(&greedy);
+        let u = scen.worst_peak_gap(&uniform);
+        assert!(g < u, "greedy {g} K vs uniform {u} K");
+    }
+
+    #[test]
+    fn gap_decreases_monotonically_with_budget() {
+        let scen = corner_scenarios();
+        let candidates = all_cells(16, 16);
+        let mut last = f64::INFINITY;
+        for k in 1..=4 {
+            let placement = greedy_placement(&scen, &candidates, k).expect("placement");
+            let gap = scen.worst_peak_gap(&placement);
+            assert!(gap <= last + 1e-9, "k={k}: {gap} after {last}");
+            last = gap;
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let scen = corner_scenarios();
+        let candidates = all_cells(16, 16);
+        let a = greedy_placement(&scen, &candidates, 3).expect("placement");
+        let b = greedy_placement(&scen, &candidates, 3).expect("placement");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn first_sensor_lands_on_a_hot_cell() {
+        let scen = corner_scenarios();
+        let candidates = all_cells(16, 16);
+        let placement = greedy_placement(&scen, &candidates, 1).expect("placement");
+        // The single best site must read within a few kelvin of the peak
+        // in the scenario it covers best.
+        let gaps = scen.peak_gaps(&placement);
+        let best = gaps.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(best < 0.1, "closest-covered scenario gap {best} K");
+    }
+
+    #[test]
+    fn degenerate_requests_rejected() {
+        let scen = corner_scenarios();
+        let candidates = all_cells(16, 16);
+        assert!(greedy_placement(&scen, &candidates, 0).is_err());
+        assert!(greedy_placement(&scen, &candidates, candidates.len() + 1).is_err());
+        assert!(ScenarioSet::solve(&DieSpec::default_1cm2(8, 8), &[]).is_err());
+        assert_eq!(scen.worst_peak_gap(&[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn scenario_accessors() {
+        let scen = corner_scenarios();
+        assert_eq!(scen.len(), 3);
+        assert!(!scen.is_empty());
+        assert_eq!(scen.dims(), (16, 16));
+        assert_eq!(all_cells(4, 3).len(), 12);
+        assert_eq!(uniform_placement(16, 16, 2, 2).len(), 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Canned thermal scenarios, including the paper's introduction claims.
+//!
+//! The introduction motivates built-in sensing with two observations:
+//! a 64-bit RISC processor measured **135 °C** junction temperature, and
+//! technology scaling makes it worse — a 0.13 µm chip's junction
+//! temperature (rise) was estimated at **3.2×** that of a 0.35 µm chip
+//! under equivalent conditions. [`scaling_study`] reproduces that trend
+//! from first principles: shrinking the same design concentrates similar
+//! power into a smaller area, and power density drives the rise.
+
+use crate::error::Result;
+use crate::floorplan::Floorplan;
+use crate::grid::{DieSpec, ThermalGrid};
+
+/// One row of the scaling study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Node label, e.g. `"0.35um"`.
+    pub node: String,
+    /// Feature size, micrometres.
+    pub feature_um: f64,
+    /// Die edge, metres (same design, shrunk).
+    pub die_edge_m: f64,
+    /// Total power, watts.
+    pub power_w: f64,
+    /// Power density, W/cm².
+    pub power_density_w_cm2: f64,
+    /// Peak junction temperature, °C.
+    pub peak_temp_c: f64,
+    /// Peak rise over ambient, K.
+    pub peak_rise_k: f64,
+}
+
+/// Scaling parameters of one technology node for the study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeScaling {
+    /// Feature size in micrometres.
+    pub feature_um: f64,
+    /// Total chip power relative to the 0.35 µm baseline. Historically,
+    /// frequency growth and leakage more than offset the per-gate energy
+    /// savings, so this *rises* as the node shrinks.
+    pub power_scale: f64,
+}
+
+/// The default node ladder used by the study (0.35 µm → 0.13 µm), tuned
+/// to the era's published trend: total power grows while area shrinks
+/// quadratically with the feature size.
+pub fn default_node_ladder() -> Vec<NodeScaling> {
+    vec![
+        NodeScaling { feature_um: 0.35, power_scale: 1.0 },
+        NodeScaling { feature_um: 0.25, power_scale: 1.35 },
+        NodeScaling { feature_um: 0.18, power_scale: 1.75 },
+        NodeScaling { feature_um: 0.13, power_scale: 2.3 },
+    ]
+}
+
+/// Runs the scaling study: the *same* processor-like design is shrunk
+/// with the feature size (die edge ∝ feature), total power follows the
+/// node's `power_scale`, and the package stays the same (θ_JA scales
+/// weakly, as packages improved much slower than silicon). Returns one
+/// row per node.
+///
+/// # Errors
+///
+/// Propagates grid/solver failures.
+pub fn scaling_study(
+    base_die_edge_m: f64,
+    base_power_w: f64,
+    ladder: &[NodeScaling],
+) -> Result<Vec<ScalingRow>> {
+    let base_feature = ladder.first().map(|n| n.feature_um).unwrap_or(0.35);
+    let mut rows = Vec::with_capacity(ladder.len());
+    for node in ladder {
+        let shrink = node.feature_um / base_feature;
+        let edge = base_die_edge_m * shrink;
+        let power = base_power_w * node.power_scale;
+        let mut spec = DieSpec::default_1cm2(24, 24);
+        spec.width_m = edge;
+        spec.height_m = edge;
+        // "Under equivalent conditions": the package and cooling stay the
+        // same across nodes (a high-performance 6 K/W assembly), so the
+        // junction rise tracks total power and its spatial concentration.
+        spec.theta_ja = 6.0;
+        let mut grid = ThermalGrid::new(spec)?;
+        Floorplan::processor_like(edge, edge, power).apply(&mut grid)?;
+        grid.solve_steady(1e-7, 50_000)?;
+        let peak = grid.max_temp();
+        rows.push(ScalingRow {
+            node: format!("{:.2}um", node.feature_um),
+            feature_um: node.feature_um,
+            die_edge_m: edge,
+            power_w: power,
+            power_density_w_cm2: power / (edge * edge * 1e4),
+            peak_temp_c: peak,
+            peak_rise_k: peak - grid.spec().ambient_c,
+        });
+    }
+    Ok(rows)
+}
+
+/// A 64-bit-RISC-class hotspot scenario on a 0.35 µm-era die: returns
+/// the solved grid. With ~16 W in a 1.4 cm² die the hottest core region
+/// reaches the ~135 °C the paper's introduction cites.
+///
+/// # Errors
+///
+/// Propagates grid/solver failures.
+pub fn risc_hotspot() -> Result<ThermalGrid> {
+    let mut spec = DieSpec::default_1cm2(32, 32);
+    spec.width_m = 0.012;
+    spec.height_m = 0.012;
+    spec.theta_ja = 6.0; // high-performance package, forced air
+    let mut grid = ThermalGrid::new(spec)?;
+    Floorplan::processor_like(0.012, 0.012, 16.0).apply(&mut grid)?;
+    grid.solve_steady(1e-7, 50_000)?;
+    Ok(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_rises_monotonically() {
+        let rows = scaling_study(0.01, 5.0, &default_node_ladder()).unwrap();
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].peak_rise_k > w[0].peak_rise_k,
+                "{}: {} K vs {}: {} K",
+                w[1].node,
+                w[1].peak_rise_k,
+                w[0].node,
+                w[0].peak_rise_k
+            );
+            assert!(w[1].power_density_w_cm2 > w[0].power_density_w_cm2);
+        }
+    }
+
+    #[test]
+    fn um130_rise_roughly_3x_um350() {
+        // The paper's intro: 0.13 µm junction temperature (rise) ≈ 3.2×
+        // that of 0.35 µm under equivalent conditions.
+        let rows = scaling_study(0.01, 5.0, &default_node_ladder()).unwrap();
+        let base = rows.first().unwrap().peak_rise_k;
+        let scaled = rows.last().unwrap().peak_rise_k;
+        let ratio = scaled / base;
+        assert!(ratio > 2.2 && ratio < 4.5, "rise ratio {ratio}");
+    }
+
+    #[test]
+    fn risc_hotspot_reaches_130s() {
+        let grid = risc_hotspot().unwrap();
+        let peak = grid.max_temp();
+        assert!(peak > 110.0 && peak < 170.0, "peak {peak} °C");
+        // And the die is strongly non-uniform — the reason for mapping.
+        assert!(grid.max_temp() - grid.min_temp() > 5.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Time-varying workload playback: power traces on the thermal grid.
+//!
+//! Real dies do not dissipate constant power; thermal testing exercises
+//! workload *phases* (boot, burst, idle, throttle). A [`PowerTrace`] is a
+//! schedule of floorplans with durations; [`play`] steps the transient
+//! solver through it and samples the temperature at chosen probe points,
+//! producing the time series a sensor scan would chase.
+
+use crate::error::{Result, ThermalError};
+use crate::floorplan::Floorplan;
+use crate::grid::ThermalGrid;
+
+/// One phase of a workload: a power map held for a duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Phase label (e.g. `"burst"`).
+    pub name: String,
+    /// The power map active during the phase.
+    pub floorplan: Floorplan,
+    /// Phase duration, seconds.
+    pub duration_s: f64,
+}
+
+/// A schedule of workload phases.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PowerTrace {
+    phases: Vec<Phase>,
+}
+
+impl PowerTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        PowerTrace::default()
+    }
+
+    /// Appends a phase (chainable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is not positive.
+    #[must_use]
+    pub fn phase(mut self, name: impl Into<String>, floorplan: Floorplan, duration_s: f64) -> Self {
+        assert!(duration_s > 0.0, "phase duration must be positive");
+        self.phases.push(Phase { name: name.into(), floorplan, duration_s });
+        self
+    }
+
+    /// The phases in playback order.
+    #[inline]
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total trace duration, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_s).sum()
+    }
+}
+
+/// One sample of the playback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSample {
+    /// Simulation time, seconds.
+    pub time_s: f64,
+    /// Active phase name.
+    pub phase: String,
+    /// Temperature at each probe, °C (probe order preserved).
+    pub probes_c: Vec<f64>,
+    /// Die peak temperature, °C.
+    pub peak_c: f64,
+}
+
+/// Plays a trace on `grid`, sampling every `dt_s` seconds at the given
+/// probe points (metres). The grid's power map is replaced per phase;
+/// its temperature field carries over, so thermal history is preserved.
+///
+/// # Errors
+///
+/// Returns [`ThermalError::InvalidSpec`] for an empty trace or a
+/// non-positive `dt_s`, and propagates solver/probe failures.
+pub fn play(
+    grid: &mut ThermalGrid,
+    trace: &PowerTrace,
+    probes_m: &[(f64, f64)],
+    dt_s: f64,
+) -> Result<Vec<TraceSample>> {
+    if trace.phases().is_empty() {
+        return Err(ThermalError::InvalidSpec { reason: "trace has no phases".to_string() });
+    }
+    if !(dt_s > 0.0) {
+        return Err(ThermalError::InvalidSpec {
+            reason: format!("sample interval {dt_s} must be positive"),
+        });
+    }
+    // Validate probes up front.
+    for &(x, y) in probes_m {
+        grid.temp_at(x, y)?;
+    }
+    let mut samples = Vec::new();
+    let mut now = 0.0;
+    for phase in trace.phases() {
+        grid.clear_power();
+        phase.floorplan.apply(grid)?;
+        let steps = (phase.duration_s / dt_s).round().max(1.0) as usize;
+        let step_dt = phase.duration_s / steps as f64;
+        for _ in 0..steps {
+            grid.step_transient(step_dt)?;
+            now += step_dt;
+            let probes_c = probes_m
+                .iter()
+                .map(|&(x, y)| grid.temp_at(x, y).expect("validated above"))
+                .collect();
+            samples.push(TraceSample {
+                time_s: now,
+                phase: phase.name.clone(),
+                probes_c,
+                peak_c: grid.max_temp(),
+            });
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::DieSpec;
+
+    fn grid() -> ThermalGrid {
+        ThermalGrid::new(DieSpec::default_1cm2(12, 12)).expect("grid")
+    }
+
+    fn uniform(power: f64) -> Floorplan {
+        Floorplan::new().block("all", 0.0, 0.0, 0.01, 0.01, power)
+    }
+
+    #[test]
+    fn burst_then_idle_heats_then_cools() {
+        let mut g = grid();
+        let tau = g.global_time_constant();
+        let trace = PowerTrace::new()
+            .phase("burst", uniform(6.0), 3.0 * tau)
+            .phase("idle", uniform(1e-9), 3.0 * tau);
+        let samples = play(&mut g, &trace, &[(0.005, 0.005)], tau / 10.0).expect("play");
+        assert_eq!(samples.len(), 60);
+        // Peak of the whole run sits at the end of the burst.
+        let burst_end = samples
+            .iter()
+            .rfind(|s| s.phase == "burst")
+            .expect("burst samples");
+        let global_max = samples.iter().map(|s| s.probes_c[0]).fold(f64::MIN, f64::max);
+        assert!((burst_end.probes_c[0] - global_max).abs() < 0.5, "peak at burst end");
+        // The idle tail cools monotonically back toward ambient.
+        let idle: Vec<f64> =
+            samples.iter().filter(|s| s.phase == "idle").map(|s| s.probes_c[0]).collect();
+        for w in idle.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "cooling is monotone");
+        }
+        assert!(*idle.last().expect("idle samples") < burst_end.probes_c[0] - 10.0);
+    }
+
+    #[test]
+    fn thermal_history_carries_across_phases() {
+        // A second identical burst starts from a warm die, so it peaks
+        // higher than the first burst's first instants.
+        let mut g = grid();
+        let tau = g.global_time_constant();
+        let trace = PowerTrace::new()
+            .phase("b1", uniform(5.0), tau)
+            .phase("cool", uniform(1e-9), tau / 4.0)
+            .phase("b2", uniform(5.0), tau);
+        let samples = play(&mut g, &trace, &[(0.005, 0.005)], tau / 8.0).expect("play");
+        let b2_first = samples
+            .iter()
+            .find(|s| s.phase == "b2")
+            .expect("b2 samples")
+            .probes_c[0];
+        let b1_first = samples.first().expect("samples").probes_c[0];
+        assert!(b2_first > b1_first + 5.0, "warm start: {b2_first} vs {b1_first}");
+    }
+
+    #[test]
+    fn trace_duration_and_validation() {
+        let trace = PowerTrace::new()
+            .phase("a", uniform(1.0), 0.5)
+            .phase("b", uniform(2.0), 1.5);
+        assert_eq!(trace.phases().len(), 2);
+        assert!((trace.duration_s() - 2.0).abs() < 1e-12);
+
+        let mut g = grid();
+        assert!(play(&mut g, &PowerTrace::new(), &[], 0.1).is_err());
+        assert!(play(&mut g, &trace, &[], -1.0).is_err());
+        assert!(play(&mut g, &trace, &[(9.0, 9.0)], 0.1).is_err(), "probe off-die");
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_phase_rejected() {
+        let _ = PowerTrace::new().phase("bad", uniform(1.0), 0.0);
+    }
+}

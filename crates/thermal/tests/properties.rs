@@ -1,0 +1,115 @@
+//! Property-based tests of the thermal solver's physical invariants.
+
+use proptest::prelude::*;
+
+use thermal::{DieSpec, ThermalGrid};
+
+fn grid(n: usize) -> ThermalGrid {
+    ThermalGrid::new(DieSpec::default_1cm2(n, n)).expect("grid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn maximum_principle_with_nonnegative_power(
+        blocks in prop::collection::vec(
+            (0.0f64..0.007, 0.0f64..0.007, 0.002f64..0.003, 0.002f64..0.003, 0.0f64..3.0),
+            1..4,
+        ),
+    ) {
+        // With only heat sources (no sinks below ambient), the solved
+        // field must never drop below ambient, and the peak must not
+        // exceed the lumped worst case P_total · θ_JA.
+        let mut g = grid(12);
+        let mut total = 0.0;
+        for (x, y, w, h, p) in blocks {
+            g.add_power_rect(x, y, w, h, p).expect("block");
+            total += p;
+        }
+        g.solve_steady(1e-8, 30_000).expect("solve");
+        let amb = g.spec().ambient_c;
+        prop_assert!(g.min_temp() >= amb - 1e-6, "below ambient: {}", g.min_temp());
+        // Peak rise ≤ P · (θ_JA + local spreading resistance). A corner
+        // point source sees at worst a few lateral cell resistances of
+        // 1/G_lat = 1/(k·t) ≈ 17 K/W each on top of the package.
+        let g_lat = g.spec().conductivity * g.spec().thickness_m;
+        let bound = amb + total * (g.spec().theta_ja + 5.0 / g_lat) + 1.0;
+        prop_assert!(
+            g.max_temp() <= bound,
+            "peak {} vs bound {}",
+            g.max_temp(),
+            bound
+        );
+    }
+
+    #[test]
+    fn steady_state_is_linear_in_power(
+        x in 0.001f64..0.008,
+        y in 0.001f64..0.008,
+        p in 0.1f64..3.0,
+        scale in 1.5f64..4.0,
+    ) {
+        // The grid is a linear network: scaling the power map scales the
+        // temperature *rise* field by the same factor.
+        let rise = |power: f64| {
+            let mut g = grid(10);
+            g.add_power_rect(x, y, 0.0015, 0.0015, power).expect("block");
+            g.solve_steady(1e-9, 30_000).expect("solve");
+            g.max_temp() - g.spec().ambient_c
+        };
+        let r1 = rise(p);
+        let r2 = rise(p * scale);
+        prop_assert!((r2 / r1 - scale).abs() < 0.02 * scale, "{r2} vs {}", r1 * scale);
+    }
+
+    #[test]
+    fn energy_balance_at_steady_state(
+        px in 0.0f64..0.009,
+        py in 0.0f64..0.009,
+        p in 0.2f64..4.0,
+    ) {
+        let mut g = grid(10);
+        g.add_power_rect(px, py, 0.001, 0.001, p).expect("block");
+        g.solve_steady(1e-10, 40_000).expect("solve");
+        let n = g.cell_count() as f64;
+        let g_v = 1.0 / (g.spec().theta_ja * n);
+        let outflow: f64 = g.temps().iter().map(|t| g_v * (t - g.spec().ambient_c)).sum();
+        prop_assert!((outflow - p).abs() < 0.01 * p, "outflow {outflow} vs power {p}");
+    }
+
+    #[test]
+    fn transient_never_overshoots_steady_state(
+        p in 0.5f64..4.0,
+        steps in 5usize..40,
+    ) {
+        let mut steady = grid(8);
+        steady.add_power_rect(0.0, 0.0, 0.01, 0.01, p).expect("block");
+        steady.solve_steady(1e-9, 30_000).expect("solve");
+        let limit = steady.max_temp();
+
+        let mut tr = grid(8);
+        tr.add_power_rect(0.0, 0.0, 0.01, 0.01, p).expect("block");
+        let dt = tr.global_time_constant() / 20.0;
+        let mut last = tr.mean_temp();
+        for _ in 0..steps {
+            tr.step_transient(dt).expect("step");
+            let now = tr.mean_temp();
+            prop_assert!(now >= last - 1e-9, "monotone heating");
+            prop_assert!(tr.max_temp() <= limit + 0.1, "no overshoot: {}", tr.max_temp());
+            last = now;
+        }
+    }
+
+    #[test]
+    fn hotter_ambient_shifts_the_whole_field(ambient in 0.0f64..60.0, p in 0.5f64..3.0) {
+        let mut spec = DieSpec::default_1cm2(8, 8);
+        spec.ambient_c = ambient;
+        let mut g = ThermalGrid::new(spec).expect("grid");
+        g.add_power_rect(0.0, 0.0, 0.01, 0.01, p).expect("block");
+        g.solve_steady(1e-9, 30_000).expect("solve");
+        // Uniform heating: mean rise = P·θ_JA regardless of ambient.
+        let rise = g.mean_temp() - ambient;
+        prop_assert!((rise - p * 20.0).abs() < 0.5, "rise {rise} vs {}", p * 20.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! The smart unit's counting digitizer as real gates, simulated
+//! event-driven — and cross-checked against the behavioural model.
+//!
+//! The design: a ripple counter divides the ring clock to generate a
+//! 64-cycle window; a synchronous counter accumulates the reference
+//! clock while the window is open. The count is proportional to the
+//! ring period and therefore to junction temperature.
+//!
+//! ```text
+//! cargo run --example gate_level_digitizer
+//! ```
+
+use tsense::core::gate::{Gate, GateKind};
+use tsense::core::ring::RingOscillator;
+use tsense::core::tech::Technology;
+use tsense::core::units::{Celsius, Hertz, Seconds};
+use tsense::smart::digitizer::GateLevelDigitizer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A slower 21-stage ring: its period (>1 ns) satisfies the counter's
+    // flip-flop toggle-loop constraint without a prescaler.
+    let tech = Technology::um350();
+    let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1.0e-6, 2.0)?, 21)?;
+    let ref_clock = Hertz::from_mega(1000.0);
+    let window = 64;
+
+    println!("ring: {ring}");
+    println!("reference clock: {:.0} MHz, window: {window} ring cycles\n", ref_clock.as_mega());
+    println!("  T °C | ring period | behavioural | gate-level | events");
+    println!("  -----+-------------+-------------+------------+--------");
+    for t in [-50.0, 0.0, 50.0, 100.0, 150.0] {
+        let period = ring.period(&tech, Celsius::new(t))?;
+        let dig = GateLevelDigitizer::new(
+            Seconds::new(period.get()),
+            ref_clock,
+            window,
+        )?;
+        let result = dig.run()?;
+        println!(
+            "  {t:4.0} | {:8.1} ps | {:11} | {:10} | {:6}",
+            period.as_picos(),
+            dig.expected_count(),
+            result.count,
+            result.events
+        );
+    }
+    println!("\ngate-level and behavioural counts agree within the async ±LSB,");
+    println!("and both rise with temperature: the digital word IS the thermometer.");
+    Ok(())
+}

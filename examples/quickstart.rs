@@ -1,0 +1,56 @@
+//! Quickstart: from a standard-cell ring oscillator to a calibrated
+//! on-die temperature reading.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use tsense::core::gate::{Gate, GateKind};
+use tsense::core::linearity::{FitKind, NonLinearity};
+use tsense::core::ring::RingOscillator;
+use tsense::core::tech::Technology;
+use tsense::core::units::{Celsius, TempRange};
+use tsense::smart::unit::{SensorConfig, SmartSensorUnit};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The sensing element: a 5-stage inverter ring in 0.35 µm CMOS.
+    let tech = Technology::um350();
+    let gate = Gate::with_ratio(GateKind::Inv, 1.0e-6, 2.0)?;
+    let ring = RingOscillator::uniform(gate, 5)?;
+    println!("sensing element : {ring}");
+    let p27 = ring.period(&tech, Celsius::new(27.0))?;
+    println!(
+        "at 27 °C        : period {:.1} ps, frequency {:.2} GHz",
+        p27.as_picos(),
+        ring.frequency(&tech, Celsius::new(27.0))?.get() / 1e9
+    );
+
+    // 2. Its transfer curve and non-linearity over the paper's range.
+    let curve = ring.period_curve(&tech, TempRange::paper(), 41)?;
+    let nl = NonLinearity::of_curve(&curve, FitKind::LeastSquares)?;
+    println!("transfer        : {nl}");
+
+    // 3. The smart unit: digitizer + FSM + two-point calibration.
+    let mut unit = SmartSensorUnit::new(SensorConfig::new(ring, tech))?;
+    unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))?;
+    println!("resolution      : {:.3} °C/LSB", unit.resolution_at(Celsius::new(50.0))?);
+
+    // 4. Measurements across the range.
+    println!("\n  true °C | code  | measured °C | error");
+    println!("  --------+-------+-------------+-------");
+    for t in [-50.0, -10.0, 27.0, 85.0, 125.0, 150.0] {
+        let m = unit.measure(Celsius::new(t))?;
+        println!(
+            "  {t:7.1} | {:5} | {:11.2} | {:+.3}",
+            m.code,
+            m.temperature.get(),
+            m.temperature.get() - t
+        );
+    }
+    println!(
+        "\noscillator on-time across all {} conversions: {:.1} µs (disabled in between)",
+        unit.measurement_count(),
+        unit.total_osc_on_time().get() * 1e6
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Where should the multiplexed ring oscillators sit? Greedy sensor
+//! placement against a scenario library, compared with a uniform grid.
+//!
+//! Four workload scenarios (each powering different blocks of a
+//! processor-like die) are solved; sensors are then placed to minimize
+//! the gap between the true die peak and the hottest sensed point, and
+//! the chosen placement is wired into a real multiplexed
+//! [`SensorArray`] and scanned.
+//!
+//! ```text
+//! cargo run --release --example sensor_placement
+//! ```
+
+use tsense::core::gate::{Gate, GateKind};
+use tsense::core::ring::RingOscillator;
+use tsense::core::tech::Technology;
+use tsense::core::units::Celsius;
+use tsense::heat::placement::{all_cells, greedy_placement, uniform_placement, ScenarioSet};
+use tsense::heat::{DieSpec, Floorplan, ThermalGrid};
+use tsense::smart::unit::{SensorConfig, SmartSensorUnit};
+use tsense::smart::SensorArray;
+
+fn calibrated_unit() -> Result<SmartSensorUnit, Box<dyn std::error::Error>> {
+    let tech = Technology::um350();
+    let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1.0e-6, 2.0)?, 5)?;
+    let mut unit = SmartSensorUnit::new(SensorConfig::new(ring, tech))?;
+    unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))?;
+    Ok(unit)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = DieSpec::default_1cm2(20, 20);
+    // Scenario library: different workloads light up different blocks.
+    let scenarios = vec![
+        Floorplan::new().block("core0", 0.0005, 0.0005, 0.0035, 0.004, 5.0),
+        Floorplan::new().block("core1", 0.006, 0.0005, 0.0035, 0.004, 5.0),
+        Floorplan::new().block("gpu", 0.0015, 0.0065, 0.004, 0.003, 4.0),
+        Floorplan::processor_like(0.01, 0.01, 5.0),
+    ];
+    println!("solving {} workload scenarios ...", scenarios.len());
+    let set = ScenarioSet::solve(&spec, &scenarios)?;
+
+    for k in [2usize, 4, 6] {
+        let greedy = greedy_placement(&set, &all_cells(20, 20), k)?;
+        let side = (k as f64).sqrt().ceil() as usize;
+        let uniform = uniform_placement(20, 20, side, k.div_ceil(side));
+        println!(
+            "k = {k}: greedy worst peak gap {:.2} K vs uniform {:.2} K   sites: {:?}",
+            set.worst_peak_gap(&greedy),
+            set.worst_peak_gap(&uniform),
+            greedy.iter().map(|s| (s.ix, s.iy)).collect::<Vec<_>>()
+        );
+    }
+
+    // Wire the k = 4 placement into a real multiplexed array and scan
+    // the worst workload.
+    let placement = greedy_placement(&set, &all_cells(20, 20), 4)?;
+    let mut grid = ThermalGrid::new(spec.clone())?;
+    scenarios[3].apply(&mut grid)?;
+    grid.solve_steady(1e-7, 50_000)?;
+
+    let mut array = SensorArray::new();
+    for (i, site) in placement.iter().enumerate() {
+        let x = (site.ix as f64 + 0.5) * spec.dx();
+        let y = (site.iy as f64 + 0.5) * spec.dy();
+        array = array.with_site(format!("opt{i}"), x, y, calibrated_unit()?);
+    }
+    let map = array.scan_grid(&grid)?;
+    println!(
+        "\nscanned the mixed workload: die peak {:.1} °C, hottest sensed {:.1} °C ({}), \
+         sensor accuracy {:.2} °C",
+        grid.max_temp(),
+        map.hottest().measured_c,
+        map.hottest().name,
+        map.max_abs_error_c()
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! A thermal-management watchdog riding on the smart sensor: the die
+//! heats under load, the watchdog trips an over-temperature alarm (with
+//! hysteresis), the load is throttled, and the alarm clears as the die
+//! cools — all while the oscillator stays duty-cycled and the readings
+//! are averaged against period jitter.
+//!
+//! ```text
+//! cargo run --example thermal_watchdog
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsense::core::gate::{Gate, GateKind};
+use tsense::core::ring::RingOscillator;
+use tsense::core::tech::Technology;
+use tsense::core::units::{Celsius, Seconds};
+use tsense::heat::{DieSpec, Floorplan, ThermalGrid};
+use tsense::smart::alarm::{AlarmEvent, ThermalAlarm, ThermalWatchdog};
+use tsense::smart::noise::{measure_averaged, JitterModel};
+use tsense::smart::unit::{SensorConfig, SmartSensorUnit};
+
+fn calibrated_unit() -> Result<SmartSensorUnit, Box<dyn std::error::Error>> {
+    let tech = Technology::um350();
+    let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1.0e-6, 2.0)?, 5)?;
+    let mut unit = SmartSensorUnit::new(SensorConfig::new(ring, tech))?;
+    unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))?;
+    Ok(unit)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The die: 1 cm², aggressive package, core power controlled by a
+    // throttle signal.
+    let mut spec = DieSpec::default_1cm2(16, 16);
+    spec.theta_ja = 8.0;
+    let mut grid = ThermalGrid::new(spec)?;
+    let full_power = 9.0;
+    let throttled_power = 3.0;
+
+    let alarm = ThermalAlarm::new(Celsius::new(95.0), 5.0);
+    let mut watchdog = ThermalWatchdog::new(calibrated_unit()?, alarm, Seconds::new(1e-3));
+    let mut noisy_probe = calibrated_unit()?;
+    let jitter = JitterModel::typical();
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let probe = (0.003, 0.003); // sensor site near the hot core
+    let dt = grid.global_time_constant() / 15.0;
+    let mut throttled = false;
+
+    println!("trip at 95.0 °C, clear below 90.0 °C; polling every {dt:.3} s of die time\n");
+    println!("  step | die °C | watchdog °C | filtered °C | power W | event");
+    println!("  -----+--------+-------------+-------------+---------+---------");
+    for step in 0..26 {
+        // Apply the current power state and advance the die.
+        grid.clear_power();
+        let p = if throttled { throttled_power } else { full_power };
+        Floorplan::processor_like(0.01, 0.01, p).apply(&mut grid)?;
+        grid.run_transient(dt, 3)?;
+        let junction = grid.temp_at(probe.0, probe.1)?;
+
+        // One watchdog poll plus a jitter-filtered reference reading.
+        let outcome = watchdog.poll(Celsius::new(junction))?;
+        let filtered = measure_averaged(&mut noisy_probe, Celsius::new(junction), &jitter, 8, &mut rng)?;
+
+        let event = match outcome.event {
+            AlarmEvent::Tripped => {
+                throttled = true;
+                "TRIP → throttle"
+            }
+            AlarmEvent::Cleared => {
+                throttled = false;
+                "CLEAR → full power"
+            }
+            AlarmEvent::None => "",
+        };
+        println!(
+            "  {step:4} | {junction:6.1} | {:11.1} | {filtered:11.1} | {p:7.1} | {event}",
+            outcome.temperature.get(),
+            filtered = filtered.get()
+        );
+    }
+    println!(
+        "\noscillator duty cycle across the whole run: {:.2} % (disable feature at work)",
+        watchdog.poll(Celsius::new(grid.temp_at(probe.0, probe.1)?))?.duty * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! # tsense — smart ring-oscillator temperature sensing for cell-based ICs
+//!
+//! A full reproduction of *"Smart Temperature Sensor for Thermal Testing
+//! of Cell-Based ICs"* (Bota, Rosales, Segura — DATE 2005) as a Rust
+//! workspace, including every substrate the paper's evaluation relies
+//! on. This umbrella crate re-exports the member crates:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`core`] (`tsense-core`) | analytical alpha-power delay models, ring oscillators, linearity metrics, ratio/cell-mix optimizers, calibration, Monte-Carlo variation |
+//! | [`spice`] (`spicelite`) | a small SPICE-class analog simulator: MNA, Newton–Raphson, BE/trapezoidal transient, Level-1 MOSFETs, netlist parser |
+//! | [`cells`] (`stdcell`) | transistor-level standard cells, ring elaboration, timing characterization |
+//! | [`logic`] (`dsim`) | event-driven 4-value gate-level simulator with counters/registers and VCD export |
+//! | [`smart`] (`sensor`) | the smart unit: measurement FSM, counting digitizer (behavioural + gate-level), calibration, multiplexed thermal mapping |
+//! | [`heat`] (`thermal`) | 2-D die thermal RC grid with floorplans and scaling scenarios |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tsense::core::gate::{Gate, GateKind};
+//! use tsense::core::linearity::{FitKind, NonLinearity};
+//! use tsense::core::ring::RingOscillator;
+//! use tsense::core::tech::Technology;
+//! use tsense::core::units::{Celsius, TempRange};
+//! use tsense::smart::unit::{SensorConfig, SmartSensorUnit};
+//!
+//! // The paper's sensing element: a 5-stage inverter ring.
+//! let tech = Technology::um350();
+//! let gate = Gate::with_ratio(GateKind::Inv, 1.0e-6, 2.0)?;
+//! let ring = RingOscillator::uniform(gate, 5)?;
+//!
+//! // Its linearity over the -50..150 °C range (Fig. 2's metric).
+//! let curve = ring.period_curve(&tech, TempRange::paper(), 41)?;
+//! let nl = NonLinearity::of_curve(&curve, FitKind::LeastSquares)?;
+//! assert!(nl.max_abs_percent() < 0.2, "an adequate ratio beats 0.2 %");
+//!
+//! // The smart unit built on it (Section 3).
+//! let mut unit = SmartSensorUnit::new(SensorConfig::new(ring, tech))?;
+//! unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))?;
+//! let m = unit.measure(Celsius::new(85.0))?;
+//! assert!((m.temperature.get() - 85.0).abs() < 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory, `EXPERIMENTS.md` for
+//! paper-vs-measured results, and `examples/` for runnable scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Frequently used types, importable in one line.
+///
+/// ```
+/// use tsense::prelude::*;
+///
+/// let tech = Technology::um350();
+/// let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1.0e-6, 2.0)?, 5)?;
+/// assert!(ring.period(&tech, Celsius::new(27.0))?.as_picos() > 0.0);
+/// # Ok::<(), ModelError>(())
+/// ```
+pub mod prelude {
+    pub use dsim::{Logic, Netlist, Simulator};
+    pub use sensor::alarm::{AlarmEvent, ThermalAlarm, ThermalWatchdog};
+    pub use sensor::unit::{Measurement, SensorConfig, SmartSensorUnit};
+    pub use sensor::{SensorArray, SensorError};
+    pub use spicelite::{run_transient, solve_dc, Circuit, SimError, Stimulus, TranOptions};
+    pub use stdcell::{CellLibrary, TransistorRing};
+    pub use thermal::{DieSpec, Floorplan, ThermalGrid};
+    pub use tsense_core::calibration::{Calibration, OnePoint, ThreePoint, TwoPoint};
+    pub use tsense_core::gate::{Gate, GateKind};
+    pub use tsense_core::linearity::{FitKind, NonLinearity};
+    pub use tsense_core::ring::{CellConfig, RingOscillator};
+    pub use tsense_core::tech::Technology;
+    pub use tsense_core::units::{Celsius, Hertz, Kelvin, Seconds, TempRange, Volts};
+    pub use tsense_core::ModelError;
+}
+
+/// Analytical sensor models (`tsense-core`).
+pub use tsense_core as core;
+
+/// The analog circuit simulator (`spicelite`).
+pub use spicelite as spice;
+
+/// Transistor-level standard cells (`stdcell`).
+pub use stdcell as cells;
+
+/// The event-driven logic simulator (`dsim`).
+pub use dsim as logic;
+
+/// The smart sensor unit (`sensor`).
+pub use sensor as smart;
+
+/// The die thermal simulator (`thermal`).
+pub use thermal as heat;

@@ -1,0 +1,157 @@
+//! Cross-validation of the two independent modelling paths: the
+//! analytical alpha-power layer (`tsense-core`) against the
+//! transistor-level Level-1 simulation (`spicelite` + `stdcell`).
+//!
+//! Absolute picosecond values are not expected to match (different
+//! model formulations); what must match is every *shape* the paper's
+//! conclusions rest on.
+
+use stdcell::library::CellLibrary;
+use tsense_core::gate::{Gate, GateKind};
+use tsense_core::linearity::{FitKind, LinearFit, NonLinearity};
+use tsense_core::ring::{PeriodCurve, RingOscillator};
+use tsense_core::units::{Celsius, Seconds};
+
+fn analytical_curve(ratio: f64, stages: usize, temps: &[f64]) -> Vec<f64> {
+    let tech = tsense_core::Technology::um350();
+    let gate = Gate::with_ratio(GateKind::Inv, 1e-6, ratio).expect("gate");
+    let ring = RingOscillator::uniform(gate, stages).expect("ring");
+    temps
+        .iter()
+        .map(|&t| ring.period(&tech, Celsius::new(t)).expect("period").get())
+        .collect()
+}
+
+fn simulated_curve(ratio: f64, stages: usize, temps: &[f64]) -> Vec<f64> {
+    let lib = CellLibrary::um350(ratio);
+    let ring = lib.uniform_ring(GateKind::Inv, stages).expect("ring");
+    ring.period_curve(temps).expect("curve").into_iter().map(|(_, p)| p).collect()
+}
+
+#[test]
+fn both_paths_increase_monotonically_with_temperature() {
+    let temps = [-50.0, 0.0, 50.0, 100.0, 150.0];
+    for curve in [analytical_curve(2.0, 5, &temps), simulated_curve(2.0, 5, &temps)] {
+        for w in curve.windows(2) {
+            assert!(w[1] > w[0], "period rises with temperature: {curve:?}");
+        }
+    }
+}
+
+#[test]
+fn relative_temperature_slopes_agree() {
+    // The relative sensitivity (1/P)·dP/dT of the two paths must agree
+    // within ~30 % — it is set by the shared temperature physics.
+    let temps = [-50.0, 0.0, 50.0, 100.0, 150.0];
+    let ana = analytical_curve(2.0, 5, &temps);
+    let sim = simulated_curve(2.0, 5, &temps);
+    let rel = |c: &[f64]| (c[4] - c[0]) / c[2] / 200.0;
+    let (ra, rs) = (rel(&ana), rel(&sim));
+    assert!(
+        (ra / rs - 1.0).abs() < 0.3,
+        "relative slopes: analytical {ra:.5}/K vs simulated {rs:.5}/K"
+    );
+}
+
+#[test]
+fn period_curves_are_strongly_correlated() {
+    let temps: Vec<f64> = (0..9).map(|i| -50.0 + 25.0 * i as f64).collect();
+    let ana = analytical_curve(2.0, 5, &temps);
+    let sim = simulated_curve(2.0, 5, &temps);
+    // Fit sim against ana: an affine relation should explain ~everything.
+    let fit = LinearFit::least_squares(&ana, &sim).expect("fit");
+    assert!(fit.r_squared > 0.999, "R² = {}", fit.r_squared);
+}
+
+#[test]
+fn stage_count_scaling_matches() {
+    let temps = [27.0];
+    let a5 = analytical_curve(2.0, 5, &temps)[0];
+    let a9 = analytical_curve(2.0, 9, &temps)[0];
+    let s5 = simulated_curve(2.0, 5, &temps)[0];
+    let s9 = simulated_curve(2.0, 9, &temps)[0];
+    let (ra, rs) = (a9 / a5, s9 / s5);
+    assert!((ra - 1.8).abs() < 0.1, "analytical 9/5 ratio {ra}");
+    assert!((rs - 1.8).abs() < 0.1, "simulated 9/5 ratio {rs}");
+}
+
+#[test]
+fn nonlinearity_minimum_is_interior_in_both_paths() {
+    // The Fig. 2 conclusion: an adequate ratio minimizes NL; extremes
+    // are worse. Check ordering on {1.5, 2.25, 4.0} in both paths.
+    let temps: Vec<f64> = (0..9).map(|i| -50.0 + 25.0 * i as f64).collect();
+    let nl_of = |periods: Vec<f64>| {
+        let curve = PeriodCurve::new(
+            temps.iter().map(|&t| Celsius::new(t)).collect(),
+            periods.into_iter().map(Seconds::new).collect(),
+        );
+        NonLinearity::of_curve(&curve, FitKind::LeastSquares)
+            .expect("analysis")
+            .max_abs_percent()
+    };
+    for path in [analytical_curve, simulated_curve] {
+        let lo = nl_of(path(1.5, 5, &temps));
+        let mid = nl_of(path(2.25, 5, &temps));
+        let hi = nl_of(path(4.0, 5, &temps));
+        assert!(
+            mid < lo && mid < hi,
+            "interior minimum: NL(1.5)={lo:.4}, NL(2.25)={mid:.4}, NL(4)={hi:.4}"
+        );
+        assert!(mid < 0.2, "optimum beats the paper's 0.2 % bar: {mid:.4}");
+    }
+}
+
+#[test]
+fn nand_rings_slower_in_both_paths() {
+    let temps = [27.0];
+    let tech = tsense_core::Technology::um350();
+    let inv_ana = analytical_curve(2.0, 5, &temps)[0];
+    let nand_gate = Gate::with_ratio(GateKind::Nand2, 1e-6, 2.0).expect("gate");
+    let nand_ana = RingOscillator::uniform(nand_gate, 5)
+        .expect("ring")
+        .period(&tech, Celsius::new(27.0))
+        .expect("period")
+        .get();
+    let lib = CellLibrary::um350(2.0);
+    let inv_sim = simulated_curve(2.0, 5, &temps)[0];
+    let nand_sim = lib
+        .uniform_ring(GateKind::Nand2, 5)
+        .expect("ring")
+        .measure_period(27.0)
+        .expect("period");
+    assert!(nand_ana > 1.2 * inv_ana, "analytical: {nand_ana} vs {inv_ana}");
+    assert!(nand_sim > 1.2 * inv_sim, "simulated: {nand_sim} vs {inv_sim}");
+}
+
+#[test]
+fn characterized_cell_delays_track_the_analytical_model() {
+    // Per-cell t_PHL/t_PLH from the characterization bench vs the
+    // closed-form gate delays: the *ratio* NAND-tphl/INV-tphl must agree.
+    let lib = CellLibrary::um350(2.0);
+    let tech = lib.analytical_technology();
+    let temps = [27.0];
+    let inv_table = lib.characterize_cell(GateKind::Inv, &temps).expect("inv table");
+    let nand_table = lib.characterize_cell(GateKind::Nand2, &temps).expect("nand table");
+    let sim_ratio = nand_table.delays[0].tphl / inv_table.delays[0].tphl;
+
+    let load = Gate::with_ratio(GateKind::Inv, 1e-6, 2.0)
+        .expect("gate")
+        .input_capacitance(&tech);
+    let inv_ana = Gate::with_ratio(GateKind::Inv, 1e-6, 2.0)
+        .expect("gate")
+        .delays(&tech, Celsius::new(27.0), load)
+        .expect("delays");
+    let nand_load = Gate::with_ratio(GateKind::Nand2, 1e-6, 2.0)
+        .expect("gate")
+        .input_capacitance(&tech);
+    let nand_ana = Gate::with_ratio(GateKind::Nand2, 1e-6, 2.0)
+        .expect("gate")
+        .delays(&tech, Celsius::new(27.0), nand_load)
+        .expect("delays");
+    let ana_ratio = nand_ana.tphl.get() / inv_ana.tphl.get();
+    assert!(
+        (sim_ratio / ana_ratio - 1.0).abs() < 0.5,
+        "NAND2/INV tphl ratio: simulated {sim_ratio:.2} vs analytical {ana_ratio:.2}"
+    );
+    assert!(sim_ratio > 1.5, "the stack penalty is visible: {sim_ratio:.2}");
+}

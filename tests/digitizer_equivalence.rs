@@ -1,0 +1,141 @@
+//! Behavioural-versus-gate-level digitizer equivalence across operating
+//! conditions, and the linearity of the *digital* transfer function.
+
+use sensor::digitizer::{BehavioralDigitizer, GateLevelDigitizer};
+use tsense_core::gate::{Gate, GateKind};
+use tsense_core::linearity::LinearFit;
+use tsense_core::ring::RingOscillator;
+use tsense_core::sensitivity::DigitizerSpec;
+use tsense_core::tech::Technology;
+use tsense_core::units::{Celsius, Hertz, Seconds};
+
+const REF: f64 = 1000.0; // MHz
+
+#[test]
+fn agreement_within_lsb_budget_across_periods_and_windows() {
+    // The async window + divider latency budget is a constant ≈2 LSB.
+    for &window in &[16u32, 64, 256] {
+        for &ns in &[1.1, 1.45, 1.9] {
+            let d = GateLevelDigitizer::new(
+                Seconds::from_nanos(ns),
+                Hertz::from_mega(REF),
+                window,
+            )
+            .expect("plan");
+            let gate_count = d.run().expect("run").count;
+            let expect = d.expected_count();
+            let err = gate_count as i64 - expect as i64;
+            assert!(
+                (0..=3).contains(&err),
+                "window {window}, period {ns} ns: gate {gate_count} vs behavioural {expect}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gate_level_codes_are_monotone_in_temperature() {
+    // Feed real ring periods (21-stage ring, slow enough for the
+    // counter) through the gate-level design across the range.
+    let tech = Technology::um350();
+    let ring = RingOscillator::uniform(
+        Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"),
+        21,
+    )
+    .expect("ring");
+    let mut last = 0u64;
+    for t in [-50.0, 0.0, 50.0, 100.0, 150.0] {
+        let period = ring.period(&tech, Celsius::new(t)).expect("period");
+        let d = GateLevelDigitizer::new(
+            Seconds::new(period.get()),
+            Hertz::from_mega(REF),
+            64,
+        )
+        .expect("plan");
+        let count = d.run().expect("run").count;
+        assert!(count > last, "codes rise with temperature: {count} after {last}");
+        last = count;
+    }
+}
+
+#[test]
+fn digital_transfer_is_as_linear_as_the_analog_one() {
+    // Quantization aside, the code-vs-temperature line inherits the
+    // ring's linearity: R² of the gate-level codes stays extreme.
+    let tech = Technology::um350();
+    let ring = RingOscillator::uniform(
+        Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"),
+        21,
+    )
+    .expect("ring");
+    let temps: Vec<f64> = (0..9).map(|i| -50.0 + 25.0 * i as f64).collect();
+    let codes: Vec<f64> = temps
+        .iter()
+        .map(|&t| {
+            let period = ring.period(&tech, Celsius::new(t)).expect("period");
+            GateLevelDigitizer::new(Seconds::new(period.get()), Hertz::from_mega(REF), 256)
+                .expect("plan")
+                .run()
+                .expect("run")
+                .count as f64
+        })
+        .collect();
+    let fit = LinearFit::least_squares(&temps, &codes).expect("fit");
+    assert!(fit.r_squared > 0.9995, "R² = {}", fit.r_squared);
+    assert!(fit.slope > 0.0, "positive code gain");
+}
+
+#[test]
+fn behavioural_quantization_never_exceeds_one_lsb() {
+    let spec = DigitizerSpec::new(Hertz::from_mega(100.0), 1 << 16).expect("spec");
+    let d = BehavioralDigitizer::new(spec);
+    for ps in [200.0, 273.5, 310.7, 395.1, 433.9] {
+        let p = Seconds::from_picos(ps);
+        let ideal = d.spec().ideal_count(p);
+        let q = d.convert(p) as f64;
+        assert!(ideal - q >= 0.0 && ideal - q < 1.0, "floor quantization at {ps} ps");
+    }
+}
+
+#[test]
+fn gate_level_unit_codes_calibrate_to_degrees() {
+    // Full-stack: ring periods from the analytical model feed the
+    // complete gate-level unit; two of the resulting *hardware* codes
+    // calibrate the rest to degrees.
+    use sensor::gateunit::GateLevelUnit;
+    use sensor::unit::CodeCalibration;
+
+    let tech = Technology::um350();
+    let ring = RingOscillator::uniform(
+        Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"),
+        21,
+    )
+    .expect("ring");
+    let code_at = |t: f64| -> u64 {
+        let period = ring.period(&tech, Celsius::new(t)).expect("period");
+        GateLevelUnit::new(
+            Seconds::new(period.get()),
+            Hertz::from_mega(1000.0),
+            16,
+            256,
+        )
+        .expect("unit")
+        .convert()
+        .expect("convert")
+        .count
+    };
+    let cal = CodeCalibration::fit(
+        code_at(-50.0),
+        Celsius::new(-50.0),
+        code_at(150.0),
+        Celsius::new(150.0),
+    )
+    .expect("calibration");
+    for t in [-20.0, 27.0, 85.0, 125.0] {
+        let est = cal.decode(code_at(t)).get();
+        assert!(
+            (est - t).abs() < 3.0,
+            "gate-level hardware reads {est:.1} at {t} °C"
+        );
+    }
+}

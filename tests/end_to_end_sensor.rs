@@ -1,0 +1,196 @@
+//! End-to-end system tests: thermal field → sensor array → digital map,
+//! plus the smart unit's control semantics across crate boundaries.
+
+use sensor::selfheat::{study, SelfHeatModel};
+use sensor::unit::{SensorConfig, SmartSensorUnit};
+use sensor::{SensorArray, SensorError};
+use thermal::{DieSpec, Floorplan, ThermalGrid};
+use tsense_core::gate::{Gate, GateKind};
+use tsense_core::ring::{CellConfig, RingOscillator};
+use tsense_core::tech::Technology;
+use tsense_core::units::{Celsius, Seconds, TempRange};
+use tsense_core::variation::{perturb_ring, perturb_technology, VariationSpec};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn calibrated_unit() -> SmartSensorUnit {
+    let tech = Technology::um350();
+    let ring = RingOscillator::uniform(
+        Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"),
+        5,
+    )
+    .expect("ring");
+    let mut u = SmartSensorUnit::new(SensorConfig::new(ring, tech)).expect("unit");
+    u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).expect("cal");
+    u
+}
+
+#[test]
+fn hotspot_localization_across_the_stack() {
+    // A heating block in the top-right corner must be found by the map.
+    let mut grid = ThermalGrid::new(DieSpec::default_1cm2(24, 24)).expect("grid");
+    Floorplan::new()
+        .block("hot", 0.0075, 0.0075, 0.002, 0.002, 3.0)
+        .apply(&mut grid)
+        .expect("apply");
+    grid.solve_steady(1e-8, 30_000).expect("solve");
+
+    let mut array = SensorArray::new();
+    for iy in 0..3 {
+        for ix in 0..3 {
+            array = array.with_site(
+                format!("s{ix}{iy}"),
+                0.0015 + 0.0035 * ix as f64,
+                0.0015 + 0.0035 * iy as f64,
+                calibrated_unit(),
+            );
+        }
+    }
+    let map = array.scan_grid(&grid).expect("scan");
+    assert_eq!(map.hottest().name, "s22", "top-right sensor is hottest");
+    assert!(map.max_abs_error_c() < 1.0, "map error {}", map.max_abs_error_c());
+}
+
+#[test]
+fn transient_die_heating_tracked_by_repeated_measurements() {
+    // Power up a die and track its temperature with the sensor over
+    // time: the measured trajectory must be monotone and approach the
+    // steady state.
+    let mut grid = ThermalGrid::new(DieSpec::default_1cm2(16, 16)).expect("grid");
+    grid.add_power_rect(0.0, 0.0, 0.01, 0.01, 5.0).expect("power");
+    let mut unit = calibrated_unit();
+    let probe = (0.005, 0.005);
+
+    let dt = grid.global_time_constant() / 20.0;
+    let mut readings = Vec::new();
+    for _ in 0..20 {
+        grid.run_transient(dt, 5).expect("step");
+        let junction = grid.temp_at(probe.0, probe.1).expect("temp");
+        let m = unit.measure(Celsius::new(junction)).expect("measure");
+        readings.push(m.temperature.get());
+    }
+    for w in readings.windows(2) {
+        assert!(w[1] >= w[0] - 0.3, "heating trajectory monotone-ish: {readings:?}");
+    }
+    let steady = {
+        let mut g = ThermalGrid::new(DieSpec::default_1cm2(16, 16)).expect("grid");
+        g.add_power_rect(0.0, 0.0, 0.01, 0.01, 5.0).expect("power");
+        g.solve_steady(1e-9, 20_000).expect("solve");
+        g.temp_at(probe.0, probe.1).expect("temp")
+    };
+    let last = *readings.last().expect("non-empty");
+    assert!(
+        (last - steady).abs() < 5.0,
+        "approaches steady state: measured {last}, steady {steady}"
+    );
+}
+
+#[test]
+fn self_heating_error_smaller_than_measured_gradients() {
+    // The disable feature keeps the sensor's own heating far below the
+    // die gradients it is supposed to resolve.
+    let tech = Technology::um350();
+    let ring = RingOscillator::uniform(
+        Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"),
+        5,
+    )
+    .expect("ring");
+    let s = study(
+        &ring,
+        &tech,
+        SelfHeatModel::default_macro(),
+        Celsius::new(85.0),
+        Seconds::from_micros(20.0),
+        Seconds::new(1e-3),
+    )
+    .expect("study");
+    assert!(s.duty_cycled_error_k < 0.1, "duty-cycled rise {}", s.duty_cycled_error_k);
+}
+
+#[test]
+fn mixed_cell_sensor_works_end_to_end() {
+    // A Fig. 3-style mixed ring drives the same smart unit machinery.
+    let tech = Technology::um350();
+    let config = CellConfig::from_groups(&[(2, GateKind::Inv), (1, GateKind::Nand3), (2, GateKind::Nor2)])
+        .expect("config");
+    let ring = RingOscillator::from_config(&config, 1e-6, 1.5).expect("ring");
+    let mut unit = SmartSensorUnit::new(SensorConfig::new(ring, tech)).expect("unit");
+    unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).expect("cal");
+    let mut worst = 0.0_f64;
+    for t in TempRange::paper().samples(11) {
+        let m = unit.measure(t).expect("measure");
+        worst = worst.max((m.temperature.get() - t.get()).abs());
+    }
+    assert!(worst < 0.8, "mixed-cell sensor accuracy {worst} °C");
+}
+
+#[test]
+fn per_die_calibration_absorbs_variation_in_the_full_unit() {
+    // Build a *varied* die (ring + tech), calibrate THAT die, and check
+    // accuracy — the full production flow.
+    let nominal_tech = Technology::um350();
+    let nominal_ring = RingOscillator::uniform(
+        Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"),
+        5,
+    )
+    .expect("ring");
+    let mut rng = StdRng::seed_from_u64(77);
+    let spec = VariationSpec::default();
+    for _die in 0..5 {
+        let die_tech = perturb_technology(&nominal_tech, &spec, &mut rng);
+        let die_ring = perturb_ring(&nominal_ring, &spec, &mut rng).expect("ring");
+        let mut unit =
+            SmartSensorUnit::new(SensorConfig::new(die_ring, die_tech)).expect("unit");
+        unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).expect("cal");
+        let m = unit.measure(Celsius::new(60.0)).expect("measure");
+        assert!(
+            (m.temperature.get() - 60.0).abs() < 1.0,
+            "die reads {} at 60 °C",
+            m.temperature.get()
+        );
+    }
+}
+
+#[test]
+fn error_types_compose_across_crates() {
+    // A thermal error surfaces through the sensor API with context.
+    let grid = ThermalGrid::new(DieSpec::default_1cm2(8, 8)).expect("grid");
+    let mut array = SensorArray::new().with_site("off_die", 1.0, 1.0, calibrated_unit());
+    match array.scan_grid(&grid) {
+        Err(SensorError::Thermal(thermal::ThermalError::OutOfDie { .. })) => {}
+        other => panic!("expected a thermal out-of-die error, got {other:?}"),
+    }
+}
+
+#[test]
+fn watchdog_chases_a_workload_trace() {
+    // Play a burst/idle workload on the die and let the watchdog sample
+    // the junction as it goes: the alarm must trip during the burst and
+    // clear during the idle cool-down.
+    use sensor::alarm::{AlarmEvent, ThermalAlarm, ThermalWatchdog};
+    use thermal::trace::{play, PowerTrace};
+
+    let mut grid = ThermalGrid::new(DieSpec::default_1cm2(12, 12)).expect("grid");
+    let tau = grid.global_time_constant();
+    let burst = Floorplan::new().block("all", 0.0, 0.0, 0.01, 0.01, 6.0);
+    let idle = Floorplan::new().block("all", 0.0, 0.0, 0.01, 0.01, 1e-9);
+    let trace = PowerTrace::new()
+        .phase("burst", burst, 3.0 * tau)
+        .phase("idle", idle, 3.0 * tau);
+    let samples = play(&mut grid, &trace, &[(0.005, 0.005)], tau / 8.0).expect("play");
+
+    let alarm = ThermalAlarm::new(Celsius::new(100.0), 5.0);
+    let mut watchdog =
+        ThermalWatchdog::new(calibrated_unit(), alarm, Seconds::new(1e-3));
+    let mut events = Vec::new();
+    for s in &samples {
+        let outcome = watchdog.poll(Celsius::new(s.probes_c[0])).expect("poll");
+        if outcome.event != AlarmEvent::None {
+            events.push((s.phase.clone(), outcome.event));
+        }
+    }
+    assert_eq!(events.len(), 2, "{events:?}");
+    assert_eq!(events[0], ("burst".to_string(), AlarmEvent::Tripped));
+    assert_eq!(events[1], ("idle".to_string(), AlarmEvent::Cleared));
+}

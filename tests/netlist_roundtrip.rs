@@ -1,0 +1,141 @@
+//! Netlist-path equivalence: circuits built programmatically and
+//! circuits parsed from the library's SPICE text must simulate
+//! identically.
+
+use spicelite::dc::{solve_dc, SolverOptions};
+use spicelite::netlist::parse;
+use spicelite::transient::run_transient;
+use stdcell::cells::{emit_cell, CellSizing};
+use stdcell::library::CellLibrary;
+use tsense_core::gate::GateKind;
+
+#[test]
+fn parsed_ring_matches_programmatic_ring_period() {
+    let lib = CellLibrary::um350(2.0);
+
+    // Programmatic path.
+    let prog_ring = lib.uniform_ring(GateKind::Inv, 5).expect("ring");
+    let prog_period = prog_ring.measure_period(27.0).expect("period");
+
+    // Netlist path: same cells through the parser.
+    let src = format!(
+        "{}VDD vdd 0 DC 3.3
+X1 n0 n1 vdd inv
+X2 n1 n2 vdd inv
+X3 n2 n3 vdd inv
+X4 n3 n4 vdd inv
+X5 n4 n0 vdd inv
+.ic V(n0)=0 V(n1)=3.3 V(n2)=0 V(n3)=3.3 V(n4)=0
+.tran 1p 8n UIC
+.end
+",
+        lib.library_text()
+    );
+    let deck = parse(&src).expect("parse");
+    let wave = run_transient(&deck.circuit, &deck.tran.expect("tran").to_options())
+        .expect("transient");
+    let parsed_period = wave.period("n0", 1.65, 3).expect("period");
+
+    let rel = (parsed_period - prog_period).abs() / prog_period;
+    assert!(
+        rel < 0.02,
+        "periods agree: programmatic {prog_period:.3e} vs parsed {parsed_period:.3e} ({rel:.4})"
+    );
+}
+
+#[test]
+fn every_cell_subckt_inverts_after_parsing() {
+    let lib = CellLibrary::um350(2.0);
+    for kind in GateKind::ALL {
+        let cell = kind.name().to_ascii_lowercase();
+        let src = format!(
+            "{}VDD vdd 0 DC 3.3
+VIN a 0 DC 0
+X1 a b vdd {cell}
+.end
+",
+            lib.library_text()
+        );
+        let deck = parse(&src).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let op = solve_dc(&deck.circuit, &SolverOptions::default()).expect("dc");
+        let v = op.voltage(&deck.circuit, "b").expect("node");
+        assert!(v > 3.2, "{kind}: low input gives a high output, got {v}");
+    }
+}
+
+#[test]
+fn parsed_and_programmatic_dc_points_are_identical() {
+    // Bias an inverter at mid-rail through both construction paths.
+    let lib = CellLibrary::um350(2.0);
+    let vin = 1.4;
+
+    let mut prog = spicelite::Circuit::new();
+    let vdd = prog.node("vdd");
+    let a = prog.node("a");
+    let b = prog.node("b");
+    prog.add_vsource("VDD", vdd, spicelite::Circuit::GROUND, spicelite::Stimulus::Dc(3.3))
+        .expect("vdd");
+    prog.add_vsource("VIN", a, spicelite::Circuit::GROUND, spicelite::Stimulus::Dc(vin))
+        .expect("vin");
+    emit_cell(
+        &mut prog,
+        GateKind::Inv,
+        "X1",
+        a,
+        b,
+        vdd,
+        CellSizing::um350(2.0),
+        &lib.nmos,
+        &lib.pmos,
+    )
+    .expect("cell");
+    let prog_v = solve_dc(&prog, &SolverOptions::default())
+        .expect("dc")
+        .voltage(&prog, "b")
+        .expect("node");
+
+    let src = format!(
+        "{}VDD vdd 0 DC 3.3
+VIN a 0 DC {vin}
+X1 a b vdd inv
+.end
+",
+        lib.library_text()
+    );
+    let deck = parse(&src).expect("parse");
+    let parsed_v = solve_dc(&deck.circuit, &SolverOptions::default())
+        .expect("dc")
+        .voltage(&deck.circuit, "b")
+        .expect("node");
+
+    assert!(
+        (prog_v - parsed_v).abs() < 1e-6,
+        "identical DC points: {prog_v} vs {parsed_v}"
+    );
+}
+
+#[test]
+fn temperature_directive_flows_into_the_simulation() {
+    let lib = CellLibrary::um350(2.0);
+    let period_at = |temp: f64| {
+        let src = format!(
+            "{}VDD vdd 0 DC 3.3
+X1 n0 n1 vdd inv
+X2 n1 n2 vdd inv
+X3 n2 n0 vdd inv
+.ic V(n0)=0 V(n1)=3.3 V(n2)=0
+.temp {temp}
+.tran 1p 3n UIC
+.end
+",
+            lib.library_text()
+        );
+        let deck = parse(&src).expect("parse");
+        let wave = run_transient(&deck.circuit, &deck.tran.expect("tran").to_options())
+            .expect("transient");
+        wave.period("n0", 1.65, 3).expect("period")
+    };
+    let cold = period_at(-50.0);
+    let hot = period_at(150.0);
+    assert!(hot > 1.2 * cold, ".temp changes the physics: {cold:.3e} vs {hot:.3e}");
+}

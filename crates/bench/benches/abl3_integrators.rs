@@ -2,8 +2,8 @@
 //! same ring circuit.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use spicelite::transient::{run_transient, Integrator, TranOptions};
+use std::hint::black_box;
 use stdcell::library::CellLibrary;
 use tsense_core::gate::GateKind;
 
@@ -14,18 +14,23 @@ fn bench_abl3(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("abl3");
     group.sample_size(10);
-    for (name, integ) in
-        [("backward_euler", Integrator::BackwardEuler), ("trapezoidal", Integrator::Trapezoidal)]
-    {
-        group.bench_with_input(BenchmarkId::new("tran_2ns_1ps", name), &integ, |b, &integ| {
-            b.iter(|| {
-                let opts = TranOptions::to_time(2e-9)
-                    .with_uic()
-                    .with_steps(1e-12, 1e-12)
-                    .with_integrator(integ);
-                black_box(run_transient(black_box(&ckt), &opts).expect("tran")).len()
-            })
-        });
+    for (name, integ) in [
+        ("backward_euler", Integrator::BackwardEuler),
+        ("trapezoidal", Integrator::Trapezoidal),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("tran_2ns_1ps", name),
+            &integ,
+            |b, &integ| {
+                b.iter(|| {
+                    let opts = TranOptions::to_time(2e-9)
+                        .with_uic()
+                        .with_steps(1e-12, 1e-12)
+                        .with_integrator(integ);
+                    black_box(run_transient(black_box(&ckt), &opts).expect("tran")).len()
+                })
+            },
+        );
     }
     group.finish();
 }

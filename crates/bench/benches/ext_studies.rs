@@ -3,9 +3,9 @@
 //! gate-level mux scan.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use sensor::gateunit::GateLevelUnit;
 use sensor::muxscan::GateLevelMuxScan;
+use std::hint::black_box;
 use thermal::placement::{all_cells, greedy_placement, ScenarioSet};
 use thermal::{DieSpec, Floorplan};
 use tsense_core::dualring::DualRingSensor;
@@ -51,7 +51,12 @@ fn bench_ext(c: &mut Criterion) {
         )
         .expect("ring");
         let dual = DualRingSensor::new(sense, reference).expect("pair");
-        b.iter(|| black_box(dual.supply_rejection(&tech, Celsius::new(85.0)).expect("rej")))
+        b.iter(|| {
+            black_box(
+                dual.supply_rejection(&tech, Celsius::new(85.0))
+                    .expect("rej"),
+            )
+        })
     });
 
     group.sample_size(10);
@@ -63,20 +68,14 @@ fn bench_ext(c: &mut Criterion) {
             .collect();
         let scen = ScenarioSet::solve(&spec, &plans).expect("scenarios");
         let candidates = all_cells(16, 16);
-        b.iter(|| {
-            black_box(greedy_placement(&scen, &candidates, 4).expect("placement")).len()
-        })
+        b.iter(|| black_box(greedy_placement(&scen, &candidates, 4).expect("placement")).len())
     });
 
     group.bench_function("gateunit_full_conversion", |b| {
         b.iter(|| {
-            let mut unit = GateLevelUnit::new(
-                Seconds::from_nanos(1.5),
-                Hertz::from_mega(1000.0),
-                16,
-                128,
-            )
-            .expect("unit");
+            let mut unit =
+                GateLevelUnit::new(Seconds::from_nanos(1.5), Hertz::from_mega(1000.0), 16, 128)
+                    .expect("unit");
             black_box(unit.convert().expect("convert")).count
         })
     });

@@ -14,7 +14,9 @@ fn bench_fig1(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("transient_1500ps", |b| {
         b.iter(|| {
-            let wave = ring.simulate(black_box(27.0), 1.5e-9, 2e-12).expect("transient");
+            let wave = ring
+                .simulate(black_box(27.0), 1.5e-9, 2e-12)
+                .expect("transient");
             black_box(wave.len())
         })
     });

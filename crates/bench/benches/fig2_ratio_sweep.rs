@@ -30,8 +30,16 @@ fn bench_fig2(c: &mut Criterion) {
     group.bench_function("best_ratio_golden_section", |b| {
         b.iter(|| {
             black_box(
-                best_ratio(black_box(&tech), GateKind::Inv, 1e-6, 5, 1.0, 6.0, &settings)
-                    .expect("search"),
+                best_ratio(
+                    black_box(&tech),
+                    GateKind::Inv,
+                    1e-6,
+                    5,
+                    1.0,
+                    6.0,
+                    &settings,
+                )
+                .expect("search"),
             )
         })
     });

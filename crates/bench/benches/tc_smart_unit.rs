@@ -2,10 +2,10 @@
 //! and a full 3x3 multiplexed map scan.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use sensor::digitizer::GateLevelDigitizer;
 use sensor::unit::{SensorConfig, SmartSensorUnit};
 use sensor::SensorArray;
+use std::hint::black_box;
 use tsense_core::gate::{Gate, GateKind};
 use tsense_core::ring::RingOscillator;
 use tsense_core::tech::Technology;
@@ -17,7 +17,8 @@ fn calibrated_unit() -> SmartSensorUnit {
         RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"), 5)
             .expect("ring");
     let mut unit = SmartSensorUnit::new(SensorConfig::new(ring, tech)).expect("unit");
-    unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).expect("cal");
+    unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+        .expect("cal");
     unit
 }
 
@@ -26,7 +27,12 @@ fn bench_tc(c: &mut Criterion) {
 
     let mut unit = calibrated_unit();
     group.bench_function("behavioural_measure", |b| {
-        b.iter(|| black_box(unit.measure(black_box(Celsius::new(85.0))).expect("measure")))
+        b.iter(|| {
+            black_box(
+                unit.measure(black_box(Celsius::new(85.0)))
+                    .expect("measure"),
+            )
+        })
     });
 
     group.sample_size(10);

@@ -10,7 +10,9 @@ fn bench_td(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("steady_sor", n), &n, |b, &n| {
             b.iter(|| {
                 let mut grid = ThermalGrid::new(DieSpec::default_1cm2(n, n)).expect("grid");
-                Floorplan::processor_like(0.01, 0.01, 5.0).apply(&mut grid).expect("plan");
+                Floorplan::processor_like(0.01, 0.01, 5.0)
+                    .apply(&mut grid)
+                    .expect("plan");
                 let sweeps = grid.solve_steady(1e-6, 50_000).expect("solve");
                 black_box((grid.max_temp(), sweeps))
             })
@@ -19,7 +21,9 @@ fn bench_td(c: &mut Criterion) {
     group.bench_function("transient_100_steps_24x24", |b| {
         b.iter(|| {
             let mut grid = ThermalGrid::new(DieSpec::default_1cm2(24, 24)).expect("grid");
-            Floorplan::processor_like(0.01, 0.01, 5.0).apply(&mut grid).expect("plan");
+            Floorplan::processor_like(0.01, 0.01, 5.0)
+                .apply(&mut grid)
+                .expect("plan");
             let dt = grid.global_time_constant() / 100.0;
             grid.run_transient(dt, 100).expect("transient");
             black_box(grid.mean_temp())

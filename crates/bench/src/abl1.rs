@@ -32,8 +32,9 @@ pub fn run(out_dir: &Path) -> String {
 
     let sigma_scales = [0.5, 1.0, 2.0];
     let mut rows = Vec::new();
-    let mut csv =
-        String::from("sigma_scale,two_point_mean_c,two_point_p95_c,one_point_mean_c,one_point_p95_c\n");
+    let mut csv = String::from(
+        "sigma_scale,two_point_mean_c,two_point_p95_c,one_point_mean_c,one_point_p95_c\n",
+    );
     let mut pass = true;
     for &scale in &sigma_scales {
         let base = VariationSpec::default();
@@ -49,7 +50,10 @@ pub fn run(out_dir: &Path) -> String {
         let two_p95 = study.percentile_95(|t| t.two_point_err_c);
         let one_p95 = study.percentile_95(|t| t.one_point_err_c);
         pass &= two_mean < one_mean;
-        let _ = writeln!(csv, "{scale},{two_mean:.4},{two_p95:.4},{one_mean:.4},{one_p95:.4}");
+        let _ = writeln!(
+            csv,
+            "{scale},{two_mean:.4},{two_p95:.4},{one_mean:.4},{one_p95:.4}"
+        );
         rows.push(vec![
             format!("{scale:.1}x"),
             format!("{two_mean:.3}"),
@@ -65,7 +69,13 @@ pub fn run(out_dir: &Path) -> String {
         "Abl-1 — calibration scheme under process variation ({TRIALS} dies per row)\n\n"
     ));
     report.push_str(&render_table(
-        &["sigma", "2pt mean C", "2pt p95 C", "1pt mean C", "1pt p95 C"],
+        &[
+            "sigma",
+            "2pt mean C",
+            "2pt p95 C",
+            "1pt mean C",
+            "1pt p95 C",
+        ],
         &rows,
     ));
     let _ = writeln!(

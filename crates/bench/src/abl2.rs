@@ -22,8 +22,16 @@ use tsense_core::units::{Celsius, Hertz, Seconds, TempRange};
 use crate::{render_table, write_artifact};
 
 /// Window lengths swept (ring cycles).
-pub const WINDOWS: [u32; 8] =
-    [1 << 6, 1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20];
+pub const WINDOWS: [u32; 8] = [
+    1 << 6,
+    1 << 8,
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+];
 
 /// Runs the experiment; see module docs.
 ///
@@ -46,9 +54,8 @@ pub fn run(out_dir: &Path) -> String {
 
     // Self-heating per window at a 1 ms measurement repeat interval.
     let repeat = Seconds::new(1e-3);
-    let mut csv = String::from(
-        "window_cycles,resolution_c_per_lsb,conversion_us,selfheat_c,total_err_c\n",
-    );
+    let mut csv =
+        String::from("window_cycles,resolution_c_per_lsb,conversion_us,selfheat_c,total_err_c\n");
     let mut rows = Vec::new();
     let mut totals = Vec::new();
     for (m, res, tconv) in &rows_data {
@@ -98,7 +105,13 @@ pub fn run(out_dir: &Path) -> String {
         "Abl-2 — digitizer window vs resolution / self-heating (100 MHz ref, 1 ms repeat)\n\n",
     );
     report.push_str(&render_table(
-        &["window", "resolution (C/LSB)", "conversion (us)", "self-heat (C)", "total (C)"],
+        &[
+            "window",
+            "resolution (C/LSB)",
+            "conversion (us)",
+            "self-heat (C)",
+            "total (C)",
+        ],
         &rows,
     ));
     let _ = writeln!(
@@ -111,7 +124,11 @@ pub fn run(out_dir: &Path) -> String {
         "total-error optimum: 2^{} cycles at {best_total:.3} C -> {} (quantization and \
          self-heating trade off)",
         best_window.trailing_zeros(),
-        if interior { "interior optimum PASS" } else { "boundary (no interior optimum)" }
+        if interior {
+            "interior optimum PASS"
+        } else {
+            "boundary (no interior optimum)"
+        }
     );
     let _ = writeln!(report, "series CSV: abl2_window.csv");
     report

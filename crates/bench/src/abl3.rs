@@ -63,7 +63,10 @@ pub fn run(out_dir: &Path) -> String {
 
     let mut report = String::new();
     report.push_str("Abl-3 — simulated ring period vs integrator and timestep (27 C)\n\n");
-    report.push_str(&render_table(&["dt (ps)", "BE period (ps)", "trap period (ps)"], &rows));
+    report.push_str(&render_table(
+        &["dt (ps)", "BE period (ps)", "trap period (ps)"],
+        &rows,
+    ));
     let _ = writeln!(report, "\nBE drift over the sweep    : {be_drift:.3} ps");
     let _ = writeln!(report, "trap drift over the sweep  : {tr_drift:.3} ps");
     let _ = writeln!(
@@ -74,7 +77,11 @@ pub fn run(out_dir: &Path) -> String {
     let _ = writeln!(
         report,
         "trapezoidal converges faster: {}",
-        if tr_drift <= be_drift + 1e-9 { "PASS" } else { "FAIL" }
+        if tr_drift <= be_drift + 1e-9 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     let _ = writeln!(report, "series CSV: abl3_integrator.csv");
     report

@@ -42,9 +42,8 @@ pub fn run(out_dir: &Path) -> String {
         let one = OnePoint::fit_ring(&ring, &tech, range.midpoint(), &ring, &tech, range)
             .expect("one-point");
         let two = TwoPoint::fit_ring(&ring, &tech, range.low(), range.high()).expect("two");
-        let three =
-            ThreePoint::fit_ring(&ring, &tech, range.low(), range.midpoint(), range.high())
-                .expect("three");
+        let three = ThreePoint::fit_ring(&ring, &tech, range.low(), range.midpoint(), range.high())
+            .expect("three");
         let e1 = CalibrationReport::evaluate(&one, &curve).max_abs_celsius();
         let e2 = CalibrationReport::evaluate(&two, &curve).max_abs_celsius();
         let e3 = CalibrationReport::evaluate(&three, &curve).max_abs_celsius();
@@ -82,7 +81,11 @@ pub fn run(out_dir: &Path) -> String {
     let _ = writeln!(
         report,
         "check (3-pt rescues the bowed ring by >2x): {}",
-        if bowed_three < 0.5 * bowed_two { "PASS" } else { "FAIL" }
+        if bowed_three < 0.5 * bowed_two {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     let _ = writeln!(
         report,

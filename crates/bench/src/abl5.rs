@@ -46,7 +46,11 @@ pub fn run(out_dir: &Path) -> String {
             .trials()
             .iter()
             .filter(|t| {
-                let err = if one_point { t.one_point_err_c } else { t.two_point_err_c };
+                let err = if one_point {
+                    t.one_point_err_c
+                } else {
+                    t.two_point_err_c
+                };
                 err <= limit
             })
             .count();
@@ -85,7 +89,11 @@ pub fn run(out_dir: &Path) -> String {
     let _ = writeln!(
         report,
         "check (two-point saturates yield at a spec where one-point collapses): {}",
-        if two_full > 95.0 && one_full < 50.0 { "PASS" } else { "FAIL" }
+        if two_full > 95.0 && one_full < 50.0 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     let _ = writeln!(report, "series CSV: abl5_yield.csv");
     report

@@ -33,24 +33,12 @@ pub fn run(out_dir: &Path) -> String {
     );
     let mut ext_ever_better = false;
     for &ratio in &ratios {
-        let paper = exhaustive_config_search(
-            &tech,
-            &GateKind::PAPER_SET,
-            5,
-            1e-6,
-            ratio,
-            &settings,
-        )
-        .expect("paper search");
-        let ext = exhaustive_config_search(
-            &tech,
-            &GateKind::EXTENDED_SET,
-            5,
-            1e-6,
-            ratio,
-            &settings,
-        )
-        .expect("extended search");
+        let paper =
+            exhaustive_config_search(&tech, &GateKind::PAPER_SET, 5, 1e-6, ratio, &settings)
+                .expect("paper search");
+        let ext =
+            exhaustive_config_search(&tech, &GateKind::EXTENDED_SET, 5, 1e-6, ratio, &settings)
+                .expect("extended search");
         let paper_best = paper[0].max_nl_percent;
         let ext_best = ext[0].max_nl_percent;
         let paper_sub01 = paper.iter().filter(|p| p.max_nl_percent < 0.1).count();
@@ -74,41 +62,36 @@ pub fn run(out_dir: &Path) -> String {
 
     // Stage-budget follow-up: does a 7-stage ring (1716 extended
     // multisets) unlock better mixes than a 5-stage one?
-    let best5 = exhaustive_config_search(
-        &tech,
-        &GateKind::EXTENDED_SET,
-        5,
-        1e-6,
-        1.5,
-        &settings,
-    )
-    .expect("5-stage")[0]
+    let best5 = exhaustive_config_search(&tech, &GateKind::EXTENDED_SET, 5, 1e-6, 1.5, &settings)
+        .expect("5-stage")[0]
         .max_nl_percent;
-    let seven = exhaustive_config_search(
-        &tech,
-        &GateKind::EXTENDED_SET,
-        7,
-        1e-6,
-        1.5,
-        &settings,
-    )
-    .expect("7-stage");
+    let seven = exhaustive_config_search(&tech, &GateKind::EXTENDED_SET, 7, 1e-6, 1.5, &settings)
+        .expect("7-stage");
     let best7 = seven[0].max_nl_percent;
     let seven_desc = format!("{}", seven[0].config);
 
     let mut report = String::new();
-    report.push_str(
-        "Ext-1 — extended cell set (+AOI21/OAI21) vs the paper's INV/NAND/NOR set\n\n",
-    );
+    report.push_str("Ext-1 — extended cell set (+AOI21/OAI21) vs the paper's INV/NAND/NOR set\n\n");
     report.push_str(&render_table(
-        &["Wp/Wn", "paper best %", "#<0.1%", "ext best %", "#<0.1%", "ext best mix"],
+        &[
+            "Wp/Wn",
+            "paper best %",
+            "#<0.1%",
+            "ext best %",
+            "#<0.1%",
+            "ext best mix",
+        ],
         &rows,
     ));
     let _ = writeln!(
         report,
         "\ncomplex cells widen the design space (more sub-0.1 % options at every sizing)\n\
          and {} the best achievable non-linearity.",
-        if ext_ever_better { "sometimes improve" } else { "never worsen" }
+        if ext_ever_better {
+            "sometimes improve"
+        } else {
+            "never worsen"
+        }
     );
     let _ = writeln!(
         report,
@@ -135,24 +118,10 @@ mod tests {
         // (the full sweep runs in the figures binary).
         let tech = Technology::um350();
         let settings = SweepSettings::default();
-        let paper = exhaustive_config_search(
-            &tech,
-            &GateKind::PAPER_SET,
-            5,
-            1e-6,
-            1.5,
-            &settings,
-        )
-        .expect("paper");
-        let ext = exhaustive_config_search(
-            &tech,
-            &GateKind::EXTENDED_SET,
-            5,
-            1e-6,
-            1.5,
-            &settings,
-        )
-        .expect("ext");
+        let paper = exhaustive_config_search(&tech, &GateKind::PAPER_SET, 5, 1e-6, 1.5, &settings)
+            .expect("paper");
+        let ext = exhaustive_config_search(&tech, &GateKind::EXTENDED_SET, 5, 1e-6, 1.5, &settings)
+            .expect("ext");
         assert!(ext[0].max_nl_percent <= paper[0].max_nl_percent + 1e-12);
         // The extended enumeration is strictly larger: C(11,6) = 462 vs
         // C(9,4) = 126.

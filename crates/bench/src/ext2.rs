@@ -29,8 +29,7 @@ pub fn run(out_dir: &Path) -> String {
     let settings = SweepSettings::default();
 
     let mut rows = Vec::new();
-    let mut csv =
-        String::from("ratio,stages,err_per_mv_c,nl_c,budget_mv_for_nl_equivalent\n");
+    let mut csv = String::from("ratio,stages,err_per_mv_c,nl_c,budget_mv_for_nl_equivalent\n");
     for &(ratio, stages) in &[(1.5, 5usize), (2.0, 5), (3.0, 5), (2.0, 9), (2.0, 21)] {
         let gate = Gate::with_ratio(GateKind::Inv, 1e-6, ratio).expect("gate");
         let ring = RingOscillator::uniform(gate, stages).expect("ring");
@@ -43,7 +42,10 @@ pub fn run(out_dir: &Path) -> String {
             .max_abs_celsius();
         let err_per_mv = s.temp_error_per_mv.abs();
         let budget_mv = nl_c / err_per_mv;
-        let _ = writeln!(csv, "{ratio},{stages},{err_per_mv:.4},{nl_c:.4},{budget_mv:.2}");
+        let _ = writeln!(
+            csv,
+            "{ratio},{stages},{err_per_mv:.4},{nl_c:.4},{budget_mv:.2}"
+        );
         rows.push(vec![
             format!("{ratio:.1}"),
             stages.to_string(),
@@ -93,7 +95,12 @@ mod tests {
         assert!(dir.join("ext2_supply.csv").exists());
         let csv = std::fs::read_to_string(dir.join("ext2_supply.csv")).expect("csv");
         for line in csv.lines().skip(1) {
-            let budget: f64 = line.split(',').nth(4).expect("column").parse().expect("number");
+            let budget: f64 = line
+                .split(',')
+                .nth(4)
+                .expect("column")
+                .parse()
+                .expect("number");
             assert!(budget < 20.0, "budget {budget} mV stays tight");
         }
     }

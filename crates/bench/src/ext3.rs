@@ -20,12 +20,8 @@ use tsense_core::units::{Celsius, TempRange};
 use crate::{render_table, write_artifact};
 
 fn uniform_ring(kind: GateKind, ratio: f64) -> RingOscillator {
-    RingOscillator::from_config(
-        &CellConfig::uniform(kind, 5).expect("config"),
-        1e-6,
-        ratio,
-    )
-    .expect("ring")
+    RingOscillator::from_config(&CellConfig::uniform(kind, 5).expect("config"), 1e-6, ratio)
+        .expect("ring")
 }
 
 /// Runs the experiment; see module docs.
@@ -47,13 +43,14 @@ pub fn run(out_dir: &Path) -> String {
     let mut csv = String::from("pair,rejection_x,ratio_err_c_per_mv,temp_slope_per_k,r2\n");
     let mut best_rejection = 0.0_f64;
     for (label, ka, ra, kb, rb) in pairs {
-        let dual = DualRingSensor::new(uniform_ring(ka, ra), uniform_ring(kb, rb))
-            .expect("pair");
+        let dual = DualRingSensor::new(uniform_ring(ka, ra), uniform_ring(kb, rb)).expect("pair");
         let t = Celsius::new(85.0);
         let rejection = dual.supply_rejection(&tech, t).expect("rejection");
         let err = dual.temp_error_per_mv(&tech, t).expect("err").abs();
         let slope = dual.temp_slope(&tech, t).expect("slope");
-        let fit = dual.ratio_linearity(&tech, TempRange::paper(), 21).expect("fit");
+        let fit = dual
+            .ratio_linearity(&tech, TempRange::paper(), 21)
+            .expect("fit");
         best_rejection = best_rejection.max(rejection);
         let _ = writeln!(
             csv,

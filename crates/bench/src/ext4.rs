@@ -33,22 +33,14 @@ use crate::{render_table, write_artifact};
 pub fn run(out_dir: &Path) -> String {
     let settings = SweepSettings::default();
     let mut rows = Vec::new();
-    let mut csv = String::from(
-        "node,opt_ratio,opt_nl_pct,inv_nl_at_1p5,best_mix_nl_at_1p5,best_mix\n",
-    );
+    let mut csv =
+        String::from("node,opt_ratio,opt_nl_pct,inv_nl_at_1p5,best_mix_nl_at_1p5,best_mix\n");
     let mut all_pass = true;
     for tech in Technology::presets() {
         let (ratio, nl) =
             best_ratio(&tech, GateKind::Inv, 1e-6, 5, 1.0, 10.0, &settings).expect("search");
-        let ranked = exhaustive_config_search(
-            &tech,
-            &GateKind::PAPER_SET,
-            5,
-            1e-6,
-            1.5,
-            &settings,
-        )
-        .expect("config search");
+        let ranked = exhaustive_config_search(&tech, &GateKind::PAPER_SET, 5, 1e-6, 1.5, &settings)
+            .expect("config search");
         let inv_cfg = CellConfig::uniform(GateKind::Inv, 5).expect("config");
         let inv_nl = ranked
             .iter()
@@ -80,7 +72,14 @@ pub fn run(out_dir: &Path) -> String {
     let mut report = String::new();
     report.push_str("Ext-4 — node portability of the two optimization knobs\n\n");
     report.push_str(&render_table(
-        &["node", "opt W p/Wn", "opt NL %", "5xINV@1.5 %", "best mix %", "best mix"],
+        &[
+            "node",
+            "opt W p/Wn",
+            "opt NL %",
+            "5xINV@1.5 %",
+            "best mix %",
+            "best mix",
+        ],
         &rows,
     ));
     let _ = writeln!(

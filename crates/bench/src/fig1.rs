@@ -39,7 +39,12 @@ fn ascii_scope(times: &[f64], values: &[f64], vdd: f64, width: usize, height: us
         out.push('\n');
     }
     let _ = writeln!(out, "      +{}", "-".repeat(width));
-    let _ = writeln!(out, "       0 ps{:>width$}", format!("{:.0} ps", t_max * 1e12), width = width - 4);
+    let _ = writeln!(
+        out,
+        "       0 ps{:>width$}",
+        format!("{:.0} ps", t_max * 1e12),
+        width = width - 4
+    );
     out
 }
 
@@ -62,17 +67,20 @@ pub fn run(out_dir: &Path) -> String {
     // Measured ring power: average supply current over the settled part
     // of the run (the branch current of a sourcing supply is negative in
     // the SPICE convention).
-    let i_avg = wave.average("i(VDD)", 0.3e-9, 1.5e-9).expect("supply current");
+    let i_avg = wave
+        .average("i(VDD)", 0.3e-9, 1.5e-9)
+        .expect("supply current");
     let measured_power_mw = -i_avg * ring.vdd() * 1e3;
     // The analytical layer's estimate for the same topology.
     let tech = lib.analytical_technology();
-    let ana_ring = RingOscillator::uniform(
-        Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"),
-        5,
-    )
-    .expect("ring");
-    let ana_power_mw =
-        ana_ring.dynamic_power(&tech, Celsius::new(27.0)).expect("power").get() * 1e3;
+    let ana_ring =
+        RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"), 5)
+            .expect("ring");
+    let ana_power_mw = ana_ring
+        .dynamic_power(&tech, Celsius::new(27.0))
+        .expect("power")
+        .get()
+        * 1e3;
 
     let times = wave.times().to_vec();
     let values = wave.signal("n0").expect("probe node").to_vec();
@@ -92,7 +100,11 @@ pub fn run(out_dir: &Path) -> String {
     let _ = writeln!(
         report,
         "paper check         : several full periods inside the 1500 ps window -> {}",
-        if 1.5e-9 / period >= 3.0 { "PASS" } else { "FAIL" }
+        if 1.5e-9 / period >= 3.0 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     let _ = writeln!(report, "waveform CSV        : fig1_waveform.csv");
     report
@@ -113,8 +125,16 @@ mod tests {
     #[test]
     fn ascii_scope_draws_both_rails() {
         let times: Vec<f64> = (0..100).map(|i| i as f64 * 1e-12).collect();
-        let values: Vec<f64> =
-            times.iter().map(|t| if (t * 1e12) as u64 % 20 < 10 { 0.0 } else { 3.3 }).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|t| {
+                if (t * 1e12) as u64 % 20 < 10 {
+                    0.0
+                } else {
+                    3.3
+                }
+            })
+            .collect();
         let s = ascii_scope(&times, &values, 3.3, 60, 8);
         let lines: Vec<&str> = s.lines().collect();
         assert!(lines[0].contains('*'), "high rail drawn");

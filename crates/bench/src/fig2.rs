@@ -49,8 +49,8 @@ fn transistor_level_nl(ratio: f64, n_temps: usize) -> f64 {
 pub fn run(out_dir: &Path) -> String {
     let tech = Technology::um350();
     let settings = SweepSettings::default();
-    let points = ratio_sweep(&tech, GateKind::Inv, 1e-6, 5, &PAPER_RATIOS, &settings)
-        .expect("ratio sweep");
+    let points =
+        ratio_sweep(&tech, GateKind::Inv, 1e-6, 5, &PAPER_RATIOS, &settings).expect("ratio sweep");
 
     // CSV: temperature column then one error column per ratio.
     let mut csv = String::from("temp_c");
@@ -82,7 +82,10 @@ pub fn run(out_dir: &Path) -> String {
 
     // Transistor-level cross-check at the extremes and near the optimum.
     let check_ratios = [1.5, 2.25, 4.0];
-    let sim_nl: Vec<f64> = check_ratios.iter().map(|&r| transistor_level_nl(r, 9)).collect();
+    let sim_nl: Vec<f64> = check_ratios
+        .iter()
+        .map(|&r| transistor_level_nl(r, 9))
+        .collect();
     let ana_nl: Vec<f64> = check_ratios
         .iter()
         .map(|&r| {
@@ -119,11 +122,12 @@ pub fn run(out_dir: &Path) -> String {
     let check_rows: Vec<Vec<String>> = check_ratios
         .iter()
         .zip(sim_nl.iter().zip(&ana_nl))
-        .map(|(&r, (&s, &a))| {
-            vec![format!("{r:.2}"), format!("{s:.4}"), format!("{a:.4}")]
-        })
+        .map(|(&r, (&s, &a))| vec![format!("{r:.2}"), format!("{s:.4}"), format!("{a:.4}")])
         .collect();
-    report.push_str(&render_table(&["Wp/Wn", "sim NL %", "model NL %"], &check_rows));
+    report.push_str(&render_table(
+        &["Wp/Wn", "sim NL %", "model NL %"],
+        &check_rows,
+    ));
     let _ = writeln!(
         report,
         "\nshape agreement (same best ratio in both paths): {}",

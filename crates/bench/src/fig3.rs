@@ -58,7 +58,11 @@ pub fn run(out_dir: &Path) -> String {
     // CSV of the paper-set traces.
     let mut csv = String::from("temp_c");
     for p in &ranked {
-        let _ = write!(csv, ",nl_pct_{}", format!("{}", p.config).replace([' ', '×'], ""));
+        let _ = write!(
+            csv,
+            ",nl_pct_{}",
+            format!("{}", p.config).replace([' ', '×'], "")
+        );
     }
     csv.push('\n');
     let n = ranked[0].nonlinearity.temps().len();
@@ -129,7 +133,10 @@ pub fn run(out_dir: &Path) -> String {
         "Fig. 3 — non-linearity per cell configuration (5 stages, library Wp/Wn = {LIBRARY_RATIO})\n\n",
     ));
     report.push_str("paper's six configurations, ranked:\n");
-    report.push_str(&render_table(&["configuration", "max |NL| %FS", "max |err| C"], &rows));
+    report.push_str(&render_table(
+        &["configuration", "max |NL| %FS", "max |err| C"],
+        &rows,
+    ));
     let _ = writeln!(
         report,
         "\nexhaustive search over all {} odd multisets of {{INV, NAND2, NAND3, NOR2, NOR3}}:",
@@ -162,7 +169,11 @@ pub fn run(out_dir: &Path) -> String {
     let _ = writeln!(
         report,
         "\nsim winner {best_sim_config} at {best_sim_nl:.4} % vs 5xINV {inv_sim_nl:.4} % -> {}",
-        if best_sim_nl < inv_sim_nl { "PASS" } else { "FAIL" }
+        if best_sim_nl < inv_sim_nl {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     let _ = writeln!(report, "series CSV: fig3_nonlinearity.csv");
     report

@@ -88,8 +88,8 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 
 /// All experiment ids, in DESIGN.md order.
 pub const ALL_EXPERIMENTS: [&str; 16] = [
-    "fig1", "fig2", "fig3", "ta", "tb", "tc", "td", "abl1", "abl2", "abl3", "abl4", "abl5",
-    "ext1", "ext2", "ext3", "ext4",
+    "fig1", "fig2", "fig3", "ta", "tb", "tc", "td", "abl1", "abl2", "abl3", "abl4", "abl5", "ext1",
+    "ext2", "ext3", "ext4",
 ];
 
 /// Runs one experiment by id, writing artifacts into `out_dir` and

@@ -31,7 +31,11 @@ fn main() -> ExitCode {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: figures [--out <dir>] [--list] <experiment>...|all");
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
-        return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+        return if args.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         ALL_EXPERIMENTS.to_vec()
@@ -42,7 +46,10 @@ fn main() -> ExitCode {
     let save_full = ids.len() == ALL_EXPERIMENTS.len();
     for id in &ids {
         if !ALL_EXPERIMENTS.contains(id) {
-            eprintln!("unknown experiment `{id}`; known: {}", ALL_EXPERIMENTS.join(" "));
+            eprintln!(
+                "unknown experiment `{id}`; known: {}",
+                ALL_EXPERIMENTS.join(" ")
+            );
             return ExitCode::FAILURE;
         }
         let report = run_experiment(id, &out_dir);
@@ -54,7 +61,10 @@ fn main() -> ExitCode {
     }
     if save_full {
         bench::write_artifact(&out_dir, "full_report.txt", &full);
-        eprintln!("combined report written to {}", out_dir.join("full_report.txt").display());
+        eprintln!(
+            "combined report written to {}",
+            out_dir.join("full_report.txt").display()
+        );
     }
     ExitCode::SUCCESS
 }

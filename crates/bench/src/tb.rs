@@ -75,7 +75,11 @@ pub fn run(out_dir: &Path) -> String {
     let _ = writeln!(
         report,
         "paper check (similar linearity for 5/9/21 stages): {}",
-        if spread < 0.2 * mean.max(0.05) { "PASS" } else { "FAIL" }
+        if spread < 0.2 * mean.max(0.05) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     let _ = writeln!(report, "series CSV: tb_stage_count.csv");
     report

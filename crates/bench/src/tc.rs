@@ -31,7 +31,8 @@ fn calibrated_unit() -> SmartSensorUnit {
         RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"), 5)
             .expect("ring");
     let mut unit = SmartSensorUnit::new(SensorConfig::new(ring, tech)).expect("unit");
-    unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).expect("cal");
+    unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+        .expect("cal");
     unit
 }
 
@@ -71,7 +72,10 @@ pub fn run(out_dir: &Path) -> String {
     }
     write_artifact(out_dir, "tc_conversion_sweep.csv", &csv);
     report.push_str("\n1) calibrated conversions across the range:\n");
-    report.push_str(&render_table(&["true C", "code", "measured C", "error C"], &rows));
+    report.push_str(&render_table(
+        &["true C", "code", "measured C", "error C"],
+        &rows,
+    ));
     let _ = writeln!(
         report,
         "worst-case conversion error: {worst:.3} C -> {}",
@@ -108,9 +112,11 @@ pub fn run(out_dir: &Path) -> String {
 
     // 2b. The multiplexer at gate level: one digitizer scanning four
     //     emulated ring oscillators.
-    report.push_str("
+    report.push_str(
+        "
 2b) gate-level 4-channel mux scan (shared digitizer):
-");
+",
+    );
     let mut mux = GateLevelMuxScan::new(
         &[
             Seconds::from_nanos(1.2),
@@ -134,7 +140,10 @@ pub fn run(out_dir: &Path) -> String {
             r.count.to_string(),
         ]);
     }
-    report.push_str(&render_table(&["channel", "behavioural", "gate-level"], &rows));
+    report.push_str(&render_table(
+        &["channel", "behavioural", "gate-level"],
+        &rows,
+    ));
     let _ = writeln!(
         report,
         "all four channels within the async LSB budget -> {}",
@@ -156,8 +165,16 @@ pub fn run(out_dir: &Path) -> String {
         Seconds::new(1e-3),
     )
     .expect("study");
-    let _ = writeln!(report, "ring power               : {:.3} mW", s.ring_power_w * 1e3);
-    let _ = writeln!(report, "continuous self-heating  : {:.3} C", s.continuous_error_k);
+    let _ = writeln!(
+        report,
+        "ring power               : {:.3} mW",
+        s.ring_power_w * 1e3
+    );
+    let _ = writeln!(
+        report,
+        "continuous self-heating  : {:.3} C",
+        s.continuous_error_k
+    );
     let _ = writeln!(
         report,
         "duty-cycled ({:.1} % duty) : {:.3} C",
@@ -167,7 +184,11 @@ pub fn run(out_dir: &Path) -> String {
     let _ = writeln!(
         report,
         "disable feature helps    : {}",
-        if s.duty_cycled_error_k < 0.5 * s.continuous_error_k { "PASS" } else { "FAIL" }
+        if s.duty_cycled_error_k < 0.5 * s.continuous_error_k {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 
     // 4. Multiplexed thermal mapping of the RISC hotspot die.
@@ -215,14 +236,21 @@ pub fn run(out_dir: &Path) -> String {
         map.hottest().measured_c,
         grid.max_temp(),
         map.max_abs_error_c(),
-        if map.max_abs_error_c() < 2.0 { "PASS" } else { "FAIL" }
+        if map.max_abs_error_c() < 2.0 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     let _ = writeln!(
         report,
         "sequential scan time through the mux: {:.1} us",
         map.scan_time.get() * 1e6
     );
-    let _ = writeln!(report, "artifacts: tc_conversion_sweep.csv, tc_thermal_map.csv");
+    let _ = writeln!(
+        report,
+        "artifacts: tc_conversion_sweep.csv, tc_thermal_map.csv"
+    );
     report
 }
 

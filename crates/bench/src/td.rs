@@ -25,12 +25,24 @@ pub fn run(out_dir: &Path) -> String {
         report,
         "\n1) 64-bit RISC-class die (16 W, 1.44 cm2, theta_JA = 6 K/W):"
     );
-    let _ = writeln!(report, "   peak junction temperature : {:.1} C", grid.max_temp());
-    let _ = writeln!(report, "   die gradient              : {:.1} C", grid.max_temp() - grid.min_temp());
+    let _ = writeln!(
+        report,
+        "   peak junction temperature : {:.1} C",
+        grid.max_temp()
+    );
+    let _ = writeln!(
+        report,
+        "   die gradient              : {:.1} C",
+        grid.max_temp() - grid.min_temp()
+    );
     let _ = writeln!(
         report,
         "   paper check (~135 C junction): {}",
-        if grid.max_temp() > 110.0 && grid.max_temp() < 170.0 { "PASS" } else { "FAIL" }
+        if grid.max_temp() > 110.0 && grid.max_temp() < 170.0 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 
     // Scaling study.
@@ -61,15 +73,26 @@ pub fn run(out_dir: &Path) -> String {
     write_artifact(out_dir, "td_scaling.csv", &csv);
     report.push_str("\n2) same design shrunk across nodes (same package):\n");
     report.push_str(&render_table(
-        &["node", "edge (mm)", "power (W)", "W/cm2", "peak C", "rise K"],
+        &[
+            "node",
+            "edge (mm)",
+            "power (W)",
+            "W/cm2",
+            "peak C",
+            "rise K",
+        ],
         &rows,
     ));
-    let ratio = rows_data.last().expect("rows").peak_rise_k
-        / rows_data.first().expect("rows").peak_rise_k;
+    let ratio =
+        rows_data.last().expect("rows").peak_rise_k / rows_data.first().expect("rows").peak_rise_k;
     let _ = writeln!(
         report,
         "\n0.13 um / 0.35 um junction-rise ratio: {ratio:.2} (paper cites 3.2x) -> {}",
-        if ratio > 2.2 && ratio < 4.5 { "PASS" } else { "FAIL" }
+        if ratio > 2.2 && ratio < 4.5 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     let _ = writeln!(report, "series CSV: td_scaling.csv");
     report

@@ -76,7 +76,10 @@ impl TwoPoint {
         }
         let slope = (t2.get() - t1.get()) / (p2.get() - p1.get());
         let intercept = t1.get() - slope * p1.get();
-        Ok(TwoPoint { slope_c_per_s: slope, intercept_c: intercept })
+        Ok(TwoPoint {
+            slope_c_per_s: slope,
+            intercept_c: intercept,
+        })
     }
 
     /// Convenience: fit from a ring model by *simulated* anchor
@@ -237,8 +240,7 @@ impl ThreePoint {
             for j in (i + 1)..3 {
                 if (ps[i] - ps[j]).abs() < 1e-30 {
                     return Err(ModelError::BadCalibration {
-                        reason: "anchor periods coincide; quadratic is underdetermined"
-                            .to_string(),
+                        reason: "anchor periods coincide; quadratic is underdetermined".to_string(),
                     });
                 }
             }
@@ -261,7 +263,11 @@ impl ThreePoint {
             b -= w * (q[j] + q[k]);
             a += w * q[j] * q[k];
         }
-        Ok(ThreePoint { a, b: b / scale, c: c / (scale * scale) })
+        Ok(ThreePoint {
+            a,
+            b: b / scale,
+            c: c / (scale * scale),
+        })
     }
 
     /// Convenience: fit from a ring model by simulated anchor
@@ -389,7 +395,11 @@ mod tests {
         let curve = ring.period_curve(&tech, TempRange::paper(), 41).unwrap();
         let report = CalibrationReport::evaluate(&cal, &curve);
         // The optimal-ratio ring is very linear: sub-degree accuracy.
-        assert!(report.max_abs_celsius() < 1.0, "max {}", report.max_abs_celsius());
+        assert!(
+            report.max_abs_celsius() < 1.0,
+            "max {}",
+            report.max_abs_celsius()
+        );
         assert!(report.rms_celsius() <= report.max_abs_celsius());
     }
 
@@ -400,7 +410,10 @@ mod tests {
         let cal =
             OnePoint::fit_ring(&ring, &tech, Celsius::new(27.0), &ring, &tech, range).unwrap();
         let p27 = ring.period(&tech, Celsius::new(27.0)).unwrap();
-        assert!((cal.estimate(p27).get() - 27.0).abs() < 1e-9, "exact at the anchor");
+        assert!(
+            (cal.estimate(p27).get() - 27.0).abs() < 1e-9,
+            "exact at the anchor"
+        );
         let curve = ring.period_curve(&tech, range, 41).unwrap();
         let report = CalibrationReport::evaluate(&cal, &curve);
         assert!(report.max_abs_celsius() < 2.0);
@@ -420,20 +433,18 @@ mod tests {
         let curve = ring.period_curve(&tech, range, 41).unwrap();
         let report = CalibrationReport::evaluate(&cal, &curve);
         // 10 % slope error over ±~120 °C from the anchor → degrees of error.
-        assert!(report.max_abs_celsius() > 5.0, "max {}", report.max_abs_celsius());
+        assert!(
+            report.max_abs_celsius() > 5.0,
+            "max {}",
+            report.max_abs_celsius()
+        );
     }
 
     #[test]
     fn degenerate_anchors_rejected() {
         let p = Seconds::from_picos(300.0);
         assert!(TwoPoint::fit(Celsius::new(25.0), p, Celsius::new(25.0), p).is_err());
-        assert!(TwoPoint::fit(
-            Celsius::new(25.0),
-            p,
-            Celsius::new(125.0),
-            p
-        )
-        .is_err());
+        assert!(TwoPoint::fit(Celsius::new(25.0), p, Celsius::new(125.0), p).is_err());
         assert!(OnePoint::fit(Celsius::new(25.0), p, 0.0).is_err());
         assert!(TwoPoint::fit(
             Celsius::new(f64::NAN),
@@ -447,8 +458,7 @@ mod tests {
     #[test]
     fn report_statistics_consistent() {
         let (tech, ring) = setup();
-        let cal =
-            TwoPoint::fit_ring(&ring, &tech, Celsius::new(0.0), Celsius::new(100.0)).unwrap();
+        let cal = TwoPoint::fit_ring(&ring, &tech, Celsius::new(0.0), Celsius::new(100.0)).unwrap();
         let curve = ring.period_curve(&tech, TempRange::paper(), 21).unwrap();
         let report = CalibrationReport::evaluate(&cal, &curve);
         assert_eq!(report.temps().len(), report.errors_celsius().len());
@@ -459,8 +469,7 @@ mod tests {
     fn three_point_exact_at_all_anchors() {
         let (tech, ring) = setup();
         let anchors = [Celsius::new(-50.0), Celsius::new(50.0), Celsius::new(150.0)];
-        let cal =
-            ThreePoint::fit_ring(&ring, &tech, anchors[0], anchors[1], anchors[2]).unwrap();
+        let cal = ThreePoint::fit_ring(&ring, &tech, anchors[0], anchors[1], anchors[2]).unwrap();
         for t in anchors {
             let p = ring.period(&tech, t).unwrap();
             assert!(
@@ -487,16 +496,9 @@ mod tests {
         )
         .unwrap();
         let range = TempRange::paper();
-        let two =
-            TwoPoint::fit_ring(&ring, &tech, range.low(), range.high()).unwrap();
-        let three = ThreePoint::fit_ring(
-            &ring,
-            &tech,
-            range.low(),
-            range.midpoint(),
-            range.high(),
-        )
-        .unwrap();
+        let two = TwoPoint::fit_ring(&ring, &tech, range.low(), range.high()).unwrap();
+        let three = ThreePoint::fit_ring(&ring, &tech, range.low(), range.midpoint(), range.high())
+            .unwrap();
         let curve = ring.period_curve(&tech, range, 41).unwrap();
         let two_err = CalibrationReport::evaluate(&two, &curve).max_abs_celsius();
         let three_err = CalibrationReport::evaluate(&three, &curve).max_abs_celsius();
@@ -532,8 +534,7 @@ mod tests {
     #[test]
     fn displays_mention_scheme() {
         let (tech, ring) = setup();
-        let cal =
-            TwoPoint::fit_ring(&ring, &tech, Celsius::new(0.0), Celsius::new(100.0)).unwrap();
+        let cal = TwoPoint::fit_ring(&ring, &tech, Celsius::new(0.0), Celsius::new(100.0)).unwrap();
         assert!(format!("{cal}").contains("two-point"));
         assert!(cal.slope_c_per_s() > 0.0);
     }

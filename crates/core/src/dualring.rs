@@ -195,11 +195,8 @@ mod tests {
 
     #[test]
     fn identical_rings_rejected() {
-        let ring = RingOscillator::uniform(
-            Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(),
-            5,
-        )
-        .unwrap();
+        let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(), 5)
+            .unwrap();
         assert!(DualRingSensor::new(ring.clone(), ring).is_err());
     }
 
@@ -210,8 +207,8 @@ mod tests {
         assert!(slope.abs() > 1e-5, "log-ratio slope {slope}/K");
         // And the ratio is monotone over the range for this pair.
         let curve = dual.ratio_curve(&tech, TempRange::paper(), 21).unwrap();
-        let monotone = curve.windows(2).all(|w| w[1].1 > w[0].1)
-            || curve.windows(2).all(|w| w[1].1 < w[0].1);
+        let monotone =
+            curve.windows(2).all(|w| w[1].1 > w[0].1) || curve.windows(2).all(|w| w[1].1 < w[0].1);
         assert!(monotone, "{curve:?}");
     }
 
@@ -225,7 +222,10 @@ mod tests {
     #[test]
     fn ratio_channel_error_per_mv_is_small() {
         let (tech, dual) = pair();
-        let err = dual.temp_error_per_mv(&tech, Celsius::new(85.0)).unwrap().abs();
+        let err = dual
+            .temp_error_per_mv(&tech, Celsius::new(85.0))
+            .unwrap()
+            .abs();
         // Single ring: ~0.1 °C/mV (Ext-2). The ratio channel must do
         // meaningfully better.
         assert!(err < 0.02, "ratio channel {err} °C/mV");

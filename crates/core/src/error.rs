@@ -46,11 +46,21 @@ impl fmt::Display for ModelError {
             ModelError::InvalidRing { reason } => {
                 write!(f, "invalid ring oscillator: {reason}")
             }
-            ModelError::InvalidParameter { name, value, constraint } => {
-                write!(f, "parameter `{name}` = {value} violates constraint: {constraint}")
+            ModelError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
+                write!(
+                    f,
+                    "parameter `{name}` = {value} violates constraint: {constraint}"
+                )
             }
             ModelError::NoOverdrive { at_celsius } => {
-                write!(f, "gate overdrive collapsed at {at_celsius} °C; device is off")
+                write!(
+                    f,
+                    "gate overdrive collapsed at {at_celsius} °C; device is off"
+                )
             }
             ModelError::DegenerateFit { reason } => {
                 write!(f, "degenerate fit: {reason}")
@@ -73,7 +83,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = ModelError::InvalidRing { reason: "2 stages".into() };
+        let e = ModelError::InvalidRing {
+            reason: "2 stages".into(),
+        };
         assert_eq!(e.to_string(), "invalid ring oscillator: 2 stages");
 
         let e = ModelError::InvalidParameter {

@@ -110,15 +110,13 @@ impl GateKind {
             GateKind::Nor3 => PullNetwork::parallel_bank(3),
             GateKind::Nor4 => PullNetwork::parallel_bank(4),
             // !(A·B + C): (A·B) or C pulls down.
-            GateKind::Aoi21 => PullNetwork::Parallel(vec![
-                PullNetwork::series_chain(2),
-                PullNetwork::Device,
-            ]),
+            GateKind::Aoi21 => {
+                PullNetwork::Parallel(vec![PullNetwork::series_chain(2), PullNetwork::Device])
+            }
             // !((A+B)·C): (A or B) and C pull down in series.
-            GateKind::Oai21 => PullNetwork::Series(vec![
-                PullNetwork::parallel_bank(2),
-                PullNetwork::Device,
-            ]),
+            GateKind::Oai21 => {
+                PullNetwork::Series(vec![PullNetwork::parallel_bank(2), PullNetwork::Device])
+            }
         }
     }
 
@@ -186,7 +184,9 @@ impl FromStr for GateKind {
             "NOR4" | "NR4" => Ok(GateKind::Nor4),
             "AOI21" => Ok(GateKind::Aoi21),
             "OAI21" => Ok(GateKind::Oai21),
-            other => Err(ParseGateError { text: other.to_string() }),
+            other => Err(ParseGateError {
+                text: other.to_string(),
+            }),
         }
     }
 }
@@ -401,7 +401,11 @@ mod tests {
                 k.fan_in(),
                 "{k}: one NMOS per input"
             );
-            assert_eq!(k.pull_up().device_count(), k.fan_in(), "{k}: one PMOS per input");
+            assert_eq!(
+                k.pull_up().device_count(),
+                k.fan_in(),
+                "{k}: one PMOS per input"
+            );
         }
     }
 
@@ -431,8 +435,18 @@ mod tests {
         let inv = Gate::sized(GateKind::Inv, 1e-6, 2e-6).unwrap();
         let nand = Gate::sized(GateKind::Nand2, 1e-6, 2e-6).unwrap();
         let at = Celsius::new(27.0);
-        let i_inv = inv.pull_down_fet(&t).unwrap().sat_current(at, t.vdd).unwrap().get();
-        let i_nand = nand.pull_down_fet(&t).unwrap().sat_current(at, t.vdd).unwrap().get();
+        let i_inv = inv
+            .pull_down_fet(&t)
+            .unwrap()
+            .sat_current(at, t.vdd)
+            .unwrap()
+            .get();
+        let i_nand = nand
+            .pull_down_fet(&t)
+            .unwrap()
+            .sat_current(at, t.vdd)
+            .unwrap()
+            .get();
         assert!(i_nand < 0.55 * i_inv, "series stack must be < half drive");
     }
 
@@ -442,9 +456,22 @@ mod tests {
         let inv = Gate::sized(GateKind::Inv, 1e-6, 2e-6).unwrap();
         let nand = Gate::sized(GateKind::Nand2, 1e-6, 2e-6).unwrap();
         let at = Celsius::new(27.0);
-        let i_inv = inv.pull_up_fet(&t).unwrap().sat_current(at, t.vdd).unwrap().get();
-        let i_nand = nand.pull_up_fet(&t).unwrap().sat_current(at, t.vdd).unwrap().get();
-        assert!((i_nand / i_inv - 2.0).abs() < 1e-9, "two tied PMOS in parallel");
+        let i_inv = inv
+            .pull_up_fet(&t)
+            .unwrap()
+            .sat_current(at, t.vdd)
+            .unwrap()
+            .get();
+        let i_nand = nand
+            .pull_up_fet(&t)
+            .unwrap()
+            .sat_current(at, t.vdd)
+            .unwrap()
+            .get();
+        assert!(
+            (i_nand / i_inv - 2.0).abs() < 1e-9,
+            "two tied PMOS in parallel"
+        );
     }
 
     #[test]
@@ -468,7 +495,11 @@ mod tests {
         let at = Celsius::new(27.0);
         let aoi = Gate::sized(GateKind::Aoi21, 1e-6, 2e-6).unwrap();
         let fet = aoi.pull_down_fet(&t).unwrap();
-        assert!(fet.width > 1e-6 && fet.width < 1.5e-6, "eff width {}", fet.width);
+        assert!(
+            fet.width > 1e-6 && fet.width < 1.5e-6,
+            "eff width {}",
+            fet.width
+        );
         assert!(fet.vth_shift.get() > 0.0, "stack shift applies");
         // OAI21 pull-down = (parallel-2) in series with a device: weaker.
         let oai = Gate::sized(GateKind::Oai21, 1e-6, 2e-6).unwrap();
@@ -538,7 +569,10 @@ mod tests {
             let load = g.input_capacitance(&t);
             let cold = g.delays(&t, Celsius::new(-50.0), load).unwrap().pair_sum();
             let hot = g.delays(&t, Celsius::new(150.0), load).unwrap().pair_sum();
-            assert!(hot.get() > cold.get(), "{kind}: delay must grow with temperature");
+            assert!(
+                hot.get() > cold.get(),
+                "{kind}: delay must grow with temperature"
+            );
         }
     }
 

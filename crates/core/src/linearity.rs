@@ -64,8 +64,16 @@ impl LinearFit {
         }
         let slope = sxy / sxx;
         let intercept = my - slope * mx;
-        let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-        Ok(LinearFit { slope, intercept, r_squared })
+        let r_squared = if syy == 0.0 {
+            1.0
+        } else {
+            (sxy * sxy) / (sxx * syy)
+        };
+        Ok(LinearFit {
+            slope,
+            intercept,
+            r_squared,
+        })
     }
 
     /// Endpoint fit: the line through the first and last samples. This is
@@ -100,8 +108,16 @@ impl LinearFit {
             ss_res += e * e;
             ss_tot += (y - my) * (y - my);
         }
-        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-        Ok(LinearFit { slope, intercept, r_squared })
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(LinearFit {
+            slope,
+            intercept,
+            r_squared,
+        })
     }
 
     /// Value of the fitted line at `x`.
@@ -233,12 +249,16 @@ impl NonLinearity {
     /// Worst-case |error| in percent of full scale — the paper's headline
     /// "below 0.2 %" figure of merit.
     pub fn max_abs_percent(&self) -> f64 {
-        self.error_percent.iter().fold(0.0_f64, |m, e| m.max(e.abs()))
+        self.error_percent
+            .iter()
+            .fold(0.0_f64, |m, e| m.max(e.abs()))
     }
 
     /// Worst-case |error| referred to temperature, in °C.
     pub fn max_abs_celsius(&self) -> f64 {
-        self.error_celsius.iter().fold(0.0_f64, |m, e| m.max(e.abs()))
+        self.error_celsius
+            .iter()
+            .fold(0.0_f64, |m, e| m.max(e.abs()))
     }
 
     /// Root-mean-square error in percent of full scale.
@@ -249,7 +269,10 @@ impl NonLinearity {
 
     /// Iterates over `(temperature, error %)` pairs — one figure trace.
     pub fn iter_percent(&self) -> impl Iterator<Item = (Celsius, f64)> + '_ {
-        self.temps.iter().copied().zip(self.error_percent.iter().copied())
+        self.temps
+            .iter()
+            .copied()
+            .zip(self.error_percent.iter().copied())
     }
 }
 
@@ -349,7 +372,11 @@ mod tests {
         assert!(LinearFit::least_squares(&[1.0, 1.0], &[2.0, 3.0]).is_err());
         assert!(LinearFit::least_squares(&[1.0, 2.0], &[2.0]).is_err());
         assert!(LinearFit::endpoints(&[1.0, 1.0], &[0.0, 1.0]).is_err());
-        let flat = LinearFit { slope: 0.0, intercept: 1.0, r_squared: 1.0 };
+        let flat = LinearFit {
+            slope: 0.0,
+            intercept: 1.0,
+            r_squared: 1.0,
+        };
         assert!(flat.invert(2.0).is_err());
 
         let curve = PeriodCurve::new(

@@ -46,7 +46,12 @@ impl AlphaPowerFet {
                 constraint: "must be positive",
             });
         }
-        Ok(AlphaPowerFet { polarity, params, width, vth_shift: Volts::new(0.0) })
+        Ok(AlphaPowerFet {
+            polarity,
+            params,
+            width,
+            vth_shift: Volts::new(0.0),
+        })
     }
 
     /// Returns a copy with an extra threshold shift (stack body effect).
@@ -85,7 +90,9 @@ impl AlphaPowerFet {
     pub fn overdrive(&self, t: Celsius, vdd: Volts) -> Result<Volts> {
         let vov = vdd - self.vth(t);
         if vov.get() <= 0.0 {
-            return Err(ModelError::NoOverdrive { at_celsius: t.get() });
+            return Err(ModelError::NoOverdrive {
+                at_celsius: t.get(),
+            });
         }
         Ok(vov)
     }
@@ -115,8 +122,8 @@ impl AlphaPowerFet {
         let vov = self.overdrive(t, vdd)?.get();
         let t_k = t.to_kelvin().get();
         // d ln I / dT = −m/T + α·κ/V_ov   (κ raises overdrive with T).
-        let dlni = -self.params.mobility_exp / t_k
-            + self.params.alpha * self.params.vth_tempco / vov;
+        let dlni =
+            -self.params.mobility_exp / t_k + self.params.alpha * self.params.vth_tempco / vov;
         Ok(i * dlni)
     }
 }
@@ -146,7 +153,10 @@ mod tests {
     fn drive_magnitude_is_plausible_for_0p35um() {
         // ~1 µm NMOS in 0.35 µm CMOS delivers a few hundred µA.
         let tech = Technology::um350();
-        let i = nmos1u().sat_current(Celsius::new(27.0), tech.vdd).unwrap().get();
+        let i = nmos1u()
+            .sat_current(Celsius::new(27.0), tech.vdd)
+            .unwrap()
+            .get();
         assert!(i > 150e-6 && i < 1.5e-3, "got {i}");
     }
 
@@ -169,8 +179,13 @@ mod tests {
         let d = nmos1u();
         let t = Celsius::new(40.0);
         let h = 1e-3;
-        let num = (d.sat_current(Celsius::new(40.0 + h), tech.vdd).unwrap().get()
-            - d.sat_current(Celsius::new(40.0 - h), tech.vdd).unwrap().get())
+        let num = (d
+            .sat_current(Celsius::new(40.0 + h), tech.vdd)
+            .unwrap()
+            .get()
+            - d.sat_current(Celsius::new(40.0 - h), tech.vdd)
+                .unwrap()
+                .get())
             / (2.0 * h);
         let ana = d.sat_current_tempco(t, tech.vdd).unwrap();
         assert!((num - ana).abs() / ana.abs() < 1e-5, "num={num} ana={ana}");

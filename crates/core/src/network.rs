@@ -90,9 +90,11 @@ impl PullNetwork {
         match self {
             PullNetwork::Device => 1,
             PullNetwork::Series(c) => c.iter().map(PullNetwork::max_stack_depth).sum(),
-            PullNetwork::Parallel(c) => {
-                c.iter().map(PullNetwork::max_stack_depth).max().unwrap_or(1)
-            }
+            PullNetwork::Parallel(c) => c
+                .iter()
+                .map(PullNetwork::max_stack_depth)
+                .max()
+                .unwrap_or(1),
         }
     }
 
@@ -116,11 +118,12 @@ impl PullNetwork {
         match self {
             PullNetwork::Device => 1.0,
             PullNetwork::Series(c) => {
-                1.0 / c.iter().map(|n| 1.0 / n.relative_conductance()).sum::<f64>()
+                1.0 / c
+                    .iter()
+                    .map(|n| 1.0 / n.relative_conductance())
+                    .sum::<f64>()
             }
-            PullNetwork::Parallel(c) => {
-                c.iter().map(PullNetwork::relative_conductance).sum()
-            }
+            PullNetwork::Parallel(c) => c.iter().map(PullNetwork::relative_conductance).sum(),
         }
     }
 
@@ -192,10 +195,7 @@ mod tests {
         assert!((PullNetwork::series_chain(2).relative_conductance() - 0.5).abs() < 1e-12);
         assert!((PullNetwork::parallel_bank(3).relative_conductance() - 3.0).abs() < 1e-12);
         // AOI21 pull-down: (A·B) ∥ C → series-2 parallel a device.
-        let aoi_pd = PullNetwork::Parallel(vec![
-            PullNetwork::series_chain(2),
-            PullNetwork::Device,
-        ]);
+        let aoi_pd = PullNetwork::Parallel(vec![PullNetwork::series_chain(2), PullNetwork::Device]);
         assert!((aoi_pd.relative_conductance() - 1.5).abs() < 1e-12);
         // Its dual (the pull-up): (A∥B) in series with C.
         let aoi_pu = aoi_pd.dual();
@@ -204,15 +204,20 @@ mod tests {
 
     #[test]
     fn depth_and_drains() {
-        let aoi_pd = PullNetwork::Parallel(vec![
-            PullNetwork::series_chain(2),
-            PullNetwork::Device,
-        ]);
+        let aoi_pd = PullNetwork::Parallel(vec![PullNetwork::series_chain(2), PullNetwork::Device]);
         assert_eq!(aoi_pd.max_stack_depth(), 2);
-        assert_eq!(aoi_pd.output_drain_count(), 2, "stack top + the lone device");
+        assert_eq!(
+            aoi_pd.output_drain_count(),
+            2,
+            "stack top + the lone device"
+        );
         let aoi_pu = aoi_pd.dual();
         assert_eq!(aoi_pu.max_stack_depth(), 2);
-        assert_eq!(aoi_pu.output_drain_count(), 2, "both parallel devices at the top");
+        assert_eq!(
+            aoi_pu.output_drain_count(),
+            2,
+            "both parallel devices at the top"
+        );
         assert_eq!(PullNetwork::series_chain(4).max_stack_depth(), 4);
         assert_eq!(PullNetwork::series_chain(4).output_drain_count(), 1);
     }
@@ -224,7 +229,10 @@ mod tests {
         for k in 1..=4usize {
             let net = PullNetwork::series_chain(k);
             let expect = 1e-6 / (k as f64 * (1.0 + srf * (k as f64 - 1.0)));
-            assert!((net.effective_width(1e-6, srf) - expect).abs() < 1e-18, "k={k}");
+            assert!(
+                (net.effective_width(1e-6, srf) - expect).abs() < 1e-18,
+                "k={k}"
+            );
         }
         // Parallel(k): k·w, no penalty.
         let net = PullNetwork::parallel_bank(3);
@@ -233,30 +241,23 @@ mod tests {
 
     #[test]
     fn dual_is_involutive() {
-        let aoi_pd = PullNetwork::Parallel(vec![
-            PullNetwork::series_chain(2),
-            PullNetwork::Device,
-        ]);
+        let aoi_pd = PullNetwork::Parallel(vec![PullNetwork::series_chain(2), PullNetwork::Device]);
         assert_eq!(aoi_pd.dual().dual(), aoi_pd);
     }
 
     #[test]
     fn validation_rejects_singleton_composites() {
-        assert!(PullNetwork::Series(vec![PullNetwork::Device]).validate().is_err());
+        assert!(PullNetwork::Series(vec![PullNetwork::Device])
+            .validate()
+            .is_err());
         assert!(PullNetwork::Parallel(vec![]).validate().is_err());
-        let good = PullNetwork::Parallel(vec![
-            PullNetwork::series_chain(2),
-            PullNetwork::Device,
-        ]);
+        let good = PullNetwork::Parallel(vec![PullNetwork::series_chain(2), PullNetwork::Device]);
         assert!(good.validate().is_ok());
     }
 
     #[test]
     fn display_is_compact() {
-        let aoi_pd = PullNetwork::Parallel(vec![
-            PullNetwork::series_chain(2),
-            PullNetwork::Device,
-        ]);
+        let aoi_pd = PullNetwork::Parallel(vec![PullNetwork::series_chain(2), PullNetwork::Device]);
         assert_eq!(format!("{aoi_pd}"), "[(D-D)|D]");
     }
 

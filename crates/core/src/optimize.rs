@@ -36,7 +36,11 @@ impl Default for SweepSettings {
     /// The paper's evaluation conditions: −50 °C … 150 °C, 41 samples
     /// (5 °C pitch), least-squares reference line.
     fn default() -> Self {
-        SweepSettings { range: TempRange::paper(), samples: 41, fit: FitKind::LeastSquares }
+        SweepSettings {
+            range: TempRange::paper(),
+            samples: 41,
+            fit: FitKind::LeastSquares,
+        }
     }
 }
 
@@ -73,7 +77,11 @@ pub fn ratio_sweep(
         let ring = RingOscillator::uniform(gate, stages)?;
         let curve = ring.period_curve(tech, settings.range, settings.samples)?;
         let nonlinearity = NonLinearity::of_curve(&curve, settings.fit)?;
-        out.push(RatioPoint { ratio, max_nl_percent: nonlinearity.max_abs_percent(), nonlinearity });
+        out.push(RatioPoint {
+            ratio,
+            max_nl_percent: nonlinearity.max_abs_percent(),
+            nonlinearity,
+        });
     }
     Ok(out)
 }
@@ -253,8 +261,7 @@ mod tests {
         // NL(r) dips to a minimum and rises toward both extremes.
         let settings = SweepSettings::default();
         let ratios = [1.5, 1.75, 2.0, 2.25, 3.0, 4.0];
-        let pts =
-            ratio_sweep(&tech(), GateKind::Inv, 1e-6, 5, &ratios, &settings).unwrap();
+        let pts = ratio_sweep(&tech(), GateKind::Inv, 1e-6, 5, &ratios, &settings).unwrap();
         assert_eq!(pts.len(), 6);
         let nl: Vec<f64> = pts.iter().map(|p| p.max_nl_percent).collect();
         // Minimum strictly inside the sweep.
@@ -264,7 +271,10 @@ mod tests {
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0;
-        assert!(min_idx > 0 && min_idx < nl.len() - 1, "interior minimum, got idx {min_idx}");
+        assert!(
+            min_idx > 0 && min_idx < nl.len() - 1,
+            "interior minimum, got idx {min_idx}"
+        );
         // Paper claim: the optimum is below 0.2 % of full scale.
         assert!(nl[min_idx] < 0.2, "min NL {} must beat 0.2 %", nl[min_idx]);
         // Extremes are clearly worse.
@@ -274,8 +284,7 @@ mod tests {
     #[test]
     fn best_ratio_beats_every_swept_point() {
         let settings = SweepSettings::default();
-        let (r, min_nl) =
-            best_ratio(&tech(), GateKind::Inv, 1e-6, 5, 1.0, 6.0, &settings).unwrap();
+        let (r, min_nl) = best_ratio(&tech(), GateKind::Inv, 1e-6, 5, 1.0, 6.0, &settings).unwrap();
         assert!(r > 1.0 && r < 6.0);
         assert!(min_nl < 0.2);
         let pts = ratio_sweep(&tech(), GateKind::Inv, 1e-6, 5, &[1.5, 4.0], &settings).unwrap();
@@ -300,14 +309,8 @@ mod tests {
     #[test]
     fn config_search_ranks_best_first() {
         let settings = SweepSettings::default();
-        let ranked = config_search(
-            &tech(),
-            &CellConfig::paper_fig3_set(),
-            1e-6,
-            1.5,
-            &settings,
-        )
-        .unwrap();
+        let ranked =
+            config_search(&tech(), &CellConfig::paper_fig3_set(), 1e-6, 1.5, &settings).unwrap();
         assert_eq!(ranked.len(), 6);
         for w in ranked.windows(2) {
             assert!(w[0].max_nl_percent <= w[1].max_nl_percent);
@@ -320,15 +323,9 @@ mod tests {
         // suboptimal library ratio of 1.5), choosing an adequate set of
         // standard cells reduces the non-linearity error.
         let settings = SweepSettings::default();
-        let ranked = exhaustive_config_search(
-            &tech(),
-            &GateKind::PAPER_SET,
-            5,
-            1e-6,
-            1.5,
-            &settings,
-        )
-        .unwrap();
+        let ranked =
+            exhaustive_config_search(&tech(), &GateKind::PAPER_SET, 5, 1e-6, 1.5, &settings)
+                .unwrap();
         let best = &ranked[0];
         let pure_inv = ranked
             .iter()
@@ -340,9 +337,16 @@ mod tests {
             best.max_nl_percent,
             pure_inv.max_nl_percent,
         );
-        assert!(best.max_nl_percent < 0.2, "best mix must beat the paper's 0.2 % bar");
+        assert!(
+            best.max_nl_percent < 0.2,
+            "best mix must beat the paper's 0.2 % bar"
+        );
         // And the best mix is genuinely mixed, not a pure ring.
-        assert!(best.config.histogram().len() > 1, "best config: {}", best.config);
+        assert!(
+            best.config.histogram().len() > 1,
+            "best config: {}",
+            best.config
+        );
     }
 
     #[test]

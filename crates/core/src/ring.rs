@@ -63,7 +63,10 @@ impl RingOscillator {
                 ),
             });
         }
-        Ok(RingOscillator { stages, wire_cap: Farads::new(0.0) })
+        Ok(RingOscillator {
+            stages,
+            wire_cap: Farads::new(0.0),
+        })
     }
 
     /// Builds a ring of `n` identical stages (the paper's Fig. 1/2 setup).
@@ -182,12 +185,18 @@ impl RingOscillator {
     pub fn dynamic_power(&self, tech: &Technology, t: Celsius) -> Result<Watts> {
         let f = self.frequency(tech, t)?;
         let c = self.switched_capacitance(tech);
-        Ok(Watts::new(c.get() * tech.vdd.get() * tech.vdd.get() * f.get()))
+        Ok(Watts::new(
+            c.get() * tech.vdd.get() * tech.vdd.get() * f.get(),
+        ))
     }
 
     /// A compact description such as `"3×INV + 2×NAND3 (5 stages)"`.
     pub fn describe(&self) -> String {
-        format!("{} ({} stages)", CellConfig::of_ring(self), self.stage_count())
+        format!(
+            "{} ({} stages)",
+            CellConfig::of_ring(self),
+            self.stage_count()
+        )
     }
 }
 
@@ -253,8 +262,16 @@ impl PeriodCurve {
 
     /// Full-scale period span (max − min).
     pub fn full_scale(&self) -> Seconds {
-        let min = self.periods.iter().cloned().fold(Seconds::new(f64::INFINITY), Seconds::min);
-        let max = self.periods.iter().cloned().fold(Seconds::new(f64::NEG_INFINITY), Seconds::max);
+        let min = self
+            .periods
+            .iter()
+            .cloned()
+            .fold(Seconds::new(f64::INFINITY), Seconds::min);
+        let max = self
+            .periods
+            .iter()
+            .cloned()
+            .fold(Seconds::new(f64::NEG_INFINITY), Seconds::max);
         max - min
     }
 }
@@ -345,7 +362,9 @@ impl CellConfig {
 
     /// The configuration describing an existing ring's stage mix.
     pub fn of_ring(ring: &RingOscillator) -> CellConfig {
-        CellConfig { kinds: ring.stages().iter().map(|g| g.kind()).collect() }
+        CellConfig {
+            kinds: ring.stages().iter().map(|g| g.kind()).collect(),
+        }
     }
 }
 
@@ -421,24 +440,18 @@ mod tests {
         let at = Celsius::new(27.0);
         let wn = 1e-6;
         let r = 2.0;
-        let pure_inv = RingOscillator::from_config(
-            &CellConfig::uniform(GateKind::Inv, 5).unwrap(),
-            wn,
-            r,
-        )
-        .unwrap()
-        .period(&t, at)
-        .unwrap()
-        .get();
-        let pure_nand = RingOscillator::from_config(
-            &CellConfig::uniform(GateKind::Nand2, 5).unwrap(),
-            wn,
-            r,
-        )
-        .unwrap()
-        .period(&t, at)
-        .unwrap()
-        .get();
+        let pure_inv =
+            RingOscillator::from_config(&CellConfig::uniform(GateKind::Inv, 5).unwrap(), wn, r)
+                .unwrap()
+                .period(&t, at)
+                .unwrap()
+                .get();
+        let pure_nand =
+            RingOscillator::from_config(&CellConfig::uniform(GateKind::Nand2, 5).unwrap(), wn, r)
+                .unwrap()
+                .period(&t, at)
+                .unwrap()
+                .get();
         let mixed = RingOscillator::from_config(
             &CellConfig::from_groups(&[(3, GateKind::Inv), (2, GateKind::Nand2)]).unwrap(),
             wn,
@@ -449,7 +462,10 @@ mod tests {
         .unwrap()
         .get();
         let (lo, hi) = (pure_inv.min(pure_nand), pure_inv.max(pure_nand));
-        assert!(mixed > lo && mixed < hi, "mixed {mixed} not in ({lo}, {hi})");
+        assert!(
+            mixed > lo && mixed < hi,
+            "mixed {mixed} not in ({lo}, {hi})"
+        );
     }
 
     #[test]
@@ -497,7 +513,10 @@ mod tests {
     #[test]
     fn dynamic_power_is_plausible() {
         // A small ring in 0.35 µm burns on the order of 0.1–10 mW.
-        let p = inv_ring(5).dynamic_power(&tech(), Celsius::new(27.0)).unwrap().get();
+        let p = inv_ring(5)
+            .dynamic_power(&tech(), Celsius::new(27.0))
+            .unwrap()
+            .get();
         assert!(p > 1e-5 && p < 0.05, "power {p} W");
     }
 

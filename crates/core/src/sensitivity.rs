@@ -45,7 +45,11 @@ impl Sensitivity {
         let p_hi = ring.period(tech, Celsius::new(t.get() + h_kelvin))?;
         let p_lo = ring.period(tech, Celsius::new(t.get() - h_kelvin))?;
         let dp_dt = (p_hi.get() - p_lo.get()) / (2.0 * h_kelvin);
-        Ok(Sensitivity { dp_dt, relative_per_k: dp_dt / p.get(), period: p })
+        Ok(Sensitivity {
+            dp_dt,
+            relative_per_k: dp_dt / p.get(),
+            period: p,
+        })
     }
 
     /// Period sensitivity expressed in ps/°C — the unit data sheets use.
@@ -86,7 +90,10 @@ impl DigitizerSpec {
                 constraint: "window must span at least one ring cycle",
             });
         }
-        Ok(DigitizerSpec { ref_clock, window_cycles })
+        Ok(DigitizerSpec {
+            ref_clock,
+            window_cycles,
+        })
     }
 
     /// Ideal (un-quantized) count for a given ring period:
@@ -140,7 +147,11 @@ pub fn window_tradeoff(
     let mut rows = Vec::with_capacity(windows.len());
     for &m in windows {
         let spec = DigitizerSpec::new(ref_clock, m)?;
-        rows.push((m, spec.resolution_celsius(&sens), spec.conversion_time(hot_period)));
+        rows.push((
+            m,
+            spec.resolution_celsius(&sens),
+            spec.conversion_time(hot_period),
+        ));
     }
     Ok(rows)
 }
@@ -176,7 +187,10 @@ mod tests {
         let r_short = short.resolution_celsius(&s);
         let r_long = long.resolution_celsius(&s);
         assert!(r_long < r_short);
-        assert!((r_short / r_long - 16.0).abs() < 1e-9, "resolution scales as 1/M");
+        assert!(
+            (r_short / r_long - 16.0).abs() < 1e-9,
+            "resolution scales as 1/M"
+        );
     }
 
     #[test]
@@ -221,7 +235,10 @@ mod tests {
         assert_eq!(rows.len(), 4);
         for w in rows.windows(2) {
             assert!(w[1].1 < w[0].1, "finer resolution with longer window");
-            assert!(w[1].2.get() > w[0].2.get(), "longer conversion with longer window");
+            assert!(
+                w[1].2.get() > w[0].2.get(),
+                "longer conversion with longer window"
+            );
         }
     }
 

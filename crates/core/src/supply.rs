@@ -87,22 +87,26 @@ mod tests {
 
     fn setup() -> (Technology, RingOscillator) {
         let tech = Technology::um350();
-        let ring = RingOscillator::uniform(
-            Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(),
-            5,
-        )
-        .unwrap();
+        let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(), 5)
+            .unwrap();
         (tech, ring)
     }
 
     #[test]
     fn more_supply_means_faster_ring() {
         let (tech, ring) = setup();
-        let curve =
-            period_vs_supply(&ring, &tech, Celsius::new(27.0), &[3.0, 3.15, 3.3, 3.45, 3.6])
-                .unwrap();
+        let curve = period_vs_supply(
+            &ring,
+            &tech,
+            Celsius::new(27.0),
+            &[3.0, 3.15, 3.3, 3.45, 3.6],
+        )
+        .unwrap();
         for w in curve.windows(2) {
-            assert!(w[1].1.get() < w[0].1.get(), "period falls with VDD: {curve:?}");
+            assert!(
+                w[1].1.get() < w[0].1.get(),
+                "period falls with VDD: {curve:?}"
+            );
         }
     }
 
@@ -131,9 +135,12 @@ mod tests {
     fn finite_difference_consistent_with_curve() {
         let (tech, ring) = setup();
         let s = SupplySensitivity::at(&ring, &tech, Celsius::new(27.0)).unwrap();
-        let curve =
-            period_vs_supply(&ring, &tech, Celsius::new(27.0), &[3.29, 3.31]).unwrap();
+        let curve = period_vs_supply(&ring, &tech, Celsius::new(27.0), &[3.29, 3.31]).unwrap();
         let slope = (curve[1].1.get() - curve[0].1.get()) / 0.02;
-        assert!((slope - s.dp_dv).abs() / s.dp_dv.abs() < 0.05, "{slope} vs {}", s.dp_dv);
+        assert!(
+            (slope - s.dp_dv).abs() / s.dp_dv.abs() < 0.05,
+            "{slope} vs {}",
+            s.dp_dv
+        );
     }
 }

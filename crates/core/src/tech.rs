@@ -354,7 +354,9 @@ impl Technology {
         for p in [Polarity::Nmos, Polarity::Pmos] {
             let vth = self.device(p).vth(cold);
             if vth.get() >= self.vdd.get() {
-                return Err(ModelError::NoOverdrive { at_celsius: cold.get() });
+                return Err(ModelError::NoOverdrive {
+                    at_celsius: cold.get(),
+                });
             }
         }
         Ok(())
@@ -388,7 +390,9 @@ impl From<Technology> for TechnologyBuilder {
 impl TechnologyBuilder {
     /// Starts from the 0.35 µm preset.
     pub fn new() -> Self {
-        TechnologyBuilder { tech: Technology::um350() }
+        TechnologyBuilder {
+            tech: Technology::um350(),
+        }
     }
 
     /// Sets the technology name.
@@ -451,7 +455,8 @@ mod tests {
     #[test]
     fn presets_validate() {
         for t in Technology::presets() {
-            t.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", t.name));
+            t.validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", t.name));
         }
     }
 
@@ -522,7 +527,10 @@ mod tests {
         let mut p = Technology::um350().nmos;
         p.alpha = 3.0;
         let err = p.validate().unwrap_err();
-        assert!(matches!(err, ModelError::InvalidParameter { name: "alpha", .. }));
+        assert!(matches!(
+            err,
+            ModelError::InvalidParameter { name: "alpha", .. }
+        ));
     }
 
     #[test]

@@ -330,8 +330,14 @@ impl TempRange {
     ///
     /// Panics if `low > high` or either endpoint is not finite.
     pub fn new(low: Celsius, high: Celsius) -> Self {
-        assert!(low.is_finite() && high.is_finite(), "endpoints must be finite");
-        assert!(low.get() <= high.get(), "low endpoint must not exceed high endpoint");
+        assert!(
+            low.is_finite() && high.is_finite(),
+            "endpoints must be finite"
+        );
+        assert!(
+            low.get() <= high.get(),
+            "low endpoint must not exceed high endpoint"
+        );
         TempRange { low, high }
     }
 

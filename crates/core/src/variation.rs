@@ -32,7 +32,11 @@ impl Default for VariationSpec {
     /// Representative 0.35 µm-class spread: 30 mV Vth, 5 % drive,
     /// 2 % local width mismatch.
     fn default() -> Self {
-        VariationSpec { sigma_vth: 0.030, sigma_kdrive_rel: 0.05, sigma_width_rel: 0.02 }
+        VariationSpec {
+            sigma_vth: 0.030,
+            sigma_kdrive_rel: 0.05,
+            sigma_width_rel: 0.02,
+        }
     }
 }
 
@@ -177,7 +181,12 @@ impl MonteCarloStudy {
     fn stats(&self, f: impl Fn(&TrialOutcome) -> f64) -> (f64, f64) {
         let n = self.trials.len() as f64;
         let mean = self.trials.iter().map(&f).sum::<f64>() / n;
-        let var = self.trials.iter().map(|t| (f(t) - mean).powi(2)).sum::<f64>() / n;
+        let var = self
+            .trials
+            .iter()
+            .map(|t| (f(t) - mean).powi(2))
+            .sum::<f64>()
+            / n;
         (mean, var.sqrt())
     }
 
@@ -255,19 +264,29 @@ mod tests {
         let (one_mean, _) = study.one_point_stats();
         // Two-point leaves only the (sub-degree) non-linearity; one-point
         // additionally carries the die's slope error.
-        assert!(two_mean < one_mean, "two-point {two_mean} vs one-point {one_mean}");
+        assert!(
+            two_mean < one_mean,
+            "two-point {two_mean} vs one-point {one_mean}"
+        );
         assert!(two_mean < 2.0, "two-point residual stays small: {two_mean}");
     }
 
     #[test]
     fn zero_sigma_reproduces_nominal() {
         let (tech, ring) = setup();
-        let spec = VariationSpec { sigma_vth: 0.0, sigma_kdrive_rel: 0.0, sigma_width_rel: 0.0 };
+        let spec = VariationSpec {
+            sigma_vth: 0.0,
+            sigma_kdrive_rel: 0.0,
+            sigma_width_rel: 0.0,
+        };
         let study =
             MonteCarloStudy::run(&ring, &tech, &spec, TempRange::paper(), 11, 4, 9).unwrap();
         let (_, std) = study.period_stats();
         assert!(std < 1e-18, "no spread without variation");
-        let nominal = ring.period(&tech, TempRange::paper().midpoint()).unwrap().get();
+        let nominal = ring
+            .period(&tech, TempRange::paper().midpoint())
+            .unwrap()
+            .get();
         assert!((study.trials()[0].period_mid - nominal).abs() < 1e-18);
     }
 

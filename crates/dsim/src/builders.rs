@@ -6,6 +6,7 @@
 
 use crate::logic::Logic;
 use crate::netlist::{GateOp, Netlist, SignalId};
+use std::fmt;
 
 /// Default gate delay used by the builders, femtoseconds (≈ one 0.35 µm
 /// gate delay).
@@ -13,6 +14,142 @@ pub const GATE_DELAY_FS: u64 = 100_000;
 
 /// Default flip-flop clock-to-Q delay, femtoseconds.
 pub const DFF_DELAY_FS: u64 = 150_000;
+
+/// A structural error detected while building a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The requested ring has an even number of inverting stages; such a
+    /// loop has two stable states and can never oscillate (netcheck rule
+    /// `NC0105`).
+    EvenInversionRing {
+        /// Total stage count requested.
+        stages: usize,
+        /// How many of those stages invert.
+        inversions: usize,
+    },
+    /// The requested ring has fewer than three stages; a one- or
+    /// two-stage loop is dominated by parasitics and is rejected, like
+    /// [`tsense-core`'s `RingOscillator`](https://example.com/tsense).
+    RingTooShort {
+        /// Total stage count requested.
+        stages: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::EvenInversionRing { stages, inversions } => write!(
+                f,
+                "ring of {stages} stage(s) has {inversions} inversion(s): an \
+                 even-inversion loop latches instead of oscillating"
+            ),
+            BuildError::RingTooShort { stages } => {
+                write!(f, "ring needs at least 3 stages, got {stages}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// The signals of a built ring oscillator.
+#[derive(Debug, Clone)]
+pub struct RingPorts {
+    /// The ring output (the last stage's output, which feeds stage 0).
+    pub out: SignalId,
+    /// Every stage output in ring order; `stages.last() == Some(&out)`.
+    pub stages: Vec<SignalId>,
+}
+
+/// A free-running ring oscillator with one gate per entry in
+/// `stage_ops`, each delayed by `delay_fs`.
+///
+/// Multi-input ops get their side input tied off so the op reduces to a
+/// buffer or inverter along the loop: NAND/AND tie high, NOR/OR/XOR/XNOR
+/// tie low — mirroring how the paper's NAND3/NOR2 ring cells are wired
+/// (Fig. 3). The ring period is `2 × stages × delay_fs` once settled.
+///
+/// # Errors
+///
+/// * [`BuildError::RingTooShort`] for fewer than three stages;
+/// * [`BuildError::EvenInversionRing`] when the inverting-stage count is
+///   even (including zero) — such a loop cannot oscillate. This is the
+///   structural defect netcheck reports as `NC0105`.
+pub fn ring_oscillator(
+    nl: &mut Netlist,
+    stage_ops: &[GateOp],
+    prefix: &str,
+    delay_fs: u64,
+) -> Result<RingPorts, BuildError> {
+    if stage_ops.len() < 3 {
+        return Err(BuildError::RingTooShort {
+            stages: stage_ops.len(),
+        });
+    }
+    let inversions = stage_ops.iter().filter(|op| op.is_inverting()).count();
+    if inversions % 2 == 0 {
+        return Err(BuildError::EvenInversionRing {
+            stages: stage_ops.len(),
+            inversions,
+        });
+    }
+
+    // Every stage starts at a definite value propagated forward from
+    // stage 0 = 0. With odd inversion parity the wrap-around is then
+    // inconsistent by construction, which launches the oscillation wave;
+    // leaving stages at X instead would let X chase the definite wave
+    // around the loop forever (four-value X pessimism).
+    let tie_for = |op: GateOp| match op {
+        GateOp::And | GateOp::Nand => Logic::One,
+        _ => Logic::Zero,
+    };
+    let mut init = vec![Logic::Zero; stage_ops.len()];
+    for i in 1..stage_ops.len() {
+        let op = stage_ops[i];
+        init[i] = match op {
+            GateOp::Buf | GateOp::Inv => op.eval(&[init[i - 1]]),
+            _ => op.eval(&[init[i - 1], tie_for(op)]),
+        };
+    }
+    let stages: Vec<SignalId> = init
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| nl.signal_with_init(format!("{prefix}.s{i}"), v))
+        .collect();
+
+    // Tie-off rails, created lazily only if some stage needs them.
+    let mut tie_high = None;
+    let mut tie_low = None;
+
+    for (i, &op) in stage_ops.iter().enumerate() {
+        let input = stages[(i + stage_ops.len() - 1) % stage_ops.len()];
+        let output = stages[i];
+        match op {
+            GateOp::Buf | GateOp::Inv => {
+                nl.gate(op, &[input], output, delay_fs);
+            }
+            GateOp::And | GateOp::Nand => {
+                let high = *tie_high.get_or_insert_with(|| {
+                    nl.signal_with_init(format!("{prefix}.vdd"), Logic::One)
+                });
+                nl.gate(op, &[input, high], output, delay_fs);
+            }
+            GateOp::Or | GateOp::Nor | GateOp::Xor | GateOp::Xnor => {
+                let low = *tie_low.get_or_insert_with(|| {
+                    nl.signal_with_init(format!("{prefix}.gnd"), Logic::Zero)
+                });
+                nl.gate(op, &[input, low], output, delay_fs);
+            }
+        }
+    }
+
+    Ok(RingPorts {
+        out: *stages.last().expect("ring has stages"),
+        stages,
+    })
+}
 
 /// An asynchronous (ripple) up-counter: bit `i` toggles on the falling
 /// edge of bit `i−1`; bit 0 toggles on the rising edge of `clk`.
@@ -151,7 +288,13 @@ pub fn mux_tree(
     for (level, &sel) in sels.iter().enumerate() {
         let mut next = Vec::with_capacity(layer.len() / 2);
         for (pair, chunk) in layer.chunks(2).enumerate() {
-            next.push(mux2(nl, chunk[0], chunk[1], sel, &format!("{prefix}.l{level}p{pair}")));
+            next.push(mux2(
+                nl,
+                chunk[0],
+                chunk[1],
+                sel,
+                &format!("{prefix}.l{level}p{pair}"),
+            ));
         }
         layer = next;
     }
@@ -184,8 +327,7 @@ mod tests {
 
     #[test]
     fn ripple_counter_counts_clock_edges() {
-        let (mut sim, qs) =
-            counter_fixture(|nl, clk, rst| ripple_counter(nl, clk, rst, 6, "cnt"));
+        let (mut sim, qs) = counter_fixture(|nl, clk, rst| ripple_counter(nl, clk, rst, 6, "cnt"));
         // 10 rising edges.
         sim.run_until(CLK_PERIOD * 10 + CLK_PERIOD / 4);
         assert_eq!(read(&sim, &qs), 10);
@@ -195,8 +337,7 @@ mod tests {
 
     #[test]
     fn ripple_counter_wraps() {
-        let (mut sim, qs) =
-            counter_fixture(|nl, clk, rst| ripple_counter(nl, clk, rst, 3, "cnt"));
+        let (mut sim, qs) = counter_fixture(|nl, clk, rst| ripple_counter(nl, clk, rst, 3, "cnt"));
         sim.run_until(CLK_PERIOD * 9 + CLK_PERIOD / 4);
         assert_eq!(read(&sim, &qs), 1, "9 mod 8");
     }
@@ -235,8 +376,7 @@ mod tests {
 
     #[test]
     fn counter_reset_clears() {
-        let (mut sim, qs) =
-            counter_fixture(|nl, clk, rst| ripple_counter(nl, clk, rst, 4, "cnt"));
+        let (mut sim, qs) = counter_fixture(|nl, clk, rst| ripple_counter(nl, clk, rst, 4, "cnt"));
         let rst_n = sim.netlist().find_signal("rst_n").unwrap();
         sim.run_until(CLK_PERIOD * 6 + CLK_PERIOD / 4);
         assert_eq!(read(&sim, &qs), 6);
@@ -250,8 +390,9 @@ mod tests {
         let mut nl = Netlist::new();
         let clk = nl.signal("clk");
         nl.symmetric_clock(clk, CLK_PERIOD, CLK_PERIOD / 2);
-        let d: Vec<SignalId> =
-            (0..4).map(|i| nl.signal_with_init(format!("d{i}"), Logic::Zero)).collect();
+        let d: Vec<SignalId> = (0..4)
+            .map(|i| nl.signal_with_init(format!("d{i}"), Logic::Zero))
+            .collect();
         let q = register(&mut nl, &d, clk, None, "reg");
         let mut sim = Simulator::new(nl);
         for (i, &bit) in crate::logic::u64_to_bits(0b1010, 4).iter().enumerate() {
@@ -282,9 +423,7 @@ mod tests {
     fn mux_tree_selects() {
         let mut nl = Netlist::new();
         let inputs: Vec<SignalId> = (0..4)
-            .map(|i| {
-                nl.signal_with_init(format!("in{i}"), Logic::from_bool(i == 2))
-            })
+            .map(|i| nl.signal_with_init(format!("in{i}"), Logic::from_bool(i == 2)))
             .collect();
         let s0 = nl.signal_with_init("s0", Logic::Zero);
         let s1 = nl.signal_with_init("s1", Logic::Zero);
@@ -307,5 +446,80 @@ mod tests {
         let clk = nl.signal("clk");
         let rst = nl.signal("rst_n");
         let _ = ripple_counter(&mut nl, clk, rst, 0, "cnt");
+    }
+
+    #[test]
+    fn odd_inverter_ring_oscillates() {
+        let mut nl = Netlist::new();
+        let ports = ring_oscillator(&mut nl, &[GateOp::Inv; 5], "ring", GATE_DELAY_FS)
+            .expect("odd ring is valid");
+        let mut sim = Simulator::new(nl);
+        sim.count_edges(ports.out);
+        // Period = 2 * 5 * delay; run 20 periods and expect ~20 edges.
+        sim.run_for(2 * 5 * GATE_DELAY_FS * 20);
+        let edges = sim.edge_count(ports.out);
+        assert!(
+            (18..=22).contains(&edges),
+            "expected ~20 rising edges, got {edges}"
+        );
+    }
+
+    #[test]
+    fn mixed_cell_ring_oscillates() {
+        // Paper Fig. 3 flavour: 3×INV + 2×NAND (side inputs tied high).
+        let mut nl = Netlist::new();
+        let ops = [
+            GateOp::Inv,
+            GateOp::Nand,
+            GateOp::Inv,
+            GateOp::Nand,
+            GateOp::Inv,
+        ];
+        let ports =
+            ring_oscillator(&mut nl, &ops, "ring", GATE_DELAY_FS).expect("5 inversions is odd");
+        let mut sim = Simulator::new(nl);
+        sim.count_edges(ports.out);
+        sim.run_for(2 * 5 * GATE_DELAY_FS * 10);
+        assert!(sim.edge_count(ports.out) >= 8, "mixed ring must oscillate");
+    }
+
+    #[test]
+    fn even_inversion_ring_rejected() {
+        let mut nl = Netlist::new();
+        let err = ring_oscillator(&mut nl, &[GateOp::Inv; 4], "ring", GATE_DELAY_FS)
+            .expect_err("even ring must be rejected");
+        assert_eq!(
+            err,
+            BuildError::EvenInversionRing {
+                stages: 4,
+                inversions: 4
+            }
+        );
+        // A buffer among inverters flipping parity to even is also caught.
+        let ops = [
+            GateOp::Inv,
+            GateOp::Buf,
+            GateOp::Inv,
+            GateOp::Nand,
+            GateOp::Nor,
+        ];
+        let err = ring_oscillator(&mut nl, &ops, "ring2", GATE_DELAY_FS)
+            .expect_err("4 inversions in 5 stages is even");
+        assert_eq!(
+            err,
+            BuildError::EvenInversionRing {
+                stages: 5,
+                inversions: 4
+            }
+        );
+    }
+
+    #[test]
+    fn short_ring_rejected() {
+        let mut nl = Netlist::new();
+        let err = ring_oscillator(&mut nl, &[GateOp::Inv; 2], "ring", GATE_DELAY_FS)
+            .expect_err("2-stage ring must be rejected");
+        assert_eq!(err, BuildError::RingTooShort { stages: 2 });
+        assert!(err.to_string().contains("at least 3"));
     }
 }

@@ -37,6 +37,7 @@ pub mod netlist;
 pub mod sim;
 pub mod vcd;
 
+pub use builders::{ring_oscillator, BuildError, RingPorts};
 pub use logic::Logic;
 pub use netlist::{Component, GateOp, Netlist, SignalId};
 pub use sim::{Change, Simulator};

@@ -135,7 +135,9 @@ pub fn bits_to_u64(bits: &[Logic]) -> Option<u64> {
 
 /// Unpacks an integer into `n` logic levels, LSB first.
 pub fn u64_to_bits(value: u64, n: usize) -> Vec<Logic> {
-    (0..n).map(|i| Logic::from_bool((value >> i) & 1 == 1)).collect()
+    (0..n)
+        .map(|i| Logic::from_bool((value >> i) & 1 == 1))
+        .collect()
 }
 
 #[cfg(test)]
@@ -195,6 +197,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(format!("{}{}{}{}", Logic::Zero, Logic::One, Logic::X, Logic::Z), "01xz");
+        assert_eq!(
+            format!("{}{}{}{}", Logic::Zero, Logic::One, Logic::X, Logic::Z),
+            "01xz"
+        );
     }
 }

@@ -60,6 +60,16 @@ impl GateOp {
             GateOp::Xnor => inputs.iter().copied().fold(Logic::Zero, Logic::xor).not(),
         }
     }
+
+    /// True for ops whose output inverts along a single sensitized input
+    /// path (the other inputs held at their non-controlling values):
+    /// INV, NAND, NOR, XNOR. Used for ring inversion-parity analysis.
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateOp::Inv | GateOp::Nand | GateOp::Nor | GateOp::Xnor
+        )
+    }
 }
 
 /// A netlist component.
@@ -144,6 +154,15 @@ impl Netlist {
         id
     }
 
+    /// The level a signal starts the simulation at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is foreign to this netlist.
+    pub fn initial_value(&self, id: SignalId) -> Logic {
+        self.initials[id.0]
+    }
+
     /// Adds a combinational gate.
     ///
     /// # Panics
@@ -152,7 +171,10 @@ impl Netlist {
     pub fn gate(&mut self, op: GateOp, inputs: &[SignalId], output: SignalId, delay_fs: u64) {
         assert!(!inputs.is_empty(), "gate must have at least one input");
         for s in inputs.iter().chain(std::iter::once(&output)) {
-            assert!(s.0 < self.names.len(), "signal does not belong to this netlist");
+            assert!(
+                s.0 < self.names.len(),
+                "signal does not belong to this netlist"
+            );
         }
         self.components.push(Component::Gate {
             op,
@@ -176,9 +198,18 @@ impl Netlist {
         delay_fs: u64,
     ) {
         for s in [Some(d), Some(clk), rst_n, Some(q)].into_iter().flatten() {
-            assert!(s.0 < self.names.len(), "signal does not belong to this netlist");
+            assert!(
+                s.0 < self.names.len(),
+                "signal does not belong to this netlist"
+            );
         }
-        self.components.push(Component::Dff { d, clk, rst_n, q, delay_fs });
+        self.components.push(Component::Dff {
+            d,
+            clk,
+            rst_n,
+            q,
+            delay_fs,
+        });
     }
 
     /// Adds a transparent-high level-sensitive latch.
@@ -195,9 +226,18 @@ impl Netlist {
         delay_fs: u64,
     ) {
         for s in [Some(d), Some(en), rst_n, Some(q)].into_iter().flatten() {
-            assert!(s.0 < self.names.len(), "signal does not belong to this netlist");
+            assert!(
+                s.0 < self.names.len(),
+                "signal does not belong to this netlist"
+            );
         }
-        self.components.push(Component::Latch { d, en, rst_n, q, delay_fs });
+        self.components.push(Component::Latch {
+            d,
+            en,
+            rst_n,
+            q,
+            delay_fs,
+        });
     }
 
     /// Adds a free-running clock with the given low/high interval.
@@ -206,9 +246,20 @@ impl Netlist {
     ///
     /// Panics if either interval is zero.
     pub fn clock(&mut self, output: SignalId, low_fs: u64, high_fs: u64, start_fs: u64) {
-        assert!(low_fs > 0 && high_fs > 0, "clock intervals must be positive");
-        assert!(output.0 < self.names.len(), "signal does not belong to this netlist");
-        self.components.push(Component::Clock { output, low_fs, high_fs, start_fs });
+        assert!(
+            low_fs > 0 && high_fs > 0,
+            "clock intervals must be positive"
+        );
+        assert!(
+            output.0 < self.names.len(),
+            "signal does not belong to this netlist"
+        );
+        self.components.push(Component::Clock {
+            output,
+            low_fs,
+            high_fs,
+            start_fs,
+        });
     }
 
     /// Adds a symmetric clock of the given period.
@@ -344,7 +395,11 @@ mod tests {
         nl.gate(GateOp::Nand, &[a, b], y, 100);
         nl.dff(y, a, None, q, 50);
         let fanout = nl.fanout_table();
-        assert_eq!(fanout[a.0], vec![0, 1], "a feeds the gate and clocks the dff");
+        assert_eq!(
+            fanout[a.0],
+            vec![0, 1],
+            "a feeds the gate and clocks the dff"
+        );
         assert_eq!(fanout[b.0], vec![0]);
         assert_eq!(fanout[y.0], vec![1]);
         assert!(fanout[q.0].is_empty());

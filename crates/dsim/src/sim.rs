@@ -99,7 +99,9 @@ impl Simulator {
             .components()
             .iter()
             .filter_map(|c| match c {
-                Component::Clock { output, start_fs, .. } => Some((*output, *start_fs)),
+                Component::Clock {
+                    output, start_fs, ..
+                } => Some((*output, *start_fs)),
                 _ => None,
             })
             .collect();
@@ -120,6 +122,24 @@ impl Simulator {
             }
         }
         sim
+    }
+
+    /// Creates a simulator after an opt-in preflight check.
+    ///
+    /// `preflight` inspects the netlist before any simulator state is
+    /// built; returning `Err` aborts construction and hands the error
+    /// back verbatim. Lint frontends (e.g. the `netcheck` crate) supply
+    /// the callback so `dsim` stays free of analysis dependencies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates whatever error `preflight` reports.
+    pub fn new_checked<E>(
+        netlist: Netlist,
+        preflight: impl FnOnce(&Netlist) -> Result<(), E>,
+    ) -> Result<Self, E> {
+        preflight(&netlist)?;
+        Ok(Simulator::new(netlist))
     }
 
     /// The underlying netlist.
@@ -175,8 +195,7 @@ impl Simulator {
     ///
     /// Panics if [`Simulator::count_edges`] was never called for it.
     pub fn edge_count(&self, signal: SignalId) -> u64 {
-        self.edge_counters[signal.index()]
-            .expect("edge counting was not enabled for this signal")
+        self.edge_counters[signal.index()].expect("edge counting was not enabled for this signal")
     }
 
     /// Resets the rising-edge counter of `signal` to zero.
@@ -196,7 +215,13 @@ impl Simulator {
         if inertial {
             self.latest_inertial[signal.index()] = self.seq;
         }
-        self.queue.push(Reverse(Event { time, seq: self.seq, signal, value, inertial }));
+        self.queue.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            signal,
+            value,
+            inertial,
+        }));
     }
 
     /// Schedules a testbench stimulus (transport semantics) at an
@@ -232,13 +257,23 @@ impl Simulator {
         // aliasing the netlist during mutation.
         let comp = self.netlist.components()[ci].clone();
         match comp {
-            Component::Gate { op, inputs, output, delay_fs } => {
-                let levels: Vec<Logic> =
-                    inputs.iter().map(|s| self.values[s.index()]).collect();
+            Component::Gate {
+                op,
+                inputs,
+                output,
+                delay_fs,
+            } => {
+                let levels: Vec<Logic> = inputs.iter().map(|s| self.values[s.index()]).collect();
                 let new = op.eval(&levels);
                 self.push_event(self.time_fs + delay_fs, output, new, true);
             }
-            Component::Dff { d, clk, rst_n, q, delay_fs } => {
+            Component::Dff {
+                d,
+                clk,
+                rst_n,
+                q,
+                delay_fs,
+            } => {
                 // Async reset dominates.
                 if let Some(r) = rst_n {
                     if self.values[r.index()].is_zero() {
@@ -256,7 +291,13 @@ impl Simulator {
                     self.push_event(self.time_fs + delay_fs, q, sampled_d, true);
                 }
             }
-            Component::Latch { d, en, rst_n, q, delay_fs } => {
+            Component::Latch {
+                d,
+                en,
+                rst_n,
+                q,
+                delay_fs,
+            } => {
                 if let Some(r) = rst_n {
                     if self.values[r.index()].is_zero() {
                         self.push_event(self.time_fs + delay_fs, q, Logic::Zero, true);
@@ -289,11 +330,21 @@ impl Simulator {
             }
         }
         if self.trace_enabled {
-            self.changes.push(Change { time_fs: ev.time, signal: ev.signal, value: ev.value });
+            self.changes.push(Change {
+                time_fs: ev.time,
+                signal: ev.signal,
+                value: ev.value,
+            });
         }
         // Clock self-perpetuation.
         for comp in self.netlist.components() {
-            if let Component::Clock { output, low_fs, high_fs, .. } = comp {
+            if let Component::Clock {
+                output,
+                low_fs,
+                high_fs,
+                ..
+            } = comp
+            {
                 if *output == ev.signal {
                     let (next_delay, next_value) = if ev.value.is_one() {
                         (*high_fs, Logic::Zero)
@@ -390,9 +441,11 @@ mod tests {
         sim.schedule(a, Logic::Zero, 10_200);
         sim.run_until(20_000);
         assert_eq!(sim.value(y), Logic::One, "glitch swallowed");
-        let y_changes: Vec<_> =
-            sim.changes().iter().filter(|c| c.signal == y).collect();
-        assert!(y_changes.is_empty(), "no output activity at all: {y_changes:?}");
+        let y_changes: Vec<_> = sim.changes().iter().filter(|c| c.signal == y).collect();
+        assert!(
+            y_changes.is_empty(),
+            "no output activity at all: {y_changes:?}"
+        );
     }
 
     #[test]
@@ -542,7 +595,11 @@ mod tests {
         assert_eq!(sim.value(q), Logic::One);
         sim.poke(rst_n, Logic::Zero);
         sim.run_for(500);
-        assert_eq!(sim.value(q), Logic::Zero, "reset clears through transparency");
+        assert_eq!(
+            sim.value(q),
+            Logic::Zero,
+            "reset clears through transparency"
+        );
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! The `netcheck` command-line frontend.
+//!
+//! ```text
+//! netcheck [--json] [--rules] FILE...
+//! ```
+//!
+//! Each input file is linted according to its extension: `.lib`/`.liberty`
+//! files parse as Liberty timing libraries (rule bank `NC03xx`), anything
+//! else parses as a SPICE deck (`NC02xx`). Files that fail to parse fire
+//! `NC0001`. Exit status: `0` clean (warnings allowed), `1` if any rule
+//! fired at error severity, `2` for usage or I/O problems.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use netcheck::{check_deck, check_library, Diagnostic, Location, Report, RULES};
+
+fn usage() {
+    eprintln!("usage: netcheck [--json] [--rules] FILE...");
+    eprintln!();
+    eprintln!("  --json    emit diagnostics as a JSON array");
+    eprintln!("  --rules   list every rule and exit");
+    eprintln!();
+    eprintln!("  FILE ending in .lib/.liberty lints as a Liberty timing library;");
+    eprintln!("  anything else lints as a SPICE deck.");
+}
+
+fn list_rules() {
+    for rule in RULES {
+        println!("{}  {:<7}  {}", rule.id, rule.severity, rule.summary);
+    }
+}
+
+fn is_liberty(path: &str) -> bool {
+    matches!(
+        Path::new(path).extension().and_then(|e| e.to_str()),
+        Some("lib") | Some("liberty")
+    )
+}
+
+/// Lints one file, attributing every diagnostic to its path.
+fn check_file(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let report = if is_liberty(path) {
+        match stdcell::liberty::from_liberty(&text) {
+            Ok(lib) => check_library(&lib),
+            Err(e) => parse_failure(format!("not a valid Liberty library: {e}")),
+        }
+    } else {
+        match spicelite::netlist::parse(&text) {
+            Ok(deck) => check_deck(&deck),
+            Err(e) => parse_failure(format!("not a valid SPICE deck: {e}")),
+        }
+    };
+    Ok(report.with_path(path))
+}
+
+fn parse_failure(message: String) -> Report {
+    let mut report = Report::new();
+    report.push(Diagnostic::error(
+        "NC0001",
+        Location::object("input"),
+        message,
+    ));
+    report
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--rules" => {
+                list_rules();
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("netcheck: unknown option `{arg}`");
+                usage();
+                return ExitCode::from(2);
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        usage();
+        return ExitCode::from(2);
+    }
+
+    let mut combined = Report::new();
+    for path in &files {
+        match check_file(path) {
+            Ok(report) => combined.extend(report),
+            Err(e) => {
+                eprintln!("netcheck: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if json {
+        println!("{}", combined.render_json());
+    } else {
+        print!("{}", combined.render_text());
+    }
+    if combined.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,349 @@
+//! The diagnostic model: stable rule IDs, severities, locations, and
+//! renderable reports.
+//!
+//! Rule IDs are stable across releases and partitioned by target
+//! representation:
+//!
+//! | bank     | target                          |
+//! |----------|---------------------------------|
+//! | `NC01xx` | dsim gate-level netlists        |
+//! | `NC02xx` | spicelite decks / MNA structure |
+//! | `NC03xx` | stdcell timing libraries        |
+//! | `NC04xx` | sensor configurations           |
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note; never affects exit status.
+    Info,
+    /// Suspicious but simulatable; reported, does not fail preflight.
+    Warning,
+    /// Structural defect; preflight checks and the CLI fail on these.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Where in the analyzed artifact a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Location {
+    /// Originating file, when the artifact came from one.
+    pub path: Option<String>,
+    /// 1-based source line, when the artifact has text form.
+    pub line: Option<usize>,
+    /// The named object (net, node, gate, device, cell) at fault.
+    pub object: Option<String>,
+}
+
+impl Location {
+    /// A location naming only an in-memory object.
+    pub fn object(name: impl Into<String>) -> Self {
+        Location {
+            path: None,
+            line: None,
+            object: Some(name.into()),
+        }
+    }
+
+    /// A location in a source file.
+    pub fn file_line(path: impl Into<String>, line: usize) -> Self {
+        Location {
+            path: Some(path.into()),
+            line: Some(line),
+            object: None,
+        }
+    }
+
+    /// Attaches a file path, keeping line/object.
+    pub fn with_path(mut self, path: impl Into<String>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        if let Some(path) = &self.path {
+            write!(f, "{path}")?;
+            if let Some(line) = self.line {
+                write!(f, ":{line}")?;
+            }
+            wrote = true;
+        } else if let Some(line) = self.line {
+            write!(f, "line {line}")?;
+            wrote = true;
+        }
+        if let Some(object) = &self.object {
+            if wrote {
+                write!(f, " ")?;
+            }
+            write!(f, "`{object}`")?;
+        } else if !wrote {
+            write!(f, "<artifact>")?;
+        }
+        Ok(())
+    }
+}
+
+/// One finding from a rule pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `NC0101`.
+    pub rule: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Where the finding points.
+    pub location: Location,
+    /// Human-readable explanation, one sentence.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    pub fn error(rule: &'static str, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            location,
+            message: message.into(),
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(rule: &'static str, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Warning,
+            location,
+            message: message.into(),
+        }
+    }
+
+    /// An info-severity diagnostic.
+    pub fn info(rule: &'static str, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Info,
+            location,
+            message: message.into(),
+        }
+    }
+
+    /// Compact single-line JSON object (no external serializer needed).
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            format!("\"rule\":{}", json_string(self.rule)),
+            format!("\"severity\":{}", json_string(&self.severity.to_string())),
+        ];
+        if let Some(path) = &self.location.path {
+            fields.push(format!("\"path\":{}", json_string(path)));
+        }
+        if let Some(line) = self.location.line {
+            fields.push(format!("\"line\":{line}"));
+        }
+        if let Some(object) = &self.location.object {
+            fields.push(format!("\"object\":{}", json_string(object)));
+        }
+        fields.push(format!("\"message\":{}", json_string(&self.message)));
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// Renders as `error[NC0101] `n3`: net is never driven`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.rule, self.location, self.message
+        )
+    }
+}
+
+/// Escapes a string for embedding in JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The accumulated output of one or more passes.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Adds one diagnostic.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Merges another report into this one.
+    pub fn extend(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All diagnostics in pass order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Count at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// True if any diagnostic is error-severity.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// True if no diagnostics at all were produced.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Stamps every location in the report with a source path.
+    pub fn with_path(mut self, path: &str) -> Self {
+        for d in &mut self.diagnostics {
+            if d.location.path.is_none() {
+                d.location.path = Some(path.to_string());
+            }
+        }
+        self
+    }
+
+    /// Human-readable multi-line rendering, one diagnostic per line,
+    /// followed by a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} note(s)\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+
+    /// JSON array rendering, one object per diagnostic.
+    pub fn render_json(&self) -> String {
+        let items: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_rule_and_location() {
+        let d = Diagnostic::error("NC0101", Location::object("n3"), "net is never driven");
+        assert_eq!(d.to_string(), "error[NC0101] `n3`: net is never driven");
+        let d2 = Diagnostic::warning(
+            "NC0203",
+            Location::file_line("ring.ckt", 12),
+            "zero-valued resistor",
+        );
+        assert_eq!(
+            d2.to_string(),
+            "warning[NC0203] ring.ckt:12: zero-valued resistor"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_fields() {
+        let d = Diagnostic::info("NC0401", Location::object("cfg \"a\""), "line1\nline2");
+        let j = d.to_json();
+        assert!(j.contains("\"rule\":\"NC0401\""));
+        assert!(j.contains("\\\"a\\\""));
+        assert!(j.contains("\\n"));
+    }
+
+    #[test]
+    fn report_counts_and_errors() {
+        let mut r = Report::new();
+        assert!(r.is_clean() && !r.has_errors());
+        r.push(Diagnostic::warning(
+            "NC0106",
+            Location::object("clk"),
+            "high fan-out",
+        ));
+        assert!(!r.has_errors());
+        r.push(Diagnostic::error(
+            "NC0102",
+            Location::object("q"),
+            "multiply driven",
+        ));
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Warning), 1);
+        let text = r.render_text();
+        assert!(text.contains("1 error(s), 1 warning(s), 0 note(s)"));
+        let json = r.render_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+
+    #[test]
+    fn with_path_stamps_missing_paths_only() {
+        let mut r = Report::new();
+        r.push(Diagnostic::error(
+            "NC0201",
+            Location::object("n1"),
+            "dangling",
+        ));
+        r.push(Diagnostic::error(
+            "NC0202",
+            Location::file_line("other.ckt", 3),
+            "no ground path",
+        ));
+        let r = r.with_path("deck.ckt");
+        assert_eq!(
+            r.diagnostics()[0].location.path.as_deref(),
+            Some("deck.ckt")
+        );
+        assert_eq!(
+            r.diagnostics()[1].location.path.as_deref(),
+            Some("other.ckt")
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! `netcheck` — design-rule static analysis for the tsense workspace.
+//!
+//! A unified lint framework over the four circuit representations this
+//! repository models:
+//!
+//! | bank     | target                     | example rules |
+//! |----------|----------------------------|---------------|
+//! | `NC01xx` | `dsim` gate-level netlists | undriven nets, multiply-driven nets, unreachable gates, combinational-loop parity, fan-out |
+//! | `NC02xx` | `spicelite` circuits/decks | dangling nodes, no DC path to ground, extreme device values |
+//! | `NC03xx` | `stdcell` timing libraries | delay-vs-temperature monotonicity, Fig. 2 sizing range, Liberty round-trip |
+//! | `NC04xx` | `sensor` configurations    | stage-count parity, Fig. 3 cell mixes, calibration coverage |
+//!
+//! Every rule has a stable ID and fires as a [`Diagnostic`] at a fixed
+//! [`Severity`]; a [`Report`] aggregates them and renders as text or
+//! JSON. Rules run through the [`Pass`] trait so frontends (the
+//! `netcheck` CLI, the [`preflight`] wrappers, tests) share one
+//! engine.
+//!
+//! ```
+//! use netcheck::check_netlist;
+//! let mut nl = dsim::netlist::Netlist::new();
+//! let x = nl.signal("x");
+//! let y = nl.signal("y");
+//! nl.gate(dsim::netlist::GateOp::Inv, &[x], y, 1_000);
+//! let report = check_netlist(&nl);
+//! assert!(report.has_errors()); // `x` is consumed but undriven
+//! assert_eq!(report.diagnostics()[0].rule, "NC0101");
+//! ```
+
+pub mod config_rules;
+pub mod deck_rules;
+pub mod diagnostic;
+pub mod library_rules;
+pub mod netlist_rules;
+pub mod pass;
+pub mod preflight;
+
+pub use config_rules::{check_calibration_anchors, check_sensor_config, PAPER_STAGE_COUNTS};
+pub use deck_rules::{check_circuit, check_deck};
+pub use diagnostic::{Diagnostic, Location, Report, Severity};
+pub use library_rules::{
+    check_cell_library, check_library, check_ratio, check_table, FIG2_RATIO_RANGE,
+};
+pub use netlist_rules::{check_netlist, check_netlist_with, NetlistCheckOptions};
+pub use pass::{rule_info, run_passes, Pass, RuleInfo, RULES};
+pub use preflight::PreflightError;

@@ -1,0 +1,149 @@
+//! The [`Pass`] abstraction and the rule registry.
+
+use crate::diagnostic::{Report, Severity};
+
+/// One static-analysis pass over a target representation `T`.
+///
+/// A pass owns a coherent group of rules (e.g. "connectivity" owns
+/// undriven and multiply-driven nets) and appends any findings to the
+/// shared [`Report`]; passes never mutate the target.
+pub trait Pass<T: ?Sized> {
+    /// Short machine-friendly pass name, e.g. `"connectivity"`.
+    fn name(&self) -> &'static str;
+
+    /// The rule IDs this pass can emit.
+    fn rules(&self) -> &'static [&'static str];
+
+    /// Runs the pass, appending findings to `report`.
+    fn run(&self, target: &T, report: &mut Report);
+}
+
+/// Runs every pass in order against one target.
+pub fn run_passes<T: ?Sized>(passes: &[&dyn Pass<T>], target: &T) -> Report {
+    let mut report = Report::new();
+    for pass in passes {
+        pass.run(target, &mut report);
+    }
+    report
+}
+
+/// A registry entry describing one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule ID, e.g. `NC0101`.
+    pub id: &'static str,
+    /// Severity the rule fires at.
+    pub severity: Severity,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Every rule netcheck knows, grouped by ID bank:
+/// `NC01xx` = dsim netlists, `NC02xx` = spicelite decks,
+/// `NC03xx` = stdcell libraries, `NC04xx` = sensor configurations.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "NC0001",
+        severity: Severity::Error,
+        summary: "input file does not parse",
+    },
+    RuleInfo {
+        id: "NC0101",
+        severity: Severity::Error,
+        summary: "net is consumed but has no driver and no initial value",
+    },
+    RuleInfo {
+        id: "NC0102",
+        severity: Severity::Error,
+        summary: "net has more than one driver",
+    },
+    RuleInfo {
+        id: "NC0103",
+        severity: Severity::Warning,
+        summary: "gate output can never change (unreachable from any stimulus)",
+    },
+    RuleInfo {
+        id: "NC0104",
+        severity: Severity::Info,
+        summary: "combinational loop (odd inversion parity: presumed intentional ring)",
+    },
+    RuleInfo {
+        id: "NC0105",
+        severity: Severity::Error,
+        summary: "combinational loop with even inversion parity cannot oscillate",
+    },
+    RuleInfo {
+        id: "NC0106",
+        severity: Severity::Warning,
+        summary: "signal fan-out exceeds the configured limit",
+    },
+    RuleInfo {
+        id: "NC0201",
+        severity: Severity::Warning,
+        summary: "node touches only one device terminal (dangling)",
+    },
+    RuleInfo {
+        id: "NC0202",
+        severity: Severity::Error,
+        summary: "node has no DC path to ground (singular MNA predicted)",
+    },
+    RuleInfo {
+        id: "NC0203",
+        severity: Severity::Warning,
+        summary: "device value is zero, negative, or implausibly extreme",
+    },
+    RuleInfo {
+        id: "NC0301",
+        severity: Severity::Warning,
+        summary: "delay-vs-temperature table is not monotonically increasing",
+    },
+    RuleInfo {
+        id: "NC0302",
+        severity: Severity::Warning,
+        summary: "Wp/Wn ratio outside the paper's Fig. 2 sweep range (1.5–4.0)",
+    },
+    RuleInfo {
+        id: "NC0303",
+        severity: Severity::Error,
+        summary: "timing library is internally inconsistent or fails a Liberty round-trip",
+    },
+    RuleInfo {
+        id: "NC0401",
+        severity: Severity::Error,
+        summary: "ring stage count invalid (must be odd; paper evaluates 5, 9, 21)",
+    },
+    RuleInfo {
+        id: "NC0402",
+        severity: Severity::Info,
+        summary: "5-stage cell mix is not one of the paper's Fig. 3 configurations",
+    },
+    RuleInfo {
+        id: "NC0403",
+        severity: Severity::Warning,
+        summary: "calibration does not cover the paper's −50…150 °C range",
+    },
+];
+
+/// Looks up a rule by ID.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_sorted() {
+        for pair in RULES.windows(2) {
+            assert!(pair[0].id < pair[1].id, "{} !< {}", pair[0].id, pair[1].id);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_known_rules() {
+        assert!(rule_info("NC0101").is_some());
+        assert!(rule_info("NC0105").is_some());
+        assert!(rule_info("NC9999").is_none());
+    }
+}

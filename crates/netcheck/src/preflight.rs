@@ -1,0 +1,168 @@
+//! Opt-in preflight wrappers: lint first, construct/run only if clean.
+//!
+//! The target crates expose generic `*_checked` entry points that take
+//! a preflight callback; this module supplies the canonical callbacks
+//! backed by netcheck's rule banks. A run is aborted — with the full
+//! structured [`Report`] — whenever any rule fires at
+//! [`Severity::Error`](crate::Severity::Error); warnings and notes are
+//! carried in the success path's report when the caller wants them.
+
+use std::error::Error;
+use std::fmt;
+
+use dsim::netlist::Netlist;
+use dsim::sim::Simulator;
+use sensor::unit::{SensorConfig, SmartSensorUnit};
+use sensor::SensorError;
+use spicelite::circuit::Circuit;
+use spicelite::transient::{run_transient_checked, TranOptions};
+use spicelite::waveform::Waveform;
+use spicelite::SimError;
+
+use crate::config_rules::check_sensor_config;
+use crate::deck_rules::check_circuit;
+use crate::diagnostic::Report;
+use crate::netlist_rules::check_netlist;
+
+/// Why a checked operation did not produce a value.
+#[derive(Debug)]
+pub enum PreflightError<E> {
+    /// A lint rule fired at error severity; the operation never ran.
+    Rejected(Report),
+    /// The preflight passed but the underlying operation failed.
+    Failed(E),
+}
+
+impl<E> From<E> for PreflightError<E> {
+    fn from(e: E) -> Self {
+        PreflightError::Failed(e)
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for PreflightError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreflightError::Rejected(report) => {
+                write!(f, "rejected by preflight checks:\n{}", report.render_text())
+            }
+            PreflightError::Failed(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl<E: fmt::Display + fmt::Debug> Error for PreflightError<E> {}
+
+fn gate<E>(report: Report) -> Result<(), PreflightError<E>> {
+    if report.has_errors() {
+        Err(PreflightError::Rejected(report))
+    } else {
+        Ok(())
+    }
+}
+
+/// Lints a netlist, then builds a [`Simulator`] only if no rule fired
+/// at error severity.
+///
+/// # Errors
+///
+/// [`PreflightError::Rejected`] with the lint report. (Simulator
+/// construction itself is infallible, so `Failed` never occurs here;
+/// the uniform error type keeps call sites interchangeable.)
+pub fn simulator(netlist: Netlist) -> Result<Simulator, PreflightError<SimulatorUnreachable>> {
+    Simulator::new_checked(netlist, |nl| gate(check_netlist(nl)))
+}
+
+/// Placeholder error for infallible construction paths.
+#[derive(Debug)]
+pub enum SimulatorUnreachable {}
+
+impl fmt::Display for SimulatorUnreachable {
+    fn fmt(&self, _: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {}
+    }
+}
+
+/// Lints a circuit, then runs a transient analysis only if clean.
+///
+/// # Errors
+///
+/// [`PreflightError::Rejected`] with the lint report, or
+/// [`PreflightError::Failed`] with the solver's [`SimError`].
+pub fn transient(
+    circuit: &Circuit,
+    opts: &TranOptions,
+) -> Result<Waveform, PreflightError<SimError>> {
+    run_transient_checked(circuit, opts, |c| gate(check_circuit(c)))
+}
+
+/// Lints a sensor configuration, then builds a [`SmartSensorUnit`]
+/// only if clean.
+///
+/// # Errors
+///
+/// [`PreflightError::Rejected`] with the lint report, or
+/// [`PreflightError::Failed`] with the constructor's [`SensorError`].
+pub fn sensor_unit(config: SensorConfig) -> Result<SmartSensorUnit, PreflightError<SensorError>> {
+    SmartSensorUnit::new_checked(config, |c| gate(check_sensor_config(c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsim::netlist::GateOp;
+    use spicelite::devices::Stimulus;
+    use tsense_core::gate::{Gate, GateKind};
+    use tsense_core::ring::RingOscillator;
+    use tsense_core::tech::Technology;
+
+    #[test]
+    fn clean_netlist_builds_a_simulator() {
+        let mut nl = Netlist::new();
+        let ports =
+            dsim::builders::ring_oscillator(&mut nl, &[GateOp::Inv; 5], "ring", 10_000).unwrap();
+        let mut sim = simulator(nl).expect("ring should lint clean");
+        sim.count_edges(ports.out);
+        sim.run_for(200_000);
+        assert!(sim.edge_count(ports.out) > 0);
+    }
+
+    #[test]
+    fn bad_netlist_is_rejected_with_a_report() {
+        let mut nl = Netlist::new();
+        let x = nl.signal("x");
+        let y = nl.signal("y");
+        // `x` is consumed but undriven and uninitialized → NC0101.
+        nl.gate(GateOp::Inv, &[x], y, 1_000);
+        match simulator(nl) {
+            Err(PreflightError::Rejected(report)) => {
+                assert!(report.has_errors());
+                assert!(report.render_text().contains("NC0101"));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn groundless_circuit_is_rejected_before_solving() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, b, Stimulus::Dc(1.0)).unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        let opts = TranOptions::to_time(1e-6);
+        match transient(&ckt, &opts) {
+            Err(PreflightError::Rejected(report)) => {
+                assert!(report.render_text().contains("NC0202"));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_sensor_config_constructs() {
+        let gate = Gate::with_ratio(GateKind::Inv, 1.0e-6, 2.0).unwrap();
+        let ring = RingOscillator::uniform(gate, 5).unwrap();
+        let config = SensorConfig::new(ring, Technology::um350());
+        assert!(sensor_unit(config).is_ok());
+    }
+}

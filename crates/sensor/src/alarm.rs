@@ -52,7 +52,11 @@ impl ThermalAlarm {
     /// Panics if the hysteresis is negative.
     pub fn new(threshold: Celsius, hysteresis_k: f64) -> Self {
         assert!(hysteresis_k >= 0.0, "hysteresis must be non-negative");
-        ThermalAlarm { threshold, hysteresis: hysteresis_k, tripped: false }
+        ThermalAlarm {
+            threshold,
+            hysteresis: hysteresis_k,
+            tripped: false,
+        }
     }
 
     /// The trip threshold.
@@ -110,7 +114,12 @@ impl ThermalWatchdog {
     /// Panics if the interval is not positive.
     pub fn new(unit: SmartSensorUnit, alarm: ThermalAlarm, poll_interval: Seconds) -> Self {
         assert!(poll_interval.get() > 0.0, "poll interval must be positive");
-        ThermalWatchdog { unit, alarm, poll_interval, wall_time: Seconds::new(0.0) }
+        ThermalWatchdog {
+            unit,
+            alarm,
+            poll_interval,
+            wall_time: Seconds::new(0.0),
+        }
     }
 
     /// The wrapped sensor unit.
@@ -137,7 +146,11 @@ impl ThermalWatchdog {
         self.wall_time = self.wall_time + self.poll_interval.max(m.conversion_time);
         let event = self.alarm.update(m.temperature);
         let duty = self.unit.total_osc_on_time().get() / self.wall_time.get();
-        Ok(PollOutcome { temperature: m.temperature, event, duty })
+        Ok(PollOutcome {
+            temperature: m.temperature,
+            event,
+            duty,
+        })
     }
 }
 
@@ -150,14 +163,11 @@ mod tests {
 
     fn calibrated_unit() -> SmartSensorUnit {
         let tech = Technology::um350();
-        let ring = RingOscillator::uniform(
-            Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(),
-            5,
-        )
-        .unwrap();
-        let mut u =
-            SmartSensorUnit::new(crate::unit::SensorConfig::new(ring, tech)).unwrap();
-        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).unwrap();
+        let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(), 5)
+            .unwrap();
+        let mut u = SmartSensorUnit::new(crate::unit::SensorConfig::new(ring, tech)).unwrap();
+        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+            .unwrap();
         u
     }
 

@@ -67,7 +67,9 @@ impl ThermalMap {
 
     /// Worst-case |error| over the map, °C.
     pub fn max_abs_error_c(&self) -> f64 {
-        self.points.iter().fold(0.0_f64, |m, p| m.max(p.error_c().abs()))
+        self.points
+            .iter()
+            .fold(0.0_f64, |m, p| m.max(p.error_c().abs()))
     }
 
     /// Root-mean-square error over the map, °C.
@@ -112,7 +114,12 @@ impl SensorArray {
         y_m: f64,
         unit: SmartSensorUnit,
     ) -> Self {
-        self.sites.push(SensorSite { name: name.into(), x_m, y_m, unit });
+        self.sites.push(SensorSite {
+            name: name.into(),
+            x_m,
+            y_m,
+            unit,
+        });
         self
     }
 
@@ -161,7 +168,10 @@ impl SensorArray {
         let site = self
             .sites
             .get_mut(self.selected)
-            .ok_or(SensorError::BadChannel { channel: 0, available: 0 })?;
+            .ok_or(SensorError::BadChannel {
+                channel: 0,
+                available: 0,
+            })?;
         let true_c = field(site.x_m, site.y_m);
         let m = site.unit.measure(Celsius::new(true_c))?;
         Ok(MapPoint {
@@ -182,7 +192,10 @@ impl SensorArray {
     /// empty array.
     pub fn scan(&mut self, field: &dyn Fn(f64, f64) -> f64) -> Result<ThermalMap> {
         if self.sites.is_empty() {
-            return Err(SensorError::BadChannel { channel: 0, available: 0 });
+            return Err(SensorError::BadChannel {
+                channel: 0,
+                available: 0,
+            });
         }
         let mut points = Vec::with_capacity(self.sites.len());
         let mut scan_time = Seconds::new(0.0);
@@ -228,13 +241,11 @@ mod tests {
 
     fn calibrated_unit() -> SmartSensorUnit {
         let tech = Technology::um350();
-        let ring = RingOscillator::uniform(
-            Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(),
-            5,
-        )
-        .unwrap();
+        let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(), 5)
+            .unwrap();
         let mut u = SmartSensorUnit::new(SensorConfig::new(ring, tech)).unwrap();
-        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).unwrap();
+        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+            .unwrap();
         u
     }
 
@@ -264,7 +275,11 @@ mod tests {
         let mut a = grid_array();
         let map = a.scan(&|_, _| 85.0).unwrap();
         assert_eq!(map.points().len(), 9);
-        assert!(map.max_abs_error_c() < 2.0, "max err {}", map.max_abs_error_c());
+        assert!(
+            map.max_abs_error_c() < 2.0,
+            "max err {}",
+            map.max_abs_error_c()
+        );
         assert!(map.rms_error_c() <= map.max_abs_error_c());
         assert!(map.scan_time.get() > 0.0);
     }
@@ -283,7 +298,11 @@ mod tests {
         // The hottest measured site is the one nearest the hotspot.
         assert_eq!(map.hottest().name, "s00", "{:?}", map.points());
         // Readings track the truth.
-        assert!(map.max_abs_error_c() < 2.0, "max err {}", map.max_abs_error_c());
+        assert!(
+            map.max_abs_error_c() < 2.0,
+            "max err {}",
+            map.max_abs_error_c()
+        );
         // And the map shows a real gradient.
         let hottest = map.hottest().measured_c;
         let coldest = map
@@ -291,7 +310,10 @@ mod tests {
             .iter()
             .map(|p| p.measured_c)
             .fold(f64::INFINITY, f64::min);
-        assert!(hottest - coldest > 1.0, "gradient visible: {hottest} vs {coldest}");
+        assert!(
+            hottest - coldest > 1.0,
+            "gradient visible: {hottest} vs {coldest}"
+        );
     }
 
     #[test]
@@ -304,7 +326,10 @@ mod tests {
     #[test]
     fn empty_array_scan_rejected() {
         let mut a = SensorArray::new();
-        assert!(matches!(a.scan(&|_, _| 25.0), Err(SensorError::BadChannel { .. })));
+        assert!(matches!(
+            a.scan(&|_, _| 25.0),
+            Err(SensorError::BadChannel { .. })
+        ));
     }
 
     #[test]

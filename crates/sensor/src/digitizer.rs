@@ -156,8 +156,20 @@ impl GateLevelDigitizer {
         // reference domain, exactly as on silicon.
         let sync1 = nl.signal_with_init("win_sync1", Logic::Zero);
         let sync2 = nl.signal_with_init("win_sync2", Logic::Zero);
-        nl.dff(window, ref_clk, Some(rst_n), sync1, dsim::builders::DFF_DELAY_FS);
-        nl.dff(sync1, ref_clk, Some(rst_n), sync2, dsim::builders::DFF_DELAY_FS);
+        nl.dff(
+            window,
+            ref_clk,
+            Some(rst_n),
+            sync1,
+            dsim::builders::DFF_DELAY_FS,
+        );
+        nl.dff(
+            sync1,
+            ref_clk,
+            Some(rst_n),
+            sync2,
+            dsim::builders::DFF_DELAY_FS,
+        );
 
         // Reference counter, enabled while the synchronized window is
         // open (the 2-cycle latency applies to both edges and cancels).
@@ -183,7 +195,11 @@ impl GateLevelDigitizer {
         // Busy duration: the window opened at ~0 and closed after M ring
         // cycles (plus the divider's ripple, visible in the count).
         let busy_fs = self.window_cycles as u64 * self.ring_period_fs;
-        Ok(GateLevelResult { count, busy_fs, events: sim.events_processed() })
+        Ok(GateLevelResult {
+            count,
+            busy_fs,
+            events: sim.events_processed(),
+        })
     }
 
     /// The behavioral count this instance should ideally produce.
@@ -211,12 +227,8 @@ mod tests {
     fn gate_level_count_close_to_behavioral() {
         // 1.5 ns ring period, 1 GHz reference, 64-cycle window:
         // expected = 64·1.5 ns·1 GHz = 96.
-        let d = GateLevelDigitizer::new(
-            Seconds::from_nanos(1.5),
-            Hertz::from_mega(1000.0),
-            64,
-        )
-        .unwrap();
+        let d = GateLevelDigitizer::new(Seconds::from_nanos(1.5), Hertz::from_mega(1000.0), 64)
+            .unwrap();
         let r = d.run().unwrap();
         let expect = d.expected_count();
         assert_eq!(expect, 96);
@@ -232,15 +244,11 @@ mod tests {
         let counts: Vec<u64> = [1.2, 1.5, 1.8]
             .iter()
             .map(|&ns| {
-                GateLevelDigitizer::new(
-                    Seconds::from_nanos(ns),
-                    Hertz::from_mega(1000.0),
-                    64,
-                )
-                .unwrap()
-                .run()
-                .unwrap()
-                .count
+                GateLevelDigitizer::new(Seconds::from_nanos(ns), Hertz::from_mega(1000.0), 64)
+                    .unwrap()
+                    .run()
+                    .unwrap()
+                    .count
             })
             .collect();
         assert!(counts[0] < counts[1] && counts[1] < counts[2], "{counts:?}");
@@ -271,12 +279,8 @@ mod tests {
 
     #[test]
     fn too_fast_ring_rejected() {
-        let e = GateLevelDigitizer::new(
-            Seconds::from_picos(100.0),
-            Hertz::from_mega(100.0),
-            64,
-        )
-        .unwrap_err();
+        let e = GateLevelDigitizer::new(Seconds::from_picos(100.0), Hertz::from_mega(100.0), 64)
+            .unwrap_err();
         assert!(e.to_string().contains("toggle-loop"));
     }
 }

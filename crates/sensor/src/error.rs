@@ -79,9 +79,12 @@ mod tests {
         let e: SensorError = thermal::ThermalError::NoConvergence { sweeps: 3 }.into();
         assert!(e.to_string().contains("thermal"));
         assert!(SensorError::NotReady.to_string().contains("measurement"));
-        assert!(SensorError::BadChannel { channel: 9, available: 4 }
-            .to_string()
-            .contains("9"));
+        assert!(SensorError::BadChannel {
+            channel: 9,
+            available: 4
+        }
+        .to_string()
+        .contains("9"));
     }
 
     #[test]

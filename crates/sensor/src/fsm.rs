@@ -69,7 +69,13 @@ impl MeasureFsm {
     /// Panics if the window is zero (a measurement must take time).
     pub fn new(settle_fs: u64, window_fs: u64) -> Self {
         assert!(window_fs > 0, "measurement window must be positive");
-        MeasureFsm { state: State::Idle, settle_fs, window_fs, osc_on_time_fs: 0, completed: 0 }
+        MeasureFsm {
+            state: State::Idle,
+            settle_fs,
+            window_fs,
+            osc_on_time_fs: 0,
+            completed: 0,
+        }
     }
 
     /// Current state.
@@ -81,11 +87,21 @@ impl MeasureFsm {
     /// Output signals for the current state.
     pub fn outputs(&self) -> Outputs {
         match self.state {
-            State::Idle => Outputs { osc_enable: false, busy: false, data_valid: false },
-            State::Settle { .. } | State::Measure { .. } => {
-                Outputs { osc_enable: true, busy: true, data_valid: false }
-            }
-            State::Done => Outputs { osc_enable: false, busy: false, data_valid: true },
+            State::Idle => Outputs {
+                osc_enable: false,
+                busy: false,
+                data_valid: false,
+            },
+            State::Settle { .. } | State::Measure { .. } => Outputs {
+                osc_enable: true,
+                busy: true,
+                data_valid: false,
+            },
+            State::Done => Outputs {
+                osc_enable: false,
+                busy: false,
+                data_valid: true,
+            },
         }
     }
 
@@ -94,9 +110,13 @@ impl MeasureFsm {
     pub fn start(&mut self) {
         if self.state == State::Idle {
             self.state = if self.settle_fs == 0 {
-                State::Measure { remaining_fs: self.window_fs }
+                State::Measure {
+                    remaining_fs: self.window_fs,
+                }
             } else {
-                State::Settle { remaining_fs: self.settle_fs }
+                State::Settle {
+                    remaining_fs: self.settle_fs,
+                }
             };
         }
     }
@@ -119,9 +139,13 @@ impl MeasureFsm {
                     self.osc_on_time_fs += used;
                     dt_fs -= used;
                     self.state = if used == remaining_fs {
-                        State::Measure { remaining_fs: self.window_fs }
+                        State::Measure {
+                            remaining_fs: self.window_fs,
+                        }
                     } else {
-                        State::Settle { remaining_fs: remaining_fs - used }
+                        State::Settle {
+                            remaining_fs: remaining_fs - used,
+                        }
                     };
                 }
                 State::Measure { remaining_fs } => {
@@ -132,7 +156,9 @@ impl MeasureFsm {
                         self.state = State::Done;
                         self.completed += 1;
                     } else {
-                        self.state = State::Measure { remaining_fs: remaining_fs - used };
+                        self.state = State::Measure {
+                            remaining_fs: remaining_fs - used,
+                        };
                     }
                 }
             }
@@ -180,19 +206,32 @@ mod tests {
         assert!(!fsm.outputs().osc_enable && !fsm.outputs().busy);
 
         fsm.start();
-        assert!(matches!(fsm.state(), State::Settle { remaining_fs: 1_000 }));
+        assert!(matches!(
+            fsm.state(),
+            State::Settle {
+                remaining_fs: 1_000
+            }
+        ));
         let o = fsm.outputs();
         assert!(o.osc_enable && o.busy && !o.data_valid);
 
         fsm.tick(400);
         assert!(matches!(fsm.state(), State::Settle { remaining_fs: 600 }));
         fsm.tick(600);
-        assert!(matches!(fsm.state(), State::Measure { remaining_fs: 10_000 }));
+        assert!(matches!(
+            fsm.state(),
+            State::Measure {
+                remaining_fs: 10_000
+            }
+        ));
 
         fsm.tick(10_000);
         assert_eq!(fsm.state(), State::Done);
         let o = fsm.outputs();
-        assert!(!o.osc_enable && !o.busy && o.data_valid, "oscillator disabled when done");
+        assert!(
+            !o.osc_enable && !o.busy && o.data_valid,
+            "oscillator disabled when done"
+        );
         assert_eq!(fsm.completed(), 1);
 
         fsm.acknowledge();
@@ -205,7 +244,11 @@ mod tests {
         fsm.start();
         fsm.tick(5_000);
         assert_eq!(fsm.state(), State::Done);
-        assert_eq!(fsm.osc_on_time_fs(), 3_000, "oscillator only ran settle+window");
+        assert_eq!(
+            fsm.osc_on_time_fs(),
+            3_000,
+            "oscillator only ran settle+window"
+        );
     }
 
     #[test]
@@ -229,7 +272,10 @@ mod tests {
         assert_eq!(fsm.state(), State::Idle);
         fsm.start();
         fsm.acknowledge();
-        assert!(matches!(fsm.state(), State::Settle { .. }), "ack mid-conversion ignored");
+        assert!(
+            matches!(fsm.state(), State::Settle { .. }),
+            "ack mid-conversion ignored"
+        );
     }
 
     #[test]

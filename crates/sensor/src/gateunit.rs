@@ -22,9 +22,7 @@
 //! [`crate::digitizer::BehavioralDigitizer`]; the tests hold the two
 //! implementations together.
 
-use dsim::builders::{
-    edge_detector, ripple_counter, sync_counter, DFF_DELAY_FS, GATE_DELAY_FS,
-};
+use dsim::builders::{edge_detector, ripple_counter, sync_counter, DFF_DELAY_FS, GATE_DELAY_FS};
 use dsim::logic::{bits_to_u64, Logic};
 use dsim::netlist::{GateOp, Netlist, SignalId};
 use dsim::sim::Simulator;
@@ -72,6 +70,13 @@ impl GateLevelUnit {
     #[inline]
     pub fn window_cycles(&self) -> u32 {
         self.window_cycles
+    }
+
+    /// The gate-level netlist the unit simulates (for inspection and
+    /// lint passes).
+    #[inline]
+    pub fn netlist(&self) -> &dsim::netlist::Netlist {
+        self.sim.netlist()
     }
 }
 
@@ -204,8 +209,7 @@ impl GateLevelUnit {
 
         let settle_bit = settle_cycles.trailing_zeros() as usize;
         let window_bit = window_cycles.trailing_zeros() as usize;
-        let ring_bits =
-            ripple_counter(&mut nl, osc_gated, cnt_rst_n, window_bit + 1, "ringcnt");
+        let ring_bits = ripple_counter(&mut nl, osc_gated, cnt_rst_n, window_bit + 1, "ringcnt");
 
         // Phase-done flags, synchronized into the ref domain.
         let settle_done_raw = ring_bits[settle_bit];
@@ -276,9 +280,8 @@ impl GateLevelUnit {
         self.sim.poke(self.start, Logic::Zero);
 
         // Wait for done, in bounded steps.
-        let deadline = t0
-            + (self.window_cycles as u64 + 8) * self.ring_period_fs
-            + 40 * self.ref_period_fs;
+        let deadline =
+            t0 + (self.window_cycles as u64 + 8) * self.ring_period_fs + 40 * self.ref_period_fs;
         while !self.is_done() {
             if self.sim.time_fs() > deadline {
                 return Err(SensorError::InvalidConfig {
@@ -340,13 +343,7 @@ mod tests {
     use super::*;
 
     fn unit(ns: f64) -> GateLevelUnit {
-        GateLevelUnit::new(
-            Seconds::from_nanos(ns),
-            Hertz::from_mega(1000.0),
-            16,
-            128,
-        )
-        .unwrap()
+        GateLevelUnit::new(Seconds::from_nanos(ns), Hertz::from_mega(1000.0), 16, 128).unwrap()
     }
 
     #[test]
@@ -392,7 +389,10 @@ mod tests {
         let mut hot = unit(1.9);
         let c = cold.convert().unwrap().count;
         let h = hot.convert().unwrap().count;
-        assert!(h > c, "hotter junction → longer period → higher count: {c} vs {h}");
+        assert!(
+            h > c,
+            "hotter junction → longer period → higher count: {c} vs {h}"
+        );
     }
 
     #[test]
@@ -438,8 +438,14 @@ mod tests {
     fn invalid_configs_rejected() {
         let p = Seconds::from_nanos(1.5);
         let f = Hertz::from_mega(1000.0);
-        assert!(GateLevelUnit::new(p, f, 10, 128).is_err(), "non-power-of-two settle");
-        assert!(GateLevelUnit::new(p, f, 128, 128).is_err(), "window == settle");
+        assert!(
+            GateLevelUnit::new(p, f, 10, 128).is_err(),
+            "non-power-of-two settle"
+        );
+        assert!(
+            GateLevelUnit::new(p, f, 128, 128).is_err(),
+            "window == settle"
+        );
         assert!(GateLevelUnit::new(p, f, 16, 8).is_err(), "window < settle");
         assert!(GateLevelUnit::new(Seconds::from_picos(10.0), f, 16, 128).is_err());
         assert!(GateLevelUnit::new(p, Hertz::new(0.0), 16, 128).is_err());

@@ -46,11 +46,7 @@ impl GateLevelMuxScan {
     /// Returns [`SensorError::InvalidConfig`] when the channel count is
     /// not a power of two (mux tree), the window is not a power of two,
     /// or any ring period violates the counter's toggle-loop constraint.
-    pub fn new(
-        ring_periods: &[Seconds],
-        ref_clock: Hertz,
-        window_cycles: u32,
-    ) -> Result<Self> {
+    pub fn new(ring_periods: &[Seconds], ref_clock: Hertz, window_cycles: u32) -> Result<Self> {
         if ring_periods.is_empty() || !ring_periods.len().is_power_of_two() {
             return Err(SensorError::InvalidConfig {
                 reason: format!(
@@ -165,7 +161,10 @@ impl GateLevelMuxScan {
             });
         }
         // Drive the select lines and let the mux settle.
-        for (i, bit) in u64_to_bits(channel as u64, self.sels.len()).iter().enumerate() {
+        for (i, bit) in u64_to_bits(channel as u64, self.sels.len())
+            .iter()
+            .enumerate()
+        {
             self.sim.poke(self.sels[i], *bit);
         }
         self.sim.run_for(20 * GATE_DELAY_FS);
@@ -196,7 +195,9 @@ impl GateLevelMuxScan {
     ///
     /// Propagates the first per-channel failure.
     pub fn scan_all(&mut self) -> Result<Vec<ChannelReading>> {
-        (0..self.channel_count()).map(|ch| self.convert(ch)).collect()
+        (0..self.channel_count())
+            .map(|ch| self.convert(ch))
+            .collect()
     }
 }
 
@@ -212,12 +213,9 @@ mod tests {
 
     #[test]
     fn four_channel_scan_tracks_each_ring() {
-        let mut scan = GateLevelMuxScan::new(
-            &periods(&[1.2, 1.5, 1.8, 2.1]),
-            Hertz::from_mega(REF),
-            64,
-        )
-        .unwrap();
+        let mut scan =
+            GateLevelMuxScan::new(&periods(&[1.2, 1.5, 1.8, 2.1]), Hertz::from_mega(REF), 64)
+                .unwrap();
         assert_eq!(scan.channel_count(), 4);
         let readings = scan.scan_all().unwrap();
         assert_eq!(readings.len(), 4);
@@ -239,43 +237,44 @@ mod tests {
 
     #[test]
     fn rescanning_a_channel_reproduces_its_count() {
-        let mut scan = GateLevelMuxScan::new(
-            &periods(&[1.3, 1.7]),
-            Hertz::from_mega(REF),
-            64,
-        )
-        .unwrap();
+        let mut scan =
+            GateLevelMuxScan::new(&periods(&[1.3, 1.7]), Hertz::from_mega(REF), 64).unwrap();
         let a = scan.convert(0).unwrap();
         let _ = scan.convert(1).unwrap();
         let b = scan.convert(0).unwrap();
         let drift = (a.count as i64 - b.count as i64).abs();
-        assert!(drift <= 1, "repeatable within the async LSB: {a:?} vs {b:?}");
+        assert!(
+            drift <= 1,
+            "repeatable within the async LSB: {a:?} vs {b:?}"
+        );
     }
 
     #[test]
     fn single_channel_degenerates_to_the_plain_digitizer() {
-        let mut scan =
-            GateLevelMuxScan::new(&periods(&[1.5]), Hertz::from_mega(REF), 64).unwrap();
+        let mut scan = GateLevelMuxScan::new(&periods(&[1.5]), Hertz::from_mega(REF), 64).unwrap();
         let r = scan.convert(0).unwrap();
         let expect = scan.expected_count(0);
-        assert!((r.count as i64 - expect as i64).abs() <= 2, "{r:?} vs {expect}");
+        assert!(
+            (r.count as i64 - expect as i64).abs() <= 2,
+            "{r:?} vs {expect}"
+        );
     }
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(GateLevelMuxScan::new(&periods(&[1.0, 1.2, 1.4]), Hertz::from_mega(REF), 64)
-            .is_err());
+        assert!(
+            GateLevelMuxScan::new(&periods(&[1.0, 1.2, 1.4]), Hertz::from_mega(REF), 64).is_err()
+        );
         assert!(GateLevelMuxScan::new(&[], Hertz::from_mega(REF), 64).is_err());
-        assert!(GateLevelMuxScan::new(&periods(&[1.0, 1.2]), Hertz::from_mega(REF), 100)
-            .is_err());
-        assert!(GateLevelMuxScan::new(
-            &periods(&[0.0001, 1.2]),
-            Hertz::from_mega(REF),
-            64
-        )
-        .is_err());
+        assert!(GateLevelMuxScan::new(&periods(&[1.0, 1.2]), Hertz::from_mega(REF), 100).is_err());
+        assert!(
+            GateLevelMuxScan::new(&periods(&[0.0001, 1.2]), Hertz::from_mega(REF), 64).is_err()
+        );
         let mut scan =
             GateLevelMuxScan::new(&periods(&[1.5, 1.6]), Hertz::from_mega(REF), 64).unwrap();
-        assert!(matches!(scan.convert(5), Err(SensorError::BadChannel { .. })));
+        assert!(matches!(
+            scan.convert(5),
+            Err(SensorError::BadChannel { .. })
+        ));
     }
 }

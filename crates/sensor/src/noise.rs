@@ -107,7 +107,9 @@ pub fn measure_averaged<R: Rng + ?Sized>(
     assert!(n > 0, "need at least one conversion to average");
     let mut sum = 0.0;
     for _ in 0..n {
-        sum += measure_noisy(unit, junction, jitter, rng)?.temperature.get();
+        sum += measure_noisy(unit, junction, jitter, rng)?
+            .temperature
+            .get();
     }
     Ok(Celsius::new(sum / n as f64))
 }
@@ -131,12 +133,19 @@ pub fn measure_median<R: Rng + ?Sized>(
     assert!(n > 0, "need at least one conversion");
     let mut readings: Vec<f64> = Vec::with_capacity(n);
     for _ in 0..n {
-        readings.push(measure_noisy(unit, junction, jitter, rng)?.temperature.get());
+        readings.push(
+            measure_noisy(unit, junction, jitter, rng)?
+                .temperature
+                .get(),
+        );
     }
     readings.sort_by(|a, b| a.partial_cmp(b).expect("finite readings"));
     let mid = n / 2;
-    let median =
-        if n % 2 == 1 { readings[mid] } else { 0.5 * (readings[mid - 1] + readings[mid]) };
+    let median = if n % 2 == 1 {
+        readings[mid]
+    } else {
+        0.5 * (readings[mid - 1] + readings[mid])
+    };
     Ok(Celsius::new(median))
 }
 
@@ -152,13 +161,11 @@ mod tests {
 
     fn unit() -> SmartSensorUnit {
         let tech = Technology::um350();
-        let ring = RingOscillator::uniform(
-            Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(),
-            5,
-        )
-        .unwrap();
+        let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(), 5)
+            .unwrap();
         let mut u = SmartSensorUnit::new(crate::unit::SensorConfig::new(ring, tech)).unwrap();
-        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).unwrap();
+        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+            .unwrap();
         u
     }
 

@@ -28,8 +28,15 @@ impl SelfHeatModel {
     /// A representative local model: a small sensor macro sees a few
     /// hundred K/W to the surrounding die with a ~100 µs time constant.
     pub fn new(r_th: f64, tau: f64) -> Self {
-        assert!(r_th > 0.0 && tau > 0.0, "thermal parameters must be positive");
-        SelfHeatModel { r_th, tau, rise_k: 0.0 }
+        assert!(
+            r_th > 0.0 && tau > 0.0,
+            "thermal parameters must be positive"
+        );
+        SelfHeatModel {
+            r_th,
+            tau,
+            rise_k: 0.0,
+        }
     }
 
     /// Default parameters (300 K/W, 100 µs).
@@ -133,11 +140,8 @@ mod tests {
 
     fn fixture() -> (Technology, RingOscillator) {
         let tech = Technology::um350();
-        let ring = RingOscillator::uniform(
-            Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(),
-            5,
-        )
-        .unwrap();
+        let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(), 5)
+            .unwrap();
         (tech, ring)
     }
 
@@ -145,7 +149,11 @@ mod tests {
     fn exponential_step_reaches_steady_state() {
         let mut m = SelfHeatModel::new(100.0, 1e-3);
         m.step(0.01, Seconds::new(10e-3)); // 10 τ
-        assert!((m.rise_k() - 1.0).abs() < 1e-4, "P·Rth = 1 K, got {}", m.rise_k());
+        assert!(
+            (m.rise_k() - 1.0).abs() < 1e-4,
+            "P·Rth = 1 K, got {}",
+            m.rise_k()
+        );
         m.step(0.0, Seconds::new(10e-3));
         assert!(m.rise_k() < 1e-4, "cools back down");
     }
@@ -172,7 +180,11 @@ mod tests {
         )
         .unwrap();
         assert!(s.ring_power_w > 0.0);
-        assert!(s.continuous_error_k > 0.1, "continuous rise {}", s.continuous_error_k);
+        assert!(
+            s.continuous_error_k > 0.1,
+            "continuous rise {}",
+            s.continuous_error_k
+        );
         assert!(
             s.duty_cycled_error_k < 0.2 * s.continuous_error_k,
             "duty-cycled {} vs continuous {}",

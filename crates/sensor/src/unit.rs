@@ -97,7 +97,10 @@ impl CodeCalibration {
             });
         }
         let gain = (t2.get() - t1.get()) / (code2 as f64 - code1 as f64);
-        Ok(CodeCalibration { gain, offset: t1.get() - gain * code1 as f64 })
+        Ok(CodeCalibration {
+            gain,
+            offset: t1.get() - gain * code1 as f64,
+        })
     }
 
     /// Temperature represented by a code.
@@ -149,6 +152,26 @@ impl SmartSensorUnit {
             measurements: 0,
             total_osc_on: Seconds::new(0.0),
         })
+    }
+
+    /// Builds a unit after an opt-in preflight check.
+    ///
+    /// `preflight` inspects the configuration before construction;
+    /// returning `Err` aborts it. The error type only has to absorb
+    /// [`SensorError`] (via `From`), so lint frontends (e.g. the
+    /// `netcheck` crate) can thread structured rejections through
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `preflight` reports, or any [`SmartSensorUnit::new`]
+    /// failure converted into `E`.
+    pub fn new_checked<E: From<SensorError>>(
+        config: SensorConfig,
+        preflight: impl FnOnce(&SensorConfig) -> std::result::Result<(), E>,
+    ) -> std::result::Result<Self, E> {
+        preflight(&config)?;
+        SmartSensorUnit::new(config).map_err(E::from)
     }
 
     /// The configuration.
@@ -224,7 +247,10 @@ impl SmartSensorUnit {
             temperature: cal.decode(code),
             conversion_time,
             ring_period: period,
-            ring_power: self.config.ring.dynamic_power(&self.config.tech, junction)?,
+            ring_power: self
+                .config
+                .ring
+                .dynamic_power(&self.config.tech, junction)?,
         })
     }
 
@@ -266,24 +292,25 @@ mod tests {
 
     fn unit() -> SmartSensorUnit {
         let tech = Technology::um350();
-        let ring = RingOscillator::uniform(
-            Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(),
-            5,
-        )
-        .unwrap();
+        let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(), 5)
+            .unwrap();
         SmartSensorUnit::new(SensorConfig::new(ring, tech)).unwrap()
     }
 
     #[test]
     fn uncalibrated_unit_refuses_to_measure() {
         let mut u = unit();
-        assert!(matches!(u.measure(Celsius::new(25.0)), Err(SensorError::NotReady)));
+        assert!(matches!(
+            u.measure(Celsius::new(25.0)),
+            Err(SensorError::NotReady)
+        ));
     }
 
     #[test]
     fn calibrated_unit_accurate_over_the_paper_range() {
         let mut u = unit();
-        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).unwrap();
+        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+            .unwrap();
         let mut worst = 0.0_f64;
         for t in TempRange::paper().samples(21) {
             let m = u.measure(t).unwrap();
@@ -305,7 +332,8 @@ mod tests {
     #[test]
     fn measurement_reports_plausible_metadata() {
         let mut u = unit();
-        u.calibrate_two_point(Celsius::new(0.0), Celsius::new(100.0)).unwrap();
+        u.calibrate_two_point(Celsius::new(0.0), Celsius::new(100.0))
+            .unwrap();
         let m = u.measure(Celsius::new(50.0)).unwrap();
         assert!(m.ring_period.as_picos() > 100.0 && m.ring_period.as_picos() < 1000.0);
         // 2¹⁶ + 64 ring cycles at a few hundred ps each → tens of µs.
@@ -317,7 +345,8 @@ mod tests {
     #[test]
     fn osc_on_time_accumulates_only_during_conversions() {
         let mut u = unit();
-        u.calibrate_two_point(Celsius::new(0.0), Celsius::new(100.0)).unwrap();
+        u.calibrate_two_point(Celsius::new(0.0), Celsius::new(100.0))
+            .unwrap();
         assert_eq!(u.total_osc_on_time().get(), 0.0);
         let m = u.measure(Celsius::new(40.0)).unwrap();
         let after_one = u.total_osc_on_time().get();
@@ -348,7 +377,8 @@ mod tests {
         let mut u = unit();
         let golden = {
             let mut g = unit();
-            g.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).unwrap();
+            g.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+                .unwrap();
             g.calibration().unwrap()
         };
         u.set_calibration(golden);

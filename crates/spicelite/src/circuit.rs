@@ -94,7 +94,9 @@ impl Circuit {
         self.name_to_id
             .get(name)
             .copied()
-            .ok_or_else(|| SimError::UnknownNode { name: name.to_string() })
+            .ok_or_else(|| SimError::UnknownNode {
+                name: name.to_string(),
+            })
     }
 
     /// Name of a node.
@@ -218,7 +220,12 @@ impl Circuit {
         neg: NodeId,
         stimulus: Stimulus,
     ) -> Result<()> {
-        self.devices.push(Device::Vsource { name: name.into(), pos, neg, stimulus });
+        self.devices.push(Device::Vsource {
+            name: name.into(),
+            pos,
+            neg,
+            stimulus,
+        });
         Ok(())
     }
 
@@ -236,7 +243,12 @@ impl Circuit {
         to: NodeId,
         amps: f64,
     ) -> Result<()> {
-        self.devices.push(Device::Isource { name: name.into(), from, to, amps });
+        self.devices.push(Device::Isource {
+            name: name.into(),
+            from,
+            to,
+            amps,
+        });
         Ok(())
     }
 
@@ -249,7 +261,10 @@ impl Circuit {
     /// that name exists.
     pub fn set_vsource_value(&mut self, name: &str, volts: f64) -> Result<()> {
         for dev in &mut self.devices {
-            if let Device::Vsource { name: n, stimulus, .. } = dev {
+            if let Device::Vsource {
+                name: n, stimulus, ..
+            } = dev
+            {
                 if n == name {
                     *stimulus = Stimulus::Dc(volts);
                     return Ok(());
@@ -285,7 +300,15 @@ impl Circuit {
                 reason: format!("geometry W={w} L={l} must be positive"),
             });
         }
-        self.devices.push(Device::Mosfet { name, d, g, s, model, w, l });
+        self.devices.push(Device::Mosfet {
+            name,
+            d,
+            g,
+            s,
+            model,
+            w,
+            l,
+        });
         Ok(())
     }
 
@@ -363,7 +386,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
-        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(1.0)).unwrap();
+        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(1.0))
+            .unwrap();
         ckt.add_resistor("R1", a, b, 1e3).unwrap();
         ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-12).unwrap();
         assert_eq!(ckt.devices().len(), 3);

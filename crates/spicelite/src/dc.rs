@@ -123,7 +123,11 @@ pub(crate) fn newton_solve(
         }
     }
     Err(SimError::NoConvergence {
-        analysis: if time.is_some() { "transient step" } else { "DC" },
+        analysis: if time.is_some() {
+            "transient step"
+        } else {
+            "DC"
+        },
         iterations: opts.max_iterations,
     })
 }
@@ -179,7 +183,10 @@ pub fn solve_dc(circuit: &Circuit, opts: &SolverOptions) -> Result<DcSolution> {
     for step in 1..=10 {
         let scale = step as f64 / 10.0;
         x = newton_solve(circuit, &x, None, None, opts.gmin, scale, opts).map_err(|_| {
-            SimError::NoConvergence { analysis: "DC", iterations: opts.max_iterations }
+            SimError::NoConvergence {
+                analysis: "DC",
+                iterations: opts.max_iterations,
+            }
         })?;
     }
     Ok(DcSolution::new(x, n_nodes))
@@ -241,7 +248,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
-        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(3.0)).unwrap();
+        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(3.0))
+            .unwrap();
         ckt.add_resistor("R1", a, b, 2e3).unwrap();
         ckt.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
         let op = solve_dc(&ckt, &SolverOptions::default()).unwrap();
@@ -257,7 +265,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
         let d = ckt.node("d");
-        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).unwrap();
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3))
+            .unwrap();
         ckt.add_resistor("R1", vdd, d, 100e3).unwrap();
         ckt.add_mosfet("M1", d, d, Circuit::GROUND, nmos.clone(), 2e-6, 0.35e-6)
             .unwrap();
@@ -277,19 +286,28 @@ mod tests {
             let vdd = ckt.node("vdd");
             let inn = ckt.node("in");
             let out = ckt.node("out");
-            ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).unwrap();
-            ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(vin)).unwrap();
+            ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3))
+                .unwrap();
+            ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(vin))
+                .unwrap();
             ckt.add_mosfet("MN", out, inn, Circuit::GROUND, nmos.clone(), 1e-6, 0.35e-6)
                 .unwrap();
-            ckt.add_mosfet("MP", out, inn, vdd, pmos.clone(), 2e-6, 0.35e-6).unwrap();
+            ckt.add_mosfet("MP", out, inn, vdd, pmos.clone(), 2e-6, 0.35e-6)
+                .unwrap();
             ckt
         };
         let lo = build(0.0);
         let op = solve_dc(&lo, &SolverOptions::default()).unwrap();
-        assert!((op.voltage(&lo, "out").unwrap() - 3.3).abs() < 0.01, "input low → output high");
+        assert!(
+            (op.voltage(&lo, "out").unwrap() - 3.3).abs() < 0.01,
+            "input low → output high"
+        );
         let hi = build(3.3);
         let op = solve_dc(&hi, &SolverOptions::default()).unwrap();
-        assert!(op.voltage(&hi, "out").unwrap() < 0.01, "input high → output low");
+        assert!(
+            op.voltage(&hi, "out").unwrap() < 0.01,
+            "input high → output low"
+        );
     }
 
     #[test]
@@ -303,11 +321,14 @@ mod tests {
                 let vdd = ckt.node("vdd");
                 let inn = ckt.node("in");
                 let out = ckt.node("out");
-                ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).unwrap();
-                ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(vin)).unwrap();
+                ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3))
+                    .unwrap();
+                ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(vin))
+                    .unwrap();
                 ckt.add_mosfet("MN", out, inn, Circuit::GROUND, nmos.clone(), 1e-6, 0.35e-6)
                     .unwrap();
-                ckt.add_mosfet("MP", out, inn, vdd, pmos.clone(), wp, 0.35e-6).unwrap();
+                ckt.add_mosfet("MP", out, inn, vdd, pmos.clone(), wp, 0.35e-6)
+                    .unwrap();
                 let op = solve_dc(&ckt, &SolverOptions::default()).unwrap();
                 op.voltage(&ckt, "out").unwrap()
             };
@@ -324,7 +345,10 @@ mod tests {
         };
         let vm_weak = vm(1e-6);
         let vm_strong = vm(4e-6);
-        assert!(vm_strong > vm_weak + 0.1, "weak {vm_weak} strong {vm_strong}");
+        assert!(
+            vm_strong > vm_weak + 0.1,
+            "weak {vm_weak} strong {vm_strong}"
+        );
         // Both thresholds are inside the rails, away from them.
         assert!(vm_weak > 0.8 && vm_strong < 2.5);
     }
@@ -337,17 +361,37 @@ mod tests {
         let vdd = ckt.node("vdd");
         let q = ckt.node("q");
         let qb = ckt.node("qb");
-        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).unwrap();
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3))
+            .unwrap();
         for (name, inn, out) in [("i1", q, qb), ("i2", qb, q)] {
-            ckt.add_mosfet(format!("MN{name}"), out, inn, Circuit::GROUND, nmos.clone(), 1e-6, 0.35e-6)
-                .unwrap();
-            ckt.add_mosfet(format!("MP{name}"), out, inn, vdd, pmos.clone(), 2e-6, 0.35e-6)
-                .unwrap();
+            ckt.add_mosfet(
+                format!("MN{name}"),
+                out,
+                inn,
+                Circuit::GROUND,
+                nmos.clone(),
+                1e-6,
+                0.35e-6,
+            )
+            .unwrap();
+            ckt.add_mosfet(
+                format!("MP{name}"),
+                out,
+                inn,
+                vdd,
+                pmos.clone(),
+                2e-6,
+                0.35e-6,
+            )
+            .unwrap();
         }
         ckt.set_initial_condition(q, 3.3);
         ckt.set_initial_condition(qb, 0.0);
         let op = solve_dc(&ckt, &SolverOptions::default()).unwrap();
-        let (vq, vqb) = (op.voltage(&ckt, "q").unwrap(), op.voltage(&ckt, "qb").unwrap());
+        let (vq, vqb) = (
+            op.voltage(&ckt, "q").unwrap(),
+            op.voltage(&ckt, "qb").unwrap(),
+        );
         assert!(vq > 3.0 && vqb < 0.3, "latched high/low: q={vq} qb={vqb}");
     }
 
@@ -356,7 +400,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
-        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(1.0)).unwrap();
+        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(1.0))
+            .unwrap();
         // b floats entirely — only the solver's gmin ties it down.
         let _ = b;
         // With gmin the solve still succeeds (gmin ties b to ground).
@@ -372,16 +417,22 @@ mod tests {
         let vdd = ckt.node("vdd");
         let inn = ckt.node("in");
         let out = ckt.node("out");
-        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).unwrap();
-        ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(0.0)).unwrap();
-        ckt.add_mosfet("MN", out, inn, Circuit::GROUND, nmos, 1e-6, 0.35e-6).unwrap();
-        ckt.add_mosfet("MP", out, inn, vdd, pmos, 2e-6, 0.35e-6).unwrap();
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3))
+            .unwrap();
+        ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(0.0))
+            .unwrap();
+        ckt.add_mosfet("MN", out, inn, Circuit::GROUND, nmos, 1e-6, 0.35e-6)
+            .unwrap();
+        ckt.add_mosfet("MP", out, inn, vdd, pmos, 2e-6, 0.35e-6)
+            .unwrap();
         let values: Vec<f64> = (0..=33).map(|i| 3.3 * i as f64 / 33.0).collect();
         let sweep = dc_sweep(&ckt, "VIN", &values, &SolverOptions::default()).unwrap();
         assert_eq!(sweep.len(), 34);
         // Monotone falling VTC from rail to rail.
-        let outs: Vec<f64> =
-            sweep.iter().map(|(_, s)| s.voltage(&ckt, "out").unwrap()).collect();
+        let outs: Vec<f64> = sweep
+            .iter()
+            .map(|(_, s)| s.voltage(&ckt, "out").unwrap())
+            .collect();
         assert!(outs[0] > 3.29);
         assert!(outs[33] < 0.01);
         for w in outs.windows(2) {
@@ -396,7 +447,8 @@ mod tests {
     fn dc_sweep_unknown_source_rejected() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(1.0)).unwrap();
+        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(1.0))
+            .unwrap();
         ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
         assert!(matches!(
             dc_sweep(&ckt, "nope", &[1.0], &SolverOptions::default()),

@@ -43,7 +43,15 @@ impl Stimulus {
     pub fn value_at(&self, t: f64) -> f64 {
         match self {
             Stimulus::Dc(v) => *v,
-            Stimulus::Pulse { v1, v2, delay, rise, fall, width, period } => {
+            Stimulus::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
                 if t < *delay {
                     return *v1;
                 }
@@ -224,7 +232,15 @@ pub fn eval_nmos(
     if reversed {
         ids = -ids;
     }
-    (MosOperatingPoint { ids, gm, gds, reversed }, region)
+    (
+        MosOperatingPoint {
+            ids,
+            gm,
+            gds,
+            reversed,
+        },
+        region,
+    )
 }
 
 /// A circuit element.

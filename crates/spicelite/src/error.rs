@@ -59,10 +59,19 @@ impl fmt::Display for SimError {
                 write!(f, "invalid device `{device}`: {reason}")
             }
             SimError::SingularMatrix { pivot_row } => {
-                write!(f, "singular matrix at pivot row {pivot_row} (floating node or source loop?)")
+                write!(
+                    f,
+                    "singular matrix at pivot row {pivot_row} (floating node or source loop?)"
+                )
             }
-            SimError::NoConvergence { analysis, iterations } => {
-                write!(f, "{analysis} analysis failed to converge after {iterations} iterations")
+            SimError::NoConvergence {
+                analysis,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{analysis} analysis failed to converge after {iterations} iterations"
+                )
             }
             SimError::StepUnderflow { at_time } => {
                 write!(f, "time step underflow at t = {at_time:.3e} s")
@@ -86,14 +95,24 @@ mod tests {
 
     #[test]
     fn messages_are_descriptive() {
-        assert!(SimError::UnknownNode { name: "out".into() }.to_string().contains("out"));
-        assert!(SimError::SingularMatrix { pivot_row: 3 }.to_string().contains("3"));
-        assert!(SimError::NoConvergence { analysis: "DC", iterations: 100 }
+        assert!(SimError::UnknownNode { name: "out".into() }
             .to_string()
-            .contains("DC"));
-        assert!(SimError::Parse { line: 7, message: "bad token".into() }
+            .contains("out"));
+        assert!(SimError::SingularMatrix { pivot_row: 3 }
             .to_string()
-            .contains("line 7"));
+            .contains("3"));
+        assert!(SimError::NoConvergence {
+            analysis: "DC",
+            iterations: 100
+        }
+        .to_string()
+        .contains("DC"));
+        assert!(SimError::Parse {
+            line: 7,
+            message: "bad token".into()
+        }
+        .to_string()
+        .contains("line 7"));
     }
 
     #[test]

@@ -23,8 +23,15 @@ impl Matrix {
     ///
     /// Panics if either dimension is zero.
     pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
-        assert!(n_rows > 0 && n_cols > 0, "matrix dimensions must be positive");
-        Matrix { n_rows, n_cols, data: vec![0.0; n_rows * n_cols] }
+        assert!(
+            n_rows > 0 && n_cols > 0,
+            "matrix dimensions must be positive"
+        );
+        Matrix {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -224,7 +231,10 @@ mod tests {
         m[(1, 0)] = 2.0;
         m[(1, 1)] = 4.0;
         let mut b = vec![1.0, 2.0];
-        assert!(matches!(m.solve_in_place(&mut b), Err(SimError::SingularMatrix { .. })));
+        assert!(matches!(
+            m.solve_in_place(&mut b),
+            Err(SimError::SingularMatrix { .. })
+        ));
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub struct MnaSystem {
 
 impl MnaSystem {
     fn new(n_unknowns: usize, n_nodes: usize) -> Self {
-        MnaSystem { a: Matrix::zeros(n_unknowns, n_unknowns), z: vec![0.0; n_unknowns], n_nodes }
+        MnaSystem {
+            a: Matrix::zeros(n_unknowns, n_unknowns),
+            z: vec![0.0; n_unknowns],
+            n_nodes,
+        }
     }
 
     #[inline]
@@ -164,14 +168,15 @@ pub fn assemble(
             Device::Capacitor { a, b, .. } => {
                 if time.is_some() {
                     let comp = cap_companions
-                        .expect("transient assembly requires capacitor companions")
-                        [cap_index];
+                        .expect("transient assembly requires capacitor companions")[cap_index];
                     sys.stamp_conductance(*a, *b, comp.geq);
                     sys.stamp_current(*a, *b, comp.jeq);
                 }
                 cap_index += 1;
             }
-            Device::Vsource { pos, neg, stimulus, .. } => {
+            Device::Vsource {
+                pos, neg, stimulus, ..
+            } => {
                 let t = time.unwrap_or(0.0);
                 sys.stamp_vsource(branch_row, *pos, *neg, source_scale * stimulus.value_at(t));
                 branch_row += 1;
@@ -179,7 +184,15 @@ pub fn assemble(
             Device::Isource { from, to, amps, .. } => {
                 sys.stamp_current(*from, *to, source_scale * amps);
             }
-            Device::Mosfet { d, g, s, model, w, l, .. } => {
+            Device::Mosfet {
+                d,
+                g,
+                s,
+                model,
+                w,
+                l,
+                ..
+            } => {
                 let sign = match model.polarity {
                     MosPolarity::Nmos => 1.0,
                     MosPolarity::Pmos => -1.0,
@@ -191,8 +204,11 @@ pub fn assemble(
                 let vg = sign * node_voltage(x, *g);
                 let vs = sign * node_voltage(x, *s);
                 let reversed = vd < vs;
-                let (nd, ns, vdx, vsx) =
-                    if reversed { (*s, *d, vs, vd) } else { (*d, *s, vd, vs) };
+                let (nd, ns, vdx, vsx) = if reversed {
+                    (*s, *d, vs, vd)
+                } else {
+                    (*d, *s, vd, vs)
+                };
                 let beta = model.kp_at(temp) * w / l;
                 let vth = model.vth(temp);
                 let (op, _region) = eval_nmos(vdx, vg, vsx, beta, vth, model.lambda);
@@ -223,7 +239,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
-        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(2.0)).unwrap();
+        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(2.0))
+            .unwrap();
         ckt.add_resistor("R1", a, b, 1e3).unwrap();
         ckt.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
         let x = vec![0.0; ckt.unknown_count()];
@@ -260,8 +277,14 @@ mod tests {
         ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
         let x = vec![0.0; ckt.unknown_count()];
         let dc = assemble(&ckt, &x, None, None, 0.0, 1.0);
-        assert!((dc.a[(0, 0)] - 1e-3).abs() < 1e-12, "only the resistor in DC");
-        let comps = [CapCompanion { geq: 2e-3, jeq: 0.0 }];
+        assert!(
+            (dc.a[(0, 0)] - 1e-3).abs() < 1e-12,
+            "only the resistor in DC"
+        );
+        let comps = [CapCompanion {
+            geq: 2e-3,
+            jeq: 0.0,
+        }];
         let tr = assemble(&ckt, &x, Some(1e-9), Some(&comps), 0.0, 1.0);
         assert!((tr.a[(0, 0)] - 3e-3).abs() < 1e-12, "resistor + companion");
     }
@@ -276,9 +299,12 @@ mod tests {
         let vdd = ckt.node("vdd");
         let g = ckt.node("g");
         let s = ckt.node("s");
-        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).unwrap();
-        ckt.add_vsource("VG", g, Circuit::GROUND, Stimulus::Dc(2.0)).unwrap();
-        ckt.add_mosfet("M1", vdd, g, s, nmos, 10e-6, 0.35e-6).unwrap();
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3))
+            .unwrap();
+        ckt.add_vsource("VG", g, Circuit::GROUND, Stimulus::Dc(2.0))
+            .unwrap();
+        ckt.add_mosfet("M1", vdd, g, s, nmos, 10e-6, 0.35e-6)
+            .unwrap();
         ckt.add_resistor("RS", s, Circuit::GROUND, 10e3).unwrap();
         // One Newton step from a reasonable guess must push v(s) upward.
         let mut x = vec![0.0; ckt.unknown_count()];
@@ -295,7 +321,8 @@ mod tests {
     fn source_scale_scales_rhs() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(2.0)).unwrap();
+        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(2.0))
+            .unwrap();
         ckt.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
         let x = vec![0.0; ckt.unknown_count()];
         let sys = assemble(&ckt, &x, None, None, 0.0, 0.5);

@@ -134,12 +134,15 @@ fn parse_number(tok: &str) -> std::result::Result<f64, String> {
         if let Some(stripped) = t.strip_suffix(suffix) {
             // Guard against stripping the exponent `e` forms (`1e-9` has
             // no suffix) and against bare suffixes.
-            if !stripped.is_empty() && stripped.parse::<f64>().is_ok() {
-                return Ok(stripped.parse::<f64>().expect("checked") * scale);
+            if !stripped.is_empty() {
+                if let Ok(mantissa) = stripped.parse::<f64>() {
+                    return Ok(mantissa * scale);
+                }
             }
         }
     }
-    t.parse::<f64>().map_err(|_| format!("malformed number `{tok}`"))
+    t.parse::<f64>()
+        .map_err(|_| format!("malformed number `{tok}`"))
 }
 
 #[derive(Debug, Clone)]
@@ -155,7 +158,10 @@ struct Subckt {
 }
 
 fn err(line: usize, message: impl Into<String>) -> SimError {
-    SimError::Parse { line, message: message.into() }
+    SimError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Splits a card into tokens, treating `(`, `)`, `=` and `,` as
@@ -187,7 +193,10 @@ fn preprocess(source: &str) -> (String, Vec<Card>) {
                     trimmed.chars().next().map(|c| c.to_ascii_uppercase()),
                     Some('R' | 'C' | 'V' | 'M' | 'X')
                 )
-                && toks.last().map(|t| parse_number(t).is_ok()).unwrap_or(false);
+                && toks
+                    .last()
+                    .map(|t| parse_number(t).is_ok())
+                    .unwrap_or(false);
             if !looks_like_element {
                 title = trimmed.to_string();
                 continue;
@@ -202,7 +211,16 @@ fn preprocess(source: &str) -> (String, Vec<Card>) {
                 continue;
             }
         }
-        cards.push(Card { line: line_no, tokens: tokenize(trimmed) });
+        // A line of only separator characters (`(((`, `= ,`) tokenizes
+        // to nothing; pushing it would make every tokens[0] downstream a
+        // panic site, so keep the card only if it has content.
+        let tokens = tokenize(trimmed);
+        if !tokens.is_empty() {
+            cards.push(Card {
+                line: line_no,
+                tokens,
+            });
+        }
     }
     (title, cards)
 }
@@ -290,15 +308,25 @@ impl Parser {
         depth: usize,
     ) -> Result<()> {
         if depth > 16 {
-            return Err(err(card.line, "subcircuit nesting deeper than 16 (recursive?)"));
+            return Err(err(
+                card.line,
+                "subcircuit nesting deeper than 16 (recursive?)",
+            ));
         }
         let toks = &card.tokens;
-        let kind = toks[0].chars().next().expect("non-empty token").to_ascii_uppercase();
+        let kind = toks
+            .first()
+            .and_then(|t| t.chars().next())
+            .ok_or_else(|| err(card.line, "empty element card"))?
+            .to_ascii_uppercase();
         let dev_name = format!("{prefix}{}", toks[0]);
         match kind {
             'R' | 'C' => {
                 if toks.len() != 4 {
-                    return Err(err(card.line, format!("`{}` needs 2 nodes and a value", toks[0])));
+                    return Err(err(
+                        card.line,
+                        format!("`{}` needs 2 nodes and a value", toks[0]),
+                    ));
                 }
                 let a = Self::map_node(&toks[1], bindings, prefix);
                 let b = Self::map_node(&toks[2], bindings, prefix);
@@ -312,7 +340,10 @@ impl Parser {
             }
             'V' => {
                 if toks.len() < 4 {
-                    return Err(err(card.line, "voltage source needs 2 nodes and a waveform"));
+                    return Err(err(
+                        card.line,
+                        "voltage source needs 2 nodes and a waveform",
+                    ));
                 }
                 let pos = Self::map_node(&toks[1], bindings, prefix);
                 let neg = Self::map_node(&toks[2], bindings, prefix);
@@ -387,20 +418,23 @@ impl Parser {
                 let kv = keyed_values(&toks[5..], card.line)?;
                 let w = kv.get("W").copied().unwrap_or(1e-6);
                 let l = kv.get("L").copied().unwrap_or(0.35e-6);
-                let (nd, ng, ns) =
-                    (self.circuit.node(&d), self.circuit.node(&g), self.circuit.node(&s));
-                self.circuit.add_mosfet_with_caps(dev_name, nd, ng, ns, model, w, l)?;
+                let (nd, ng, ns) = (
+                    self.circuit.node(&d),
+                    self.circuit.node(&g),
+                    self.circuit.node(&s),
+                );
+                self.circuit
+                    .add_mosfet_with_caps(dev_name, nd, ng, ns, model, w, l)?;
             }
             'X' => {
                 if toks.len() < 3 {
                     return Err(err(card.line, "subcircuit instance needs nodes and a name"));
                 }
                 let sub_name = toks[toks.len() - 1].to_ascii_lowercase();
-                let sub = self
-                    .subckts
-                    .get(&sub_name)
-                    .cloned()
-                    .ok_or_else(|| err(card.line, format!("unknown subcircuit `{sub_name}`")))?;
+                let sub =
+                    self.subckts.get(&sub_name).cloned().ok_or_else(|| {
+                        err(card.line, format!("unknown subcircuit `{sub_name}`"))
+                    })?;
                 let actuals = &toks[1..toks.len() - 1];
                 if actuals.len() != sub.ports.len() {
                     return Err(err(
@@ -414,8 +448,7 @@ impl Parser {
                 }
                 let mut inner_bindings = HashMap::new();
                 for (port, actual) in sub.ports.iter().zip(actuals) {
-                    inner_bindings
-                        .insert(port.clone(), Self::map_node(actual, bindings, prefix));
+                    inner_bindings.insert(port.clone(), Self::map_node(actual, bindings, prefix));
                 }
                 let inner_prefix = format!("{dev_name}.");
                 for inner_card in &sub.cards {
@@ -423,14 +456,22 @@ impl Parser {
                 }
             }
             other => {
-                return Err(err(card.line, format!("unsupported element type `{other}`")));
+                return Err(err(
+                    card.line,
+                    format!("unsupported element type `{other}`"),
+                ));
             }
         }
         Ok(())
     }
 
     fn parse_directive(&mut self, card: &Card) -> Result<()> {
-        match card.tokens[0].to_ascii_lowercase().as_str() {
+        let head = card
+            .tokens
+            .first()
+            .ok_or_else(|| err(card.line, "empty directive card"))?
+            .to_ascii_lowercase();
+        match head.as_str() {
             ".model" => self.parse_model(card),
             ".temp" => {
                 let t = card
@@ -480,7 +521,10 @@ impl Parser {
                 let stop = parse_number(&card.tokens[3]).map_err(|m| err(card.line, m))?;
                 let step = parse_number(&card.tokens[4]).map_err(|m| err(card.line, m))?;
                 if step <= 0.0 || stop < start {
-                    return Err(err(card.line, ".dc needs start <= stop and a positive step"));
+                    return Err(err(
+                        card.line,
+                        ".dc needs start <= stop and a positive step",
+                    ));
                 }
                 self.dc = Some(DcDirective {
                     source: card.tokens[1].clone(),
@@ -510,18 +554,30 @@ pub fn parse(source: &str) -> Result<Deck> {
     let mut top_cards: Vec<Card> = Vec::new();
     let mut current_sub: Option<(String, Subckt)> = None;
     for card in cards {
-        let head = card.tokens[0].to_ascii_lowercase();
+        let head = match card.tokens.first() {
+            Some(tok) => tok.to_ascii_lowercase(),
+            None => return Err(err(card.line, "empty card")),
+        };
         match head.as_str() {
             ".subckt" => {
                 if current_sub.is_some() {
-                    return Err(err(card.line, "nested .subckt definitions are not supported"));
+                    return Err(err(
+                        card.line,
+                        "nested .subckt definitions are not supported",
+                    ));
                 }
                 if card.tokens.len() < 3 {
                     return Err(err(card.line, ".subckt needs a name and at least one port"));
                 }
                 let name = card.tokens[1].to_ascii_lowercase();
                 let ports = card.tokens[2..].to_vec();
-                current_sub = Some((name, Subckt { ports, cards: Vec::new() }));
+                current_sub = Some((
+                    name,
+                    Subckt {
+                        ports,
+                        cards: Vec::new(),
+                    },
+                ));
             }
             ".ends" => match current_sub.take() {
                 Some((name, sub)) => {
@@ -543,13 +599,18 @@ pub fn parse(source: &str) -> Result<Deck> {
     // Pass 2: instantiate the top level.
     let empty = HashMap::new();
     for card in &top_cards {
-        if card.tokens[0].starts_with('.') {
+        if card.tokens.first().is_some_and(|t| t.starts_with('.')) {
             parser.parse_directive(card)?;
         } else {
             parser.instantiate(card, &empty, "", 0)?;
         }
     }
-    Ok(Deck { title, circuit: parser.circuit, tran: parser.tran, dc: parser.dc })
+    Ok(Deck {
+        title,
+        circuit: parser.circuit,
+        tran: parser.tran,
+        dc: parser.dc,
+    })
 }
 
 #[cfg(test)]
@@ -703,7 +764,10 @@ R2 b 0 1k
         }
         assert!(parse("t\nM1 a b c missing_model W=1u L=1u\n").is_err());
         assert!(parse("t\nX1 a b nothere\n").is_err());
-        assert!(parse("t\n.subckt s a\nR1 a 0 1k\n").is_err(), "unclosed subckt");
+        assert!(
+            parse("t\n.subckt s a\nR1 a 0 1k\n").is_err(),
+            "unclosed subckt"
+        );
         assert!(parse("t\n.ends\n").is_err());
         assert!(parse("t\nQ1 a b c d\n").is_err(), "unsupported element");
     }
@@ -736,7 +800,10 @@ MP out in vdd pm W=2u L=0.35u
         .unwrap();
         let first = sweep[0].1.voltage(&deck.circuit, "out").unwrap();
         let last = sweep[10].1.voltage(&deck.circuit, "out").unwrap();
-        assert!(first > 3.2 && last < 0.1, "VTC endpoints: {first} .. {last}");
+        assert!(
+            first > 3.2 && last < 0.1,
+            "VTC endpoints: {first} .. {last}"
+        );
         // Malformed cards rejected.
         assert!(parse("t\n.dc VIN 0 3.3\n").is_err());
         assert!(parse("t\n.dc VIN 3.3 0 0.1\n").is_err());
@@ -767,8 +834,15 @@ XB a y vdd buf
         .unwrap();
         // 4 MOSFETs, each with 3 parasitic caps, plus 2 sources.
         assert_eq!(deck.circuit.devices().len(), 4 * 4 + 2);
-        assert!(deck.circuit.devices().iter().any(|d| d.name() == "XB.X1.MN"));
-        assert!(deck.circuit.find_node("XB.mid").is_ok(), "internal node prefixed");
+        assert!(deck
+            .circuit
+            .devices()
+            .iter()
+            .any(|d| d.name() == "XB.X1.MN"));
+        assert!(
+            deck.circuit.find_node("XB.mid").is_ok(),
+            "internal node prefixed"
+        );
         let op = solve_dc(&deck.circuit, &SolverOptions::default()).unwrap();
         let v = op.voltage(&deck.circuit, "y").unwrap();
         assert!(v > 3.2, "buffer passes the high level: {v}");
@@ -783,5 +857,34 @@ R1 a b 1k
 X1 n1 s
 ";
         assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn malformed_input_errors_instead_of_panicking() {
+        // Each of these once hit an index/expect panic path; they must
+        // all come back as Err, never unwind.
+        let bad_sources = [
+            "t\n+R1 a 0 1k\n",         // continuation with no prior card
+            "t\nR1 a 0 k\n",           // bare suffix is not a number
+            "t\nR1 a 0\n",             // missing value
+            "t\n.tran\n",              // directive with no operands
+            "t\n.ic V n1\n",           // truncated .ic
+            "t\nV1 a 0 PULSE 0 3.3\n", // truncated PULSE
+            "t\nV1 a 0 PWL 0\n",       // odd PWL pairs
+            "t\nM1 d g s nomodel\n",   // unknown model
+            "t\n.model m NMOS VTO\n",  // dangling key
+            "t\nQ1 a b c\n",           // unsupported element
+        ];
+        for src in bad_sources {
+            let result = std::panic::catch_unwind(|| parse(src));
+            let outcome = result.unwrap_or_else(|_| panic!("parse panicked on {src:?}"));
+            assert!(outcome.is_err(), "expected parse error for {src:?}");
+        }
+    }
+
+    #[test]
+    fn separator_only_lines_are_skipped() {
+        let deck = parse("t\n(((\nV1 a 0 1\nR1 a 0 1k\n").unwrap();
+        assert_eq!(deck.circuit.devices().len(), 2);
     }
 }

@@ -122,6 +122,34 @@ fn capacitor_terminals(circuit: &Circuit) -> Vec<(NodeId, NodeId, f64)> {
 /// Panics if `t_stop`, `dt` or the step bounds are not positive and
 /// ordered (`0 < dt_min ≤ dt ≤ dt_max`).
 pub fn run_transient(circuit: &Circuit, opts: &TranOptions) -> Result<Waveform> {
+    run_transient_inner(circuit, opts)
+}
+
+/// Runs a transient analysis after an opt-in preflight check.
+///
+/// `preflight` inspects the circuit before any stepping begins;
+/// returning `Err` aborts the run. The error type only has to absorb
+/// [`SimError`] (via `From`), so lint frontends can thread their own
+/// structured rejection through unchanged.
+///
+/// # Errors
+///
+/// Whatever `preflight` reports, or any [`run_transient`] failure
+/// converted into `E`.
+///
+/// # Panics
+///
+/// Same step-bound preconditions as [`run_transient`].
+pub fn run_transient_checked<E: From<SimError>>(
+    circuit: &Circuit,
+    opts: &TranOptions,
+    preflight: impl FnOnce(&Circuit) -> std::result::Result<(), E>,
+) -> std::result::Result<Waveform, E> {
+    preflight(circuit)?;
+    run_transient_inner(circuit, opts).map_err(E::from)
+}
+
+fn run_transient_inner(circuit: &Circuit, opts: &TranOptions) -> Result<Waveform> {
     assert!(opts.t_stop > 0.0, "t_stop must be positive");
     assert!(
         opts.dt_min > 0.0 && opts.dt_min <= opts.dt && opts.dt <= opts.dt_max,
@@ -145,7 +173,10 @@ pub fn run_transient(circuit: &Circuit, opts: &TranOptions) -> Result<Waveform> 
 
     let mut cap_state: Vec<CapState> = caps
         .iter()
-        .map(|&(a, b, _)| CapState { v: node_voltage(&x, a) - node_voltage(&x, b), i: 0.0 })
+        .map(|&(a, b, _)| CapState {
+            v: node_voltage(&x, a) - node_voltage(&x, b),
+            i: 0.0,
+        })
         .collect();
 
     let mut wave = Waveform::for_circuit(circuit);
@@ -163,18 +194,28 @@ pub fn run_transient(circuit: &Circuit, opts: &TranOptions) -> Result<Waveform> 
         // uses backward Euler: the capacitor currents stored at t = 0 are
         // not yet consistent with the circuit (especially under `uic`),
         // and trapezoidal integration would ring on that inconsistency.
-        let scheme = if t == 0.0 { Integrator::BackwardEuler } else { opts.integrator };
+        let scheme = if t == 0.0 {
+            Integrator::BackwardEuler
+        } else {
+            opts.integrator
+        };
         let companions: Vec<CapCompanion> = caps
             .iter()
             .zip(&cap_state)
             .map(|(&(_, _, c), st)| match scheme {
                 Integrator::BackwardEuler => {
                     let geq = c / h;
-                    CapCompanion { geq, jeq: -geq * st.v }
+                    CapCompanion {
+                        geq,
+                        jeq: -geq * st.v,
+                    }
                 }
                 Integrator::Trapezoidal => {
                     let geq = 2.0 * c / h;
-                    CapCompanion { geq, jeq: -geq * st.v - st.i }
+                    CapCompanion {
+                        geq,
+                        jeq: -geq * st.v - st.i,
+                    }
                 }
             })
             .collect();
@@ -190,9 +231,7 @@ pub fn run_transient(circuit: &Circuit, opts: &TranOptions) -> Result<Waveform> 
         ) {
             Ok(x_new) => {
                 // Accept: update capacitor memory.
-                for ((st, comp), &(a, b, _)) in
-                    cap_state.iter_mut().zip(&companions).zip(&caps)
-                {
+                for ((st, comp), &(a, b, _)) in cap_state.iter_mut().zip(&companions).zip(&caps) {
                     let v_new = node_voltage(&x_new, a) - node_voltage(&x_new, b);
                     st.i = comp.geq * v_new + comp.jeq;
                     st.v = v_new;
@@ -229,7 +268,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let out = ckt.node("out");
-        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(v)).unwrap();
+        ckt.add_vsource("V1", a, Circuit::GROUND, Stimulus::Dc(v))
+            .unwrap();
         ckt.add_resistor("R1", a, out, r).unwrap();
         ckt.add_capacitor("C1", out, Circuit::GROUND, c).unwrap();
         ckt
@@ -243,7 +283,10 @@ mod tests {
         let wave = run_transient(&ckt, &opts).unwrap();
         let v_tau = wave.sample_at("out", 1e-6).unwrap();
         let expect = 1.0 - (-1.0_f64).exp();
-        assert!((v_tau - expect).abs() < 5e-3, "v(τ) = {v_tau}, expect {expect}");
+        assert!(
+            (v_tau - expect).abs() < 5e-3,
+            "v(τ) = {v_tau}, expect {expect}"
+        );
         let v_end = wave.sample_at("out", 5e-6).unwrap();
         assert!((v_end - 1.0).abs() < 1e-2, "fully charged: {v_end}");
     }
@@ -308,12 +351,22 @@ mod tests {
         )
         .unwrap();
         ckt.add_resistor("R1", a, out, 1e3).unwrap();
-        ckt.add_capacitor("C1", out, Circuit::GROUND, 10e-12).unwrap();
+        ckt.add_capacitor("C1", out, Circuit::GROUND, 10e-12)
+            .unwrap();
         let opts = TranOptions::to_time(1e-6).with_uic().with_steps(1e-9, 1e-9);
         let wave = run_transient(&ckt, &opts).unwrap();
-        assert!(wave.sample_at("out", 50e-9).unwrap().abs() < 1e-3, "before the pulse");
-        assert!(wave.sample_at("out", 400e-9).unwrap() > 0.99, "charged during the pulse");
-        assert!(wave.sample_at("out", 900e-9).unwrap() < 0.01, "discharged after");
+        assert!(
+            wave.sample_at("out", 50e-9).unwrap().abs() < 1e-3,
+            "before the pulse"
+        );
+        assert!(
+            wave.sample_at("out", 400e-9).unwrap() > 0.99,
+            "charged during the pulse"
+        );
+        assert!(
+            wave.sample_at("out", 900e-9).unwrap() < 0.01,
+            "discharged after"
+        );
     }
 
     #[test]
@@ -321,7 +374,9 @@ mod tests {
         let mut ckt = rc_circuit(1e3, 1e-9, 0.0);
         let out = ckt.find_node("out").unwrap();
         ckt.set_initial_condition(out, 1.0);
-        let opts = TranOptions::to_time(3e-6).with_uic().with_steps(10e-9, 10e-9);
+        let opts = TranOptions::to_time(3e-6)
+            .with_uic()
+            .with_steps(10e-9, 10e-9);
         let wave = run_transient(&ckt, &opts).unwrap();
         assert!((wave.sample_at("out", 0.0).unwrap() - 1.0).abs() < 1e-12);
         // Discharges toward the 0 V source.

@@ -25,15 +25,22 @@ impl Waveform {
     /// signal per non-ground node (named after the node) and one per
     /// voltage source branch (named `i(<source>)`).
     pub fn for_circuit(circuit: &Circuit) -> Self {
-        let mut names: Vec<String> =
-            circuit.unknown_node_names().iter().map(|s| s.to_string()).collect();
+        let mut names: Vec<String> = circuit
+            .unknown_node_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         for dev in circuit.devices() {
             if let crate::devices::Device::Vsource { name, .. } = dev {
                 names.push(format!("i({name})"));
             }
         }
         let data = names.iter().map(|_| Vec::new()).collect();
-        Waveform { times: Vec::new(), names, data }
+        Waveform {
+            times: Vec::new(),
+            names,
+            data,
+        }
     }
 
     /// Appends one time point.
@@ -79,11 +86,13 @@ impl Waveform {
     ///
     /// Returns [`SimError::UnknownNode`] when the signal does not exist.
     pub fn signal(&self, name: &str) -> Result<&[f64]> {
-        let idx = self
-            .names
-            .iter()
-            .position(|n| n == name)
-            .ok_or_else(|| SimError::UnknownNode { name: name.to_string() })?;
+        let idx =
+            self.names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| SimError::UnknownNode {
+                    name: name.to_string(),
+                })?;
         Ok(&self.data[idx])
     }
 
@@ -97,7 +106,9 @@ impl Waveform {
     pub fn sample_at(&self, name: &str, t: f64) -> Result<f64> {
         let ys = self.signal(name)?;
         if ys.is_empty() {
-            return Err(SimError::Measurement { message: "waveform is empty".to_string() });
+            return Err(SimError::Measurement {
+                message: "waveform is empty".to_string(),
+            });
         }
         if t <= self.times[0] {
             return Ok(ys[0]);
@@ -125,8 +136,11 @@ impl Waveform {
         let mut out = Vec::new();
         for i in 1..ys.len() {
             let (y0, y1) = (ys[i - 1], ys[i]);
-            let crosses =
-                if rising { y0 < threshold && y1 >= threshold } else { y0 > threshold && y1 <= threshold };
+            let crosses = if rising {
+                y0 < threshold && y1 >= threshold
+            } else {
+                y0 > threshold && y1 <= threshold
+            };
             if crosses && y1 != y0 {
                 let frac = (threshold - y0) / (y1 - y0);
                 out.push(self.times[i - 1] + frac * (self.times[i] - self.times[i - 1]));
@@ -217,7 +231,9 @@ impl Waveform {
     pub fn extrema(&self, name: &str) -> Result<(f64, f64)> {
         let ys = self.signal(name)?;
         if ys.is_empty() {
-            return Err(SimError::Measurement { message: "waveform is empty".to_string() });
+            return Err(SimError::Measurement {
+                message: "waveform is empty".to_string(),
+            });
         }
         let min = ys.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -233,10 +249,16 @@ impl Waveform {
         let (lo, hi) = self.extrema(name)?;
         let t10 = lo + 0.1 * (hi - lo);
         let t90 = lo + 0.9 * (hi - lo);
-        let c10: Vec<f64> =
-            self.crossings(name, t10, true)?.into_iter().filter(|&t| t >= after).collect();
-        let c90: Vec<f64> =
-            self.crossings(name, t90, true)?.into_iter().filter(|&t| t >= after).collect();
+        let c10: Vec<f64> = self
+            .crossings(name, t10, true)?
+            .into_iter()
+            .filter(|&t| t >= after)
+            .collect();
+        let c90: Vec<f64> = self
+            .crossings(name, t90, true)?
+            .into_iter()
+            .filter(|&t| t >= after)
+            .collect();
         for &a in &c10 {
             if let Some(&b) = c90.iter().find(|&&b| b > a) {
                 return Ok(b - a);
@@ -313,13 +335,19 @@ mod tests {
         let v = w.sample_at("out", 2.5e-9).unwrap();
         assert!((v - 1.0).abs() < 2e-2, "quarter period ≈ peak: {v}");
         // Clamped outside the span.
-        assert_eq!(w.sample_at("out", -1.0).unwrap(), w.signal("out").unwrap()[0]);
+        assert_eq!(
+            w.sample_at("out", -1.0).unwrap(),
+            w.signal("out").unwrap()[0]
+        );
     }
 
     #[test]
     fn unknown_signal_reported() {
         let w = sine_waveform();
-        assert!(matches!(w.signal("nope"), Err(SimError::UnknownNode { .. })));
+        assert!(matches!(
+            w.signal("nope"),
+            Err(SimError::UnknownNode { .. })
+        ));
     }
 
     #[test]
@@ -373,7 +401,8 @@ mod tests {
     fn branch_current_signal_named_after_source() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.add_vsource("VDD", a, Circuit::GROUND, Stimulus::Dc(1.0)).unwrap();
+        ckt.add_vsource("VDD", a, Circuit::GROUND, Stimulus::Dc(1.0))
+            .unwrap();
         let w = Waveform::for_circuit(&ckt);
         assert_eq!(w.names(), &["a".to_string(), "i(VDD)".to_string()]);
         assert!(w.is_empty());

@@ -190,14 +190,20 @@ fn cmos_inverter_transfer_curve_is_monotone_decreasing() {
         let vdd = ckt.node("vdd");
         let inn = ckt.node("in");
         let out = ckt.node("out");
-        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).expect("vdd");
-        ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(vin)).expect("vin");
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3))
+            .expect("vdd");
+        ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(vin))
+            .expect("vin");
         ckt.add_mosfet("MN", out, inn, Circuit::GROUND, nmos.clone(), 1e-6, 0.35e-6)
             .expect("mn");
-        ckt.add_mosfet("MP", out, inn, vdd, pmos.clone(), 2e-6, 0.35e-6).expect("mp");
+        ckt.add_mosfet("MP", out, inn, vdd, pmos.clone(), 2e-6, 0.35e-6)
+            .expect("mp");
         let op = solve_dc(&ckt, &SolverOptions::default()).expect("dc");
         let v = op.voltage(&ckt, "out").expect("node");
-        assert!(v <= last + 1e-6, "VTC monotone: v({vin:.2}) = {v:.4} after {last:.4}");
+        assert!(
+            v <= last + 1e-6,
+            "VTC monotone: v({vin:.2}) = {v:.4} after {last:.4}"
+        );
         last = v;
     }
 }

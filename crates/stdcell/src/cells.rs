@@ -37,7 +37,11 @@ impl CellSizing {
     /// The library default for a 0.35 µm process: 1 µm NMOS, ratio `r`
     /// PMOS, minimum length.
     pub fn um350(ratio: f64) -> Self {
-        CellSizing { wn: 1.0e-6, wp: 1.0e-6 * ratio, l: 0.35e-6 }
+        CellSizing {
+            wn: 1.0e-6,
+            wp: 1.0e-6 * ratio,
+            l: 0.35e-6,
+        }
     }
 }
 
@@ -101,7 +105,11 @@ struct EmitState {
 
 impl EmitState {
     fn new(prefix: String) -> Self {
-        EmitState { prefix, devices: 0, nodes: 0 }
+        EmitState {
+            prefix,
+            devices: 0,
+            nodes: 0,
+        }
     }
 
     fn next_device(&mut self) -> String {
@@ -269,8 +277,10 @@ mod tests {
         let vdd = ckt.node("vdd");
         let inn = ckt.node("in");
         let out = ckt.node("out");
-        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3)).unwrap();
-        ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(vin)).unwrap();
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, Stimulus::Dc(3.3))
+            .unwrap();
+        ckt.add_vsource("VIN", inn, Circuit::GROUND, Stimulus::Dc(vin))
+            .unwrap();
         emit_cell(
             &mut ckt,
             kind,
@@ -294,7 +304,10 @@ mod tests {
             let (_, v_low_in) = cell_circuit(kind, 0.0);
             assert!(v_low_in > 3.2, "{kind}: low in → high out, got {v_low_in}");
             let (_, v_high_in) = cell_circuit(kind, 3.3);
-            assert!(v_high_in < 0.1, "{kind}: high in → low out, got {v_high_in}");
+            assert!(
+                v_high_in < 0.1,
+                "{kind}: high in → low out, got {v_high_in}"
+            );
         }
     }
 
@@ -333,7 +346,13 @@ mod tests {
     #[test]
     fn subckt_text_round_trips_through_parser() {
         let (nmos, pmos) = models_um350();
-        for kind in [GateKind::Inv, GateKind::Nand2, GateKind::Nor3, GateKind::Aoi21, GateKind::Oai21] {
+        for kind in [
+            GateKind::Inv,
+            GateKind::Nand2,
+            GateKind::Nor3,
+            GateKind::Aoi21,
+            GateKind::Oai21,
+        ] {
             let body = subckt_text(kind, CellSizing::um350(2.0), &nmos, &pmos);
             let cellname = kind.name().to_ascii_lowercase();
             let src = format!(
@@ -347,8 +366,8 @@ X1 a b vdd {cellname}
 ",
                 nmos.name, pmos.name
             );
-            let deck = spicelite::netlist::parse(&src)
-                .unwrap_or_else(|e| panic!("{kind}: {e}\n{src}"));
+            let deck =
+                spicelite::netlist::parse(&src).unwrap_or_else(|e| panic!("{kind}: {e}\n{src}"));
             let op = solve_dc(&deck.circuit, &SolverOptions::default()).unwrap();
             let v = op.voltage(&deck.circuit, "b").unwrap();
             assert!(v > 3.2, "{kind}: parsed cell inverts, got {v}");

@@ -91,7 +91,12 @@ pub struct CharacterizeOptions {
 impl Default for CharacterizeOptions {
     /// Defaults sized for 0.35 µm cells: 3.3 V, 50 ps edges, 2 ns settle.
     fn default() -> Self {
-        CharacterizeOptions { vdd: 3.3, edge_time: 50e-12, settle: 2e-9, dt: 1e-12 }
+        CharacterizeOptions {
+            vdd: 3.3,
+            edge_time: 50e-12,
+            settle: 2e-9,
+            dt: 1e-12,
+        }
     }
 }
 
@@ -132,7 +137,9 @@ pub fn measure_delays(
         },
     )?;
     emit_cell(&mut ckt, kind, "DUT", input, out, vdd, sizing, nmos, pmos)?;
-    emit_cell(&mut ckt, kind, "LOAD", out, load_out, vdd, sizing, nmos, pmos)?;
+    emit_cell(
+        &mut ckt, kind, "LOAD", out, load_out, vdd, sizing, nmos, pmos,
+    )?;
 
     let t_stop = 3.0 * opts.settle;
     let tran = TranOptions::to_time(t_stop).with_steps(opts.dt, opts.dt);
@@ -148,18 +155,19 @@ pub fn measure_delays(
     let in_rise = need(wave.crossings("in", mid, true), "input rising edge")?;
     let in_fall = need(wave.crossings("in", mid, false), "input falling edge")?;
     let out_fall = need(
-        wave.crossings("out", mid, false).map(|v| {
-            v.into_iter().filter(|&t| t >= in_rise).collect::<Vec<_>>()
-        }),
+        wave.crossings("out", mid, false)
+            .map(|v| v.into_iter().filter(|&t| t >= in_rise).collect::<Vec<_>>()),
         "output falling edge",
     )?;
     let out_rise = need(
-        wave.crossings("out", mid, true).map(|v| {
-            v.into_iter().filter(|&t| t >= in_fall).collect::<Vec<_>>()
-        }),
+        wave.crossings("out", mid, true)
+            .map(|v| v.into_iter().filter(|&t| t >= in_fall).collect::<Vec<_>>()),
         "output rising edge",
     )?;
-    Ok(DelayPair { tphl: out_fall - in_rise, tplh: out_rise - in_fall })
+    Ok(DelayPair {
+        tphl: out_fall - in_rise,
+        tplh: out_rise - in_fall,
+    })
 }
 
 /// Characterizes `kind` over a temperature list.
@@ -179,7 +187,11 @@ pub fn characterize(
     for &t in temps_c {
         delays.push(measure_delays(kind, sizing, nmos, pmos, t, opts)?);
     }
-    Ok(TimingTable { kind, temps_c: temps_c.to_vec(), delays })
+    Ok(TimingTable {
+        kind,
+        temps_c: temps_c.to_vec(),
+        delays,
+    })
 }
 
 #[cfg(test)]
@@ -225,14 +237,24 @@ mod tests {
     fn nand_pull_down_slower_than_inverter() {
         let inv = measure(GateKind::Inv, 2.0, 27.0);
         let nand = measure(GateKind::Nand2, 2.0, 27.0);
-        assert!(nand.tphl > 1.3 * inv.tphl, "series stack: {} vs {}", nand.tphl, inv.tphl);
+        assert!(
+            nand.tphl > 1.3 * inv.tphl,
+            "series stack: {} vs {}",
+            nand.tphl,
+            inv.tphl
+        );
     }
 
     #[test]
     fn nor_pull_up_slower_than_inverter() {
         let inv = measure(GateKind::Inv, 2.0, 27.0);
         let nor = measure(GateKind::Nor2, 2.0, 27.0);
-        assert!(nor.tplh > 1.3 * inv.tplh, "series stack: {} vs {}", nor.tplh, inv.tplh);
+        assert!(
+            nor.tplh > 1.3 * inv.tplh,
+            "series stack: {} vs {}",
+            nor.tplh,
+            inv.tplh
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub struct TimingLibrary {
 impl TimingLibrary {
     /// Creates an empty library.
     pub fn new(name: impl Into<String>) -> Self {
-        TimingLibrary { name: name.into(), tables: BTreeMap::new() }
+        TimingLibrary {
+            name: name.into(),
+            tables: BTreeMap::new(),
+        }
     }
 
     /// Inserts (or replaces) one cell's table.
@@ -77,10 +80,16 @@ pub fn to_liberty(lib: &TimingLibrary) -> String {
     for table in lib.iter() {
         let _ = writeln!(out, "  cell ({}) {{", table.kind.name());
         let temps: Vec<String> = table.temps_c.iter().map(|t| format!("{t:.3}")).collect();
-        let falls: Vec<String> =
-            table.delays.iter().map(|d| format!("{:.6e}", d.tphl)).collect();
-        let rises: Vec<String> =
-            table.delays.iter().map(|d| format!("{:.6e}", d.tplh)).collect();
+        let falls: Vec<String> = table
+            .delays
+            .iter()
+            .map(|d| format!("{:.6e}", d.tphl))
+            .collect();
+        let rises: Vec<String> = table
+            .delays
+            .iter()
+            .map(|d| format!("{:.6e}", d.tplh))
+            .collect();
         let _ = writeln!(out, "    temperature_index (\"{}\");", temps.join(", "));
         let _ = writeln!(out, "    cell_fall (\"{}\");", falls.join(", "));
         let _ = writeln!(out, "    cell_rise (\"{}\");", rises.join(", "));
@@ -91,14 +100,20 @@ pub fn to_liberty(lib: &TimingLibrary) -> String {
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> SimError {
-    SimError::Parse { line, message: message.into() }
+    SimError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_quoted_numbers(text: &str, line_no: usize) -> Result<Vec<f64>, SimError> {
-    let start = text.find('"').ok_or_else(|| parse_err(line_no, "missing opening quote"))?;
-    let end = text.rfind('"').filter(|&e| e > start).ok_or_else(|| {
-        parse_err(line_no, "missing closing quote")
-    })?;
+    let start = text
+        .find('"')
+        .ok_or_else(|| parse_err(line_no, "missing opening quote"))?;
+    let end = text
+        .rfind('"')
+        .filter(|&e| e > start)
+        .ok_or_else(|| parse_err(line_no, "missing closing quote"))?;
     text[start + 1..end]
         .split(',')
         .map(|tok| {
@@ -189,7 +204,11 @@ pub fn from_liberty(text: &str) -> Result<TimingLibrary, SimError> {
                     .zip(&rises)
                     .map(|(&tphl, &tplh)| DelayPair { tphl, tplh })
                     .collect();
-                lib.insert(TimingTable { kind, temps_c: temps, delays });
+                lib.insert(TimingTable {
+                    kind,
+                    temps_c: temps,
+                    delays,
+                });
             }
         }
     }
@@ -205,7 +224,11 @@ mod tests {
         let cells = CellLibrary::um350(2.0);
         let mut lib = TimingLibrary::new("stdcell-0.35um");
         for kind in [GateKind::Inv, GateKind::Nand2, GateKind::Nor2] {
-            lib.insert(cells.characterize_cell(kind, &[-50.0, 50.0, 150.0]).unwrap());
+            lib.insert(
+                cells
+                    .characterize_cell(kind, &[-50.0, 50.0, 150.0])
+                    .unwrap(),
+            );
         }
         lib
     }

@@ -60,7 +60,14 @@ impl CellLibrary {
     ///
     /// Propagates ring-validity errors.
     pub fn uniform_ring(&self, kind: GateKind, n: usize) -> Result<TransistorRing> {
-        TransistorRing::uniform(kind, n, self.sizing, self.nmos.clone(), self.pmos.clone(), self.vdd)
+        TransistorRing::uniform(
+            kind,
+            n,
+            self.sizing,
+            self.nmos.clone(),
+            self.pmos.clone(),
+            self.vdd,
+        )
     }
 
     /// A transistor-level ring following a cell-mix configuration.
@@ -84,7 +91,10 @@ impl CellLibrary {
     ///
     /// Propagates measurement failures.
     pub fn characterize_cell(&self, kind: GateKind, temps_c: &[f64]) -> Result<TimingTable> {
-        let opts = CharacterizeOptions { vdd: self.vdd, ..CharacterizeOptions::default() };
+        let opts = CharacterizeOptions {
+            vdd: self.vdd,
+            ..CharacterizeOptions::default()
+        };
         characterize(kind, self.sizing, &self.nmos, &self.pmos, temps_c, &opts)
     }
 

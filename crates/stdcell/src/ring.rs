@@ -43,10 +43,19 @@ impl TransistorRing {
         if kinds.len() < 3 || kinds.len().is_multiple_of(2) {
             return Err(SimError::InvalidDevice {
                 device: "ring".to_string(),
-                reason: format!("{} stages cannot oscillate; need an odd count ≥ 3", kinds.len()),
+                reason: format!(
+                    "{} stages cannot oscillate; need an odd count ≥ 3",
+                    kinds.len()
+                ),
             });
         }
-        Ok(TransistorRing { kinds, sizing, nmos, pmos, vdd })
+        Ok(TransistorRing {
+            kinds,
+            sizing,
+            nmos,
+            pmos,
+            vdd,
+        })
     }
 
     /// A uniform `n`-stage ring (the Fig. 1/2 setup).
@@ -88,7 +97,12 @@ impl TransistorRing {
         let mut ckt = Circuit::new();
         ckt.set_temperature(temp_c);
         let vdd = ckt.node("vdd");
-        ckt.add_vsource("VDD", vdd, Circuit::GROUND, spicelite::devices::Stimulus::Dc(self.vdd))?;
+        ckt.add_vsource(
+            "VDD",
+            vdd,
+            Circuit::GROUND,
+            spicelite::devices::Stimulus::Dc(self.vdd),
+        )?;
         let n = self.kinds.len();
         for (i, &kind) in self.kinds.iter().enumerate() {
             let input = ckt.node(&format!("n{i}"));
@@ -142,7 +156,9 @@ impl TransistorRing {
         let c_node = (self.nmos.cg_per_width * self.sizing.wn
             + self.pmos.cg_per_width * self.sizing.wp)
             * 2.5;
-        let i_on = 0.5 * self.nmos.kp * (self.sizing.wn / self.sizing.l)
+        let i_on = 0.5
+            * self.nmos.kp
+            * (self.sizing.wn / self.sizing.l)
             * (self.vdd - self.nmos.vto).powi(2);
         let est = (self.kinds.len() as f64) * 2.0 * c_node * self.vdd / i_on;
         // ~25 oscillation periods with ~100 points per period: the period
@@ -194,15 +210,10 @@ mod tests {
     #[test]
     fn even_ring_rejected() {
         let (nmos, pmos) = models_um350();
-        assert!(TransistorRing::uniform(
-            GateKind::Inv,
-            4,
-            CellSizing::um350(2.0),
-            nmos,
-            pmos,
-            3.3
-        )
-        .is_err());
+        assert!(
+            TransistorRing::uniform(GateKind::Inv, 4, CellSizing::um350(2.0), nmos, pmos, 3.3)
+                .is_err()
+        );
     }
 
     #[test]
@@ -236,7 +247,10 @@ mod tests {
     fn nand_ring_slower_than_inverter_ring() {
         let inv = ring(GateKind::Inv, 3, 2.0).measure_period(27.0).unwrap();
         let nand = ring(GateKind::Nand2, 3, 2.0).measure_period(27.0).unwrap();
-        assert!(nand > inv, "stacked pull-down + extra load: {nand} vs {inv}");
+        assert!(
+            nand > inv,
+            "stacked pull-down + extra load: {nand} vs {inv}"
+        );
     }
 
     #[test]
@@ -251,7 +265,13 @@ mod tests {
     fn mixed_ring_elaborates_and_runs() {
         let (nmos, pmos) = models_um350();
         let r = TransistorRing::new(
-            vec![GateKind::Inv, GateKind::Nand3, GateKind::Inv, GateKind::Nand3, GateKind::Inv],
+            vec![
+                GateKind::Inv,
+                GateKind::Nand3,
+                GateKind::Inv,
+                GateKind::Nand3,
+                GateKind::Inv,
+            ],
             CellSizing::um350(2.0),
             nmos,
             pmos,

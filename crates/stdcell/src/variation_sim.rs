@@ -34,7 +34,11 @@ pub struct SimVariationSpec {
 impl Default for SimVariationSpec {
     /// Matches the analytical default: 30 mV Vth, 5 % drive, 2 % width.
     fn default() -> Self {
-        SimVariationSpec { sigma_vto: 0.030, sigma_kp_rel: 0.05, sigma_width_rel: 0.02 }
+        SimVariationSpec {
+            sigma_vto: 0.030,
+            sigma_kp_rel: 0.05,
+            sigma_width_rel: 0.02,
+        }
     }
 }
 
@@ -143,7 +147,11 @@ mod tests {
     #[test]
     fn zero_sigma_collapses_the_spread() {
         let lib = CellLibrary::um350(2.0);
-        let spec = SimVariationSpec { sigma_vto: 0.0, sigma_kp_rel: 0.0, sigma_width_rel: 0.0 };
+        let spec = SimVariationSpec {
+            sigma_vto: 0.0,
+            sigma_kp_rel: 0.0,
+            sigma_width_rel: 0.0,
+        };
         let mc = SimMonteCarlo::run(&lib, GateKind::Inv, 3, 27.0, &spec, 3, 5).unwrap();
         let (mean, std) = mc.stats();
         assert!(mean > 0.0);
@@ -169,11 +177,8 @@ mod tests {
         let sim_rel = sim_std / sim_mean;
 
         let tech = lib.analytical_technology();
-        let ring = RingOscillator::uniform(
-            Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(),
-            5,
-        )
-        .unwrap();
+        let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(), 5)
+            .unwrap();
         let ana = MonteCarloStudy::run(
             &ring,
             &tech,

@@ -10,13 +10,21 @@ use tsense_core::gate::GateKind;
 fn arb_table(kind: GateKind) -> impl Strategy<Value = TimingTable> {
     prop::collection::vec((1.0f64..500.0, 1.0f64..500.0), 1..8).prop_map(move |ps| {
         let n = ps.len();
-        let temps_c: Vec<f64> =
-            (0..n).map(|i| -50.0 + 200.0 * i as f64 / n.max(2) as f64).collect();
+        let temps_c: Vec<f64> = (0..n)
+            .map(|i| -50.0 + 200.0 * i as f64 / n.max(2) as f64)
+            .collect();
         let delays: Vec<DelayPair> = ps
             .iter()
-            .map(|&(f, r)| DelayPair { tphl: f * 1e-12, tplh: r * 1e-12 })
+            .map(|&(f, r)| DelayPair {
+                tphl: f * 1e-12,
+                tplh: r * 1e-12,
+            })
             .collect();
-        TimingTable { kind, temps_c, delays }
+        TimingTable {
+            kind,
+            temps_c,
+            delays,
+        }
     })
 }
 

@@ -50,9 +50,17 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(ThermalError::InvalidSpec { reason: "bad".into() }.to_string().contains("bad"));
-        assert!(ThermalError::OutOfDie { x_m: 1.0, y_m: 2.0 }.to_string().contains("outside"));
-        assert!(ThermalError::NoConvergence { sweeps: 9 }.to_string().contains('9'));
+        assert!(ThermalError::InvalidSpec {
+            reason: "bad".into()
+        }
+        .to_string()
+        .contains("bad"));
+        assert!(ThermalError::OutOfDie { x_m: 1.0, y_m: 2.0 }
+            .to_string()
+            .contains("outside"));
+        assert!(ThermalError::NoConvergence { sweeps: 9 }
+            .to_string()
+            .contains('9'));
     }
 
     #[test]

@@ -43,7 +43,14 @@ impl Floorplan {
         h_m: f64,
         power_w: f64,
     ) -> Self {
-        self.blocks.push(Block { name: name.into(), x_m, y_m, w_m, h_m, power_w });
+        self.blocks.push(Block {
+            name: name.into(),
+            x_m,
+            y_m,
+            w_m,
+            h_m,
+            power_w,
+        });
         self
     }
 
@@ -76,10 +83,38 @@ impl Floorplan {
     /// thermal mapping.
     pub fn processor_like(w: f64, h: f64, total_power_w: f64) -> Self {
         Floorplan::new()
-            .block("core0", 0.05 * w, 0.05 * h, 0.35 * w, 0.40 * h, 0.38 * total_power_w)
-            .block("core1", 0.60 * w, 0.05 * h, 0.35 * w, 0.40 * h, 0.38 * total_power_w)
-            .block("io", 0.05 * w, 0.50 * h, 0.90 * w, 0.10 * h, 0.08 * total_power_w)
-            .block("cache", 0.05 * w, 0.65 * h, 0.90 * w, 0.30 * h, 0.16 * total_power_w)
+            .block(
+                "core0",
+                0.05 * w,
+                0.05 * h,
+                0.35 * w,
+                0.40 * h,
+                0.38 * total_power_w,
+            )
+            .block(
+                "core1",
+                0.60 * w,
+                0.05 * h,
+                0.35 * w,
+                0.40 * h,
+                0.38 * total_power_w,
+            )
+            .block(
+                "io",
+                0.05 * w,
+                0.50 * h,
+                0.90 * w,
+                0.10 * h,
+                0.08 * total_power_w,
+            )
+            .block(
+                "cache",
+                0.05 * w,
+                0.65 * h,
+                0.90 * w,
+                0.30 * h,
+                0.16 * total_power_w,
+            )
     }
 }
 

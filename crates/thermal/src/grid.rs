@@ -163,8 +163,7 @@ impl ThermalGrid {
     ///
     /// Returns [`ThermalError::OutOfDie`] for points outside the die.
     pub fn cell_at(&self, x_m: f64, y_m: f64) -> Result<(usize, usize)> {
-        if !(0.0..=self.spec.width_m).contains(&x_m) || !(0.0..=self.spec.height_m).contains(&y_m)
-        {
+        if !(0.0..=self.spec.width_m).contains(&x_m) || !(0.0..=self.spec.height_m).contains(&y_m) {
             return Err(ThermalError::OutOfDie { x_m, y_m });
         }
         let ix = ((x_m / self.spec.dx()) as usize).min(self.spec.nx - 1);
@@ -418,7 +417,12 @@ mod tests {
         assert!((g.total_power() - 5.0).abs() < 1e-9);
         g.solve_steady(1e-9, 10_000).unwrap();
         let expect = 25.0 + 5.0 * 20.0;
-        assert!((g.mean_temp() - expect).abs() < 0.5, "mean {} vs {}", g.mean_temp(), expect);
+        assert!(
+            (g.mean_temp() - expect).abs() < 0.5,
+            "mean {} vs {}",
+            g.mean_temp(),
+            expect
+        );
         // Uniform: nearly flat field.
         assert!(g.max_temp() - g.min_temp() < 0.5);
     }
@@ -446,7 +450,11 @@ mod tests {
         g.solve_steady(1e-10, 20_000).unwrap();
         let n = g.cell_count() as f64;
         let g_v = 1.0 / (g.spec().theta_ja * n);
-        let out: f64 = g.temps().iter().map(|t| g_v * (t - g.spec().ambient_c)).sum();
+        let out: f64 = g
+            .temps()
+            .iter()
+            .map(|t| g_v * (t - g.spec().ambient_c))
+            .sum();
         assert!((out - 2.0).abs() < 0.01, "outflow {out} vs 2 W");
     }
 
@@ -475,7 +483,8 @@ mod tests {
         g.add_power_rect(0.0, 0.0, 0.01, 0.01, 4.0).unwrap();
         let mut last = g.mean_temp();
         for _ in 0..5 {
-            g.run_transient(g.global_time_constant() / 50.0, 10).unwrap();
+            g.run_transient(g.global_time_constant() / 50.0, 10)
+                .unwrap();
             let now = g.mean_temp();
             assert!(now >= last - 1e-9, "heating is monotone: {now} < {last}");
             last = now;
@@ -489,7 +498,8 @@ mod tests {
         g.solve_steady(1e-9, 10_000).unwrap();
         let hot = g.mean_temp();
         g.clear_power();
-        g.run_transient(g.global_time_constant() / 20.0, 100).unwrap();
+        g.run_transient(g.global_time_constant() / 20.0, 100)
+            .unwrap();
         assert!(g.mean_temp() < hot - 0.5);
         assert!(g.mean_temp() >= 25.0 - 1e-6, "never below ambient");
     }
@@ -497,7 +507,10 @@ mod tests {
     #[test]
     fn out_of_die_rejected() {
         let mut g = grid();
-        assert!(matches!(g.temp_at(0.02, 0.0), Err(ThermalError::OutOfDie { .. })));
+        assert!(matches!(
+            g.temp_at(0.02, 0.0),
+            Err(ThermalError::OutOfDie { .. })
+        ));
         assert!(g.add_power_at(-0.001, 0.0, 1.0).is_err());
         assert!(g.add_power_rect(0.02, 0.02, 0.001, 0.001, 1.0).is_err());
         assert!(g.add_power_rect(0.0, 0.0, -1.0, 0.001, 1.0).is_err());

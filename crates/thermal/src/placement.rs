@@ -58,7 +58,11 @@ impl ScenarioSet {
             grid.solve_steady(1e-7, 50_000)?;
             fields.push(grid.temps().to_vec());
         }
-        Ok(ScenarioSet { nx: spec.nx, ny: spec.ny, fields })
+        Ok(ScenarioSet {
+            nx: spec.nx,
+            ny: spec.ny,
+            fields,
+        })
     }
 
     /// Number of scenarios.
@@ -84,7 +88,10 @@ impl ScenarioSet {
     }
 
     fn peak(&self, scenario: usize) -> f64 {
-        self.fields[scenario].iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.fields[scenario]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Per-scenario gap between the true peak and the hottest sensed
@@ -107,7 +114,9 @@ impl ScenarioSet {
         if sites.is_empty() {
             return f64::INFINITY;
         }
-        self.peak_gaps(sites).into_iter().fold(f64::NEG_INFINITY, f64::max)
+        self.peak_gaps(sites)
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
@@ -146,7 +155,10 @@ pub fn greedy_placement(
 ) -> Result<Vec<Site>> {
     if k == 0 || k > candidates.len() {
         return Err(ThermalError::InvalidSpec {
-            reason: format!("cannot place {k} sensors from {} candidates", candidates.len()),
+            reason: format!(
+                "cannot place {k} sensors from {} candidates",
+                candidates.len()
+            ),
         });
     }
     let mut chosen: Vec<Site> = Vec::with_capacity(k);
@@ -161,8 +173,7 @@ pub fn greedy_placement(
             let gaps = scenarios.peak_gaps(&trial);
             let worst = gaps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-            if mean < best_mean - 1e-12
-                || (mean < best_mean + 1e-12 && worst < best_worst - 1e-12)
+            if mean < best_mean - 1e-12 || (mean < best_mean + 1e-12 && worst < best_worst - 1e-12)
             {
                 best_mean = mean;
                 best_worst = worst;
@@ -181,7 +192,10 @@ pub fn uniform_placement(nx: usize, ny: usize, cols: usize, rows: usize) -> Vec<
         for c in 0..cols {
             let ix = ((c as f64 + 0.5) / cols as f64 * nx as f64) as usize;
             let iy = ((r as f64 + 0.5) / rows as f64 * ny as f64) as usize;
-            sites.push(Site { ix: ix.min(nx - 1), iy: iy.min(ny - 1) });
+            sites.push(Site {
+                ix: ix.min(nx - 1),
+                iy: iy.min(ny - 1),
+            });
         }
     }
     sites
@@ -194,11 +208,7 @@ mod tests {
     /// Three scenarios: each powers a different corner block.
     fn corner_scenarios() -> ScenarioSet {
         let spec = DieSpec::default_1cm2(16, 16);
-        let blocks = [
-            (0.0005, 0.0005),
-            (0.0075, 0.0005),
-            (0.0035, 0.0075),
-        ];
+        let blocks = [(0.0005, 0.0005), (0.0075, 0.0005), (0.0035, 0.0075)];
         let plans: Vec<Floorplan> = blocks
             .iter()
             .map(|&(x, y)| Floorplan::new().block("hot", x, y, 0.002, 0.002, 4.0))

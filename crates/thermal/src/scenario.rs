@@ -47,10 +47,22 @@ pub struct NodeScaling {
 /// quadratically with the feature size.
 pub fn default_node_ladder() -> Vec<NodeScaling> {
     vec![
-        NodeScaling { feature_um: 0.35, power_scale: 1.0 },
-        NodeScaling { feature_um: 0.25, power_scale: 1.35 },
-        NodeScaling { feature_um: 0.18, power_scale: 1.75 },
-        NodeScaling { feature_um: 0.13, power_scale: 2.3 },
+        NodeScaling {
+            feature_um: 0.35,
+            power_scale: 1.0,
+        },
+        NodeScaling {
+            feature_um: 0.25,
+            power_scale: 1.35,
+        },
+        NodeScaling {
+            feature_um: 0.18,
+            power_scale: 1.75,
+        },
+        NodeScaling {
+            feature_um: 0.13,
+            power_scale: 2.3,
+        },
     ]
 }
 

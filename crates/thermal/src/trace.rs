@@ -41,7 +41,11 @@ impl PowerTrace {
     #[must_use]
     pub fn phase(mut self, name: impl Into<String>, floorplan: Floorplan, duration_s: f64) -> Self {
         assert!(duration_s > 0.0, "phase duration must be positive");
-        self.phases.push(Phase { name: name.into(), floorplan, duration_s });
+        self.phases.push(Phase {
+            name: name.into(),
+            floorplan,
+            duration_s,
+        });
         self
     }
 
@@ -85,7 +89,9 @@ pub fn play(
     dt_s: f64,
 ) -> Result<Vec<TraceSample>> {
     if trace.phases().is_empty() {
-        return Err(ThermalError::InvalidSpec { reason: "trace has no phases".to_string() });
+        return Err(ThermalError::InvalidSpec {
+            reason: "trace has no phases".to_string(),
+        });
     }
     if !(dt_s > 0.0) {
         return Err(ThermalError::InvalidSpec {
@@ -148,11 +154,20 @@ mod tests {
             .iter()
             .rfind(|s| s.phase == "burst")
             .expect("burst samples");
-        let global_max = samples.iter().map(|s| s.probes_c[0]).fold(f64::MIN, f64::max);
-        assert!((burst_end.probes_c[0] - global_max).abs() < 0.5, "peak at burst end");
+        let global_max = samples
+            .iter()
+            .map(|s| s.probes_c[0])
+            .fold(f64::MIN, f64::max);
+        assert!(
+            (burst_end.probes_c[0] - global_max).abs() < 0.5,
+            "peak at burst end"
+        );
         // The idle tail cools monotonically back toward ambient.
-        let idle: Vec<f64> =
-            samples.iter().filter(|s| s.phase == "idle").map(|s| s.probes_c[0]).collect();
+        let idle: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.phase == "idle")
+            .map(|s| s.probes_c[0])
+            .collect();
         for w in idle.windows(2) {
             assert!(w[1] <= w[0] + 1e-9, "cooling is monotone");
         }
@@ -176,7 +191,10 @@ mod tests {
             .expect("b2 samples")
             .probes_c[0];
         let b1_first = samples.first().expect("samples").probes_c[0];
-        assert!(b2_first > b1_first + 5.0, "warm start: {b2_first} vs {b1_first}");
+        assert!(
+            b2_first > b1_first + 5.0,
+            "warm start: {b2_first} vs {b1_first}"
+        );
     }
 
     #[test]
@@ -190,7 +208,10 @@ mod tests {
         let mut g = grid();
         assert!(play(&mut g, &PowerTrace::new(), &[], 0.1).is_err());
         assert!(play(&mut g, &trace, &[], -1.0).is_err());
-        assert!(play(&mut g, &trace, &[(9.0, 9.0)], 0.1).is_err(), "probe off-die");
+        assert!(
+            play(&mut g, &trace, &[(9.0, 9.0)], 0.1).is_err(),
+            "probe off-die"
+        );
     }
 
     #[test]

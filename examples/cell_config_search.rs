@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("pure inverter ring is in the enumeration");
     let best = &ranked[0];
     println!("\n5×INV baseline : {:.4} %FS", pure.max_nl_percent);
-    println!("best cell mix  : {:.4} %FS ({})", best.max_nl_percent, best.config);
+    println!(
+        "best cell mix  : {:.4} %FS ({})",
+        best.max_nl_percent, best.config
+    );
     println!(
         "improvement    : {:.1}× lower worst-case non-linearity, zero custom layout",
         pure.max_nl_percent / best.max_nl_percent

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         GateKind::Oai21,
     ];
 
-    println!("characterizing {} cells at {} temperatures (spicelite) ...\n", kinds.len(), temps.len());
+    println!(
+        "characterizing {} cells at {} temperatures (spicelite) ...\n",
+        kinds.len(),
+        temps.len()
+    );
     let mut lib = TimingLibrary::new(cells.name.clone());
     for kind in kinds {
         lib.insert(cells.characterize_cell(kind, &temps)?);
@@ -59,10 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Cross-check one structural ratio against the analytical model.
     let tech = cells.analytical_technology();
     let load = Gate::with_ratio(GateKind::Inv, 1.0e-6, 2.0)?.input_capacitance(&tech);
-    let ana_inv = Gate::with_ratio(GateKind::Inv, 1.0e-6, 2.0)?
-        .delays(&tech, Celsius::new(27.0), load)?;
-    let ana_nand = Gate::with_ratio(GateKind::Nand2, 1.0e-6, 2.0)?
-        .delays(&tech, Celsius::new(27.0), load)?;
+    let ana_inv =
+        Gate::with_ratio(GateKind::Inv, 1.0e-6, 2.0)?.delays(&tech, Celsius::new(27.0), load)?;
+    let ana_nand =
+        Gate::with_ratio(GateKind::Nand2, 1.0e-6, 2.0)?.delays(&tech, Celsius::new(27.0), load)?;
     let sim_ratio = lib.table(GateKind::Nand2).expect("table").lookup(27.0).tphl
         / lib.table(GateKind::Inv).expect("table").lookup(27.0).tphl;
     println!(

@@ -20,16 +20,10 @@ use tsense::core::units::{Celsius, Volts};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::um350();
     // The pair with the best droop rejection found by the Ext-3 sweep.
-    let sense = RingOscillator::from_config(
-        &CellConfig::uniform(GateKind::Nand2, 5)?,
-        1.0e-6,
-        1.5,
-    )?;
-    let reference = RingOscillator::from_config(
-        &CellConfig::uniform(GateKind::Nand3, 5)?,
-        1.0e-6,
-        3.0,
-    )?;
+    let sense =
+        RingOscillator::from_config(&CellConfig::uniform(GateKind::Nand2, 5)?, 1.0e-6, 1.5)?;
+    let reference =
+        RingOscillator::from_config(&CellConfig::uniform(GateKind::Nand3, 5)?, 1.0e-6, 3.0)?;
     let dual = DualRingSensor::new(sense.clone(), reference)?;
 
     let t = Celsius::new(85.0);
@@ -55,11 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {dv_mv:+5.0} mV | {single_err:+10.2} °C | {dual_err:+7.3} °C");
     }
 
-    let fit = dual.ratio_linearity(
-        &tech,
-        tsense::core::units::TempRange::paper(),
-        21,
-    )?;
+    let fit = dual.ratio_linearity(&tech, tsense::core::units::TempRange::paper(), 21)?;
     println!(
         "\nthe price: a ~10× smaller signal (dlnR/dT = {:.2e}/K) and R² = {:.5}",
         dual.temp_slope(&tech, t)?,

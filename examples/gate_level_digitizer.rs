@@ -25,16 +25,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let window = 64;
 
     println!("ring: {ring}");
-    println!("reference clock: {:.0} MHz, window: {window} ring cycles\n", ref_clock.as_mega());
+    println!(
+        "reference clock: {:.0} MHz, window: {window} ring cycles\n",
+        ref_clock.as_mega()
+    );
     println!("  T °C | ring period | behavioural | gate-level | events");
     println!("  -----+-------------+-------------+------------+--------");
     for t in [-50.0, 0.0, 50.0, 100.0, 150.0] {
         let period = ring.period(&tech, Celsius::new(t))?;
-        let dig = GateLevelDigitizer::new(
-            Seconds::new(period.get()),
-            ref_clock,
-            window,
-        )?;
+        let dig = GateLevelDigitizer::new(Seconds::new(period.get()), ref_clock, window)?;
         let result = dig.run()?;
         println!(
             "  {t:4.0} | {:8.1} ps | {:11} | {:10} | {:6}",

@@ -23,12 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  -----+-------------+-------+----------+------------+-----------");
     for t in [-50.0, 0.0, 50.0, 100.0, 150.0] {
         let period = ring.period(&tech, Celsius::new(t))?;
-        let mut unit = GateLevelUnit::new(
-            Seconds::new(period.get()),
-            ref_clock,
-            16,
-            128,
-        )?;
+        let mut unit = GateLevelUnit::new(Seconds::new(period.get()), ref_clock, 16, 128)?;
         let r = unit.convert()?;
         println!(
             "  {t:4.0} | {:8.1} ps | {:5} | {:8} | {:7.2} µs | {:10}",

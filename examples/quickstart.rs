@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. The smart unit: digitizer + FSM + two-point calibration.
     let mut unit = SmartSensorUnit::new(SensorConfig::new(ring, tech))?;
     unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))?;
-    println!("resolution      : {:.3} °C/LSB", unit.resolution_at(Celsius::new(50.0))?);
+    println!(
+        "resolution      : {:.3} °C/LSB",
+        unit.resolution_at(Celsius::new(50.0))?
+    );
 
     // 4. Measurements across the range.
     println!("\n  true °C | code  | measured °C | error");

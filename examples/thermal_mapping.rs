@@ -60,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut truth = String::new();
         for ix in 0..n {
             let p = &map.points()[iy * n + ix];
-            meas.push_str(&format!(" {:6.1}{}", p.measured_c, shade(p.measured_c, lo, hi)));
+            meas.push_str(&format!(
+                " {:6.1}{}",
+                p.measured_c,
+                shade(p.measured_c, lo, hi)
+            ));
             truth.push_str(&format!(" {:6.1}{}", p.true_c, shade(p.true_c, lo, hi)));
         }
         println!("  measured:{meas}    truth:{truth}");

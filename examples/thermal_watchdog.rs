@@ -52,14 +52,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for step in 0..26 {
         // Apply the current power state and advance the die.
         grid.clear_power();
-        let p = if throttled { throttled_power } else { full_power };
+        let p = if throttled {
+            throttled_power
+        } else {
+            full_power
+        };
         Floorplan::processor_like(0.01, 0.01, p).apply(&mut grid)?;
         grid.run_transient(dt, 3)?;
         let junction = grid.temp_at(probe.0, probe.1)?;
 
         // One watchdog poll plus a jitter-filtered reference reading.
         let outcome = watchdog.poll(Celsius::new(junction))?;
-        let filtered = measure_averaged(&mut noisy_probe, Celsius::new(junction), &jitter, 8, &mut rng)?;
+        let filtered = measure_averaged(
+            &mut noisy_probe,
+            Celsius::new(junction),
+            &jitter,
+            8,
+            &mut rng,
+        )?;
 
         let event = match outcome.event {
             AlarmEvent::Tripped => {
@@ -80,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "\noscillator duty cycle across the whole run: {:.2} % (disable feature at work)",
-        watchdog.poll(Celsius::new(grid.temp_at(probe.0, probe.1)?))?.duty * 100.0
+        watchdog
+            .poll(Celsius::new(grid.temp_at(probe.0, probe.1)?))?
+            .duty
+            * 100.0
     );
     Ok(())
 }

@@ -25,13 +25,20 @@ fn analytical_curve(ratio: f64, stages: usize, temps: &[f64]) -> Vec<f64> {
 fn simulated_curve(ratio: f64, stages: usize, temps: &[f64]) -> Vec<f64> {
     let lib = CellLibrary::um350(ratio);
     let ring = lib.uniform_ring(GateKind::Inv, stages).expect("ring");
-    ring.period_curve(temps).expect("curve").into_iter().map(|(_, p)| p).collect()
+    ring.period_curve(temps)
+        .expect("curve")
+        .into_iter()
+        .map(|(_, p)| p)
+        .collect()
 }
 
 #[test]
 fn both_paths_increase_monotonically_with_temperature() {
     let temps = [-50.0, 0.0, 50.0, 100.0, 150.0];
-    for curve in [analytical_curve(2.0, 5, &temps), simulated_curve(2.0, 5, &temps)] {
+    for curve in [
+        analytical_curve(2.0, 5, &temps),
+        simulated_curve(2.0, 5, &temps),
+    ] {
         for w in curve.windows(2) {
             assert!(w[1] > w[0], "period rises with temperature: {curve:?}");
         }
@@ -119,8 +126,14 @@ fn nand_rings_slower_in_both_paths() {
         .expect("ring")
         .measure_period(27.0)
         .expect("period");
-    assert!(nand_ana > 1.2 * inv_ana, "analytical: {nand_ana} vs {inv_ana}");
-    assert!(nand_sim > 1.2 * inv_sim, "simulated: {nand_sim} vs {inv_sim}");
+    assert!(
+        nand_ana > 1.2 * inv_ana,
+        "analytical: {nand_ana} vs {inv_ana}"
+    );
+    assert!(
+        nand_sim > 1.2 * inv_sim,
+        "simulated: {nand_sim} vs {inv_sim}"
+    );
 }
 
 #[test]
@@ -130,8 +143,12 @@ fn characterized_cell_delays_track_the_analytical_model() {
     let lib = CellLibrary::um350(2.0);
     let tech = lib.analytical_technology();
     let temps = [27.0];
-    let inv_table = lib.characterize_cell(GateKind::Inv, &temps).expect("inv table");
-    let nand_table = lib.characterize_cell(GateKind::Nand2, &temps).expect("nand table");
+    let inv_table = lib
+        .characterize_cell(GateKind::Inv, &temps)
+        .expect("inv table");
+    let nand_table = lib
+        .characterize_cell(GateKind::Nand2, &temps)
+        .expect("nand table");
     let sim_ratio = nand_table.delays[0].tphl / inv_table.delays[0].tphl;
 
     let load = Gate::with_ratio(GateKind::Inv, 1e-6, 2.0)
@@ -153,5 +170,8 @@ fn characterized_cell_delays_track_the_analytical_model() {
         (sim_ratio / ana_ratio - 1.0).abs() < 0.5,
         "NAND2/INV tphl ratio: simulated {sim_ratio:.2} vs analytical {ana_ratio:.2}"
     );
-    assert!(sim_ratio > 1.5, "the stack penalty is visible: {sim_ratio:.2}");
+    assert!(
+        sim_ratio > 1.5,
+        "the stack penalty is visible: {sim_ratio:.2}"
+    );
 }

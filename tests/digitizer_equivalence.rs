@@ -16,12 +16,8 @@ fn agreement_within_lsb_budget_across_periods_and_windows() {
     // The async window + divider latency budget is a constant ≈2 LSB.
     for &window in &[16u32, 64, 256] {
         for &ns in &[1.1, 1.45, 1.9] {
-            let d = GateLevelDigitizer::new(
-                Seconds::from_nanos(ns),
-                Hertz::from_mega(REF),
-                window,
-            )
-            .expect("plan");
+            let d = GateLevelDigitizer::new(Seconds::from_nanos(ns), Hertz::from_mega(REF), window)
+                .expect("plan");
             let gate_count = d.run().expect("run").count;
             let expect = d.expected_count();
             let err = gate_count as i64 - expect as i64;
@@ -46,14 +42,13 @@ fn gate_level_codes_are_monotone_in_temperature() {
     let mut last = 0u64;
     for t in [-50.0, 0.0, 50.0, 100.0, 150.0] {
         let period = ring.period(&tech, Celsius::new(t)).expect("period");
-        let d = GateLevelDigitizer::new(
-            Seconds::new(period.get()),
-            Hertz::from_mega(REF),
-            64,
-        )
-        .expect("plan");
+        let d = GateLevelDigitizer::new(Seconds::new(period.get()), Hertz::from_mega(REF), 64)
+            .expect("plan");
         let count = d.run().expect("run").count;
-        assert!(count > last, "codes rise with temperature: {count} after {last}");
+        assert!(
+            count > last,
+            "codes rise with temperature: {count} after {last}"
+        );
         last = count;
     }
 }
@@ -93,7 +88,10 @@ fn behavioural_quantization_never_exceeds_one_lsb() {
         let p = Seconds::from_picos(ps);
         let ideal = d.spec().ideal_count(p);
         let q = d.convert(p) as f64;
-        assert!(ideal - q >= 0.0 && ideal - q < 1.0, "floor quantization at {ps} ps");
+        assert!(
+            ideal - q >= 0.0 && ideal - q < 1.0,
+            "floor quantization at {ps} ps"
+        );
     }
 }
 

@@ -16,13 +16,12 @@ use rand::SeedableRng;
 
 fn calibrated_unit() -> SmartSensorUnit {
     let tech = Technology::um350();
-    let ring = RingOscillator::uniform(
-        Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"),
-        5,
-    )
-    .expect("ring");
+    let ring =
+        RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"), 5)
+            .expect("ring");
     let mut u = SmartSensorUnit::new(SensorConfig::new(ring, tech)).expect("unit");
-    u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).expect("cal");
+    u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+        .expect("cal");
     u
 }
 
@@ -49,7 +48,11 @@ fn hotspot_localization_across_the_stack() {
     }
     let map = array.scan_grid(&grid).expect("scan");
     assert_eq!(map.hottest().name, "s22", "top-right sensor is hottest");
-    assert!(map.max_abs_error_c() < 1.0, "map error {}", map.max_abs_error_c());
+    assert!(
+        map.max_abs_error_c() < 1.0,
+        "map error {}",
+        map.max_abs_error_c()
+    );
 }
 
 #[test]
@@ -58,7 +61,8 @@ fn transient_die_heating_tracked_by_repeated_measurements() {
     // time: the measured trajectory must be monotone and approach the
     // steady state.
     let mut grid = ThermalGrid::new(DieSpec::default_1cm2(16, 16)).expect("grid");
-    grid.add_power_rect(0.0, 0.0, 0.01, 0.01, 5.0).expect("power");
+    grid.add_power_rect(0.0, 0.0, 0.01, 0.01, 5.0)
+        .expect("power");
     let mut unit = calibrated_unit();
     let probe = (0.005, 0.005);
 
@@ -71,7 +75,10 @@ fn transient_die_heating_tracked_by_repeated_measurements() {
         readings.push(m.temperature.get());
     }
     for w in readings.windows(2) {
-        assert!(w[1] >= w[0] - 0.3, "heating trajectory monotone-ish: {readings:?}");
+        assert!(
+            w[1] >= w[0] - 0.3,
+            "heating trajectory monotone-ish: {readings:?}"
+        );
     }
     let steady = {
         let mut g = ThermalGrid::new(DieSpec::default_1cm2(16, 16)).expect("grid");
@@ -91,11 +98,9 @@ fn self_heating_error_smaller_than_measured_gradients() {
     // The disable feature keeps the sensor's own heating far below the
     // die gradients it is supposed to resolve.
     let tech = Technology::um350();
-    let ring = RingOscillator::uniform(
-        Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"),
-        5,
-    )
-    .expect("ring");
+    let ring =
+        RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"), 5)
+            .expect("ring");
     let s = study(
         &ring,
         &tech,
@@ -105,18 +110,27 @@ fn self_heating_error_smaller_than_measured_gradients() {
         Seconds::new(1e-3),
     )
     .expect("study");
-    assert!(s.duty_cycled_error_k < 0.1, "duty-cycled rise {}", s.duty_cycled_error_k);
+    assert!(
+        s.duty_cycled_error_k < 0.1,
+        "duty-cycled rise {}",
+        s.duty_cycled_error_k
+    );
 }
 
 #[test]
 fn mixed_cell_sensor_works_end_to_end() {
     // A Fig. 3-style mixed ring drives the same smart unit machinery.
     let tech = Technology::um350();
-    let config = CellConfig::from_groups(&[(2, GateKind::Inv), (1, GateKind::Nand3), (2, GateKind::Nor2)])
-        .expect("config");
+    let config = CellConfig::from_groups(&[
+        (2, GateKind::Inv),
+        (1, GateKind::Nand3),
+        (2, GateKind::Nor2),
+    ])
+    .expect("config");
     let ring = RingOscillator::from_config(&config, 1e-6, 1.5).expect("ring");
     let mut unit = SmartSensorUnit::new(SensorConfig::new(ring, tech)).expect("unit");
-    unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).expect("cal");
+    unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+        .expect("cal");
     let mut worst = 0.0_f64;
     for t in TempRange::paper().samples(11) {
         let m = unit.measure(t).expect("measure");
@@ -130,19 +144,17 @@ fn per_die_calibration_absorbs_variation_in_the_full_unit() {
     // Build a *varied* die (ring + tech), calibrate THAT die, and check
     // accuracy — the full production flow.
     let nominal_tech = Technology::um350();
-    let nominal_ring = RingOscillator::uniform(
-        Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"),
-        5,
-    )
-    .expect("ring");
+    let nominal_ring =
+        RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).expect("gate"), 5)
+            .expect("ring");
     let mut rng = StdRng::seed_from_u64(77);
     let spec = VariationSpec::default();
     for _die in 0..5 {
         let die_tech = perturb_technology(&nominal_tech, &spec, &mut rng);
         let die_ring = perturb_ring(&nominal_ring, &spec, &mut rng).expect("ring");
-        let mut unit =
-            SmartSensorUnit::new(SensorConfig::new(die_ring, die_tech)).expect("unit");
-        unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0)).expect("cal");
+        let mut unit = SmartSensorUnit::new(SensorConfig::new(die_ring, die_tech)).expect("unit");
+        unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+            .expect("cal");
         let m = unit.measure(Celsius::new(60.0)).expect("measure");
         assert!(
             (m.temperature.get() - 60.0).abs() < 1.0,
@@ -181,8 +193,7 @@ fn watchdog_chases_a_workload_trace() {
     let samples = play(&mut grid, &trace, &[(0.005, 0.005)], tau / 8.0).expect("play");
 
     let alarm = ThermalAlarm::new(Celsius::new(100.0), 5.0);
-    let mut watchdog =
-        ThermalWatchdog::new(calibrated_unit(), alarm, Seconds::new(1e-3));
+    let mut watchdog = ThermalWatchdog::new(calibrated_unit(), alarm, Seconds::new(1e-3));
     let mut events = Vec::new();
     for s in &samples {
         let outcome = watchdog.poll(Celsius::new(s.probes_c[0])).expect("poll");

@@ -32,8 +32,8 @@ X5 n4 n0 vdd inv
         lib.library_text()
     );
     let deck = parse(&src).expect("parse");
-    let wave = run_transient(&deck.circuit, &deck.tran.expect("tran").to_options())
-        .expect("transient");
+    let wave =
+        run_transient(&deck.circuit, &deck.tran.expect("tran").to_options()).expect("transient");
     let parsed_period = wave.period("n0", 1.65, 3).expect("period");
 
     let rel = (parsed_period - prog_period).abs() / prog_period;
@@ -73,10 +73,20 @@ fn parsed_and_programmatic_dc_points_are_identical() {
     let vdd = prog.node("vdd");
     let a = prog.node("a");
     let b = prog.node("b");
-    prog.add_vsource("VDD", vdd, spicelite::Circuit::GROUND, spicelite::Stimulus::Dc(3.3))
-        .expect("vdd");
-    prog.add_vsource("VIN", a, spicelite::Circuit::GROUND, spicelite::Stimulus::Dc(vin))
-        .expect("vin");
+    prog.add_vsource(
+        "VDD",
+        vdd,
+        spicelite::Circuit::GROUND,
+        spicelite::Stimulus::Dc(3.3),
+    )
+    .expect("vdd");
+    prog.add_vsource(
+        "VIN",
+        a,
+        spicelite::Circuit::GROUND,
+        spicelite::Stimulus::Dc(vin),
+    )
+    .expect("vin");
     emit_cell(
         &mut prog,
         GateKind::Inv,
@@ -137,5 +147,8 @@ X3 n2 n0 vdd inv
     };
     let cold = period_at(-50.0);
     let hot = period_at(150.0);
-    assert!(hot > 1.2 * cold, ".temp changes the physics: {cold:.3e} vs {hot:.3e}");
+    assert!(
+        hot > 1.2 * cold,
+        ".temp changes the physics: {cold:.3e} vs {hot:.3e}"
+    );
 }

@@ -1,0 +1,150 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! handful of `rand` 0.9 APIs the repo actually uses are vendored here:
+//! [`Rng::random`], [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`].
+//! The generator is SplitMix64 — deterministic, seedable, and easily good
+//! enough for Monte-Carlo process variation and noise modelling (it is
+//! *not* cryptographic, exactly like the upstream `StdRng` contract the
+//! repo relies on: reproducible streams from a `u64` seed).
+
+/// Types that can be sampled uniformly from a random bit stream.
+pub trait Random: Sized {
+    /// Draws one value from `rng`.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A source of randomness.
+pub trait Rng {
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` (uniform over its natural domain;
+    /// `[0, 1)` for floats).
+    fn random<T: Random>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Samples an integer uniformly from `[low, high)`.
+    fn random_range(&mut self, range: core::ops::Range<u64>) -> u64 {
+        let span = range.end - range.start;
+        assert!(span > 0, "cannot sample an empty range");
+        // Multiply-shift rejection-free mapping (Lemire); bias is
+        // negligible for the spans used here.
+        let hi = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        range.start + hi
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic stream).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard deterministic generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn works_through_unsized_ref() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = draw(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn range_sampling_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

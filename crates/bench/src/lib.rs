@@ -23,6 +23,7 @@
 //! | `ext2` | extension: supply-droop cross-sensitivity budget |
 //! | `ext3` | extension: dual-ring ratiometric droop rejection |
 //! | `ext4` | extension: node portability (0.35 → 0.13 µm presets) |
+//! | `sta`  | STA vs transient temperature sweep: same curve, wall-clock speedup |
 
 use std::fs;
 use std::path::Path;
@@ -39,6 +40,7 @@ pub mod ext4;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
+pub mod sta_sweep;
 pub mod ta;
 pub mod tb;
 pub mod tc;
@@ -87,9 +89,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "fig1", "fig2", "fig3", "ta", "tb", "tc", "td", "abl1", "abl2", "abl3", "abl4", "abl5", "ext1",
-    "ext2", "ext3", "ext4",
+    "ext2", "ext3", "ext4", "sta",
 ];
 
 /// Runs one experiment by id, writing artifacts into `out_dir` and
@@ -117,6 +119,7 @@ pub fn run_experiment(id: &str, out_dir: &Path) -> String {
         "ext2" => ext2::run(out_dir),
         "ext3" => ext3::run(out_dir),
         "ext4" => ext4::run(out_dir),
+        "sta" => sta_sweep::run(out_dir),
         other => panic!("unknown experiment id `{other}`; known: {ALL_EXPERIMENTS:?}"),
     }
 }

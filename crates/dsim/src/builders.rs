@@ -83,6 +83,24 @@ pub fn ring_oscillator(
     prefix: &str,
     delay_fs: u64,
 ) -> Result<RingPorts, BuildError> {
+    let stages: Vec<(GateOp, u64)> = stage_ops.iter().map(|&op| (op, delay_fs)).collect();
+    ring_oscillator_with_delays(nl, &stages, prefix)
+}
+
+/// Like [`ring_oscillator`] but with an individual inertial delay per
+/// stage — the form static timing analysis needs when every stage is a
+/// different cell with its own temperature-dependent delay.
+///
+/// # Errors
+///
+/// Same conditions as [`ring_oscillator`].
+pub fn ring_oscillator_with_delays(
+    nl: &mut Netlist,
+    stage_delays: &[(GateOp, u64)],
+    prefix: &str,
+) -> Result<RingPorts, BuildError> {
+    let stage_ops: Vec<GateOp> = stage_delays.iter().map(|&(op, _)| op).collect();
+    let stage_ops = stage_ops.as_slice();
     if stage_ops.len() < 3 {
         return Err(BuildError::RingTooShort {
             stages: stage_ops.len(),
@@ -123,7 +141,7 @@ pub fn ring_oscillator(
     let mut tie_high = None;
     let mut tie_low = None;
 
-    for (i, &op) in stage_ops.iter().enumerate() {
+    for (i, &(op, delay_fs)) in stage_delays.iter().enumerate() {
         let input = stages[(i + stage_ops.len() - 1) % stage_ops.len()];
         let output = stages[i];
         match op {
@@ -375,14 +393,15 @@ mod tests {
     }
 
     #[test]
-    fn counter_reset_clears() {
+    fn counter_reset_clears() -> Result<(), crate::error::DsimError> {
         let (mut sim, qs) = counter_fixture(|nl, clk, rst| ripple_counter(nl, clk, rst, 4, "cnt"));
-        let rst_n = sim.netlist().find_signal("rst_n").unwrap();
+        let rst_n = sim.netlist().require_signal("rst_n")?;
         sim.run_until(CLK_PERIOD * 6 + CLK_PERIOD / 4);
         assert_eq!(read(&sim, &qs), 6);
         sim.poke(rst_n, Logic::Zero);
         sim.run_for(CLK_PERIOD);
         assert_eq!(read(&sim, &qs), 0);
+        Ok(())
     }
 
     #[test]
@@ -416,7 +435,11 @@ mod tests {
         sim.run_for(GATE_DELAY_FS * 10);
         sim.poke(a, Logic::One);
         sim.run_for(GATE_DELAY_FS * 10);
-        assert_eq!(sim.edge_count(pulse), 2, "one pulse per rising edge");
+        assert_eq!(
+            sim.edge_count(pulse).unwrap(),
+            2,
+            "one pulse per rising edge"
+        );
     }
 
     #[test]
@@ -457,7 +480,7 @@ mod tests {
         sim.count_edges(ports.out);
         // Period = 2 * 5 * delay; run 20 periods and expect ~20 edges.
         sim.run_for(2 * 5 * GATE_DELAY_FS * 20);
-        let edges = sim.edge_count(ports.out);
+        let edges = sim.edge_count(ports.out).unwrap();
         assert!(
             (18..=22).contains(&edges),
             "expected ~20 rising edges, got {edges}"
@@ -480,7 +503,10 @@ mod tests {
         let mut sim = Simulator::new(nl);
         sim.count_edges(ports.out);
         sim.run_for(2 * 5 * GATE_DELAY_FS * 10);
-        assert!(sim.edge_count(ports.out) >= 8, "mixed ring must oscillate");
+        assert!(
+            sim.edge_count(ports.out).unwrap() >= 8,
+            "mixed ring must oscillate"
+        );
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Typed runtime errors of the simulator layer.
+//!
+//! The kernel keeps panics for *caller bugs that cannot be represented*
+//! (indexing with a [`SignalId`] from another netlist); everything a
+//! well-formed caller can trigger at runtime — asking for an edge count
+//! that was never enabled, looking up a signal by a name that does not
+//! exist — surfaces as a [`DsimError`] instead.
+
+use std::fmt;
+
+use crate::netlist::SignalId;
+
+/// An error produced by the simulator or netlist query layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DsimError {
+    /// [`Simulator::edge_count`](crate::sim::Simulator::edge_count) or
+    /// [`Simulator::reset_edge_count`](crate::sim::Simulator::reset_edge_count)
+    /// was called for a signal that never had
+    /// [`Simulator::count_edges`](crate::sim::Simulator::count_edges)
+    /// enabled.
+    EdgeCountingDisabled {
+        /// The queried signal.
+        signal: SignalId,
+        /// Its netlist name, for the message.
+        name: String,
+    },
+    /// A by-name signal lookup did not match any signal in the netlist.
+    UnknownSignal {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl fmt::Display for DsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsimError::EdgeCountingDisabled { name, .. } => {
+                write!(f, "edge counting was not enabled for signal `{name}`")
+            }
+            DsimError::UnknownSignal { name } => {
+                write!(f, "netlist has no signal named `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn display_names_the_signal() {
+        let mut nl = Netlist::new();
+        let a = nl.signal("osc.out");
+        let sim = Simulator::new(nl);
+        let err = sim.edge_count(a).unwrap_err();
+        assert!(err.to_string().contains("osc.out"), "{err}");
+        let err = DsimError::UnknownSignal {
+            name: "nope".into(),
+        };
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn error_traits() {
+        fn ok<E: std::error::Error + Send + Sync + 'static>() {}
+        ok::<DsimError>();
+    }
+}

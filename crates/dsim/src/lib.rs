@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod builders;
+pub mod error;
 pub mod logic;
 pub mod netlist;
 pub mod sim;
 pub mod vcd;
 
-pub use builders::{ring_oscillator, BuildError, RingPorts};
+pub use builders::{ring_oscillator, ring_oscillator_with_delays, BuildError, RingPorts};
+pub use error::DsimError;
 pub use logic::Logic;
 pub use netlist::{Component, GateOp, Netlist, SignalId};
 pub use sim::{Change, Simulator};

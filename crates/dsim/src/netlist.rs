@@ -18,6 +18,14 @@ impl SignalId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuilds an id from a raw index previously obtained via
+    /// [`SignalId::index`]. Ids are only meaningful against the netlist
+    /// they came from.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        SignalId(index)
+    }
 }
 
 /// Boolean function of a combinational primitive.
@@ -290,6 +298,22 @@ impl Netlist {
     /// Finds a signal by name.
     pub fn find_signal(&self, name: &str) -> Option<SignalId> {
         self.names.iter().position(|n| n == name).map(SignalId)
+    }
+
+    /// Finds a signal by name, failing with a typed error when absent —
+    /// the fallible twin of [`Netlist::find_signal`] for callers that
+    /// propagate rather than unwrap.
+    ///
+    /// # Errors
+    ///
+    /// Returns
+    /// [`DsimError::UnknownSignal`](crate::error::DsimError::UnknownSignal)
+    /// when no signal has `name`.
+    pub fn require_signal(&self, name: &str) -> Result<SignalId, crate::error::DsimError> {
+        self.find_signal(name)
+            .ok_or_else(|| crate::error::DsimError::UnknownSignal {
+                name: name.to_string(),
+            })
     }
 
     /// Every declared signal id, in declaration order.

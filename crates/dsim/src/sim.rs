@@ -14,6 +14,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::error::DsimError;
 use crate::logic::Logic;
 use crate::netlist::{Component, Netlist, SignalId};
 
@@ -191,22 +192,33 @@ impl Simulator {
 
     /// Rising edges seen on `signal` since counting started.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if [`Simulator::count_edges`] was never called for it.
-    pub fn edge_count(&self, signal: SignalId) -> u64 {
-        self.edge_counters[signal.index()].expect("edge counting was not enabled for this signal")
+    /// Returns [`DsimError::EdgeCountingDisabled`] if
+    /// [`Simulator::count_edges`] was never called for it.
+    pub fn edge_count(&self, signal: SignalId) -> Result<u64, DsimError> {
+        self.edge_counters[signal.index()].ok_or_else(|| DsimError::EdgeCountingDisabled {
+            signal,
+            name: self.netlist.signal_name(signal).to_string(),
+        })
     }
 
     /// Resets the rising-edge counter of `signal` to zero.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if counting was never enabled for it.
-    pub fn reset_edge_count(&mut self, signal: SignalId) {
+    /// Returns [`DsimError::EdgeCountingDisabled`] if counting was never
+    /// enabled for it.
+    pub fn reset_edge_count(&mut self, signal: SignalId) -> Result<(), DsimError> {
         match &mut self.edge_counters[signal.index()] {
-            Some(c) => *c = 0,
-            None => panic!("edge counting was not enabled for this signal"),
+            Some(c) => {
+                *c = 0;
+                Ok(())
+            }
+            None => Err(DsimError::EdgeCountingDisabled {
+                signal,
+                name: self.netlist.signal_name(signal).to_string(),
+            }),
         }
     }
 
@@ -471,7 +483,7 @@ mod tests {
         sim.count_edges(clk);
         sim.run_until(105_000);
         // Rising edges at 5, 15, 25, …, 105 ps → 11 edges.
-        assert_eq!(sim.edge_count(clk), 11);
+        assert_eq!(sim.edge_count(clk).unwrap(), 11);
     }
 
     #[test]
@@ -556,7 +568,7 @@ mod tests {
         // 3-ring has no stable assignment), so it self-starts at t = 0.
         sim.run_until(1_000_000);
         // Period = 2·N·delay = 6 ps ⇒ ~166 edges in 1 ns.
-        let edges = sim.edge_count(n0);
+        let edges = sim.edge_count(n0).unwrap();
         assert!(edges > 150 && edges < 180, "edges {edges}");
     }
 

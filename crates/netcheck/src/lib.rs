@@ -9,6 +9,7 @@
 //! | `NC02xx` | `spicelite` circuits/decks | dangling nodes, no DC path to ground, extreme device values |
 //! | `NC03xx` | `stdcell` timing libraries | delay-vs-temperature monotonicity, Fig. 2 sizing range, Liberty round-trip |
 //! | `NC04xx` | `sensor` configurations    | stage-count parity, Fig. 3 cell mixes, calibration coverage |
+//! | `NC05xx` | static timing (`sta`)      | fan-out delay degradation, unconstrained endpoints, STA-vs-declared-period mismatch |
 //!
 //! Every rule has a stable ID and fires as a [`Diagnostic`] at a fixed
 //! [`Severity`]; a [`Report`] aggregates them and renders as text or
@@ -34,6 +35,7 @@ pub mod library_rules;
 pub mod netlist_rules;
 pub mod pass;
 pub mod preflight;
+pub mod timing_rules;
 
 pub use config_rules::{check_calibration_anchors, check_sensor_config, PAPER_STAGE_COUNTS};
 pub use deck_rules::{check_circuit, check_deck};
@@ -44,3 +46,4 @@ pub use library_rules::{
 pub use netlist_rules::{check_netlist, check_netlist_with, NetlistCheckOptions};
 pub use pass::{rule_info, run_passes, Pass, RuleInfo, RULES};
 pub use preflight::PreflightError;
+pub use timing_rules::{check_netlist_timing, check_netlist_timing_with, TimingPass};

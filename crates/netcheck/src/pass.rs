@@ -122,6 +122,21 @@ pub const RULES: &[RuleInfo] = &[
         severity: Severity::Warning,
         summary: "calibration does not cover the paper's −50…150 °C range",
     },
+    RuleInfo {
+        id: "NC0501",
+        severity: Severity::Warning,
+        summary: "fan-out degrades the driver's delay beyond the configured factor",
+    },
+    RuleInfo {
+        id: "NC0502",
+        severity: Severity::Warning,
+        summary: "timing endpoint is reached by no startpoint (unconstrained)",
+    },
+    RuleInfo {
+        id: "NC0503",
+        severity: Severity::Error,
+        summary: "STA-predicted timing contradicts the declared clock period",
+    },
 ];
 
 /// Looks up a rule by ID.

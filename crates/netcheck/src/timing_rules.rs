@@ -1,0 +1,111 @@
+//! `NC05xx`: static-timing rules over `dsim` netlists.
+//!
+//! A thin adapter around the `sta` crate: the netlist is analyzed with
+//! its own inertial delay annotations ([`sta::netlist_delays`]) and the
+//! resulting [`sta::TimingViolation`]s are re-emitted as netcheck
+//! [`Diagnostic`]s at their registered severities:
+//!
+//! * `NC0501` — a gate's fan-out degrades its delay beyond the
+//!   configured factor (linear loading estimate);
+//! * `NC0502` — a timing endpoint no startpoint reaches, so its setup
+//!   can never be analyzed;
+//! * `NC0503` — the timing graph contradicts the declared clock
+//!   period: a ring oscillates off-period, or a register data path is
+//!   longer than its clock period.
+
+use dsim::netlist::Netlist;
+use sta::{analyze, check_timing, netlist_delays, Severity as StaSeverity, TimingCheckOptions};
+
+use crate::diagnostic::{Diagnostic, Location, Report};
+use crate::pass::Pass;
+
+/// The `NC05xx` timing pass.
+#[derive(Default)]
+pub struct TimingPass {
+    /// Thresholds forwarded to [`sta::check_timing`].
+    pub options: TimingCheckOptions,
+}
+
+impl Pass<Netlist> for TimingPass {
+    fn name(&self) -> &'static str {
+        "timing"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["NC0501", "NC0502", "NC0503"]
+    }
+
+    fn run(&self, nl: &Netlist, report: &mut Report) {
+        let analysis = analyze(nl, &netlist_delays(nl));
+        for v in check_timing(nl, &analysis, &self.options) {
+            let location = Location::object(v.object.clone());
+            report.push(match v.severity {
+                StaSeverity::Error => Diagnostic::error(v.rule, location, v.message),
+                StaSeverity::Warning => Diagnostic::warning(v.rule, location, v.message),
+                StaSeverity::Info => Diagnostic::info(v.rule, location, v.message),
+            });
+        }
+    }
+}
+
+/// Runs the `NC05xx` timing rules over a netlist with default
+/// thresholds.
+pub fn check_netlist_timing(nl: &Netlist) -> Report {
+    check_netlist_timing_with(nl, &TimingCheckOptions::default())
+}
+
+/// Runs the `NC05xx` timing rules with explicit thresholds.
+pub fn check_netlist_timing_with(nl: &Netlist, options: &TimingCheckOptions) -> Report {
+    let pass = TimingPass { options: *options };
+    crate::pass::run_passes(&[&pass as &dyn Pass<Netlist>], nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsim::netlist::GateOp;
+
+    #[test]
+    fn ring_off_declared_period_is_an_error() {
+        let mut nl = Netlist::new();
+        dsim::builders::ring_oscillator(&mut nl, &[GateOp::Inv; 5], "r", 1_000).unwrap();
+        // A reference clock that contradicts the ring's 10 ps period.
+        let clk = nl.signal("clk");
+        nl.symmetric_clock(clk, 20_000, 0);
+        let report = check_netlist_timing(&nl);
+        assert!(report.has_errors(), "{report:?}");
+        assert!(report.diagnostics().iter().any(|d| d.rule == "NC0503"));
+    }
+
+    #[test]
+    fn clean_ring_is_silent() {
+        let mut nl = Netlist::new();
+        dsim::builders::ring_oscillator(&mut nl, &[GateOp::Inv; 5], "r", 1_000).unwrap();
+        let report = check_netlist_timing(&nl);
+        assert!(report.diagnostics().is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn even_parity_loop_consistency_with_nc0105() {
+        // The same even-parity loop that netlist_rules flags as NC0105
+        // must not make the timing pass report a ring period mismatch —
+        // STA refuses to assign the latch a period at all.
+        let mut nl = Netlist::new();
+        let s: Vec<_> = (0..4).map(|i| nl.signal(format!("s{i}"))).collect();
+        for i in 0..4 {
+            nl.gate(GateOp::Inv, &[s[i]], s[(i + 1) % 4], 5_000);
+        }
+        let clk = nl.signal("clk");
+        nl.symmetric_clock(clk, 12_345, 0);
+        let parity = crate::check_netlist(&nl);
+        assert!(
+            parity.diagnostics().iter().any(|d| d.rule == "NC0105"),
+            "{parity:?}"
+        );
+        let timing = check_netlist_timing(&nl);
+        assert!(
+            timing.diagnostics().iter().all(|d| d.rule != "NC0503"),
+            "latching loop must not be period-checked: {timing:?}"
+        );
+    }
+}

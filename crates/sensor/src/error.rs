@@ -12,6 +12,10 @@ pub enum SensorError {
     Model(ModelError),
     /// A thermal-substrate operation failed.
     Thermal(thermal::ThermalError),
+    /// A gate-level simulator operation failed.
+    Sim(dsim::DsimError),
+    /// A static-timing evaluation failed.
+    Timing(sta::StaError),
     /// The unit was asked for a reading while no measurement is complete.
     NotReady,
     /// A configuration value was out of its domain.
@@ -33,6 +37,8 @@ impl fmt::Display for SensorError {
         match self {
             SensorError::Model(e) => write!(f, "model error: {e}"),
             SensorError::Thermal(e) => write!(f, "thermal error: {e}"),
+            SensorError::Sim(e) => write!(f, "simulator error: {e}"),
+            SensorError::Timing(e) => write!(f, "timing error: {e}"),
             SensorError::NotReady => write!(f, "no completed measurement available"),
             SensorError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             SensorError::BadChannel { channel, available } => {
@@ -47,6 +53,8 @@ impl std::error::Error for SensorError {
         match self {
             SensorError::Model(e) => Some(e),
             SensorError::Thermal(e) => Some(e),
+            SensorError::Sim(e) => Some(e),
+            SensorError::Timing(e) => Some(e),
             _ => None,
         }
     }
@@ -61,6 +69,18 @@ impl From<ModelError> for SensorError {
 impl From<thermal::ThermalError> for SensorError {
     fn from(e: thermal::ThermalError) -> Self {
         SensorError::Thermal(e)
+    }
+}
+
+impl From<dsim::DsimError> for SensorError {
+    fn from(e: dsim::DsimError) -> Self {
+        SensorError::Sim(e)
+    }
+}
+
+impl From<sta::StaError> for SensorError {
+    fn from(e: sta::StaError) -> Self {
+        SensorError::Timing(e)
     }
 }
 

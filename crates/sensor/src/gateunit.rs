@@ -273,7 +273,7 @@ impl GateLevelUnit {
     pub fn convert(&mut self) -> Result<GateUnitResult> {
         let t0 = self.sim.time_fs();
         self.sim.count_edges(self.osc_gated);
-        self.sim.reset_edge_count(self.osc_gated);
+        self.sim.reset_edge_count(self.osc_gated)?;
         // Start pulse spanning a couple of ref edges.
         self.sim.poke(self.start, Logic::One);
         self.sim.run_for(2 * self.ref_period_fs);
@@ -291,7 +291,7 @@ impl GateLevelUnit {
             self.sim.run_for(4 * self.ref_period_fs);
         }
         let conversion_fs = self.sim.time_fs() - t0;
-        let osc_cycles = self.sim.edge_count(self.osc_gated);
+        let osc_cycles = self.sim.edge_count(self.osc_gated)?;
 
         let levels: Vec<Logic> = self.ref_bits.iter().map(|&b| self.sim.value(b)).collect();
         let count = bits_to_u64(&levels).ok_or_else(|| SensorError::InvalidConfig {
@@ -330,11 +330,16 @@ impl GateLevelUnit {
 
     /// Advances idle time (no conversion in flight) — used to verify the
     /// oscillator stays gated off between measurements.
-    pub fn idle_for(&mut self, fs: u64) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates edge-counter failures (cannot occur here: counting is
+    /// enabled just before it is read).
+    pub fn idle_for(&mut self, fs: u64) -> Result<u64> {
         self.sim.count_edges(self.osc_gated);
-        self.sim.reset_edge_count(self.osc_gated);
+        self.sim.reset_edge_count(self.osc_gated)?;
         self.sim.run_for(fs);
-        self.sim.edge_count(self.osc_gated)
+        Ok(self.sim.edge_count(self.osc_gated)?)
     }
 }
 
@@ -376,10 +381,10 @@ mod tests {
     #[test]
     fn oscillator_is_gated_off_while_idle() {
         let mut u = unit(1.5);
-        let edges = u.idle_for(100 * 1_500_000);
+        let edges = u.idle_for(100 * 1_500_000).unwrap();
         assert_eq!(edges, 0, "no ring activity while idle");
         let _ = u.convert().unwrap();
-        let edges = u.idle_for(100 * 1_500_000);
+        let edges = u.idle_for(100 * 1_500_000).unwrap();
         assert_eq!(edges, 0, "gated off again after the conversion");
     }
 

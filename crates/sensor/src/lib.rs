@@ -21,7 +21,9 @@
 //!   settle/measure timers, oscillator gating, busy/done handshake and
 //!   the digitizer in a single netlist;
 //! * [`mod@array`] — multiplexed sensor arrays scanned against a
-//!   [`thermal`] ground-truth die temperature field.
+//!   [`thermal`] ground-truth die temperature field;
+//! * [`stapath`] — transfer-function evaluation and cell-mix search on
+//!   the static timing graph, bypassing transient simulation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +41,7 @@ pub mod gateunit;
 pub mod muxscan;
 pub mod noise;
 pub mod selfheat;
+pub mod stapath;
 pub mod unit;
 
 pub use alarm::{AlarmEvent, ThermalAlarm, ThermalWatchdog};
@@ -49,4 +52,5 @@ pub use fsm::{MeasureFsm, Outputs, State};
 pub use gateunit::{GateLevelUnit, GateUnitResult};
 pub use muxscan::{ChannelReading, GateLevelMuxScan};
 pub use noise::JitterModel;
+pub use stapath::{StaConfigPoint, StaFastPath};
 pub use unit::{CodeCalibration, Measurement, SensorConfig, SmartSensorUnit};

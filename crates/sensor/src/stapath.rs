@@ -1,0 +1,162 @@
+//! The STA fast path: transfer-function evaluation and cell-mix search
+//! without transient simulation.
+//!
+//! The sensing element's figure of merit — worst-case nonlinearity of
+//! the period-vs-temperature curve — normally costs one transient sweep
+//! per candidate mix (the Fig. 3 experiment). [`StaFastPath`] reads the
+//! same curves off the static timing graph instead, which makes a full
+//! cell-mix search cheap enough to run inside a calibration or
+//! floorplanning loop.
+//!
+//! The fast path is exact with respect to the analytical ring model:
+//! both price each stage's alpha-power delay pair under the next
+//! stage's tied-input load, so the STA period equals
+//! `tsense_core::ring::RingOscillator::period` to floating-point noise
+//! (a property pinned by this module's tests).
+
+use sta::{transfer, AnalyticalModel, Transfer, TransferSettings};
+use tsense_core::ring::CellConfig;
+use tsense_core::units::Seconds;
+
+use crate::error::Result;
+
+/// Transfer-function evaluation and mix ranking over the timing graph.
+#[derive(Debug, Clone)]
+pub struct StaFastPath {
+    model: AnalyticalModel,
+    settings: TransferSettings,
+}
+
+/// One candidate mix ranked by the fast path.
+#[derive(Debug, Clone)]
+pub struct StaConfigPoint {
+    /// The cell mix.
+    pub config: CellConfig,
+    /// Worst-case |nonlinearity| in percent of full scale.
+    pub max_nl_percent: f64,
+    /// The full STA transfer function.
+    pub transfer: Transfer,
+}
+
+impl StaFastPath {
+    /// A fast path over the paper's 0.35 µm process at the given `Wp/Wn`
+    /// ratio, with the default −50…150 °C / 41-sample sweep.
+    pub fn new(ratio: f64) -> Self {
+        StaFastPath {
+            model: AnalyticalModel::um350(ratio),
+            settings: TransferSettings::default(),
+        }
+    }
+
+    /// Replaces the sweep settings.
+    pub fn with_settings(mut self, settings: TransferSettings) -> Self {
+        self.settings = settings;
+        self
+    }
+
+    /// The underlying delay model.
+    pub fn model(&self) -> &AnalyticalModel {
+        &self.model
+    }
+
+    /// The STA-predicted period of `config`'s ring at `temp_c` °C.
+    ///
+    /// # Errors
+    ///
+    /// Model and ring-construction failures propagate.
+    pub fn period(&self, config: &CellConfig, temp_c: f64) -> Result<Seconds> {
+        Ok(Seconds::new(sta::period_at(
+            config.kinds(),
+            &self.model,
+            temp_c,
+        )?))
+    }
+
+    /// The full STA transfer function of `config`.
+    ///
+    /// # Errors
+    ///
+    /// Model, ring-construction, and fit failures propagate.
+    pub fn transfer(&self, config: &CellConfig) -> Result<Transfer> {
+        Ok(transfer(config.kinds(), &self.model, &self.settings)?)
+    }
+
+    /// Evaluates every candidate and returns them ranked best (lowest
+    /// worst-case nonlinearity) first — the Fig. 3 experiment on the
+    /// timing graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation failure.
+    pub fn config_search(&self, configs: &[CellConfig]) -> Result<Vec<StaConfigPoint>> {
+        let mut out = Vec::with_capacity(configs.len());
+        for config in configs {
+            let transfer = self.transfer(config)?;
+            out.push(StaConfigPoint {
+                config: config.clone(),
+                max_nl_percent: transfer.max_nl_percent(),
+                transfer,
+            });
+        }
+        out.sort_by(|a, b| {
+            a.max_nl_percent
+                .partial_cmp(&b.max_nl_percent)
+                .expect("nonlinearity is finite")
+        });
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsense_core::optimize::{config_search, SweepSettings};
+    use tsense_core::ring::RingOscillator;
+    use tsense_core::tech::Technology;
+
+    #[test]
+    fn sta_period_equals_the_analytic_ring_model() {
+        let fast = StaFastPath::new(2.0);
+        let tech = Technology::um350();
+        for config in CellConfig::paper_fig3_set() {
+            let ring = RingOscillator::from_config(&config, 1.0e-6, 2.0).unwrap();
+            for temp_c in [-50.0, 27.0, 150.0] {
+                let analytic = ring
+                    .period(&tech, tsense_core::units::Celsius::new(temp_c))
+                    .unwrap()
+                    .get();
+                let via_sta = fast.period(&config, temp_c).unwrap().get();
+                let rel = ((via_sta - analytic) / analytic).abs();
+                assert!(rel < 1e-9, "{config}: {via_sta} vs {analytic} (rel {rel})");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_search_ranks_like_the_transient_search() {
+        let fast = StaFastPath::new(2.0).with_settings(TransferSettings {
+            samples: 21,
+            ..TransferSettings::default()
+        });
+        let configs = CellConfig::paper_fig3_set();
+        let via_sta = fast.config_search(&configs).unwrap();
+        let via_core = config_search(
+            &Technology::um350(),
+            &configs,
+            1.0e-6,
+            2.0,
+            &SweepSettings {
+                samples: 21,
+                ..SweepSettings::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(via_sta.len(), via_core.len());
+        // Same winner, and the same nonlinearity figure for it.
+        assert_eq!(via_sta[0].config, via_core[0].config);
+        let rel = ((via_sta[0].max_nl_percent - via_core[0].max_nl_percent)
+            / via_core[0].max_nl_percent)
+            .abs();
+        assert!(rel < 1e-6, "{rel}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based cross-validation: for *random* odd-stage rings over
+//! random Fig. 3-style cell mixes, the STA-predicted oscillation period
+//! must match the `dsim` transient measurement within the documented
+//! tolerance at cold, nominal, and hot corners.
+//!
+//! This generalizes the fixed shipped-example suite: the agreement is a
+//! structural property of the engine (float Eq. 1 sum vs quantized
+//! event simulation), not a coincidence of particular mixes.
+
+use proptest::prelude::*;
+
+use sta::{cross_validate, AnalyticalModel, CROSS_VALIDATION_TOLERANCE};
+use tsense_core::gate::GateKind;
+
+const TEMPS_C: [f64; 3] = [-50.0, 27.0, 150.0];
+
+fn arb_kind() -> impl Strategy<Value = GateKind> {
+    prop::sample::select(GateKind::PAPER_SET.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_rings_cross_validate(
+        pool in prop::collection::vec(arb_kind(), 9),
+        stages in prop::sample::select(vec![3usize, 5, 7, 9]),
+        ratio in prop::sample::select(vec![1.5f64, 2.0, 3.0]),
+    ) {
+        // The stub strategy set has no flat_map: draw a 9-cell pool and
+        // truncate to the drawn stage count. Every paper cell inverts,
+        // so any odd count oscillates.
+        let kinds = &pool[..stages];
+        let model = AnalyticalModel::um350(ratio);
+        let points = cross_validate(kinds, &model, &TEMPS_C).expect("cross-validation runs");
+        prop_assert_eq!(points.len(), TEMPS_C.len());
+        for p in &points {
+            prop_assert!(
+                p.within_tolerance(),
+                "{:?} at {} °C: sta {} vs sim {} (rel {:+.3e}, tolerance {:e})",
+                kinds, p.temp_c, p.sta_period_fs, p.sim_period_fs,
+                p.rel_error, CROSS_VALIDATION_TOLERANCE
+            );
+        }
+        // And the prediction is physical: positive, growing with T.
+        prop_assert!(points[0].sta_period_fs > 0.0);
+        prop_assert!(points[2].sta_period_fs > points[0].sta_period_fs);
+    }
+
+    #[test]
+    fn quantization_error_scales_with_stage_count(
+        stages in prop::sample::select(vec![3usize, 9, 21]),
+    ) {
+        // Worst-case bound: each stage contributes at most 1 fs of
+        // rounding, so |sim − sta| ≤ stages × 1 fs (plus measurement
+        // averaging noise well below 1 fs).
+        let kinds = vec![GateKind::Inv; stages];
+        let model = AnalyticalModel::um350(2.0);
+        let points = cross_validate(&kinds, &model, &[27.0]).expect("runs");
+        let abs_err_fs = (points[0].sim_period_fs - points[0].sta_period_fs).abs();
+        prop_assert!(
+            abs_err_fs <= stages as f64 + 1.0,
+            "{stages} stages: |err| {abs_err_fs} fs exceeds the quantization bound"
+        );
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`logic`] (`dsim`) | event-driven 4-value gate-level simulator with counters/registers and VCD export |
 //! | [`smart`] (`sensor`) | the smart unit: measurement FSM, counting digitizer (behavioural + gate-level), calibration, multiplexed thermal mapping |
 //! | [`heat`] (`thermal`) | 2-D die thermal RC grid with floorplans and scaling scenarios |
+//! | [`timing`] (`sta`) | temperature-aware static timing analysis: polarity-split arrival propagation, analytic ring periods, STA transfer functions, NC05xx timing rules |
 //!
 //! ## Quick start
 //!
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use sensor::unit::{Measurement, SensorConfig, SmartSensorUnit};
     pub use sensor::{SensorArray, SensorError};
     pub use spicelite::{run_transient, solve_dc, Circuit, SimError, Stimulus, TranOptions};
+    pub use sta::{AnalyticalModel, StaError, TimingCheckOptions};
     pub use stdcell::{CellLibrary, TransistorRing};
     pub use thermal::{DieSpec, Floorplan, ThermalGrid};
     pub use tsense_core::calibration::{Calibration, OnePoint, ThreePoint, TwoPoint};
@@ -92,3 +94,6 @@ pub use sensor as smart;
 
 /// The die thermal simulator (`thermal`).
 pub use thermal as heat;
+
+/// The static timing analyzer (`sta`).
+pub use sta as timing;

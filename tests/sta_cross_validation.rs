@@ -1,0 +1,67 @@
+//! STA ↔ transient cross-validation over every shipped example ring.
+//!
+//! The acceptance gate of the timing engine: at −50, 27 and 150 °C the
+//! STA-predicted oscillation period of each shipped ring (the six
+//! Fig. 3 mixes plus the 9- and 21-stage inverter rings) must agree
+//! with the `dsim` event-driven transient measurement within
+//! [`sta::CROSS_VALIDATION_TOLERANCE`].
+
+use tsense::timing::{cross_validate, shipped_rings, AnalyticalModel, CROSS_VALIDATION_TOLERANCE};
+
+const TEMPS_C: [f64; 3] = [-50.0, 27.0, 150.0];
+
+#[test]
+fn every_shipped_ring_agrees_with_the_simulator() {
+    let model = AnalyticalModel::um350(2.0);
+    let specs = shipped_rings();
+    assert!(specs.len() >= 8, "expected the full example set");
+    for spec in &specs {
+        let points = cross_validate(&spec.kinds, &model, &TEMPS_C).expect("cross-validation runs");
+        assert_eq!(points.len(), TEMPS_C.len());
+        for p in &points {
+            assert!(
+                p.within_tolerance(),
+                "{} at {} °C: sta {} fs vs sim {} fs (rel {:+.3e}, tolerance {:e})",
+                spec.name,
+                p.temp_c,
+                p.sta_period_fs,
+                p.sim_period_fs,
+                p.rel_error,
+                CROSS_VALIDATION_TOLERANCE,
+            );
+        }
+    }
+}
+
+#[test]
+fn sta_periods_track_temperature_monotonically() {
+    let model = AnalyticalModel::um350(2.0);
+    for spec in shipped_rings() {
+        let mut last = 0.0;
+        for temp_c in [-50.0, 0.0, 50.0, 100.0, 150.0] {
+            let period = tsense::timing::period_at(&spec.kinds, &model, temp_c).unwrap();
+            assert!(
+                period > last,
+                "{}: period must grow with temperature",
+                spec.name
+            );
+            last = period;
+        }
+    }
+}
+
+#[test]
+fn validation_is_orders_of_magnitude_inside_tolerance() {
+    // The documented tolerance (0.1 %) leaves deliberate margin; the
+    // only real error source is 1 fs/stage quantization, so the typical
+    // disagreement must sit far below the gate. This pins the *quality*
+    // of the agreement, not just its pass/fail status.
+    let model = AnalyticalModel::um350(2.0);
+    let spec = &shipped_rings()[0];
+    let points = cross_validate(&spec.kinds, &model, &[27.0]).unwrap();
+    assert!(
+        points[0].rel_error.abs() < CROSS_VALIDATION_TOLERANCE / 10.0,
+        "rel error {:+.3e} suspiciously close to tolerance",
+        points[0].rel_error
+    );
+}

@@ -2,7 +2,7 @@
 //!
 //! The workspace builds in environments with no crates.io access, so the
 //! slice of proptest the repo's property tests use is vendored here:
-//! the [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_filter`,
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`/`prop_filter`,
 //! range and tuple strategies, `prop::collection::vec`,
 //! `prop::sample::select`, `prop::num::f64::NORMAL`, [`arbitrary::any`],
 //! [`strategy::Just`], and the `prop_assert*`/`prop_assume!` macros.
@@ -397,7 +397,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

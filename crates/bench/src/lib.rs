@@ -24,6 +24,7 @@
 //! | `ext3` | extension: dual-ring ratiometric droop rejection |
 //! | `ext4` | extension: node portability (0.35 → 0.13 µm presets) |
 //! | `sta`  | STA vs transient temperature sweep: same curve, wall-clock speedup |
+//! | `fault` | fault-injection campaign: coverage per class, zero silent/hang |
 
 use std::fs;
 use std::path::Path;
@@ -37,6 +38,7 @@ pub mod ext1;
 pub mod ext2;
 pub mod ext3;
 pub mod ext4;
+pub mod fault_campaign;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -89,9 +91,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_EXPERIMENTS: [&str; 17] = [
+pub const ALL_EXPERIMENTS: [&str; 18] = [
     "fig1", "fig2", "fig3", "ta", "tb", "tc", "td", "abl1", "abl2", "abl3", "abl4", "abl5", "ext1",
-    "ext2", "ext3", "ext4", "sta",
+    "ext2", "ext3", "ext4", "sta", "fault",
 ];
 
 /// Runs one experiment by id, writing artifacts into `out_dir` and
@@ -120,6 +122,7 @@ pub fn run_experiment(id: &str, out_dir: &Path) -> String {
         "ext3" => ext3::run(out_dir),
         "ext4" => ext4::run(out_dir),
         "sta" => sta_sweep::run(out_dir),
+        "fault" => fault_campaign::run(out_dir),
         other => panic!("unknown experiment id `{other}`; known: {ALL_EXPERIMENTS:?}"),
     }
 }

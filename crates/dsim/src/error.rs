@@ -30,6 +30,31 @@ pub enum DsimError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// [`Simulator::schedule`](crate::sim::Simulator::schedule) asked for
+    /// a stimulus at a time the simulation has already passed.
+    SchedulePast {
+        /// The requested (past) time, femtoseconds.
+        at_fs: u64,
+        /// The current simulation time, femtoseconds.
+        now_fs: u64,
+    },
+    /// [`Simulator::run_until_budget`](crate::sim::Simulator::run_until_budget)
+    /// exhausted its watchdog event budget before reaching the target
+    /// time — the faulted circuit is (as far as the budget can tell)
+    /// hung in runaway activity.
+    EventBudgetExhausted {
+        /// The event budget that was exhausted.
+        budget: u64,
+        /// Simulation time when the budget ran out, femtoseconds.
+        at_fs: u64,
+    },
+    /// A by-index component access was out of range for the netlist.
+    UnknownComponent {
+        /// The requested component index.
+        index: usize,
+        /// Number of components in the netlist.
+        count: usize,
+    },
 }
 
 impl fmt::Display for DsimError {
@@ -40,6 +65,24 @@ impl fmt::Display for DsimError {
             }
             DsimError::UnknownSignal { name } => {
                 write!(f, "netlist has no signal named `{name}`")
+            }
+            DsimError::SchedulePast { at_fs, now_fs } => {
+                write!(
+                    f,
+                    "cannot schedule in the past: requested {at_fs} fs but simulation time is {now_fs} fs"
+                )
+            }
+            DsimError::EventBudgetExhausted { budget, at_fs } => {
+                write!(
+                    f,
+                    "event budget of {budget} exhausted at {at_fs} fs before reaching the target time"
+                )
+            }
+            DsimError::UnknownComponent { index, count } => {
+                write!(
+                    f,
+                    "netlist has no component with index {index} (component count is {count})"
+                )
             }
         }
     }

@@ -332,6 +332,57 @@ impl Netlist {
         &self.components
     }
 
+    /// The propagation delay of component `index` (`None` for a
+    /// [`Component::Clock`], which has no single delay).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsimError::UnknownComponent`](crate::error::DsimError::UnknownComponent) when `index` is out of
+    /// range.
+    pub fn component_delay(&self, index: usize) -> Result<Option<u64>, crate::error::DsimError> {
+        let comp = self
+            .components
+            .get(index)
+            .ok_or(crate::error::DsimError::UnknownComponent {
+                index,
+                count: self.components.len(),
+            })?;
+        Ok(match comp {
+            Component::Gate { delay_fs, .. }
+            | Component::Dff { delay_fs, .. }
+            | Component::Latch { delay_fs, .. } => Some(*delay_fs),
+            Component::Clock { .. } => None,
+        })
+    }
+
+    /// Overwrites the propagation delay of component `index` — the
+    /// delay-fault injection primitive (a clock source is left
+    /// untouched). Takes effect on the component's next evaluation in a
+    /// simulator built *after* the mutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsimError::UnknownComponent`](crate::error::DsimError::UnknownComponent) when `index` is out of
+    /// range.
+    pub fn set_component_delay(
+        &mut self,
+        index: usize,
+        delay_fs: u64,
+    ) -> Result<(), crate::error::DsimError> {
+        let count = self.components.len();
+        let comp = self
+            .components
+            .get_mut(index)
+            .ok_or(crate::error::DsimError::UnknownComponent { index, count })?;
+        match comp {
+            Component::Gate { delay_fs: d, .. }
+            | Component::Dff { delay_fs: d, .. }
+            | Component::Latch { delay_fs: d, .. } => *d = delay_fs,
+            Component::Clock { .. } => {}
+        }
+        Ok(())
+    }
+
     /// Builds, for each signal, the list of component indices that read
     /// it (fan-out table used by the simulator).
     pub(crate) fn fanout_table(&self) -> Vec<Vec<usize>> {

@@ -62,6 +62,9 @@ pub struct Simulator {
     /// Latest inertial event sequence number per signal (lazy
     /// cancellation).
     latest_inertial: Vec<u64>,
+    /// Per-signal override (Verilog `force` semantics): while set, the
+    /// signal is pinned and driver events on it are discarded.
+    forced: Vec<Option<Logic>>,
     queue: BinaryHeap<Reverse<Event>>,
     time_fs: u64,
     seq: u64,
@@ -84,6 +87,7 @@ impl Simulator {
             values,
             history: vec![(Logic::X, 0); n],
             latest_inertial: vec![0; n],
+            forced: vec![None; n],
             queue: BinaryHeap::new(),
             time_fs: 0,
             seq: 0,
@@ -239,18 +243,64 @@ impl Simulator {
     /// Schedules a testbench stimulus (transport semantics) at an
     /// absolute time.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `at_fs` is in the past.
-    pub fn schedule(&mut self, signal: SignalId, value: Logic, at_fs: u64) {
-        assert!(at_fs >= self.time_fs, "cannot schedule in the past");
+    /// Returns [`DsimError::SchedulePast`] if `at_fs` is earlier than
+    /// the current simulation time.
+    pub fn schedule(
+        &mut self,
+        signal: SignalId,
+        value: Logic,
+        at_fs: u64,
+    ) -> Result<(), DsimError> {
+        if at_fs < self.time_fs {
+            return Err(DsimError::SchedulePast {
+                at_fs,
+                now_fs: self.time_fs,
+            });
+        }
         self.push_event(at_fs, signal, value, false);
+        Ok(())
     }
 
     /// Drives a signal at the current time (takes effect when the
     /// simulation next advances).
     pub fn poke(&mut self, signal: SignalId, value: Logic) {
         self.push_event(self.time_fs, signal, value, false);
+    }
+
+    /// Pins `signal` to `value` (Verilog `force` semantics): the level
+    /// is applied when the simulation next advances and every later
+    /// driver event on the signal is discarded until
+    /// [`Simulator::release`]. This is the stuck-at fault-injection
+    /// primitive.
+    pub fn force(&mut self, signal: SignalId, value: Logic) {
+        self.forced[signal.index()] = Some(value);
+        self.push_event(self.time_fs, signal, value, false);
+    }
+
+    /// Removes a [`Simulator::force`] override and re-evaluates the
+    /// signal's driving gates so the circuit value reasserts itself.
+    pub fn release(&mut self, signal: SignalId) {
+        if self.forced[signal.index()].take().is_none() {
+            return;
+        }
+        for ci in 0..self.netlist.components().len() {
+            let drives = match &self.netlist.components()[ci] {
+                Component::Gate { output, .. } => *output == signal,
+                Component::Dff { q, .. } | Component::Latch { q, .. } => *q == signal,
+                Component::Clock { .. } => false,
+            };
+            if drives {
+                self.eval_component(ci, SignalId(usize::MAX));
+            }
+        }
+    }
+
+    /// The active [`Simulator::force`] override on `signal`, if any.
+    #[inline]
+    pub fn forced_value(&self, signal: SignalId) -> Option<Logic> {
+        self.forced[signal.index()]
     }
 
     /// The value a flip-flop samples on an edge at the current instant:
@@ -330,6 +380,13 @@ impl Simulator {
     fn apply_event(&mut self, ev: Event) {
         self.events_processed += 1;
         let idx = ev.signal.index();
+        // A forced signal ignores every driver that disagrees with the
+        // pinned level (the force event itself carries that level).
+        if let Some(pinned) = self.forced[idx] {
+            if ev.value != pinned {
+                return;
+            }
+        }
         let old = self.values[idx];
         if old == ev.value {
             return;
@@ -390,10 +447,41 @@ impl Simulator {
     ///
     /// Panics if `t_end_fs` is in the past.
     pub fn run_until(&mut self, t_end_fs: u64) {
+        // An effectively unlimited budget cannot exhaust.
+        let _ = self.run_until_budget(t_end_fs, u64::MAX);
+    }
+
+    /// Runs like [`Simulator::run_until`] but under a watchdog budget:
+    /// at most `max_events` events are applied before the run aborts.
+    /// Returns the number of events processed on success.
+    ///
+    /// This is the fault-campaign containment primitive — a faulted
+    /// circuit that oscillates pathologically (or was forced into
+    /// runaway feedback) terminates deterministically instead of
+    /// grinding to the target time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsimError::EventBudgetExhausted`] when `max_events`
+    /// events were applied with queue activity still pending at or
+    /// before `t_end_fs`. Simulation state remains valid and inspectable
+    /// at the abort time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_end_fs` is in the past.
+    pub fn run_until_budget(&mut self, t_end_fs: u64, max_events: u64) -> Result<u64, DsimError> {
         assert!(t_end_fs >= self.time_fs, "cannot run backwards");
+        let start = self.events_processed;
         while let Some(Reverse(ev)) = self.queue.peek().copied() {
             if ev.time > t_end_fs {
                 break;
+            }
+            if self.events_processed - start >= max_events {
+                return Err(DsimError::EventBudgetExhausted {
+                    budget: max_events,
+                    at_fs: self.time_fs,
+                });
             }
             self.queue.pop();
             // Lazy inertial cancellation: only the newest scheduled value
@@ -405,6 +493,7 @@ impl Simulator {
             self.apply_event(ev);
         }
         self.time_fs = t_end_fs;
+        Ok(self.events_processed - start)
     }
 
     /// Runs for a further `delta_fs` femtoseconds.
@@ -449,8 +538,8 @@ mod tests {
         let mut sim = Simulator::new(nl);
         sim.enable_trace();
         // 200 fs pulse, much narrower than the 1000 fs gate delay.
-        sim.schedule(a, Logic::One, 10_000);
-        sim.schedule(a, Logic::Zero, 10_200);
+        sim.schedule(a, Logic::One, 10_000).unwrap();
+        sim.schedule(a, Logic::Zero, 10_200).unwrap();
         sim.run_until(20_000);
         assert_eq!(sim.value(y), Logic::One, "glitch swallowed");
         let y_changes: Vec<_> = sim.changes().iter().filter(|c| c.signal == y).collect();
@@ -466,9 +555,9 @@ mod tests {
         let a = nl.signal_with_init("a", Logic::Zero);
         let mut sim = Simulator::new(nl);
         sim.enable_trace();
-        sim.schedule(a, Logic::One, 100);
-        sim.schedule(a, Logic::Zero, 200);
-        sim.schedule(a, Logic::One, 300);
+        sim.schedule(a, Logic::One, 100).unwrap();
+        sim.schedule(a, Logic::Zero, 200).unwrap();
+        sim.schedule(a, Logic::One, 300).unwrap();
         sim.run_until(1_000);
         let toggles = sim.changes().iter().filter(|c| c.signal == a).count();
         assert_eq!(toggles, 3, "every scheduled stimulus fires");
@@ -517,13 +606,13 @@ mod tests {
         let q = nl.signal("q");
         nl.dff(d, clk, None, q, 100);
         let mut sim = Simulator::new(nl);
-        sim.schedule(d, Logic::One, 1_000);
-        sim.schedule(clk, Logic::One, 1_000);
+        sim.schedule(d, Logic::One, 1_000).unwrap();
+        sim.schedule(clk, Logic::One, 1_000).unwrap();
         sim.run_until(2_000);
         assert_eq!(sim.value(q), Logic::Zero, "old d sampled");
         // Next edge sees the settled d = 1.
-        sim.schedule(clk, Logic::Zero, 3_000);
-        sim.schedule(clk, Logic::One, 4_000);
+        sim.schedule(clk, Logic::Zero, 3_000).unwrap();
+        sim.schedule(clk, Logic::One, 4_000).unwrap();
         sim.run_until(5_000);
         assert_eq!(sim.value(q), Logic::One);
     }
@@ -633,12 +722,80 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot schedule in the past")]
     fn past_scheduling_rejected() {
         let mut nl = Netlist::new();
         let a = nl.signal("a");
         let mut sim = Simulator::new(nl.clone());
         sim.run_until(1_000);
-        sim.schedule(a, Logic::One, 500);
+        let err = sim.schedule(a, Logic::One, 500).unwrap_err();
+        assert_eq!(
+            err,
+            DsimError::SchedulePast {
+                at_fs: 500,
+                now_fs: 1_000
+            }
+        );
+        assert!(err.to_string().contains("cannot schedule in the past"));
+        // Scheduling at exactly the current time is still allowed.
+        sim.schedule(a, Logic::One, 1_000).unwrap();
+    }
+
+    #[test]
+    fn force_pins_a_ring_node_and_release_restarts_it() {
+        let mut nl = Netlist::new();
+        let n0 = nl.signal_with_init("n0", Logic::Zero);
+        let n1 = nl.signal_with_init("n1", Logic::One);
+        let n2 = nl.signal_with_init("n2", Logic::Zero);
+        nl.gate(GateOp::Inv, &[n0], n1, 1_000);
+        nl.gate(GateOp::Inv, &[n1], n2, 1_000);
+        nl.gate(GateOp::Inv, &[n2], n0, 1_000);
+        let mut sim = Simulator::new(nl);
+        sim.count_edges(n0);
+        sim.run_until(100_000);
+        let free_edges = sim.edge_count(n0).unwrap();
+        assert!(free_edges > 10, "healthy ring oscillates: {free_edges}");
+        // Stuck-at-0 on n0 kills the oscillation.
+        sim.force(n0, Logic::Zero);
+        assert_eq!(sim.forced_value(n0), Some(Logic::Zero));
+        sim.run_until(150_000);
+        sim.reset_edge_count(n0).unwrap();
+        sim.run_until(250_000);
+        assert_eq!(sim.edge_count(n0).unwrap(), 0, "forced node cannot toggle");
+        assert_eq!(sim.value(n0), Logic::Zero);
+        // Release: the driving inverter re-evaluates and the ring restarts.
+        sim.release(n0);
+        assert_eq!(sim.forced_value(n0), None);
+        sim.run_until(350_000);
+        assert!(
+            sim.edge_count(n0).unwrap() > 10,
+            "ring restarts after release"
+        );
+    }
+    #[test]
+    fn event_budget_caps_a_runaway_ring() {
+        let mut nl = Netlist::new();
+        let n0 = nl.signal_with_init("n0", Logic::Zero);
+        let n1 = nl.signal_with_init("n1", Logic::One);
+        let n2 = nl.signal_with_init("n2", Logic::Zero);
+        nl.gate(GateOp::Inv, &[n0], n1, 1_000);
+        nl.gate(GateOp::Inv, &[n1], n2, 1_000);
+        nl.gate(GateOp::Inv, &[n2], n0, 1_000);
+        let mut sim = Simulator::new(nl);
+        let err = sim.run_until_budget(1_000_000_000, 500).unwrap_err();
+        match err {
+            DsimError::EventBudgetExhausted { budget, at_fs } => {
+                assert_eq!(budget, 500);
+                assert!(at_fs < 1_000_000_000, "aborted early at {at_fs} fs");
+            }
+            other => panic!("expected EventBudgetExhausted, got {other:?}"),
+        }
+        // A generous budget reaches the target time and reports the count.
+        let mut nl2 = Netlist::new();
+        let a = nl2.signal_with_init("a", Logic::Zero);
+        let b = nl2.signal("b");
+        nl2.gate(GateOp::Inv, &[a], b, 100);
+        let mut quiet = Simulator::new(nl2);
+        let n = quiet.run_until_budget(10_000, 1_000).unwrap();
+        assert!(n <= 2, "settlement only: {n}");
     }
 }

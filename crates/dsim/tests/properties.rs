@@ -132,8 +132,8 @@ proptest! {
         let mut sim = Simulator::new(nl);
         sim.enable_trace();
         let t0 = 50_000;
-        sim.schedule(a, Logic::One, t0);
-        sim.schedule(a, Logic::Zero, t0 + pulse_fs);
+        sim.schedule(a, Logic::One, t0).unwrap();
+        sim.schedule(a, Logic::Zero, t0 + pulse_fs).unwrap();
         sim.run_until(t0 + 10 * delay_fs);
         let y_changes = sim.changes().iter().filter(|c| c.signal == y).count();
         prop_assert_eq!(y_changes, 0, "pulse {} fs vs delay {} fs", pulse_fs, delay_fs);
@@ -190,8 +190,9 @@ fn edge_detector_counts_match_input_edges() {
     sim.count_edges(pulse);
     let mut t = 100 * GATE_DELAY_FS;
     for _ in 0..7 {
-        sim.schedule(a, Logic::One, t);
-        sim.schedule(a, Logic::Zero, t + 20 * GATE_DELAY_FS);
+        sim.schedule(a, Logic::One, t).unwrap();
+        sim.schedule(a, Logic::Zero, t + 20 * GATE_DELAY_FS)
+            .unwrap();
         t += 40 * GATE_DELAY_FS;
     }
     sim.run_until(t + 100 * GATE_DELAY_FS);

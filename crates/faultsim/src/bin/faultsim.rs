@@ -1,0 +1,122 @@
+//! `faultsim` — seeded fault-injection campaigns over the sensor stack.
+//!
+//! ```text
+//! faultsim [OPTIONS]
+//!
+//! --seed N       RNG seed for fault sampling (default: 42)
+//! --faults N     number of sampled faults; 0 enumerates the whole
+//!                universe once (default: 100)
+//! --junction T   nominal junction temperature, °C (default: 85)
+//! --tolerance T  silent-corruption tolerance, °C (default: 3)
+//! --spice        include transistor-level deck faults (slower)
+//! --check        fail (exit 1) on any hang/panic/silent corruption or
+//!                when fault coverage drops below 90 %
+//! --verbose      list every run, not just the alarming ones
+//! --json         machine-readable output
+//! --help         this text
+//! ```
+//!
+//! Exit status: 0 clean; 1 when `--check` fails; 2 on usage errors.
+
+use std::process::ExitCode;
+
+use faultsim::{render_json, render_text, run_campaign, CampaignConfig};
+
+const USAGE: &str = "usage: faultsim [--seed N] [--faults N] [--junction T] [--tolerance T] \
+                     [--spice] [--check] [--verbose] [--json]";
+
+/// The `--check` coverage floor.
+const COVERAGE_FLOOR: f64 = 0.9;
+
+struct Options {
+    config: CampaignConfig,
+    check: bool,
+    verbose: bool,
+    json: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        config: CampaignConfig::default(),
+        check: false,
+        verbose: false,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spice" => opts.config.with_spice = true,
+            "--check" => opts.check = true,
+            "--verbose" => opts.verbose = true,
+            "--json" => opts.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.config.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs a value")?;
+                opts.config.faults = v.parse().map_err(|_| format!("bad fault count `{v}`"))?;
+            }
+            "--junction" => {
+                let v = it.next().ok_or("--junction needs a value")?;
+                opts.config.junction_c = v.parse().map_err(|_| format!("bad temperature `{v}`"))?;
+            }
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a value")?;
+                let t: f64 = v.parse().map_err(|_| format!("bad tolerance `{v}`"))?;
+                if t <= 0.0 || t.is_nan() {
+                    return Err(format!("tolerance must be positive, got `{v}`"));
+                }
+                opts.config.tolerance_c = t;
+            }
+            flag => return Err(format!("unknown argument `{flag}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("faultsim: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = run_campaign(&opts.config);
+    if opts.json {
+        println!("{}", render_json(&result));
+    } else {
+        print!("{}", render_text(&result, opts.verbose));
+    }
+    if opts.check {
+        let clean = result.hung() == 0
+            && result.panics == 0
+            && result.silent() == 0
+            && result.coverage() >= COVERAGE_FLOOR;
+        if !clean {
+            if !opts.json {
+                eprintln!(
+                    "faultsim: check FAILED (hang {} panic {} silent {} coverage {:.1} % < {:.0} %)",
+                    result.hung(),
+                    result.panics,
+                    result.silent(),
+                    result.coverage() * 100.0,
+                    COVERAGE_FLOOR * 100.0,
+                );
+            }
+            return ExitCode::from(1);
+        }
+        if !opts.json {
+            println!("check PASSED");
+        }
+    }
+    ExitCode::SUCCESS
+}

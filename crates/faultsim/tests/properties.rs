@@ -1,0 +1,59 @@
+//! Property-based tests of the fault-injection campaign: for *any*
+//! single fault drawn from the reference universe, at *any* plausible
+//! operating point, the hardened stack must neither panic nor return an
+//! `Ok` reading that is silently wrong, and every watchdog must hold
+//! (no hangs on the reference stack).
+
+use proptest::prelude::*;
+
+use faultsim::{reference_universe, run_fault, CampaignConfig, Fault, Outcome};
+
+fn arb_fault() -> impl Strategy<Value = Fault> {
+    prop::sample::select(reference_universe(false))
+}
+
+proptest! {
+    #[test]
+    fn any_single_fault_is_classified_without_panic_or_silence(
+        fault in arb_fault(),
+        junction_decic in 300i64..1200, // 30.0 °C .. 120.0 °C in 0.1 °C steps
+    ) {
+        let config = CampaignConfig {
+            junction_c: junction_decic as f64 / 10.0,
+            ..CampaignConfig::default()
+        };
+        let (outcome, panicked) = run_fault(&fault, &config);
+        prop_assert!(!panicked, "{fault}: panicked");
+        prop_assert!(
+            !matches!(outcome, Outcome::SilentCorruption { .. }),
+            "{fault} at {} °C: silent corruption: {outcome:?}",
+            config.junction_c,
+        );
+        prop_assert!(
+            !matches!(outcome, Outcome::Hang { .. }),
+            "{fault} at {} °C: hang: {outcome:?}",
+            config.junction_c,
+        );
+        // Benign really means benign: the served error is inside the
+        // tolerance the campaign promised.
+        if let Outcome::Benign { error_c } = outcome {
+            prop_assert!(
+                error_c.abs() <= config.tolerance_c,
+                "{fault}: benign with {error_c} °C error",
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_campaigns_replay_exactly(seed in 0u64..1_000) {
+        let config = CampaignConfig {
+            seed,
+            faults: 5,
+            ..CampaignConfig::default()
+        };
+        let a = faultsim::run_campaign(&config);
+        let b = faultsim::run_campaign(&config);
+        prop_assert_eq!(a.runs, b.runs);
+        prop_assert_eq!(a.panics, 0);
+    }
+}

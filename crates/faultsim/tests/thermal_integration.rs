@@ -1,0 +1,68 @@
+//! Cross-crate integration: the degraded scan path driven by a *real*
+//! thermal field from the `thermal` RC grid, with a fault injected into
+//! one sensing site. The array must quarantine the broken ring and keep
+//! reporting the die temperature from the survivors.
+
+use faultsim::Fault;
+use sensor::health::HealthPolicy;
+use sensor::unit::{SensorConfig, SmartSensorUnit};
+use sensor::SensorArray;
+use thermal::{DieSpec, Floorplan, ThermalGrid};
+use tsense_core::gate::{Gate, GateKind};
+use tsense_core::ring::RingOscillator;
+use tsense_core::tech::Technology;
+use tsense_core::units::{Celsius, TempRange};
+
+fn calibrated_unit() -> SmartSensorUnit {
+    let tech = Technology::um350();
+    let gate = Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap();
+    let ring = RingOscillator::uniform(gate, 5).unwrap();
+    let mut unit = SmartSensorUnit::new(SensorConfig::new(ring, tech)).unwrap();
+    unit.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+        .unwrap();
+    unit
+}
+
+#[test]
+fn dead_ring_over_a_solved_thermal_grid_is_quarantined() {
+    // A 1 cm² die with a mild central hotspot, solved to steady state.
+    let mut grid = ThermalGrid::new(DieSpec::default_1cm2(16, 16)).unwrap();
+    Floorplan::new()
+        .block("core", 0.004, 0.004, 0.002, 0.002, 0.5)
+        .apply(&mut grid)
+        .unwrap();
+    grid.solve_steady(1e-8, 20_000).unwrap();
+
+    // Three sensing sites clustered near the die centre (so the spatial
+    // gradient between them stays inside the neighbor tolerance).
+    let mut array = SensorArray::new()
+        .with_site("s0", 0.0045, 0.005, calibrated_unit())
+        .with_site("s1", 0.0050, 0.005, calibrated_unit())
+        .with_site("s2", 0.0055, 0.005, calibrated_unit());
+    let policy = HealthPolicy::for_unit(&array.sites()[1].unit, TempRange::paper(), 0.25).unwrap();
+
+    // Healthy baseline over the real field.
+    let field = |x: f64, y: f64| grid.temp_at(x, y).unwrap();
+    let healthy = array.scan_degraded(&field, &policy).unwrap();
+    assert!(!healthy.is_degraded());
+    let truth = grid.temp_at(0.005, 0.005).unwrap();
+    assert!(
+        (healthy.value - truth).abs() < 2.0,
+        "healthy scan {} vs grid {truth}",
+        healthy.value
+    );
+
+    // Kill the centre ring; the scan must quarantine it and keep
+    // serving the die temperature from the survivors.
+    Fault::DeadRing.inject_unit(&mut array.sites_mut()[1].unit);
+    let degraded = array.scan_degraded(&field, &policy).unwrap();
+    assert!(degraded.is_degraded());
+    assert_eq!(degraded.quarantined.len(), 1);
+    assert_eq!(degraded.quarantined[0].0, "s1");
+    assert!(
+        (degraded.value - truth).abs() < 2.0,
+        "degraded scan {} vs grid {truth}",
+        degraded.value
+    );
+    assert!(degraded.confidence < 1.0);
+}

@@ -35,6 +35,7 @@ pub mod library_rules;
 pub mod netlist_rules;
 pub mod pass;
 pub mod preflight;
+pub mod resilience_rules;
 pub mod timing_rules;
 
 pub use config_rules::{check_calibration_anchors, check_sensor_config, PAPER_STAGE_COUNTS};
@@ -46,4 +47,5 @@ pub use library_rules::{
 pub use netlist_rules::{check_netlist, check_netlist_with, NetlistCheckOptions};
 pub use pass::{rule_info, run_passes, Pass, RuleInfo, RULES};
 pub use preflight::PreflightError;
+pub use resilience_rules::{check_array_resilience, ArrayUnderPolicy};
 pub use timing_rules::{check_netlist_timing, check_netlist_timing_with, TimingPass};

@@ -137,6 +137,21 @@ pub const RULES: &[RuleInfo] = &[
         severity: Severity::Error,
         summary: "STA-predicted timing contradicts the declared clock period",
     },
+    RuleInfo {
+        id: "NC0601",
+        severity: Severity::Warning,
+        summary: "array too small for neighbor-vote health monitoring (fewer than 3 sites)",
+    },
+    RuleInfo {
+        id: "NC0602",
+        severity: Severity::Error,
+        summary: "array site is uncalibrated and will fail at scan time",
+    },
+    RuleInfo {
+        id: "NC0603",
+        severity: Severity::Warning,
+        summary: "health-policy period band does not bracket a ring's healthy span",
+    },
 ];
 
 /// Looks up a rule by ID.

@@ -8,10 +8,13 @@
 //! shared digitizer would) and produces a measured map that can be
 //! compared against a [`thermal::ThermalGrid`] ground truth.
 
+use std::collections::BTreeMap;
+
 use thermal::ThermalGrid;
 use tsense_core::units::{Celsius, Seconds};
 
 use crate::error::{Result, SensorError};
+use crate::health::{median, HealthPolicy, HealthStatus};
 use crate::unit::SmartSensorUnit;
 
 /// One sensor site on the die.
@@ -92,11 +95,40 @@ impl ThermalMap {
     }
 }
 
+/// A quarantine-aware reading assembled from the surviving rings of a
+/// degraded scan: the typed alternative to silently wrong data when
+/// part of the array is broken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedReading {
+    /// Median temperature over the surviving sites, °C.
+    pub value: f64,
+    /// Fraction of the array still serving (`survivors / total`), in
+    /// `(0, 1]`. A confidence of 1.0 means nothing was quarantined.
+    pub confidence: f64,
+    /// Names of the quarantined sites, with the verdict that benched
+    /// each of them (scan order, persists across scans).
+    pub quarantined: Vec<(String, HealthStatus)>,
+    /// The surviving measured points, in scan order.
+    pub points: Vec<MapPoint>,
+}
+
+impl DegradedReading {
+    /// `true` when at least one site was quarantined — callers use this
+    /// as the degradation alarm.
+    #[inline]
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+}
+
 /// A multiplexed array of smart sensors.
 #[derive(Debug, Clone, Default)]
 pub struct SensorArray {
     sites: Vec<SensorSite>,
     selected: usize,
+    /// Sites benched by health monitoring: index → verdict. Persists
+    /// across scans until [`SensorArray::clear_quarantine`].
+    quarantine: BTreeMap<usize, HealthStatus>,
 }
 
 impl SensorArray {
@@ -133,6 +165,12 @@ impl SensorArray {
     #[inline]
     pub fn sites(&self) -> &[SensorSite] {
         &self.sites
+    }
+
+    /// Mutable access to the sites (fault injection, recalibration).
+    #[inline]
+    pub fn sites_mut(&mut self) -> &mut [SensorSite] {
+        &mut self.sites
     }
 
     /// Selects a multiplexer channel.
@@ -214,6 +252,126 @@ impl SensorArray {
             });
         }
         Ok(ThermalMap { points, scan_time })
+    }
+
+    /// The quarantined sites: `(index, verdict)` pairs in index order.
+    pub fn quarantined(&self) -> Vec<(usize, HealthStatus)> {
+        self.quarantine
+            .iter()
+            .map(|(i, s)| (*i, s.clone()))
+            .collect()
+    }
+
+    /// Lifts every quarantine (e.g. after a repair or to re-test).
+    pub fn clear_quarantine(&mut self) {
+        self.quarantine.clear();
+    }
+
+    /// Scans with per-ring health monitoring and graceful degradation:
+    /// every non-quarantined site is measured; sites whose measurement
+    /// fails, whose ring period leaves the policy's plausible band, or
+    /// whose reading is an outlier against the survivors' median are
+    /// quarantined (persistently — later scans skip them), and the
+    /// reading is served from the survivors.
+    ///
+    /// The returned [`DegradedReading`] carries the survivors' median as
+    /// `value`, the surviving fraction as `confidence`, and the benched
+    /// sites with their verdicts — so a thermal-test flow can both keep
+    /// operating and see exactly what broke.
+    ///
+    /// # Errors
+    ///
+    /// [`SensorError::BadChannel`] for an empty array;
+    /// [`SensorError::NoHealthyRings`] when quarantine leaves no
+    /// survivor.
+    pub fn scan_degraded(
+        &mut self,
+        field: &dyn Fn(f64, f64) -> f64,
+        policy: &HealthPolicy,
+    ) -> Result<DegradedReading> {
+        if self.sites.is_empty() {
+            return Err(SensorError::BadChannel {
+                channel: 0,
+                available: 0,
+            });
+        }
+        // Pass 1: measure every active site; bench activity and period
+        // failures immediately.
+        let mut survivors: Vec<(usize, MapPoint)> = Vec::new();
+        for ch in 0..self.sites.len() {
+            if self.quarantine.contains_key(&ch) {
+                continue;
+            }
+            self.select(ch)?;
+            let site = &mut self.sites[ch];
+            let true_c = field(site.x_m, site.y_m);
+            match site.unit.measure(Celsius::new(true_c)) {
+                Err(e) => {
+                    self.quarantine.insert(
+                        ch,
+                        HealthStatus::NoActivity {
+                            cause: e.to_string(),
+                        },
+                    );
+                }
+                Ok(m) => {
+                    let period_s = m.ring_period.get();
+                    if !policy.period_plausible(period_s) {
+                        self.quarantine
+                            .insert(ch, HealthStatus::PeriodOutOfBand { period_s });
+                    } else {
+                        survivors.push((
+                            ch,
+                            MapPoint {
+                                name: site.name.clone(),
+                                x_m: site.x_m,
+                                y_m: site.y_m,
+                                true_c,
+                                measured_c: m.temperature.get(),
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        // Pass 2: bench outliers against the median of what's left.
+        // One round suffices for single-fault scenarios (the campaign's
+        // model); a majority-faulty array degenerates to NoHealthyRings
+        // on later scans as disagreement persists.
+        if !survivors.is_empty() {
+            let readings: Vec<f64> = survivors.iter().map(|(_, p)| p.measured_c).collect();
+            let med = median(&readings);
+            let (outliers, kept): (Vec<_>, Vec<_>) = survivors
+                .into_iter()
+                .partition(|(_, p)| (p.measured_c - med).abs() > policy.neighbor_tolerance_c);
+            for (ch, p) in outliers {
+                self.quarantine.insert(
+                    ch,
+                    HealthStatus::Outlier {
+                        deviation_c: p.measured_c - med,
+                    },
+                );
+            }
+            survivors = kept;
+        }
+        if survivors.is_empty() {
+            return Err(SensorError::NoHealthyRings {
+                total: self.sites.len(),
+                quarantined: self.quarantine.len(),
+            });
+        }
+        let points: Vec<MapPoint> = survivors.into_iter().map(|(_, p)| p).collect();
+        let readings: Vec<f64> = points.iter().map(|p| p.measured_c).collect();
+        Ok(DegradedReading {
+            value: median(&readings),
+            confidence: points.len() as f64 / self.sites.len() as f64,
+            quarantined: self
+                .quarantine
+                .iter()
+                .map(|(i, s)| (self.sites[*i].name.clone(), s.clone()))
+                .collect(),
+            points,
+        })
     }
 
     /// Scans against a solved [`ThermalGrid`] as the ground-truth field.
@@ -330,6 +488,81 @@ mod tests {
             a.scan(&|_, _| 25.0),
             Err(SensorError::BadChannel { .. })
         ));
+    }
+
+    #[test]
+    fn degraded_scan_quarantines_dead_ring_and_serves_survivors() {
+        use crate::health::{HealthPolicy, HealthStatus};
+        use crate::unit::RingFault;
+        let mut a = grid_array();
+        a.sites_mut()[4].unit.inject_fault(RingFault::Dead);
+        let policy = HealthPolicy::default();
+        let r = a.scan_degraded(&|_, _| 85.0, &policy).unwrap();
+        assert!(r.is_degraded());
+        assert_eq!(r.quarantined.len(), 1);
+        assert_eq!(r.quarantined[0].0, "s11");
+        assert!(matches!(
+            r.quarantined[0].1,
+            HealthStatus::NoActivity { .. }
+        ));
+        assert_eq!(r.points.len(), 8);
+        assert!((r.value - 85.0).abs() < 2.0, "served value {}", r.value);
+        assert!((r.confidence - 8.0 / 9.0).abs() < 1e-12);
+        // Quarantine persists: the next scan skips the dead site.
+        let r2 = a.scan_degraded(&|_, _| 40.0, &policy).unwrap();
+        assert_eq!(r2.points.len(), 8);
+        assert!((r2.value - 40.0).abs() < 2.0);
+        assert_eq!(a.quarantined().len(), 1);
+        a.clear_quarantine();
+        assert!(a.quarantined().is_empty());
+    }
+
+    #[test]
+    fn degraded_scan_benches_outlier_by_neighbor_vote() {
+        use crate::health::{HealthPolicy, HealthStatus};
+        use crate::unit::RingFault;
+        let mut a = grid_array();
+        // A high counter bit flip keeps the period plausible but bends
+        // the reading by ~0.13 °C/LSB · 2¹⁰ ≈ 130 °C.
+        a.sites_mut()[2]
+            .unit
+            .inject_fault(RingFault::CounterBitFlip { bit: 10 });
+        let r = a
+            .scan_degraded(&|_, _| 85.0, &HealthPolicy::default())
+            .unwrap();
+        assert_eq!(r.quarantined.len(), 1);
+        assert_eq!(r.quarantined[0].0, "s20");
+        assert!(matches!(r.quarantined[0].1, HealthStatus::Outlier { .. }));
+        assert!((r.value - 85.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn all_rings_dead_is_a_typed_error() {
+        use crate::health::HealthPolicy;
+        use crate::unit::RingFault;
+        let mut a = grid_array();
+        for s in a.sites_mut() {
+            s.unit.inject_fault(RingFault::Dead);
+        }
+        assert!(matches!(
+            a.scan_degraded(&|_, _| 85.0, &HealthPolicy::default()),
+            Err(SensorError::NoHealthyRings {
+                total: 9,
+                quarantined: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn healthy_array_scan_is_not_degraded() {
+        use crate::health::HealthPolicy;
+        let mut a = grid_array();
+        let r = a
+            .scan_degraded(&|_, _| 60.0, &HealthPolicy::default())
+            .unwrap();
+        assert!(!r.is_degraded());
+        assert_eq!(r.confidence, 1.0);
+        assert_eq!(r.points.len(), 9);
     }
 
     #[test]

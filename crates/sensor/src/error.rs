@@ -30,6 +30,23 @@ pub enum SensorError {
         /// Number of channels present.
         available: usize,
     },
+    /// The conversion window never closed — the sensing ring shows no
+    /// activity (dead or stuck oscillator).
+    ConversionTimeout,
+    /// Repeated digitizer captures kept disagreeing (metastable capture
+    /// path) even after the bounded retry budget.
+    CaptureUnstable {
+        /// Double-capture attempts made before giving up.
+        attempts: u32,
+    },
+    /// Every ring of an array is quarantined — no surviving channel can
+    /// serve a degraded reading.
+    NoHealthyRings {
+        /// Total number of sites in the array.
+        total: usize,
+        /// How many of them are quarantined.
+        quarantined: usize,
+    },
 }
 
 impl fmt::Display for SensorError {
@@ -43,6 +60,21 @@ impl fmt::Display for SensorError {
             SensorError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             SensorError::BadChannel { channel, available } => {
                 write!(f, "channel {channel} out of range (array has {available})")
+            }
+            SensorError::ConversionTimeout => {
+                write!(f, "conversion window never closed: ring shows no activity")
+            }
+            SensorError::CaptureUnstable { attempts } => {
+                write!(
+                    f,
+                    "digitizer captures kept disagreeing after {attempts} double-capture attempts"
+                )
+            }
+            SensorError::NoHealthyRings { total, quarantined } => {
+                write!(
+                    f,
+                    "no healthy rings: {quarantined} of {total} sites quarantined"
+                )
             }
         }
     }

@@ -1,0 +1,191 @@
+//! Per-ring health monitoring for graceful degradation.
+//!
+//! A thermal-test sensor that is itself broken must not poison the
+//! thermal map silently. This module gives the array layer a
+//! [`HealthPolicy`] — what a plausible ring looks like — and a
+//! [`HealthStatus`] verdict per site, so
+//! [`SensorArray::scan_degraded`](crate::array::SensorArray::scan_degraded)
+//! can quarantine sick rings and keep serving readings from the
+//! survivors.
+//!
+//! Three independent checks compose the monitor:
+//!
+//! 1. **Activity** — a site whose measurement fails outright (dead ring
+//!    timeout, unstable captures, model blow-up) is quarantined with
+//!    the typed cause preserved.
+//! 2. **Plausible period band** — the measured ring period must fall in
+//!    `[min, max]` seconds. The band is derived from the healthy ring
+//!    model across the qualification temperature range, widened by a
+//!    guard margin, so any gross delay fault or stuck period lands
+//!    outside it at every temperature.
+//! 3. **Neighbor agreement** — surviving readings are compared against
+//!    their median; an outlier beyond `neighbor_tolerance_c` is
+//!    quarantined. This catches faults that keep the period plausible
+//!    but bend the reading (high counter bit flips, moderate delay
+//!    faults).
+
+use tsense_core::units::TempRange;
+
+use crate::error::Result;
+use crate::unit::SmartSensorUnit;
+
+/// What a healthy ring is allowed to look like, and how far a reading
+/// may stray from its neighbors before quarantine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthPolicy {
+    /// Smallest plausible ring period, seconds.
+    pub period_min_s: f64,
+    /// Largest plausible ring period, seconds.
+    pub period_max_s: f64,
+    /// Quarantine threshold on |reading − median of survivors|, °C.
+    /// Must exceed the expected spatial gradient across the die plus
+    /// the per-site accuracy; the default (3 °C) suits the paper's
+    /// ±1.3 °C units on a near-uniform field.
+    pub neighbor_tolerance_c: f64,
+}
+
+impl Default for HealthPolicy {
+    /// A broad band covering every shipped ring preset (tens of ps to
+    /// a few ns) with a 3 °C neighbor tolerance.
+    fn default() -> Self {
+        HealthPolicy {
+            period_min_s: 20e-12,
+            period_max_s: 5e-9,
+            neighbor_tolerance_c: 3.0,
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// Derives the plausible period band from a unit's own healthy ring
+    /// model: the period span over `range`, widened by `margin`
+    /// (e.g. `0.25` for ±25 %).
+    ///
+    /// # Errors
+    ///
+    /// Propagates ring-model evaluation failures at the range ends.
+    pub fn for_unit(unit: &SmartSensorUnit, range: TempRange, margin: f64) -> Result<Self> {
+        let cfg = unit.config();
+        let p_lo = cfg.ring.period(&cfg.tech, range.low())?.get();
+        let p_hi = cfg.ring.period(&cfg.tech, range.high())?.get();
+        let (min, max) = if p_lo <= p_hi {
+            (p_lo, p_hi)
+        } else {
+            (p_hi, p_lo)
+        };
+        Ok(HealthPolicy {
+            period_min_s: min * (1.0 - margin),
+            period_max_s: max * (1.0 + margin),
+            neighbor_tolerance_c: HealthPolicy::default().neighbor_tolerance_c,
+        })
+    }
+
+    /// `true` when a measured ring period sits inside the plausible
+    /// band.
+    #[inline]
+    pub fn period_plausible(&self, period_s: f64) -> bool {
+        period_s >= self.period_min_s && period_s <= self.period_max_s
+    }
+}
+
+/// The monitor's verdict on one site during a degraded scan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthStatus {
+    /// The site measured successfully and agrees with its neighbors.
+    Healthy,
+    /// The measurement itself failed; the typed cause is preserved as a
+    /// rendered message (errors are not `Copy` across the report).
+    NoActivity {
+        /// Display form of the underlying [`crate::SensorError`].
+        cause: String,
+    },
+    /// The ring oscillates, but at an implausible period.
+    PeriodOutOfBand {
+        /// The measured period, seconds.
+        period_s: f64,
+    },
+    /// The reading disagrees with the median of the surviving sites.
+    Outlier {
+        /// Signed deviation from the survivors' median, °C.
+        deviation_c: f64,
+    },
+}
+
+impl HealthStatus {
+    /// `true` for every non-[`HealthStatus::Healthy`] verdict.
+    #[inline]
+    pub fn is_faulty(&self) -> bool {
+        !matches!(self, HealthStatus::Healthy)
+    }
+}
+
+/// Median of a non-empty slice (average of the middle pair for even
+/// lengths). Values need not be sorted.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of an empty slice");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite readings"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::{SensorConfig, SmartSensorUnit};
+    use tsense_core::gate::{Gate, GateKind};
+    use tsense_core::ring::RingOscillator;
+    use tsense_core::tech::Technology;
+    use tsense_core::units::Celsius;
+
+    fn unit() -> SmartSensorUnit {
+        let tech = Technology::um350();
+        let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(), 5)
+            .unwrap();
+        SmartSensorUnit::new(SensorConfig::new(ring, tech)).unwrap()
+    }
+
+    #[test]
+    fn derived_band_brackets_the_healthy_span() {
+        let u = unit();
+        let policy = HealthPolicy::for_unit(&u, TempRange::paper(), 0.25).unwrap();
+        for t in TempRange::paper().samples(11) {
+            let p = u.config().ring.period(&u.config().tech, t).unwrap().get();
+            assert!(
+                policy.period_plausible(p),
+                "healthy period {p} s outside band [{}, {}]",
+                policy.period_min_s,
+                policy.period_max_s
+            );
+        }
+        // A 4× delay fault at the hot end escapes the band.
+        let hot = u
+            .config()
+            .ring
+            .period(&u.config().tech, Celsius::new(150.0))
+            .unwrap()
+            .get();
+        assert!(!policy.period_plausible(hot * 4.0));
+        assert!(!policy.period_plausible(0.0));
+    }
+
+    #[test]
+    fn median_odd_even_and_status_predicates() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(!HealthStatus::Healthy.is_faulty());
+        assert!(HealthStatus::Outlier { deviation_c: 9.0 }.is_faulty());
+        assert!(HealthStatus::NoActivity {
+            cause: "dead".into()
+        }
+        .is_faulty());
+    }
+}

@@ -21,7 +21,10 @@
 //!   settle/measure timers, oscillator gating, busy/done handshake and
 //!   the digitizer in a single netlist;
 //! * [`mod@array`] — multiplexed sensor arrays scanned against a
-//!   [`thermal`] ground-truth die temperature field;
+//!   [`thermal`] ground-truth die temperature field, with a
+//!   quarantine-aware degraded scan mode;
+//! * [`health`] — per-ring health policy and verdicts backing the
+//!   degraded scan (plausible period band, neighbor agreement);
 //! * [`stapath`] — transfer-function evaluation and cell-mix search on
 //!   the static timing graph, bypassing transient simulation.
 
@@ -38,6 +41,7 @@ pub mod digitizer;
 pub mod error;
 pub mod fsm;
 pub mod gateunit;
+pub mod health;
 pub mod muxscan;
 pub mod noise;
 pub mod selfheat;
@@ -45,12 +49,13 @@ pub mod stapath;
 pub mod unit;
 
 pub use alarm::{AlarmEvent, ThermalAlarm, ThermalWatchdog};
-pub use array::{MapPoint, SensorArray, SensorSite, ThermalMap};
+pub use array::{DegradedReading, MapPoint, SensorArray, SensorSite, ThermalMap};
 pub use digitizer::{BehavioralDigitizer, GateLevelDigitizer, GateLevelResult};
 pub use error::{Result, SensorError};
 pub use fsm::{MeasureFsm, Outputs, State};
 pub use gateunit::{GateLevelUnit, GateUnitResult};
+pub use health::{HealthPolicy, HealthStatus};
 pub use muxscan::{ChannelReading, GateLevelMuxScan};
 pub use noise::JitterModel;
 pub use stapath::{StaConfigPoint, StaFastPath};
-pub use unit::{CodeCalibration, Measurement, SensorConfig, SmartSensorUnit};
+pub use unit::{CodeCalibration, Measurement, RingFault, SensorConfig, SmartSensorUnit};

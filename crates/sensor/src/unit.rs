@@ -44,6 +44,11 @@ pub struct SensorConfig {
     pub window_cycles: u32,
     /// Settling time before the window opens, in ring cycles.
     pub settle_cycles: u32,
+    /// Double-capture retry budget for metastable digitizer reads: a
+    /// code is accepted only when two back-to-back captures agree, and
+    /// up to this many disagreeing pairs are retried before the unit
+    /// reports [`SensorError::CaptureUnstable`].
+    pub capture_retries: u32,
 }
 
 impl SensorConfig {
@@ -56,6 +61,7 @@ impl SensorConfig {
             ref_clock: Hertz::from_mega(100.0),
             window_cycles: 1 << 16,
             settle_cycles: 64,
+            capture_retries: 3,
         }
     }
 
@@ -72,6 +78,55 @@ impl SensorConfig {
         self.window_cycles = cycles;
         self
     }
+
+    /// Overrides the double-capture retry budget.
+    #[must_use]
+    pub fn with_capture_retries(mut self, retries: u32) -> Self {
+        self.capture_retries = retries;
+        self
+    }
+}
+
+/// A defect injected into a unit's sensing path — the fault-simulation
+/// hooks that the `faultsim` campaign engine drives. At most one fault
+/// is active per unit at a time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RingFault {
+    /// The ring never oscillates (stuck node, broken feedback): the
+    /// conversion window never closes.
+    Dead,
+    /// The period is pinned to an absolute value, insensitive to
+    /// temperature (e.g. a latched even-parity loop capturing a clock
+    /// coupling).
+    StuckPeriod {
+        /// The pinned period, seconds.
+        period_s: f64,
+    },
+    /// A delay fault scales the whole ring period by this factor
+    /// (> 1: resistive open slowing a stage; < 1: bridging speedup).
+    DelayScale {
+        /// Multiplier on the healthy period.
+        factor: f64,
+    },
+    /// One bit of the digitizer count is stuck-flipped.
+    CounterBitFlip {
+        /// The flipped bit position.
+        bit: u8,
+    },
+    /// The next `captures` digitizer captures are metastable and read
+    /// back corrupted (each corruption differs, so double-capture
+    /// compare catches them).
+    Metastable {
+        /// How many captures are corrupted before the flip-flop output
+        /// settles again.
+        captures: u32,
+    },
+    /// The local supply rail sags by `delta_v` volts, shifting the ring
+    /// period through the supply cross-sensitivity.
+    SupplyDroop {
+        /// Supply droop magnitude, volts (positive = sagging rail).
+        delta_v: f64,
+    },
 }
 
 /// Linear code-to-temperature calibration (`T = offset + gain·code`).
@@ -132,6 +187,10 @@ pub struct SmartSensorUnit {
     calibration: Option<CodeCalibration>,
     measurements: u64,
     total_osc_on: Seconds,
+    fault: Option<RingFault>,
+    /// Remaining corrupted captures of an active
+    /// [`RingFault::Metastable`].
+    metastable_left: u32,
 }
 
 impl SmartSensorUnit {
@@ -151,6 +210,8 @@ impl SmartSensorUnit {
             calibration: None,
             measurements: 0,
             total_osc_on: Seconds::new(0.0),
+            fault: None,
+            metastable_left: 0,
         })
     }
 
@@ -186,15 +247,101 @@ impl SmartSensorUnit {
         self.calibration
     }
 
+    /// Injects a defect into the sensing path (replacing any active
+    /// one). Injection does not disturb the stored calibration — the
+    /// fault strikes a previously healthy, calibrated unit, which is the
+    /// field-failure scenario the campaign engine exercises.
+    pub fn inject_fault(&mut self, fault: RingFault) {
+        self.metastable_left = match fault {
+            RingFault::Metastable { captures } => captures,
+            _ => 0,
+        };
+        self.fault = Some(fault);
+    }
+
+    /// Removes the active fault, if any.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+        self.metastable_left = 0;
+    }
+
+    /// The active injected fault, if any.
+    #[inline]
+    pub fn active_fault(&self) -> Option<RingFault> {
+        self.fault
+    }
+
+    /// The ring period as the (possibly faulted) silicon actually
+    /// produces it. `Err(ConversionTimeout)` models a dead ring: no
+    /// edges, the window never closes.
+    fn effective_period(&self, junction: Celsius) -> Result<Seconds> {
+        match self.fault {
+            Some(RingFault::Dead) => Err(SensorError::ConversionTimeout),
+            Some(RingFault::StuckPeriod { period_s }) => Ok(Seconds::new(period_s)),
+            Some(RingFault::DelayScale { factor }) => {
+                let p = self.config.ring.period(&self.config.tech, junction)?;
+                Ok(Seconds::new(p.get() * factor))
+            }
+            Some(RingFault::SupplyDroop { delta_v }) => {
+                // Evaluate the ring on the sagged rail; a droop below
+                // the device thresholds surfaces as a model error.
+                let mut sagged = self.config.tech.clone();
+                sagged.vdd = tsense_core::units::Volts::new(sagged.vdd.get() - delta_v);
+                Ok(self.config.ring.period(&sagged, junction)?)
+            }
+            Some(RingFault::CounterBitFlip { .. }) | Some(RingFault::Metastable { .. }) | None => {
+                Ok(self.config.ring.period(&self.config.tech, junction)?)
+            }
+        }
+    }
+
+    /// One digitizer capture, through the fault model.
+    fn capture_once(&mut self, period: Seconds) -> u64 {
+        let mut code = self.digitizer.convert(period);
+        if let Some(RingFault::CounterBitFlip { bit }) = self.fault {
+            code ^= 1u64 << u32::from(bit);
+        }
+        if self.metastable_left > 0 {
+            // Each metastable capture resolves to a different wrong
+            // value (bit position keyed to the remaining count), so two
+            // back-to-back corrupted captures can never agree.
+            code ^= 1u64 << (self.metastable_left % 16);
+            self.metastable_left -= 1;
+        }
+        code
+    }
+
+    /// Captures a code with double-capture compare and bounded retry:
+    /// the degradation primitive against metastable captures.
+    fn capture_code(&mut self, period: Seconds) -> Result<u64> {
+        let mut attempts = 0u32;
+        loop {
+            let a = self.capture_once(period);
+            let b = self.capture_once(period);
+            attempts += 1;
+            if a == b {
+                return Ok(a);
+            }
+            if attempts > self.config.capture_retries {
+                return Err(SensorError::CaptureUnstable { attempts });
+            }
+        }
+    }
+
     /// Raw digitizer code at a junction temperature (no calibration
     /// needed — this is what the tester reads during calibration).
     ///
     /// # Errors
     ///
-    /// Propagates ring-model failures.
+    /// Propagates ring-model failures; a faulted unit reports its
+    /// defect ([`SensorError::ConversionTimeout`] for a dead ring).
     pub fn raw_code(&self, junction: Celsius) -> Result<u64> {
-        let period = self.config.ring.period(&self.config.tech, junction)?;
-        Ok(self.digitizer.convert(period))
+        let period = self.effective_period(junction)?;
+        let mut code = self.digitizer.convert(period);
+        if let Some(RingFault::CounterBitFlip { bit }) = self.fault {
+            code ^= 1u64 << u32::from(bit);
+        }
+        Ok(code)
     }
 
     /// Two-point calibration: simulate tester measurements at two known
@@ -224,10 +371,13 @@ impl SmartSensorUnit {
     /// # Errors
     ///
     /// Returns [`SensorError::NotReady`] when no calibration is
-    /// installed, or propagates model failures.
+    /// installed; [`SensorError::ConversionTimeout`] when the (faulted)
+    /// ring shows no activity; [`SensorError::CaptureUnstable`] when
+    /// metastable captures outlast the retry budget; or propagates
+    /// model failures.
     pub fn measure(&mut self, junction: Celsius) -> Result<Measurement> {
         let cal = self.calibration.ok_or(SensorError::NotReady)?;
-        let period = self.config.ring.period(&self.config.tech, junction)?;
+        let period = self.effective_period(junction)?;
         let period_fs = (period.get() * 1e15).round().max(1.0) as u64;
         let settle_fs = self.config.settle_cycles as u64 * period_fs;
         let window_fs = self.config.window_cycles as u64 * period_fs;
@@ -238,7 +388,7 @@ impl SmartSensorUnit {
         fsm.tick(settle_fs + window_fs);
         debug_assert!(fsm.outputs().data_valid && !fsm.outputs().osc_enable);
 
-        let code = self.digitizer.convert(period);
+        let code = self.capture_code(period)?;
         let conversion_time = Seconds::new((settle_fs + window_fs) as f64 * 1e-15);
         self.measurements += 1;
         self.total_osc_on = self.total_osc_on + conversion_time;
@@ -370,6 +520,90 @@ mod tests {
         assert!((cal.decode(200).get() - 50.0).abs() < 1e-9);
         assert!((cal.gain - 0.5).abs() < 1e-12);
         assert!(CodeCalibration::fit(5, Celsius::new(0.0), 5, Celsius::new(10.0)).is_err());
+    }
+
+    #[test]
+    fn dead_ring_times_out_instead_of_reading_zero() {
+        let mut u = unit();
+        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+            .unwrap();
+        u.inject_fault(RingFault::Dead);
+        assert!(matches!(
+            u.measure(Celsius::new(85.0)),
+            Err(SensorError::ConversionTimeout)
+        ));
+        u.clear_fault();
+        assert!(u.active_fault().is_none());
+        assert!(u.measure(Celsius::new(85.0)).is_ok(), "recovers on clear");
+    }
+
+    #[test]
+    fn brief_metastability_is_ridden_out_by_retry() {
+        let mut u = unit();
+        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+            .unwrap();
+        let healthy = u.measure(Celsius::new(60.0)).unwrap().code;
+        u.inject_fault(RingFault::Metastable { captures: 3 });
+        let m = u.measure(Celsius::new(60.0)).unwrap();
+        assert_eq!(m.code, healthy, "retry converged on the clean code");
+    }
+
+    #[test]
+    fn persistent_metastability_reports_unstable() {
+        let mut u = unit();
+        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+            .unwrap();
+        u.inject_fault(RingFault::Metastable { captures: 1_000 });
+        assert!(matches!(
+            u.measure(Celsius::new(60.0)),
+            Err(SensorError::CaptureUnstable { .. })
+        ));
+    }
+
+    #[test]
+    fn delay_and_bitflip_faults_shift_the_reading() {
+        let mut u = unit();
+        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+            .unwrap();
+        let healthy = u.measure(Celsius::new(60.0)).unwrap();
+        u.inject_fault(RingFault::DelayScale { factor: 1.5 });
+        let slow = u.measure(Celsius::new(60.0)).unwrap();
+        // Period grows with temperature, so a slower ring reads hotter.
+        assert!(
+            slow.temperature.get() > healthy.temperature.get() + 10.0,
+            "a 1.5× slower ring reads much hotter: {} vs {}",
+            slow.temperature.get(),
+            healthy.temperature.get()
+        );
+        u.inject_fault(RingFault::CounterBitFlip { bit: 10 });
+        let flipped = u.measure(Celsius::new(60.0)).unwrap();
+        assert_eq!(
+            flipped.code,
+            healthy.code ^ (1 << 10),
+            "exactly one count bit differs"
+        );
+    }
+
+    #[test]
+    fn supply_droop_shifts_reading_like_the_sensitivity_model() {
+        let mut u = unit();
+        u.calibrate_two_point(Celsius::new(-50.0), Celsius::new(150.0))
+            .unwrap();
+        let healthy = u.measure(Celsius::new(60.0)).unwrap().temperature.get();
+        u.inject_fault(RingFault::SupplyDroop { delta_v: 0.1 });
+        let sagged = u.measure(Celsius::new(60.0)).unwrap().temperature.get();
+        let predicted = tsense_core::supply::SupplySensitivity::at(
+            &u.config().ring,
+            &u.config().tech,
+            Celsius::new(60.0),
+        )
+        .unwrap()
+        .temp_error_for(tsense_core::units::Volts::new(-0.1));
+        let observed = sagged - healthy;
+        assert!(
+            (observed - predicted).abs() < 0.2 * predicted.abs() + 0.5,
+            "observed shift {observed} °C vs predicted {predicted} °C"
+        );
     }
 
     #[test]

@@ -37,6 +37,15 @@ pub enum SimError {
         /// Simulation time at which the step collapsed, in seconds.
         at_time: f64,
     },
+    /// The transient watchdog budget
+    /// ([`TranOptions::max_steps`](crate::transient::TranOptions::max_steps))
+    /// was exhausted before the run reached its stop time.
+    ConvergenceTimeout {
+        /// The step budget that was exhausted.
+        steps: u64,
+        /// Simulation time reached when the budget ran out, in seconds.
+        at_time: f64,
+    },
     /// A netlist could not be parsed.
     Parse {
         /// 1-based line number of the offending input line.
@@ -75,6 +84,12 @@ impl fmt::Display for SimError {
             }
             SimError::StepUnderflow { at_time } => {
                 write!(f, "time step underflow at t = {at_time:.3e} s")
+            }
+            SimError::ConvergenceTimeout { steps, at_time } => {
+                write!(
+                    f,
+                    "transient watchdog: step budget of {steps} exhausted at t = {at_time:.3e} s"
+                )
             }
             SimError::Parse { line, message } => {
                 write!(f, "netlist parse error at line {line}: {message}")

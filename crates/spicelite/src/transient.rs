@@ -44,6 +44,14 @@ pub struct TranOptions {
     pub uic: bool,
     /// Newton solver settings per step.
     pub solver: SolverOptions,
+    /// Watchdog budget: total Newton step *attempts* (accepted or
+    /// rejected) before the run aborts with
+    /// [`SimError::ConvergenceTimeout`]. Keeps pathological decks —
+    /// e.g. fault-injected supplies that thrash the adaptive step
+    /// controller — from looping effectively forever between `dt_min`
+    /// retries. The default (10 million) is far above any healthy run
+    /// in this workspace (thousands of steps).
+    pub max_steps: u64,
 }
 
 impl TranOptions {
@@ -59,6 +67,7 @@ impl TranOptions {
             integrator: Integrator::Trapezoidal,
             uic: false,
             solver: SolverOptions::default(),
+            max_steps: 10_000_000,
         }
     }
 
@@ -82,6 +91,13 @@ impl TranOptions {
         self.dt = dt;
         self.dt_max = dt_max;
         self.dt_min = dt * 1e-6;
+        self
+    }
+
+    /// Overrides the Newton step-attempt watchdog budget.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
         self
     }
 }
@@ -115,6 +131,8 @@ fn capacitor_terminals(circuit: &Circuit) -> Vec<(NodeId, NodeId, f64)> {
 ///   cannot be found;
 /// * [`SimError::StepUnderflow`] if Newton keeps failing even at
 ///   `dt_min`;
+/// * [`SimError::ConvergenceTimeout`] if the watchdog budget
+///   ([`TranOptions::max_steps`]) is exhausted before reaching `t_stop`;
 /// * [`SimError::SingularMatrix`] for structurally defective circuits.
 ///
 /// # Panics
@@ -185,10 +203,18 @@ fn run_transient_inner(circuit: &Circuit, opts: &TranOptions) -> Result<Waveform
     let mut t = 0.0;
     let mut h = opts.dt;
     let mut easy_streak = 0u32;
+    let mut attempts: u64 = 0;
 
     while t < opts.t_stop {
         if t + h > opts.t_stop {
             h = opts.t_stop - t;
+        }
+        attempts += 1;
+        if attempts > opts.max_steps {
+            return Err(SimError::ConvergenceTimeout {
+                steps: opts.max_steps,
+                at_time: t,
+            });
         }
         // Build companions for this step size. The very first step always
         // uses backward Euler: the capacitor currents stored at t = 0 are
@@ -382,6 +408,24 @@ mod tests {
         // Discharges toward the 0 V source.
         let v_tau = wave.sample_at("out", 1e-6).unwrap();
         assert!((v_tau - (-1.0_f64).exp()).abs() < 5e-3);
+    }
+
+    #[test]
+    fn step_budget_times_out_typed() {
+        // 5000 steps are needed (5 µs at 1 ns); a 100-step budget must
+        // abort with the typed watchdog error, not hang or underflow.
+        let ckt = rc_circuit(1e3, 1e-9, 1.0);
+        let opts = TranOptions::to_time(5e-6)
+            .with_uic()
+            .with_steps(1e-9, 1e-9)
+            .with_max_steps(100);
+        match run_transient(&ckt, &opts) {
+            Err(SimError::ConvergenceTimeout { steps, at_time }) => {
+                assert_eq!(steps, 100);
+                assert!(at_time > 0.0 && at_time < 5e-6, "aborted at {at_time}");
+            }
+            other => panic!("expected ConvergenceTimeout, got {other:?}"),
+        }
     }
 
     #[test]

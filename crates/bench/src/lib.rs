@@ -25,6 +25,7 @@
 //! | `ext4` | extension: node portability (0.35 → 0.13 µm presets) |
 //! | `sta`  | STA vs transient temperature sweep: same curve, wall-clock speedup |
 //! | `fault` | fault-injection campaign: coverage per class, zero silent/hang |
+//! | `soak` | supervised runtime soak: throughput/p99 with and without chaos |
 
 use std::fs;
 use std::path::Path;
@@ -42,6 +43,7 @@ pub mod fault_campaign;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
+pub mod runtime_soak;
 pub mod sta_sweep;
 pub mod ta;
 pub mod tb;
@@ -91,9 +93,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_EXPERIMENTS: [&str; 18] = [
+pub const ALL_EXPERIMENTS: [&str; 19] = [
     "fig1", "fig2", "fig3", "ta", "tb", "tc", "td", "abl1", "abl2", "abl3", "abl4", "abl5", "ext1",
-    "ext2", "ext3", "ext4", "sta", "fault",
+    "ext2", "ext3", "ext4", "sta", "fault", "soak",
 ];
 
 /// Runs one experiment by id, writing artifacts into `out_dir` and
@@ -123,6 +125,7 @@ pub fn run_experiment(id: &str, out_dir: &Path) -> String {
         "ext4" => ext4::run(out_dir),
         "sta" => sta_sweep::run(out_dir),
         "fault" => fault_campaign::run(out_dir),
+        "soak" => runtime_soak::run(out_dir),
         other => panic!("unknown experiment id `{other}`; known: {ALL_EXPERIMENTS:?}"),
     }
 }

@@ -12,6 +12,8 @@
 //! * [`campaign`] — the seeded [`run_campaign`] runner, watchdog
 //!   budgets, and the [`Outcome`] classification
 //!   (detected / benign / silent corruption / hang);
+//! * [`schedule`] — seeded [`FaultSchedule`]s of timed fault events,
+//!   the chaos source a long-lived monitoring runtime injects mid-run;
 //! * [`report`] — text and JSON rendering for the `faultsim` CLI.
 //!
 //! Campaigns are fully deterministic: the same seed replays the same
@@ -24,9 +26,11 @@
 pub mod campaign;
 pub mod fault;
 pub mod report;
+pub mod schedule;
 
 pub use campaign::{
     reference_universe, run_campaign, run_fault, CampaignConfig, CampaignResult, FaultRun, Outcome,
 };
 pub use fault::{Fault, FaultClass};
 pub use report::{render_json, render_text};
+pub use schedule::{FaultEvent, FaultSchedule};

@@ -10,6 +10,8 @@
 //! | `NC03xx` | `stdcell` timing libraries | delay-vs-temperature monotonicity, Fig. 2 sizing range, Liberty round-trip |
 //! | `NC04xx` | `sensor` configurations    | stage-count parity, Fig. 3 cell mixes, calibration coverage |
 //! | `NC05xx` | static timing (`sta`)      | fan-out delay degradation, unconstrained endpoints, STA-vs-declared-period mismatch |
+//! | `NC06xx` | array + health policy      | too-small arrays, uncalibrated sites, period-band coverage |
+//! | `NC07xx` | config + runtime deadline  | unservable conversion windows, missing retry headroom |
 //!
 //! Every rule has a stable ID and fires as a [`Diagnostic`] at a fixed
 //! [`Severity`]; a [`Report`] aggregates them and renders as text or
@@ -36,6 +38,7 @@ pub mod netlist_rules;
 pub mod pass;
 pub mod preflight;
 pub mod resilience_rules;
+pub mod runtime_rules;
 pub mod timing_rules;
 
 pub use config_rules::{check_calibration_anchors, check_sensor_config, PAPER_STAGE_COUNTS};
@@ -48,4 +51,5 @@ pub use netlist_rules::{check_netlist, check_netlist_with, NetlistCheckOptions};
 pub use pass::{rule_info, run_passes, Pass, RuleInfo, RULES};
 pub use preflight::PreflightError;
 pub use resilience_rules::{check_array_resilience, ArrayUnderPolicy};
+pub use runtime_rules::{check_runtime_budget, ConfigUnderDeadline, DeadlineBudgetPass};
 pub use timing_rules::{check_netlist_timing, check_netlist_timing_with, TimingPass};

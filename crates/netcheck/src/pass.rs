@@ -40,7 +40,9 @@ pub struct RuleInfo {
 
 /// Every rule netcheck knows, grouped by ID bank:
 /// `NC01xx` = dsim netlists, `NC02xx` = spicelite decks,
-/// `NC03xx` = stdcell libraries, `NC04xx` = sensor configurations.
+/// `NC03xx` = stdcell libraries, `NC04xx` = sensor configurations,
+/// `NC05xx` = static timing, `NC06xx` = array resilience,
+/// `NC07xx` = runtime deadline budgets.
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "NC0001",
@@ -151,6 +153,16 @@ pub const RULES: &[RuleInfo] = &[
         id: "NC0603",
         severity: Severity::Warning,
         summary: "health-policy period band does not bracket a ring's healthy span",
+    },
+    RuleInfo {
+        id: "NC0701",
+        severity: Severity::Error,
+        summary: "worst-case conversion exceeds the runtime deadline (unservable)",
+    },
+    RuleInfo {
+        id: "NC0702",
+        severity: Severity::Warning,
+        summary: "conversion consumes over half the runtime deadline (no retry headroom)",
     },
 ];
 

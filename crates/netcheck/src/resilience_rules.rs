@@ -185,7 +185,7 @@ mod tests {
         let policy = HealthPolicy {
             period_min_s: 1e-15,
             period_max_s: 2e-15,
-            neighbor_tolerance_c: 3.0,
+            ..HealthPolicy::default()
         };
         let report = check_array_resilience(&array(3, true), &policy);
         let fired: Vec<_> = report.diagnostics().iter().map(|d| d.rule).collect();

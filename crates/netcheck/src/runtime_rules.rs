@@ -1,0 +1,161 @@
+//! Rules over sensor configurations under a runtime deadline budget
+//! (`NC07xx`).
+//!
+//! A supervised monitoring runtime promises an answer within a
+//! deadline. Whether a given sensor configuration can keep that
+//! promise is a *static* fact: the conversion window is
+//! `(settle + window) × period`, and the ring period at the hot corner
+//! bounds it from above. These rules lint the pair before a runtime is
+//! deployed on it:
+//!
+//! * `NC0701` — the worst-case single conversion does not fit the
+//!   deadline at all: every direct read is doomed by construction and
+//!   the runtime will only ever serve degraded fallbacks (the
+//!   `runtime` crate enforces the same bound dynamically at startup);
+//! * `NC0702` — a single conversion fits, but consumes more than half
+//!   the deadline: there is no headroom for even one retry, so any
+//!   transient capture fault immediately forces degraded service.
+
+use sensor::unit::SensorConfig;
+use tsense_core::units::Celsius;
+
+use crate::diagnostic::{Diagnostic, Location, Report};
+use crate::pass::{run_passes, Pass};
+
+/// The configuration + deadline pair the deadline-budget rules lint.
+pub struct ConfigUnderDeadline<'a> {
+    /// The sensor configuration a runtime would serve reads from.
+    pub config: &'a SensorConfig,
+    /// The runtime's per-request deadline, seconds.
+    pub deadline_s: f64,
+}
+
+/// Hot-corner temperature at which the conversion window is longest.
+const HOT_CORNER_C: f64 = 150.0;
+
+/// Retry-headroom fraction: a conversion consuming more than this
+/// share of the deadline leaves no room for a second attempt.
+const HEADROOM_FRACTION: f64 = 0.5;
+
+/// `NC0701` + `NC0702`: worst-case conversion time vs deadline budget.
+pub struct DeadlineBudgetPass;
+
+impl Pass<ConfigUnderDeadline<'_>> for DeadlineBudgetPass {
+    fn name(&self) -> &'static str {
+        "deadline-budget"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["NC0701", "NC0702"]
+    }
+
+    fn run(&self, subject: &ConfigUnderDeadline<'_>, report: &mut Report) {
+        let cfg = subject.config;
+        let Ok(period) = cfg.ring.period(&cfg.tech, Celsius::new(HOT_CORNER_C)) else {
+            // Not evaluable: NC0603's territory; no budget fact exists.
+            return;
+        };
+        let cycles = (cfg.window_cycles + cfg.settle_cycles) as f64;
+        let conversion_s = period.get() * cycles;
+        let location = Location::object(format!(
+            "{} stage(s), {} + {} cycles",
+            cfg.ring.stages().len(),
+            cfg.settle_cycles,
+            cfg.window_cycles
+        ));
+        if conversion_s > subject.deadline_s {
+            report.push(Diagnostic::error(
+                "NC0701",
+                location,
+                format!(
+                    "worst-case conversion {:.3e} s (period {:.3e} s at {HOT_CORNER_C:.0} °C) \
+                     exceeds the {:.3e} s deadline: every direct read is unservable by \
+                     construction",
+                    conversion_s,
+                    period.get(),
+                    subject.deadline_s
+                ),
+            ));
+        } else if conversion_s > HEADROOM_FRACTION * subject.deadline_s {
+            report.push(Diagnostic::warning(
+                "NC0702",
+                location,
+                format!(
+                    "worst-case conversion {:.3e} s consumes more than half the {:.3e} s \
+                     deadline: no headroom for a retry, any transient fault forces degraded \
+                     service",
+                    conversion_s, subject.deadline_s
+                ),
+            ));
+        }
+    }
+}
+
+/// Runs every deadline-budget rule over a configuration + deadline
+/// pair.
+pub fn check_runtime_budget(config: &SensorConfig, deadline_s: f64) -> Report {
+    let subject = ConfigUnderDeadline { config, deadline_s };
+    let passes: [&dyn Pass<ConfigUnderDeadline<'_>>; 1] = [&DeadlineBudgetPass];
+    run_passes(&passes, &subject)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsense_core::gate::{Gate, GateKind};
+    use tsense_core::ring::RingOscillator;
+    use tsense_core::tech::Technology;
+
+    fn config() -> SensorConfig {
+        let tech = Technology::um350();
+        let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(), 5)
+            .unwrap();
+        SensorConfig::new(ring, tech)
+    }
+
+    fn conversion_s(cfg: &SensorConfig) -> f64 {
+        let period = cfg
+            .ring
+            .period(&cfg.tech, Celsius::new(HOT_CORNER_C))
+            .unwrap();
+        period.get() * (cfg.window_cycles + cfg.settle_cycles) as f64
+    }
+
+    #[test]
+    fn generous_deadline_is_clean() {
+        let report = check_runtime_budget(&config(), 0.25);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn impossible_deadline_errors_nc0701() {
+        let cfg = config();
+        let deadline = conversion_s(&cfg) * 0.5;
+        let report = check_runtime_budget(&cfg, deadline);
+        assert!(report.has_errors(), "{}", report.render_text());
+        assert_eq!(report.diagnostics()[0].rule, "NC0701");
+    }
+
+    #[test]
+    fn tight_deadline_warns_nc0702() {
+        let cfg = config();
+        let deadline = conversion_s(&cfg) * 1.5; // fits, but > 50 %
+        let report = check_runtime_budget(&cfg, deadline);
+        assert!(!report.has_errors(), "{}", report.render_text());
+        let fired: Vec<_> = report.diagnostics().iter().map(|d| d.rule).collect();
+        assert_eq!(fired, vec!["NC0702"], "{}", report.render_text());
+    }
+
+    #[test]
+    fn boundary_sits_between_the_rules() {
+        let cfg = config();
+        let conv = conversion_s(&cfg);
+        // Just over the conversion: NC0702 (no headroom), not NC0701.
+        let report = check_runtime_budget(&cfg, conv * 1.001);
+        assert!(!report.has_errors());
+        assert!(!report.is_clean());
+        // Just over double: clean.
+        let report = check_runtime_budget(&cfg, conv * 2.001);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+}

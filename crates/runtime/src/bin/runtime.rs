@@ -1,0 +1,209 @@
+//! `runtime` — soak the supervised monitoring service under chaos.
+//!
+//! ```text
+//! runtime soak [OPTIONS]
+//!
+//! --seconds N        total soak length; 80 % storm, 20 % drain
+//!                    (default: 10)
+//! --seed N           chaos + jitter seed (default: 42)
+//! --sites N          sensor sites in the array (default: 9)
+//! --faults N         scheduled fault events (default: 2 per second)
+//! --clients N        client threads issuing reads (default: 3)
+//! --no-chaos         disable fault injection
+//! --restart          kill and recover the runtime mid-storm
+//! --snapshot-dir P   checkpoint directory (default: a temp dir)
+//! --check            fail (exit 1) unless the liveness invariants
+//!                    hold: zero late replies, zero silent-stale
+//!                    reads, breakers re-closed, recovery restored a
+//!                    checkpoint when --restart was given
+//! --json             machine-readable output
+//! --help             this text
+//! ```
+//!
+//! Exit status: 0 clean; 1 when `--check` fails; 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use runtime::{run_soak, RuntimeConfig, SoakConfig, SoakReport};
+
+const USAGE: &str = "usage: runtime soak [--seconds N] [--seed N] [--sites N] [--faults N] \
+                     [--clients N] [--no-chaos] [--restart] [--snapshot-dir P] [--check] [--json]";
+
+struct Options {
+    soak: SoakConfig,
+    seconds: u64,
+    chaos: bool,
+    restart: bool,
+    faults: Option<usize>,
+    snapshot_dir: Option<PathBuf>,
+    check: bool,
+    json: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("soak") => {}
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            return Ok(None);
+        }
+        Some(other) => return Err(format!("unknown command `{other}` (try `soak`)")),
+        None => return Err("missing command (try `soak`)".into()),
+    }
+    let mut opts = Options {
+        soak: SoakConfig::default(),
+        seconds: 10,
+        chaos: true,
+        restart: false,
+        faults: None,
+        snapshot_dir: None,
+        check: false,
+        json: false,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--no-chaos" => opts.chaos = false,
+            "--restart" => opts.restart = true,
+            "--check" => opts.check = true,
+            "--json" => opts.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--seconds" => {
+                let v = it.next().ok_or("--seconds needs a value")?;
+                opts.seconds = v.parse().map_err(|_| format!("bad seconds `{v}`"))?;
+                if opts.seconds == 0 {
+                    return Err("--seconds must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.soak.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--sites" => {
+                let v = it.next().ok_or("--sites needs a value")?;
+                opts.soak.sites = v.parse().map_err(|_| format!("bad site count `{v}`"))?;
+                if opts.soak.sites == 0 {
+                    return Err("--sites must be positive".into());
+                }
+            }
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs a value")?;
+                opts.faults = Some(v.parse().map_err(|_| format!("bad fault count `{v}`"))?);
+            }
+            "--clients" => {
+                let v = it.next().ok_or("--clients needs a value")?;
+                opts.soak.clients = v.parse().map_err(|_| format!("bad client count `{v}`"))?;
+            }
+            "--snapshot-dir" => {
+                let v = it.next().ok_or("--snapshot-dir needs a value")?;
+                opts.snapshot_dir = Some(PathBuf::from(v));
+            }
+            flag => return Err(format!("unknown argument `{flag}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn render_json(report: &SoakReport, restart: bool) -> String {
+    format!(
+        "{{\n  \"requests\": {},\n  \"served_fresh\": {},\n  \"served_degraded\": {},\n  \
+         \"served_shed\": {},\n  \"typed_errors\": {},\n  \"deadline_misses\": {},\n  \
+         \"late_replies\": {},\n  \"silent_stale\": {},\n  \"injected\": {},\n  \
+         \"cleared\": {},\n  \"restarts\": {},\n  \"recovered_seq\": {},\n  \
+         \"corrupt_snapshots_skipped\": {},\n  \"breaker_trips\": {},\n  \
+         \"breakers_all_closed\": {},\n  \"quarantined_at_end\": {},\n  \
+         \"p50_latency_ms\": {},\n  \"p99_latency_ms\": {},\n  \"throughput_per_s\": {:.1},\n  \
+         \"elapsed_s\": {:.2},\n  \"liveness_ok\": {}\n}}",
+        report.requests,
+        report.served_fresh,
+        report.served_degraded,
+        report.served_shed,
+        report.typed_errors,
+        report.deadline_misses,
+        report.late_replies,
+        report.silent_stale,
+        report.injected,
+        report.cleared,
+        report.restarts,
+        report
+            .recovered_seq
+            .map_or("null".into(), |s| s.to_string()),
+        report.corrupt_snapshots_skipped,
+        report.breaker_trips,
+        report.breakers_all_closed,
+        report.quarantined_at_end,
+        report.p50_latency_ms,
+        report.p99_latency_ms,
+        report.throughput_per_s,
+        report.elapsed_s,
+        report.liveness_ok(restart),
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("runtime: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let total_ms = opts.seconds * 1000;
+    let mut cfg = opts.soak;
+    cfg.duration_ms = (total_ms * 4) / 5;
+    cfg.drain_ms = total_ms - cfg.duration_ms;
+    cfg.faults = if opts.chaos {
+        opts.faults.unwrap_or((2 * opts.seconds).max(1) as usize)
+    } else {
+        0
+    };
+    cfg.restart_at_ms = opts.restart.then_some(cfg.duration_ms / 2);
+    let dir = opts.snapshot_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("tsense-soak-{}-{}", std::process::id(), cfg.seed))
+    });
+    cfg.runtime = RuntimeConfig {
+        snapshot_dir: Some(dir),
+        ..RuntimeConfig::default()
+    };
+
+    let report = match run_soak(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("runtime: soak failed to run: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if opts.json {
+        println!("{}", render_json(&report, opts.restart));
+    } else {
+        print!("{}", report.render_text());
+    }
+    if opts.check {
+        if !report.liveness_ok(opts.restart) {
+            if !opts.json {
+                eprintln!(
+                    "runtime: check FAILED (late {} stale {} breakers_closed {} restarts {} \
+                     recovered {:?})",
+                    report.late_replies,
+                    report.silent_stale,
+                    report.breakers_all_closed,
+                    report.restarts,
+                    report.recovered_seq,
+                );
+            }
+            return ExitCode::from(1);
+        }
+        if !opts.json {
+            println!("check PASSED");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,253 @@
+//! Per-unit circuit breakers: stop hammering a channel that keeps
+//! failing, probe it after a cooldown, re-close when it proves healthy.
+//!
+//! The state machine is the classic three-state breaker:
+//!
+//! ```text
+//!            threshold consecutive failures
+//!   Closed ───────────────────────────────────▶ Open
+//!      ▲                                          │ cooldown elapses
+//!      │ required probe successes                 ▼
+//!      └─────────────────────────────────── HalfOpen
+//!                     any probe failure ──▶ Open (cooldown restarts)
+//! ```
+//!
+//! The breaker is *time-parameterized*: every transition takes an
+//! explicit `now_ms`, so unit tests drive it with a synthetic clock and
+//! the service drives it with its monotonic runtime clock. No wall
+//! clock is read here.
+
+/// Tuning for one channel's breaker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before allowing a probe,
+    /// milliseconds.
+    pub cooldown_ms: u64,
+    /// Probe successes required to close from HalfOpen.
+    pub halfopen_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    /// Trip after 3 consecutive failures, cool down for 250 ms, close
+    /// again after 2 clean probes.
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 250,
+            halfopen_successes: 2,
+        }
+    }
+}
+
+/// Where one breaker currently stands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BreakerState {
+    /// Normal service; counts consecutive failures toward the trip.
+    Closed {
+        /// Consecutive failures so far (reset by any success).
+        failures: u32,
+    },
+    /// Tripped: requests are rejected until the cooldown elapses.
+    Open {
+        /// When the breaker tripped, runtime-relative milliseconds.
+        since_ms: u64,
+        /// When probing may begin, runtime-relative milliseconds.
+        until_ms: u64,
+    },
+    /// Probing: requests flow, counting successes toward re-close.
+    HalfOpen {
+        /// Clean probes so far.
+        successes: u32,
+    },
+}
+
+/// One channel's circuit breaker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `config`.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed { failures: 0 },
+            trips: 0,
+        }
+    }
+
+    /// The current state.
+    #[inline]
+    pub fn state(&self) -> &BreakerState {
+        &self.state
+    }
+
+    /// `true` when fully closed (normal service, not probing).
+    #[inline]
+    pub fn is_closed(&self) -> bool {
+        matches!(self.state, BreakerState::Closed { .. })
+    }
+
+    /// How many times this breaker has tripped open.
+    #[inline]
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Gate for one request at time `now_ms`. `false` means reject
+    /// (serve a fallback instead). An elapsed cooldown transitions
+    /// Open → HalfOpen and admits the request as a probe.
+    pub fn allow(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen { .. } => true,
+            BreakerState::Open { until_ms, .. } => {
+                if now_ms >= until_ms {
+                    self.state = BreakerState::HalfOpen { successes: 0 };
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Report a successful read at time `now_ms`.
+    pub fn on_success(&mut self, _now_ms: u64) {
+        match &mut self.state {
+            BreakerState::Closed { failures } => *failures = 0,
+            BreakerState::HalfOpen { successes } => {
+                *successes += 1;
+                if *successes >= self.config.halfopen_successes {
+                    self.state = BreakerState::Closed { failures: 0 };
+                }
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Report a failed read at time `now_ms`.
+    pub fn on_failure(&mut self, now_ms: u64) {
+        match &mut self.state {
+            BreakerState::Closed { failures } => {
+                *failures += 1;
+                if *failures >= self.config.failure_threshold {
+                    self.trip(now_ms);
+                }
+            }
+            BreakerState::HalfOpen { .. } => self.trip(now_ms),
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Restore a checkpointed state. `Open` deadlines are re-based to
+    /// `now_ms + cooldown` — snapshot timestamps belong to the previous
+    /// process's clock, so the conservative move is to re-serve the
+    /// cooldown rather than trust a foreign deadline.
+    pub fn restore(&mut self, state: BreakerState, now_ms: u64) {
+        self.state = match state {
+            BreakerState::Open { .. } => BreakerState::Open {
+                since_ms: now_ms,
+                until_ms: now_ms + self.config.cooldown_ms,
+            },
+            s => s,
+        };
+    }
+
+    fn trip(&mut self, now_ms: u64) {
+        self.trips += 1;
+        self.state = BreakerState::Open {
+            since_ms: now_ms,
+            until_ms: now_ms + self.config.cooldown_ms,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 100,
+            halfopen_successes: 2,
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = breaker();
+        b.on_failure(0);
+        b.on_failure(1);
+        b.on_success(2); // streak broken
+        b.on_failure(3);
+        b.on_failure(4);
+        assert!(b.is_closed(), "2 consecutive failures must not trip");
+        b.on_failure(5);
+        assert!(matches!(b.state(), BreakerState::Open { .. }));
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn open_rejects_until_cooldown_then_probes() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        assert!(!b.allow(50), "inside cooldown: reject");
+        assert!(!b.allow(99));
+        assert!(b.allow(102), "cooldown elapsed: probe admitted");
+        assert!(matches!(b.state(), BreakerState::HalfOpen { .. }));
+    }
+
+    #[test]
+    fn halfopen_closes_after_required_successes() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        assert!(b.allow(200));
+        b.on_success(200);
+        assert!(!b.is_closed(), "one probe is not enough");
+        b.on_success(210);
+        assert!(b.is_closed(), "two clean probes re-close");
+    }
+
+    #[test]
+    fn halfopen_failure_reopens_with_fresh_cooldown() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.on_failure(t);
+        }
+        assert!(b.allow(150));
+        b.on_failure(150);
+        assert!(
+            matches!(b.state(), BreakerState::Open { until_ms, .. } if *until_ms == 250),
+            "cooldown restarts from the probe failure"
+        );
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn restore_rebases_open_deadlines() {
+        let mut b = breaker();
+        b.restore(
+            BreakerState::Open {
+                since_ms: 99_000,
+                until_ms: 99_100,
+            },
+            10,
+        );
+        assert!(!b.allow(50), "restored breaker re-serves the cooldown");
+        assert!(b.allow(110));
+        let mut c = breaker();
+        c.restore(BreakerState::HalfOpen { successes: 1 }, 10);
+        c.on_success(11);
+        assert!(c.is_closed(), "restored probe count is preserved");
+    }
+}

@@ -1,0 +1,175 @@
+//! Typed failures of the monitoring runtime.
+//!
+//! The runtime's contract is *no silent failure*: every request is
+//! answered either with data carrying honest provenance
+//! ([`crate::service::Provenance`]) or with one of these errors. In
+//! particular stale cached data past the staleness bound is a
+//! [`RuntimeError::StaleCache`], never a quietly old reading, and a
+//! blown deadline is a [`RuntimeError::DeadlineExceeded`], never
+//! quietly late data.
+
+use std::error::Error;
+use std::fmt;
+
+use sensor::SensorError;
+
+use crate::snapshot::SnapshotError;
+
+/// Everything that can go wrong serving a monitored reading.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The request could not be answered before its absolute deadline.
+    DeadlineExceeded {
+        /// The absolute deadline, runtime-relative milliseconds.
+        deadline_ms: u64,
+        /// When the miss was detected, runtime-relative milliseconds.
+        now_ms: u64,
+    },
+    /// The cached degraded reading is older than the staleness bound
+    /// and no fresh data could be produced in time.
+    StaleCache {
+        /// Age of the cached reading, milliseconds.
+        age_ms: u64,
+        /// The configured staleness bound, milliseconds.
+        bound_ms: u64,
+    },
+    /// Quarantine and breakers left no source of data at all.
+    NoHealthy {
+        /// Total channels in the array.
+        total: usize,
+        /// How many of them are quarantined.
+        quarantined: usize,
+    },
+    /// A site's worst-case conversion time cannot fit the deadline
+    /// budget — the service would be unservable by construction
+    /// (the `netcheck` rule `NC0701` flags the same condition).
+    UnservableConfig {
+        /// The offending site.
+        site: String,
+        /// Worst-case single-conversion time, milliseconds.
+        conversion_ms: f64,
+        /// The configured default deadline, milliseconds.
+        deadline_ms: u64,
+    },
+    /// A conversion completed but its ring period falls outside the
+    /// health policy's plausible band — the reading cannot be trusted
+    /// and was not served.
+    ImplausibleReading {
+        /// The channel that produced it.
+        channel: usize,
+        /// The measured ring period, seconds.
+        period_s: f64,
+    },
+    /// The request named a channel the array does not have.
+    BadChannel {
+        /// The requested channel.
+        channel: usize,
+        /// Channels available.
+        available: usize,
+    },
+    /// The runtime is shutting down (or has shut down) and no longer
+    /// accepts requests.
+    Shutdown,
+    /// A sensing failure that survived retries and had no degraded
+    /// fallback.
+    Sensor(SensorError),
+    /// Checkpointing or recovery failed.
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::DeadlineExceeded {
+                deadline_ms,
+                now_ms,
+            } => write!(
+                f,
+                "deadline exceeded: due at t={deadline_ms} ms, detected at t={now_ms} ms"
+            ),
+            RuntimeError::StaleCache { age_ms, bound_ms } => write!(
+                f,
+                "cached reading is {age_ms} ms old, past the {bound_ms} ms staleness bound"
+            ),
+            RuntimeError::NoHealthy { total, quarantined } => write!(
+                f,
+                "no healthy source: {quarantined} of {total} channels quarantined"
+            ),
+            RuntimeError::UnservableConfig {
+                site,
+                conversion_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "site '{site}': worst-case conversion {conversion_ms:.3} ms cannot fit \
+                 the {deadline_ms} ms deadline budget"
+            ),
+            RuntimeError::ImplausibleReading { channel, period_s } => write!(
+                f,
+                "channel {channel}: ring period {period_s:.3e} s outside the plausible band; \
+                 reading withheld"
+            ),
+            RuntimeError::BadChannel { channel, available } => {
+                write!(f, "channel {channel} out of range ({available} available)")
+            }
+            RuntimeError::Shutdown => write!(f, "runtime is shut down"),
+            RuntimeError::Sensor(e) => write!(f, "sensor failure: {e}"),
+            RuntimeError::Snapshot(e) => write!(f, "snapshot failure: {e}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Sensor(e) => Some(e),
+            RuntimeError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SensorError> for RuntimeError {
+    fn from(e: SensorError) -> Self {
+        RuntimeError::Sensor(e)
+    }
+}
+
+impl From<SnapshotError> for RuntimeError {
+    fn from(e: SnapshotError) -> Self {
+        RuntimeError::Snapshot(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RuntimeError::StaleCache {
+            age_ms: 900,
+            bound_ms: 400,
+        };
+        let s = e.to_string();
+        assert!(s.contains("900"), "{s}");
+        assert!(s.contains("400"), "{s}");
+
+        let e = RuntimeError::DeadlineExceeded {
+            deadline_ms: 100,
+            now_ms: 130,
+        };
+        assert!(e.to_string().contains("t=130"));
+    }
+
+    #[test]
+    fn sensor_errors_convert_and_chain() {
+        let e: RuntimeError = SensorError::ConversionTimeout.into();
+        assert!(matches!(e, RuntimeError::Sensor(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,50 @@
+//! `runtime` — the supervised thermal-monitoring service.
+//!
+//! The paper's smart sensor exists to be *relied on*: a thermal-test
+//! flow queries it continuously while stress patterns run. This crate
+//! is the reliability layer that makes such reliance honest — a
+//! multi-threaded service that owns a [`sensor::SensorArray`] and
+//! serves temperature readings through a bounded request queue under
+//! deadline scheduling, degrading in *typed*, observable ways when the
+//! silicon underneath misbehaves:
+//!
+//! * [`retry`] — bounded retry ladders with exponential backoff and
+//!   seeded jitter for transient capture failures;
+//! * [`breaker`] — per-unit circuit breakers
+//!   (Closed → Open → HalfOpen) so a persistently failing ring stops
+//!   consuming deadline budget;
+//! * [`service`] — the runtime itself: bounded queue, worker threads,
+//!   deadline enforcement, load-shedding to cached medians, and the
+//!   background health scan that quarantines and paroles rings;
+//! * [`snapshot`] — CRC-checked, atomically written checkpoints
+//!   (calibration, quarantine, breaker states, recent readings) and
+//!   the paranoid recovery path that skips torn or corrupt files;
+//! * [`soak`] — sustained-operation mode: a seeded
+//!   [`faultsim::FaultSchedule`] chaos storm, an optional forced
+//!   kill-and-recover, and liveness invariants checked on exit;
+//! * [`error`] — the typed failure vocabulary ([`RuntimeError`]).
+//!
+//! The service's contract, end to end: every request is answered
+//! within its deadline or with a typed error; every reading carries
+//! its provenance and age; cached data past the staleness bound is an
+//! error, never a quietly old number.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod error;
+pub mod retry;
+pub mod service;
+pub mod snapshot;
+pub mod soak;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use error::{Result, RuntimeError};
+pub use retry::{Backoff, RetryPolicy};
+pub use service::{
+    Field, MonitorRuntime, Provenance, RecoveryReport, RuntimeConfig, RuntimeHandle, RuntimeStats,
+    ServedReading,
+};
+pub use snapshot::{crc32, RuntimeSnapshot, SiteSnapshot, SnapshotError, SnapshotStore};
+pub use soak::{reference_array, run_soak, SoakConfig, SoakReport};

@@ -1,0 +1,160 @@
+//! Typed retry policies: bounded attempts with exponential backoff and
+//! seeded jitter.
+//!
+//! A transient capture failure ([`sensor::SensorError::CaptureUnstable`]
+//! after a metastability burst, say) deserves a re-read; a dead ring
+//! does not deserve an unbounded retry storm. [`RetryPolicy`] bounds
+//! both dimensions: at most `max_attempts` tries, with delays that grow
+//! geometrically and carry deterministic jitter (from the vendored
+//! seeded [`rand`]) so colliding retries de-correlate the same way on
+//! every run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a supervisor retries one failing unit read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` disables retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry, milliseconds.
+    pub base_delay_ms: u64,
+    /// Ceiling on any single delay, milliseconds.
+    pub max_delay_ms: u64,
+    /// Geometric growth factor between consecutive delays.
+    pub multiplier: f64,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a seeded
+    /// uniform factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 2 ms base delay doubling to a 50 ms cap, ±50 %
+    /// jitter — tuned so a full retry ladder stays well inside a
+    /// hundred-millisecond deadline budget.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 2,
+            max_delay_ms: 50,
+            multiplier: 2.0,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic delay ladder for one supervised read: a fresh
+    /// iterator of `max_attempts - 1` backoff delays, jittered from
+    /// `seed`. The same `(policy, seed)` always yields the same ladder.
+    pub fn backoff(&self, seed: u64) -> Backoff {
+        Backoff {
+            policy: self.clone(),
+            rng: StdRng::seed_from_u64(seed),
+            step: 0,
+        }
+    }
+
+    /// Upper bound on the total time spent sleeping between attempts,
+    /// milliseconds — what a deadline budget must leave room for.
+    pub fn worst_case_backoff_ms(&self) -> u64 {
+        let mut total = 0.0_f64;
+        let mut delay = self.base_delay_ms as f64;
+        for _ in 1..self.max_attempts {
+            total += delay.min(self.max_delay_ms as f64) * (1.0 + self.jitter);
+            delay *= self.multiplier;
+        }
+        total.ceil() as u64
+    }
+}
+
+/// Iterator over the jittered backoff delays of one supervised read.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    rng: StdRng,
+    step: u32,
+}
+
+impl Iterator for Backoff {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.step + 1 >= self.policy.max_attempts {
+            return None;
+        }
+        let raw =
+            (self.policy.base_delay_ms as f64) * self.policy.multiplier.powi(self.step as i32);
+        let capped = raw.min(self.policy.max_delay_ms as f64);
+        let j = self.policy.jitter.clamp(0.0, 1.0);
+        let scale = 1.0 - j + 2.0 * j * self.rng.random::<f64>();
+        self.step += 1;
+        Some((capped * scale).round().max(0.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_deterministic_per_seed() {
+        let p = RetryPolicy::default();
+        let a: Vec<u64> = p.backoff(7).collect();
+        let b: Vec<u64> = p.backoff(7).collect();
+        assert_eq!(a, b, "same seed replays the same ladder");
+        assert_eq!(a.len(), (p.max_attempts - 1) as usize);
+    }
+
+    #[test]
+    fn delays_grow_and_respect_the_cap() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_delay_ms: 10,
+            max_delay_ms: 40,
+            multiplier: 2.0,
+            jitter: 0.0,
+        };
+        let d: Vec<u64> = p.backoff(0).collect();
+        assert_eq!(d, vec![10, 20, 40, 40, 40], "geometric then capped");
+    }
+
+    #[test]
+    fn jitter_stays_inside_the_band() {
+        let p = RetryPolicy {
+            max_attempts: 50,
+            base_delay_ms: 100,
+            max_delay_ms: 100,
+            multiplier: 1.0,
+            jitter: 0.25,
+        };
+        for (seed, _) in (0..5u64).zip(0..) {
+            for d in p.backoff(seed) {
+                assert!((75..=125).contains(&d), "jittered delay {d} out of band");
+            }
+        }
+    }
+
+    #[test]
+    fn single_attempt_has_no_backoff() {
+        let p = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(3).count(), 0);
+        assert_eq!(p.worst_case_backoff_ms(), 0);
+    }
+
+    #[test]
+    fn worst_case_bounds_every_ladder() {
+        let p = RetryPolicy::default();
+        for seed in 0..20u64 {
+            let total: u64 = p.backoff(seed).sum();
+            assert!(
+                total <= p.worst_case_backoff_ms(),
+                "seed {seed}: ladder {total} ms exceeds bound {} ms",
+                p.worst_case_backoff_ms()
+            );
+        }
+    }
+}

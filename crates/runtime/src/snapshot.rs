@@ -1,0 +1,610 @@
+//! Crash-safe checkpoints: CRC-checked, atomically written snapshots of
+//! the runtime's recoverable state.
+//!
+//! A snapshot captures what a restarted monitor cannot re-derive
+//! cheaply: per-site calibrations, the quarantine set with its
+//! verdicts, per-channel breaker states, and the recent ring buffer of
+//! served medians. The encoding is a line-oriented, tab-separated text
+//! format with `f64`s carried as exact bit patterns (hex of
+//! [`f64::to_bits`]) and a trailing CRC-32 over everything above it:
+//!
+//! ```text
+//! TSNAP\tv1
+//! seq\t42
+//! time\t61250
+//! site\ts00
+//! cal\t<gain bits>\t<offset bits>
+//! quar\toutlier\t<deviation bits>
+//! breaker\topen\t61000\t61250
+//! reading\t61200\t<value bits>\t<confidence bits>
+//! end
+//! crc\t1a2b3c4d
+//! ```
+//!
+//! Writes are crash-safe by construction: the snapshot is written to a
+//! `.tmp` sibling, fsynced, then renamed into place — a crash leaves
+//! either the old file or the new one, never a half-written mix. Reads
+//! are paranoid anyway: [`SnapshotStore::load_latest`] walks snapshots
+//! newest-first and the first one whose CRC verifies wins; torn or
+//! corrupt files are skipped and reported, not trusted.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use sensor::{CodeCalibration, HealthStatus};
+
+use crate::breaker::BreakerState;
+
+/// Magic first line of every snapshot.
+const MAGIC: &str = "TSNAP\tv1";
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+/// Bitwise implementation — speed is irrelevant at checkpoint sizes,
+/// auditability is not.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+/// Why a snapshot could not be saved or loaded.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// Filesystem trouble (detail carries the rendered `io::Error`).
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// Rendered cause.
+        detail: String,
+    },
+    /// The file exists but fails validation (bad magic, torn line,
+    /// CRC mismatch, unparsable field).
+    Corrupt {
+        /// The path involved.
+        path: PathBuf,
+        /// What precisely failed.
+        detail: String,
+    },
+    /// No CRC-valid snapshot exists in the store's directory.
+    NoValidSnapshot {
+        /// The directory searched.
+        dir: PathBuf,
+        /// How many candidate files were examined (all invalid).
+        examined: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, detail } => {
+                write!(f, "snapshot io error at {}: {detail}", path.display())
+            }
+            SnapshotError::Corrupt { path, detail } => {
+                write!(f, "corrupt snapshot {}: {detail}", path.display())
+            }
+            SnapshotError::NoValidSnapshot { dir, examined } => write!(
+                f,
+                "no valid snapshot in {} ({examined} candidate(s) examined)",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Recoverable state of one sensor site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteSnapshot {
+    /// Site name (the stable identity across restarts; channel indices
+    /// are re-resolved by name at recovery).
+    pub name: String,
+    /// Installed calibration, if any.
+    pub calibration: Option<CodeCalibration>,
+    /// Quarantine verdict, if benched.
+    pub quarantined: Option<HealthStatus>,
+    /// The supervising breaker's state.
+    pub breaker: BreakerState,
+}
+
+/// One checkpoint of the runtime's recoverable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeSnapshot {
+    /// Monotonic checkpoint sequence number.
+    pub seq: u64,
+    /// When the checkpoint was taken, runtime-relative milliseconds.
+    pub taken_at_ms: u64,
+    /// Per-site state, in channel order.
+    pub sites: Vec<SiteSnapshot>,
+    /// Recent served medians: `(time_ms, value_c, confidence)`.
+    pub readings: Vec<(u64, f64, f64)>,
+}
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_f64(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Tabs and newlines would break the line format; spaces are harmless.
+fn sanitize(text: &str) -> String {
+    text.replace(['\t', '\n', '\r'], " ")
+}
+
+impl RuntimeSnapshot {
+    /// Renders the snapshot to its text encoding, CRC line included.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("seq\t{}\n", self.seq));
+        out.push_str(&format!("time\t{}\n", self.taken_at_ms));
+        for site in &self.sites {
+            out.push_str(&format!("site\t{}\n", sanitize(&site.name)));
+            if let Some(cal) = site.calibration {
+                out.push_str(&format!(
+                    "cal\t{}\t{}\n",
+                    f64_hex(cal.gain),
+                    f64_hex(cal.offset)
+                ));
+            }
+            match &site.quarantined {
+                None => {}
+                Some(HealthStatus::Healthy) => out.push_str("quar\thealthy\n"),
+                Some(HealthStatus::NoActivity { cause }) => {
+                    out.push_str(&format!("quar\tnoact\t{}\n", sanitize(cause)));
+                }
+                Some(HealthStatus::PeriodOutOfBand { period_s }) => {
+                    out.push_str(&format!("quar\tband\t{}\n", f64_hex(*period_s)));
+                }
+                Some(HealthStatus::Outlier { deviation_c }) => {
+                    out.push_str(&format!("quar\toutlier\t{}\n", f64_hex(*deviation_c)));
+                }
+            }
+            match &site.breaker {
+                BreakerState::Closed { failures } => {
+                    out.push_str(&format!("breaker\tclosed\t{failures}\n"));
+                }
+                BreakerState::Open { since_ms, until_ms } => {
+                    out.push_str(&format!("breaker\topen\t{since_ms}\t{until_ms}\n"));
+                }
+                BreakerState::HalfOpen { successes } => {
+                    out.push_str(&format!("breaker\thalf\t{successes}\n"));
+                }
+            }
+        }
+        for (t, v, c) in &self.readings {
+            out.push_str(&format!("reading\t{t}\t{}\t{}\n", f64_hex(*v), f64_hex(*c)));
+        }
+        out.push_str("end\n");
+        let crc = crc32(out.as_bytes());
+        out.push_str(&format!("crc\t{crc:08x}\n"));
+        out
+    }
+
+    /// Parses and validates a snapshot. `path` is only for error
+    /// reporting.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] on bad magic, a missing or mismatched
+    /// CRC line, torn/unknown lines, or unparsable fields.
+    pub fn decode(text: &str, path: &Path) -> Result<Self, SnapshotError> {
+        let corrupt = |detail: String| SnapshotError::Corrupt {
+            path: path.to_path_buf(),
+            detail,
+        };
+        // The CRC covers every byte up to and including the "end" line.
+        let crc_pos = text
+            .rfind("crc\t")
+            .ok_or_else(|| corrupt("missing crc line (torn write?)".into()))?;
+        let (body, crc_line) = text.split_at(crc_pos);
+        let stated = crc_line
+            .trim_end()
+            .strip_prefix("crc\t")
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| corrupt("unparsable crc line".into()))?;
+        let actual = crc32(body.as_bytes());
+        if stated != actual {
+            return Err(corrupt(format!(
+                "crc mismatch: stated {stated:08x}, computed {actual:08x}"
+            )));
+        }
+        if !body.ends_with("end\n") {
+            return Err(corrupt("missing end marker before crc".into()));
+        }
+
+        let mut lines = body.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(corrupt("bad magic".into()));
+        }
+        let mut seq = None;
+        let mut taken_at_ms = None;
+        let mut sites: Vec<SiteSnapshot> = Vec::new();
+        let mut readings = Vec::new();
+        for line in lines {
+            let mut f = line.split('\t');
+            let tag = f.next().unwrap_or_default();
+            let mut next = || {
+                f.next()
+                    .ok_or_else(|| corrupt(format!("torn line: {line}")))
+            };
+            match tag {
+                "seq" => seq = Some(next()?.parse().map_err(|_| corrupt("bad seq".into()))?),
+                "time" => {
+                    taken_at_ms = Some(next()?.parse().map_err(|_| corrupt("bad time".into()))?);
+                }
+                "site" => sites.push(SiteSnapshot {
+                    name: next()?.to_string(),
+                    calibration: None,
+                    quarantined: None,
+                    breaker: BreakerState::Closed { failures: 0 },
+                }),
+                "cal" => {
+                    let gain = parse_f64(next()?).ok_or_else(|| corrupt("bad cal gain".into()))?;
+                    let offset =
+                        parse_f64(next()?).ok_or_else(|| corrupt("bad cal offset".into()))?;
+                    let site = sites
+                        .last_mut()
+                        .ok_or_else(|| corrupt("cal before any site".into()))?;
+                    site.calibration = Some(CodeCalibration { gain, offset });
+                }
+                "quar" => {
+                    let status = match next()? {
+                        "healthy" => HealthStatus::Healthy,
+                        "noact" => HealthStatus::NoActivity {
+                            cause: f.collect::<Vec<_>>().join(" "),
+                        },
+                        "band" => HealthStatus::PeriodOutOfBand {
+                            period_s: parse_f64(next()?)
+                                .ok_or_else(|| corrupt("bad quar period".into()))?,
+                        },
+                        "outlier" => HealthStatus::Outlier {
+                            deviation_c: parse_f64(next()?)
+                                .ok_or_else(|| corrupt("bad quar deviation".into()))?,
+                        },
+                        other => return Err(corrupt(format!("unknown quar kind '{other}'"))),
+                    };
+                    let site = sites
+                        .last_mut()
+                        .ok_or_else(|| corrupt("quar before any site".into()))?;
+                    site.quarantined = Some(status);
+                }
+                "breaker" => {
+                    let state = match next()? {
+                        "closed" => BreakerState::Closed {
+                            failures: next()?
+                                .parse()
+                                .map_err(|_| corrupt("bad breaker failures".into()))?,
+                        },
+                        "open" => BreakerState::Open {
+                            since_ms: next()?
+                                .parse()
+                                .map_err(|_| corrupt("bad breaker since".into()))?,
+                            until_ms: next()?
+                                .parse()
+                                .map_err(|_| corrupt("bad breaker until".into()))?,
+                        },
+                        "half" => BreakerState::HalfOpen {
+                            successes: next()?
+                                .parse()
+                                .map_err(|_| corrupt("bad breaker successes".into()))?,
+                        },
+                        other => return Err(corrupt(format!("unknown breaker state '{other}'"))),
+                    };
+                    let site = sites
+                        .last_mut()
+                        .ok_or_else(|| corrupt("breaker before any site".into()))?;
+                    site.breaker = state;
+                }
+                "reading" => {
+                    let t = next()?
+                        .parse()
+                        .map_err(|_| corrupt("bad reading time".into()))?;
+                    let v =
+                        parse_f64(next()?).ok_or_else(|| corrupt("bad reading value".into()))?;
+                    let c = parse_f64(next()?)
+                        .ok_or_else(|| corrupt("bad reading confidence".into()))?;
+                    readings.push((t, v, c));
+                }
+                "end" => break,
+                other => return Err(corrupt(format!("unknown line tag '{other}'"))),
+            }
+        }
+        Ok(RuntimeSnapshot {
+            seq: seq.ok_or_else(|| corrupt("missing seq".into()))?,
+            taken_at_ms: taken_at_ms.ok_or_else(|| corrupt("missing time".into()))?,
+            sites,
+            readings,
+        })
+    }
+}
+
+/// What recovery found on disk besides the snapshot it used.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryLog {
+    /// Snapshots that failed validation and were skipped, newest first:
+    /// `(path, why)`.
+    pub skipped: Vec<(PathBuf, String)>,
+}
+
+/// A directory of numbered snapshots with atomic writes and paranoid
+/// reads.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a store at `dir`, retaining the
+    /// newest `keep` snapshots on disk.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, SnapshotError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| SnapshotError::Io {
+            path: dir.clone(),
+            detail: e.to_string(),
+        })?;
+        Ok(SnapshotStore {
+            dir,
+            keep: keep.max(1),
+        })
+    }
+
+    /// The store's directory.
+    #[inline]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("snap-{seq:010}.ckpt"))
+    }
+
+    /// Atomically persists a snapshot: temp-file write, fsync, rename.
+    /// Prunes snapshots beyond the retention count afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on any filesystem failure.
+    pub fn save(&self, snap: &RuntimeSnapshot) -> Result<PathBuf, SnapshotError> {
+        let final_path = self.path_for(snap.seq);
+        let tmp_path = final_path.with_extension("tmp");
+        let io_err = |path: &Path, e: std::io::Error| SnapshotError::Io {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        };
+        let mut f = fs::File::create(&tmp_path).map_err(|e| io_err(&tmp_path, e))?;
+        f.write_all(snap.encode().as_bytes())
+            .map_err(|e| io_err(&tmp_path, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp_path, e))?;
+        fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, e))?;
+        self.prune();
+        Ok(final_path)
+    }
+
+    /// Candidate snapshot paths, newest sequence first.
+    pub fn list(&self) -> Vec<PathBuf> {
+        let mut found: Vec<PathBuf> = fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "ckpt")
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("snap-"))
+            })
+            .collect();
+        // Zero-padded sequence numbers make lexical order numeric order.
+        found.sort();
+        found.reverse();
+        found
+    }
+
+    /// Loads the newest CRC-valid snapshot, skipping (and logging)
+    /// torn or corrupt ones on the way down.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::NoValidSnapshot`] when nothing on disk
+    /// validates.
+    pub fn load_latest(&self) -> Result<(RuntimeSnapshot, RecoveryLog), SnapshotError> {
+        let mut log = RecoveryLog::default();
+        let candidates = self.list();
+        let examined = candidates.len();
+        for path in candidates {
+            let attempt = fs::read_to_string(&path)
+                .map_err(|e| SnapshotError::Io {
+                    path: path.clone(),
+                    detail: e.to_string(),
+                })
+                .and_then(|text| RuntimeSnapshot::decode(&text, &path));
+            match attempt {
+                Ok(snap) => return Ok((snap, log)),
+                Err(e) => log.skipped.push((path, e.to_string())),
+            }
+        }
+        Err(SnapshotError::NoValidSnapshot {
+            dir: self.dir.clone(),
+            examined,
+        })
+    }
+
+    /// Best-effort removal of snapshots beyond the retention count;
+    /// pruning failure never fails a checkpoint.
+    fn prune(&self) {
+        for stale in self.list().into_iter().skip(self.keep) {
+            let _ = fs::remove_file(stale);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{SystemTime, UNIX_EPOCH};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let nonce = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!("tsnap-{tag}-{}-{nonce}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(seq: u64) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            seq,
+            taken_at_ms: 1234 + seq,
+            sites: vec![
+                SiteSnapshot {
+                    name: "s00".into(),
+                    calibration: Some(CodeCalibration {
+                        gain: 3.0551e-3,
+                        offset: -251.7,
+                    }),
+                    quarantined: None,
+                    breaker: BreakerState::Closed { failures: 1 },
+                },
+                SiteSnapshot {
+                    name: "s01".into(),
+                    calibration: Some(CodeCalibration {
+                        gain: 3.1e-3,
+                        offset: -250.0,
+                    }),
+                    quarantined: Some(HealthStatus::Outlier { deviation_c: -7.25 }),
+                    breaker: BreakerState::Open {
+                        since_ms: 1000,
+                        until_ms: 1250,
+                    },
+                },
+                SiteSnapshot {
+                    name: "s02".into(),
+                    calibration: None,
+                    quarantined: Some(HealthStatus::NoActivity {
+                        cause: "conversion window timed out".into(),
+                    }),
+                    breaker: BreakerState::HalfOpen { successes: 1 },
+                },
+            ],
+            readings: vec![(1100, 85.3, 1.0), (1200, 86.1, 2.0 / 3.0)],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let snap = sample(42);
+        let text = snap.encode();
+        let back = RuntimeSnapshot::decode(&text, Path::new("mem")).unwrap();
+        assert_eq!(back, snap, "bit-exact round trip, f64s included");
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_detected() {
+        let text = sample(7).encode();
+        let bytes = text.as_bytes();
+        // Flip a byte in the middle of the calibration line.
+        for pos in [text.find("cal\t").unwrap() + 6, 0, bytes.len() / 2] {
+            let mut broken = bytes.to_vec();
+            broken[pos] ^= 0x20;
+            let broken = String::from_utf8_lossy(&broken).into_owned();
+            let err = RuntimeSnapshot::decode(&broken, Path::new("mem")).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Corrupt { .. }),
+                "flip at {pos} must be caught, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_write_is_corrupt_not_garbage() {
+        let text = sample(7).encode();
+        let torn = &text[..text.len() / 2];
+        let err = RuntimeSnapshot::decode(torn, Path::new("mem")).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn store_saves_atomically_and_loads_newest() {
+        let dir = tmp_dir("store");
+        let store = SnapshotStore::open(&dir, 3).unwrap();
+        for seq in 1..=5 {
+            store.save(&sample(seq)).unwrap();
+        }
+        assert_eq!(store.list().len(), 3, "retention prunes to keep=3");
+        let (snap, log) = store.load_latest().unwrap();
+        assert_eq!(snap.seq, 5);
+        assert!(log.skipped.is_empty());
+        assert!(
+            !dir.read_dir().unwrap().any(|e| e
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "tmp")),
+            "no temp files left behind"
+        );
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_skips_torn_and_corrupt_snapshots() {
+        let dir = tmp_dir("recover");
+        let store = SnapshotStore::open(&dir, 10).unwrap();
+        store.save(&sample(1)).unwrap();
+        // A newer torn snapshot (simulated crash mid-write that still
+        // got renamed somehow) and a newer corrupt one.
+        let torn = sample(2).encode();
+        fs::write(dir.join("snap-0000000002.ckpt"), &torn[..torn.len() / 3]).unwrap();
+        let mut corrupt = sample(3).encode().into_bytes();
+        let n = corrupt.len();
+        corrupt[n / 2] ^= 0xFF;
+        fs::write(dir.join("snap-0000000003.ckpt"), corrupt).unwrap();
+
+        let (snap, log) = store.load_latest().unwrap();
+        assert_eq!(snap.seq, 1, "falls back to the newest valid snapshot");
+        assert_eq!(log.skipped.len(), 2, "both bad snapshots logged");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_is_a_typed_error() {
+        let dir = tmp_dir("empty");
+        let store = SnapshotStore::open(&dir, 2).unwrap();
+        let err = store.load_latest().unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::NoValidSnapshot { examined: 0, .. }
+        ));
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -127,8 +127,13 @@ pub struct SensorArray {
     sites: Vec<SensorSite>,
     selected: usize,
     /// Sites benched by health monitoring: index → verdict. Persists
-    /// across scans until [`SensorArray::clear_quarantine`].
+    /// across scans until [`SensorArray::clear_quarantine`] or parole
+    /// (see [`HealthPolicy::parole_after`]).
     quarantine: BTreeMap<usize, HealthStatus>,
+    /// Consecutive healthy probe scans per quarantined site, feeding
+    /// the parole decision. Reset whenever a probe fails or the site
+    /// is (re-)quarantined.
+    parole_streak: BTreeMap<usize, u32>,
 }
 
 impl SensorArray {
@@ -265,6 +270,50 @@ impl SensorArray {
     /// Lifts every quarantine (e.g. after a repair or to re-test).
     pub fn clear_quarantine(&mut self) {
         self.quarantine.clear();
+        self.parole_streak.clear();
+    }
+
+    /// Benches one channel with an explicit verdict, resetting any
+    /// parole streak it had accumulated. Used by supervising runtimes
+    /// to restore quarantine state from a checkpoint and by tests to
+    /// stage degraded arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::BadChannel`] for an out-of-range channel.
+    pub fn set_quarantine(&mut self, channel: usize, status: HealthStatus) -> Result<()> {
+        if channel >= self.sites.len() {
+            return Err(SensorError::BadChannel {
+                channel,
+                available: self.sites.len(),
+            });
+        }
+        self.quarantine.insert(channel, status);
+        self.parole_streak.remove(&channel);
+        Ok(())
+    }
+
+    /// Releases one channel from quarantine (explicit parole). No-op
+    /// when the channel was not quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::BadChannel`] for an out-of-range channel.
+    pub fn lift_quarantine(&mut self, channel: usize) -> Result<()> {
+        if channel >= self.sites.len() {
+            return Err(SensorError::BadChannel {
+                channel,
+                available: self.sites.len(),
+            });
+        }
+        self.quarantine.remove(&channel);
+        self.parole_streak.remove(&channel);
+        Ok(())
+    }
+
+    /// The channel index of a site by name, if present.
+    pub fn site_index(&self, name: &str) -> Option<usize> {
+        self.sites.iter().position(|s| s.name == name)
     }
 
     /// Scans with per-ring health monitoring and graceful degradation:
@@ -351,13 +400,54 @@ impl SensorArray {
                         deviation_c: p.measured_c - med,
                     },
                 );
+                self.parole_streak.remove(&ch);
             }
             survivors = kept;
+        }
+        let quarantined_this_scan = self.quarantine.len();
+        // Parole probing: quarantined sites are measured out-of-band
+        // (their readings are never served this scan) and released
+        // after `parole_after` consecutive healthy probes, so transient
+        // faults do not bench a ring forever. With no survivors the
+        // neighbor vote is vacuous and the probe falls back to the
+        // period band alone — this is what lets a fully-quarantined
+        // array climb back once its faults clear.
+        if let Some(required) = policy.parole_after {
+            let med = if survivors.is_empty() {
+                None
+            } else {
+                let readings: Vec<f64> = survivors.iter().map(|(_, p)| p.measured_c).collect();
+                Some(median(&readings))
+            };
+            let benched: Vec<usize> = self.quarantine.keys().copied().collect();
+            for ch in benched {
+                let site = &mut self.sites[ch];
+                let true_c = field(site.x_m, site.y_m);
+                let healthy = match site.unit.measure(Celsius::new(true_c)) {
+                    Err(_) => false,
+                    Ok(m) => {
+                        policy.period_plausible(m.ring_period.get())
+                            && med.is_none_or(|m0| {
+                                (m.temperature.get() - m0).abs() <= policy.neighbor_tolerance_c
+                            })
+                    }
+                };
+                if healthy {
+                    let streak = self.parole_streak.entry(ch).or_insert(0);
+                    *streak += 1;
+                    if *streak >= required {
+                        self.quarantine.remove(&ch);
+                        self.parole_streak.remove(&ch);
+                    }
+                } else {
+                    self.parole_streak.remove(&ch);
+                }
+            }
         }
         if survivors.is_empty() {
             return Err(SensorError::NoHealthyRings {
                 total: self.sites.len(),
-                quarantined: self.quarantine.len(),
+                quarantined: quarantined_this_scan,
             });
         }
         let points: Vec<MapPoint> = survivors.into_iter().map(|(_, p)| p).collect();
@@ -563,6 +653,179 @@ mod tests {
         assert!(!r.is_degraded());
         assert_eq!(r.confidence, 1.0);
         assert_eq!(r.points.len(), 9);
+    }
+
+    #[test]
+    fn empty_array_scan_degraded_rejected() {
+        use crate::health::HealthPolicy;
+        let mut a = SensorArray::new();
+        assert!(matches!(
+            a.scan_degraded(&|_, _| 25.0, &HealthPolicy::default()),
+            Err(SensorError::BadChannel {
+                channel: 0,
+                available: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn all_units_pre_quarantined_is_typed_error() {
+        use crate::health::{HealthPolicy, HealthStatus};
+        let mut a = grid_array();
+        for ch in 0..a.channel_count() {
+            a.set_quarantine(
+                ch,
+                HealthStatus::NoActivity {
+                    cause: "staged".into(),
+                },
+            )
+            .unwrap();
+        }
+        // Without parole the array can never serve again.
+        assert!(matches!(
+            a.scan_degraded(&|_, _| 85.0, &HealthPolicy::default()),
+            Err(SensorError::NoHealthyRings {
+                total: 9,
+                quarantined: 9
+            })
+        ));
+        // And the verdicts persist for inspection.
+        assert_eq!(a.quarantined().len(), 9);
+    }
+
+    #[test]
+    fn exactly_one_survivor_serves_with_bounded_confidence() {
+        use crate::health::{HealthPolicy, HealthStatus};
+        let mut a = grid_array();
+        for ch in 0..8 {
+            a.set_quarantine(
+                ch,
+                HealthStatus::NoActivity {
+                    cause: "staged".into(),
+                },
+            )
+            .unwrap();
+        }
+        let r = a
+            .scan_degraded(&|_, _| 70.0, &HealthPolicy::default())
+            .unwrap();
+        assert_eq!(r.points.len(), 1, "exactly the one survivor serves");
+        assert_eq!(r.points[0].name, "s22");
+        // With one reading the median IS that reading and the single
+        // survivor can never out-vote itself into quarantine.
+        assert_eq!(r.value, r.points[0].measured_c);
+        assert!((r.value - 70.0).abs() < 2.0);
+        assert!((r.confidence - 1.0 / 9.0).abs() < 1e-12);
+        assert!(r.confidence > 0.0 && r.confidence <= 1.0);
+        assert!(r.is_degraded());
+        assert_eq!(r.quarantined.len(), 8);
+    }
+
+    #[test]
+    fn set_and_lift_quarantine_validate_channels() {
+        use crate::health::HealthStatus;
+        let mut a = grid_array();
+        assert!(matches!(
+            a.set_quarantine(99, HealthStatus::NoActivity { cause: "x".into() }),
+            Err(SensorError::BadChannel { .. })
+        ));
+        assert!(matches!(
+            a.lift_quarantine(99),
+            Err(SensorError::BadChannel { .. })
+        ));
+        a.set_quarantine(
+            3,
+            HealthStatus::NoActivity {
+                cause: "staged".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(a.quarantined().len(), 1);
+        a.lift_quarantine(3).unwrap();
+        assert!(a.quarantined().is_empty());
+        assert_eq!(a.site_index("s11"), Some(4));
+        assert_eq!(a.site_index("nope"), None);
+    }
+
+    #[test]
+    fn parole_releases_recovered_ring_after_n_healthy_scans() {
+        use crate::health::{HealthPolicy, HealthStatus};
+        use crate::unit::RingFault;
+        let mut a = grid_array();
+        let policy = HealthPolicy::default().with_parole_after(2);
+        a.sites_mut()[4].unit.inject_fault(RingFault::Dead);
+        let r = a.scan_degraded(&|_, _| 85.0, &policy).unwrap();
+        assert_eq!(r.quarantined.len(), 1);
+        assert!(matches!(
+            r.quarantined[0].1,
+            HealthStatus::NoActivity { .. }
+        ));
+        // The fault clears (e.g. droop recovers); the site must probe
+        // healthy for two consecutive scans before it serves again.
+        a.sites_mut()[4].unit.clear_fault();
+        let r = a.scan_degraded(&|_, _| 85.0, &policy).unwrap();
+        assert_eq!(r.points.len(), 8, "probe scan 1: still benched");
+        let r = a.scan_degraded(&|_, _| 85.0, &policy).unwrap();
+        assert_eq!(r.points.len(), 8, "probe scan 2: parole granted after");
+        assert!(a.quarantined().is_empty(), "quarantine lifted");
+        let r = a.scan_degraded(&|_, _| 85.0, &policy).unwrap();
+        assert_eq!(r.points.len(), 9, "paroled site serves again");
+        assert!(!r.is_degraded());
+    }
+
+    #[test]
+    fn parole_streak_resets_on_unhealthy_probe() {
+        use crate::health::HealthPolicy;
+        use crate::unit::RingFault;
+        let mut a = grid_array();
+        let policy = HealthPolicy::default().with_parole_after(2);
+        a.sites_mut()[4].unit.inject_fault(RingFault::Dead);
+        a.scan_degraded(&|_, _| 85.0, &policy).unwrap();
+        // One healthy probe…
+        a.sites_mut()[4].unit.clear_fault();
+        a.scan_degraded(&|_, _| 85.0, &policy).unwrap();
+        // …then the fault returns: the streak must restart.
+        a.sites_mut()[4].unit.inject_fault(RingFault::Dead);
+        a.scan_degraded(&|_, _| 85.0, &policy).unwrap();
+        a.sites_mut()[4].unit.clear_fault();
+        a.scan_degraded(&|_, _| 85.0, &policy).unwrap();
+        assert_eq!(
+            a.quarantined().len(),
+            1,
+            "single healthy probe after relapse must not parole"
+        );
+        a.scan_degraded(&|_, _| 85.0, &policy).unwrap();
+        assert!(a.quarantined().is_empty(), "two consecutive probes do");
+    }
+
+    #[test]
+    fn fully_quarantined_array_recovers_via_parole() {
+        use crate::health::HealthPolicy;
+        use crate::unit::RingFault;
+        let mut a = grid_array();
+        let policy = HealthPolicy::default().with_parole_after(1);
+        for s in a.sites_mut() {
+            s.unit.inject_fault(RingFault::Dead);
+        }
+        assert!(matches!(
+            a.scan_degraded(&|_, _| 85.0, &policy),
+            Err(SensorError::NoHealthyRings {
+                total: 9,
+                quarantined: 9
+            })
+        ));
+        for s in a.sites_mut() {
+            s.unit.clear_fault();
+        }
+        // The probe scan still serves nothing (probes are out-of-band)
+        // but paroles every site with no neighbor vote available.
+        assert!(matches!(
+            a.scan_degraded(&|_, _| 85.0, &policy),
+            Err(SensorError::NoHealthyRings { .. })
+        ));
+        assert!(a.quarantined().is_empty());
+        let r = a.scan_degraded(&|_, _| 85.0, &policy).unwrap();
+        assert_eq!(r.points.len(), 9, "the array climbed back");
     }
 
     #[test]

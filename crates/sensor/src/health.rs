@@ -42,16 +42,27 @@ pub struct HealthPolicy {
     /// the per-site accuracy; the default (3 °C) suits the paper's
     /// ±1.3 °C units on a near-uniform field.
     pub neighbor_tolerance_c: f64,
+    /// Parole knob: a quarantined site that probes healthy (measurement
+    /// succeeds, period in band, reading within `neighbor_tolerance_c`
+    /// of the survivors' median) for this many *consecutive* degraded
+    /// scans is released from quarantine and rejoins the next scan.
+    /// `None` (the default) keeps quarantine permanent — the
+    /// conservative thermal-test posture; a supervising runtime sets
+    /// this so transient faults (droop, metastable bursts) do not bench
+    /// a ring forever.
+    pub parole_after: Option<u32>,
 }
 
 impl Default for HealthPolicy {
     /// A broad band covering every shipped ring preset (tens of ps to
-    /// a few ns) with a 3 °C neighbor tolerance.
+    /// a few ns) with a 3 °C neighbor tolerance and permanent
+    /// quarantine (no parole).
     fn default() -> Self {
         HealthPolicy {
             period_min_s: 20e-12,
             period_max_s: 5e-9,
             neighbor_tolerance_c: 3.0,
+            parole_after: None,
         }
     }
 }
@@ -76,8 +87,16 @@ impl HealthPolicy {
         Ok(HealthPolicy {
             period_min_s: min * (1.0 - margin),
             period_max_s: max * (1.0 + margin),
-            neighbor_tolerance_c: HealthPolicy::default().neighbor_tolerance_c,
+            ..HealthPolicy::default()
         })
+    }
+
+    /// Enables parole: a quarantined site probing healthy for `scans`
+    /// consecutive degraded scans is released (chainable).
+    #[must_use]
+    pub fn with_parole_after(mut self, scans: u32) -> Self {
+        self.parole_after = Some(scans.max(1));
+        self
     }
 
     /// `true` when a measured ring period sits inside the plausible

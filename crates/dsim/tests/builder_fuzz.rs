@@ -1,0 +1,116 @@
+//! No-panic fuzzing of the netlist builders.
+//!
+//! The ring-oscillator builders are the entry point every higher layer
+//! (sensor units, STA, netcheck fixtures) funnels through, so their
+//! contract must be total: any stage-op sequence, any per-stage delay
+//! (including 0 and `u64::MAX`), and any prefix string — including raw
+//! byte noise — produce either a `RingPorts` or a typed `BuildError`,
+//! never a panic. And the accept/reject decision must match the
+//! documented rule exactly: at least three stages, odd inversion
+//! parity.
+
+use proptest::prelude::*;
+
+use dsim::builders::{ring_oscillator, ring_oscillator_with_delays};
+use dsim::netlist::{GateOp, Netlist};
+use dsim::sim::Simulator;
+
+fn arb_op() -> impl Strategy<Value = GateOp> {
+    prop::sample::select(vec![
+        GateOp::Buf,
+        GateOp::Inv,
+        GateOp::And,
+        GateOp::Nand,
+        GateOp::Or,
+        GateOp::Nor,
+        GateOp::Xor,
+        GateOp::Xnor,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_stage_sequences_never_panic_and_match_the_contract(
+        ops in prop::collection::vec(arb_op(), 0..10),
+        delay_fs in any::<u64>(),
+    ) {
+        let mut nl = Netlist::new();
+        let result = ring_oscillator(&mut nl, &ops, "fuzz", delay_fs);
+        let inversions = ops.iter().filter(|op| op.is_inverting()).count();
+        let should_build = ops.len() >= 3 && inversions % 2 == 1;
+        prop_assert_eq!(
+            result.is_ok(),
+            should_build,
+            "{} stage(s), {} inversion(s): {:?}",
+            ops.len(),
+            inversions,
+            result.err()
+        );
+        if let Ok(ports) = result {
+            prop_assert_eq!(ports.stages.len(), ops.len());
+        }
+    }
+
+    #[test]
+    fn arbitrary_per_stage_delays_never_panic(
+        stages in prop::collection::vec((arb_op(), any::<u64>()), 0..8),
+    ) {
+        let mut nl = Netlist::new();
+        let _ = ring_oscillator_with_delays(&mut nl, &stages, "fuzz");
+    }
+
+    #[test]
+    fn arbitrary_byte_prefixes_never_panic(
+        prefix_bytes in prop::collection::vec(any::<u8>(), 0..40),
+        stages in 3usize..9,
+    ) {
+        // Signal names come from user-controlled strings; builders must
+        // accept any of them, printable or not.
+        let prefix = String::from_utf8_lossy(&prefix_bytes).into_owned();
+        let mut ops = vec![GateOp::Inv; stages];
+        if stages % 2 == 0 {
+            ops[0] = GateOp::Buf; // keep the inversion parity odd
+        }
+        let mut nl = Netlist::new();
+        let ports = ring_oscillator(&mut nl, &ops, &prefix, 1_000);
+        prop_assert!(ports.is_ok(), "{:?}", ports.err());
+    }
+
+    #[test]
+    fn built_rings_simulate_without_panicking(
+        stages in 3usize..9,
+        mixers in prop::collection::vec(any::<bool>(), 0..9),
+        delay_fs in 100u64..50_000,
+    ) {
+        // Odd-parity rings with a random Inv/Nand mix must build and
+        // then run under the event-driven simulator — the builder's
+        // initial-value seeding must launch the wave for every mix.
+        let mut ops: Vec<GateOp> = (0..stages)
+            .map(|i| {
+                if mixers.get(i).copied().unwrap_or(false) {
+                    GateOp::Nand
+                } else {
+                    GateOp::Inv
+                }
+            })
+            .collect();
+        let inversions = ops.iter().filter(|op| op.is_inverting()).count();
+        if inversions % 2 == 0 {
+            ops[0] = GateOp::Buf;
+        }
+        prop_assume!(ops.iter().filter(|op| op.is_inverting()).count() % 2 == 1);
+        let mut nl = Netlist::new();
+        let ports = ring_oscillator(&mut nl, &ops, "ring", delay_fs);
+        prop_assert!(ports.is_ok(), "{:?}", ports.err());
+        let ports = ports.expect("checked above");
+        let mut sim = Simulator::new(nl);
+        sim.count_edges(ports.out);
+        sim.run_until(50 * delay_fs * stages as u64);
+        prop_assert!(
+            sim.edge_count(ports.out).unwrap_or(0) > 0,
+            "an odd-parity ring must oscillate"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Time as a capability: the [`Clock`] trait, its host-backed and
+//! virtual implementations, and the process-wide nonce counter.
+//!
+//! Code that reads `Instant::now()` directly can only ever be tested
+//! against the one interleaving the host scheduler happens to produce.
+//! Code that reads a [`Clock`] can run unchanged under a
+//! [`VirtualClock`], where time advances *only* when the simulation is
+//! quiescent — so a 60-second soak's worth of timeouts, backoffs,
+//! cooldowns, and staleness bounds replays in microseconds, identically
+//! on every run of the same seed.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// A source of time. `now_ms` is the monotonic variant every timeout
+/// and staleness bound is computed from; `wall_ns` is the wall variant
+/// used only for identity (nonces, artifact names), never for logic.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Monotonic milliseconds since this clock's origin.
+    fn now_ms(&self) -> u64;
+
+    /// Wall-clock nanoseconds since the Unix epoch (or a deterministic
+    /// stand-in under simulation). Identity only — never compare this
+    /// against `now_ms`.
+    fn wall_ns(&self) -> u128;
+
+    /// Blocks (or, under simulation, advances virtual time) for `ms`
+    /// milliseconds.
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// The host's clocks: a pinned [`Instant`] origin for `now_ms`,
+/// [`SystemTime`] for `wall_ns`, and a real [`std::thread::sleep`].
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A system clock whose `now_ms` origin is the moment of creation.
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
+    fn wall_ns(&self) -> u128 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+/// A clock that moves only when told to.
+///
+/// Monotonic by construction: [`VirtualClock::advance_to`] ignores
+/// attempts to move backwards. `wall_ns` is derived from virtual time
+/// plus a per-call sequence number, so it is unique and deterministic
+/// but carries no hidden entropy.
+///
+/// `sleep_ms` advances the clock itself — the cooperative semantics a
+/// single-threaded simulation wants (the sleeper *is* the only
+/// runnable task, so time may jump). Do not share a `VirtualClock`
+/// between preemptive threads expecting real blocking.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_ms: AtomicU64,
+    wall_seq: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock at t = 0.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Moves time forward to `ms` (no-op if already past it).
+    pub fn advance_to(&self, ms: u64) {
+        self.now_ms.fetch_max(ms, Ordering::SeqCst);
+    }
+
+    /// Moves time forward by `ms`.
+    pub fn advance_by(&self, ms: u64) {
+        self.now_ms.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+
+    fn wall_ns(&self) -> u128 {
+        let seq = self.wall_seq.fetch_add(1, Ordering::SeqCst);
+        u128::from(self.now_ms()) * 1_000_000 + u128::from(seq)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        self.advance_by(ms);
+    }
+}
+
+/// A process-unique nonce: wall nanoseconds from a fresh
+/// [`SystemClock`] fused with one process-wide atomic counter.
+///
+/// Timestamp-only nonces (`SystemTime::now()` nanos) collide when two
+/// checkpoints, tests, or scratch directories are created inside the
+/// same clock tick; the counter half makes every call distinct even at
+/// that cadence. The counter wraps at 2^16, far beyond anything a
+/// single nanosecond can issue.
+pub fn unique_nonce() -> u128 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    (SystemClock::new().wall_ns() << 16) | u128::from(count as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic_and_walks_forward() {
+        let c = SystemClock::new();
+        let a = c.now_ms();
+        c.sleep_ms(2);
+        let b = c.now_ms();
+        assert!(b > a, "{a} -> {b}");
+        assert!(c.wall_ns() > 1_500_000_000u128 * 1_000_000_000);
+    }
+
+    #[test]
+    fn virtual_clock_moves_only_on_demand() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance_to(100);
+        assert_eq!(c.now_ms(), 100);
+        c.advance_to(50); // never backwards
+        assert_eq!(c.now_ms(), 100);
+        c.sleep_ms(25); // cooperative sleep advances
+        assert_eq!(c.now_ms(), 125);
+        c.advance_by(5);
+        assert_eq!(c.now_ms(), 130);
+    }
+
+    #[test]
+    fn virtual_wall_is_unique_and_deterministic() {
+        let c = VirtualClock::new();
+        c.advance_to(7);
+        let a = c.wall_ns();
+        let b = c.wall_ns();
+        assert_ne!(a, b, "wall nonces must differ per call");
+        assert_eq!(a, 7_000_000, "derived from virtual time, not entropy");
+
+        let d = VirtualClock::new();
+        d.advance_to(7);
+        assert_eq!(d.wall_ns(), a, "same history, same wall value");
+    }
+
+    #[test]
+    fn nonces_never_collide_under_rapid_fire() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(unique_nonce()), "nonce collided");
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! A seeded single-threaded scheduler for cooperative tasks.
+//!
+//! Tasks are closures that take the current virtual time and return a
+//! [`TaskState`]: still runnable, asleep until a wake time, or done.
+//! Each scheduling round the executor picks one *runnable* task with a
+//! seeded RNG and steps it once; when nothing is runnable it advances
+//! the [`VirtualClock`] to the earliest wake time (quiescence — the
+//! only place time moves). Different seeds therefore explore different
+//! interleavings of the same task set, and the same seed replays the
+//! same schedule exactly. Every step is appended to a trace of
+//! [`StepRecord`]s, and a caller-supplied check runs after each step so
+//! a simulation can stop at the first invariant violation with the
+//! trace that produced it.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clock::{Clock, VirtualClock};
+
+/// What a task reports after being stepped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Has more work now; eligible for the next pick.
+    Runnable,
+    /// Blocked until virtual time reaches the given millisecond.
+    SleepUntil(u64),
+    /// Finished; never stepped again.
+    Done,
+}
+
+/// One scheduling decision, for replayable traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepRecord {
+    /// Global step index (0-based).
+    pub step: u64,
+    /// Virtual time when the task was stepped.
+    pub at_ms: u64,
+    /// Label of the task that ran.
+    pub task: String,
+}
+
+struct Task {
+    label: String,
+    state: TaskState,
+    run: Box<dyn FnMut(u64) -> TaskState>,
+}
+
+/// The seeded scheduler. See the module docs for semantics.
+pub struct Executor {
+    clock: Arc<VirtualClock>,
+    rng: StdRng,
+    tasks: Vec<Task>,
+    trace: Vec<StepRecord>,
+    steps: u64,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("tasks", &self.tasks.len())
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// An executor whose scheduling decisions are a pure function of
+    /// `seed` and whose time is `clock`.
+    pub fn new(seed: u64, clock: Arc<VirtualClock>) -> Self {
+        Executor {
+            clock,
+            rng: StdRng::seed_from_u64(seed ^ 0x5EED_0000_0000_0000),
+            tasks: Vec::new(),
+            trace: Vec::new(),
+            steps: 0,
+        }
+    }
+
+    /// Registers a task. `wake_at` is the first virtual time it may
+    /// run; the closure receives the current virtual time each step.
+    pub fn spawn(
+        &mut self,
+        label: impl Into<String>,
+        wake_at: u64,
+        run: impl FnMut(u64) -> TaskState + 'static,
+    ) {
+        self.tasks.push(Task {
+            label: label.into(),
+            state: if wake_at == 0 {
+                TaskState::Runnable
+            } else {
+                TaskState::SleepUntil(wake_at)
+            },
+            run: Box::new(run),
+        });
+    }
+
+    /// Runs until every task is done, virtual time passes `until_ms`,
+    /// `max_steps` is exhausted, or `check` returns a value. The check
+    /// runs after *every* step, so the returned trace ends on the exact
+    /// step that produced the violation.
+    pub fn run<V>(
+        &mut self,
+        until_ms: u64,
+        max_steps: u64,
+        mut check: impl FnMut(&StepRecord) -> Option<V>,
+    ) -> Option<V> {
+        loop {
+            if self.steps >= max_steps || self.clock.now_ms() > until_ms {
+                return None;
+            }
+            let now = self.clock.now_ms();
+            // Promote sleepers whose wake time has arrived.
+            for t in &mut self.tasks {
+                if let TaskState::SleepUntil(at) = t.state {
+                    if at <= now {
+                        t.state = TaskState::Runnable;
+                    }
+                }
+            }
+            let runnable: Vec<usize> = self
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state == TaskState::Runnable)
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                // Quiescent: jump to the earliest wake time, or stop if
+                // every task is done.
+                let next_wake = self
+                    .tasks
+                    .iter()
+                    .filter_map(|t| match t.state {
+                        TaskState::SleepUntil(at) => Some(at),
+                        _ => None,
+                    })
+                    .min();
+                match next_wake {
+                    Some(at) => self.clock.advance_to(at),
+                    None => return None,
+                }
+                continue;
+            }
+            let pick = runnable[self.rng.random_range(0..runnable.len() as u64) as usize];
+            let task = &mut self.tasks[pick];
+            task.state = (task.run)(now);
+            let record = StepRecord {
+                step: self.steps,
+                at_ms: now,
+                task: task.label.clone(),
+            };
+            self.steps += 1;
+            self.trace.push(record);
+            let record = self.trace.last().expect("just pushed");
+            if let Some(v) = check(record) {
+                return Some(v);
+            }
+        }
+    }
+
+    /// The schedule so far.
+    pub fn trace(&self) -> &[StepRecord] {
+        &self.trace
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn counter_tasks(seed: u64) -> (Vec<StepRecord>, Vec<u64>) {
+        let clock = Arc::new(VirtualClock::new());
+        let mut ex = Executor::new(seed, Arc::clone(&clock));
+        let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for id in 0u64..3 {
+            let log = Rc::clone(&log);
+            let mut left = 4u64;
+            ex.spawn(format!("t{id}"), 0, move |now| {
+                log.borrow_mut().push(id * 1000 + now);
+                left -= 1;
+                if left == 0 {
+                    TaskState::Done
+                } else {
+                    TaskState::SleepUntil(now + 10 * (id + 1))
+                }
+            });
+        }
+        let out = ex.run(10_000, 10_000, |_| None::<()>);
+        assert!(out.is_none());
+        let observed = log.borrow().clone();
+        (ex.trace().to_vec(), observed)
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let (ta, la) = counter_tasks(42);
+        let (tb, lb) = counter_tasks(42);
+        assert_eq!(ta, tb, "trace must replay exactly");
+        assert_eq!(la, lb, "side effects must replay exactly");
+        assert_eq!(ta.len(), 12, "3 tasks x 4 steps each");
+    }
+
+    #[test]
+    fn different_seeds_explore_different_interleavings() {
+        let schedules: std::collections::HashSet<Vec<String>> = (0..16u64)
+            .map(|s| {
+                counter_tasks(s)
+                    .0
+                    .into_iter()
+                    .map(|r| r.task)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert!(
+            schedules.len() > 1,
+            "16 seeds should produce more than one distinct schedule"
+        );
+    }
+
+    #[test]
+    fn time_advances_only_at_quiescence() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut ex = Executor::new(0, Arc::clone(&clock));
+        let c2 = Arc::clone(&clock);
+        let mut first = true;
+        ex.spawn("sleeper", 0, move |now| {
+            if first {
+                first = false;
+                assert_eq!(now, 0);
+                TaskState::SleepUntil(500)
+            } else {
+                assert_eq!(now, 500, "woken exactly at the wake time");
+                assert_eq!(c2.now_ms(), 500);
+                TaskState::Done
+            }
+        });
+        assert!(ex.run(1_000, 100, |_| None::<()>).is_none());
+        assert_eq!(clock.now_ms(), 500, "no drift past the last wake");
+        assert_eq!(ex.steps(), 2);
+    }
+
+    #[test]
+    fn check_stops_on_the_violating_step() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut ex = Executor::new(9, Arc::clone(&clock));
+        ex.spawn("hot", 0, |_| TaskState::Runnable);
+        let hit = ex.run(10, 1_000, |r| if r.step == 6 { Some(r.step) } else { None });
+        assert_eq!(hit, Some(6));
+        assert_eq!(ex.trace().len(), 7, "trace ends on the violating step");
+    }
+
+    #[test]
+    fn step_budget_bounds_runaway_tasks() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut ex = Executor::new(1, Arc::clone(&clock));
+        ex.spawn("spin", 0, |_| TaskState::Runnable);
+        assert!(ex.run(u64::MAX, 50, |_| None::<()>).is_none());
+        assert_eq!(ex.steps(), 50);
+    }
+}

@@ -1,0 +1,43 @@
+//! `dst` — deterministic simulation testing primitives.
+//!
+//! The monitoring runtime ([`runtime`](https://docs.rs) crate) promises
+//! typed deadlines, bounded staleness, legal breaker transitions, and
+//! crash-safe recovery. A wall-clock soak samples *one* nondeterministic
+//! interleaving of those mechanisms per run; this crate provides the
+//! FoundationDB/TigerBeetle-style substrate that lets a test explore
+//! *thousands* of interleavings per second, each one replayable
+//! byte-for-byte from a seed:
+//!
+//! * [`clock`] — the [`Clock`] abstraction over time.
+//!   [`SystemClock`] reads the host; [`VirtualClock`] advances only
+//!   when the simulation says so, making every timeout, backoff,
+//!   cooldown, and staleness bound a deterministic function of the
+//!   schedule.
+//! * [`fs`] — the [`SimFs`] abstraction over storage. [`RealFs`] is
+//!   `std::fs`; [`SimDisk`] is an in-memory filesystem that models
+//!   sync/crash semantics: unsynced data tears at a seeded byte
+//!   boundary on power loss, renames can be left unjournaled, and
+//!   surviving files can suffer bit rot.
+//! * [`executor`] — a seeded single-threaded [`Executor`] that runs
+//!   cooperative tasks under permuted interleavings, advances the
+//!   virtual clock only at quiescence, records the schedule as a
+//!   replayable trace, and stops at the first invariant violation.
+//! * [`shrink`] — [`shrink_events`], the greedy delta-debugging loop
+//!   that cuts a failing input set down to a minimal reproducer.
+//!
+//! Nothing here knows about sensors: the crate is generic machinery.
+//! The `runtime` crate's `sim` module wires the actual service logic,
+//! fault storms, and invariants on top of it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod executor;
+pub mod fs;
+pub mod shrink;
+
+pub use clock::{unique_nonce, Clock, SystemClock, VirtualClock};
+pub use executor::{Executor, StepRecord, TaskState};
+pub use fs::{FsError, RealFs, SimDisk, SimDiskProfile, SimDiskStats, SimFs};
+pub use shrink::shrink_events;

@@ -1,0 +1,90 @@
+//! Greedy delta-debugging: cut a failing input set to a minimal
+//! reproducer.
+//!
+//! When a seeded simulation finds a violation, the raw reproducer is
+//! the full event set (fault storm, crash points, client load) — far
+//! more than the bug needs. [`shrink_events`] removes one event at a
+//! time, keeping each removal only if the caller confirms the failure
+//! still reproduces, and repeats to a fixpoint. The result is
+//! 1-minimal: removing *any* single remaining event makes the failure
+//! disappear, which is usually a readable story of what went wrong.
+
+/// Shrinks `events` to a 1-minimal subset for which `reproduces` still
+/// returns `true`. Assumes `reproduces(&events)` is `true` on entry
+/// (if it is not, the input is returned unchanged). `reproduces` must
+/// be deterministic; it is called O(n²) times in the worst case.
+pub fn shrink_events<T: Clone>(events: Vec<T>, mut reproduces: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current = events;
+    if !reproduces(&current) {
+        return current;
+    }
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if reproduces(&candidate) {
+                current = candidate;
+                removed_any = true;
+                // Same index now names the next event; do not advance.
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let events: Vec<u32> = (0..20).collect();
+        let out = shrink_events(events, |evs| evs.contains(&13));
+        assert_eq!(out, vec![13]);
+    }
+
+    #[test]
+    fn shrinks_to_a_minimal_pair() {
+        let events: Vec<u32> = (0..12).collect();
+        let out = shrink_events(events, |evs| evs.contains(&3) && evs.contains(&9));
+        assert_eq!(out, vec![3, 9]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Failure needs at least 3 even numbers present.
+        let events: Vec<u32> = (0..16).collect();
+        let out = shrink_events(events, |evs| {
+            evs.iter().filter(|e| *e % 2 == 0).count() >= 3
+        });
+        assert_eq!(out.len(), 3, "exactly the minimum survives: {out:?}");
+        for i in 0..out.len() {
+            let mut fewer = out.clone();
+            fewer.remove(i);
+            assert!(
+                fewer.iter().filter(|e| *e % 2 == 0).count() < 3,
+                "removing any survivor must break reproduction"
+            );
+        }
+    }
+
+    #[test]
+    fn non_reproducing_input_is_returned_unchanged() {
+        let events = vec![1, 2, 3];
+        let out = shrink_events(events.clone(), |_| false);
+        assert_eq!(out, events);
+    }
+
+    #[test]
+    fn order_of_survivors_is_preserved() {
+        let events = vec![5, 1, 4, 2, 3];
+        let out = shrink_events(events, |evs| evs.contains(&4) && evs.contains(&3));
+        assert_eq!(out, vec![4, 3]);
+    }
+}

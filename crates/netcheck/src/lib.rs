@@ -12,6 +12,7 @@
 //! | `NC05xx` | static timing (`sta`)      | fan-out delay degradation, unconstrained endpoints, STA-vs-declared-period mismatch |
 //! | `NC06xx` | array + health policy      | too-small arrays, uncalibrated sites, period-band coverage |
 //! | `NC07xx` | config + runtime deadline  | unservable conversion windows, missing retry headroom |
+//! | `NC08xx` | runtime recovery freshness | staleness bound shorter than the checkpoint interval |
 //!
 //! Every rule has a stable ID and fires as a [`Diagnostic`] at a fixed
 //! [`Severity`]; a [`Report`] aggregates them and renders as text or
@@ -51,5 +52,8 @@ pub use netlist_rules::{check_netlist, check_netlist_with, NetlistCheckOptions};
 pub use pass::{rule_info, run_passes, Pass, RuleInfo, RULES};
 pub use preflight::PreflightError;
 pub use resilience_rules::{check_array_resilience, ArrayUnderPolicy};
-pub use runtime_rules::{check_runtime_budget, ConfigUnderDeadline, DeadlineBudgetPass};
+pub use runtime_rules::{
+    check_runtime_budget, check_runtime_tuning, ConfigUnderDeadline, DeadlineBudgetPass,
+    FreshnessPass, RuntimeTuning,
+};
 pub use timing_rules::{check_netlist_timing, check_netlist_timing_with, TimingPass};

@@ -42,7 +42,8 @@ pub struct RuleInfo {
 /// `NC01xx` = dsim netlists, `NC02xx` = spicelite decks,
 /// `NC03xx` = stdcell libraries, `NC04xx` = sensor configurations,
 /// `NC05xx` = static timing, `NC06xx` = array resilience,
-/// `NC07xx` = runtime deadline budgets.
+/// `NC07xx` = runtime deadline budgets, `NC08xx` = runtime recovery
+/// freshness.
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "NC0001",
@@ -163,6 +164,11 @@ pub const RULES: &[RuleInfo] = &[
         id: "NC0702",
         severity: Severity::Warning,
         summary: "conversion consumes over half the runtime deadline (no retry headroom)",
+    },
+    RuleInfo {
+        id: "NC0801",
+        severity: Severity::Error,
+        summary: "staleness bound shorter than the checkpoint interval (unrecoverable freshness)",
     },
 ];
 

@@ -1,5 +1,5 @@
-//! Rules over sensor configurations under a runtime deadline budget
-//! (`NC07xx`).
+//! Rules over runtime tuning: deadline budgets (`NC07xx`) and
+//! recovery freshness (`NC08xx`).
 //!
 //! A supervised monitoring runtime promises an answer within a
 //! deadline. Whether a given sensor configuration can keep that
@@ -15,6 +15,18 @@
 //! * `NC0702` — a single conversion fits, but consumes more than half
 //!   the deadline: there is no headroom for even one retry, so any
 //!   transient capture fault immediately forces degraded service.
+//!
+//! The `NC08xx` bank lints the runtime's own timing knobs against the
+//! recovery path:
+//!
+//! * `NC0801` — the staleness bound is shorter than the checkpoint
+//!   interval: a crash-recovered process restores readings that are,
+//!   in the worst case, a full checkpoint interval old, so it could
+//!   come up with *nothing* fresh enough to serve and every degraded
+//!   fallback is a typed `StaleCache` error until the first scan
+//!   lands (the `runtime` crate rejects the same pairing dynamically
+//!   at startup, and its deterministic simulation exercises the
+//!   recovery path this rule protects).
 
 use sensor::unit::SensorConfig;
 use tsense_core::units::Celsius;
@@ -99,6 +111,59 @@ pub fn check_runtime_budget(config: &SensorConfig, deadline_s: f64) -> Report {
     run_passes(&passes, &subject)
 }
 
+/// The runtime timing knobs the freshness rules lint.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeTuning {
+    /// Oldest cached reading the runtime will serve, milliseconds.
+    pub staleness_bound_ms: u64,
+    /// Interval between checkpoints, milliseconds (`0` disables
+    /// checkpointing, and with it the hazard).
+    pub checkpoint_interval_ms: u64,
+}
+
+/// `NC0801`: staleness bound vs checkpoint interval across recovery.
+pub struct FreshnessPass;
+
+impl Pass<RuntimeTuning> for FreshnessPass {
+    fn name(&self) -> &'static str {
+        "recovery-freshness"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["NC0801"]
+    }
+
+    fn run(&self, subject: &RuntimeTuning, report: &mut Report) {
+        if subject.checkpoint_interval_ms > 0
+            && subject.staleness_bound_ms < subject.checkpoint_interval_ms
+        {
+            report.push(Diagnostic::error(
+                "NC0801",
+                Location::object(format!(
+                    "staleness {} ms, checkpoint every {} ms",
+                    subject.staleness_bound_ms, subject.checkpoint_interval_ms
+                )),
+                format!(
+                    "staleness bound {} ms is shorter than the {} ms checkpoint interval: a \
+                     crash-recovered process restores readings up to a full interval old, so it \
+                     could hold nothing fresh enough to serve",
+                    subject.staleness_bound_ms, subject.checkpoint_interval_ms
+                ),
+            ));
+        }
+    }
+}
+
+/// Runs every recovery-freshness rule over a runtime's timing knobs.
+pub fn check_runtime_tuning(staleness_bound_ms: u64, checkpoint_interval_ms: u64) -> Report {
+    let subject = RuntimeTuning {
+        staleness_bound_ms,
+        checkpoint_interval_ms,
+    };
+    let passes: [&dyn Pass<RuntimeTuning>; 1] = [&FreshnessPass];
+    run_passes(&passes, &subject)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +209,24 @@ mod tests {
         assert!(!report.has_errors(), "{}", report.render_text());
         let fired: Vec<_> = report.diagnostics().iter().map(|d| d.rule).collect();
         assert_eq!(fired, vec!["NC0702"], "{}", report.render_text());
+    }
+
+    #[test]
+    fn stale_before_checkpoint_errors_nc0801() {
+        // The runtime's own default (600 ms bound, 500 ms interval)
+        // must stay on the clean side of this rule.
+        let report = check_runtime_tuning(600, 500);
+        assert!(report.is_clean(), "{}", report.render_text());
+
+        let report = check_runtime_tuning(400, 500);
+        assert!(report.has_errors(), "{}", report.render_text());
+        assert_eq!(report.diagnostics()[0].rule, "NC0801");
+
+        // Boundary: equal is servable (a just-restored reading is
+        // exactly at the bound, not past it).
+        assert!(check_runtime_tuning(500, 500).is_clean());
+        // Checkpointing off: no recovery path, no hazard.
+        assert!(check_runtime_tuning(10, 0).is_clean());
     }
 
     #[test]

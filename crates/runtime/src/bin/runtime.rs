@@ -1,4 +1,5 @@
-//! `runtime` — soak the supervised monitoring service under chaos.
+//! `runtime` — soak the supervised monitoring service under chaos, or
+//! sweep it under deterministic simulation.
 //!
 //! ```text
 //! runtime soak [OPTIONS]
@@ -18,6 +19,18 @@
 //!                    checkpoint when --restart was given
 //! --json             machine-readable output
 //! --help             this text
+//!
+//! runtime dst [OPTIONS]
+//!
+//! --seeds N          seeds to sweep (default: 200)
+//! --seed-base N      first seed (default: 0)
+//! --mutation M       known-bad mutation: none | no-cooldown-rebase
+//!                    (default: none)
+//! --replay SEED      replay one seed and print its full trace
+//! --trace-out P      on violation, write the shrunk failing trace to P
+//! --check            fail (exit 1) if any seed violates an invariant
+//! --json             machine-readable output
+//! --help             this text
 //! ```
 //!
 //! Exit status: 0 clean; 1 when `--check` fails; 2 on usage errors.
@@ -25,10 +38,15 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use runtime::{run_soak, RuntimeConfig, SoakConfig, SoakReport};
+use runtime::{
+    render_trace, run_sim, run_soak, shrink_failure, sweep, Mutation, RuntimeConfig, SimConfig,
+    SimReport, SoakConfig, SoakReport, SweepOutcome,
+};
 
 const USAGE: &str = "usage: runtime soak [--seconds N] [--seed N] [--sites N] [--faults N] \
-                     [--clients N] [--no-chaos] [--restart] [--snapshot-dir P] [--check] [--json]";
+                     [--clients N] [--no-chaos] [--restart] [--snapshot-dir P] [--check] [--json]\n\
+                     \x20      runtime dst [--seeds N] [--seed-base N] [--mutation M] \
+                     [--replay SEED] [--trace-out P] [--check] [--json]";
 
 struct Options {
     soak: SoakConfig,
@@ -41,16 +59,80 @@ struct Options {
     json: bool,
 }
 
-fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+struct DstOptions {
+    seeds: u64,
+    seed_base: u64,
+    mutation: Mutation,
+    replay: Option<u64>,
+    trace_out: Option<PathBuf>,
+    check: bool,
+    json: bool,
+}
+
+enum Command {
+    Soak(Box<Options>),
+    Dst(DstOptions),
+}
+
+fn parse_dst_args(mut it: std::slice::Iter<'_, String>) -> Result<Option<DstOptions>, String> {
+    let mut opts = DstOptions {
+        seeds: 200,
+        seed_base: 0,
+        mutation: Mutation::None,
+        replay: None,
+        trace_out: None,
+        check: false,
+        json: false,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--json" => opts.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a value")?;
+                opts.seeds = v.parse().map_err(|_| format!("bad seed count `{v}`"))?;
+                if opts.seeds == 0 {
+                    return Err("--seeds must be positive".into());
+                }
+            }
+            "--seed-base" => {
+                let v = it.next().ok_or("--seed-base needs a value")?;
+                opts.seed_base = v.parse().map_err(|_| format!("bad seed base `{v}`"))?;
+            }
+            "--mutation" => {
+                let v = it.next().ok_or("--mutation needs a value")?;
+                opts.mutation = Mutation::parse(v)
+                    .ok_or_else(|| format!("bad mutation `{v}` (none | no-cooldown-rebase)"))?;
+            }
+            "--replay" => {
+                let v = it.next().ok_or("--replay needs a seed")?;
+                opts.replay = Some(v.parse().map_err(|_| format!("bad replay seed `{v}`"))?);
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a path")?;
+                opts.trace_out = Some(PathBuf::from(v));
+            }
+            flag => return Err(format!("unknown argument `{flag}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Command>, String> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("soak") => {}
+        Some("dst") => return Ok(parse_dst_args(it)?.map(Command::Dst)),
         Some("--help") | Some("-h") => {
             println!("{USAGE}");
             return Ok(None);
         }
-        Some(other) => return Err(format!("unknown command `{other}` (try `soak`)")),
-        None => return Err("missing command (try `soak`)".into()),
+        Some(other) => return Err(format!("unknown command `{other}` (try `soak` or `dst`)")),
+        None => return Err("missing command (try `soak` or `dst`)".into()),
     }
     let mut opts = Options {
         soak: SoakConfig::default(),
@@ -105,7 +187,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             flag => return Err(format!("unknown argument `{flag}`")),
         }
     }
-    Ok(Some(opts))
+    Ok(Some(Command::Soak(Box::new(opts))))
 }
 
 fn render_json(report: &SoakReport, restart: bool) -> String {
@@ -144,10 +226,165 @@ fn render_json(report: &SoakReport, restart: bool) -> String {
     )
 }
 
+fn render_sim_json(report: &SimReport) -> String {
+    format!(
+        "{{\n  \"seed\": {},\n  \"mutation\": \"{}\",\n  \"steps\": {},\n  \"requests\": {},\n  \
+         \"served_fresh\": {},\n  \"served_degraded\": {},\n  \"typed_errors\": {},\n  \
+         \"deadline_misses\": {},\n  \"injected\": {},\n  \"cleared\": {},\n  \"crashes\": {},\n  \
+         \"checkpoints\": {},\n  \"snapshots_skipped\": {},\n  \"violation\": {}\n}}",
+        report.seed,
+        report.mutation,
+        report.steps,
+        report.requests,
+        report.served_fresh,
+        report.served_degraded,
+        report.typed_errors,
+        report.deadline_misses,
+        report.injected,
+        report.cleared,
+        report.crashes,
+        report.checkpoints,
+        report.snapshots_skipped,
+        report.violation.as_ref().map_or("null".to_string(), |v| {
+            format!(
+                "{{\"invariant\": \"{}\", \"step\": {}, \"at_ms\": {}, \"task\": \"{}\"}}",
+                v.invariant, v.step, v.at_ms, v.task
+            )
+        }),
+    )
+}
+
+fn render_sweep_json(out: &SweepOutcome, seed_base: u64) -> String {
+    let violations: Vec<String> = out
+        .violations
+        .iter()
+        .map(|r| {
+            let v = r.violation.as_ref().expect("violating report");
+            format!(
+                "    {{\"seed\": {}, \"invariant\": \"{}\", \"step\": {}, \"at_ms\": {}}}",
+                r.seed, v.invariant, v.step, v.at_ms
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"seed_base\": {},\n  \"seeds\": {},\n  \"steps\": {},\n  \"requests\": {},\n  \
+         \"crashes\": {},\n  \"violations\": [\n{}\n  ]\n}}",
+        seed_base,
+        out.seeds,
+        out.steps,
+        out.requests,
+        out.crashes,
+        violations.join(",\n"),
+    )
+}
+
+fn write_failure_artifact(path: &PathBuf, cfg: &SimConfig, report: &SimReport) {
+    let mut text = render_trace(report);
+    if let Some(shrunk) = shrink_failure(cfg) {
+        let events = shrunk.config.events.as_deref().unwrap_or_default();
+        text.push_str(&format!(
+            "\n# shrunk reproducer: seed {} with {} fault event(s), {} crash(es)\n",
+            shrunk.config.seed,
+            events.len(),
+            shrunk.config.crashes.len()
+        ));
+        for ev in events {
+            text.push_str(&format!(
+                "#   t={} ch={} {:?} for {} ms\n",
+                ev.at_ms, ev.channel, ev.fault, ev.duration_ms
+            ));
+        }
+        text.push_str(&render_trace(&shrunk.report));
+    }
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("runtime: could not write trace to {}: {e}", path.display());
+    } else {
+        eprintln!("runtime: failing trace written to {}", path.display());
+    }
+}
+
+fn run_dst_cmd(opts: DstOptions) -> ExitCode {
+    let base = SimConfig {
+        mutation: opts.mutation,
+        ..SimConfig::default()
+    };
+
+    if let Some(seed) = opts.replay {
+        let cfg = SimConfig { seed, ..base };
+        let report = run_sim(&cfg);
+        if opts.json {
+            println!("{}", render_sim_json(&report));
+        } else {
+            print!("{}", render_trace(&report));
+        }
+        if let (Some(path), Some(_)) = (&opts.trace_out, &report.violation) {
+            write_failure_artifact(path, &cfg, &report);
+        }
+        if opts.check && report.violation.is_some() {
+            return ExitCode::from(1);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let out = sweep(&base, opts.seed_base, opts.seeds, false);
+    if opts.json {
+        println!("{}", render_sweep_json(&out, opts.seed_base));
+    } else {
+        println!(
+            "dst sweep: {} seed(s) from {} (mutation {}): {} step(s), {} request(s), \
+             {} crash(es), {} violation(s)",
+            out.seeds,
+            opts.seed_base,
+            opts.mutation,
+            out.steps,
+            out.requests,
+            out.crashes,
+            out.violations.len()
+        );
+        for r in &out.violations {
+            let v = r.violation.as_ref().expect("violating report");
+            println!(
+                "  seed {}: {} at step {} (t={} ms, task {}): {}",
+                r.seed, v.invariant, v.step, v.at_ms, v.task, v.detail
+            );
+        }
+    }
+    if let (Some(path), Some(first)) = (&opts.trace_out, out.violations.first()) {
+        let cfg = SimConfig {
+            seed: first.seed,
+            ..base
+        };
+        write_failure_artifact(path, &cfg, first);
+    }
+    if opts.check {
+        if !out.violations.is_empty() {
+            if !opts.json {
+                eprintln!(
+                    "runtime: dst check FAILED ({} violating seed(s); replay with \
+                     `runtime dst --replay {}{}`)",
+                    out.violations.len(),
+                    out.violations[0].seed,
+                    if opts.mutation == Mutation::None {
+                        String::new()
+                    } else {
+                        format!(" --mutation {}", opts.mutation)
+                    }
+                );
+            }
+            return ExitCode::from(1);
+        }
+        if !opts.json {
+            println!("check PASSED");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
-        Ok(Some(opts)) => opts,
+        Ok(Some(Command::Dst(opts))) => return run_dst_cmd(opts),
+        Ok(Some(Command::Soak(opts))) => *opts,
         Ok(None) => return ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("runtime: {msg}");

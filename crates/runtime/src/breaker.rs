@@ -158,6 +158,23 @@ impl CircuitBreaker {
         };
     }
 
+    /// Restore a checkpointed state verbatim, trusting its timestamps.
+    ///
+    /// This is the *wrong* move across a restart — snapshot deadlines
+    /// belong to the previous process's clock — and [`CircuitBreaker::restore`]
+    /// exists precisely to avoid it. It is kept as a crate-internal
+    /// hook so the deterministic simulation can re-introduce the bug as
+    /// a known-bad mutation and prove the seed sweep catches it.
+    pub(crate) fn restore_raw(&mut self, state: BreakerState) {
+        self.state = state;
+    }
+
+    /// This breaker's tuning.
+    #[inline]
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
     fn trip(&mut self, now_ms: u64) {
         self.trips += 1;
         self.state = BreakerState::Open {

@@ -52,6 +52,15 @@ pub enum RuntimeError {
         /// The configured default deadline, milliseconds.
         deadline_ms: u64,
     },
+    /// The staleness bound is shorter than the checkpoint interval, so
+    /// a crash-recovered process could hold no data fresh enough to
+    /// serve (the `netcheck` rule `NC0801` flags the same condition).
+    UnrecoverableFreshness {
+        /// The configured staleness bound, milliseconds.
+        staleness_bound_ms: u64,
+        /// The configured checkpoint interval, milliseconds.
+        checkpoint_interval_ms: u64,
+    },
     /// A conversion completed but its ring period falls outside the
     /// health policy's plausible band — the reading cannot be trusted
     /// and was not served.
@@ -104,6 +113,15 @@ impl fmt::Display for RuntimeError {
                 f,
                 "site '{site}': worst-case conversion {conversion_ms:.3} ms cannot fit \
                  the {deadline_ms} ms deadline budget"
+            ),
+            RuntimeError::UnrecoverableFreshness {
+                staleness_bound_ms,
+                checkpoint_interval_ms,
+            } => write!(
+                f,
+                "staleness bound {staleness_bound_ms} ms is shorter than the \
+                 {checkpoint_interval_ms} ms checkpoint interval: a recovered process \
+                 could have nothing fresh enough to serve"
             ),
             RuntimeError::ImplausibleReading { channel, period_s } => write!(
                 f,

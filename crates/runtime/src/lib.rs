@@ -22,6 +22,11 @@
 //! * [`soak`] — sustained-operation mode: a seeded
 //!   [`faultsim::FaultSchedule`] chaos storm, an optional forced
 //!   kill-and-recover, and liveness invariants checked on exit;
+//! * [`sim`] — deterministic simulation testing: the same read,
+//!   scan, checkpoint, and recovery machinery run single-threaded on a
+//!   virtual clock and a torn-write simulated disk, under seeded
+//!   schedule exploration with invariants checked after every step and
+//!   failing seeds shrunk to minimal byte-for-byte-replayable traces;
 //! * [`error`] — the typed failure vocabulary ([`RuntimeError`]).
 //!
 //! The service's contract, end to end: every request is answered
@@ -36,6 +41,7 @@ pub mod breaker;
 pub mod error;
 pub mod retry;
 pub mod service;
+pub mod sim;
 pub mod snapshot;
 pub mod soak;
 
@@ -45,6 +51,10 @@ pub use retry::{Backoff, RetryPolicy};
 pub use service::{
     Field, MonitorRuntime, Provenance, RecoveryReport, RuntimeConfig, RuntimeHandle, RuntimeStats,
     ServedReading,
+};
+pub use sim::{
+    render_trace, resolve_events as resolve_sim_events, run_sim, shrink_failure, sweep, Invariant,
+    Mutation, ShrunkCase, SimConfig, SimReport, SweepOutcome, Violation,
 };
 pub use snapshot::{crc32, RuntimeSnapshot, SiteSnapshot, SnapshotError, SnapshotStore};
 pub use soak::{reference_array, run_soak, SoakConfig, SoakReport};

@@ -32,14 +32,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use dst::{Clock, RealFs, SimFs, SystemClock};
 use sensor::{HealthPolicy, RingFault, SensorArray, SensorError};
 use tsense_core::units::Celsius;
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::error::{Result, RuntimeError};
-use crate::retry::RetryPolicy;
+use crate::retry::{Backoff, RetryPolicy};
 use crate::snapshot::{RuntimeSnapshot, SiteSnapshot, SnapshotError, SnapshotStore};
 
 /// Thermal field type: die position → junction temperature, °C.
@@ -95,7 +96,10 @@ impl Default for RuntimeConfig {
             default_deadline_ms: 250,
             scan_interval_ms: 50,
             checkpoint_interval_ms: 500,
-            staleness_bound_ms: 400,
+            // Must cover at least one checkpoint interval, or a crash
+            // can leave a window in which nothing recoverable is fresh
+            // enough to serve (`NC0801`).
+            staleness_bound_ms: 600,
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             policy: HealthPolicy::default().with_parole_after(3),
@@ -193,12 +197,12 @@ pub struct RecoveryReport {
 }
 
 #[derive(Debug, Default)]
-struct Counters {
+pub(crate) struct Counters {
     served_fresh: AtomicU64,
     served_degraded: AtomicU64,
     served_shed: AtomicU64,
     queue_sheds: AtomicU64,
-    deadline_misses: AtomicU64,
+    pub(crate) deadline_misses: AtomicU64,
     breaker_rejections: AtomicU64,
     quarantine_fallbacks: AtomicU64,
     retries: AtomicU64,
@@ -255,38 +259,42 @@ impl BoundedQueue {
     }
 }
 
-struct CachedMedian {
-    value_c: f64,
-    confidence: f64,
-    quarantined: usize,
-    taken_at_ms: u64,
+pub(crate) struct CachedMedian {
+    pub(crate) value_c: f64,
+    pub(crate) confidence: f64,
+    pub(crate) quarantined: usize,
+    pub(crate) taken_at_ms: u64,
 }
 
 /// Everything behind the state lock.
-struct ArrayState {
-    array: SensorArray,
-    field: Field,
-    breakers: Vec<CircuitBreaker>,
-    cache: Option<CachedMedian>,
+pub(crate) struct ArrayState {
+    pub(crate) array: SensorArray,
+    pub(crate) field: Field,
+    pub(crate) breakers: Vec<CircuitBreaker>,
+    pub(crate) cache: Option<CachedMedian>,
     /// Recent served medians for the checkpoint: `(t_ms, °C, conf)`.
-    history: VecDeque<(u64, f64, f64)>,
-    store: Option<SnapshotStore>,
-    seq: u64,
+    pub(crate) history: VecDeque<(u64, f64, f64)>,
+    pub(crate) store: Option<SnapshotStore>,
+    pub(crate) seq: u64,
 }
 
-struct Core {
-    state: Mutex<ArrayState>,
+pub(crate) struct Core {
+    pub(crate) state: Mutex<ArrayState>,
     queue: BoundedQueue,
     stop: AtomicBool,
-    epoch: Instant,
-    stats: Counters,
+    clock: Arc<dyn Clock>,
+    /// `clock.now_ms()` at this incarnation's start; `now_ms` is
+    /// relative to it, so a recovered process starts at t = 0 like a
+    /// real restart does.
+    epoch_ms: u64,
+    pub(crate) stats: Counters,
     request_nonce: AtomicU64,
-    config: RuntimeConfig,
+    pub(crate) config: RuntimeConfig,
 }
 
 impl Core {
-    fn now_ms(&self) -> u64 {
-        self.epoch.elapsed().as_millis() as u64
+    pub(crate) fn now_ms(&self) -> u64 {
+        self.clock.now_ms().saturating_sub(self.epoch_ms)
     }
 }
 
@@ -340,65 +348,20 @@ impl MonitorRuntime {
     }
 
     fn start_inner(
-        mut array: SensorArray,
+        array: SensorArray,
         field: Field,
         config: RuntimeConfig,
         snap: Option<(RuntimeSnapshot, Vec<(PathBuf, String)>)>,
     ) -> Result<(RuntimeHandle, RecoveryReport)> {
-        validate_deadline_budget(&array, &config)?;
-        let store = match &config.snapshot_dir {
-            Some(dir) => Some(SnapshotStore::open(dir, config.snapshot_keep)?),
-            None => None,
-        };
-        let mut breakers: Vec<CircuitBreaker> = (0..array.channel_count())
-            .map(|_| CircuitBreaker::new(config.breaker.clone()))
-            .collect();
-
-        let mut report = RecoveryReport::default();
-        let mut history = VecDeque::new();
-        let mut seq = 0;
-        if let Some((snapshot, skipped)) = snap {
-            report.recovered_seq = Some(snapshot.seq);
-            report.skipped = skipped;
-            seq = snapshot.seq;
-            for site in &snapshot.sites {
-                let Some(ch) = array.site_index(&site.name) else {
-                    continue;
-                };
-                if let Some(cal) = site.calibration {
-                    array.sites_mut()[ch].unit.set_calibration(cal);
-                    report.restored_calibrations += 1;
-                }
-                if let Some(status) = &site.quarantined {
-                    array.set_quarantine(ch, status.clone())?;
-                    report.restored_quarantine += 1;
-                }
-                breakers[ch].restore(site.breaker.clone(), 0);
-                if !breakers[ch].is_closed() {
-                    report.restored_open_breakers += 1;
-                }
-            }
-            history.extend(snapshot.readings.iter().copied());
-        }
-
-        let core = Arc::new(Core {
-            state: Mutex::new(ArrayState {
-                array,
-                field,
-                breakers,
-                cache: None,
-                history,
-                store,
-                seq,
-            }),
-            queue: BoundedQueue::new(config.queue_capacity),
-            stop: AtomicBool::new(false),
-            epoch: Instant::now(),
-            stats: Counters::default(),
-            request_nonce: AtomicU64::new(0),
+        let (core, report) = build_core(
+            array,
+            field,
             config,
-        });
-
+            snap,
+            Arc::new(SystemClock::new()),
+            Arc::new(RealFs),
+            true,
+        )?;
         let mut threads = Vec::new();
         for i in 0..core.config.workers {
             let c = Arc::clone(&core);
@@ -422,9 +385,100 @@ impl MonitorRuntime {
     }
 }
 
+/// Builds the service core — state, breakers, recovery — without
+/// spawning any threads, against explicit clock and filesystem
+/// capabilities. The real runtime calls this with [`SystemClock`] and
+/// [`RealFs`] and spawns its worker and maintenance threads on top; the
+/// deterministic simulation calls it with a [`dst::VirtualClock`] and a
+/// [`dst::SimDisk`] and drives the identical logic single-threaded.
+///
+/// `rebase_breakers` selects how checkpointed `Open` breaker deadlines
+/// are restored: `true` is the correct behavior (re-serve the cooldown
+/// against this incarnation's clock); `false` trusts the foreign
+/// timestamps verbatim — the known-bad mutation the DST sweep exists to
+/// catch.
+pub(crate) fn build_core(
+    mut array: SensorArray,
+    field: Field,
+    config: RuntimeConfig,
+    snap: Option<(RuntimeSnapshot, Vec<(PathBuf, String)>)>,
+    clock: Arc<dyn Clock>,
+    fs: Arc<dyn SimFs>,
+    rebase_breakers: bool,
+) -> Result<(Arc<Core>, RecoveryReport)> {
+    validate_deadline_budget(&array, &config)?;
+    let store = match &config.snapshot_dir {
+        Some(dir) => Some(SnapshotStore::open_on(
+            Arc::clone(&fs),
+            dir,
+            config.snapshot_keep,
+        )?),
+        None => None,
+    };
+    let mut breakers: Vec<CircuitBreaker> = (0..array.channel_count())
+        .map(|_| CircuitBreaker::new(config.breaker.clone()))
+        .collect();
+
+    let mut report = RecoveryReport::default();
+    let mut history = VecDeque::new();
+    let mut seq = 0;
+    if let Some((snapshot, skipped)) = snap {
+        report.recovered_seq = Some(snapshot.seq);
+        report.skipped = skipped;
+        seq = snapshot.seq;
+        for site in &snapshot.sites {
+            let Some(ch) = array.site_index(&site.name) else {
+                continue;
+            };
+            if let Some(cal) = site.calibration {
+                array.sites_mut()[ch].unit.set_calibration(cal);
+                report.restored_calibrations += 1;
+            }
+            if let Some(status) = &site.quarantined {
+                array.set_quarantine(ch, status.clone())?;
+                report.restored_quarantine += 1;
+            }
+            if rebase_breakers {
+                breakers[ch].restore(site.breaker.clone(), 0);
+            } else {
+                breakers[ch].restore_raw(site.breaker.clone());
+            }
+            if !breakers[ch].is_closed() {
+                report.restored_open_breakers += 1;
+            }
+        }
+        history.extend(snapshot.readings.iter().copied());
+    }
+
+    let epoch_ms = clock.now_ms();
+    let core = Arc::new(Core {
+        state: Mutex::new(ArrayState {
+            array,
+            field,
+            breakers,
+            cache: None,
+            history,
+            store,
+            seq,
+        }),
+        queue: BoundedQueue::new(config.queue_capacity),
+        stop: AtomicBool::new(false),
+        clock,
+        epoch_ms,
+        stats: Counters::default(),
+        request_nonce: AtomicU64::new(0),
+        config,
+    });
+    Ok((core, report))
+}
+
 /// `NC0701` enforced dynamically: every site's worst-case conversion
 /// (hot-corner ring period × full window) must fit the deadline.
-fn validate_deadline_budget(array: &SensorArray, config: &RuntimeConfig) -> Result<()> {
+/// Also mirrors `NC0801`: with checkpointing on, the staleness bound
+/// must cover at least one checkpoint interval, or there is a window
+/// in which a crash-recovered process holds no data fresh enough to
+/// serve.
+pub(crate) fn validate_deadline_budget(array: &SensorArray, config: &RuntimeConfig) -> Result<()> {
     for site in array.sites() {
         let cfg = site.unit.config();
         let Ok(period) = cfg.ring.period(&cfg.tech, Celsius::new(150.0)) else {
@@ -439,6 +493,14 @@ fn validate_deadline_budget(array: &SensorArray, config: &RuntimeConfig) -> Resu
                 deadline_ms: config.default_deadline_ms,
             });
         }
+    }
+    if config.checkpoint_interval_ms > 0
+        && config.staleness_bound_ms < config.checkpoint_interval_ms
+    {
+        return Err(RuntimeError::UnrecoverableFreshness {
+            staleness_bound_ms: config.staleness_bound_ms,
+            checkpoint_interval_ms: config.checkpoint_interval_ms,
+        });
     }
     Ok(())
 }
@@ -591,7 +653,7 @@ impl RuntimeHandle {
     }
 }
 
-fn collect_stats(core: &Core) -> RuntimeStats {
+pub(crate) fn collect_stats(core: &Core) -> RuntimeStats {
     let c = &core.stats;
     let state = core.state.lock().expect("state poisoned");
     RuntimeStats {
@@ -626,55 +688,102 @@ fn worker_loop(core: &Core) {
             continue;
         }
         let result = supervised_read(core, req.channel, req.submitted_ms, req.deadline_ms);
-        let done = core.now_ms();
-        let result = if done > req.deadline_ms && result.is_ok() {
-            core.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
-            Err(RuntimeError::DeadlineExceeded {
-                deadline_ms: req.deadline_ms,
-                now_ms: done,
-            })
-        } else {
-            result
-        };
+        let result = enforce_deadline(core, req.deadline_ms, result);
         let _ = req.reply.send(result);
     }
 }
 
-/// One supervised read: retry ladder with jittered backoff, gated by
-/// the channel's circuit breaker, falling back to the survivors'
-/// median when the channel is benched or keeps failing.
-fn supervised_read(
+/// The late-reply rule, in one place for worker and simulation alike:
+/// an `Ok` finished past its deadline becomes a typed miss — never
+/// quietly late data.
+pub(crate) fn enforce_deadline(
     core: &Core,
+    deadline_ms: u64,
+    result: Result<ServedReading>,
+) -> Result<ServedReading> {
+    let done = core.now_ms();
+    if done > deadline_ms && result.is_ok() {
+        core.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        Err(RuntimeError::DeadlineExceeded {
+            deadline_ms,
+            now_ms: done,
+        })
+    } else {
+        result
+    }
+}
+
+/// What one [`ReadJob::step`] asks of its driver.
+pub(crate) enum JobStep {
+    /// The request is answered.
+    Done(Result<ServedReading>),
+    /// The attempt failed; sleep `delay_ms` before the next attempt.
+    Backoff {
+        /// Jittered backoff delay, milliseconds.
+        delay_ms: u64,
+    },
+}
+
+/// One supervised read as a resumable state machine: retry ladder with
+/// jittered backoff, gated by the channel's circuit breaker, falling
+/// back to the survivors' median when the channel is benched or keeps
+/// failing.
+///
+/// The worker thread drives it with [`Clock::sleep_ms`] between steps;
+/// the deterministic simulation drives the *same* machine as discrete
+/// executor tasks, interleaving other work where the sleeps would be.
+pub(crate) struct ReadJob {
     channel: usize,
     submitted_ms: u64,
+    /// Absolute deadline, runtime-relative milliseconds.
     deadline_ms: u64,
-) -> Result<ServedReading> {
-    let nonce = core.request_nonce.fetch_add(1, Ordering::Relaxed);
-    let seed = core
-        .config
-        .seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(nonce)
-        .wrapping_add((channel as u64) << 32);
-    let mut backoff = core.config.retry.backoff(seed);
-    let mut last_err: Option<RuntimeError> = None;
+    attempt: u32,
+    backoff: Backoff,
+    last_err: Option<RuntimeError>,
+}
 
-    for attempt in 0..core.config.retry.max_attempts {
-        if attempt > 0 {
+impl ReadJob {
+    pub(crate) fn new(core: &Core, channel: usize, submitted_ms: u64, deadline_ms: u64) -> Self {
+        let nonce = core.request_nonce.fetch_add(1, Ordering::Relaxed);
+        let seed = core
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(nonce)
+            .wrapping_add((channel as u64) << 32);
+        ReadJob {
+            channel,
+            submitted_ms,
+            deadline_ms,
+            attempt: 0,
+            backoff: core.config.retry.backoff(seed),
+            last_err: None,
+        }
+    }
+
+    /// Runs one attempt. Must not be called again after returning
+    /// [`JobStep::Done`].
+    pub(crate) fn step(&mut self, core: &Core) -> JobStep {
+        if self.attempt >= core.config.retry.max_attempts {
+            return JobStep::Done(self.exhausted(core));
+        }
+        if self.attempt > 0 {
             core.stats.retries.fetch_add(1, Ordering::Relaxed);
         }
+        self.attempt += 1;
+        let channel = self.channel;
         {
             let mut state = core.state.lock().expect("state poisoned");
             let now = core.now_ms();
-            if now >= deadline_ms {
-                return Err(RuntimeError::DeadlineExceeded {
-                    deadline_ms,
+            if now >= self.deadline_ms {
+                return JobStep::Done(Err(RuntimeError::DeadlineExceeded {
+                    deadline_ms: self.deadline_ms,
                     now_ms: now,
-                });
+                }));
             }
             let available = state.array.channel_count();
             if channel >= available {
-                return Err(RuntimeError::BadChannel { channel, available });
+                return JobStep::Done(Err(RuntimeError::BadChannel { channel, available }));
             }
             // Quarantine outranks the breaker: a benched site is not
             // probed by the request path at all (the health monitor's
@@ -683,13 +792,23 @@ fn supervised_read(
                 core.stats
                     .quarantine_fallbacks
                     .fetch_add(1, Ordering::Relaxed);
-                return serve_degraded_locked(core, &mut state, submitted_ms, now);
+                return JobStep::Done(serve_degraded_locked(
+                    core,
+                    &mut state,
+                    self.submitted_ms,
+                    now,
+                ));
             }
             if !state.breakers[channel].allow(now) {
                 core.stats
                     .breaker_rejections
                     .fetch_add(1, Ordering::Relaxed);
-                return serve_degraded_locked(core, &mut state, submitted_ms, now);
+                return JobStep::Done(serve_degraded_locked(
+                    core,
+                    &mut state,
+                    self.submitted_ms,
+                    now,
+                ));
             }
             let field = Arc::clone(&state.field);
             let site = &mut state.array.sites_mut()[channel];
@@ -699,48 +818,72 @@ fn supervised_read(
                     state.breakers[channel].on_success(now);
                     core.stats.served_fresh.fetch_add(1, Ordering::Relaxed);
                     let done = core.now_ms();
-                    return Ok(ServedReading {
+                    return JobStep::Done(Ok(ServedReading {
                         value_c: m.temperature.get(),
                         provenance: Provenance::Fresh { channel },
                         age_ms: 0,
-                        latency_ms: done - submitted_ms,
-                    });
+                        latency_ms: done - self.submitted_ms,
+                    }));
                 }
                 Ok(m) => {
                     state.breakers[channel].on_failure(now);
-                    last_err = Some(RuntimeError::ImplausibleReading {
+                    self.last_err = Some(RuntimeError::ImplausibleReading {
                         channel,
                         period_s: m.ring_period.get(),
                     });
                 }
                 Err(e) => {
                     state.breakers[channel].on_failure(now);
-                    last_err = Some(e.into());
+                    self.last_err = Some(e.into());
                 }
             }
         }
+        if self.attempt >= core.config.retry.max_attempts {
+            return JobStep::Done(self.exhausted(core));
+        }
         // Backoff outside the lock, but never past the deadline.
-        if let Some(delay) = backoff.next() {
-            let now = core.now_ms();
-            if now + delay >= deadline_ms {
-                break;
+        match self.backoff.next() {
+            Some(delay) => {
+                let now = core.now_ms();
+                if now + delay >= self.deadline_ms {
+                    JobStep::Done(self.exhausted(core))
+                } else {
+                    JobStep::Backoff { delay_ms: delay }
+                }
             }
-            thread::sleep(Duration::from_millis(delay));
+            None => JobStep::Done(self.exhausted(core)),
         }
     }
 
-    // Retries exhausted: the channel is sick. Serve the survivors'
-    // median instead of failing the request outright; only when that
-    // too is impossible does the caller see the last typed error.
-    let mut state = core.state.lock().expect("state poisoned");
-    let now = core.now_ms();
-    serve_degraded_locked(core, &mut state, submitted_ms, now)
-        .map_err(|fallback_err| last_err.unwrap_or(fallback_err))
+    /// Retries exhausted: the channel is sick. Serve the survivors'
+    /// median instead of failing the request outright; only when that
+    /// too is impossible does the caller see the last typed error.
+    fn exhausted(&mut self, core: &Core) -> Result<ServedReading> {
+        let mut state = core.state.lock().expect("state poisoned");
+        let now = core.now_ms();
+        serve_degraded_locked(core, &mut state, self.submitted_ms, now)
+            .map_err(|fallback_err| self.last_err.take().unwrap_or(fallback_err))
+    }
+}
+
+fn supervised_read(
+    core: &Core,
+    channel: usize,
+    submitted_ms: u64,
+    deadline_ms: u64,
+) -> Result<ServedReading> {
+    let mut job = ReadJob::new(core, channel, submitted_ms, deadline_ms);
+    loop {
+        match job.step(core) {
+            JobStep::Done(result) => return result,
+            JobStep::Backoff { delay_ms } => core.clock.sleep_ms(delay_ms),
+        }
+    }
 }
 
 /// Serves from the cached median if fresh enough, otherwise runs a
 /// degraded scan inline (we hold the lock) to refresh it.
-fn serve_degraded_locked(
+pub(crate) fn serve_degraded_locked(
     core: &Core,
     state: &mut ArrayState,
     submitted_ms: u64,
@@ -769,7 +912,7 @@ fn serve_degraded_locked(
 
 /// Shed path: serve the cache *without* touching the array (that is
 /// the whole point of shedding) — stale cache is a typed error.
-fn serve_shed(core: &Core, submitted_ms: u64) -> Result<ServedReading> {
+pub(crate) fn serve_shed(core: &Core, submitted_ms: u64) -> Result<ServedReading> {
     let state = core.state.lock().expect("state poisoned");
     let now = core.now_ms();
     match &state.cache {
@@ -803,7 +946,7 @@ fn serve_shed(core: &Core, submitted_ms: u64) -> Result<ServedReading> {
 }
 
 /// Runs one degraded scan and installs its median as the cache entry.
-fn refresh_cache_locked(core: &Core, state: &mut ArrayState, now: u64) -> Result<()> {
+pub(crate) fn refresh_cache_locked(core: &Core, state: &mut ArrayState, now: u64) -> Result<()> {
     let field = Arc::clone(&state.field);
     let reading = state
         .array
@@ -830,7 +973,7 @@ fn refresh_cache_locked(core: &Core, state: &mut ArrayState, now: u64) -> Result
     Ok(())
 }
 
-fn checkpoint_locked(core: &Core, state: &mut ArrayState, now: u64) -> Result<u64> {
+pub(crate) fn checkpoint_locked(core: &Core, state: &mut ArrayState, now: u64) -> Result<u64> {
     let Some(store) = &state.store else {
         return Err(RuntimeError::Snapshot(SnapshotError::NoValidSnapshot {
             dir: PathBuf::from("<checkpointing disabled>"),
@@ -868,7 +1011,7 @@ fn maintenance_loop(core: &Core) {
     let mut last_scan = 0u64;
     let mut last_ckpt = core.now_ms();
     while !core.stop.load(Ordering::SeqCst) {
-        thread::sleep(Duration::from_millis(5));
+        core.clock.sleep_ms(5);
         let now = core.now_ms();
         if now.saturating_sub(last_scan) >= core.config.scan_interval_ms {
             let mut state = core.state.lock().expect("state poisoned");
@@ -1080,11 +1223,7 @@ mod tests {
 
     #[test]
     fn checkpoint_and_recover_round_trip() {
-        let nonce = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap()
-            .as_nanos();
-        let dir = std::env::temp_dir().join(format!("tsense-rt-{}-{nonce}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("tsense-rt-{}", dst::unique_nonce()));
         let mut cfg = quick_config();
         cfg.snapshot_dir = Some(dir.clone());
         cfg.breaker.cooldown_ms = 60_000;
@@ -1114,11 +1253,7 @@ mod tests {
 
     #[test]
     fn recovery_with_empty_dir_starts_fresh() {
-        let nonce = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap()
-            .as_nanos();
-        let dir = std::env::temp_dir().join(format!("tsense-rt-empty-{nonce}"));
+        let dir = std::env::temp_dir().join(format!("tsense-rt-empty-{}", dst::unique_nonce()));
         let mut cfg = quick_config();
         cfg.snapshot_dir = Some(dir.clone());
         let (h, report) = MonitorRuntime::recover(array(2), uniform_field(25.0), cfg).unwrap();

@@ -1,0 +1,946 @@
+//! Deterministic simulation of the monitoring runtime: the service's
+//! own read path, scan/checkpoint maintenance, a seeded fault storm,
+//! and crash-recovery cycles, all run single-threaded on a
+//! [`dst::VirtualClock`] under seeded interleavings.
+//!
+//! What makes this a simulation of the *service* rather than a model
+//! of it: the tasks drive the exact crate-internal machinery the
+//! threaded runtime uses — [`ReadJob`](crate::service) is the worker
+//! path's retry/breaker/fallback state machine, scans go through
+//! `refresh_cache_locked`, checkpoints through `checkpoint_locked`
+//! against a [`SimDisk`] with torn-write crash semantics, and recovery
+//! through `build_core` — so an invariant violation found here is a bug
+//! in the real code, not in a parallel reimplementation.
+//!
+//! Invariants checked after **every** scheduler step:
+//!
+//! 1. **Deadline or typed miss** — no `Ok` reply completes past its
+//!    absolute deadline ([`Invariant::LateReply`]).
+//! 2. **Bounded staleness** — no served reading is older than the
+//!    staleness bound, and `Provenance::Fresh` is age 0
+//!    ([`Invariant::SilentStale`]).
+//! 3. **Breaker legality** — `Closed` failure counts stay under the
+//!    trip threshold, `HalfOpen` probe counts under the close
+//!    threshold, `Open → HalfOpen` only after the cooldown elapses
+//!    ([`Invariant::IllegalBreakerTransition`]), and an `Open` breaker
+//!    never promises a probe further than one cooldown into the future
+//!    ([`Invariant::CooldownOverhang`] — the invariant that catches
+//!    un-rebased deadlines restored from a dead process's clock).
+//! 4. **Recovery never restores the cache** — a recovered process must
+//!    rescan before serving cached data
+//!    ([`Invariant::RecoveryRestoredCache`]).
+//!
+//! A failing seed replays byte-for-byte: the same [`SimConfig`]
+//! produces the same [`StepRecord`] trace and the same violation on
+//! every run. [`shrink_failure`] then delta-debugs the fault storm and
+//! crash schedule down to a 1-minimal reproducer.
+
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::{cell::RefCell, fmt};
+
+use dst::{
+    shrink_events, Clock, Executor, SimDisk, SimDiskProfile, SimDiskStats, StepRecord, TaskState,
+    VirtualClock,
+};
+use faultsim::{FaultEvent, FaultSchedule};
+use sensor::RingFault;
+
+use crate::breaker::BreakerState;
+use crate::error::RuntimeError;
+use crate::service::{
+    build_core, checkpoint_locked, enforce_deadline, refresh_cache_locked, Core, Field, JobStep,
+    Provenance, ReadJob, RuntimeConfig,
+};
+use crate::snapshot::{SnapshotError, SnapshotStore};
+use crate::soak::reference_array;
+
+/// A deliberate, known-bad change to the service, applied under
+/// simulation to prove the invariant sweep actually catches real bugs
+/// (the DST analogue of a mutation test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// The service as shipped.
+    #[default]
+    None,
+    /// Recovery trusts checkpointed `Open` breaker deadlines verbatim
+    /// instead of re-basing them onto the new incarnation's clock —
+    /// reverting the conservative re-base in `CircuitBreaker::restore`.
+    /// Caught by [`Invariant::CooldownOverhang`].
+    NoCooldownRebase,
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mutation::None => write!(f, "none"),
+            Mutation::NoCooldownRebase => write!(f, "no-cooldown-rebase"),
+        }
+    }
+}
+
+impl Mutation {
+    /// Parses the CLI spelling (`none`, `no-cooldown-rebase`).
+    pub fn parse(s: &str) -> Option<Mutation> {
+        match s {
+            "none" => Some(Mutation::None),
+            "no-cooldown-rebase" => Some(Mutation::NoCooldownRebase),
+            _ => None,
+        }
+    }
+}
+
+/// Which service promise a simulation step broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// An `Ok` reply completed past its absolute deadline without
+    /// being converted to a typed miss.
+    LateReply,
+    /// A served reading was older than the staleness bound, or a
+    /// `Fresh` reading claimed a nonzero age.
+    SilentStale,
+    /// A breaker state or transition the state machine cannot legally
+    /// produce (over-threshold counts, a probe before the cooldown).
+    IllegalBreakerTransition,
+    /// An `Open` breaker promising a probe further than one cooldown
+    /// into the future — the signature of a deadline restored from a
+    /// dead process's clock without re-basing.
+    CooldownOverhang,
+    /// A crash-recovered core came up with a non-empty cached median.
+    RecoveryRestoredCache,
+    /// Recovery itself failed outright (could not rebuild a core).
+    RecoveryFailed,
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Invariant::LateReply => "late-reply",
+            Invariant::SilentStale => "silent-stale",
+            Invariant::IllegalBreakerTransition => "illegal-breaker-transition",
+            Invariant::CooldownOverhang => "cooldown-overhang",
+            Invariant::RecoveryRestoredCache => "recovery-restored-cache",
+            Invariant::RecoveryFailed => "recovery-failed",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One invariant violation, pinned to the scheduler step that produced
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which promise broke.
+    pub invariant: Invariant,
+    /// Virtual time of the violating step, milliseconds.
+    pub at_ms: u64,
+    /// Global step index of the violating step.
+    pub step: u64,
+    /// Label of the task that was stepped.
+    pub task: String,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// Tuning for one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed: drives the scheduler's interleaving, the fault
+    /// storm, the disk's tear boundaries, and the retry jitter.
+    pub seed: u64,
+    /// Sensor sites in the simulated array.
+    pub sites: usize,
+    /// Concurrent client tasks issuing reads.
+    pub clients: usize,
+    /// Upper bound on reads per client (clients also stop at the
+    /// horizon).
+    pub requests_per_client: usize,
+    /// Virtual pause between one client's consecutive reads, ms.
+    pub request_interval_ms: u64,
+    /// Virtual time at which background tasks stop, milliseconds.
+    pub horizon_ms: u64,
+    /// Seeded fault events drawn over the horizon (ignored when
+    /// `events` pins an explicit storm).
+    pub faults: usize,
+    /// Explicit fault storm, overriding the seeded one — how a shrunk
+    /// reproducer pins its minimal event set.
+    pub events: Option<Vec<FaultEvent>>,
+    /// Virtual times at which the process crashes (power loss: disk
+    /// tears, core rebuilt from the newest valid checkpoint).
+    pub crashes: Vec<u64>,
+    /// The uniform junction temperature the array monitors, °C.
+    pub ambient_c: f64,
+    /// The known-bad change under test, if any.
+    pub mutation: Mutation,
+    /// Runtime tuning (threads and queue are unused: the simulation
+    /// drives the read path directly).
+    pub runtime: RuntimeConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            sites: 4,
+            clients: 3,
+            requests_per_client: 120,
+            request_interval_ms: 15,
+            horizon_ms: 2_500,
+            faults: 5,
+            events: None,
+            crashes: vec![1_500],
+            ambient_c: 85.0,
+            mutation: Mutation::None,
+            runtime: RuntimeConfig {
+                default_deadline_ms: 250,
+                scan_interval_ms: 80,
+                checkpoint_interval_ms: 200,
+                staleness_bound_ms: 600,
+                snapshot_dir: Some(PathBuf::from("/sim/snaps")),
+                snapshot_keep: 3,
+                ..RuntimeConfig::default()
+            },
+        }
+    }
+}
+
+/// What one simulated run did and found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// The seed that produced this run.
+    pub seed: u64,
+    /// The mutation that was active.
+    pub mutation: Mutation,
+    /// The first invariant violation, if any (the run stops there).
+    pub violation: Option<Violation>,
+    /// The full replayable schedule.
+    pub trace: Vec<StepRecord>,
+    /// Scheduler steps executed.
+    pub steps: u64,
+    /// Client requests issued.
+    pub requests: u64,
+    /// Replies served fresh.
+    pub served_fresh: u64,
+    /// Replies served as degraded medians.
+    pub served_degraded: u64,
+    /// Typed errors received by clients.
+    pub typed_errors: u64,
+    /// Typed deadline misses among those errors.
+    pub deadline_misses: u64,
+    /// Fault events injected.
+    pub injected: u64,
+    /// Fault events cleared.
+    pub cleared: u64,
+    /// Crashes simulated.
+    pub crashes: u64,
+    /// Checkpoints persisted across all incarnations.
+    pub checkpoints: u64,
+    /// In-flight requests aborted by a crash.
+    pub aborted_in_flight: u64,
+    /// Per-crash checkpoint sequence recovered from (`None` = fresh
+    /// start, nothing valid on disk).
+    pub recovered_seqs: Vec<Option<u64>>,
+    /// Snapshots recovery skipped as torn/corrupt, across all crashes.
+    pub snapshots_skipped: u64,
+    /// Final simulated-disk counters.
+    pub disk: SimDiskStats,
+}
+
+/// Renders a replayable trace (and the violation, if any) for humans
+/// and CI artifacts.
+pub fn render_trace(report: &SimReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "# dst trace: seed {} mutation {} ({} steps)\n",
+        report.seed,
+        report.mutation,
+        report.trace.len()
+    ));
+    for r in &report.trace {
+        s.push_str(&format!("{:>6}  t={:<8} {}\n", r.step, r.at_ms, r.task));
+    }
+    match &report.violation {
+        Some(v) => s.push_str(&format!(
+            "VIOLATION {} at step {} (t={} ms, task {}): {}\n",
+            v.invariant, v.step, v.at_ms, v.task, v.detail
+        )),
+        None => s.push_str("clean\n"),
+    }
+    s
+}
+
+/// Everything the simulation tasks share.
+struct SimWorld {
+    core: Arc<Core>,
+    /// Bumped on every crash; in-flight jobs from older incarnations
+    /// are aborted (their process died).
+    incarnation: u64,
+    /// Active faults: `(clears_at_ms_virtual, channel, fault)` — they
+    /// live in the silicon and survive crashes.
+    active: Vec<(u64, usize, RingFault)>,
+    prev_breakers: Vec<BreakerState>,
+    violation: Option<Violation>,
+    requests: u64,
+    served_fresh: u64,
+    served_degraded: u64,
+    typed_errors: u64,
+    deadline_misses: u64,
+    injected: u64,
+    cleared: u64,
+    crashes: u64,
+    checkpoints: u64,
+    aborted_in_flight: u64,
+    recovered_seqs: Vec<Option<u64>>,
+    snapshots_skipped: u64,
+}
+
+impl SimWorld {
+    fn flag(&mut self, invariant: Invariant, at_ms: u64, detail: String) {
+        if self.violation.is_none() {
+            self.violation = Some(Violation {
+                invariant,
+                at_ms,
+                step: 0,             // pinned by the per-step check
+                task: String::new(), // pinned by the per-step check
+                detail,
+            });
+        }
+    }
+}
+
+fn breaker_snapshot(core: &Core) -> Vec<BreakerState> {
+    let state = core.state.lock().expect("state poisoned");
+    state.breakers.iter().map(|b| b.state().clone()).collect()
+}
+
+/// The fault storm a config resolves to: explicit events if pinned,
+/// otherwise the seeded schedule. Exposed so harnesses can compare a
+/// shrunk reproducer against the storm it was cut from.
+pub fn resolve_events(cfg: &SimConfig) -> Vec<FaultEvent> {
+    match &cfg.events {
+        Some(evs) => {
+            let mut evs = evs.clone();
+            evs.sort_by_key(|e| e.at_ms);
+            evs
+        }
+        None if cfg.faults == 0 => Vec::new(),
+        None => FaultSchedule::seeded_unit_faults(cfg.seed, cfg.faults, cfg.horizon_ms, cfg.sites)
+            .events()
+            .to_vec(),
+    }
+}
+
+/// Runs one seeded simulation to completion (or to its first invariant
+/// violation) and reports what happened. Pure: the same config always
+/// returns the same report, trace included.
+pub fn run_sim(cfg: &SimConfig) -> SimReport {
+    let mut runtime_cfg = cfg.runtime.clone();
+    runtime_cfg.seed = cfg.seed;
+    let clock = Arc::new(VirtualClock::new());
+    let disk = Arc::new(SimDisk::new(cfg.seed, SimDiskProfile::default()));
+    let ambient = cfg.ambient_c;
+    let field: Field = Arc::new(move |_, _| ambient);
+
+    let (core, _report) = build_core(
+        reference_array(cfg.sites),
+        Arc::clone(&field),
+        runtime_cfg.clone(),
+        None,
+        Arc::clone(&clock) as Arc<dyn Clock>,
+        Arc::clone(&disk) as Arc<dyn dst::SimFs>,
+        true,
+    )
+    .expect("simulated runtime must start");
+
+    let world = Rc::new(RefCell::new(SimWorld {
+        prev_breakers: breaker_snapshot(&core),
+        core,
+        incarnation: 0,
+        active: Vec::new(),
+        violation: None,
+        requests: 0,
+        served_fresh: 0,
+        served_degraded: 0,
+        typed_errors: 0,
+        deadline_misses: 0,
+        injected: 0,
+        cleared: 0,
+        crashes: 0,
+        checkpoints: 0,
+        aborted_in_flight: 0,
+        recovered_seqs: Vec::new(),
+        snapshots_skipped: 0,
+    }));
+
+    let mut ex = Executor::new(cfg.seed, Arc::clone(&clock));
+    let horizon = cfg.horizon_ms;
+
+    // Client tasks: each drives ReadJob — the worker thread's exact
+    // retry/breaker/fallback machine — as discrete steps.
+    for k in 0..cfg.clients {
+        let world = Rc::clone(&world);
+        let sites = cfg.sites.max(1);
+        let interval = cfg.request_interval_ms.max(1);
+        let mut remaining = cfg.requests_per_client;
+        let mut chan = k % sites;
+        let mut job: Option<(ReadJob, u64, u64)> = None; // (job, deadline_abs, incarnation)
+        ex.spawn(format!("client-{k}"), (k as u64) * 3, move |now| {
+            let mut w = world.borrow_mut();
+            if let Some((_, _, inc)) = &job {
+                if *inc != w.incarnation {
+                    // The process serving this request died mid-flight.
+                    job = None;
+                    w.aborted_in_flight += 1;
+                }
+            }
+            match &mut job {
+                None => {
+                    if remaining == 0 || now >= horizon {
+                        return TaskState::Done;
+                    }
+                    remaining -= 1;
+                    w.requests += 1;
+                    let core = Arc::clone(&w.core);
+                    let submitted = core.now_ms();
+                    let deadline_abs = submitted + core.config.default_deadline_ms;
+                    job = Some((
+                        ReadJob::new(&core, chan, submitted, deadline_abs),
+                        deadline_abs,
+                        w.incarnation,
+                    ));
+                    chan = (chan + 1) % sites;
+                    TaskState::Runnable
+                }
+                Some((j, deadline_abs, _)) => {
+                    let core = Arc::clone(&w.core);
+                    let deadline = *deadline_abs;
+                    match j.step(&core) {
+                        JobStep::Backoff { delay_ms } => TaskState::SleepUntil(now + delay_ms),
+                        JobStep::Done(result) => {
+                            job = None;
+                            let result = enforce_deadline(&core, deadline, result);
+                            let done = core.now_ms();
+                            match result {
+                                Ok(r) => {
+                                    if done > deadline {
+                                        w.flag(
+                                            Invariant::LateReply,
+                                            now,
+                                            format!(
+                                                "Ok reply at t={done} past deadline {deadline}"
+                                            ),
+                                        );
+                                    }
+                                    let bound = core.config.staleness_bound_ms;
+                                    if r.age_ms > bound {
+                                        w.flag(
+                                            Invariant::SilentStale,
+                                            now,
+                                            format!("served age {} > bound {bound}", r.age_ms),
+                                        );
+                                    }
+                                    match r.provenance {
+                                        Provenance::Fresh { .. } => {
+                                            if r.age_ms != 0 {
+                                                w.flag(
+                                                    Invariant::SilentStale,
+                                                    now,
+                                                    format!(
+                                                        "Fresh reading with age {} ms",
+                                                        r.age_ms
+                                                    ),
+                                                );
+                                            }
+                                            w.served_fresh += 1;
+                                        }
+                                        _ => w.served_degraded += 1,
+                                    }
+                                }
+                                Err(e) => {
+                                    w.typed_errors += 1;
+                                    if matches!(e, RuntimeError::DeadlineExceeded { .. }) {
+                                        w.deadline_misses += 1;
+                                    }
+                                }
+                            }
+                            TaskState::SleepUntil(now + interval)
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    // Maintenance: the background scan (health monitor + cache
+    // refresh) and the periodic checkpoint, at their configured
+    // cadence.
+    {
+        let world = Rc::clone(&world);
+        let interval = runtime_cfg.scan_interval_ms.max(1);
+        ex.spawn("scan", 1, move |now| {
+            if now >= horizon {
+                return TaskState::Done;
+            }
+            let w = world.borrow();
+            let core = Arc::clone(&w.core);
+            drop(w);
+            let mut state = core.state.lock().expect("state poisoned");
+            let t = core.now_ms();
+            let _ = refresh_cache_locked(&core, &mut state, t);
+            TaskState::SleepUntil(now + interval)
+        });
+    }
+    if runtime_cfg.checkpoint_interval_ms > 0 && runtime_cfg.snapshot_dir.is_some() {
+        let world = Rc::clone(&world);
+        let interval = runtime_cfg.checkpoint_interval_ms;
+        ex.spawn("checkpoint", interval, move |now| {
+            if now >= horizon {
+                return TaskState::Done;
+            }
+            let mut w = world.borrow_mut();
+            let core = Arc::clone(&w.core);
+            let mut state = core.state.lock().expect("state poisoned");
+            let t = core.now_ms();
+            if checkpoint_locked(&core, &mut state, t).is_ok() {
+                drop(state);
+                w.checkpoints += 1;
+            }
+            TaskState::SleepUntil(now + interval)
+        });
+    }
+
+    // The fault storm: inject and clear on schedule. Faults live in
+    // the silicon, so `active` survives crashes (the crash task
+    // re-applies them to the rebuilt array).
+    let events = resolve_events(cfg);
+    if !events.is_empty() {
+        let world = Rc::clone(&world);
+        let first = events[0].at_ms;
+        let mut idx = 0usize;
+        ex.spawn("storm", first, move |now| {
+            let mut w = world.borrow_mut();
+            let core = Arc::clone(&w.core);
+            let still: Vec<(u64, usize, RingFault)> = {
+                let mut state = core.state.lock().expect("state poisoned");
+                let active = std::mem::take(&mut w.active);
+                let mut still = Vec::new();
+                for (clears_at, ch, rf) in active {
+                    if clears_at <= now {
+                        if let Some(site) = state.array.sites_mut().get_mut(ch) {
+                            site.unit.clear_fault();
+                        }
+                        w.cleared += 1;
+                    } else {
+                        still.push((clears_at, ch, rf));
+                    }
+                }
+                while idx < events.len() && events[idx].at_ms <= now {
+                    let ev = &events[idx];
+                    idx += 1;
+                    if let Some(rf) = ev.fault.as_ring_fault() {
+                        if let Some(site) = state.array.sites_mut().get_mut(ev.channel) {
+                            site.unit.inject_fault(rf);
+                            w.injected += 1;
+                            still.push((ev.clears_at_ms(), ev.channel, rf));
+                        }
+                    }
+                }
+                still
+            };
+            w.active = still;
+            let next_inject = events.get(idx).map(|e| e.at_ms);
+            let next_clear = w.active.iter().map(|(c, _, _)| *c).min();
+            match (next_inject, next_clear) {
+                (None, None) => TaskState::Done,
+                (a, b) => TaskState::SleepUntil(a.unwrap_or(u64::MAX).min(b.unwrap_or(u64::MAX))),
+            }
+        });
+    }
+
+    // Crashes: power loss (the disk tears its volatile state), then
+    // recovery from whatever survived, through the real build path.
+    if !cfg.crashes.is_empty() {
+        let world = Rc::clone(&world);
+        let mut crash_times = cfg.crashes.clone();
+        crash_times.sort_unstable();
+        let first = crash_times[0];
+        let mut idx = 0usize;
+        let disk = Arc::clone(&disk);
+        let clock = Arc::clone(&clock);
+        let field = Arc::clone(&field);
+        let sites = cfg.sites;
+        let rebase = cfg.mutation != Mutation::NoCooldownRebase;
+        ex.spawn("crash", first, move |now| {
+            let mut w = world.borrow_mut();
+            disk.crash();
+            w.crashes += 1;
+            idx += 1;
+            let snap = runtime_cfg.snapshot_dir.as_ref().and_then(|dir| {
+                let store = SnapshotStore::open_on(
+                    Arc::clone(&disk) as Arc<dyn dst::SimFs>,
+                    dir,
+                    runtime_cfg.snapshot_keep,
+                )
+                .ok()?;
+                match store.load_latest() {
+                    Ok((snap, log)) => {
+                        w.snapshots_skipped += log.skipped.len() as u64;
+                        Some((snap, log.skipped))
+                    }
+                    Err(SnapshotError::NoValidSnapshot { examined, .. }) => {
+                        w.snapshots_skipped += examined as u64;
+                        None
+                    }
+                    Err(_) => None,
+                }
+            });
+            match build_core(
+                reference_array(sites),
+                Arc::clone(&field),
+                runtime_cfg.clone(),
+                snap,
+                Arc::clone(&clock) as Arc<dyn Clock>,
+                Arc::clone(&disk) as Arc<dyn dst::SimFs>,
+                rebase,
+            ) {
+                Ok((core, rec)) => {
+                    {
+                        let state = core.state.lock().expect("state poisoned");
+                        if state.cache.is_some() {
+                            w.flag(
+                                Invariant::RecoveryRestoredCache,
+                                now,
+                                "recovered core came up with a cached median".into(),
+                            );
+                        }
+                    }
+                    w.recovered_seqs.push(rec.recovered_seq);
+                    w.prev_breakers = breaker_snapshot(&core);
+                    w.incarnation += 1;
+                    // Faults live in the silicon, not the process.
+                    let active = w.active.clone();
+                    {
+                        let mut state = core.state.lock().expect("state poisoned");
+                        for (_, ch, rf) in &active {
+                            if let Some(site) = state.array.sites_mut().get_mut(*ch) {
+                                site.unit.inject_fault(*rf);
+                            }
+                        }
+                    }
+                    w.core = core;
+                }
+                Err(e) => {
+                    w.flag(Invariant::RecoveryFailed, now, e.to_string());
+                }
+            }
+            match crash_times.get(idx) {
+                Some(at) => TaskState::SleepUntil((*at).max(now + 1)),
+                None => TaskState::Done,
+            }
+        });
+    }
+
+    // Run, checking every invariant after every step.
+    let check_world = Rc::clone(&world);
+    let violation = ex.run(horizon + 10_000, 500_000, move |record: &StepRecord| {
+        let mut w = check_world.borrow_mut();
+        if let Some(mut v) = w.violation.take() {
+            v.step = record.step;
+            v.task = record.task.clone();
+            return Some(v);
+        }
+        let core = Arc::clone(&w.core);
+        let now = core.now_ms();
+        let cfg = &core.config.breaker;
+        let cur = breaker_snapshot(&core);
+        for (i, s) in cur.iter().enumerate() {
+            let bad = |invariant: Invariant, detail: String| {
+                Some(Violation {
+                    invariant,
+                    at_ms: record.at_ms,
+                    step: record.step,
+                    task: record.task.clone(),
+                    detail: format!("channel {i}: {detail}"),
+                })
+            };
+            match s {
+                BreakerState::Open { until_ms, .. }
+                    if until_ms.saturating_sub(now) > cfg.cooldown_ms =>
+                {
+                    return bad(
+                        Invariant::CooldownOverhang,
+                        format!(
+                            "Open until t={until_ms} is {} ms past now+cooldown (now {now}, \
+                             cooldown {})",
+                            until_ms - now - cfg.cooldown_ms,
+                            cfg.cooldown_ms
+                        ),
+                    );
+                }
+                BreakerState::Closed { failures } if *failures >= cfg.failure_threshold => {
+                    return bad(
+                        Invariant::IllegalBreakerTransition,
+                        format!(
+                            "Closed with {failures} failures at threshold {}",
+                            cfg.failure_threshold
+                        ),
+                    );
+                }
+                BreakerState::HalfOpen { successes } if *successes >= cfg.halfopen_successes => {
+                    return bad(
+                        Invariant::IllegalBreakerTransition,
+                        format!(
+                            "HalfOpen with {successes} successes at close threshold {}",
+                            cfg.halfopen_successes
+                        ),
+                    );
+                }
+                _ => {}
+            }
+            if let (Some(BreakerState::Open { until_ms, .. }), BreakerState::HalfOpen { .. }) =
+                (w.prev_breakers.get(i), s)
+            {
+                if now < *until_ms {
+                    return bad(
+                        Invariant::IllegalBreakerTransition,
+                        format!("probe admitted at t={now}, before cooldown ends at {until_ms}"),
+                    );
+                }
+            }
+        }
+        w.prev_breakers = cur;
+        None
+    });
+
+    let w = world.borrow();
+    SimReport {
+        seed: cfg.seed,
+        mutation: cfg.mutation,
+        violation,
+        trace: ex.trace().to_vec(),
+        steps: ex.steps(),
+        requests: w.requests,
+        served_fresh: w.served_fresh,
+        served_degraded: w.served_degraded,
+        typed_errors: w.typed_errors,
+        deadline_misses: w.deadline_misses,
+        injected: w.injected,
+        cleared: w.cleared,
+        crashes: w.crashes,
+        checkpoints: w.checkpoints,
+        aborted_in_flight: w.aborted_in_flight,
+        recovered_seqs: w.recovered_seqs.clone(),
+        snapshots_skipped: w.snapshots_skipped,
+        disk: disk.stats(),
+    }
+}
+
+/// Aggregate of a seed sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepOutcome {
+    /// Seeds run.
+    pub seeds: u64,
+    /// Total scheduler steps across all runs.
+    pub steps: u64,
+    /// Total client requests across all runs.
+    pub requests: u64,
+    /// Total crashes simulated.
+    pub crashes: u64,
+    /// Full reports of the seeds that violated an invariant.
+    pub violations: Vec<SimReport>,
+}
+
+/// Runs `count` seeds starting at `seed_base` and collects every
+/// violating report. `stop_at_first` ends the sweep at the first
+/// violation (what a bug hunt wants; a coverage sweep wants them all).
+pub fn sweep(base: &SimConfig, seed_base: u64, count: u64, stop_at_first: bool) -> SweepOutcome {
+    let mut out = SweepOutcome::default();
+    for i in 0..count {
+        let mut cfg = base.clone();
+        cfg.seed = seed_base + i;
+        let report = run_sim(&cfg);
+        out.seeds += 1;
+        out.steps += report.steps;
+        out.requests += report.requests;
+        out.crashes += report.crashes;
+        let violated = report.violation.is_some();
+        if violated {
+            out.violations.push(report);
+            if stop_at_first {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// A failing case cut down to a 1-minimal reproducer.
+#[derive(Debug, Clone)]
+pub struct ShrunkCase {
+    /// The minimized config: explicit (pinned) fault events and crash
+    /// times; same seed, so the schedule replays exactly.
+    pub config: SimConfig,
+    /// The minimized run, still violating the same invariant.
+    pub report: SimReport,
+}
+
+/// Shrinks a failing config's fault storm and crash schedule to a
+/// 1-minimal set that still reproduces the *same* invariant violation.
+/// Returns `None` when the config does not fail in the first place.
+pub fn shrink_failure(cfg: &SimConfig) -> Option<ShrunkCase> {
+    let baseline = run_sim(cfg);
+    let target = baseline.violation.as_ref()?.invariant;
+    let reproduces_with = |events: Option<Vec<FaultEvent>>, crashes: Vec<u64>| {
+        let mut c = cfg.clone();
+        c.events = events;
+        c.crashes = crashes;
+        c
+    };
+    let events = resolve_events(cfg);
+    let min_events = shrink_events(events, |evs| {
+        run_sim(&reproduces_with(Some(evs.to_vec()), cfg.crashes.clone()))
+            .violation
+            .as_ref()
+            .is_some_and(|v| v.invariant == target)
+    });
+    let min_crashes = shrink_events(cfg.crashes.clone(), |crs| {
+        run_sim(&reproduces_with(Some(min_events.clone()), crs.to_vec()))
+            .violation
+            .as_ref()
+            .is_some_and(|v| v.invariant == target)
+    });
+    let min_cfg = reproduces_with(Some(min_events), min_crashes);
+    let report = run_sim(&min_cfg);
+    debug_assert!(report
+        .violation
+        .as_ref()
+        .is_some_and(|v| v.invariant == target));
+    Some(ShrunkCase {
+        config: min_cfg,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SimConfig {
+        SimConfig {
+            clients: 2,
+            requests_per_client: 60,
+            horizon_ms: 2_000,
+            faults: 4,
+            crashes: vec![1_200],
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_replays_byte_for_byte() {
+        let cfg = SimConfig { seed: 3, ..quick() };
+        let a = run_sim(&cfg);
+        let b = run_sim(&cfg);
+        assert_eq!(a, b, "identical config must replay identically");
+        assert!(
+            a.violation.is_none(),
+            "shipped service must be clean: {:?}",
+            a.violation
+        );
+        assert!(a.requests > 0 && a.steps > 0);
+        assert_eq!(a.crashes, 1);
+    }
+
+    #[test]
+    fn different_seeds_explore_different_schedules() {
+        let traces: std::collections::HashSet<usize> = (0..4u64)
+            .map(|s| run_sim(&SimConfig { seed: s, ..quick() }).trace.len())
+            .collect();
+        // Not all four runs may differ in length, but the schedule
+        // space must not collapse to a single point.
+        assert!(traces.len() > 1, "4 seeds produced identical schedules");
+    }
+
+    #[test]
+    fn shipped_service_survives_a_seed_sweep() {
+        let out = sweep(&quick(), 0, 15, false);
+        assert_eq!(out.seeds, 15);
+        assert!(
+            out.violations.is_empty(),
+            "seed {} violated: {:?}",
+            out.violations[0].seed,
+            out.violations[0].violation
+        );
+        assert!(out.crashes >= 15, "every seed crashes at least once");
+    }
+
+    #[test]
+    fn no_cooldown_rebase_mutation_is_caught_within_200_seeds() {
+        let base = SimConfig {
+            mutation: Mutation::NoCooldownRebase,
+            ..quick()
+        };
+        let out = sweep(&base, 0, 200, true);
+        let caught = out
+            .violations
+            .first()
+            .unwrap_or_else(|| panic!("mutation survived {} seeds", out.seeds));
+        let v = caught.violation.as_ref().expect("violating report");
+        assert_eq!(
+            v.invariant,
+            Invariant::CooldownOverhang,
+            "expected the un-rebased deadline signature, got {v:?}"
+        );
+
+        // The failing seed replays deterministically: identical
+        // violation and identical trace on two consecutive runs.
+        let failing = SimConfig {
+            seed: caught.seed,
+            ..base.clone()
+        };
+        let r1 = run_sim(&failing);
+        let r2 = run_sim(&failing);
+        assert_eq!(r1, r2, "failing seed must replay byte-for-byte");
+        assert_eq!(r1.violation.as_ref(), Some(v));
+
+        // And shrinks to a minimal storm that still reproduces it.
+        let shrunk = shrink_failure(&failing).expect("baseline fails, so shrinking must succeed");
+        let kept = shrunk.config.events.as_ref().expect("events pinned").len();
+        assert!(
+            kept <= resolve_events(&failing).len(),
+            "shrinking must never grow the storm"
+        );
+        assert_eq!(
+            shrunk.report.violation.as_ref().map(|w| w.invariant),
+            Some(Invariant::CooldownOverhang),
+            "the shrunk case reproduces the same invariant"
+        );
+        assert!(!shrunk.config.crashes.is_empty(), "this bug needs a crash");
+    }
+
+    #[test]
+    fn storm_free_sim_serves_fresh_only() {
+        let cfg = SimConfig {
+            seed: 9,
+            faults: 0,
+            crashes: Vec::new(),
+            ..quick()
+        };
+        let report = run_sim(&cfg);
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert_eq!(report.injected, 0);
+        assert_eq!(report.crashes, 0);
+        assert!(report.served_fresh > 0);
+        assert_eq!(report.served_degraded, 0, "no faults, no fallbacks");
+    }
+
+    #[test]
+    fn trace_renders_for_artifacts() {
+        let report = run_sim(&SimConfig { seed: 1, ..quick() });
+        let text = render_trace(&report);
+        assert!(text.contains("seed 1"));
+        assert!(text.lines().count() > 10);
+        assert!(text.ends_with("clean\n") || text.contains("VIOLATION"));
+    }
+}

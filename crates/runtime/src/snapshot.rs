@@ -29,10 +29,10 @@
 //! corrupt files are skipped and reported, not trusted.
 
 use std::fmt;
-use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use dst::{FsError, RealFs, SimFs};
 use sensor::{CodeCalibration, HealthStatus};
 
 use crate::breaker::BreakerState;
@@ -214,6 +214,9 @@ impl RuntimeSnapshot {
             .rfind("crc\t")
             .ok_or_else(|| corrupt("missing crc line (torn write?)".into()))?;
         let (body, crc_line) = text.split_at(crc_pos);
+        if !crc_line.ends_with('\n') {
+            return Err(corrupt("missing trailing newline (torn write?)".into()));
+        }
         let stated = crc_line
             .trim_end()
             .strip_prefix("crc\t")
@@ -343,28 +346,51 @@ pub struct RecoveryLog {
     pub skipped: Vec<(PathBuf, String)>,
 }
 
+impl From<FsError> for SnapshotError {
+    fn from(e: FsError) -> Self {
+        SnapshotError::Io {
+            path: e.path,
+            detail: e.detail,
+        }
+    }
+}
+
 /// A directory of numbered snapshots with atomic writes and paranoid
-/// reads.
+/// reads. Generic over the [`SimFs`] it persists to, so the identical
+/// write path runs against the real filesystem in production and
+/// against a torn-write [`dst::SimDisk`] under simulation.
 #[derive(Debug, Clone)]
 pub struct SnapshotStore {
+    fs: Arc<dyn SimFs>,
     dir: PathBuf,
     keep: usize,
 }
 
 impl SnapshotStore {
-    /// Opens (creating if needed) a store at `dir`, retaining the
-    /// newest `keep` snapshots on disk.
+    /// Opens (creating if needed) a store at `dir` on the real
+    /// filesystem, retaining the newest `keep` snapshots on disk.
     ///
     /// # Errors
     ///
     /// [`SnapshotError::Io`] when the directory cannot be created.
     pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, SnapshotError> {
+        SnapshotStore::open_on(Arc::new(RealFs), dir, keep)
+    }
+
+    /// Opens a store at `dir` on an arbitrary filesystem.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when the directory cannot be created.
+    pub fn open_on(
+        fs: Arc<dyn SimFs>,
+        dir: impl Into<PathBuf>,
+        keep: usize,
+    ) -> Result<Self, SnapshotError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| SnapshotError::Io {
-            path: dir.clone(),
-            detail: e.to_string(),
-        })?;
+        fs.create_dir_all(&dir)?;
         Ok(SnapshotStore {
+            fs,
             dir,
             keep: keep.max(1),
         })
@@ -389,26 +415,20 @@ impl SnapshotStore {
     pub fn save(&self, snap: &RuntimeSnapshot) -> Result<PathBuf, SnapshotError> {
         let final_path = self.path_for(snap.seq);
         let tmp_path = final_path.with_extension("tmp");
-        let io_err = |path: &Path, e: std::io::Error| SnapshotError::Io {
-            path: path.to_path_buf(),
-            detail: e.to_string(),
-        };
-        let mut f = fs::File::create(&tmp_path).map_err(|e| io_err(&tmp_path, e))?;
-        f.write_all(snap.encode().as_bytes())
-            .map_err(|e| io_err(&tmp_path, e))?;
-        f.sync_all().map_err(|e| io_err(&tmp_path, e))?;
-        fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, e))?;
+        self.fs.write_file(&tmp_path, snap.encode().as_bytes())?;
+        self.fs.sync(&tmp_path)?;
+        self.fs.rename(&tmp_path, &final_path)?;
         self.prune();
         Ok(final_path)
     }
 
     /// Candidate snapshot paths, newest sequence first.
     pub fn list(&self) -> Vec<PathBuf> {
-        let mut found: Vec<PathBuf> = fs::read_dir(&self.dir)
+        let mut found: Vec<PathBuf> = self
+            .fs
+            .list(&self.dir)
+            .unwrap_or_default()
             .into_iter()
-            .flatten()
-            .flatten()
-            .map(|e| e.path())
             .filter(|p| {
                 p.extension().is_some_and(|x| x == "ckpt")
                     && p.file_name()
@@ -434,10 +454,15 @@ impl SnapshotStore {
         let candidates = self.list();
         let examined = candidates.len();
         for path in candidates {
-            let attempt = fs::read_to_string(&path)
-                .map_err(|e| SnapshotError::Io {
-                    path: path.clone(),
-                    detail: e.to_string(),
+            let attempt = self
+                .fs
+                .read(&path)
+                .map_err(SnapshotError::from)
+                .and_then(|bytes| {
+                    String::from_utf8(bytes).map_err(|_| SnapshotError::Corrupt {
+                        path: path.clone(),
+                        detail: "invalid utf-8 (bit rot?)".into(),
+                    })
                 })
                 .and_then(|text| RuntimeSnapshot::decode(&text, &path));
             match attempt {
@@ -455,7 +480,7 @@ impl SnapshotStore {
     /// pruning failure never fails a checkpoint.
     fn prune(&self) {
         for stale in self.list().into_iter().skip(self.keep) {
-            let _ = fs::remove_file(stale);
+            let _ = self.fs.remove_file(&stale);
         }
     }
 }
@@ -463,14 +488,11 @@ impl SnapshotStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::{SystemTime, UNIX_EPOCH};
+    use dst::{SimDisk, SimDiskProfile};
+    use std::fs;
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let nonce = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .unwrap()
-            .as_nanos();
-        let dir = std::env::temp_dir().join(format!("tsnap-{tag}-{}-{nonce}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("tsnap-{tag}-{}", dst::unique_nonce()));
         fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -606,5 +628,52 @@ mod tests {
             SnapshotError::NoValidSnapshot { examined: 0, .. }
         ));
         fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn store_runs_unchanged_on_a_simulated_disk() {
+        let disk = Arc::new(SimDisk::new(5, SimDiskProfile::pristine()));
+        let store = SnapshotStore::open_on(disk.clone(), "/sim/snaps", 2).unwrap();
+        for seq in 1..=4 {
+            store.save(&sample(seq)).unwrap();
+        }
+        assert_eq!(store.list().len(), 2, "retention prunes on SimDisk too");
+        let (snap, log) = store.load_latest().unwrap();
+        assert_eq!(snap.seq, 4);
+        assert!(log.skipped.is_empty());
+        let stats = disk.stats();
+        assert_eq!(stats.writes, 4);
+        assert_eq!(stats.syncs, 4, "every checkpoint fsyncs before rename");
+        assert_eq!(stats.renames, 4);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_boundary_never_wins_over_an_older_valid_snapshot() {
+        // The torn-write contract, exhaustively: however many bytes of
+        // a newer snapshot survive a crash, recovery must either use
+        // the complete newer file or fall back to the older valid one —
+        // never parse the torn prefix into state.
+        let disk = Arc::new(SimDisk::new(0, SimDiskProfile::pristine()));
+        let store = SnapshotStore::open_on(disk.clone(), "/sim/snaps", 10).unwrap();
+        store.save(&sample(1)).unwrap();
+        let newer = sample(2).encode().into_bytes();
+        let torn_path = PathBuf::from("/sim/snaps/snap-0000000002.ckpt");
+        for cut in 0..=newer.len() {
+            disk.plant(&torn_path, newer[..cut].to_vec());
+            let (snap, log) = store
+                .load_latest()
+                .unwrap_or_else(|e| panic!("cut at byte {cut}: recovery failed: {e}"));
+            if cut == newer.len() {
+                assert_eq!(snap.seq, 2, "the complete newer snapshot wins");
+                assert!(log.skipped.is_empty());
+            } else {
+                assert_eq!(snap.seq, 1, "cut at byte {cut}: torn file must lose");
+                assert_eq!(
+                    log.skipped.len(),
+                    1,
+                    "cut at byte {cut}: the torn file is logged, not trusted"
+                );
+            }
+        }
     }
 }

@@ -23,8 +23,9 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use dst::{Clock, SystemClock};
 use faultsim::FaultSchedule;
 use sensor::SensorArray;
 
@@ -344,16 +345,17 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport> {
         );
     }
 
-    // Chaos + restart orchestration on the driver thread.
-    let started = Instant::now();
-    let now_ms = |started: Instant| started.elapsed().as_millis() as u64;
+    // Chaos + restart orchestration on the driver thread. The driver
+    // reads time through the Clock abstraction like the runtime does.
+    let started = SystemClock::new();
+    let now_ms = |started: &SystemClock| started.now_ms();
     let mut report = SoakReport::default();
     let mut active: Vec<(u64, usize, sensor::RingFault)> = Vec::new(); // (clears_at, ch, fault)
     let mut cursor = 0u64;
     let mut restarted = false;
 
-    while now_ms(started) < cfg.duration_ms {
-        let t = now_ms(started);
+    while now_ms(&started) < cfg.duration_ms {
+        let t = now_ms(&started);
 
         // Forced kill-and-recover, once.
         if let Some(at) = cfg.restart_at_ms {
@@ -421,9 +423,9 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport> {
             report.cleared += 1;
         }
     }
-    let drain_start = now_ms(started);
+    let drain_start = now_ms(&started);
     loop {
-        let t = now_ms(started);
+        let t = now_ms(&started);
         let healed = {
             let guard = shared.read().expect("handle lock");
             let h = guard.as_ref().expect("runtime alive post-storm");
@@ -483,7 +485,7 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport> {
     report.p50_latency_ms = pct(0.50);
     report.p99_latency_ms = pct(0.99);
     report.max_latency_ms = lat.last().copied().unwrap_or(0);
-    report.elapsed_s = started.elapsed().as_secs_f64();
+    report.elapsed_s = started.now_ms() as f64 / 1e3;
     let served = report.served_fresh + report.served_degraded + report.served_shed;
     report.throughput_per_s = if report.elapsed_s > 0.0 {
         served as f64 / report.elapsed_s
@@ -523,11 +525,7 @@ mod tests {
     use super::*;
 
     fn soak_dir(tag: &str) -> std::path::PathBuf {
-        let nonce = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap()
-            .as_nanos();
-        std::env::temp_dir().join(format!("tsense-soak-{tag}-{nonce}"))
+        std::env::temp_dir().join(format!("tsense-soak-{tag}-{}", dst::unique_nonce()))
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! No-panic fuzzing of the deck parser.
+//!
+//! The parser's contract is total: any byte stream produces either a
+//! flattened `Deck` or a typed `SimError::Parse` — never a panic, an
+//! index out of bounds, or an arithmetic overflow. Three generators
+//! approach that claim from different angles: raw byte noise (exercises
+//! tokenization), SPICE-flavored token soup (exercises every card
+//! handler with almost-valid input), and single-point mutations and
+//! truncations of a known-good deck (exercises the deep, structured
+//! paths that random noise never reaches).
+
+use proptest::prelude::*;
+
+use spicelite::netlist::parse;
+
+/// A deck that parses clean: models, a subcircuit, instantiation,
+/// sources, passives, and analysis cards.
+const VALID_DECK: &str = "ring fuzz seed deck
+.model nm NMOS VTO=0.55 KP=170u LAMBDA=0.06
+.model pm PMOS VTO=0.65 KP=58u LAMBDA=0.08
+.subckt inv in out vdd
+MN out in 0 nm W=1u L=0.35u
+MP out in vdd pm W=2u L=0.35u
+.ends
+VDD vdd 0 DC 3.3
+X1 a b vdd inv
+X2 b c vdd inv
+X3 c a vdd inv
+R1 a 0 100k
+C1 b 0 10f
+.tran 2p 100p UIC
+.end
+";
+
+#[test]
+fn the_seed_deck_is_valid() {
+    let deck = parse(VALID_DECK).expect("seed deck parses");
+    assert_eq!(deck.title, "ring fuzz seed deck");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse(&source);
+    }
+
+    #[test]
+    fn spice_token_soup_never_panics(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                ".model", ".subckt", ".ends", ".tran", ".end", ".include", "+",
+                "NMOS", "PMOS", "DC", "PULSE", "PWL", "UIC",
+                "R1", "C9", "MN", "MP", "VDD", "X1", "X", "*comment",
+                "W=1u", "L=0.35u", "VTO=0.55", "KP=", "=", "1k", "10f", "2p",
+                "0", "1", "-3.3", "1e308", "-1e-308", "nan", "in", "out", "vdd",
+            ]),
+            0..60,
+        ),
+        breaks in prop::collection::vec(any::<bool>(), 0..60),
+    ) {
+        // Join with a random mix of spaces and newlines so cards form
+        // and break at arbitrary points.
+        let mut source = String::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            source.push_str(tok);
+            source.push(if breaks.get(i).copied().unwrap_or(false) { '\n' } else { ' ' });
+        }
+        let _ = parse(&source);
+    }
+
+    #[test]
+    fn truncating_a_valid_deck_never_panics(cut in 0usize..VALID_DECK.len()) {
+        // Cut on a char boundary (the deck is ASCII, so every byte is).
+        let _ = parse(&VALID_DECK[..cut]);
+    }
+
+    #[test]
+    fn mutating_one_byte_of_a_valid_deck_never_panics(
+        pos in 0usize..VALID_DECK.len(),
+        replacement in any::<u8>(),
+    ) {
+        let mut bytes = VALID_DECK.as_bytes().to_vec();
+        bytes[pos] = replacement;
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse(&source);
+    }
+
+    #[test]
+    fn splicing_noise_into_a_valid_deck_never_panics(
+        pos in 0usize..VALID_DECK.len(),
+        noise in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let mut bytes = VALID_DECK.as_bytes()[..pos].to_vec();
+        bytes.extend_from_slice(&noise);
+        bytes.extend_from_slice(&VALID_DECK.as_bytes()[pos..]);
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse(&source);
+    }
+}

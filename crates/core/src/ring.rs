@@ -114,10 +114,18 @@ impl RingOscillator {
         &self.stages
     }
 
+    /// Extra fixed wiring capacitance on every stage output.
+    #[inline]
+    pub fn wire_cap(&self) -> Farads {
+        self.wire_cap
+    }
+
     /// Load capacitance seen by stage `i` (input of the next stage plus
     /// wiring); the driving gate's own parasitic is added inside
-    /// [`Gate::delays`].
-    fn stage_load(&self, tech: &Technology, i: usize) -> Farads {
+    /// [`Gate::delays`]. Public so static analyzers (the `netcheck`
+    /// abstract interpreter) can price per-stage delays on exactly the
+    /// loads the period model uses.
+    pub fn stage_load(&self, tech: &Technology, i: usize) -> Farads {
         let next = &self.stages[(i + 1) % self.stages.len()];
         next.input_capacitance(tech) + self.wire_cap
     }

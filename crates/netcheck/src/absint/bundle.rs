@@ -1,0 +1,459 @@
+//! The certification bundle: one INI-style file linking a ring
+//! description, a technology, digitizer parameters, the certified
+//! operating range, calibration anchors, the resolution spec, and the
+//! runtime envelope — everything the abstract interpreter needs to
+//! derive the end-to-end interval chain.
+//!
+//! The format is a strict INI subset (this workspace vendors no config
+//! parser): `[section]` headers, `key = value` pairs, `#`/`;` comments,
+//! no nesting, no quoting except optionally around the cell mix.
+//!
+//! ```text
+//! [ring]
+//! mix = 3xINV+2xNAND3       # sta::parse_mix syntax
+//! wn_um = 1.0
+//! ratio = 2.0
+//!
+//! [tech]
+//! node = um350
+//! supply_tolerance = 0.05   # certified ±5 % rail envelope
+//!
+//! [digitizer]
+//! ref_clock_mhz = 100
+//! window_cycles = 65536
+//! counter_bits = 16
+//!
+//! [runtime]
+//! deadline_ms = 250
+//! ```
+
+use std::fmt;
+
+use sensor::unit::SensorConfig;
+use tsense_core::gate::Gate;
+use tsense_core::ring::RingOscillator;
+use tsense_core::tech::Technology;
+use tsense_core::units::{Farads, Hertz};
+
+/// The runtime timing envelope a bundle asks to be certified against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeEnvelope {
+    /// Per-request deadline, milliseconds.
+    pub deadline_ms: f64,
+    /// Oldest cached reading the runtime will serve, milliseconds.
+    pub staleness_bound_ms: u64,
+    /// Interval between checkpoints, milliseconds (0 = disabled).
+    pub checkpoint_interval_ms: u64,
+}
+
+/// A parse or validation failure in a certification bundle.
+#[derive(Debug)]
+pub enum BundleError {
+    /// A line did not parse as a section header or `key = value` pair.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The file parsed but describes an unbuildable configuration.
+    Invalid {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BundleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BundleError::Syntax { line, reason } => {
+                write!(f, "bundle syntax error at line {line}: {reason}")
+            }
+            BundleError::Invalid { reason } => write!(f, "invalid bundle: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+/// Everything `netcheck certify` proves properties about, parsed and
+/// validated.
+#[derive(Debug, Clone)]
+pub struct CertifyBundle {
+    /// Bundle name (from `[ring] name`, or the caller-supplied default).
+    pub name: String,
+    /// The sensor configuration under certification.
+    pub config: SensorConfig,
+    /// Certified junction-temperature range, °C (low, high).
+    pub temp_range_c: (f64, f64),
+    /// Certified relative supply excursion around the nominal rail
+    /// (e.g. `0.05` = ±5 %).
+    pub supply_tolerance: f64,
+    /// Calibration anchor temperatures, °C (low, high).
+    pub cal_anchors_c: (f64, f64),
+    /// Declared worst-case resolution spec, °C per LSB.
+    pub resolution_spec_c: f64,
+    /// When true the counting digitizer is the gate-level netlist,
+    /// whose toggle loop imposes a minimum ring period (`NC0905`).
+    pub gate_level: bool,
+    /// Runtime envelope to certify the NC10xx bank against, if any.
+    pub runtime: Option<RuntimeEnvelope>,
+}
+
+/// Default certified range: the paper's −50…150 °C.
+const DEFAULT_RANGE_C: (f64, f64) = (-50.0, 150.0);
+
+/// Default certified supply excursion: ±5 %.
+const DEFAULT_SUPPLY_TOLERANCE: f64 = 0.05;
+
+/// Default resolution spec, °C/LSB — one LSB per degree keeps all six
+/// Fig. 3 mixes comfortably inside spec at the default window.
+const DEFAULT_RESOLUTION_SPEC_C: f64 = 1.0;
+
+impl CertifyBundle {
+    /// Parses a bundle from INI text. `default_name` names the bundle
+    /// when the file does not (callers pass the file stem).
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::Syntax`] on malformed lines,
+    /// [`BundleError::Invalid`] when the described ring, technology, or
+    /// ranges cannot be built.
+    pub fn parse(text: &str, default_name: &str) -> Result<CertifyBundle, BundleError> {
+        let mut fields = Fields::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(BundleError::Syntax {
+                        line: lineno,
+                        reason: "unterminated section header".to_string(),
+                    });
+                };
+                section = name.trim().to_ascii_lowercase();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BundleError::Syntax {
+                    line: lineno,
+                    reason: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let key = key.trim().to_ascii_lowercase();
+            let value = value.trim().trim_matches('"').to_string();
+            fields.set(&section, &key, value, lineno)?;
+        }
+        fields.build(default_name)
+    }
+}
+
+/// Strips a `#` or `;` comment (whole-line or trailing).
+fn strip_comment(line: &str) -> &str {
+    match line.find(['#', ';']) {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Raw parsed key/value fields, by section, before validation.
+#[derive(Debug, Default)]
+struct Fields {
+    name: Option<String>,
+    mix: Option<String>,
+    wn_um: Option<f64>,
+    ratio: Option<f64>,
+    wire_cap_ff: Option<f64>,
+    node: Option<String>,
+    supply_tolerance: Option<f64>,
+    ref_clock_mhz: Option<f64>,
+    window_cycles: Option<u32>,
+    settle_cycles: Option<u32>,
+    counter_bits: Option<u32>,
+    word_bits: Option<u32>,
+    gate_level: Option<bool>,
+    range_low_c: Option<f64>,
+    range_high_c: Option<f64>,
+    cal_low_c: Option<f64>,
+    cal_high_c: Option<f64>,
+    resolution_spec_c: Option<f64>,
+    deadline_ms: Option<f64>,
+    staleness_bound_ms: Option<u64>,
+    checkpoint_interval_ms: Option<u64>,
+    saw_runtime_section: bool,
+}
+
+impl Fields {
+    fn set(
+        &mut self,
+        section: &str,
+        key: &str,
+        value: String,
+        lineno: usize,
+    ) -> Result<(), BundleError> {
+        let bad = |reason: String| BundleError::Syntax {
+            line: lineno,
+            reason,
+        };
+        let f64_of = |v: &str| {
+            v.parse::<f64>()
+                .map_err(|_| bad(format!("`{v}` is not a number")))
+        };
+        let u32_of = |v: &str| {
+            v.parse::<u32>()
+                .map_err(|_| bad(format!("`{v}` is not a non-negative integer")))
+        };
+        let u64_of = |v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| bad(format!("`{v}` is not a non-negative integer")))
+        };
+        let bool_of = |v: &str| match v.to_ascii_lowercase().as_str() {
+            "true" | "yes" | "1" => Ok(true),
+            "false" | "no" | "0" => Ok(false),
+            _ => Err(bad(format!("`{v}` is not a boolean"))),
+        };
+        if section == "runtime" {
+            self.saw_runtime_section = true;
+        }
+        match (section, key) {
+            ("ring", "name") => self.name = Some(value),
+            ("ring", "mix") => self.mix = Some(value),
+            ("ring", "wn_um") => self.wn_um = Some(f64_of(&value)?),
+            ("ring", "ratio") => self.ratio = Some(f64_of(&value)?),
+            ("ring", "wire_cap_ff") => self.wire_cap_ff = Some(f64_of(&value)?),
+            ("tech", "node") => self.node = Some(value),
+            ("tech", "supply_tolerance") => self.supply_tolerance = Some(f64_of(&value)?),
+            ("digitizer", "ref_clock_mhz") => self.ref_clock_mhz = Some(f64_of(&value)?),
+            ("digitizer", "window_cycles") => self.window_cycles = Some(u32_of(&value)?),
+            ("digitizer", "settle_cycles") => self.settle_cycles = Some(u32_of(&value)?),
+            ("digitizer", "counter_bits") => self.counter_bits = Some(u32_of(&value)?),
+            ("digitizer", "word_bits") => self.word_bits = Some(u32_of(&value)?),
+            ("digitizer", "gate_level") => self.gate_level = Some(bool_of(&value)?),
+            ("range", "low_c") => self.range_low_c = Some(f64_of(&value)?),
+            ("range", "high_c") => self.range_high_c = Some(f64_of(&value)?),
+            ("calibration", "low_c") => self.cal_low_c = Some(f64_of(&value)?),
+            ("calibration", "high_c") => self.cal_high_c = Some(f64_of(&value)?),
+            ("spec", "resolution_c_per_lsb") => self.resolution_spec_c = Some(f64_of(&value)?),
+            ("runtime", "deadline_ms") => self.deadline_ms = Some(f64_of(&value)?),
+            ("runtime", "staleness_bound_ms") => self.staleness_bound_ms = Some(u64_of(&value)?),
+            ("runtime", "checkpoint_interval_ms") => {
+                self.checkpoint_interval_ms = Some(u64_of(&value)?)
+            }
+            _ => return Err(bad(format!("unknown key `{key}` in section `[{section}]`"))),
+        }
+        Ok(())
+    }
+
+    fn build(self, default_name: &str) -> Result<CertifyBundle, BundleError> {
+        let invalid = |reason: String| BundleError::Invalid { reason };
+        let mix = self
+            .mix
+            .ok_or_else(|| invalid("missing `[ring] mix`".to_string()))?;
+        let kinds = sta::rings::parse_mix(&mix).map_err(|e| invalid(e.to_string()))?;
+        let wn = self.wn_um.unwrap_or(1.0) * 1e-6;
+        let ratio = self.ratio.unwrap_or(2.0);
+        let stages = kinds
+            .iter()
+            .map(|&k| Gate::with_ratio(k, wn, ratio))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| invalid(e.to_string()))?;
+        let mut ring = RingOscillator::from_stages(stages).map_err(|e| invalid(e.to_string()))?;
+        if let Some(ff) = self.wire_cap_ff {
+            if ff < 0.0 {
+                return Err(invalid(format!("negative wire capacitance {ff} fF")));
+            }
+            ring = ring.with_wire_cap(Farads::from_femtos(ff));
+        }
+
+        let node = self.node.unwrap_or_else(|| "um350".to_string());
+        let tech = match node.as_str() {
+            "um350" => Technology::um350(),
+            "um250" => Technology::um250(),
+            "um180" => Technology::um180(),
+            "um130" => Technology::um130(),
+            other => {
+                return Err(invalid(format!(
+                    "unknown technology node `{other}` (expected um350/um250/um180/um130)"
+                )))
+            }
+        };
+
+        let mut config = SensorConfig::new(ring, tech);
+        if let Some(mhz) = self.ref_clock_mhz {
+            if !mhz.is_finite() || mhz <= 0.0 {
+                return Err(invalid(format!("non-positive reference clock {mhz} MHz")));
+            }
+            config = config.with_ref_clock(Hertz::from_mega(mhz));
+        }
+        if let Some(w) = self.window_cycles {
+            config = config.with_window(w);
+        }
+        if let Some(s) = self.settle_cycles {
+            config.settle_cycles = s;
+        }
+        if let Some(b) = self.counter_bits {
+            if b == 0 || b > 64 {
+                return Err(invalid(format!("counter width {b} bits outside 1..=64")));
+            }
+            config = config.with_counter_bits(b);
+        }
+        if let Some(b) = self.word_bits {
+            if b == 0 || b > 64 {
+                return Err(invalid(format!("word width {b} bits outside 1..=64")));
+            }
+            config = config.with_word_bits(b);
+        }
+        config
+            .digitizer_spec()
+            .map_err(|e| invalid(e.to_string()))?;
+
+        let temp_range_c = (
+            self.range_low_c.unwrap_or(DEFAULT_RANGE_C.0),
+            self.range_high_c.unwrap_or(DEFAULT_RANGE_C.1),
+        );
+        // NaN-aware: the error path must also catch unordered pairs.
+        let strictly_ordered = |a: f64, b: f64| a.is_finite() && b.is_finite() && a < b;
+        if !strictly_ordered(temp_range_c.0, temp_range_c.1) {
+            return Err(invalid(format!(
+                "empty certified range [{}, {}] °C",
+                temp_range_c.0, temp_range_c.1
+            )));
+        }
+        let cal_anchors_c = (
+            self.cal_low_c.unwrap_or(temp_range_c.0),
+            self.cal_high_c.unwrap_or(temp_range_c.1),
+        );
+        if !strictly_ordered(cal_anchors_c.0, cal_anchors_c.1) {
+            return Err(invalid(format!(
+                "degenerate calibration anchors [{}, {}] °C",
+                cal_anchors_c.0, cal_anchors_c.1
+            )));
+        }
+        let supply_tolerance = self.supply_tolerance.unwrap_or(DEFAULT_SUPPLY_TOLERANCE);
+        if !(0.0..0.5).contains(&supply_tolerance) {
+            return Err(invalid(format!(
+                "supply tolerance {supply_tolerance} outside [0, 0.5)"
+            )));
+        }
+        let resolution_spec_c = self.resolution_spec_c.unwrap_or(DEFAULT_RESOLUTION_SPEC_C);
+        if !resolution_spec_c.is_finite() || resolution_spec_c <= 0.0 {
+            return Err(invalid(format!(
+                "non-positive resolution spec {resolution_spec_c} °C/LSB"
+            )));
+        }
+
+        let runtime = if self.saw_runtime_section {
+            Some(RuntimeEnvelope {
+                deadline_ms: self.deadline_ms.unwrap_or(250.0),
+                staleness_bound_ms: self.staleness_bound_ms.unwrap_or(600),
+                checkpoint_interval_ms: self.checkpoint_interval_ms.unwrap_or(500),
+            })
+        } else {
+            None
+        };
+        if let Some(rt) = &runtime {
+            if !rt.deadline_ms.is_finite() || rt.deadline_ms <= 0.0 {
+                return Err(invalid(format!(
+                    "non-positive deadline {} ms",
+                    rt.deadline_ms
+                )));
+            }
+        }
+
+        Ok(CertifyBundle {
+            name: self.name.unwrap_or_else(|| default_name.to_string()),
+            config,
+            temp_range_c,
+            supply_tolerance,
+            cal_anchors_c,
+            resolution_spec_c,
+            gate_level: self.gate_level.unwrap_or(false),
+            runtime,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# quickstart bundle
+[ring]
+name = quickstart
+mix = 3xINV+2xNAND3
+wn_um = 1.0
+ratio = 2.0
+
+[tech]
+node = um350
+supply_tolerance = 0.05
+
+[digitizer]
+ref_clock_mhz = 100
+window_cycles = 65536
+settle_cycles = 64
+counter_bits = 16
+word_bits = 16
+
+[range]
+low_c = -50
+high_c = 150
+
+[runtime]
+deadline_ms = 250
+staleness_bound_ms = 600
+checkpoint_interval_ms = 500
+";
+
+    #[test]
+    fn parses_a_full_bundle() {
+        let b = CertifyBundle::parse(GOOD, "fallback").unwrap();
+        assert_eq!(b.name, "quickstart");
+        assert_eq!(b.config.ring.stage_count(), 5);
+        assert_eq!(b.config.counter_bits, 16);
+        assert_eq!(b.temp_range_c, (-50.0, 150.0));
+        assert_eq!(b.cal_anchors_c, (-50.0, 150.0));
+        let rt = b.runtime.unwrap();
+        assert_eq!(rt.staleness_bound_ms, 600);
+        assert!(!b.gate_level);
+    }
+
+    #[test]
+    fn defaults_fill_missing_sections() {
+        let b = CertifyBundle::parse("[ring]\nmix = 5xINV\n", "tiny").unwrap();
+        assert_eq!(b.name, "tiny");
+        assert_eq!(b.config.window_cycles, 1 << 16);
+        assert_eq!(b.supply_tolerance, DEFAULT_SUPPLY_TOLERANCE);
+        assert_eq!(b.resolution_spec_c, DEFAULT_RESOLUTION_SPEC_C);
+        assert!(b.runtime.is_none(), "no [runtime] section, no envelope");
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = CertifyBundle::parse("[ring]\nmix 5xINV\n", "x").unwrap_err();
+        assert!(matches!(err, BundleError::Syntax { line: 2, .. }), "{err}");
+        let err = CertifyBundle::parse("[ring\nmix = 5xINV\n", "x").unwrap_err();
+        assert!(matches!(err, BundleError::Syntax { line: 1, .. }), "{err}");
+        let err = CertifyBundle::parse("[ring]\nbogus = 1\n", "x").unwrap_err();
+        assert!(matches!(err, BundleError::Syntax { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        // Even stage count.
+        let err = CertifyBundle::parse("[ring]\nmix = 4xINV\n", "x").unwrap_err();
+        assert!(matches!(err, BundleError::Invalid { .. }), "{err}");
+        // Unknown node.
+        let err =
+            CertifyBundle::parse("[ring]\nmix = 5xINV\n[tech]\nnode = um65\n", "x").unwrap_err();
+        assert!(err.to_string().contains("um65"), "{err}");
+        // Missing mix entirely.
+        let err = CertifyBundle::parse("[tech]\nnode = um350\n", "x").unwrap_err();
+        assert!(err.to_string().contains("mix"), "{err}");
+    }
+}

@@ -1,0 +1,293 @@
+//! The interval abstract domain.
+//!
+//! An [`Interval`] `[lo, hi]` over-approximates the set of values a
+//! physical quantity can take anywhere inside the certified operating
+//! envelope. The engine derives intervals for sampled base quantities
+//! (per-stage gate delays over the temperature × supply grid) and
+//! propagates them through the arithmetic of the conversion pipeline
+//! with the usual interval operators; every operator is *sound*: if
+//! `x ∈ X` and `y ∈ Y` then `x ∘ y ∈ X ∘ Y`.
+//!
+//! Base intervals built from finite sampling are widened by the
+//! largest adjacent-sample step ([`IntervalBuilder`]): for the smooth,
+//! monotone-in-each-axis delay models this bounds the excursion any
+//! unsampled interior point can make beyond the sampled hull, which is
+//! exactly the obligation the soundness property test discharges at
+//! random concrete corners.
+
+use std::fmt;
+
+/// A closed, non-empty interval `[lo, hi]` of finite `f64`s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Builds `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi` or either bound is not finite — empty or
+    /// unbounded intervals indicate an engine bug, not an input
+    /// condition.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid interval [{lo}, {hi}]"
+        );
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[x, x]`.
+    pub fn point(x: f64) -> Self {
+        Interval::new(x, x)
+    }
+
+    /// Lower bound.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi − lo`.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True when `x` lies inside (inclusive).
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// True when `other` lies entirely inside this interval.
+    #[inline]
+    pub fn encloses(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// The smallest interval containing both.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Sound sum: `[a+c, b+d]`.
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo + other.lo, self.hi + other.hi)
+    }
+
+    /// Sound difference: `[a−d, b−c]`.
+    pub fn sub(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo - other.hi, self.hi - other.lo)
+    }
+
+    /// Sound product (all four corner products considered).
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let corners = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        let lo = corners.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = corners.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Interval::new(lo, hi)
+    }
+
+    /// Sound scaling by a constant (sign-aware).
+    pub fn scale(&self, k: f64) -> Interval {
+        self.mul(&Interval::point(k))
+    }
+
+    /// Sound reciprocal `1/[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the interval contains zero — the engine guards
+    /// every division with an explicit zero-straddle check first.
+    pub fn recip(&self) -> Interval {
+        assert!(
+            !self.contains(0.0),
+            "reciprocal of a zero-straddling interval [{}, {}]",
+            self.lo,
+            self.hi
+        );
+        Interval::new(1.0 / self.hi, 1.0 / self.lo)
+    }
+
+    /// Widens both bounds outward by `abs` plus `rel·|bound|` — the
+    /// slack applied to sampled base intervals.
+    pub fn inflate(&self, rel: f64, abs: f64) -> Interval {
+        let pad_lo = abs + rel * self.lo.abs();
+        let pad_hi = abs + rel * self.hi.abs();
+        Interval::new(self.lo - pad_lo, self.hi + pad_hi)
+    }
+
+    /// Element-wise floor — the quantized image of an ideal-count
+    /// interval (floor is monotone, so this is sound).
+    pub fn floor(&self) -> Interval {
+        Interval::new(self.lo.floor(), self.hi.floor())
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.6e}, {:.6e}]", self.lo, self.hi)
+    }
+}
+
+/// Accumulates finite samples of a continuous quantity into a sound
+/// base interval: the sampled hull, widened by the largest step
+/// between adjacent samples (a Lipschitz-style guard for interior
+/// extrema between grid points) and a relative epsilon for float
+/// round-off.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalBuilder {
+    samples: Vec<f64>,
+    max_step: f64,
+    prev: Option<f64>,
+}
+
+/// Relative float-slack applied to every sampled base interval.
+const REL_EPS: f64 = 1e-9;
+
+impl IntervalBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        IntervalBuilder::default()
+    }
+
+    /// Records one sample, tracking the step from the previous sample
+    /// along the traversal order (callers walk each grid axis in
+    /// order, resetting between axes with [`IntervalBuilder::break_run`]).
+    pub fn push(&mut self, x: f64) {
+        if let Some(prev) = self.prev {
+            self.max_step = self.max_step.max((x - prev).abs());
+        }
+        self.prev = Some(x);
+        self.samples.push(x);
+    }
+
+    /// Ends the current adjacency run (e.g. at the end of one supply
+    /// lane) so the jump to the next run is not counted as a step.
+    pub fn break_run(&mut self) {
+        self.prev = None;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The unwidened sampled hull, if any sample was recorded.
+    pub fn sample_hull(&self) -> Option<Interval> {
+        let lo = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = self
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if lo.is_finite() && hi.is_finite() {
+            Some(Interval::new(lo, hi))
+        } else {
+            None
+        }
+    }
+
+    /// The sound base interval: sampled hull widened by the largest
+    /// adjacent step and the relative float slack.
+    pub fn build(&self) -> Option<Interval> {
+        Some(self.sample_hull()?.inflate(REL_EPS, self.max_step))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_sound_on_corners() {
+        let a = Interval::new(2.0, 3.0);
+        let b = Interval::new(-1.0, 4.0);
+        assert_eq!(a.add(&b), Interval::new(1.0, 7.0));
+        assert_eq!(a.sub(&b), Interval::new(-2.0, 4.0));
+        assert_eq!(a.mul(&b), Interval::new(-3.0, 12.0));
+        assert_eq!(a.scale(-2.0), Interval::new(-6.0, -4.0));
+        assert_eq!(a.recip(), Interval::new(1.0 / 3.0, 0.5));
+    }
+
+    #[test]
+    fn mul_handles_negative_operands() {
+        let a = Interval::new(-3.0, -2.0);
+        let b = Interval::new(-5.0, 7.0);
+        let p = a.mul(&b);
+        // Corners: 15, -21, 10, -14 → [-21, 15].
+        assert_eq!(p, Interval::new(-21.0, 15.0));
+        for &x in &[-3.0, -2.5, -2.0] {
+            for &y in &[-5.0, 0.0, 3.3, 7.0] {
+                assert!(p.contains(x * y), "{x}·{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn hull_contains_both_and_floor_is_monotone() {
+        let a = Interval::new(1.2, 2.4);
+        let b = Interval::new(3.7, 4.0);
+        let h = a.hull(&b);
+        assert!(h.encloses(&a) && h.encloses(&b));
+        assert_eq!(a.floor(), Interval::new(1.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn empty_interval_panics() {
+        let _ = Interval::new(2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-straddling")]
+    fn recip_through_zero_panics() {
+        let _ = Interval::new(-1.0, 1.0).recip();
+    }
+
+    #[test]
+    fn builder_widens_by_max_step() {
+        let mut b = IntervalBuilder::new();
+        for x in [10.0, 11.0, 13.0, 14.0] {
+            b.push(x);
+        }
+        let iv = b.build().unwrap();
+        // Hull [10, 14], max step 2 → at least [8, 16].
+        assert!(iv.lo() <= 8.0 + 1e-6 && iv.hi() >= 16.0 - 1e-6, "{iv}");
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn builder_break_run_suppresses_cross_lane_steps() {
+        let mut a = IntervalBuilder::new();
+        a.push(1.0);
+        a.push(2.0);
+        a.break_run();
+        a.push(100.0);
+        a.push(101.0);
+        let iv = a.build().unwrap();
+        // Without break_run the 2→100 jump would widen by 98.
+        assert!(iv.lo() > -5.0 && iv.hi() < 110.0, "{iv}");
+    }
+}

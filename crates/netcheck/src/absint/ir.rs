@@ -1,0 +1,186 @@
+//! The signal-flow IR: a small dataflow graph whose nodes carry the
+//! derived interval for one physical quantity of the conversion
+//! pipeline, with edges recording which upstream quantities it was
+//! computed from.
+//!
+//! The graph is the *certificate body*: rendering it top-down yields
+//! the human-readable interval chain (`netcheck certify`'s output),
+//! and each NC09xx/NC10xx rule is a predicate over one or two nodes.
+
+use std::fmt;
+
+use super::interval::Interval;
+
+/// Index of a node in its [`FlowGraph`].
+pub type NodeId = usize;
+
+/// What pipeline quantity a node models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// One ring stage's propagation-delay pair sum, seconds.
+    StageDelay,
+    /// The ring oscillation period, seconds.
+    RingPeriod,
+    /// One full conversion (settle + window), seconds.
+    ConversionTime,
+    /// The reference count accumulated over the window, LSBs.
+    CounterCount,
+    /// Temperature step represented by one count LSB, °C/LSB.
+    QuantizationStep,
+    /// A calibration anchor's raw code, LSBs.
+    CalibrationAnchor,
+    /// The calibrated output temperature word, °C.
+    OutputWord,
+    /// Worst-case age of servable cached data, milliseconds.
+    CacheStaleness,
+    /// The runtime's per-request deadline budget, milliseconds.
+    DeadlineBudget,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NodeKind::StageDelay => "stage-delay",
+            NodeKind::RingPeriod => "ring-period",
+            NodeKind::ConversionTime => "conversion-time",
+            NodeKind::CounterCount => "counter-count",
+            NodeKind::QuantizationStep => "quantization-step",
+            NodeKind::CalibrationAnchor => "calibration-anchor",
+            NodeKind::OutputWord => "output-word",
+            NodeKind::CacheStaleness => "cache-staleness",
+            NodeKind::DeadlineBudget => "deadline-budget",
+        })
+    }
+}
+
+/// One quantity in the signal-flow graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// What the node models.
+    pub kind: NodeKind,
+    /// Human-readable label, e.g. `"ring period (envelope)"`.
+    pub label: String,
+    /// The derived interval.
+    pub interval: Interval,
+    /// Unit the interval is expressed in, e.g. `"s"` or `"LSB"`.
+    pub unit: &'static str,
+    /// Upstream nodes this one was derived from.
+    pub inputs: Vec<NodeId>,
+}
+
+/// The dataflow graph the abstract interpreter builds; append-only, so
+/// `NodeId`s are stable and inputs always precede their consumers.
+#[derive(Debug, Clone, Default)]
+pub struct FlowGraph {
+    nodes: Vec<Node>,
+}
+
+impl FlowGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        FlowGraph::default()
+    }
+
+    /// Appends a node and returns its ID.
+    pub fn push(
+        &mut self,
+        kind: NodeKind,
+        label: impl Into<String>,
+        interval: Interval,
+        unit: &'static str,
+        inputs: Vec<NodeId>,
+    ) -> NodeId {
+        assert!(
+            inputs.iter().all(|&i| i < self.nodes.len()),
+            "inputs must precede consumers"
+        );
+        self.nodes.push(Node {
+            kind,
+            label: label.into(),
+            interval,
+            unit,
+            inputs,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// All nodes in derivation order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// A node by ID.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// The derived interval of a node.
+    pub fn interval(&self, id: NodeId) -> Interval {
+        self.nodes[id].interval
+    }
+
+    /// Renders the derivation chain as indented text, one node per
+    /// line: `kind  label : interval unit  ⇐ inputs`.
+    pub fn render_chain(&self) -> String {
+        let mut out = String::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            let deps = if node.inputs.is_empty() {
+                String::new()
+            } else {
+                let names: Vec<String> = node.inputs.iter().map(|i| format!("#{i}")).collect();
+                format!("  <= {}", names.join(" "))
+            };
+            out.push_str(&format!(
+                "  #{id:<3} {:<18} {:<38} {} {}{deps}\n",
+                node.kind.to_string(),
+                node.label,
+                node.interval,
+                node.unit,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_is_append_only_and_renders() {
+        let mut g = FlowGraph::new();
+        let a = g.push(
+            NodeKind::StageDelay,
+            "stage 0",
+            Interval::new(1e-10, 2e-10),
+            "s",
+            vec![],
+        );
+        let b = g.push(
+            NodeKind::RingPeriod,
+            "period",
+            Interval::new(5e-10, 1e-9),
+            "s",
+            vec![a],
+        );
+        assert_eq!(g.nodes().len(), 2);
+        assert_eq!(g.node(b).inputs, vec![a]);
+        let text = g.render_chain();
+        assert!(text.contains("stage-delay"));
+        assert!(text.contains("ring-period"));
+        assert!(text.contains("<= #0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs must precede")]
+    fn forward_references_rejected() {
+        let mut g = FlowGraph::new();
+        g.push(
+            NodeKind::RingPeriod,
+            "bad",
+            Interval::point(1.0),
+            "s",
+            vec![3],
+        );
+    }
+}

@@ -1,28 +1,42 @@
 //! The `netcheck` command-line frontend.
 //!
 //! ```text
-//! netcheck [--json] [--rules] FILE...
+//! netcheck [--json] [--sarif FILE] [--rules] FILE...
+//! netcheck certify [--json] [--sarif FILE] BUNDLE...
 //! ```
 //!
-//! Each input file is linted according to its extension: `.lib`/`.liberty`
-//! files parse as Liberty timing libraries (rule bank `NC03xx`), anything
-//! else parses as a SPICE deck (`NC02xx`). Files that fail to parse fire
-//! `NC0001`. Exit status: `0` clean (warnings allowed), `1` if any rule
-//! fired at error severity, `2` for usage or I/O problems.
+//! **Lint mode** (default): each input file is linted according to its
+//! extension — `.lib`/`.liberty` files parse as Liberty timing
+//! libraries (rule bank `NC03xx`), anything else parses as a SPICE
+//! deck (`NC02xx`). Files that fail to parse fire `NC0001`.
+//!
+//! **Certify mode**: each input is a certification bundle (INI subset,
+//! see `netcheck::absint::bundle`); the abstract interpreter derives
+//! the end-to-end interval chain and prints the certificate with every
+//! NC09xx/NC10xx finding.
+//!
+//! Exit status, both modes: `0` clean/proven (warnings allowed), `1`
+//! if any rule fired at error severity, `2` for usage, I/O, or
+//! bundle/model evaluation problems.
 
 use std::path::Path;
 use std::process::ExitCode;
 
+use netcheck::absint::{certify, CertifyBundle};
 use netcheck::{check_deck, check_library, Diagnostic, Location, Report, RULES};
 
 fn usage() {
-    eprintln!("usage: netcheck [--json] [--rules] FILE...");
+    eprintln!("usage: netcheck [--json] [--sarif FILE] [--rules] FILE...");
+    eprintln!("       netcheck certify [--json] [--sarif FILE] BUNDLE...");
     eprintln!();
-    eprintln!("  --json    emit diagnostics as a JSON array");
-    eprintln!("  --rules   list every rule and exit");
+    eprintln!("  --json        emit diagnostics (or the certificate) as JSON");
+    eprintln!("  --sarif FILE  additionally write diagnostics as SARIF 2.1.0");
+    eprintln!("  --rules       list every rule and exit");
     eprintln!();
-    eprintln!("  FILE ending in .lib/.liberty lints as a Liberty timing library;");
-    eprintln!("  anything else lints as a SPICE deck.");
+    eprintln!("  In lint mode, FILE ending in .lib/.liberty lints as a Liberty");
+    eprintln!("  timing library; anything else lints as a SPICE deck.");
+    eprintln!("  In certify mode, each BUNDLE is an INI-style certification");
+    eprintln!("  bundle; the interval chain and verdict are printed per bundle.");
 }
 
 fn list_rules() {
@@ -65,35 +79,65 @@ fn parse_failure(message: String) -> Report {
     report
 }
 
-fn main() -> ExitCode {
-    let mut json = false;
-    let mut files: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+/// Parsed command line, shared by both modes.
+struct Options {
+    json: bool,
+    sarif: Option<String>,
+    files: Vec<String>,
+}
+
+/// Parses flags and file operands; `Err` carries the exit code.
+fn parse_args(args: &[String]) -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        json: false,
+        sarif: None,
+        files: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => opts.json = true,
+            "--sarif" => match iter.next() {
+                Some(path) => opts.sarif = Some(path.clone()),
+                None => {
+                    eprintln!("netcheck: --sarif needs a file argument");
+                    return Err(ExitCode::from(2));
+                }
+            },
             "--rules" => {
                 list_rules();
-                return ExitCode::SUCCESS;
+                return Err(ExitCode::SUCCESS);
             }
             "--help" | "-h" => {
                 usage();
-                return ExitCode::SUCCESS;
+                return Err(ExitCode::SUCCESS);
             }
             _ if arg.starts_with('-') => {
                 eprintln!("netcheck: unknown option `{arg}`");
                 usage();
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
-            _ => files.push(arg),
+            _ => opts.files.push(arg.clone()),
         }
     }
-    if files.is_empty() {
+    if opts.files.is_empty() {
         usage();
-        return ExitCode::from(2);
+        return Err(ExitCode::from(2));
     }
+    Ok(opts)
+}
 
+/// Writes the SARIF artifact when requested; exit code 2 on I/O error.
+fn write_sarif(report: &Report, path: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, report.render_sarif()).map_err(|e| {
+        eprintln!("netcheck: cannot write SARIF to {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn run_lint(opts: &Options) -> ExitCode {
     let mut combined = Report::new();
-    for path in &files {
+    for path in &opts.files {
         match check_file(path) {
             Ok(report) => combined.extend(report),
             Err(e) => {
@@ -102,8 +146,14 @@ fn main() -> ExitCode {
             }
         }
     }
+    combined.sort();
 
-    if json {
+    if let Some(path) = &opts.sarif {
+        if let Err(code) = write_sarif(&combined, path) {
+            return code;
+        }
+    }
+    if opts.json {
         println!("{}", combined.render_json());
     } else {
         print!("{}", combined.render_text());
@@ -112,5 +162,76 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn run_certify(opts: &Options) -> ExitCode {
+    let mut combined = Report::new();
+    let mut certificates_json: Vec<String> = Vec::new();
+    for path in &opts.files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("netcheck: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let stem = Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path);
+        let bundle = match CertifyBundle::parse(&text, stem) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("netcheck: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let cert = match certify(&bundle) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("netcheck: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if opts.json {
+            certificates_json.push(cert.render_json());
+        } else {
+            print!("{}", cert.render_text());
+            println!();
+        }
+        combined.extend(cert.report.clone().with_path(path));
+    }
+    combined.sort();
+
+    if opts.json {
+        println!("[{}]", certificates_json.join(","));
+    }
+    if let Some(path) = &opts.sarif {
+        if let Err(code) = write_sarif(&combined, path) {
+            return code;
+        }
+    }
+    if combined.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let certify_mode = args.first().map(String::as_str) == Some("certify");
+    if certify_mode {
+        args.remove(0);
+    }
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(code) => return code,
+    };
+    if certify_mode {
+        run_certify(&opts)
+    } else {
+        run_lint(&opts)
     }
 }

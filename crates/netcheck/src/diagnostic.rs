@@ -140,6 +140,26 @@ impl Diagnostic {
         }
     }
 
+    /// A diagnostic at the rule's *registered* severity — the severity
+    /// lives only in the [`RULES`](crate::pass::RULES) table, so a call
+    /// site can never drift from the registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rule` is not registered; rule IDs are compile-time
+    /// constants from [`crate::pass::rules`], so an unknown ID is a
+    /// programming error, not an input condition.
+    pub fn at(rule: &'static str, location: Location, message: impl Into<String>) -> Self {
+        let info = crate::pass::rule_info(rule)
+            .unwrap_or_else(|| panic!("rule `{rule}` is not registered in RULES"));
+        Diagnostic {
+            rule,
+            severity: info.severity,
+            location,
+            message: message.into(),
+        }
+    }
+
     /// Compact single-line JSON object (no external serializer needed).
     pub fn to_json(&self) -> String {
         let mut fields = vec![
@@ -269,6 +289,85 @@ impl Report {
         let items: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
         format!("[{}]", items.join(","))
     }
+
+    /// Sorts diagnostics into the canonical deterministic order: rule
+    /// ID first, then location (path, line, object), then message.
+    /// Every multi-pass frontend sorts before rendering so CI diffs
+    /// are stable under pass reordering.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (
+                a.rule,
+                &a.location.path,
+                a.location.line,
+                &a.location.object,
+                &a.message,
+            )
+                .cmp(&(
+                    b.rule,
+                    &b.location.path,
+                    b.location.line,
+                    &b.location.object,
+                    &b.message,
+                ))
+        });
+    }
+
+    /// SARIF 2.1.0 rendering — one run, one result per diagnostic,
+    /// with the fired rules described in the tool driver. Consumed by
+    /// CI code-scanning uploads and archived as a build artifact.
+    pub fn render_sarif(&self) -> String {
+        let mut fired: Vec<&'static str> = self.diagnostics.iter().map(|d| d.rule).collect();
+        fired.sort_unstable();
+        fired.dedup();
+        let rules: Vec<String> = fired
+            .iter()
+            .map(|id| {
+                let summary = crate::pass::rule_info(id).map_or("", |r| r.summary);
+                format!(
+                    "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+                    json_string(id),
+                    json_string(summary)
+                )
+            })
+            .collect();
+        let results: Vec<String> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let level = match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                    Severity::Info => "note",
+                };
+                let uri = d.location.path.as_deref().unwrap_or("<artifact>");
+                let mut region = String::new();
+                if let Some(line) = d.location.line {
+                    region = format!(",\"region\":{{\"startLine\":{line}}}");
+                }
+                let mut message = d.message.clone();
+                if let Some(object) = &d.location.object {
+                    message = format!("`{object}`: {message}");
+                }
+                format!(
+                    "{{\"ruleId\":{},\"level\":\"{level}\",\"message\":{{\"text\":{}}},\
+                     \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+                     {{\"uri\":{}}}{region}}}}}]}}",
+                    json_string(d.rule),
+                    json_string(&message),
+                    json_string(uri),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+             \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"netcheck\",\
+             \"version\":{},\"rules\":[{}]}}}},\"results\":[{}]}}]}}",
+            json_string(env!("CARGO_PKG_VERSION")),
+            rules.join(","),
+            results.join(",")
+        )
+    }
 }
 
 #[cfg(test)]
@@ -321,6 +420,57 @@ mod tests {
         assert!(text.contains("1 error(s), 1 warning(s), 0 note(s)"));
         let json = r.render_json();
         assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+
+    #[test]
+    fn at_takes_severity_from_the_registry() {
+        let d = Diagnostic::at("NC0901", Location::object("counter"), "would overflow");
+        assert_eq!(d.severity, Severity::Error);
+        let d = Diagnostic::at("NC1002", Location::object("deadline"), "no headroom");
+        assert_eq!(d.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn sort_orders_by_rule_then_location() {
+        let mut r = Report::new();
+        r.push(Diagnostic::warning(
+            "NC0203",
+            Location::file_line("b.ckt", 9),
+            "late",
+        ));
+        r.push(Diagnostic::error("NC0102", Location::object("q"), "driver"));
+        r.push(Diagnostic::warning(
+            "NC0203",
+            Location::file_line("a.ckt", 2),
+            "early",
+        ));
+        r.sort();
+        let order: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .map(|d| (d.rule, d.location.path.clone()))
+            .collect();
+        assert_eq!(order[0], ("NC0102", None));
+        assert_eq!(order[1], ("NC0203", Some("a.ckt".to_string())));
+        assert_eq!(order[2], ("NC0203", Some("b.ckt".to_string())));
+    }
+
+    #[test]
+    fn sarif_is_wellformed_and_maps_severities() {
+        let mut r = Report::new();
+        r.push(Diagnostic::error(
+            "NC0901",
+            Location::file_line("bundle.toml", 3),
+            "overflow",
+        ));
+        r.push(Diagnostic::info("NC0402", Location::object("mix"), "note"));
+        let sarif = r.render_sarif();
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\":\"NC0901\""));
+        assert!(sarif.contains("\"level\":\"error\""));
+        assert!(sarif.contains("\"level\":\"note\""));
+        assert!(sarif.contains("\"startLine\":3"));
+        assert!(sarif.contains("\"uri\":\"bundle.toml\""));
     }
 
     #[test]

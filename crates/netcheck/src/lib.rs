@@ -13,6 +13,8 @@
 //! | `NC06xx` | array + health policy      | too-small arrays, uncalibrated sites, period-band coverage |
 //! | `NC07xx` | config + runtime deadline  | unservable conversion windows, missing retry headroom |
 //! | `NC08xx` | runtime recovery freshness | staleness bound shorter than the checkpoint interval |
+//! | `NC09xx` | abstract interpretation    | counter overflow, quantization step vs spec, anchor bracketing, word width, toggle-loop floor |
+//! | `NC10xx` | abstract interpretation    | provable conversion vs deadline, staleness vs checkpoint + conversion |
 //!
 //! Every rule has a stable ID and fires as a [`Diagnostic`] at a fixed
 //! [`Severity`]; a [`Report`] aggregates them and renders as text or
@@ -31,6 +33,9 @@
 //! assert_eq!(report.diagnostics()[0].rule, "NC0101");
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod absint;
 pub mod config_rules;
 pub mod deck_rules;
 pub mod diagnostic;
@@ -42,6 +47,7 @@ pub mod resilience_rules;
 pub mod runtime_rules;
 pub mod timing_rules;
 
+pub use absint::{certify, Certificate, CertifyBundle};
 pub use config_rules::{check_calibration_anchors, check_sensor_config, PAPER_STAGE_COUNTS};
 pub use deck_rules::{check_circuit, check_deck};
 pub use diagnostic::{Diagnostic, Location, Report, Severity};
@@ -53,7 +59,7 @@ pub use pass::{rule_info, run_passes, Pass, RuleInfo, RULES};
 pub use preflight::PreflightError;
 pub use resilience_rules::{check_array_resilience, ArrayUnderPolicy};
 pub use runtime_rules::{
-    check_runtime_budget, check_runtime_tuning, ConfigUnderDeadline, DeadlineBudgetPass,
-    FreshnessPass, RuntimeTuning,
+    check_runtime_budget, check_runtime_tuning, worst_case_conversion_s, ConfigUnderDeadline,
+    DeadlineBudgetPass, FreshnessPass, RuntimeTuning,
 };
 pub use timing_rules::{check_netlist_timing, check_netlist_timing_with, TimingPass};

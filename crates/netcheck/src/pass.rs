@@ -18,12 +18,16 @@ pub trait Pass<T: ?Sized> {
     fn run(&self, target: &T, report: &mut Report);
 }
 
-/// Runs every pass in order against one target.
+/// Runs every pass in order against one target, then sorts the
+/// combined findings into the canonical deterministic order (rule,
+/// then location, then message) so reports diff stably across runs
+/// and pass reorderings.
 pub fn run_passes<T: ?Sized>(passes: &[&dyn Pass<T>], target: &T) -> Report {
     let mut report = Report::new();
     for pass in passes {
         pass.run(target, &mut report);
     }
+    report.sort();
     report
 }
 
@@ -38,139 +42,74 @@ pub struct RuleInfo {
     pub summary: &'static str,
 }
 
-/// Every rule netcheck knows, grouped by ID bank:
-/// `NC01xx` = dsim netlists, `NC02xx` = spicelite decks,
-/// `NC03xx` = stdcell libraries, `NC04xx` = sensor configurations,
-/// `NC05xx` = static timing, `NC06xx` = array resilience,
-/// `NC07xx` = runtime deadline budgets, `NC08xx` = runtime recovery
-/// freshness.
-pub const RULES: &[RuleInfo] = &[
-    RuleInfo {
-        id: "NC0001",
-        severity: Severity::Error,
-        summary: "input file does not parse",
-    },
-    RuleInfo {
-        id: "NC0101",
-        severity: Severity::Error,
-        summary: "net is consumed but has no driver and no initial value",
-    },
-    RuleInfo {
-        id: "NC0102",
-        severity: Severity::Error,
-        summary: "net has more than one driver",
-    },
-    RuleInfo {
-        id: "NC0103",
-        severity: Severity::Warning,
-        summary: "gate output can never change (unreachable from any stimulus)",
-    },
-    RuleInfo {
-        id: "NC0104",
-        severity: Severity::Info,
-        summary: "combinational loop (odd inversion parity: presumed intentional ring)",
-    },
-    RuleInfo {
-        id: "NC0105",
-        severity: Severity::Error,
-        summary: "combinational loop with even inversion parity cannot oscillate",
-    },
-    RuleInfo {
-        id: "NC0106",
-        severity: Severity::Warning,
-        summary: "signal fan-out exceeds the configured limit",
-    },
-    RuleInfo {
-        id: "NC0201",
-        severity: Severity::Warning,
-        summary: "node touches only one device terminal (dangling)",
-    },
-    RuleInfo {
-        id: "NC0202",
-        severity: Severity::Error,
-        summary: "node has no DC path to ground (singular MNA predicted)",
-    },
-    RuleInfo {
-        id: "NC0203",
-        severity: Severity::Warning,
-        summary: "device value is zero, negative, or implausibly extreme",
-    },
-    RuleInfo {
-        id: "NC0301",
-        severity: Severity::Warning,
-        summary: "delay-vs-temperature table is not monotonically increasing",
-    },
-    RuleInfo {
-        id: "NC0302",
-        severity: Severity::Warning,
-        summary: "Wp/Wn ratio outside the paper's Fig. 2 sweep range (1.5–4.0)",
-    },
-    RuleInfo {
-        id: "NC0303",
-        severity: Severity::Error,
-        summary: "timing library is internally inconsistent or fails a Liberty round-trip",
-    },
-    RuleInfo {
-        id: "NC0401",
-        severity: Severity::Error,
-        summary: "ring stage count invalid (must be odd; paper evaluates 5, 9, 21)",
-    },
-    RuleInfo {
-        id: "NC0402",
-        severity: Severity::Info,
-        summary: "5-stage cell mix is not one of the paper's Fig. 3 configurations",
-    },
-    RuleInfo {
-        id: "NC0403",
-        severity: Severity::Warning,
-        summary: "calibration does not cover the paper's −50…150 °C range",
-    },
-    RuleInfo {
-        id: "NC0501",
-        severity: Severity::Warning,
-        summary: "fan-out degrades the driver's delay beyond the configured factor",
-    },
-    RuleInfo {
-        id: "NC0502",
-        severity: Severity::Warning,
-        summary: "timing endpoint is reached by no startpoint (unconstrained)",
-    },
-    RuleInfo {
-        id: "NC0503",
-        severity: Severity::Error,
-        summary: "STA-predicted timing contradicts the declared clock period",
-    },
-    RuleInfo {
-        id: "NC0601",
-        severity: Severity::Warning,
-        summary: "array too small for neighbor-vote health monitoring (fewer than 3 sites)",
-    },
-    RuleInfo {
-        id: "NC0602",
-        severity: Severity::Error,
-        summary: "array site is uncalibrated and will fail at scan time",
-    },
-    RuleInfo {
-        id: "NC0603",
-        severity: Severity::Warning,
-        summary: "health-policy period band does not bracket a ring's healthy span",
-    },
-    RuleInfo {
-        id: "NC0701",
-        severity: Severity::Error,
-        summary: "worst-case conversion exceeds the runtime deadline (unservable)",
-    },
-    RuleInfo {
-        id: "NC0702",
-        severity: Severity::Warning,
-        summary: "conversion consumes over half the runtime deadline (no retry headroom)",
-    },
-    RuleInfo {
-        id: "NC0801",
-        severity: Severity::Error,
-        summary: "staleness bound shorter than the checkpoint interval (unrecoverable freshness)",
-    },
-];
+/// Declares the rule registry in one place: each line becomes a named
+/// `&'static str` constant in [`rules`] *and* a [`RuleInfo`] row of
+/// [`RULES`], so an ID, its severity, and its summary can never drift
+/// apart or be registered twice.
+macro_rules! declare_rule {
+    ($($id:ident => $severity:ident, $summary:expr;)+) => {
+        /// Named rule-ID constants, one per registered rule — use these
+        /// instead of string literals so typos fail to compile.
+        pub mod rules {
+            $(
+                #[doc = $summary]
+                pub const $id: &str = stringify!($id);
+            )+
+        }
+
+        /// Every rule netcheck knows, grouped by ID bank:
+        /// `NC01xx` = dsim netlists, `NC02xx` = spicelite decks,
+        /// `NC03xx` = stdcell libraries, `NC04xx` = sensor
+        /// configurations, `NC05xx` = static timing, `NC06xx` = array
+        /// resilience, `NC07xx` = runtime deadline budgets, `NC08xx` =
+        /// runtime recovery freshness, `NC09xx` = abstract-interpretation
+        /// range/overflow proofs, `NC10xx` = abstract-interpretation
+        /// deadline/freshness proofs.
+        pub const RULES: &[RuleInfo] = &[
+            $(RuleInfo {
+                id: stringify!($id),
+                severity: Severity::$severity,
+                summary: $summary,
+            },)+
+        ];
+    };
+}
+
+declare_rule! {
+    NC0001 => Error, "input file does not parse";
+    NC0101 => Error, "net is consumed but has no driver and no initial value";
+    NC0102 => Error, "net has more than one driver";
+    NC0103 => Warning, "gate output can never change (unreachable from any stimulus)";
+    NC0104 => Info, "combinational loop (odd inversion parity: presumed intentional ring)";
+    NC0105 => Error, "combinational loop with even inversion parity cannot oscillate";
+    NC0106 => Warning, "signal fan-out exceeds the configured limit";
+    NC0201 => Warning, "node touches only one device terminal (dangling)";
+    NC0202 => Error, "node has no DC path to ground (singular MNA predicted)";
+    NC0203 => Warning, "device value is zero, negative, or implausibly extreme";
+    NC0301 => Warning, "delay-vs-temperature table is not monotonically increasing";
+    NC0302 => Warning, "Wp/Wn ratio outside the paper's Fig. 2 sweep range (1.5–4.0)";
+    NC0303 => Error, "timing library is internally inconsistent or fails a Liberty round-trip";
+    NC0401 => Error, "ring stage count invalid (must be odd; paper evaluates 5, 9, 21)";
+    NC0402 => Info, "5-stage cell mix is not one of the paper's Fig. 3 configurations";
+    NC0403 => Warning, "calibration does not cover the paper's −50…150 °C range";
+    NC0501 => Warning, "fan-out degrades the driver's delay beyond the configured factor";
+    NC0502 => Warning, "timing endpoint is reached by no startpoint (unconstrained)";
+    NC0503 => Error, "STA-predicted timing contradicts the declared clock period";
+    NC0601 => Warning, "array too small for neighbor-vote health monitoring (fewer than 3 sites)";
+    NC0602 => Error, "array site is uncalibrated and will fail at scan time";
+    NC0603 => Warning, "health-policy period band does not bracket a ring's healthy span";
+    NC0701 => Error, "worst-case conversion exceeds the runtime deadline (unservable)";
+    NC0702 => Warning, "conversion consumes over half the runtime deadline (no retry headroom)";
+    NC0801 => Error, "staleness bound shorter than the checkpoint interval (unrecoverable freshness)";
+    NC0901 => Error, "counter overflow possible: reachable count interval exceeds the counter width";
+    NC0902 => Error, "worst-case quantization step exceeds the declared resolution spec";
+    NC0903 => Error, "calibration anchors do not bracket the reachable period interval";
+    NC0904 => Error, "output word cannot represent every reachable code over the certified range";
+    NC0905 => Error, "fastest-corner ring period violates the gate-level counter's toggle-loop constraint";
+    NC1001 => Error, "provable worst-case conversion interval exceeds the runtime deadline";
+    NC1002 => Warning, "provable worst-case conversion leaves no retry headroom inside the deadline";
+    NC1003 => Error, "staleness bound cannot cover a checkpoint interval plus one provable conversion";
+}
 
 /// Looks up a rule by ID.
 pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
@@ -192,6 +131,14 @@ mod tests {
     fn lookup_finds_known_rules() {
         assert!(rule_info("NC0101").is_some());
         assert!(rule_info("NC0105").is_some());
+        assert!(rule_info("NC0901").is_some());
+        assert!(rule_info("NC1003").is_some());
         assert!(rule_info("NC9999").is_none());
+    }
+
+    #[test]
+    fn constants_match_their_ids() {
+        assert_eq!(rules::NC0101, "NC0101");
+        assert_eq!(rules::NC1001, "NC1001");
     }
 }

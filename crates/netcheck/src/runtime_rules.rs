@@ -49,6 +49,19 @@ const HOT_CORNER_C: f64 = 150.0;
 /// share of the deadline leaves no room for a second attempt.
 const HEADROOM_FRACTION: f64 = 0.5;
 
+/// The hot-corner worst-case single-conversion time, seconds — the
+/// point estimate the `NC0701`/`NC0702` budget rules compare against
+/// the deadline, exposed so runtime error payloads quote the same
+/// number the lint used. `None` when the ring model is unevaluable at
+/// the hot corner.
+pub fn worst_case_conversion_s(config: &SensorConfig) -> Option<f64> {
+    let period = config
+        .ring
+        .period(&config.tech, Celsius::new(HOT_CORNER_C))
+        .ok()?;
+    Some(period.get() * (config.window_cycles + config.settle_cycles) as f64)
+}
+
 /// `NC0701` + `NC0702`: worst-case conversion time vs deadline budget.
 pub struct DeadlineBudgetPass;
 

@@ -1,0 +1,160 @@
+//! Soundness and acceptance tests for `netcheck::absint`.
+//!
+//! Three claims, each load-bearing for the certifier's value:
+//!
+//! 1. **Soundness**: the derived intervals enclose the concrete model
+//!    at 1000 seeded random corners inside the certified temperature ×
+//!    supply envelope — an interval analysis that can be escaped by a
+//!    reachable operating point proves nothing.
+//! 2. **Precision**: every shipped example bundle (the six Fig. 3 cell
+//!    mixes plus the quickstart) certifies clean — zero false
+//!    positives on known-good configurations.
+//! 3. **Sensitivity**: a seeded regression (a 12-bit counter under a
+//!    doubled window) is caught as `NC0901` — the proof obligations
+//!    have teeth.
+
+use netcheck::absint::{certify, Certificate, CertifyBundle, Interval, NodeKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsense_core::units::{Celsius, Volts};
+
+/// Corners sampled by the soundness sweep.
+const CORNERS: usize = 1_000;
+
+/// Seed for the corner sweep (fixed: CI replays the same corners).
+const SEED: u64 = 0x5EED_AB51;
+
+fn quickstart_text() -> &'static str {
+    "[ring]\nmix = 5xINV\nwn_um = 1.0\nratio = 2.0\n\
+     [tech]\nnode = um350\nsupply_tolerance = 0.05\n\
+     [digitizer]\nref_clock_mhz = 100\nwindow_cycles = 65536\nsettle_cycles = 64\n\
+     counter_bits = 16\nword_bits = 16\n\
+     [range]\nlow_c = -50\nhigh_c = 150\n\
+     [runtime]\ndeadline_ms = 250\nstaleness_bound_ms = 600\ncheckpoint_interval_ms = 500\n"
+}
+
+fn interval_of(cert: &Certificate, kind: NodeKind, nth: usize) -> Interval {
+    cert.graph
+        .nodes()
+        .iter()
+        .filter(|n| n.kind == kind)
+        .nth(nth)
+        .unwrap_or_else(|| panic!("certificate has no {kind:?} node #{nth}"))
+        .interval
+}
+
+#[test]
+fn derived_intervals_enclose_1000_random_concrete_corners() {
+    let bundle = CertifyBundle::parse(quickstart_text(), "quickstart").unwrap();
+    let cert = certify(&bundle).unwrap();
+    assert!(cert.is_proven(), "{}", cert.report.render_text());
+
+    // Envelope-rail nodes: period #0 is the supply-envelope one.
+    let p_env = interval_of(&cert, NodeKind::RingPeriod, 0);
+    let conv = interval_of(&cert, NodeKind::ConversionTime, 0);
+    let count = interval_of(&cert, NodeKind::CounterCount, 0);
+    let stages: Vec<Interval> = cert
+        .graph
+        .nodes()
+        .iter()
+        .filter(|n| n.kind == NodeKind::StageDelay)
+        .map(|n| n.interval)
+        .collect();
+    assert_eq!(stages.len(), bundle.config.ring.stage_count());
+
+    let cfg = &bundle.config;
+    let (t_lo, t_hi) = bundle.temp_range_c;
+    let tol = bundle.supply_tolerance;
+    let cycles = (cfg.window_cycles + cfg.settle_cycles) as f64;
+    let count_gain = cfg.window_cycles as f64 * cfg.ref_clock.get();
+
+    let mut rng = StdRng::seed_from_u64(SEED);
+    for i in 0..CORNERS {
+        let t = t_lo + (t_hi - t_lo) * rng.random::<f64>();
+        let scale = 1.0 - tol + 2.0 * tol * rng.random::<f64>();
+        let mut tech = cfg.tech.clone();
+        tech.vdd = Volts::new(cfg.tech.vdd.get() * scale);
+        let at = Celsius::new(t);
+
+        let p = cfg.ring.period(&tech, at).unwrap().get();
+        assert!(
+            p_env.lo() <= p && p <= p_env.hi(),
+            "corner {i}: period {p:.6e} s at {t:.2} °C / {scale:.4}× rail escapes {p_env} s"
+        );
+        let c = p * cycles;
+        assert!(
+            conv.lo() <= c && c <= conv.hi(),
+            "corner {i}: conversion {c:.6e} s escapes {conv} s"
+        );
+        let n = (p * count_gain).floor();
+        assert!(
+            count.lo() <= n && n <= count.hi(),
+            "corner {i}: count {n} LSB escapes {count} LSB"
+        );
+        for (s, (gate, iv)) in cfg.ring.stages().iter().zip(&stages).enumerate() {
+            let d = gate
+                .delays(&tech, at, cfg.ring.stage_load(&tech, s))
+                .unwrap()
+                .pair_sum()
+                .get();
+            assert!(
+                iv.lo() <= d && d <= iv.hi(),
+                "corner {i}: stage {s} delay {d:.6e} s escapes {iv} s"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_shipped_example_bundle_certifies_clean() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/certify")
+        .canonicalize()
+        .expect("examples/certify exists");
+    let mut bundles = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stem = path.file_stem().unwrap().to_str().unwrap();
+        let bundle = CertifyBundle::parse(&text, stem).unwrap();
+        let cert = certify(&bundle).unwrap();
+        assert!(
+            cert.report.is_clean(),
+            "{} must certify clean:\n{}",
+            path.display(),
+            cert.report.render_text()
+        );
+        bundles += 1;
+    }
+    // The quickstart plus the six Fig. 3 cell-mix configurations.
+    assert!(bundles >= 7, "expected >= 7 bundles, found {bundles}");
+}
+
+#[test]
+fn seeded_counter_regression_is_caught_as_nc0901() {
+    // A 12-bit counter fits the default window (hot-corner count
+    // ~3.1k < 4095) — the bug only appears when the window doubles,
+    // pushing the reachable count past the counter's capacity.
+    let text = "[ring]\nmix = 5xINV\n\
+                [digitizer]\ncounter_bits = 12\nwindow_cycles = 131072\n\
+                [runtime]\ndeadline_ms = 250\n";
+    let bundle = CertifyBundle::parse(text, "regression").unwrap();
+    let cert = certify(&bundle).unwrap();
+    assert!(!cert.is_proven());
+    let fired: Vec<_> = cert.report.diagnostics().iter().map(|d| d.rule).collect();
+    assert!(fired.contains(&"NC0901"), "{}", cert.report.render_text());
+
+    // The same ring with the default window stays proven: the rule
+    // responds to the overflow, not to the 12-bit width per se.
+    let ok = "[ring]\nmix = 5xINV\n[digitizer]\ncounter_bits = 12\n\
+              [runtime]\ndeadline_ms = 250\n";
+    let cert = certify(&CertifyBundle::parse(ok, "ok").unwrap()).unwrap();
+    assert!(cert.is_proven(), "{}", cert.report.render_text());
+}

@@ -86,6 +86,16 @@ pub struct RuntimeConfig {
     pub snapshot_keep: usize,
     /// Seed for retry jitter (the only randomness in the service).
     pub seed: u64,
+    /// Optional `netcheck certify` certificate. When present, proven,
+    /// fingerprint-matched to every site's sensor configuration, and
+    /// covering this config's deadline/staleness/checkpoint knobs, the
+    /// startup preflight accepts the certificate's interval proof in
+    /// place of its own point-estimate checks (the proof bounds the
+    /// conversion over the whole certified temperature × supply
+    /// envelope, not just the nominal hot corner). A certificate that
+    /// does not apply is ignored and the point-estimate preflight runs
+    /// as usual — it can relax nothing.
+    pub certificate: Option<netcheck::absint::Certificate>,
 }
 
 impl Default for RuntimeConfig {
@@ -106,6 +116,7 @@ impl Default for RuntimeConfig {
             snapshot_dir: None,
             snapshot_keep: 4,
             seed: 0,
+            certificate: None,
         }
     }
 }
@@ -472,21 +483,27 @@ pub(crate) fn build_core(
     Ok((core, report))
 }
 
-/// `NC0701` enforced dynamically: every site's worst-case conversion
-/// (hot-corner ring period × full window) must fit the deadline.
-/// Also mirrors `NC0801`: with checkpointing on, the staleness bound
-/// must cover at least one checkpoint interval, or there is a window
-/// in which a crash-recovered process holds no data fresh enough to
-/// serve.
+/// Startup preflight over the deadline and freshness budgets.
+///
+/// With an applicable certificate ([`certificate_applies`]), the
+/// interval proof stands in for the point-estimate checks: `NC1001`/
+/// `NC1003` subsume `NC0701`/`NC0801` over the whole certified
+/// envelope. Otherwise the shared `netcheck` passes run here — the
+/// same `NC0701` (worst-case conversion vs deadline) and `NC0801`
+/// (staleness vs checkpoint interval) rules the lint frontend fires,
+/// so the static and dynamic verdicts can never drift apart.
 pub(crate) fn validate_deadline_budget(array: &SensorArray, config: &RuntimeConfig) -> Result<()> {
+    if certificate_applies(array, config) {
+        return Ok(());
+    }
+    let deadline_s = config.default_deadline_ms as f64 * 1e-3;
     for site in array.sites() {
         let cfg = site.unit.config();
-        let Ok(period) = cfg.ring.period(&cfg.tech, Celsius::new(150.0)) else {
-            continue; // not evaluable: NC0603's problem, not a budget fact
-        };
-        let cycles = (cfg.window_cycles + cfg.settle_cycles) as f64;
-        let conversion_ms = period.get() * cycles * 1e3;
-        if conversion_ms > config.default_deadline_ms as f64 {
+        let report = netcheck::check_runtime_budget(cfg, deadline_s);
+        if report.has_errors() {
+            let conversion_ms = netcheck::worst_case_conversion_s(cfg)
+                .map(|s| s * 1e3)
+                .unwrap_or(f64::NAN);
             return Err(RuntimeError::UnservableConfig {
                 site: site.name.clone(),
                 conversion_ms,
@@ -494,15 +511,34 @@ pub(crate) fn validate_deadline_budget(array: &SensorArray, config: &RuntimeConf
             });
         }
     }
-    if config.checkpoint_interval_ms > 0
-        && config.staleness_bound_ms < config.checkpoint_interval_ms
-    {
+    let report =
+        netcheck::check_runtime_tuning(config.staleness_bound_ms, config.checkpoint_interval_ms);
+    if report.has_errors() {
         return Err(RuntimeError::UnrecoverableFreshness {
             staleness_bound_ms: config.staleness_bound_ms,
             checkpoint_interval_ms: config.checkpoint_interval_ms,
         });
     }
     Ok(())
+}
+
+/// True when the attached certificate proves this deployment: the
+/// proof is discharged, its runtime envelope covers this config's
+/// knobs, and its fingerprint matches *every* site's sensor
+/// configuration (a certificate for a different ring, window, or
+/// counter width proves nothing about this array).
+fn certificate_applies(array: &SensorArray, config: &RuntimeConfig) -> bool {
+    let Some(cert) = &config.certificate else {
+        return false;
+    };
+    cert.covers(
+        config.default_deadline_ms as f64,
+        config.staleness_bound_ms,
+        config.checkpoint_interval_ms,
+    ) && array
+        .sites()
+        .iter()
+        .all(|site| netcheck::absint::config_fingerprint(site.unit.config()) == cert.fingerprint)
 }
 
 /// Handle to a running monitor. Dropping it without

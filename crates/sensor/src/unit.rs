@@ -49,6 +49,14 @@ pub struct SensorConfig {
     /// up to this many disagreeing pairs are retried before the unit
     /// reports [`SensorError::CaptureUnstable`].
     pub capture_retries: u32,
+    /// Hardware width of the reference counter, bits. The counter wraps
+    /// silently past `2^counter_bits − 1`, exactly as a fixed-width
+    /// ripple counter does on silicon — the `netcheck` rule `NC0901`
+    /// proves statically that the reachable count interval fits.
+    pub counter_bits: u32,
+    /// Width of the digital temperature word latched out of the unit,
+    /// bits. Codes beyond `2^word_bits − 1` truncate (`NC0904`).
+    pub word_bits: u32,
 }
 
 impl SensorConfig {
@@ -62,6 +70,8 @@ impl SensorConfig {
             window_cycles: 1 << 16,
             settle_cycles: 64,
             capture_retries: 3,
+            counter_bits: 16,
+            word_bits: 16,
         }
     }
 
@@ -84,6 +94,43 @@ impl SensorConfig {
     pub fn with_capture_retries(mut self, retries: u32) -> Self {
         self.capture_retries = retries;
         self
+    }
+
+    /// Overrides the hardware reference-counter width.
+    #[must_use]
+    pub fn with_counter_bits(mut self, bits: u32) -> Self {
+        self.counter_bits = bits;
+        self
+    }
+
+    /// Overrides the output temperature-word width.
+    #[must_use]
+    pub fn with_word_bits(mut self, bits: u32) -> Self {
+        self.word_bits = bits;
+        self
+    }
+
+    /// The digitizer specification implied by this configuration — the
+    /// quantizer parameters a static analyzer needs to reason about
+    /// counts, resolution, and conversion time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DigitizerSpec`] validation (non-positive reference
+    /// clock, empty window).
+    pub fn digitizer_spec(&self) -> Result<DigitizerSpec> {
+        DigitizerSpec::new(self.ref_clock, self.window_cycles).map_err(SensorError::Model)
+    }
+
+    /// Masks a raw count to the hardware counter width — the silent
+    /// wrap a fixed-width counter performs past its capacity.
+    #[inline]
+    pub fn wrap_to_counter(&self, code: u64) -> u64 {
+        if self.counter_bits >= 64 {
+            code
+        } else {
+            code & ((1u64 << self.counter_bits) - 1)
+        }
     }
 }
 
@@ -295,7 +342,10 @@ impl SmartSensorUnit {
         }
     }
 
-    /// One digitizer capture, through the fault model.
+    /// One digitizer capture, through the fault model. The final mask
+    /// models the fixed-width hardware counter: counts past
+    /// `2^counter_bits − 1` wrap silently (`NC0901` proves statically
+    /// that the reachable count interval never gets there).
     fn capture_once(&mut self, period: Seconds) -> u64 {
         let mut code = self.digitizer.convert(period);
         if let Some(RingFault::CounterBitFlip { bit }) = self.fault {
@@ -308,7 +358,7 @@ impl SmartSensorUnit {
             code ^= 1u64 << (self.metastable_left % 16);
             self.metastable_left -= 1;
         }
-        code
+        self.config.wrap_to_counter(code)
     }
 
     /// Captures a code with double-capture compare and bounded retry:
@@ -341,7 +391,7 @@ impl SmartSensorUnit {
         if let Some(RingFault::CounterBitFlip { bit }) = self.fault {
             code ^= 1u64 << u32::from(bit);
         }
-        Ok(code)
+        Ok(self.config.wrap_to_counter(code))
     }
 
     /// Two-point calibration: simulate tester measurements at two known
@@ -604,6 +654,22 @@ mod tests {
             (observed - predicted).abs() < 0.2 * predicted.abs() + 0.5,
             "observed shift {observed} °C vs predicted {predicted} °C"
         );
+    }
+
+    #[test]
+    fn undersized_counter_wraps_silently() {
+        // The silent-corruption mode NC0901 exists to rule out: an
+        // 8-bit counter wraps and the unit reports a bogus small code.
+        let tech = Technology::um350();
+        let ring = RingOscillator::uniform(Gate::with_ratio(GateKind::Inv, 1e-6, 2.0).unwrap(), 5)
+            .unwrap();
+        let wide = SmartSensorUnit::new(SensorConfig::new(ring.clone(), tech.clone())).unwrap();
+        let narrow =
+            SmartSensorUnit::new(SensorConfig::new(ring, tech).with_counter_bits(8)).unwrap();
+        let full = wide.raw_code(Celsius::new(150.0)).unwrap();
+        let wrapped = narrow.raw_code(Celsius::new(150.0)).unwrap();
+        assert!(full > 255, "default window overflows 8 bits: {full}");
+        assert_eq!(wrapped, full & 0xFF, "hardware wrap, not saturation");
     }
 
     #[test]

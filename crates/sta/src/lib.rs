@@ -34,6 +34,8 @@
 //! assert!(period_fs > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod check;
 pub mod error;
 pub mod graph;

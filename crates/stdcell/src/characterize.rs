@@ -73,6 +73,78 @@ impl TimingTable {
             tplh: d0.tplh + f * (d1.tplh - d0.tplh),
         }
     }
+
+    /// Exact bounds of the interpolated delays over `[lo_c, hi_c]`.
+    ///
+    /// The table is piecewise-linear in temperature, so every extremum
+    /// over the range is attained either at an interpolated range
+    /// endpoint or at an interior breakpoint; the hull over those
+    /// candidates is exact, not an approximation. Consumers performing
+    /// interval analysis (e.g. `netcheck certify`) can use these bounds
+    /// directly as a sound abstraction of `lookup` over the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty, either bound is non-finite, or
+    /// `lo_c > hi_c`.
+    pub fn delay_interval(&self, lo_c: f64, hi_c: f64) -> DelayBounds {
+        assert!(
+            lo_c.is_finite() && hi_c.is_finite() && lo_c <= hi_c,
+            "invalid temperature range [{lo_c}, {hi_c}]"
+        );
+        let mut bounds = DelayBounds::of(self.lookup(lo_c));
+        bounds.cover(self.lookup(hi_c));
+        for (i, &t) in self.temps_c.iter().enumerate() {
+            if t > lo_c && t < hi_c {
+                bounds.cover(self.delays[i]);
+            }
+        }
+        bounds
+    }
+}
+
+/// Per-edge delay bounds over a temperature range, from
+/// [`TimingTable::delay_interval`]. Each field is `(min, max)` seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayBounds {
+    /// Bounds on `t_PHL`.
+    pub tphl: (f64, f64),
+    /// Bounds on `t_PLH`.
+    pub tplh: (f64, f64),
+    /// Bounds on `t_PHL + t_PLH` (the per-stage ring contribution).
+    pub pair_sum: (f64, f64),
+}
+
+impl DelayBounds {
+    /// Degenerate bounds enclosing exactly one sample.
+    fn of(d: DelayPair) -> Self {
+        DelayBounds {
+            tphl: (d.tphl, d.tphl),
+            tplh: (d.tplh, d.tplh),
+            pair_sum: (d.pair_sum(), d.pair_sum()),
+        }
+    }
+
+    /// Widens each bound just enough to enclose `d`.
+    fn cover(&mut self, d: DelayPair) {
+        let grow = |b: &mut (f64, f64), v: f64| {
+            b.0 = b.0.min(v);
+            b.1 = b.1.max(v);
+        };
+        grow(&mut self.tphl, d.tphl);
+        grow(&mut self.tplh, d.tplh);
+        grow(&mut self.pair_sum, d.pair_sum());
+    }
+
+    /// `true` when `d` lies inside every bound.
+    pub fn encloses(&self, d: DelayPair) -> bool {
+        self.tphl.0 <= d.tphl
+            && d.tphl <= self.tphl.1
+            && self.tplh.0 <= d.tplh
+            && d.tplh <= self.tplh.1
+            && self.pair_sum.0 <= d.pair_sum()
+            && d.pair_sum() <= self.pair_sum.1
+    }
 }
 
 /// Characterization bench configuration.
@@ -255,6 +327,32 @@ mod tests {
             nor.tplh,
             inv.tplh
         );
+    }
+
+    #[test]
+    fn delay_interval_encloses_every_interior_lookup() {
+        let (nmos, pmos) = models_um350();
+        let table = characterize(
+            GateKind::Inv,
+            CellSizing::um350(2.0),
+            &nmos,
+            &pmos,
+            &[-50.0, 0.0, 50.0, 100.0, 150.0],
+            &opts(),
+        )
+        .unwrap();
+        let bounds = table.delay_interval(-30.0, 120.0);
+        // Dense probe: piecewise-linear interpolants must stay inside.
+        for i in 0..=300 {
+            let t = -30.0 + 0.5 * i as f64;
+            assert!(bounds.encloses(table.lookup(t)), "escaped at {t} °C");
+        }
+        // A lookup outside the range (hotter, so slower) must escape.
+        assert!(!bounds.encloses(table.lookup(150.0)));
+        // Degenerate range collapses to a point.
+        let point = table.delay_interval(27.0, 27.0);
+        assert_eq!(point.tphl.0, point.tphl.1);
+        assert!(point.encloses(table.lookup(27.0)));
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod ring;
 pub mod variation_sim;
 
 pub use cells::{emit_cell, CellSizing};
-pub use characterize::{characterize, DelayPair, TimingTable};
+pub use characterize::{characterize, DelayBounds, DelayPair, TimingTable};
 pub use liberty::{from_liberty, to_liberty, TimingLibrary};
 pub use library::CellLibrary;
 pub use ring::TransistorRing;

@@ -8,6 +8,8 @@
 //! average — enough to smoke-run every bench and print per-iteration
 //! timings, without the sampling/outlier machinery of upstream.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// Opaque-to-the-optimizer value passthrough.

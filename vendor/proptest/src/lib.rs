@@ -13,6 +13,8 @@
 //! performed — a failing case reports its values via the panic message
 //! format arguments the test supplies.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     //! Minimal runner plumbing: config, RNG, case errors.
 

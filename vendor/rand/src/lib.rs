@@ -8,6 +8,8 @@
 //! *not* cryptographic, exactly like the upstream `StdRng` contract the
 //! repo relies on: reproducible streams from a `u64` seed).
 
+#![forbid(unsafe_code)]
+
 /// Types that can be sampled uniformly from a random bit stream.
 pub trait Random: Sized {
     /// Draws one value from `rng`.

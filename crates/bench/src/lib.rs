@@ -28,6 +28,7 @@
 //! | `soak` | supervised runtime soak: throughput/p99 with and without chaos |
 //! | `dst`  | deterministic simulation: seeded schedule sweep + mutation detection |
 //! | `absint` | interval certification of every shipped configuration: envelopes + proof cost |
+//! | `dataflow` | parallel incremental netlist-lint driver: cache + `--jobs` wall-clock |
 
 #![forbid(unsafe_code)]
 
@@ -40,6 +41,7 @@ pub mod abl3;
 pub mod abl4;
 pub mod abl5;
 pub mod absint;
+pub mod dataflow;
 pub mod dst_sweep;
 pub mod ext1;
 pub mod ext2;
@@ -99,9 +101,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_EXPERIMENTS: [&str; 21] = [
+pub const ALL_EXPERIMENTS: [&str; 22] = [
     "fig1", "fig2", "fig3", "ta", "tb", "tc", "td", "abl1", "abl2", "abl3", "abl4", "abl5", "ext1",
-    "ext2", "ext3", "ext4", "sta", "fault", "soak", "dst", "absint",
+    "ext2", "ext3", "ext4", "sta", "fault", "soak", "dst", "absint", "dataflow",
 ];
 
 /// Runs one experiment by id, writing artifacts into `out_dir` and
@@ -134,6 +136,7 @@ pub fn run_experiment(id: &str, out_dir: &Path) -> String {
         "soak" => runtime_soak::run(out_dir),
         "dst" => dst_sweep::run(out_dir),
         "absint" => absint::run(out_dir),
+        "dataflow" => dataflow::run(out_dir),
         other => panic!("unknown experiment id `{other}`; known: {ALL_EXPERIMENTS:?}"),
     }
 }

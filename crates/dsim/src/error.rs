@@ -55,6 +55,24 @@ pub enum DsimError {
         /// Number of components in the netlist.
         count: usize,
     },
+    /// [`Netlist::validate`](crate::netlist::Netlist::validate) found a
+    /// component input that is neither driven nor initialized — the
+    /// simulator would hold it at `X` forever.
+    FloatingInput {
+        /// Name of the floating signal.
+        name: String,
+        /// Index of the component reading it.
+        component: usize,
+    },
+    /// [`Netlist::validate`](crate::netlist::Netlist::validate) found a
+    /// signal with more than one driver — inertial-delay semantics
+    /// assume exactly one.
+    DuplicateDriver {
+        /// Name of the multiply-driven signal.
+        name: String,
+        /// Number of drivers found.
+        drivers: usize,
+    },
 }
 
 impl fmt::Display for DsimError {
@@ -82,6 +100,19 @@ impl fmt::Display for DsimError {
                 write!(
                     f,
                     "netlist has no component with index {index} (component count is {count})"
+                )
+            }
+            DsimError::FloatingInput { name, component } => {
+                write!(
+                    f,
+                    "signal `{name}` feeds component {component} but has no driver and no \
+                     initial value (floating input)"
+                )
+            }
+            DsimError::DuplicateDriver { name, drivers } => {
+                write!(
+                    f,
+                    "signal `{name}` has {drivers} drivers; inertial delays assume exactly one"
                 )
             }
         }

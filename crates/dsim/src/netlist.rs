@@ -383,6 +383,119 @@ impl Netlist {
         Ok(())
     }
 
+    /// Validates structural well-formedness: every component input must
+    /// be driven or carry a definite initial value, and no signal may
+    /// have more than one driver. The simulator used to accept such
+    /// netlists and misbehave deep into the run (a floating input holds
+    /// `X` forever; a doubly-driven net silently interleaves drivers);
+    /// callers that build netlists from untrusted descriptions should
+    /// validate first or construct through
+    /// [`Simulator::try_new`](crate::sim::Simulator::try_new).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first
+    /// [`DsimError::FloatingInput`](crate::error::DsimError::FloatingInput)
+    /// or
+    /// [`DsimError::DuplicateDriver`](crate::error::DsimError::DuplicateDriver)
+    /// found, in signal order.
+    pub fn validate(&self) -> Result<(), crate::error::DsimError> {
+        let drivers = self.driver_count_table();
+        for (i, &count) in drivers.iter().enumerate() {
+            if count > 1 {
+                return Err(crate::error::DsimError::DuplicateDriver {
+                    name: self.names[i].clone(),
+                    drivers: count,
+                });
+            }
+        }
+        for (ci, comp) in self.components.iter().enumerate() {
+            let inputs: Vec<SignalId> = match comp {
+                Component::Gate { inputs, .. } => inputs.clone(),
+                Component::Dff { d, clk, rst_n, .. } => {
+                    let mut v = vec![*d, *clk];
+                    v.extend(*rst_n);
+                    v
+                }
+                Component::Latch { d, en, rst_n, .. } => {
+                    let mut v = vec![*d, *en];
+                    v.extend(*rst_n);
+                    v
+                }
+                Component::Clock { .. } => Vec::new(),
+            };
+            for s in inputs {
+                if drivers[s.0] == 0 && self.initials[s.0] == Logic::X {
+                    return Err(crate::error::DsimError::FloatingInput {
+                        name: self.names[s.0].clone(),
+                        component: ci,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Signals driven by free-running [`Component::Clock`] sources — the
+    /// clock-domain roots a CDC analysis starts from.
+    pub fn clock_roots(&self) -> Vec<SignalId> {
+        let mut roots: Vec<SignalId> = self
+            .components
+            .iter()
+            .filter_map(|c| match c {
+                Component::Clock { output, .. } => Some(*output),
+                _ => None,
+            })
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        roots
+    }
+
+    /// Per-signal driving component index (`None` when undriven; the
+    /// first driver when — invalidly — there are several).
+    pub fn driver_table(&self) -> Vec<Option<usize>> {
+        let mut table = vec![None; self.names.len()];
+        for (ci, comp) in self.components.iter().enumerate() {
+            let out = match comp {
+                Component::Gate { output, .. } | Component::Clock { output, .. } => *output,
+                Component::Dff { q, .. } | Component::Latch { q, .. } => *q,
+            };
+            if table[out.0].is_none() {
+                table[out.0] = Some(ci);
+            }
+        }
+        table
+    }
+
+    /// The signal component `index` drives, or `None` when `index` is
+    /// out of range.
+    pub fn output_of(&self, index: usize) -> Option<SignalId> {
+        self.components.get(index).map(|comp| match comp {
+            Component::Gate { output, .. } | Component::Clock { output, .. } => *output,
+            Component::Dff { q, .. } | Component::Latch { q, .. } => *q,
+        })
+    }
+
+    /// Per-signal list of reading component indices (a public clone of
+    /// the simulator's fan-out table, for static analyses).
+    pub fn fanout(&self) -> Vec<Vec<usize>> {
+        self.fanout_table()
+    }
+
+    /// Per-signal driver counts.
+    fn driver_count_table(&self) -> Vec<usize> {
+        let mut drivers = vec![0usize; self.names.len()];
+        for comp in &self.components {
+            let out = match comp {
+                Component::Gate { output, .. } | Component::Clock { output, .. } => *output,
+                Component::Dff { q, .. } | Component::Latch { q, .. } => *q,
+            };
+            drivers[out.0] += 1;
+        }
+        drivers
+    }
+
     /// Builds, for each signal, the list of component indices that read
     /// it (fan-out table used by the simulator).
     pub(crate) fn fanout_table(&self) -> Vec<Vec<usize>> {
@@ -478,6 +591,69 @@ mod tests {
         assert_eq!(fanout[b.0], vec![0]);
         assert_eq!(fanout[y.0], vec![1]);
         assert!(fanout[q.0].is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_netlists() {
+        let mut nl = Netlist::new();
+        let clk = nl.signal("clk");
+        nl.symmetric_clock(clk, 2_000_000, 1_000_000);
+        let d = nl.signal_with_init("d", Logic::Zero);
+        let q = nl.signal_with_init("q", Logic::Zero);
+        nl.dff(d, clk, None, q, 150);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_reports_floating_input() {
+        let mut nl = Netlist::new();
+        let floating = nl.signal("floating");
+        let y = nl.signal("y");
+        nl.gate(GateOp::Inv, &[floating], y, 100);
+        let err = nl.validate().unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::DsimError::FloatingInput {
+                name: "floating".into(),
+                component: 0,
+            }
+        );
+        assert!(err.to_string().contains("floating input"), "{err}");
+    }
+
+    #[test]
+    fn validate_reports_duplicate_driver() {
+        let mut nl = Netlist::new();
+        let a = nl.signal_with_init("a", Logic::Zero);
+        let y = nl.signal("y");
+        nl.gate(GateOp::Buf, &[a], y, 100);
+        nl.gate(GateOp::Inv, &[a], y, 100);
+        let err = nl.validate().unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::DsimError::DuplicateDriver {
+                name: "y".into(),
+                drivers: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn query_tables_agree_with_structure() {
+        let mut nl = Netlist::new();
+        let clk = nl.signal("clk");
+        nl.symmetric_clock(clk, 2_000_000, 1_000_000);
+        let a = nl.signal_with_init("a", Logic::Zero);
+        let y = nl.signal("y");
+        nl.gate(GateOp::Inv, &[a], y, 100);
+        assert_eq!(nl.clock_roots(), vec![clk]);
+        let drivers = nl.driver_table();
+        assert_eq!(drivers[clk.0], Some(0));
+        assert_eq!(drivers[y.0], Some(1));
+        assert_eq!(drivers[a.0], None);
+        assert_eq!(nl.output_of(1), Some(y));
+        assert_eq!(nl.output_of(9), None);
+        assert_eq!(nl.fanout()[a.0], vec![1]);
     }
 
     #[test]

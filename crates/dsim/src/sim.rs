@@ -147,6 +147,21 @@ impl Simulator {
         Ok(Simulator::new(netlist))
     }
 
+    /// Creates a simulator after structural validation
+    /// ([`Netlist::validate`]): floating component inputs and
+    /// multiply-driven nets are rejected up front with a typed error
+    /// instead of misbehaving (stuck-at-`X`, interleaved drivers) deep
+    /// into the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsimError::FloatingInput`](crate::error::DsimError::FloatingInput)
+    /// or [`DsimError::DuplicateDriver`](crate::error::DsimError::DuplicateDriver).
+    pub fn try_new(netlist: Netlist) -> Result<Self, crate::error::DsimError> {
+        netlist.validate()?;
+        Ok(Simulator::new(netlist))
+    }
+
     /// The underlying netlist.
     #[inline]
     pub fn netlist(&self) -> &Netlist {

@@ -1,0 +1,70 @@
+//! Regression: malformed netlists (floating component inputs,
+//! multiply-driven nets) used to slip through construction and
+//! misbehave deep inside the run — a floating input pins its cone at
+//! `X`, a doubly-driven net interleaves drivers event by event. They
+//! must now be refused up front with a typed [`DsimError`].
+
+use dsim::error::DsimError;
+use dsim::logic::Logic;
+use dsim::netlist::{GateOp, Netlist};
+use dsim::sim::Simulator;
+
+#[test]
+fn floating_input_is_refused_before_simulation() {
+    let mut nl = Netlist::new();
+    let clk = nl.signal("clk");
+    nl.symmetric_clock(clk, 2_000_000, 1_000_000);
+    // `d` has no driver and no initial value: the old behaviour was to
+    // build the simulator anyway and clock X into `q` forever.
+    let d = nl.signal("d");
+    let q = nl.signal_with_init("q", Logic::Zero);
+    nl.dff(d, clk, None, q, 150_000);
+    let err = Simulator::try_new(nl).unwrap_err();
+    match err {
+        DsimError::FloatingInput { ref name, .. } => assert_eq!(name, "d"),
+        other => panic!("expected FloatingInput, got {other:?}"),
+    }
+    assert!(err.to_string().contains('d'), "{err}");
+}
+
+#[test]
+fn duplicate_driver_is_refused_before_simulation() {
+    let mut nl = Netlist::new();
+    let a = nl.signal_with_init("a", Logic::Zero);
+    let b = nl.signal_with_init("b", Logic::One);
+    let y = nl.signal("y");
+    nl.gate(GateOp::Buf, &[a], y, 100_000);
+    nl.gate(GateOp::Inv, &[b], y, 100_000);
+    let err = Simulator::try_new(nl).unwrap_err();
+    match err {
+        DsimError::DuplicateDriver {
+            ref name, drivers, ..
+        } => {
+            assert_eq!(name, "y");
+            assert_eq!(drivers, 2);
+        }
+        other => panic!("expected DuplicateDriver, got {other:?}"),
+    }
+}
+
+#[test]
+fn well_formed_netlist_still_constructs_and_runs() {
+    let mut nl = Netlist::new();
+    let ports =
+        dsim::builders::ring_oscillator(&mut nl, &[GateOp::Inv; 5], "ring", 100_000).unwrap();
+    let mut sim = Simulator::try_new(nl).expect("ring is well-formed");
+    sim.count_edges(ports.out);
+    sim.run_until(10_000_000);
+    assert!(sim.edge_count(ports.out).unwrap() > 0);
+}
+
+#[test]
+fn pokable_inputs_are_not_floating() {
+    // Driverless signals with a definite initial value are testbench
+    // inputs by convention; validation must keep accepting them.
+    let mut nl = Netlist::new();
+    let a = nl.signal_with_init("a", Logic::Zero);
+    let y = nl.signal("y");
+    nl.gate(GateOp::Inv, &[a], y, 100_000);
+    assert!(nl.validate().is_ok());
+}

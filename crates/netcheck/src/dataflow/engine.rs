@@ -1,0 +1,196 @@
+//! The generic worklist fixpoint engine.
+//!
+//! Values live on *signals*; transfer functions live on *components*.
+//! The engine walks the SCC condensation `sta::levelize` computes —
+//! topologically for a forward analysis, reverse-topologically for a
+//! backward one — and iterates each SCC's members to a local fixpoint
+//! with a worklist. Because every SCC is finished before any SCC that
+//! depends on it starts, one linear sweep over the condensation
+//! reaches the global fixpoint for monotone transfers.
+
+use dsim::netlist::{Netlist, SignalId};
+use sta::levelize::Levelization;
+
+use super::lattice::Lattice;
+
+/// Which way information flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// From drivers to sinks (domains, X-propagation, liveness).
+    Forward,
+    /// From sinks to drivers (observability cones).
+    Backward,
+}
+
+/// How many times one signal may change inside one SCC before the
+/// engine routes the update through [`Lattice::widen`].
+const WIDEN_AFTER: usize = 8;
+
+/// Hard per-SCC iteration cap — a backstop against a non-monotone
+/// transfer supplied by a buggy caller. All lattices here are finite,
+/// so a monotone analysis converges far below it.
+const MAX_SWEEPS_PER_MEMBER: usize = 256;
+
+/// A transfer function: component index + current value table →
+/// `(signal, value)` updates, joined (never overwritten) into the
+/// table.
+pub type Transfer<'a, L> = dyn FnMut(&Netlist, usize, &[L]) -> Vec<(SignalId, L)> + 'a;
+
+/// Result of a fixpoint run.
+#[derive(Debug, Clone)]
+pub struct Fixpoint<L> {
+    /// Per-signal lattice value at the fixpoint, indexed by
+    /// [`SignalId::index`].
+    pub values: Vec<L>,
+    /// Total transfer evaluations (a determinism-friendly cost metric).
+    pub evaluations: usize,
+}
+
+/// Runs one analysis to fixpoint.
+///
+/// `seed` is the initial per-signal assignment (typically mostly
+/// [`Lattice::bottom`]). `transfer` maps a component index plus the
+/// current value table to updates `(signal, value)`; updates are
+/// *joined* into the table, never overwritten, so any monotone
+/// transfer terminates. For [`Direction::Forward`] a component should
+/// update its outputs; for [`Direction::Backward`] its inputs.
+pub fn solve<L: Lattice>(
+    nl: &Netlist,
+    lv: &Levelization,
+    direction: Direction,
+    seed: Vec<L>,
+    transfer: &mut Transfer<'_, L>,
+) -> Fixpoint<L> {
+    assert_eq!(
+        seed.len(),
+        nl.signal_count(),
+        "seed must cover every signal"
+    );
+    let mut values = seed;
+    let mut evaluations = 0usize;
+
+    // Reverse dependency maps: which components to re-run when a
+    // signal changes.
+    let readers = nl.fanout();
+    let mut writers: Vec<Vec<usize>> = vec![Vec::new(); nl.signal_count()];
+    for (ci, _) in nl.components().iter().enumerate() {
+        if let Some(out) = nl.output_of(ci) {
+            writers[out.index()].push(ci);
+        }
+    }
+
+    let mut bump_count = vec![0usize; nl.signal_count()];
+    let scc_range: Vec<usize> = match direction {
+        Direction::Forward => (0..lv.sccs.len()).collect(),
+        Direction::Backward => (0..lv.sccs.len()).rev().collect(),
+    };
+    for scc_id in scc_range {
+        let members = &lv.sccs[scc_id];
+        let budget = members.len().saturating_mul(MAX_SWEEPS_PER_MEMBER);
+        let mut queue: Vec<usize> = members.clone();
+        let mut queued = vec![true; members.len()];
+        let slot_of = |c: usize| members.binary_search(&c).ok();
+        let mut spent = 0usize;
+        while let Some(c) = queue.pop() {
+            if let Some(slot) = slot_of(c) {
+                queued[slot] = false;
+            }
+            spent += 1;
+            if spent > budget {
+                break; // non-monotone transfer backstop
+            }
+            evaluations += 1;
+            for (sig, update) in transfer(nl, c, &values) {
+                let i = sig.index();
+                let joined = values[i].join(&update);
+                if joined == values[i] {
+                    continue;
+                }
+                bump_count[i] += 1;
+                values[i] = if bump_count[i] > WIDEN_AFTER {
+                    values[i].widen(&joined)
+                } else {
+                    joined
+                };
+                let dependents = match direction {
+                    Direction::Forward => &readers[i],
+                    Direction::Backward => &writers[i],
+                };
+                for &dep in dependents {
+                    if let Some(slot) = slot_of(dep) {
+                        if !queued[slot] {
+                            queued[slot] = true;
+                            queue.push(dep);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Fixpoint {
+        values,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::lattice::Reach;
+    use dsim::logic::Logic;
+    use dsim::netlist::{Component, GateOp};
+
+    /// Liveness through a ring reaches a fixpoint in bounded work.
+    #[test]
+    fn forward_reach_through_a_ring_terminates() {
+        let mut nl = Netlist::new();
+        dsim::builders::ring_oscillator(&mut nl, &[GateOp::Inv; 9], "ring", 100_000).unwrap();
+        let lv = sta::levelize(&nl);
+        let mut seed = vec![Reach(false); nl.signal_count()];
+        // Mark the first ring stage as a source.
+        let s0 = nl.find_signal("ring.s0").unwrap();
+        seed[s0.index()] = Reach(true);
+        let fp = solve(&nl, &lv, Direction::Forward, seed, &mut |nl, ci, values| {
+            if let Component::Gate { inputs, output, .. } = &nl.components()[ci] {
+                let live = inputs.iter().any(|s| values[s.index()].0);
+                vec![(*output, Reach(live))]
+            } else {
+                Vec::new()
+            }
+        });
+        assert!(fp.values.iter().all(|v| v.0), "ring closure reaches all");
+        assert!(fp.evaluations <= 9 * 3, "near-linear work, not quadratic");
+    }
+
+    #[test]
+    fn backward_reach_finds_the_clock_cone() {
+        // a -> inv -> y; y clocks a flop. Backward from the clk pin,
+        // both y and a are in the cone; the data input d is not.
+        let mut nl = Netlist::new();
+        let a = nl.signal_with_init("a", Logic::Zero);
+        let y = nl.signal("y");
+        nl.gate(GateOp::Inv, &[a], y, 100_000);
+        let d = nl.signal_with_init("d", Logic::Zero);
+        let q = nl.signal_with_init("q", Logic::Zero);
+        nl.dff(d, y, None, q, 150_000);
+        let lv = sta::levelize(&nl);
+        let mut seed = vec![Reach(false); nl.signal_count()];
+        seed[y.index()] = Reach(true); // the clk pin's net
+        let fp = solve(
+            &nl,
+            &lv,
+            Direction::Backward,
+            seed,
+            &mut |nl, ci, values| {
+                if let Component::Gate { inputs, output, .. } = &nl.components()[ci] {
+                    if values[output.index()].0 {
+                        return inputs.iter().map(|&s| (s, Reach(true))).collect();
+                    }
+                }
+                Vec::new()
+            },
+        );
+        assert!(fp.values[a.index()].0, "cone includes the inverter input");
+        assert!(!fp.values[d.index()].0, "data pin is outside the cone");
+    }
+}

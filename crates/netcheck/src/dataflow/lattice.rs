@@ -1,0 +1,275 @@
+//! The [`Lattice`] trait and the concrete lattices the NC11xx–NC14xx
+//! analyses run on.
+//!
+//! Every lattice here is finite and of small height, so plain Kleene
+//! iteration terminates; the [`Lattice::widen`] hook exists for
+//! lattices that want to accelerate convergence inside deep SCCs (the
+//! engine invokes it after a signal has been bumped many times).
+
+use std::collections::BTreeMap;
+
+use dsim::logic::Logic;
+
+/// A join-semilattice with a bottom element.
+///
+/// Laws (checked by the proptest suite in `tests/dataflow_laws.rs`):
+/// join is commutative, associative, idempotent; `bottom` is neutral;
+/// `leq` is the order induced by join.
+pub trait Lattice: Clone + PartialEq + std::fmt::Debug {
+    /// The least element (no information / unreachable).
+    fn bottom() -> Self;
+
+    /// Least upper bound.
+    fn join(&self, other: &Self) -> Self;
+
+    /// Induced partial order: `a ≤ b` iff `a ⊔ b = b`.
+    fn leq(&self, other: &Self) -> bool {
+        &self.join(other) == other
+    }
+
+    /// Widening hook: called by the engine in place of a plain join
+    /// once a signal has changed many times inside one SCC. `next`
+    /// already includes the joined update; the default keeps it (every
+    /// lattice here is finite so plain iteration converges anyway).
+    fn widen(&self, next: &Self) -> Self {
+        next.clone()
+    }
+}
+
+/// Clock-domain membership: a bitmask over up to 64 domain roots
+/// (free-running clock outputs and ring-oscillator SCC outputs).
+/// Domains re-anchor at sequential elements, so a flop's output lives
+/// in its *capture* clock's domain regardless of where its data came
+/// from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainSet(pub u64);
+
+impl DomainSet {
+    /// The singleton set of domain `bit` (indices ≥ 64 fold onto the
+    /// last bit — a netlist with more than 64 clock roots degrades to
+    /// a coarser, still sound, analysis).
+    pub fn root(bit: usize) -> Self {
+        DomainSet(1u64 << bit.min(63))
+    }
+
+    /// True when no domain reaches the signal (pure testbench data).
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Domains in `self` that are not in `other`.
+    pub fn minus(self, other: DomainSet) -> DomainSet {
+        DomainSet(self.0 & !other.0)
+    }
+}
+
+impl Lattice for DomainSet {
+    fn bottom() -> Self {
+        DomainSet(0)
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        DomainSet(self.0 | other.0)
+    }
+}
+
+/// Three-valued initialization lattice for X-propagation:
+///
+/// ```text
+///          X        (may be unknown at some time)
+///          |
+///         Def       (always driven to a defined level)
+///        /   \
+///     Zero   One    (constant at that level)
+///        \   /
+///         Bot       (unreached)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitVal {
+    /// Unreached / no information yet.
+    Bot,
+    /// Provably constant 0.
+    Zero,
+    /// Provably constant 1.
+    One,
+    /// Defined (0 or 1) at every time, value unknown.
+    Def,
+    /// May be `X` at some time.
+    X,
+}
+
+impl InitVal {
+    /// Abstracts a concrete initial level.
+    pub fn of(level: Logic) -> Self {
+        match level {
+            Logic::Zero => InitVal::Zero,
+            Logic::One => InitVal::One,
+            // High-impedance reads as unknown, same as X.
+            Logic::X | Logic::Z => InitVal::X,
+        }
+    }
+
+    /// Rank in the lattice diagram (for join).
+    fn rank(self) -> u8 {
+        match self {
+            InitVal::Bot => 0,
+            InitVal::Zero | InitVal::One => 1,
+            InitVal::Def => 2,
+            InitVal::X => 3,
+        }
+    }
+}
+
+impl Lattice for InitVal {
+    fn bottom() -> Self {
+        InitVal::Bot
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        if self == other {
+            return *self;
+        }
+        match self.rank().max(other.rank()) {
+            0 => InitVal::Bot,
+            1 => InitVal::Def, // Zero ⊔ One, or a constant ⊔ Bot
+            2 => InitVal::Def,
+            _ => InitVal::X,
+        }
+        .promote_constant(*self, *other)
+    }
+}
+
+impl InitVal {
+    /// `rank`-based join loses which constant survived a `Bot ⊔ const`
+    /// join; restore it.
+    fn promote_constant(self, a: InitVal, b: InitVal) -> InitVal {
+        if self == InitVal::Def {
+            match (a, b) {
+                (InitVal::Bot, c) | (c, InitVal::Bot) if c.rank() == 1 => c,
+                _ => self,
+            }
+        } else {
+            self
+        }
+    }
+}
+
+/// Parity mask for the hazard analysis: through how many inversions a
+/// source reaches a point.
+pub mod parity {
+    /// Reaches through an even number of inversions.
+    pub const EVEN: u8 = 0b01;
+    /// Reaches through an odd number of inversions.
+    pub const ODD: u8 = 0b10;
+    /// Reaches both ways — reconvergent, can glitch.
+    pub const BOTH: u8 = EVEN | ODD;
+
+    /// Swaps the even/odd bits (propagation through an inverting op).
+    pub fn flip(mask: u8) -> u8 {
+        ((mask & EVEN) << 1) | ((mask & ODD) >> 1)
+    }
+}
+
+/// Hazard lattice: which *sources* (sequential outputs, clock outputs,
+/// pokable inputs, ring members) reach a signal, and with which
+/// inversion parities. A source present with [`parity::BOTH`] marks a
+/// reconvergent fan-in that can produce a static hazard.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParityMap(pub BTreeMap<usize, u8>);
+
+impl ParityMap {
+    /// The map `{source ↦ EVEN}` — a source observes itself directly.
+    pub fn source(id: usize) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(id, parity::EVEN);
+        ParityMap(m)
+    }
+
+    /// Flips every parity (propagation through INV/NAND/NOR).
+    pub fn flipped(&self) -> Self {
+        ParityMap(self.0.iter().map(|(&s, &m)| (s, parity::flip(m))).collect())
+    }
+
+    /// Forces every source to both parities (propagation through a
+    /// non-unate XOR/XNOR).
+    pub fn saturated(&self) -> Self {
+        ParityMap(self.0.keys().map(|&s| (s, parity::BOTH)).collect())
+    }
+
+    /// Sources that reach with both parities.
+    pub fn reconvergent(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0
+            .iter()
+            .filter(|(_, &m)| m == parity::BOTH)
+            .map(|(&s, _)| s)
+    }
+}
+
+impl Lattice for ParityMap {
+    fn bottom() -> Self {
+        ParityMap::default()
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        let mut out = self.0.clone();
+        for (&s, &m) in &other.0 {
+            *out.entry(s).or_insert(0) |= m;
+        }
+        ParityMap(out)
+    }
+}
+
+/// Plain boolean reachability/liveness lattice (`false ⊑ true`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Reach(pub bool);
+
+impl Lattice for Reach {
+    fn bottom() -> Self {
+        Reach(false)
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        Reach(self.0 || other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initval_join_table() {
+        use InitVal::*;
+        assert_eq!(Bot.join(&Zero), Zero);
+        assert_eq!(One.join(&Bot), One);
+        assert_eq!(Zero.join(&One), Def);
+        assert_eq!(Def.join(&Zero), Def);
+        assert_eq!(X.join(&Def), X);
+        assert_eq!(X.join(&Bot), X);
+        assert!(Bot.leq(&Zero) && Zero.leq(&Def) && Def.leq(&X));
+        assert!(!One.leq(&Zero));
+    }
+
+    #[test]
+    fn domain_set_algebra() {
+        let a = DomainSet::root(0);
+        let b = DomainSet::root(3);
+        let ab = a.join(&b);
+        assert!(a.leq(&ab) && b.leq(&ab));
+        assert_eq!(ab.minus(a), b);
+        assert!(DomainSet::bottom().is_empty());
+        // Domain indices past 63 fold instead of overflowing.
+        assert_eq!(DomainSet::root(200), DomainSet::root(63));
+    }
+
+    #[test]
+    fn parity_flip_and_saturate() {
+        let m = ParityMap::source(7);
+        assert_eq!(m.flipped().0[&7], parity::ODD);
+        let both = m.join(&m.flipped());
+        assert_eq!(both.0[&7], parity::BOTH);
+        assert_eq!(both.reconvergent().collect::<Vec<_>>(), vec![7]);
+        assert_eq!(m.saturated().0[&7], parity::BOTH);
+        assert_eq!(parity::flip(parity::BOTH), parity::BOTH);
+    }
+}

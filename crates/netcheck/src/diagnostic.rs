@@ -464,11 +464,19 @@ mod tests {
             "overflow",
         ));
         r.push(Diagnostic::info("NC0402", Location::object("mix"), "note"));
+        r.push(Diagnostic::warning(
+            "NC1403",
+            Location::object("rst"),
+            "fan-out 18 exceeds budget",
+        ));
         let sarif = r.render_sarif();
         assert!(sarif.contains("\"version\":\"2.1.0\""));
         assert!(sarif.contains("\"ruleId\":\"NC0901\""));
         assert!(sarif.contains("\"level\":\"error\""));
         assert!(sarif.contains("\"level\":\"note\""));
+        // Warnings map to SARIF "warning" — `--deny-warnings` relies on
+        // downstream viewers seeing the same severity the exit code uses.
+        assert!(sarif.contains("\"level\":\"warning\""));
         assert!(sarif.contains("\"startLine\":3"));
         assert!(sarif.contains("\"uri\":\"bundle.toml\""));
     }

@@ -15,6 +15,10 @@
 //! | `NC08xx` | runtime recovery freshness | staleness bound shorter than the checkpoint interval |
 //! | `NC09xx` | abstract interpretation    | counter overflow, quantization step vs spec, anchor bracketing, word width, toggle-loop floor |
 //! | `NC10xx` | abstract interpretation    | provable conversion vs deadline, staleness vs checkpoint + conversion |
+//! | `NC11xx` | dataflow: clock domains    | unsynchronized crossings, single-flop sync, uncoded multi-bit capture, latch capture |
+//! | `NC12xx` | dataflow: X-propagation    | sequential elements that may never initialize, X clocks/enables, X primary outputs |
+//! | `NC13xx` | dataflow: hazards          | reconvergent (glitch-prone) clock/enable cones, XOR in a clock cone |
+//! | `NC14xx` | dataflow: structure        | floating inputs, dead gates, fan-out over the stdcell drive budget |
 //!
 //! Every rule has a stable ID and fires as a [`Diagnostic`] at a fixed
 //! [`Severity`]; a [`Report`] aggregates them and renders as text or
@@ -37,8 +41,10 @@
 
 pub mod absint;
 pub mod config_rules;
+pub mod dataflow;
 pub mod deck_rules;
 pub mod diagnostic;
+pub mod driver;
 pub mod library_rules;
 pub mod netlist_rules;
 pub mod pass;
@@ -49,8 +55,12 @@ pub mod timing_rules;
 
 pub use absint::{certify, Certificate, CertifyBundle};
 pub use config_rules::{check_calibration_anchors, check_sensor_config, PAPER_STAGE_COUNTS};
+pub use dataflow::{check_netlist_dataflow, CdcPass, HazardPass, StructuralPass, XPropPass};
 pub use deck_rules::{check_circuit, check_deck};
 pub use diagnostic::{Diagnostic, Location, Report, Severity};
+pub use driver::{
+    exit_for, run_targets, AnalysisTarget, Baseline, CacheStats, DriverOptions, DriverOutcome,
+};
 pub use library_rules::{
     check_cell_library, check_library, check_ratio, check_table, FIG2_RATIO_RANGE,
 };

@@ -64,7 +64,9 @@ macro_rules! declare_rule {
         /// resilience, `NC07xx` = runtime deadline budgets, `NC08xx` =
         /// runtime recovery freshness, `NC09xx` = abstract-interpretation
         /// range/overflow proofs, `NC10xx` = abstract-interpretation
-        /// deadline/freshness proofs.
+        /// deadline/freshness proofs, `NC11xx` = clock-domain crossing,
+        /// `NC12xx` = X-propagation, `NC13xx` = static hazards,
+        /// `NC14xx` = dataflow structural checks.
         pub const RULES: &[RuleInfo] = &[
             $(RuleInfo {
                 id: stringify!($id),
@@ -109,6 +111,19 @@ declare_rule! {
     NC1001 => Error, "provable worst-case conversion interval exceeds the runtime deadline";
     NC1002 => Warning, "provable worst-case conversion leaves no retry headroom inside the deadline";
     NC1003 => Error, "staleness bound cannot cover a checkpoint interval plus one provable conversion";
+    NC1101 => Error, "clock-domain crossing passes through combinational logic before capture";
+    NC1102 => Error, "clock-domain crossing captured by a single flop (2-FF synchronizer required)";
+    NC1103 => Error, "multi-bit crossing converges uncoded (Gray code or snapshot latch required)";
+    NC1104 => Warning, "clock-domain crossing captured by a transparent latch";
+    NC1201 => Error, "sequential element may never reach a defined value after reset";
+    NC1202 => Error, "clock or enable pin may be X after reset";
+    NC1203 => Warning, "primary output may be X after reset";
+    NC1301 => Error, "static hazard on a flip-flop clock pin (reconvergent parities)";
+    NC1302 => Warning, "static hazard on a latch enable pin (reconvergent parities)";
+    NC1303 => Warning, "non-unate gate (XOR/XNOR) in a clock or enable cone";
+    NC1401 => Error, "component input is floating (no driver, no initial value)";
+    NC1402 => Warning, "gate is dead (unreachable from any clock or pokable input)";
+    NC1403 => Warning, "signal fan-out exceeds the stdcell drive budget for its driver";
 }
 
 /// Looks up a rule by ID.

@@ -19,7 +19,13 @@ use spicelite::transient::{run_transient_checked, TranOptions};
 use spicelite::waveform::Waveform;
 use spicelite::SimError;
 
+use sensor::digitizer::GateLevelDigitizer;
+use sensor::gateunit::GateLevelUnit;
+use sensor::muxscan::GateLevelMuxScan;
+use tsense_core::units::{Hertz, Seconds};
+
 use crate::config_rules::check_sensor_config;
+use crate::dataflow::check_netlist_dataflow;
 use crate::deck_rules::check_circuit;
 use crate::diagnostic::Report;
 use crate::netlist_rules::check_netlist;
@@ -106,6 +112,60 @@ pub fn sensor_unit(config: SensorConfig) -> Result<SmartSensorUnit, PreflightErr
     SmartSensorUnit::new_checked(config, |c| gate(check_sensor_config(c)))
 }
 
+/// Plans a [`GateLevelDigitizer`] and runs the NC11xx–NC14xx dataflow
+/// lints (clock-domain crossings, X-propagation, hazards, structure)
+/// over its netlist before handing it back.
+///
+/// # Errors
+///
+/// [`PreflightError::Rejected`] with the dataflow report, or
+/// [`PreflightError::Failed`] with the constructor's [`SensorError`].
+pub fn gate_digitizer(
+    ring_period: Seconds,
+    ref_clock: Hertz,
+    window_cycles: u32,
+) -> Result<GateLevelDigitizer, PreflightError<SensorError>> {
+    let digitizer = GateLevelDigitizer::new(ring_period, ref_clock, window_cycles)?;
+    gate(check_netlist_dataflow(&digitizer.netlist()))?;
+    Ok(digitizer)
+}
+
+/// Builds a [`GateLevelUnit`] (handshake FSM + digitizer datapath) and
+/// runs the NC11xx–NC14xx dataflow lints over its netlist first.
+///
+/// # Errors
+///
+/// [`PreflightError::Rejected`] with the dataflow report, or
+/// [`PreflightError::Failed`] with the constructor's [`SensorError`].
+pub fn gate_unit(
+    ring_period: Seconds,
+    ref_clock: Hertz,
+    settle_cycles: u32,
+    window_cycles: u32,
+) -> Result<GateLevelUnit, PreflightError<SensorError>> {
+    let unit = GateLevelUnit::new(ring_period, ref_clock, settle_cycles, window_cycles)?;
+    gate(check_netlist_dataflow(unit.netlist()))?;
+    Ok(unit)
+}
+
+/// Builds a multi-channel [`GateLevelMuxScan`] and runs the
+/// NC11xx–NC14xx dataflow lints over its (muxed, multi-clock) netlist
+/// first — the structure with the most clock domains in the workspace.
+///
+/// # Errors
+///
+/// [`PreflightError::Rejected`] with the dataflow report, or
+/// [`PreflightError::Failed`] with the constructor's [`SensorError`].
+pub fn mux_scan(
+    ring_periods: &[Seconds],
+    ref_clock: Hertz,
+    window_cycles: u32,
+) -> Result<GateLevelMuxScan, PreflightError<SensorError>> {
+    let scan = GateLevelMuxScan::new(ring_periods, ref_clock, window_cycles)?;
+    gate(check_netlist_dataflow(scan.netlist()))?;
+    Ok(scan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +224,36 @@ mod tests {
         let ring = RingOscillator::uniform(gate, 5).unwrap();
         let config = SensorConfig::new(ring, Technology::um350());
         assert!(sensor_unit(config).is_ok());
+    }
+
+    #[test]
+    fn shipped_digitizer_passes_the_dataflow_lints() {
+        let d = gate_digitizer(Seconds::from_nanos(1.5), Hertz::from_mega(1000.0), 64).unwrap();
+        let r = d.run().unwrap();
+        assert!(r.count > 0, "still converts after preflight");
+    }
+
+    #[test]
+    fn shipped_gate_unit_passes_the_dataflow_lints() {
+        let unit = gate_unit(Seconds::from_nanos(1.5), Hertz::from_mega(1000.0), 16, 64);
+        if let Err(PreflightError::Rejected(report)) = &unit {
+            panic!("shipped unit rejected:\n{}", report.render_text());
+        }
+        assert!(unit.is_ok());
+    }
+
+    #[test]
+    fn shipped_mux_scan_passes_the_dataflow_lints() {
+        let periods = [
+            Seconds::from_nanos(1.2),
+            Seconds::from_nanos(1.4),
+            Seconds::from_nanos(1.6),
+            Seconds::from_nanos(1.8),
+        ];
+        let scan = mux_scan(&periods, Hertz::from_mega(1000.0), 64);
+        if let Err(PreflightError::Rejected(report)) = &scan {
+            panic!("shipped mux scan rejected:\n{}", report.render_text());
+        }
+        assert!(scan.is_ok());
     }
 }

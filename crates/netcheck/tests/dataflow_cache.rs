@@ -1,0 +1,235 @@
+//! Integration tests for the parallel incremental driver over real
+//! dataflow targets.
+//!
+//! Two claims:
+//!
+//! 1. **Equivalence**: the merged, sorted report is byte-identical in
+//!    every execution mode — cold vs warm, 1 job vs N jobs, and any
+//!    mix of hits and misses. The cache and the thread pool are pure
+//!    optimizations, never observable in the output.
+//! 2. **Crash-safety**: when the cache lives on a hostile disk
+//!    (`SimDisk` tearing renames and rotting bits), a corrupted entry
+//!    is a cache *miss* — the driver silently re-analyzes cold and
+//!    repairs the entry, and the report still matches the pristine
+//!    run byte for byte.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use dsim::builders::DFF_DELAY_FS;
+use dsim::logic::Logic;
+use dsim::netlist::{GateOp, Netlist};
+use dst::fs::{SimDisk, SimDiskProfile, SimFs};
+use netcheck::{check_netlist_dataflow, AnalysisTarget, DriverOptions, Report};
+
+/// A named in-memory netlist linted by the four dataflow families.
+struct NetlistTarget {
+    name: String,
+    netlist: Netlist,
+    /// Stand-in for source text: the driver fingerprints these bytes.
+    payload: String,
+}
+
+impl NetlistTarget {
+    fn new(name: &str, netlist: Netlist) -> Self {
+        // A structural digest is enough to key the cache for tests.
+        let payload = format!(
+            "{name}:{}sig:{}comp",
+            netlist.signal_count(),
+            netlist.components().len()
+        );
+        NetlistTarget {
+            name: name.to_string(),
+            netlist,
+            payload,
+        }
+    }
+}
+
+impl AnalysisTarget for NetlistTarget {
+    fn path(&self) -> &str {
+        &self.name
+    }
+
+    fn fingerprint_payload(&self) -> Vec<u8> {
+        self.payload.clone().into_bytes()
+    }
+
+    fn rule_set(&self) -> &str {
+        "netlist-dataflow"
+    }
+
+    fn analyze(&self) -> Report {
+        check_netlist_dataflow(&self.netlist)
+    }
+}
+
+/// A clean 2-FF synchronizer crossing (no findings).
+fn clean_crossing() -> Netlist {
+    let mut nl = Netlist::new();
+    let clk_a = nl.signal("clk_a");
+    let clk_b = nl.signal("clk_b");
+    nl.symmetric_clock(clk_a, 1_000_000, 500_000);
+    nl.symmetric_clock(clk_b, 1_700_000, 850_000);
+    let rst_n = nl.signal_with_init("rst_n", Logic::One);
+    let d = nl.signal_with_init("d", Logic::Zero);
+    let q_a = nl.signal_with_init("q_a", Logic::Zero);
+    nl.dff(d, clk_a, Some(rst_n), q_a, DFF_DELAY_FS);
+    let s1 = nl.signal_with_init("s1", Logic::Zero);
+    let s2 = nl.signal_with_init("s2", Logic::Zero);
+    nl.dff(q_a, clk_b, Some(rst_n), s1, DFF_DELAY_FS);
+    nl.dff(s1, clk_b, Some(rst_n), s2, DFF_DELAY_FS);
+    nl
+}
+
+/// A single-flop capture of a foreign domain (fires NC1102).
+fn raw_crossing() -> Netlist {
+    let mut nl = Netlist::new();
+    let clk_a = nl.signal("clk_a");
+    let clk_b = nl.signal("clk_b");
+    nl.symmetric_clock(clk_a, 1_000_000, 500_000);
+    nl.symmetric_clock(clk_b, 1_700_000, 850_000);
+    let rst_n = nl.signal_with_init("rst_n", Logic::One);
+    let d = nl.signal_with_init("d", Logic::Zero);
+    let q_a = nl.signal_with_init("q_a", Logic::Zero);
+    nl.dff(d, clk_a, Some(rst_n), q_a, DFF_DELAY_FS);
+    let cap = nl.signal_with_init("cap", Logic::Zero);
+    nl.dff(q_a, clk_b, Some(rst_n), cap, DFF_DELAY_FS);
+    nl
+}
+
+/// An uninitializable flop plus a dead gate (fires NC1201 + NC1402).
+fn x_and_dead() -> Netlist {
+    let mut nl = Netlist::new();
+    let clk = nl.signal("clk");
+    nl.symmetric_clock(clk, 2_000_000, 1_000_000);
+    let q = nl.signal("q");
+    let qb = nl.signal("qb");
+    nl.gate(GateOp::Inv, &[q], qb, 100_000);
+    nl.dff(qb, clk, None, q, DFF_DELAY_FS);
+    let float = nl.signal("float");
+    let dead = nl.signal("dead");
+    nl.gate(GateOp::Buf, &[float], dead, 100_000);
+    nl
+}
+
+fn targets() -> Vec<NetlistTarget> {
+    vec![
+        NetlistTarget::new("clean.net", clean_crossing()),
+        NetlistTarget::new("raw.net", raw_crossing()),
+        NetlistTarget::new("xdead.net", x_and_dead()),
+    ]
+}
+
+fn opts(fs: Arc<dyn SimFs>, jobs: usize, cache: Option<&str>) -> DriverOptions {
+    DriverOptions {
+        jobs,
+        cache_dir: cache.map(PathBuf::from),
+        fs,
+        rules_version: "it-1".to_string(),
+    }
+}
+
+#[test]
+fn report_is_byte_identical_across_jobs_and_cache_modes() {
+    let owned = targets();
+    let refs: Vec<&dyn AnalysisTarget> = owned.iter().map(|t| t as _).collect();
+    let disk: Arc<dyn SimFs> = Arc::new(SimDisk::new(7, SimDiskProfile::pristine()));
+
+    let no_cache_1 = netcheck::run_targets(&refs, &opts(Arc::clone(&disk), 1, None));
+    let no_cache_4 = netcheck::run_targets(&refs, &opts(Arc::clone(&disk), 4, None));
+    let cold = netcheck::run_targets(&refs, &opts(Arc::clone(&disk), 4, Some("/c")));
+    let warm = netcheck::run_targets(&refs, &opts(Arc::clone(&disk), 1, Some("/c")));
+
+    let reference = no_cache_1.report.render_text();
+    assert!(
+        reference.contains("NC1102"),
+        "raw crossing must fire:\n{reference}"
+    );
+    assert!(
+        reference.contains("NC1201"),
+        "X flop must fire:\n{reference}"
+    );
+    assert!(
+        reference.contains("NC1402"),
+        "dead gate must fire:\n{reference}"
+    );
+    for (label, outcome) in [
+        ("no-cache 4 jobs", &no_cache_4),
+        ("cold cache", &cold),
+        ("warm cache", &warm),
+    ] {
+        assert_eq!(
+            outcome.report.render_text(),
+            reference,
+            "{label} diverged from the serial no-cache run"
+        );
+        assert_eq!(
+            outcome.report.render_json(),
+            no_cache_1.report.render_json()
+        );
+    }
+    assert_eq!(cold.stats.hits, 0);
+    assert_eq!(warm.stats.hits, refs.len(), "warm run is all hits");
+}
+
+#[test]
+fn torn_cache_writes_fall_back_to_cold_and_heal() {
+    // Every rename is left unjournaled: a crash right after the cold
+    // run tears each cache entry at a seeded byte boundary.
+    let disk = Arc::new(SimDisk::new(
+        42,
+        SimDiskProfile {
+            torn_rename_prob: 1.0,
+            bit_rot_prob: 0.0,
+        },
+    ));
+    let owned = targets();
+    let refs: Vec<&dyn AnalysisTarget> = owned.iter().map(|t| t as _).collect();
+    let fs: Arc<dyn SimFs> = Arc::clone(&disk) as Arc<dyn SimFs>;
+
+    let cold = netcheck::run_targets(&refs, &opts(Arc::clone(&fs), 2, Some("/c")));
+    assert_eq!(cold.stats.misses, refs.len());
+    disk.crash();
+    let torn = disk.stats().torn_files;
+
+    let after = netcheck::run_targets(&refs, &opts(Arc::clone(&fs), 2, Some("/c")));
+    assert_eq!(
+        after.report.render_text(),
+        cold.report.render_text(),
+        "a torn cache must never change the report"
+    );
+    if torn > 0 {
+        assert!(
+            after.stats.misses > 0,
+            "torn entries must re-run cold (torn {torn})"
+        );
+    }
+
+    // The fallback rewrites the entries; after a sync-through run on a
+    // now-calm disk they serve as hits again.
+    let healed = netcheck::run_targets(&refs, &opts(Arc::clone(&fs), 1, Some("/c")));
+    assert_eq!(healed.report.render_text(), cold.report.render_text());
+}
+
+#[test]
+fn bit_rot_in_a_cache_entry_is_detected_by_the_checksum() {
+    let disk = Arc::new(SimDisk::new(9, SimDiskProfile::pristine()));
+    let owned = targets();
+    let refs: Vec<&dyn AnalysisTarget> = owned.iter().map(|t| t as _).collect();
+    let fs: Arc<dyn SimFs> = Arc::clone(&disk) as Arc<dyn SimFs>;
+
+    let cold = netcheck::run_targets(&refs, &opts(Arc::clone(&fs), 1, Some("/c")));
+    // Flip one bit in the *message body* of every entry — the part a
+    // wrong-key check cannot catch; only the body checksum can.
+    for path in disk.list(Path::new("/c")).unwrap() {
+        let mut bytes = disk.read(&path).unwrap();
+        let at = bytes.len() - 2;
+        bytes[at] ^= 0x01;
+        disk.plant(path, bytes);
+    }
+    let after = netcheck::run_targets(&refs, &opts(Arc::clone(&fs), 1, Some("/c")));
+    assert_eq!(after.stats.hits, 0, "every rotted entry must miss");
+    assert_eq!(after.stats.misses, refs.len());
+    assert_eq!(after.report.render_text(), cold.report.render_text());
+}

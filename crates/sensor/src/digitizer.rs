@@ -121,14 +121,11 @@ impl GateLevelDigitizer {
         })
     }
 
-    /// Builds the netlist, runs the conversion and reads the count.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SensorError::InvalidConfig`] if the final count is
-    /// unknown (X bits), which indicates a netlist bug rather than an
-    /// operating condition.
-    pub fn run(&self) -> Result<GateLevelResult> {
+    /// Builds the conversion netlist without running it — the same
+    /// structure [`GateLevelDigitizer::run`] simulates, exposed so
+    /// static analyses (clock-domain, X-propagation, hazard lints) can
+    /// inspect the design before any simulation.
+    pub fn netlist(&self) -> Netlist {
         let mut nl = Netlist::new();
         let ring_clk = nl.signal("ring_clk");
         let ref_clk = nl.signal("ref_clk");
@@ -173,8 +170,25 @@ impl GateLevelDigitizer {
 
         // Reference counter, enabled while the synchronized window is
         // open (the 2-cycle latency applies to both edges and cancels).
-        let ref_bits = sync_counter(&mut nl, ref_clk, rst_n, sync2, self.ref_bits, "refcnt");
+        sync_counter(&mut nl, ref_clk, rst_n, sync2, self.ref_bits, "refcnt");
+        nl
+    }
 
+    /// Builds the netlist, runs the conversion and reads the count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidConfig`] if the final count is
+    /// unknown (X bits), which indicates a netlist bug rather than an
+    /// operating condition.
+    pub fn run(&self) -> Result<GateLevelResult> {
+        let nl = self.netlist();
+        let ref_bits: Vec<_> = (0..self.ref_bits)
+            .map(|i| {
+                nl.find_signal(&format!("refcnt.q{i}"))
+                    .expect("counter bit")
+            })
+            .collect();
         let mut sim = Simulator::new(nl);
         // Run until well after the window closes (plus counter ripple).
         let horizon = (self.window_cycles as u64 + 4) * self.ring_period_fs

@@ -142,6 +142,13 @@ impl GateLevelMuxScan {
         self.ring_periods_fs.len()
     }
 
+    /// The constructed gate-level netlist, for static analysis (CDC,
+    /// X-propagation, hazard lints) before any conversion runs.
+    #[inline]
+    pub fn netlist(&self) -> &dsim::netlist::Netlist {
+        self.sim.netlist()
+    }
+
     /// The count the behavioural model predicts for a channel.
     pub fn expected_count(&self, channel: usize) -> u64 {
         self.window_cycles as u64 * self.ring_periods_fs[channel] / self.ref_period_fs

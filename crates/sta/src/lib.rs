@@ -39,6 +39,7 @@
 pub mod check;
 pub mod error;
 pub mod graph;
+pub mod levelize;
 pub mod loops;
 pub mod model;
 pub mod report;
@@ -53,6 +54,7 @@ pub use graph::{
     analyze, cell_delays, netlist_delays, Analysis, Arrival, CellMap, Endpoint, EndpointKind,
     PathPoint, Polarity, TimingPath,
 };
+pub use levelize::{component_successors, levelize, Levelization};
 pub use loops::{LoopAnalysis, LoopKind};
 pub use model::{AnalyticalModel, DelayFs, DelayModel, TableModel};
 pub use rings::{

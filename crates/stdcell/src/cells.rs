@@ -171,6 +171,22 @@ pub fn transistor_count(kind: GateKind) -> usize {
     2 * kind.fan_in()
 }
 
+/// Maximum fan-out (sink count) a cell output drives before its
+/// transition-time budget collapses, at the library's fixed sizing.
+/// An inverter's single-device pull networks drive the most; series
+/// stacks (NAND3/NAND4, NOR3/NOR4, the complex AOI/OAI cells) lose
+/// drive roughly with stack height. Used by `netcheck`'s NC1403
+/// structural lint.
+pub fn drive_budget(kind: GateKind) -> usize {
+    match kind.fan_in() {
+        1 => 16,
+        2 => 12,
+        3 if matches!(kind, GateKind::Aoi21 | GateKind::Oai21) => 8,
+        3 => 10,
+        _ => 8,
+    }
+}
+
 /// Text-emission state mirroring [`EmitState`].
 struct TextState {
     device_prefix: char,
@@ -270,6 +286,19 @@ mod tests {
     use super::*;
     use spicelite::dc::{solve_dc, SolverOptions};
     use spicelite::devices::{models_um350, Device, Stimulus};
+
+    #[test]
+    fn drive_budget_decreases_with_stack_height() {
+        assert_eq!(drive_budget(GateKind::Inv), 16);
+        assert!(drive_budget(GateKind::Nand2) < drive_budget(GateKind::Inv));
+        assert!(drive_budget(GateKind::Nand3) < drive_budget(GateKind::Nand2));
+        assert!(drive_budget(GateKind::Nand4) < drive_budget(GateKind::Nand3));
+        assert_eq!(drive_budget(GateKind::Nor3), drive_budget(GateKind::Nand3));
+        assert_eq!(drive_budget(GateKind::Aoi21), drive_budget(GateKind::Nand4));
+        for kind in GateKind::ALL {
+            assert!(drive_budget(kind) >= 8, "every cell drives something");
+        }
+    }
 
     fn cell_circuit(kind: GateKind, vin: f64) -> (Circuit, f64) {
         let (nmos, pmos) = models_um350();

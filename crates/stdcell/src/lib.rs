@@ -38,7 +38,7 @@ pub mod library;
 pub mod ring;
 pub mod variation_sim;
 
-pub use cells::{emit_cell, CellSizing};
+pub use cells::{drive_budget, emit_cell, CellSizing};
 pub use characterize::{characterize, DelayBounds, DelayPair, TimingTable};
 pub use liberty::{from_liberty, to_liberty, TimingLibrary};
 pub use library::CellLibrary;

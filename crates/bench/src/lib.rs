@@ -29,6 +29,7 @@
 //! | `dst`  | deterministic simulation: seeded schedule sweep + mutation detection |
 //! | `absint` | interval certification of every shipped configuration: envelopes + proof cost |
 //! | `dataflow` | parallel incremental netlist-lint driver: cache + `--jobs` wall-clock |
+//! | `fleet` | distributed-fleet DST: 1000-seed sweep, parallel scaling, mutation catch |
 
 #![forbid(unsafe_code)]
 
@@ -51,6 +52,7 @@ pub mod fault_campaign;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
+pub mod fleet_dst;
 pub mod runtime_soak;
 pub mod sta_sweep;
 pub mod ta;
@@ -101,9 +103,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_EXPERIMENTS: [&str; 22] = [
+pub const ALL_EXPERIMENTS: [&str; 23] = [
     "fig1", "fig2", "fig3", "ta", "tb", "tc", "td", "abl1", "abl2", "abl3", "abl4", "abl5", "ext1",
-    "ext2", "ext3", "ext4", "sta", "fault", "soak", "dst", "absint", "dataflow",
+    "ext2", "ext3", "ext4", "sta", "fault", "soak", "dst", "absint", "dataflow", "fleet",
 ];
 
 /// Runs one experiment by id, writing artifacts into `out_dir` and
@@ -137,6 +139,7 @@ pub fn run_experiment(id: &str, out_dir: &Path) -> String {
         "dst" => dst_sweep::run(out_dir),
         "absint" => absint::run(out_dir),
         "dataflow" => dataflow::run(out_dir),
+        "fleet" => fleet_dst::run(out_dir),
         other => panic!("unknown experiment id `{other}`; known: {ALL_EXPERIMENTS:?}"),
     }
 }

@@ -155,8 +155,8 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`DsimError::FloatingInput`](crate::error::DsimError::FloatingInput)
-    /// or [`DsimError::DuplicateDriver`](crate::error::DsimError::DuplicateDriver).
+    /// Returns [`DsimError::FloatingInput`]
+    /// or [`DsimError::DuplicateDriver`].
     pub fn try_new(netlist: Netlist) -> Result<Self, crate::error::DsimError> {
         netlist.validate()?;
         Ok(Simulator::new(netlist))

@@ -11,6 +11,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// A source of time. `now_ms` is the monotonic variant every timeout
@@ -118,6 +119,136 @@ impl Clock for VirtualClock {
     }
 }
 
+/// A node's view of fabric time: a shared base clock plus a fixed
+/// offset and a constant drift rate.
+///
+/// Real fleets never share one clock. Each node boots with some offset
+/// from true time and its oscillator runs fast or slow by a few parts
+/// per million; any fleet-level freshness claim ("this reading is at
+/// most 250 ms old") must stay honest when the node *stamping* the age
+/// and the node *judging* it disagree about what time it is. A
+/// `SkewedClock` models exactly that:
+///
+/// ```text
+/// local_ms(t) = offset_ms + t + t * drift_ppm / 1_000_000
+/// ```
+///
+/// where `t` is the shared base [`VirtualClock`]'s reading. Because the
+/// mapping is affine with a non-negative slope (`drift_ppm` ≥
+/// −1 000 000 is enforced), local time is monotone whenever base time
+/// is — a property the `skewed_clock_monotone` property test pins down.
+///
+/// `sleep_ms` converts the *local* duration back to base duration
+/// before advancing the shared clock, so a node that thinks a
+/// millisecond is long (fast oscillator) sleeps less base time, as a
+/// real fast clock would.
+#[derive(Debug)]
+pub struct SkewedClock {
+    base: Arc<VirtualClock>,
+    offset_ms: u64,
+    /// Parts-per-million deviation: +100 runs fast, −100 runs slow.
+    drift_ppm: i64,
+    wall_seq: AtomicU64,
+}
+
+impl SkewedClock {
+    /// A skewed view over `base`. `drift_ppm` below −1 000 000 (a clock
+    /// running backwards) is clamped to −1 000 000 (a stopped clock),
+    /// preserving monotonicity.
+    pub fn new(base: Arc<VirtualClock>, offset_ms: u64, drift_ppm: i64) -> Self {
+        SkewedClock {
+            base,
+            offset_ms,
+            drift_ppm: drift_ppm.max(-1_000_000),
+            wall_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared base clock this view is derived from.
+    pub fn base(&self) -> &Arc<VirtualClock> {
+        &self.base
+    }
+
+    /// Maps a base reading to this node's local reading.
+    fn local_ms(&self, base_ms: u64) -> u64 {
+        let drift = (base_ms as i128 * self.drift_ppm as i128) / 1_000_000;
+        let local = self.offset_ms as i128 + base_ms as i128 + drift;
+        local.max(0) as u64
+    }
+}
+
+impl Clock for SkewedClock {
+    fn now_ms(&self) -> u64 {
+        self.local_ms(self.base.now_ms())
+    }
+
+    fn wall_ns(&self) -> u128 {
+        let seq = self.wall_seq.fetch_add(1, Ordering::SeqCst);
+        u128::from(self.now_ms()) * 1_000_000 + u128::from(seq)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        // Convert the requested *local* duration to *base* duration:
+        // local runs at (1 + drift_ppm/1e6) × base, so base = local /
+        // (1 + drift_ppm/1e6). Round up so a positive local sleep
+        // always advances base time.
+        let num = u128::from(ms) * 1_000_000;
+        let den = (1_000_000 + self.drift_ppm).max(1) as u128;
+        let base_ms = num.div_ceil(den) as u64;
+        self.base
+            .advance_by(base_ms.max(if ms > 0 { 1 } else { 0 }));
+    }
+}
+
+/// A per-node nonce namespace for multi-node simulation.
+///
+/// The process-wide [`unique_nonce`] is correct for one process but
+/// wrong for a simulated *fleet*: all nodes share the process counter,
+/// so the nonce a node draws depends on how many nonces *other* nodes
+/// drew first — one node's snapshot temp-file names would change
+/// whenever an unrelated node's schedule shifted, breaking per-node
+/// replay (`--replay-node`). Worse, two single-node replays of the
+/// same seed both start the shared counter wherever the process left
+/// it, so "same seed, same names" does not hold across runs.
+///
+/// A `NonceNamespace` scopes the counter to one simulated node and
+/// brands every nonce with the node id in the high bits:
+///
+/// ```text
+/// nonce = (node_id << 64) | local_counter
+/// ```
+///
+/// Distinct nodes can never collide (disjoint high bits), and one
+/// node's sequence is a pure function of its own draw count — exactly
+/// the determinism per-node replay needs.
+#[derive(Debug)]
+pub struct NonceNamespace {
+    node: u64,
+    counter: AtomicU64,
+}
+
+impl NonceNamespace {
+    /// A namespace for simulated node `node`, counting from zero.
+    pub fn new(node: u64) -> Self {
+        NonceNamespace {
+            node,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The node id this namespace brands its nonces with.
+    pub fn node(&self) -> u64 {
+        self.node
+    }
+
+    /// The next nonce: unique within the node, disjoint across nodes,
+    /// deterministic in the draw sequence.
+    pub fn next(&self) -> u128 {
+        let count = self.counter.fetch_add(1, Ordering::Relaxed);
+        (u128::from(self.node) << 64) | u128::from(count)
+    }
+}
+
 /// A process-unique nonce: wall nanoseconds from a fresh
 /// [`SystemClock`] fused with one process-wide atomic counter.
 ///
@@ -172,6 +303,63 @@ mod tests {
         let d = VirtualClock::new();
         d.advance_to(7);
         assert_eq!(d.wall_ns(), a, "same history, same wall value");
+    }
+
+    #[test]
+    fn skewed_clock_is_an_affine_view_of_base() {
+        let base = Arc::new(VirtualClock::new());
+        let fast = SkewedClock::new(Arc::clone(&base), 500, 100_000); // +10 %
+        let slow = SkewedClock::new(Arc::clone(&base), 0, -100_000); // −10 %
+        assert_eq!(fast.now_ms(), 500);
+        assert_eq!(slow.now_ms(), 0);
+        base.advance_to(1000);
+        assert_eq!(fast.now_ms(), 500 + 1000 + 100);
+        assert_eq!(slow.now_ms(), 1000 - 100);
+    }
+
+    #[test]
+    fn skewed_sleep_advances_base_by_converted_duration() {
+        let base = Arc::new(VirtualClock::new());
+        let fast = SkewedClock::new(Arc::clone(&base), 0, 1_000_000); // 2× speed
+        fast.sleep_ms(100); // 100 local ms = 50 base ms at 2×
+        assert_eq!(base.now_ms(), 50);
+        let slow = SkewedClock::new(Arc::clone(&base), 0, -500_000); // 0.5× speed
+        slow.sleep_ms(100); // 100 local ms = 200 base ms at 0.5×
+        assert_eq!(base.now_ms(), 250);
+    }
+
+    #[test]
+    fn skewed_sleep_of_positive_local_always_moves_base() {
+        let base = Arc::new(VirtualClock::new());
+        let c = SkewedClock::new(Arc::clone(&base), 0, 999_999_999); // absurdly fast
+        c.sleep_ms(1);
+        assert!(base.now_ms() >= 1, "positive sleep must not stall the sim");
+    }
+
+    #[test]
+    fn extreme_negative_drift_clamps_to_stopped_not_backwards() {
+        let base = Arc::new(VirtualClock::new());
+        let c = SkewedClock::new(Arc::clone(&base), 10, -5_000_000);
+        base.advance_to(100);
+        let a = c.now_ms();
+        base.advance_to(200);
+        let b = c.now_ms();
+        assert!(b >= a, "clamped drift must stay monotone: {a} -> {b}");
+    }
+
+    #[test]
+    fn nonce_namespaces_are_disjoint_and_deterministic() {
+        let a = NonceNamespace::new(3);
+        let b = NonceNamespace::new(4);
+        let a0 = a.next();
+        let b0 = b.next();
+        assert_ne!(a0, b0);
+        assert_eq!(a0 >> 64, 3);
+        assert_eq!(b0 >> 64, 4);
+        // Same node id, fresh namespace → same sequence (replayable).
+        let a2 = NonceNamespace::new(3);
+        assert_eq!(a2.next(), a0);
+        assert_eq!(a2.next(), a.next());
     }
 
     #[test]

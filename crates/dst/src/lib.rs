@@ -22,8 +22,18 @@
 //!   cooperative tasks under permuted interleavings, advances the
 //!   virtual clock only at quiescence, records the schedule as a
 //!   replayable trace, and stops at the first invariant violation.
+//! * [`net`] — the [`SimNet`] message fabric for *multi-node*
+//!   simulation: typed envelopes between nodes with per-link delay
+//!   windows, seeded drop/duplicate/reorder faults, and partitions
+//!   that hold in-flight traffic until healed. Paired with
+//!   [`SkewedClock`] (per-node offset + drift over one shared
+//!   [`VirtualClock`]) and [`NonceNamespace`] (per-node nonce
+//!   sequences), a whole fleet runs inside one seeded [`Executor`].
 //! * [`shrink`] — [`shrink_events`], the greedy delta-debugging loop
 //!   that cuts a failing input set down to a minimal reproducer.
+//! * [`par`] — [`run_indexed`], a scoped-thread batch runner whose
+//!   index-ordered results make parallel seed sweeps byte-identical
+//!   to serial ones.
 //!
 //! Nothing here knows about sensors: the crate is generic machinery.
 //! The `runtime` crate's `sim` module wires the actual service logic,
@@ -35,9 +45,13 @@
 pub mod clock;
 pub mod executor;
 pub mod fs;
+pub mod net;
+pub mod par;
 pub mod shrink;
 
-pub use clock::{unique_nonce, Clock, SystemClock, VirtualClock};
+pub use clock::{unique_nonce, Clock, NonceNamespace, SkewedClock, SystemClock, VirtualClock};
 pub use executor::{Executor, StepRecord, TaskState};
 pub use fs::{FsError, RealFs, SimDisk, SimDiskProfile, SimDiskStats, SimFs};
+pub use net::{Envelope, LinkProfile, NetStats, NodeId, SendOutcome, SimNet};
+pub use par::run_indexed;
 pub use shrink::shrink_events;

@@ -1,0 +1,193 @@
+//! Property suite for the fleet-simulation substrate — the laws the
+//! multi-node deterministic simulator's replayability and fault
+//! semantics rest on:
+//!
+//! 1. **Skewed clock monotonicity**: a [`SkewedClock`] with any
+//!    offset/drift (including drift past the clamp) is non-decreasing
+//!    under arbitrary interleavings of base advances and local sleeps,
+//!    positive sleeps always make progress in base time, and `wall_ns`
+//!    is strictly increasing across reads.
+//! 2. **Delivery laws**: a dropped datagram is never delivered (decided
+//!    at send, not replayed later); envelopes are conserved — every
+//!    send is accounted for as delivered, dropped at send, refused at a
+//!    severed link, still in flight, or died with a crashed node's
+//!    inbox, with duplication adding exactly the envelopes it reports.
+//! 3. **Partition semantics**: while a pair is partitioned nothing
+//!    crosses the cut in either direction; after heal, everything that
+//!    was queued (and not dropped) eventually delivers — held, not
+//!    lost.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use dst::{Clock, LinkProfile, SendOutcome, SimNet, SkewedClock, VirtualClock};
+
+fn arb_profile() -> impl Strategy<Value = LinkProfile> {
+    (1u64..20, 0u64..30, 0u8..3, 0u8..3, 0u8..3).prop_map(|(dmin, dspan, drop, dup, reorder)| {
+        LinkProfile {
+            delay_min_ms: dmin,
+            delay_max_ms: dmin + dspan,
+            drop: f64::from(drop) * 0.15,
+            duplicate: f64::from(dup) * 0.1,
+            reorder: f64::from(reorder) * 0.2,
+            reorder_jitter_ms: 25,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn skewed_clock_is_monotone_under_any_skew(
+        offset_ms in 0u64..5_000,
+        drift_ppm in -3_000_000i64..3_000_000,
+        steps in prop::collection::vec((0u64..200, any::<bool>()), 1..40),
+    ) {
+        let base = Arc::new(VirtualClock::new());
+        let clock = SkewedClock::new(Arc::clone(&base), offset_ms, drift_ppm);
+        let mut last_local = clock.now_ms();
+        let mut last_wall = clock.wall_ns();
+        for (amount, via_sleep) in steps {
+            let base_before = base.now_ms();
+            if via_sleep {
+                clock.sleep_ms(amount);
+                if amount > 0 {
+                    prop_assert!(
+                        base.now_ms() > base_before,
+                        "a positive local sleep must advance base time"
+                    );
+                }
+            } else {
+                base.advance_by(amount);
+            }
+            let local = clock.now_ms();
+            prop_assert!(
+                local >= last_local,
+                "local time went backwards: {last_local} -> {local}"
+            );
+            last_local = local;
+            let wall = clock.wall_ns();
+            prop_assert!(wall > last_wall, "wall_ns must be strictly increasing");
+            last_wall = wall;
+        }
+    }
+
+    #[test]
+    fn dropped_datagrams_are_never_delivered_and_envelopes_are_conserved(
+        seed in any::<u64>(),
+        profile in arb_profile(),
+        sends in prop::collection::vec((0u64..4, 0u64..500), 1..60),
+    ) {
+        let mut net: SimNet<u64> = SimNet::new(seed, 5, profile);
+        let mut queued = 0u64;
+        let mut now = 0;
+        for (i, (dst_node, dt)) in sends.iter().enumerate() {
+            now += dt;
+            // Node 4 only ever sends; 0..4 only ever receive.
+            match net.send(now, 4, *dst_node as usize, i as u64) {
+                SendOutcome::Queued { deliver_at_ms } => {
+                    queued += 1;
+                    prop_assert!(deliver_at_ms > now, "delivery is never instantaneous");
+                }
+                SendOutcome::Dropped => {}
+                SendOutcome::Severed => unreachable!("no partitions in this run"),
+            }
+        }
+        // Drain the fabric completely.
+        let mut delivered = 0u64;
+        let horizon = now + 10_000;
+        for node in 0..4 {
+            while net.poll(node, horizon).is_some() {
+                delivered += 1;
+            }
+        }
+        let stats = net.stats();
+        prop_assert_eq!(stats.delivered, delivered);
+        prop_assert_eq!(net.in_flight(), 0, "a full drain leaves nothing in flight");
+        // Conservation: every send is accounted for — dropped at the
+        // send (never queued, never delivered) or queued; every queued
+        // envelope plus every minted duplicate is delivered by a full
+        // drain.
+        prop_assert_eq!(stats.sent, queued, "sent counts queued sends");
+        prop_assert_eq!(
+            queued + stats.dropped,
+            sends.len() as u64,
+            "queued {} + dropped {} != sends {}",
+            queued, stats.dropped, sends.len()
+        );
+        prop_assert_eq!(
+            delivered,
+            queued + stats.duplicated,
+            "delivered {} != queued {} + duplicated {}",
+            delivered, queued, stats.duplicated
+        );
+    }
+
+    #[test]
+    fn partitions_hold_traffic_and_heal_releases_it(
+        seed in any::<u64>(),
+        pre_sends in 1usize..15,
+        cut_sends in 1usize..15,
+        cut_at in 10u64..200,
+        heal_after in 10u64..400,
+    ) {
+        // Lossless link: every queued envelope must eventually arrive.
+        let mut profile = LinkProfile::lan();
+        profile.duplicate = 0.0;
+        let mut net: SimNet<u64> = SimNet::new(seed, 2, profile);
+        let mut queued = 0u64;
+        for i in 0..pre_sends {
+            match net.send(i as u64 % cut_at, 0, 1, i as u64) {
+                SendOutcome::Queued { .. } => queued += 1,
+                other => prop_assert!(false, "lossless pre-cut send failed: {other:?}"),
+            }
+        }
+        net.partition_pair(0, 1);
+        let heal_at = cut_at + heal_after;
+        for i in 0..cut_sends {
+            // Sends into the cut are refused outright.
+            let outcome = net.send(cut_at + i as u64 % heal_after, 0, 1, 1_000 + i as u64);
+            prop_assert_eq!(outcome, SendOutcome::Severed);
+        }
+        // While severed, nothing crosses the cut — even traffic queued
+        // before the partition is held, no matter how late we poll.
+        prop_assert!(net.poll(1, heal_at).is_none(), "delivery across a live cut");
+        prop_assert!(net.poll(0, heal_at).is_none(), "reverse delivery across a live cut");
+        prop_assert_eq!(net.stats().delivered, 0);
+
+        net.heal_pair(0, 1);
+        let mut delivered = 0u64;
+        while net.poll(1, heal_at + 10_000).is_some() {
+            delivered += 1;
+        }
+        prop_assert_eq!(
+            delivered, queued,
+            "heal must release every held envelope: {} of {}",
+            delivered, queued
+        );
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_weather_different_seed_different_weather(
+        seed in any::<u64>(),
+        sends in prop::collection::vec(0u64..300, 10..40),
+    ) {
+        let run = |s: u64| {
+            let mut net: SimNet<u64> = SimNet::new(s, 2, LinkProfile::flaky());
+            let mut log = Vec::new();
+            let mut now = 0;
+            for (i, dt) in sends.iter().enumerate() {
+                now += dt;
+                log.push(format!("{:?}", net.send(now, 0, 1, i as u64)));
+            }
+            while let Some(env) = net.poll(1, now + 10_000) {
+                log.push(format!("{}@{}", env.payload, env.deliver_at_ms));
+            }
+            log
+        };
+        prop_assert_eq!(run(seed), run(seed), "same seed must replay the same weather");
+    }
+}

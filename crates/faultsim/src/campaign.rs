@@ -520,6 +520,11 @@ pub fn run_fault(fault: &Fault, config: &CampaignConfig) -> (Outcome, bool) {
     let result = catch_unwind(AssertUnwindSafe(move || match f {
         Fault::StuckAt { .. } | Fault::DelayFault { .. } => run_gate_fault(&f, &cfg),
         Fault::DeckSupplyDroop { .. } => run_deck_fault(&f, &cfg),
+        // Network faults strike the fleet fabric, not a sensor stack:
+        // a single-unit campaign run cannot observe them.
+        Fault::LinkPartition | Fault::LinkLoss { .. } | Fault::LinkDelay { .. } => {
+            Outcome::Benign { error_c: 0.0 }
+        }
         _ => run_unit_fault(&f, &cfg),
     }));
     match result {

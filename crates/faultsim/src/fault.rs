@@ -80,6 +80,23 @@ pub enum Fault {
         /// Relative sag, e.g. `0.3` for a rail at 70 %.
         fraction: f64,
     },
+    /// The struck node's fleet link is severed for the event's
+    /// duration (network level; the schedule's `channel` names the
+    /// node). In-flight traffic is held until heal — see
+    /// `dst::SimNet`.
+    LinkPartition,
+    /// The struck node's fleet link drops a fraction of messages
+    /// (network level).
+    LinkLoss {
+        /// Drop probability in `[0, 1]`; `1.0` is a black-hole link.
+        drop: f64,
+    },
+    /// The struck node's fleet link gains extra one-way latency
+    /// (network level).
+    LinkDelay {
+        /// Added latency, milliseconds.
+        add_ms: u64,
+    },
 }
 
 /// Coarse fault classes for coverage bucketing.
@@ -105,6 +122,12 @@ pub enum FaultClass {
     ThermalRunaway,
     /// SPICE-deck supply droop.
     DeckSupplyDroop,
+    /// Severed fleet link.
+    LinkPartition,
+    /// Lossy fleet link.
+    LinkLoss,
+    /// Slow fleet link.
+    LinkDelay,
 }
 
 impl fmt::Display for FaultClass {
@@ -120,6 +143,9 @@ impl fmt::Display for FaultClass {
             FaultClass::SupplyDroop => "supply-droop",
             FaultClass::ThermalRunaway => "thermal-runaway",
             FaultClass::DeckSupplyDroop => "deck-supply-droop",
+            FaultClass::LinkPartition => "link-partition",
+            FaultClass::LinkLoss => "link-loss",
+            FaultClass::LinkDelay => "link-delay",
         };
         f.write_str(s)
     }
@@ -146,6 +172,9 @@ impl fmt::Display for Fault {
             Fault::DeckSupplyDroop { fraction } => {
                 write!(f, "deck supplies sagged by {:.0} %", fraction * 100.0)
             }
+            Fault::LinkPartition => write!(f, "link partitioned"),
+            Fault::LinkLoss { drop } => write!(f, "link loss p={drop}"),
+            Fault::LinkDelay { add_ms } => write!(f, "link +{add_ms} ms latency"),
         }
     }
 }
@@ -164,6 +193,9 @@ impl Fault {
             Fault::SupplyDroop { .. } => FaultClass::SupplyDroop,
             Fault::ThermalRunaway { .. } => FaultClass::ThermalRunaway,
             Fault::DeckSupplyDroop { .. } => FaultClass::DeckSupplyDroop,
+            Fault::LinkPartition => FaultClass::LinkPartition,
+            Fault::LinkLoss { .. } => FaultClass::LinkLoss,
+            Fault::LinkDelay { .. } => FaultClass::LinkDelay,
         }
     }
 
@@ -171,6 +203,16 @@ impl Fault {
     /// thus maps onto a [`RingFault`]).
     pub fn is_unit_fault(&self) -> bool {
         self.as_ring_fault().is_some() || matches!(self, Fault::ThermalRunaway { .. })
+    }
+
+    /// `true` when the fault strikes a fleet network link rather than
+    /// any layer of one sensor stack. Network faults are consumed by
+    /// the fleet simulator (`runtime::sim::fleet`), not by campaigns.
+    pub fn is_network_fault(&self) -> bool {
+        matches!(
+            self,
+            Fault::LinkPartition | Fault::LinkLoss { .. } | Fault::LinkDelay { .. }
+        )
     }
 
     /// The [`RingFault`] equivalent, when one exists.
@@ -272,6 +314,9 @@ mod tests {
             Fault::SupplyDroop { delta_v: 0.1 },
             Fault::ThermalRunaway { junction_c: 180.0 },
             Fault::DeckSupplyDroop { fraction: 0.3 },
+            Fault::LinkPartition,
+            Fault::LinkLoss { drop: 0.25 },
+            Fault::LinkDelay { add_ms: 50 },
         ];
         let mut classes: Vec<FaultClass> = faults.iter().map(Fault::class).collect();
         classes.dedup();
@@ -295,6 +340,20 @@ mod tests {
             } => assert!((v - 2.31).abs() < 1e-12, "sagged to {v}"),
             other => panic!("unexpected device {other:?}"),
         }
+    }
+
+    #[test]
+    fn network_faults_strike_no_sensor_layer() {
+        for f in [
+            Fault::LinkPartition,
+            Fault::LinkLoss { drop: 1.0 },
+            Fault::LinkDelay { add_ms: 200 },
+        ] {
+            assert!(f.is_network_fault());
+            assert!(!f.is_unit_fault());
+            assert!(f.as_ring_fault().is_none());
+        }
+        assert!(!Fault::DeadRing.is_network_fault());
     }
 
     #[test]

@@ -79,6 +79,30 @@ impl FaultSchedule {
         u
     }
 
+    /// The network fault universe a fleet simulator can apply to one
+    /// node's fabric link mid-run: severed, lossy at several rates,
+    /// and slow at several added latencies. Every entry satisfies
+    /// [`Fault::is_network_fault`].
+    pub fn net_universe() -> Vec<Fault> {
+        let mut u = vec![Fault::LinkPartition];
+        for drop in [0.05, 0.25, 1.0] {
+            u.push(Fault::LinkLoss { drop });
+        }
+        for add_ms in [10, 50, 200] {
+            u.push(Fault::LinkDelay { add_ms });
+        }
+        debug_assert!(u.iter().all(Fault::is_network_fault));
+        u
+    }
+
+    /// [`FaultSchedule::seeded`] over the network universe
+    /// ([`FaultSchedule::net_universe`]); `channel` names the fleet
+    /// node whose link is struck. The constructor the fleet
+    /// simulator's chaos source uses.
+    pub fn seeded_net_faults(seed: u64, count: usize, horizon_ms: u64, nodes: usize) -> Self {
+        FaultSchedule::seeded(seed, count, horizon_ms, nodes, &Self::net_universe())
+    }
+
     /// Samples a seeded schedule of `count` events uniformly over
     /// `[0, horizon_ms)` against an array of `channels` sites, drawing
     /// faults (with replacement) from `universe`. Durations are
@@ -191,6 +215,22 @@ mod tests {
                 f.as_ring_fault().is_some(),
                 "{f} is not injectable into a live unit"
             );
+        }
+    }
+
+    #[test]
+    fn net_universe_is_fully_network_and_schedulable() {
+        let u = FaultSchedule::net_universe();
+        assert!(!u.is_empty());
+        for f in &u {
+            assert!(f.is_network_fault(), "{f} is not a network fault");
+        }
+        let a = FaultSchedule::seeded_net_faults(11, 8, 30_000, 4);
+        let b = FaultSchedule::seeded_net_faults(11, 8, 30_000, 4);
+        assert_eq!(a, b, "same seed, same storm");
+        for e in a.events() {
+            assert!(e.channel < 4);
+            assert!(e.fault.is_network_fault());
         }
     }
 

@@ -24,9 +24,20 @@
 //!
 //! --seeds N          seeds to sweep (default: 200)
 //! --seed-base N      first seed (default: 0)
-//! --mutation M       known-bad mutation: none | no-cooldown-rebase
+//! --seed-range A..B  sweep the half-open seed range [A, B)
+//!                    (overrides --seeds/--seed-base)
+//! --jobs N           worker threads for the sweep; results are merged
+//!                    in seed order, so the report is byte-identical at
+//!                    any job count (default: 1)
+//! --fleet            simulate the multi-node fleet (shards + router +
+//!                    clients over a faulty message fabric) instead of
+//!                    the single-process service
+//! --mutation M       known-bad mutation: none | no-cooldown-rebase,
+//!                    or with --fleet: none | no-decommission-check
 //!                    (default: none)
 //! --replay SEED      replay one seed and print its full trace
+//! --replay-node ID   with --fleet --replay: show only one node's
+//!                    steps (shard-N | router | client-N | admin)
 //! --trace-out P      on violation, write the shrunk failing trace to P
 //! --check            fail (exit 1) if any seed violates an invariant
 //! --json             machine-readable output
@@ -39,14 +50,16 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use runtime::{
-    render_trace, run_sim, run_soak, shrink_failure, sweep, Mutation, RuntimeConfig, SimConfig,
-    SimReport, SoakConfig, SoakReport, SweepOutcome,
+    fleet_sweep, render_fleet_trace, render_trace, run_fleet, run_sim, run_soak, shrink_failure,
+    shrink_fleet_failure, sweep_jobs, FleetConfig, FleetMutation, FleetReport, FleetSweepOutcome,
+    Mutation, RuntimeConfig, SimConfig, SimReport, SoakConfig, SoakReport, SweepOutcome,
 };
 
 const USAGE: &str = "usage: runtime soak [--seconds N] [--seed N] [--sites N] [--faults N] \
                      [--clients N] [--no-chaos] [--restart] [--snapshot-dir P] [--check] [--json]\n\
-                     \x20      runtime dst [--seeds N] [--seed-base N] [--mutation M] \
-                     [--replay SEED] [--trace-out P] [--check] [--json]";
+                     \x20      runtime dst [--fleet] [--seeds N] [--seed-base N] [--seed-range A..B] \
+                     [--jobs N] [--mutation M] [--replay SEED] [--replay-node ID] [--trace-out P] \
+                     [--check] [--json]";
 
 struct Options {
     soak: SoakConfig,
@@ -62,8 +75,11 @@ struct Options {
 struct DstOptions {
     seeds: u64,
     seed_base: u64,
-    mutation: Mutation,
+    jobs: usize,
+    fleet: bool,
+    mutation: Option<String>,
     replay: Option<u64>,
+    replay_node: Option<String>,
     trace_out: Option<PathBuf>,
     check: bool,
     json: bool,
@@ -78,8 +94,11 @@ fn parse_dst_args(mut it: std::slice::Iter<'_, String>) -> Result<Option<DstOpti
     let mut opts = DstOptions {
         seeds: 200,
         seed_base: 0,
-        mutation: Mutation::None,
+        jobs: 1,
+        fleet: false,
+        mutation: None,
         replay: None,
+        replay_node: None,
         trace_out: None,
         check: false,
         json: false,
@@ -88,6 +107,7 @@ fn parse_dst_args(mut it: std::slice::Iter<'_, String>) -> Result<Option<DstOpti
         match arg.as_str() {
             "--check" => opts.check = true,
             "--json" => opts.json = true,
+            "--fleet" => opts.fleet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(None);
@@ -103,14 +123,37 @@ fn parse_dst_args(mut it: std::slice::Iter<'_, String>) -> Result<Option<DstOpti
                 let v = it.next().ok_or("--seed-base needs a value")?;
                 opts.seed_base = v.parse().map_err(|_| format!("bad seed base `{v}`"))?;
             }
+            "--seed-range" => {
+                let v = it.next().ok_or("--seed-range needs A..B")?;
+                let (a, b) = v
+                    .split_once("..")
+                    .ok_or_else(|| format!("bad seed range `{v}` (want A..B)"))?;
+                let a: u64 = a.parse().map_err(|_| format!("bad range start `{a}`"))?;
+                let b: u64 = b.parse().map_err(|_| format!("bad range end `{b}`"))?;
+                if b <= a {
+                    return Err(format!("empty seed range `{v}`"));
+                }
+                opts.seed_base = a;
+                opts.seeds = b - a;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                opts.jobs = v.parse().map_err(|_| format!("bad job count `{v}`"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be positive".into());
+                }
+            }
             "--mutation" => {
                 let v = it.next().ok_or("--mutation needs a value")?;
-                opts.mutation = Mutation::parse(v)
-                    .ok_or_else(|| format!("bad mutation `{v}` (none | no-cooldown-rebase)"))?;
+                opts.mutation = Some(v.clone());
             }
             "--replay" => {
                 let v = it.next().ok_or("--replay needs a seed")?;
                 opts.replay = Some(v.parse().map_err(|_| format!("bad replay seed `{v}`"))?);
+            }
+            "--replay-node" => {
+                let v = it.next().ok_or("--replay-node needs a node id")?;
+                opts.replay_node = Some(v.clone());
             }
             "--trace-out" => {
                 let v = it.next().ok_or("--trace-out needs a path")?;
@@ -118,6 +161,12 @@ fn parse_dst_args(mut it: std::slice::Iter<'_, String>) -> Result<Option<DstOpti
             }
             flag => return Err(format!("unknown argument `{flag}`")),
         }
+    }
+    if opts.replay_node.is_some() && !opts.fleet {
+        return Err("--replay-node requires --fleet".into());
+    }
+    if opts.replay_node.is_some() && opts.replay.is_none() {
+        return Err("--replay-node requires --replay SEED".into());
     }
     Ok(Some(opts))
 }
@@ -303,9 +352,187 @@ fn write_failure_artifact(path: &PathBuf, cfg: &SimConfig, report: &SimReport) {
     }
 }
 
+fn render_fleet_json(report: &FleetReport) -> String {
+    format!(
+        "{{\n  \"seed\": {},\n  \"mutation\": \"{}\",\n  \"steps\": {},\n  \"requests\": {},\n  \
+         \"served_fresh\": {},\n  \"served_degraded\": {},\n  \"client_errors\": {},\n  \
+         \"client_timeouts\": {},\n  \"failovers\": {},\n  \"stale_discarded\": {},\n  \
+         \"duplicates_absorbed\": {},\n  \"crashes\": {},\n  \"decommissions\": {},\n  \
+         \"violation\": {}\n}}",
+        report.seed,
+        report.mutation,
+        report.steps,
+        report.requests,
+        report.served_fresh,
+        report.served_degraded,
+        report.client_errors,
+        report.client_timeouts,
+        report.failovers,
+        report.stale_discarded,
+        report.duplicates_absorbed,
+        report.crashes,
+        report.decommissions,
+        report.violation.as_ref().map_or("null".to_string(), |v| {
+            format!(
+                "{{\"invariant\": \"{}\", \"step\": {}, \"at_ms\": {}, \"task\": \"{}\"}}",
+                v.invariant, v.step, v.at_ms, v.task
+            )
+        }),
+    )
+}
+
+fn render_fleet_sweep_json(out: &FleetSweepOutcome, seed_base: u64) -> String {
+    let violations: Vec<String> = out
+        .violations
+        .iter()
+        .map(|r| {
+            let v = r.violation.as_ref().expect("violating report");
+            format!(
+                "    {{\"seed\": {}, \"invariant\": \"{}\", \"step\": {}, \"at_ms\": {}}}",
+                r.seed, v.invariant, v.step, v.at_ms
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"seed_base\": {},\n  \"seeds\": {},\n  \"steps\": {},\n  \"requests\": {},\n  \
+         \"crashes\": {},\n  \"violations\": [\n{}\n  ]\n}}",
+        seed_base,
+        out.seeds,
+        out.steps,
+        out.requests,
+        out.crashes,
+        violations.join(",\n"),
+    )
+}
+
+fn write_fleet_failure_artifact(path: &PathBuf, cfg: &FleetConfig, report: &FleetReport) {
+    let mut text = render_fleet_trace(report, None);
+    if let Some(shrunk) = shrink_fleet_failure(cfg) {
+        let events = shrunk.config.events.as_deref().unwrap_or_default();
+        text.push_str(&format!(
+            "\n# shrunk reproducer: seed {} with {} fleet event(s)\n",
+            shrunk.config.seed,
+            events.len(),
+        ));
+        for ev in events {
+            text.push_str(&format!("#   {ev}\n"));
+        }
+        text.push_str(&render_fleet_trace(&shrunk.report, None));
+    }
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("runtime: could not write trace to {}: {e}", path.display());
+    } else {
+        eprintln!("runtime: failing trace written to {}", path.display());
+    }
+}
+
+fn run_fleet_dst_cmd(opts: DstOptions, mutation: FleetMutation) -> ExitCode {
+    let base = FleetConfig {
+        mutation,
+        ..FleetConfig::default()
+    };
+
+    if let Some(seed) = opts.replay {
+        let cfg = FleetConfig { seed, ..base };
+        let report = run_fleet(&cfg);
+        if opts.json {
+            println!("{}", render_fleet_json(&report));
+        } else {
+            print!(
+                "{}",
+                render_fleet_trace(&report, opts.replay_node.as_deref())
+            );
+        }
+        if let (Some(path), Some(_)) = (&opts.trace_out, &report.violation) {
+            write_fleet_failure_artifact(path, &cfg, &report);
+        }
+        if opts.check && report.violation.is_some() {
+            return ExitCode::from(1);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let out = fleet_sweep(&base, opts.seed_base, opts.seeds, false, opts.jobs);
+    if opts.json {
+        println!("{}", render_fleet_sweep_json(&out, opts.seed_base));
+    } else {
+        println!(
+            "fleet dst sweep: {} seed(s) from {} (mutation {}, {} job(s)): {} step(s), \
+             {} request(s), {} crash(es), {} violation(s)",
+            out.seeds,
+            opts.seed_base,
+            mutation,
+            opts.jobs,
+            out.steps,
+            out.requests,
+            out.crashes,
+            out.violations.len()
+        );
+        for r in &out.violations {
+            let v = r.violation.as_ref().expect("violating report");
+            println!(
+                "  seed {}: {} at step {} (t={} ms, task {}): {}",
+                r.seed, v.invariant, v.step, v.at_ms, v.task, v.detail
+            );
+        }
+    }
+    if let (Some(path), Some(first)) = (&opts.trace_out, out.violations.first()) {
+        let cfg = FleetConfig {
+            seed: first.seed,
+            ..base
+        };
+        write_fleet_failure_artifact(path, &cfg, first);
+    }
+    if opts.check {
+        if !out.violations.is_empty() {
+            if !opts.json {
+                eprintln!(
+                    "runtime: fleet dst check FAILED ({} violating seed(s); replay with \
+                     `runtime dst --fleet --replay {}{}`)",
+                    out.violations.len(),
+                    out.violations[0].seed,
+                    if mutation == FleetMutation::None {
+                        String::new()
+                    } else {
+                        format!(" --mutation {mutation}")
+                    }
+                );
+            }
+            return ExitCode::from(1);
+        }
+        if !opts.json {
+            println!("check PASSED");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn run_dst_cmd(opts: DstOptions) -> ExitCode {
+    if opts.fleet {
+        let mutation = match opts.mutation.as_deref() {
+            None => FleetMutation::None,
+            Some(m) => match FleetMutation::parse(m) {
+                Some(m) => m,
+                None => {
+                    eprintln!("runtime: bad fleet mutation `{m}` (none | no-decommission-check)");
+                    return ExitCode::from(2);
+                }
+            },
+        };
+        return run_fleet_dst_cmd(opts, mutation);
+    }
+    let mutation = match opts.mutation.as_deref() {
+        None => Mutation::None,
+        Some(m) => match Mutation::parse(m) {
+            Some(m) => m,
+            None => {
+                eprintln!("runtime: bad mutation `{m}` (none | no-cooldown-rebase)");
+                return ExitCode::from(2);
+            }
+        },
+    };
     let base = SimConfig {
-        mutation: opts.mutation,
+        mutation,
         ..SimConfig::default()
     };
 
@@ -326,16 +553,17 @@ fn run_dst_cmd(opts: DstOptions) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let out = sweep(&base, opts.seed_base, opts.seeds, false);
+    let out = sweep_jobs(&base, opts.seed_base, opts.seeds, false, opts.jobs);
     if opts.json {
         println!("{}", render_sweep_json(&out, opts.seed_base));
     } else {
         println!(
-            "dst sweep: {} seed(s) from {} (mutation {}): {} step(s), {} request(s), \
+            "dst sweep: {} seed(s) from {} (mutation {}, {} job(s)): {} step(s), {} request(s), \
              {} crash(es), {} violation(s)",
             out.seeds,
             opts.seed_base,
-            opts.mutation,
+            mutation,
+            opts.jobs,
             out.steps,
             out.requests,
             out.crashes,
@@ -364,10 +592,10 @@ fn run_dst_cmd(opts: DstOptions) -> ExitCode {
                      `runtime dst --replay {}{}`)",
                     out.violations.len(),
                     out.violations[0].seed,
-                    if opts.mutation == Mutation::None {
+                    if mutation == Mutation::None {
                         String::new()
                     } else {
-                        format!(" --mutation {}", opts.mutation)
+                        format!(" --mutation {mutation}")
                     }
                 );
             }

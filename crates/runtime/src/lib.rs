@@ -52,9 +52,14 @@ pub use service::{
     Field, MonitorRuntime, Provenance, RecoveryReport, RuntimeConfig, RuntimeHandle, RuntimeStats,
     ServedReading,
 };
+pub use sim::fleet::{
+    fleet_sweep, render_fleet_trace, resolve_fleet_events, run_fleet, shrink_fleet_failure,
+    task_node, FleetConfig, FleetEvent, FleetInvariant, FleetMutation, FleetReport,
+    FleetSweepOutcome, FleetViolation, HashRing, ShrunkFleetCase, WireOutcome,
+};
 pub use sim::{
-    render_trace, resolve_events as resolve_sim_events, run_sim, shrink_failure, sweep, Invariant,
-    Mutation, ShrunkCase, SimConfig, SimReport, SweepOutcome, Violation,
+    render_trace, resolve_events as resolve_sim_events, run_sim, shrink_failure, sweep, sweep_jobs,
+    Invariant, Mutation, ShrunkCase, SimConfig, SimReport, SweepOutcome, Violation,
 };
 pub use snapshot::{crc32, RuntimeSnapshot, SiteSnapshot, SnapshotError, SnapshotStore};
 pub use soak::{reference_array, run_soak, SoakConfig, SoakReport};

@@ -1,0 +1,1656 @@
+//! Deterministic simulation of a *fleet*: N shard nodes each running
+//! the real service core over its own array and disk, one router node
+//! doing consistent-hash routing with retry and failover, and client
+//! nodes driving it — all exchanging messages over a seeded
+//! [`dst::SimNet`] fabric (delay, drop, duplicate, reorder, partition)
+//! under per-node clock skew, scheduled by the single-threaded
+//! [`dst::Executor`] so every run replays byte-for-byte.
+//!
+//! This is the multi-node extension of the single-process simulation
+//! in [`super`]: the shards run the *exact* production machinery —
+//! `build_core`, `ReadJob`, `refresh_cache_locked`,
+//! `checkpoint_locked`, [`SnapshotStore`] recovery — so a fleet
+//! invariant violation here is a bug in the real code or the real
+//! routing policy, not in a model of them.
+//!
+//! Fleet-level invariants, checked as responses reach clients and as
+//! shards crash and recover:
+//!
+//! 1. **No silent staleness across shards**
+//!    ([`FleetInvariant::StaleServed`]) — the age a client sees is the
+//!    shard-reported age *plus* fabric transit, and that honest total
+//!    never exceeds the staleness bound (within the documented skew
+//!    slack); `Fresh` provenance always means shard-side age 0. The
+//!    hazard this guards: a partition heals and releases a response
+//!    that sat in the fabric for seconds.
+//! 2. **Routing never serves a decommissioned shard**
+//!    ([`FleetInvariant::RoutedDecommissioned`]) — once an
+//!    administrator removes a shard from the fleet, no response
+//!    originating from it after that instant may reach a client. The
+//!    shipped router filters at both route and forward time; the
+//!    [`FleetMutation::NoDecommissionCheck`] mutation disables the
+//!    filter and must be caught by this invariant (the check lives in
+//!    the *client* observer, independent of the router code it
+//!    audits).
+//! 3. **Recovery never resurrects cache**
+//!    ([`FleetInvariant::ResurrectedCache`]) — a crash-recovered shard
+//!    must come up with an empty cached median, exactly as the
+//!    single-node invariant demands, even mid-partition.
+//! 4. **At-most-once effect of duplicated requests**
+//!    ([`FleetInvariant::DuplicateEffect`]) — the fabric may duplicate
+//!    any datagram; a shard must absorb replays of a request it has
+//!    seen within the current incarnation (re-sending the cached
+//!    reply) rather than converting twice. The effect ledger is keyed
+//!    by `(shard, incarnation, req_id)`: a crash legitimately clears
+//!    the dedup window *and* changes the key, so recovery cannot fake
+//!    compliance.
+//!
+//! A failing seed shrinks with [`shrink_fleet_failure`]: the whole
+//! scenario — link faults, sensor faults, crashes, decommissions — is
+//! one [`FleetEvent`] list, so [`dst::shrink_events`] cuts it to a
+//! 1-minimal reproducer in one pass.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::{cell::RefCell, fmt};
+
+use dst::{
+    shrink_events, Clock, Executor, LinkProfile, NetStats, NonceNamespace, SimDisk, SimDiskProfile,
+    SimNet, SkewedClock, StepRecord, TaskState, VirtualClock,
+};
+use faultsim::{Fault, FaultEvent, FaultSchedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sensor::RingFault;
+
+use crate::error::RuntimeError;
+use crate::service::{
+    build_core, checkpoint_locked, enforce_deadline, refresh_cache_locked, Core, Field, JobStep,
+    Provenance, ReadJob, RuntimeConfig,
+};
+use crate::snapshot::{SnapshotError, SnapshotStore};
+use crate::soak::reference_array;
+
+use super::SimConfig;
+
+/// A deliberate, known-bad change to the fleet, applied under
+/// simulation to prove the fleet invariant sweep catches real routing
+/// bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FleetMutation {
+    /// The fleet as shipped.
+    #[default]
+    None,
+    /// The router ignores decommissioning entirely: it keeps routing
+    /// new requests to decommissioned shards and keeps forwarding
+    /// their responses. Caught by
+    /// [`FleetInvariant::RoutedDecommissioned`].
+    NoDecommissionCheck,
+}
+
+impl fmt::Display for FleetMutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetMutation::None => write!(f, "none"),
+            FleetMutation::NoDecommissionCheck => write!(f, "no-decommission-check"),
+        }
+    }
+}
+
+impl FleetMutation {
+    /// Parses the CLI spelling (`none`, `no-decommission-check`).
+    pub fn parse(s: &str) -> Option<FleetMutation> {
+        match s {
+            "none" => Some(FleetMutation::None),
+            "no-decommission-check" => Some(FleetMutation::NoDecommissionCheck),
+            _ => None,
+        }
+    }
+}
+
+/// Which fleet promise a simulation step broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetInvariant {
+    /// A client received a reading whose honest total age (shard age +
+    /// fabric transit) exceeded the staleness bound plus skew slack,
+    /// or a `Fresh` reading with nonzero shard-side age.
+    StaleServed,
+    /// A client received a response that the router forwarded from a
+    /// shard already decommissioned at forward time.
+    RoutedDecommissioned,
+    /// A crash-recovered shard came up with a non-empty cached median.
+    ResurrectedCache,
+    /// One `(shard, incarnation, req_id)` converted more than once —
+    /// a duplicated datagram caused a second effect.
+    DuplicateEffect,
+    /// Shard recovery failed outright (could not rebuild a core).
+    RecoveryFailed,
+}
+
+impl fmt::Display for FleetInvariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FleetInvariant::StaleServed => "fleet-stale-served",
+            FleetInvariant::RoutedDecommissioned => "routed-decommissioned",
+            FleetInvariant::ResurrectedCache => "resurrected-cache",
+            FleetInvariant::DuplicateEffect => "duplicate-effect",
+            FleetInvariant::RecoveryFailed => "recovery-failed",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One fleet invariant violation, pinned to the scheduler step that
+/// produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetViolation {
+    /// Which promise broke.
+    pub invariant: FleetInvariant,
+    /// Fabric time of the violating step, milliseconds.
+    pub at_ms: u64,
+    /// Global step index of the violating step.
+    pub step: u64,
+    /// Label of the task that was stepped.
+    pub task: String,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// One event of a fleet scenario. The whole scenario — network
+/// weather, silicon faults, node death, administration — is a single
+/// time-sorted list of these, so the shrinker minimizes everything at
+/// once.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetEvent {
+    /// A network fault on one shard's router link (`event.channel`
+    /// names the shard; the fault must satisfy
+    /// [`Fault::is_network_fault`]).
+    Link(FaultEvent),
+    /// A behavioral sensor fault inside one shard (`event.channel`
+    /// names the site within the shard).
+    Sensor {
+        /// The shard whose array is struck.
+        shard: usize,
+        /// The timed unit fault.
+        event: FaultEvent,
+    },
+    /// Power loss and immediate recovery of one shard: its disk tears,
+    /// its inbox dies with it, and the core is rebuilt from the newest
+    /// valid checkpoint.
+    Crash {
+        /// Fabric time of the crash, milliseconds.
+        at_ms: u64,
+        /// The shard that dies.
+        shard: usize,
+    },
+    /// Administrative removal of a shard from the fleet: from this
+    /// instant the router must never serve it again.
+    Decommission {
+        /// Fabric time of the decommission, milliseconds.
+        at_ms: u64,
+        /// The shard removed.
+        shard: usize,
+    },
+}
+
+impl FleetEvent {
+    /// The fabric time this event fires.
+    pub fn at_ms(&self) -> u64 {
+        match self {
+            FleetEvent::Link(e) => e.at_ms,
+            FleetEvent::Sensor { event, .. } => event.at_ms,
+            FleetEvent::Crash { at_ms, .. } | FleetEvent::Decommission { at_ms, .. } => *at_ms,
+        }
+    }
+}
+
+impl fmt::Display for FleetEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetEvent::Link(e) => write!(
+                f,
+                "t={} shard {} link: {} for {} ms",
+                e.at_ms, e.channel, e.fault, e.duration_ms
+            ),
+            FleetEvent::Sensor { shard, event } => write!(
+                f,
+                "t={} shard {} site {}: {} for {} ms",
+                event.at_ms, shard, event.channel, event.fault, event.duration_ms
+            ),
+            FleetEvent::Crash { at_ms, shard } => {
+                write!(f, "t={at_ms} shard {shard}: crash + recover")
+            }
+            FleetEvent::Decommission { at_ms, shard } => {
+                write!(f, "t={at_ms} shard {shard}: decommission")
+            }
+        }
+    }
+}
+
+/// Tuning for one simulated fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Master seed: scheduler interleaving, fabric faults, skew draws,
+    /// disk tear boundaries, retry jitter.
+    pub seed: u64,
+    /// Shard nodes, each owning its own array and disk.
+    pub shards: usize,
+    /// Sensor sites per shard.
+    pub sites_per_shard: usize,
+    /// Client nodes issuing requests through the router.
+    pub clients: usize,
+    /// Upper bound on requests per client (clients also stop at the
+    /// horizon).
+    pub requests_per_client: usize,
+    /// Fabric pause between one client's consecutive requests, ms.
+    pub request_interval_ms: u64,
+    /// Fabric time at which clients stop issuing, milliseconds.
+    pub horizon_ms: u64,
+    /// Seeded network fault events drawn over the horizon (ignored
+    /// when `events` pins an explicit scenario).
+    pub net_faults: usize,
+    /// Seeded behavioral sensor fault events across all shards.
+    pub sensor_faults: usize,
+    /// Seeded shard crash-and-recover events.
+    pub crashes: usize,
+    /// Seeded shard decommission events (capped at `shards - 1` so the
+    /// fleet always retains a servable shard).
+    pub decommissions: usize,
+    /// Explicit scenario, overriding every seeded draw above — how a
+    /// shrunk reproducer pins its minimal event set.
+    pub events: Option<Vec<FleetEvent>>,
+    /// Maximum per-shard clock offset from fabric time, ms.
+    pub max_skew_ms: u64,
+    /// Maximum per-shard drift magnitude, parts per million.
+    pub max_drift_ppm: i64,
+    /// The uniform junction temperature every shard monitors, °C.
+    pub ambient_c: f64,
+    /// The known-bad change under test, if any.
+    pub mutation: FleetMutation,
+    /// Per-shard runtime tuning (threads and queue unused: the
+    /// simulation drives the read path directly).
+    pub runtime: RuntimeConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 0,
+            shards: 3,
+            sites_per_shard: 3,
+            clients: 2,
+            requests_per_client: 12,
+            request_interval_ms: 45,
+            horizon_ms: 1_600,
+            net_faults: 3,
+            sensor_faults: 2,
+            crashes: 1,
+            decommissions: 1,
+            events: None,
+            max_skew_ms: 40,
+            max_drift_ppm: 200,
+            ambient_c: 85.0,
+            mutation: FleetMutation::None,
+            runtime: SimConfig::default().runtime,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Tolerance added to the staleness bound when judging ages that
+    /// mix shard-local milliseconds with fabric transit: 1 ms of
+    /// integer rounding plus the worst drift accumulation over the
+    /// run.
+    pub fn skew_slack_ms(&self) -> u64 {
+        1 + (self.horizon_ms * self.max_drift_ppm.unsigned_abs()) / 1_000_000
+    }
+
+    /// How long the router waits for a shard before failing over.
+    fn shard_timeout_ms(&self) -> u64 {
+        self.runtime.default_deadline_ms + 150
+    }
+
+    /// How long a client waits for the router before giving up.
+    fn client_timeout_ms(&self) -> u64 {
+        self.shard_timeout_ms() * self.shards.max(1) as u64 + 300
+    }
+
+    /// Fabric time at which the run stops stepping (clients may still
+    /// be draining timeouts after the horizon).
+    fn end_ms(&self) -> u64 {
+        self.horizon_ms + self.client_timeout_ms() + 500
+    }
+}
+
+/// What one simulated fleet run did and found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// The seed that produced this run.
+    pub seed: u64,
+    /// The mutation that was active.
+    pub mutation: FleetMutation,
+    /// The first invariant violation, if any (the run stops there).
+    pub violation: Option<FleetViolation>,
+    /// The full replayable schedule.
+    pub trace: Vec<StepRecord>,
+    /// Scheduler steps executed.
+    pub steps: u64,
+    /// Client requests issued.
+    pub requests: u64,
+    /// Readings delivered to clients with `Fresh` provenance.
+    pub served_fresh: u64,
+    /// Readings delivered to clients with degraded provenance.
+    pub served_degraded: u64,
+    /// Typed error responses delivered to clients.
+    pub client_errors: u64,
+    /// Requests clients gave up on (no response inside the timeout).
+    pub client_timeouts: u64,
+    /// Router retries onto another shard (timeout or rejected
+    /// response).
+    pub failovers: u64,
+    /// Shard responses the router discarded as too old to serve
+    /// honestly (the healed-partition hazard, handled).
+    pub stale_discarded: u64,
+    /// Responses the router refused to forward because the origin
+    /// shard was decommissioned (race between request and removal).
+    pub decommissioned_discarded: u64,
+    /// Duplicated datagrams shards absorbed via the dedup window.
+    pub duplicates_absorbed: u64,
+    /// Shard crash-and-recover cycles.
+    pub crashes: u64,
+    /// Recoveries that restored a checkpoint (vs fresh starts).
+    pub recovered_with_snapshot: u64,
+    /// Decommission events applied.
+    pub decommissions: u64,
+    /// Fabric counters at the end of the run.
+    pub net: NetStats,
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------
+
+/// A shard's answer on the wire: enough for the router and client to
+/// judge honesty without trusting the shard's clock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireOutcome {
+    /// A served reading.
+    Reading {
+        /// Temperature, °C.
+        value_c: f64,
+        /// `true` when the shard served `Provenance::Fresh`.
+        fresh: bool,
+        /// Age reported by the shard, in its local milliseconds.
+        age_ms: u64,
+    },
+    /// A typed shard-side failure (deadline, stale cache, …).
+    Failed {
+        /// Short error kind, for counters and traces.
+        kind: String,
+    },
+}
+
+/// The typed envelope payloads of the fleet protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetMsg {
+    /// Client → router: serve a reading for this die-region key.
+    ClientReq {
+        /// Fleet-unique request id.
+        req_id: u64,
+        /// Die-region key, consistent-hashed onto a shard.
+        key: u64,
+    },
+    /// Router → client: the answer.
+    ClientResp {
+        /// Echoed request id.
+        req_id: u64,
+        /// The shard's outcome.
+        outcome: WireOutcome,
+        /// The shard the answer came from.
+        origin_shard: usize,
+        /// Fabric time the router forwarded it.
+        forwarded_at_ms: u64,
+        /// Honest total age: shard-reported age plus fabric transit.
+        total_age_ms: u64,
+    },
+    /// Router → shard: convert for this key.
+    ShardReq {
+        /// Echoed request id (the at-most-once key).
+        req_id: u64,
+        /// Die-region key (the shard maps it to a channel).
+        key: u64,
+    },
+    /// Shard → router: the conversion outcome.
+    ShardResp {
+        /// Echoed request id.
+        req_id: u64,
+        /// What the shard did.
+        outcome: WireOutcome,
+    },
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The router's consistent-hash ring: `vnodes` points per shard,
+/// sorted by hash. Routing walks clockwise from the key's hash to the
+/// first *eligible* shard, so removing a shard only remaps the keys it
+/// owned — the property that makes decommissioning cheap and the
+/// production wire-protocol seam reusable.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// A ring over `shards` shards with `vnodes` points each.
+    pub fn new(shards: usize, vnodes: usize) -> Self {
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for s in 0..shards {
+            for v in 0..vnodes {
+                let mut key = [0u8; 16];
+                key[..8].copy_from_slice(&(s as u64).to_le_bytes());
+                key[8..].copy_from_slice(&(v as u64).to_le_bytes());
+                points.push((fnv1a64(&key), s));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// The first eligible shard clockwise from `key`'s hash, or `None`
+    /// when no shard is eligible.
+    pub fn route(&self, key: u64, eligible: impl Fn(usize) -> bool) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = fnv1a64(&key.to_le_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let n = self.points.len();
+        for i in 0..n {
+            let (_, shard) = self.points[(start + i) % n];
+            if eligible(shard) {
+                return Some(shard);
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario resolution
+// ---------------------------------------------------------------------
+
+/// The scenario a config resolves to: explicit events if pinned,
+/// otherwise the seeded draws, merged into one time-sorted list.
+pub fn resolve_fleet_events(cfg: &FleetConfig) -> Vec<FleetEvent> {
+    if let Some(evs) = &cfg.events {
+        let mut evs = evs.clone();
+        evs.sort_by_key(FleetEvent::at_ms);
+        return evs;
+    }
+    let mut events = Vec::new();
+    if cfg.net_faults > 0 && cfg.shards > 0 {
+        for e in FaultSchedule::seeded_net_faults(
+            cfg.seed ^ 0x004E_4554,
+            cfg.net_faults,
+            cfg.horizon_ms,
+            cfg.shards,
+        )
+        .events()
+        {
+            events.push(FleetEvent::Link(e.clone()));
+        }
+    }
+    if cfg.sensor_faults > 0 && cfg.shards * cfg.sites_per_shard > 0 {
+        for e in FaultSchedule::seeded_unit_faults(
+            cfg.seed ^ 0x5345_4E53,
+            cfg.sensor_faults,
+            cfg.horizon_ms,
+            cfg.shards * cfg.sites_per_shard,
+        )
+        .events()
+        {
+            let shard = e.channel / cfg.sites_per_shard;
+            let mut event = e.clone();
+            event.channel %= cfg.sites_per_shard;
+            events.push(FleetEvent::Sensor { shard, event });
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0046_4C45_4554);
+    let horizon = cfg.horizon_ms.max(4);
+    for _ in 0..cfg.crashes {
+        events.push(FleetEvent::Crash {
+            at_ms: horizon / 4 + rng.random_range(0..horizon / 2),
+            shard: rng.random_range(0..cfg.shards.max(1) as u64) as usize,
+        });
+    }
+    let decommissions = cfg.decommissions.min(cfg.shards.saturating_sub(1));
+    let mut removed = Vec::new();
+    for _ in 0..decommissions {
+        let mut shard = rng.random_range(0..cfg.shards.max(1) as u64) as usize;
+        // Never remove the whole fleet: re-draw onto a survivor.
+        while removed.contains(&shard) {
+            shard = (shard + 1) % cfg.shards.max(1);
+        }
+        removed.push(shard);
+        events.push(FleetEvent::Decommission {
+            at_ms: horizon / 5 + rng.random_range(0..horizon / 2),
+            shard,
+        });
+    }
+    events.sort_by_key(FleetEvent::at_ms);
+    events
+}
+
+// ---------------------------------------------------------------------
+// The simulation
+// ---------------------------------------------------------------------
+
+struct ShardNode {
+    core: Arc<Core>,
+    disk: Arc<SimDisk>,
+    clock: Arc<SkewedClock>,
+    namespace: Arc<NonceNamespace>,
+    incarnation: u64,
+    /// Dedup window for this incarnation: `req_id` → `None` while in
+    /// flight, `Some(outcome)` once answered (replays re-send it).
+    seen: BTreeMap<u64, Option<WireOutcome>>,
+    /// Active sensor faults `(clears_at_ms, site, fault)` — they live
+    /// in the silicon and survive crashes.
+    active_faults: Vec<(u64, usize, RingFault)>,
+    decommissioned_at: Option<u64>,
+}
+
+struct FleetWorld {
+    net: SimNet<FleetMsg>,
+    shards: Vec<ShardNode>,
+    /// Effect ledger: `(shard, incarnation, req_id)` → conversions
+    /// started. More than one is a `DuplicateEffect` violation.
+    effects: BTreeMap<(usize, u64, u64), u32>,
+    violation: Option<FleetViolation>,
+    requests: u64,
+    served_fresh: u64,
+    served_degraded: u64,
+    client_errors: u64,
+    client_timeouts: u64,
+    failovers: u64,
+    stale_discarded: u64,
+    decommissioned_discarded: u64,
+    duplicates_absorbed: u64,
+    crashes: u64,
+    recovered_with_snapshot: u64,
+    decommissions: u64,
+}
+
+impl FleetWorld {
+    fn flag(&mut self, invariant: FleetInvariant, at_ms: u64, detail: String) {
+        if self.violation.is_none() {
+            self.violation = Some(FleetViolation {
+                invariant,
+                at_ms,
+                step: 0,             // pinned by the per-step check
+                task: String::new(), // pinned by the per-step check
+                detail,
+            });
+        }
+    }
+
+    fn decommissioned(&self, shard: usize) -> bool {
+        self.shards
+            .get(shard)
+            .is_some_and(|s| s.decommissioned_at.is_some())
+    }
+}
+
+fn shard_runtime_config(cfg: &FleetConfig, shard: usize) -> RuntimeConfig {
+    let mut rc = cfg.runtime.clone();
+    rc.seed = cfg.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    rc.snapshot_dir = Some(PathBuf::from(format!("/fleet/shard-{shard}/snaps")));
+    rc
+}
+
+fn build_shard(
+    cfg: &FleetConfig,
+    shard: usize,
+    base: &Arc<VirtualClock>,
+    field: &Field,
+    skew_rng: &mut StdRng,
+) -> ShardNode {
+    let offset = if cfg.max_skew_ms > 0 {
+        skew_rng.random_range(0..cfg.max_skew_ms + 1)
+    } else {
+        0
+    };
+    let drift = if cfg.max_drift_ppm > 0 {
+        skew_rng.random_range(0..(2 * cfg.max_drift_ppm + 1) as u64) as i64 - cfg.max_drift_ppm
+    } else {
+        0
+    };
+    let clock = Arc::new(SkewedClock::new(Arc::clone(base), offset, drift));
+    let disk = Arc::new(SimDisk::new(
+        cfg.seed ^ (0xD15C_0000 + shard as u64),
+        SimDiskProfile::default(),
+    ));
+    let namespace = Arc::new(NonceNamespace::new(shard as u64));
+    let (core, _report) = build_core(
+        reference_array(cfg.sites_per_shard),
+        Arc::clone(field),
+        shard_runtime_config(cfg, shard),
+        None,
+        Arc::clone(&clock) as Arc<dyn Clock>,
+        Arc::clone(&disk) as Arc<dyn dst::SimFs>,
+        true,
+    )
+    .expect("simulated shard must start");
+    {
+        let mut state = core.state.lock().expect("state poisoned");
+        if let Some(store) = state.store.as_mut() {
+            store.set_namespace(Arc::clone(&namespace));
+        }
+    }
+    ShardNode {
+        core,
+        disk,
+        clock,
+        namespace,
+        incarnation: 0,
+        seen: BTreeMap::new(),
+        active_faults: Vec::new(),
+        decommissioned_at: None,
+    }
+}
+
+/// Crash-and-recover one shard in place, flagging
+/// [`FleetInvariant::ResurrectedCache`] / `RecoveryFailed` as the
+/// single-node simulation does.
+fn crash_shard(w: &mut FleetWorld, cfg: &FleetConfig, shard: usize, field: &Field, now: u64) {
+    w.net.drop_pending_for(shard);
+    w.crashes += 1;
+    w.shards[shard].disk.crash();
+    let disk = Arc::clone(&w.shards[shard].disk);
+    let clock = Arc::clone(&w.shards[shard].clock);
+    let namespace = Arc::clone(&w.shards[shard].namespace);
+    let active_faults = w.shards[shard].active_faults.clone();
+    let runtime_cfg = shard_runtime_config(cfg, shard);
+    let snap = runtime_cfg.snapshot_dir.as_ref().and_then(|dir| {
+        let store = SnapshotStore::open_on(
+            Arc::clone(&disk) as Arc<dyn dst::SimFs>,
+            dir,
+            runtime_cfg.snapshot_keep,
+        )
+        .ok()?;
+        match store.load_latest() {
+            Ok((snap, log)) => Some((snap, log.skipped)),
+            Err(SnapshotError::NoValidSnapshot { .. }) => None,
+            Err(_) => None,
+        }
+    });
+    let had_snapshot = snap.is_some();
+    match build_core(
+        reference_array(cfg.sites_per_shard),
+        Arc::clone(field),
+        runtime_cfg,
+        snap,
+        Arc::clone(&clock) as Arc<dyn Clock>,
+        Arc::clone(&disk) as Arc<dyn dst::SimFs>,
+        true,
+    ) {
+        Ok((core, _rec)) => {
+            let resurrected = {
+                let mut state = core.state.lock().expect("state poisoned");
+                if state.cache.is_some() {
+                    true
+                } else {
+                    // Faults live in the silicon, not the process.
+                    for (_, site, rf) in &active_faults {
+                        if let Some(s) = state.array.sites_mut().get_mut(*site) {
+                            s.unit.inject_fault(*rf);
+                        }
+                    }
+                    if let Some(store) = state.store.as_mut() {
+                        store.set_namespace(namespace);
+                    }
+                    false
+                }
+            };
+            if resurrected {
+                w.flag(
+                    FleetInvariant::ResurrectedCache,
+                    now,
+                    format!("shard {shard} recovered with a cached median"),
+                );
+            }
+            let node = &mut w.shards[shard];
+            node.core = core;
+            node.incarnation += 1;
+            node.seen.clear();
+            if had_snapshot {
+                w.recovered_with_snapshot += 1;
+            }
+        }
+        Err(e) => {
+            w.flag(
+                FleetInvariant::RecoveryFailed,
+                now,
+                format!("shard {shard}: {e}"),
+            );
+        }
+    }
+}
+
+struct Pending {
+    client_node: usize,
+    key: u64,
+    shard: usize,
+    sent_at_ms: u64,
+    tried: Vec<usize>,
+}
+
+fn wire_outcome(
+    core: &Core,
+    deadline_abs: u64,
+    result: crate::error::Result<crate::service::ServedReading>,
+) -> WireOutcome {
+    match enforce_deadline(core, deadline_abs, result) {
+        Ok(r) => WireOutcome::Reading {
+            value_c: r.value_c,
+            fresh: matches!(r.provenance, Provenance::Fresh { .. }),
+            age_ms: r.age_ms,
+        },
+        Err(e) => WireOutcome::Failed {
+            kind: match e {
+                RuntimeError::DeadlineExceeded { .. } => "deadline".into(),
+                RuntimeError::StaleCache { .. } => "stale-cache".into(),
+                other => format!("{other:?}")
+                    .split(['{', ' '])
+                    .next()
+                    .unwrap_or("error")
+                    .to_ascii_lowercase(),
+            },
+        },
+    }
+}
+
+/// Runs one seeded fleet simulation to completion (or to its first
+/// invariant violation) and reports what happened. Pure: the same
+/// config always returns the same report, trace included.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let shards = cfg.shards.max(1);
+    let router_node = shards;
+    let client_node = |k: usize| shards + 1 + k;
+    let nodes = shards + 1 + cfg.clients;
+
+    let base = Arc::new(VirtualClock::new());
+    let ambient = cfg.ambient_c;
+    let field: Field = Arc::new(move |_, _| ambient);
+    let mut skew_rng = StdRng::seed_from_u64(cfg.seed ^ 0x534B_4557);
+
+    let shard_nodes: Vec<ShardNode> = (0..shards)
+        .map(|s| build_shard(cfg, s, &base, &field, &mut skew_rng))
+        .collect();
+
+    let world = Rc::new(RefCell::new(FleetWorld {
+        net: SimNet::new(cfg.seed, nodes, LinkProfile::flaky()),
+        shards: shard_nodes,
+        effects: BTreeMap::new(),
+        violation: None,
+        requests: 0,
+        served_fresh: 0,
+        served_degraded: 0,
+        client_errors: 0,
+        client_timeouts: 0,
+        failovers: 0,
+        stale_discarded: 0,
+        decommissioned_discarded: 0,
+        duplicates_absorbed: 0,
+        crashes: 0,
+        recovered_with_snapshot: 0,
+        decommissions: 0,
+    }));
+
+    let mut ex = Executor::new(cfg.seed, Arc::clone(&base));
+    let horizon = cfg.horizon_ms;
+    let end = cfg.end_ms();
+    let slack = cfg.skew_slack_ms();
+    let bound = cfg.runtime.staleness_bound_ms;
+    let mutation = cfg.mutation;
+    let shard_timeout = cfg.shard_timeout_ms();
+    let client_timeout = cfg.client_timeout_ms();
+
+    // ----- Router -----
+    {
+        let world = Rc::clone(&world);
+        let ring = HashRing::new(shards, 8);
+        let mut pending: BTreeMap<u64, Pending> = BTreeMap::new();
+        ex.spawn("router", 0, move |now| {
+            let mut w = world.borrow_mut();
+            // Drain every deliverable message.
+            while let Some(env) = w.net.poll(router_node, now) {
+                match env.payload {
+                    FleetMsg::ClientReq { req_id, key } => {
+                        let eligible = |s: usize| {
+                            mutation == FleetMutation::NoDecommissionCheck || !w.decommissioned(s)
+                        };
+                        match ring.route(key, eligible) {
+                            Some(shard) => {
+                                w.net.send(
+                                    now,
+                                    router_node,
+                                    shard,
+                                    FleetMsg::ShardReq { req_id, key },
+                                );
+                                pending.insert(
+                                    req_id,
+                                    Pending {
+                                        client_node: env.src,
+                                        key,
+                                        shard,
+                                        sent_at_ms: now,
+                                        tried: vec![shard],
+                                    },
+                                );
+                            }
+                            None => {
+                                w.net.send(
+                                    now,
+                                    router_node,
+                                    env.src,
+                                    FleetMsg::ClientResp {
+                                        req_id,
+                                        outcome: WireOutcome::Failed {
+                                            kind: "no-shard".into(),
+                                        },
+                                        origin_shard: usize::MAX,
+                                        forwarded_at_ms: now,
+                                        total_age_ms: 0,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    FleetMsg::ShardResp { req_id, outcome } => {
+                        let Some(p) = pending.get(&req_id) else {
+                            continue; // answered or abandoned: a late or duplicated reply
+                        };
+                        if env.src != p.shard {
+                            continue; // reply from a shard we already failed over from
+                        }
+                        let transit = now.saturating_sub(env.sent_at_ms);
+                        let total_age = match &outcome {
+                            WireOutcome::Reading { age_ms, .. } => age_ms + transit,
+                            WireOutcome::Failed { .. } => 0,
+                        };
+                        let from_decommissioned = mutation != FleetMutation::NoDecommissionCheck
+                            && w.decommissioned(env.src);
+                        let too_old = matches!(outcome, WireOutcome::Reading { .. })
+                            && total_age > bound + slack;
+                        if from_decommissioned || too_old {
+                            // Unservable: discard and fail over.
+                            if too_old {
+                                w.stale_discarded += 1;
+                            } else {
+                                w.decommissioned_discarded += 1;
+                            }
+                            let p = pending.get_mut(&req_id).expect("present above");
+                            let tried = p.tried.clone();
+                            let key = p.key;
+                            let client = p.client_node;
+                            let eligible = |s: usize| {
+                                !tried.contains(&s)
+                                    && (mutation == FleetMutation::NoDecommissionCheck
+                                        || !w.decommissioned(s))
+                            };
+                            match ring.route(key, eligible) {
+                                Some(next) => {
+                                    w.failovers += 1;
+                                    let p = pending.get_mut(&req_id).expect("present above");
+                                    p.shard = next;
+                                    p.sent_at_ms = now;
+                                    p.tried.push(next);
+                                    w.net.send(
+                                        now,
+                                        router_node,
+                                        next,
+                                        FleetMsg::ShardReq { req_id, key },
+                                    );
+                                }
+                                None => {
+                                    pending.remove(&req_id);
+                                    w.net.send(
+                                        now,
+                                        router_node,
+                                        client,
+                                        FleetMsg::ClientResp {
+                                            req_id,
+                                            outcome: WireOutcome::Failed {
+                                                kind: "unservable".into(),
+                                            },
+                                            origin_shard: env.src,
+                                            forwarded_at_ms: now,
+                                            total_age_ms: total_age,
+                                        },
+                                    );
+                                }
+                            }
+                            continue;
+                        }
+                        let p = pending.remove(&req_id).expect("present above");
+                        w.net.send(
+                            now,
+                            router_node,
+                            p.client_node,
+                            FleetMsg::ClientResp {
+                                req_id,
+                                outcome,
+                                origin_shard: env.src,
+                                forwarded_at_ms: now,
+                                total_age_ms: total_age,
+                            },
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            // Fail over timed-out shard requests.
+            let timed_out: Vec<u64> = pending
+                .iter()
+                .filter(|(_, p)| now.saturating_sub(p.sent_at_ms) >= shard_timeout)
+                .map(|(id, _)| *id)
+                .collect();
+            for req_id in timed_out {
+                let (key, client, tried) = {
+                    let p = &pending[&req_id];
+                    (p.key, p.client_node, p.tried.clone())
+                };
+                let eligible = |s: usize| {
+                    !tried.contains(&s)
+                        && (mutation == FleetMutation::NoDecommissionCheck || !w.decommissioned(s))
+                };
+                match ring.route(key, eligible) {
+                    Some(next) => {
+                        w.failovers += 1;
+                        let p = pending.get_mut(&req_id).expect("still pending");
+                        p.shard = next;
+                        p.sent_at_ms = now;
+                        p.tried.push(next);
+                        w.net
+                            .send(now, router_node, next, FleetMsg::ShardReq { req_id, key });
+                    }
+                    None => {
+                        pending.remove(&req_id);
+                        w.net.send(
+                            now,
+                            router_node,
+                            client,
+                            FleetMsg::ClientResp {
+                                req_id,
+                                outcome: WireOutcome::Failed {
+                                    kind: "timeout".into(),
+                                },
+                                origin_shard: usize::MAX,
+                                forwarded_at_ms: now,
+                                total_age_ms: 0,
+                            },
+                        );
+                    }
+                }
+            }
+            if now >= end {
+                return TaskState::Done;
+            }
+            let next_timeout = pending
+                .values()
+                .map(|p| p.sent_at_ms + shard_timeout)
+                .min()
+                .unwrap_or(u64::MAX);
+            let next_msg = w.net.next_wake(router_node).unwrap_or(u64::MAX);
+            let wake = next_timeout.min(next_msg).min(now + 25).max(now + 1);
+            TaskState::SleepUntil(wake)
+        });
+    }
+
+    // ----- Shards: request service + per-shard maintenance -----
+    for s in 0..shards {
+        let world_s = Rc::clone(&world);
+        // In-flight conversions: (req_id, job, deadline_abs, incarnation).
+        let mut jobs: Vec<(u64, ReadJob, u64, u64)> = Vec::new();
+        let sites = cfg.sites_per_shard.max(1);
+        ex.spawn(format!("shard-{s}"), 2 + s as u64, move |now| {
+            let mut w = world_s.borrow_mut();
+            let incarnation = w.shards[s].incarnation;
+            // Jobs from a previous incarnation died with the process.
+            jobs.retain(|(_, _, _, inc)| *inc == incarnation);
+            while let Some(env) = w.net.poll(s, now) {
+                let FleetMsg::ShardReq { req_id, key } = env.payload else {
+                    continue;
+                };
+                match w.shards[s].seen.get(&req_id) {
+                    Some(Some(cached)) => {
+                        // A replayed datagram for an answered request:
+                        // absorb it by re-sending the cached reply —
+                        // no second effect.
+                        let cached = cached.clone();
+                        w.duplicates_absorbed += 1;
+                        w.net.send(now, s, router_node, FleetMsg::ShardResp { req_id, outcome: cached });
+                    }
+                    Some(None) => {
+                        // Already converting: drop the duplicate.
+                        w.duplicates_absorbed += 1;
+                    }
+                    None => {
+                        let effects = w.effects.entry((s, incarnation, req_id)).or_insert(0);
+                        *effects += 1;
+                        if *effects > 1 {
+                            let count = *effects;
+                            w.flag(
+                                FleetInvariant::DuplicateEffect,
+                                now,
+                                format!("shard {s} converted req {req_id} {count} times in incarnation {incarnation}"),
+                            );
+                        }
+                        w.shards[s].seen.insert(req_id, None);
+                        let core = Arc::clone(&w.shards[s].core);
+                        let channel = (key as usize) % sites;
+                        let submitted = core.now_ms();
+                        let deadline_abs = submitted + core.config.default_deadline_ms;
+                        jobs.push((
+                            req_id,
+                            ReadJob::new(&core, channel, submitted, deadline_abs),
+                            deadline_abs,
+                            incarnation,
+                        ));
+                    }
+                }
+            }
+            // Step every runnable conversion.
+            let mut next_backoff = u64::MAX;
+            let mut i = 0;
+            while i < jobs.len() {
+                let core = Arc::clone(&w.shards[s].core);
+                let (req_id, job, deadline_abs, _) = &mut jobs[i];
+                match job.step(&core) {
+                    JobStep::Backoff { delay_ms } => {
+                        next_backoff = next_backoff.min(now + delay_ms);
+                        i += 1;
+                    }
+                    JobStep::Done(result) => {
+                        let outcome = wire_outcome(&core, *deadline_abs, result);
+                        let req_id = *req_id;
+                        w.shards[s].seen.insert(req_id, Some(outcome.clone()));
+                        w.net.send(now, s, router_node, FleetMsg::ShardResp { req_id, outcome });
+                        jobs.swap_remove(i);
+                    }
+                }
+            }
+            if now >= end {
+                return TaskState::Done;
+            }
+            let next_msg = w.net.next_wake(s).unwrap_or(u64::MAX);
+            let wake = next_backoff.min(next_msg).min(now + 25).max(now + 1);
+            TaskState::SleepUntil(wake)
+        });
+
+        // Background scan and checkpoint, per shard, exactly as the
+        // single-node simulation runs them.
+        {
+            let world = Rc::clone(&world);
+            let interval = cfg.runtime.scan_interval_ms.max(1);
+            ex.spawn(format!("scan-{s}"), 3 + s as u64, move |now| {
+                if now >= horizon {
+                    return TaskState::Done;
+                }
+                let w = world.borrow();
+                let core = Arc::clone(&w.shards[s].core);
+                drop(w);
+                let mut state = core.state.lock().expect("state poisoned");
+                let t = core.now_ms();
+                let _ = refresh_cache_locked(&core, &mut state, t);
+                TaskState::SleepUntil(now + interval)
+            });
+        }
+        if cfg.runtime.checkpoint_interval_ms > 0 {
+            let world = Rc::clone(&world);
+            let interval = cfg.runtime.checkpoint_interval_ms;
+            ex.spawn(format!("ckpt-{s}"), interval + s as u64, move |now| {
+                if now >= horizon {
+                    return TaskState::Done;
+                }
+                let w = world.borrow();
+                let core = Arc::clone(&w.shards[s].core);
+                drop(w);
+                let mut state = core.state.lock().expect("state poisoned");
+                let t = core.now_ms();
+                let _ = checkpoint_locked(&core, &mut state, t);
+                TaskState::SleepUntil(now + interval)
+            });
+        }
+    }
+
+    // ----- Clients -----
+    for k in 0..cfg.clients {
+        let world = Rc::clone(&world);
+        let me = client_node(k);
+        let mut remaining = cfg.requests_per_client;
+        let mut seq = 0u64;
+        let mut key = (k as u64).wrapping_mul(7);
+        // The one request in flight: (req_id, sent_at_ms).
+        let mut waiting: Option<(u64, u64)> = None;
+        let interval = cfg.request_interval_ms.max(1);
+        ex.spawn(format!("client-{k}"), 5 + k as u64, move |now| {
+            let mut w = world.borrow_mut();
+            while let Some(env) = w.net.poll(me, now) {
+                let FleetMsg::ClientResp {
+                    req_id,
+                    outcome,
+                    origin_shard,
+                    forwarded_at_ms,
+                    total_age_ms,
+                } = env.payload
+                else {
+                    continue;
+                };
+                if waiting.map(|(id, _)| id) != Some(req_id) {
+                    continue; // duplicate or abandoned response
+                }
+                waiting = None;
+                match outcome {
+                    WireOutcome::Reading { fresh, age_ms, .. } => {
+                        // Invariant 1: honest staleness across shards.
+                        if total_age_ms > bound + slack {
+                            w.flag(
+                                FleetInvariant::StaleServed,
+                                now,
+                                format!(
+                                    "client {k} got age {total_age_ms} ms past bound {bound} (+{slack} slack) from shard {origin_shard}"
+                                ),
+                            );
+                        }
+                        if fresh && age_ms != 0 {
+                            w.flag(
+                                FleetInvariant::StaleServed,
+                                now,
+                                format!("Fresh reading from shard {origin_shard} with shard-side age {age_ms} ms"),
+                            );
+                        }
+                        // Invariant 2: no decommissioned shard served.
+                        if let Some(at) = w
+                            .shards
+                            .get(origin_shard)
+                            .and_then(|sh| sh.decommissioned_at)
+                        {
+                            if at <= forwarded_at_ms {
+                                w.flag(
+                                    FleetInvariant::RoutedDecommissioned,
+                                    now,
+                                    format!(
+                                        "served from shard {origin_shard}, decommissioned at t={at}, forwarded at t={forwarded_at_ms}"
+                                    ),
+                                );
+                            }
+                        }
+                        if fresh {
+                            w.served_fresh += 1;
+                        } else {
+                            w.served_degraded += 1;
+                        }
+                    }
+                    WireOutcome::Failed { .. } => w.client_errors += 1,
+                }
+            }
+            if let Some((_, sent_at)) = waiting {
+                if now.saturating_sub(sent_at) >= client_timeout {
+                    waiting = None;
+                    w.client_timeouts += 1;
+                } else {
+                    let next_msg = w.net.next_wake(me).unwrap_or(u64::MAX);
+                    let wake = (sent_at + client_timeout).min(next_msg).max(now + 1);
+                    return TaskState::SleepUntil(wake);
+                }
+            }
+            if remaining == 0 || now >= horizon {
+                return TaskState::Done;
+            }
+            remaining -= 1;
+            seq += 1;
+            key = key.wrapping_add(0x9E37_79B9).wrapping_mul(3) | 1;
+            let req_id = (me as u64) << 32 | seq;
+            w.requests += 1;
+            w.net.send(now, me, router_node, FleetMsg::ClientReq { req_id, key });
+            waiting = Some((req_id, now));
+            TaskState::SleepUntil(now + interval)
+        });
+    }
+
+    // ----- Admin: the scenario (network weather, silicon faults,
+    // crashes, decommissions) plus fault clearing -----
+    let events = resolve_fleet_events(cfg);
+    {
+        let world = Rc::clone(&world);
+        let cfg = cfg.clone();
+        let field = Arc::clone(&field);
+        let first = events.first().map_or(u64::MAX, FleetEvent::at_ms).min(1);
+        let mut idx = 0usize;
+        // Active link faults: (clears_at_ms, shard, fault).
+        let mut live_links: Vec<(u64, usize, Fault)> = Vec::new();
+        ex.spawn("admin", first, move |now| {
+            let mut w = world.borrow_mut();
+            // Clear expired faults first, so a back-to-back schedule
+            // on the same link applies cleanly.
+            live_links.retain(|(clears_at, shard, fault)| {
+                if *clears_at <= now {
+                    match fault {
+                        Fault::LinkPartition => w.net.heal_pair(*shard, router_node),
+                        _ => w.net.reset_link(*shard, router_node),
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            for s in 0..w.shards.len() {
+                let expired: Vec<(u64, usize, RingFault)> = {
+                    let node = &mut w.shards[s];
+                    let (done, live): (Vec<_>, Vec<_>) = std::mem::take(&mut node.active_faults)
+                        .into_iter()
+                        .partition(|(c, _, _)| *c <= now);
+                    node.active_faults = live;
+                    done
+                };
+                if !expired.is_empty() {
+                    let core = Arc::clone(&w.shards[s].core);
+                    let mut state = core.state.lock().expect("state poisoned");
+                    for (_, site, _) in expired {
+                        if let Some(sm) = state.array.sites_mut().get_mut(site) {
+                            sm.unit.clear_fault();
+                        }
+                    }
+                }
+            }
+            // Fire due events.
+            while idx < events.len() && events[idx].at_ms() <= now {
+                let ev = events[idx].clone();
+                idx += 1;
+                match ev {
+                    FleetEvent::Link(e) => {
+                        let shard = e.channel.min(w.shards.len().saturating_sub(1));
+                        match e.fault {
+                            Fault::LinkPartition => {
+                                w.net.partition_pair(shard, router_node);
+                            }
+                            Fault::LinkLoss { drop } => {
+                                let mut p = LinkProfile::flaky();
+                                p.drop = drop;
+                                w.net.set_link(shard, router_node, p);
+                            }
+                            Fault::LinkDelay { add_ms } => {
+                                let mut p = LinkProfile::flaky();
+                                p.delay_min_ms += add_ms;
+                                p.delay_max_ms += add_ms;
+                                w.net.set_link(shard, router_node, p);
+                            }
+                            _ => continue,
+                        }
+                        live_links.push((e.clears_at_ms(), shard, e.fault));
+                    }
+                    FleetEvent::Sensor { shard, event } => {
+                        if shard >= w.shards.len() {
+                            continue;
+                        }
+                        if let Some(rf) = event.fault.as_ring_fault() {
+                            let core = Arc::clone(&w.shards[shard].core);
+                            let mut state = core.state.lock().expect("state poisoned");
+                            if let Some(sm) = state.array.sites_mut().get_mut(event.channel) {
+                                sm.unit.inject_fault(rf);
+                                drop(state);
+                                w.shards[shard].active_faults.push((
+                                    event.clears_at_ms(),
+                                    event.channel,
+                                    rf,
+                                ));
+                            }
+                        }
+                    }
+                    FleetEvent::Crash { shard, .. } => {
+                        if shard < w.shards.len() {
+                            crash_shard(&mut w, &cfg, shard, &field, now);
+                        }
+                    }
+                    FleetEvent::Decommission { shard, .. } => {
+                        if shard < w.shards.len() && w.shards[shard].decommissioned_at.is_none() {
+                            w.shards[shard].decommissioned_at = Some(now);
+                            w.decommissions += 1;
+                        }
+                    }
+                }
+            }
+            let next_event = events.get(idx).map(|e| e.at_ms()).unwrap_or(u64::MAX);
+            let next_link_clear = live_links
+                .iter()
+                .map(|(c, _, _)| *c)
+                .min()
+                .unwrap_or(u64::MAX);
+            let next_fault_clear = w
+                .shards
+                .iter()
+                .flat_map(|n| n.active_faults.iter().map(|(c, _, _)| *c))
+                .min()
+                .unwrap_or(u64::MAX);
+            let wake = next_event.min(next_link_clear).min(next_fault_clear);
+            if wake == u64::MAX {
+                TaskState::Done
+            } else {
+                TaskState::SleepUntil(wake.max(now + 1))
+            }
+        });
+    }
+
+    // Run, surfacing task-flagged violations after every step.
+    let check_world = Rc::clone(&world);
+    let violation = ex.run(end + 2_000, 1_000_000, move |record: &StepRecord| {
+        let mut w = check_world.borrow_mut();
+        if let Some(mut v) = w.violation.take() {
+            v.step = record.step;
+            v.task = record.task.clone();
+            return Some(v);
+        }
+        None
+    });
+
+    let w = world.borrow();
+    FleetReport {
+        seed: cfg.seed,
+        mutation: cfg.mutation,
+        violation,
+        trace: ex.trace().to_vec(),
+        steps: ex.steps(),
+        requests: w.requests,
+        served_fresh: w.served_fresh,
+        served_degraded: w.served_degraded,
+        client_errors: w.client_errors,
+        client_timeouts: w.client_timeouts,
+        failovers: w.failovers,
+        stale_discarded: w.stale_discarded,
+        decommissioned_discarded: w.decommissioned_discarded,
+        duplicates_absorbed: w.duplicates_absorbed,
+        crashes: w.crashes,
+        recovered_with_snapshot: w.recovered_with_snapshot,
+        decommissions: w.decommissions,
+        net: w.net.stats(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sweep, shrink, render
+// ---------------------------------------------------------------------
+
+/// Aggregate of a fleet seed sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetSweepOutcome {
+    /// Seeds run (counted in seed order; under `stop_at_first` the
+    /// count stops at the first violating seed exactly as a serial
+    /// loop would).
+    pub seeds: u64,
+    /// Total scheduler steps across counted seeds.
+    pub steps: u64,
+    /// Total client requests across counted seeds.
+    pub requests: u64,
+    /// Total shard crashes across counted seeds.
+    pub crashes: u64,
+    /// Full reports of the seeds that violated an invariant.
+    pub violations: Vec<FleetReport>,
+}
+
+/// Runs `count` fleet seeds from `seed_base` across `jobs` worker
+/// threads, merging per-seed results in seed order — the outcome is
+/// byte-identical at any job count, including under `stop_at_first`.
+pub fn fleet_sweep(
+    base: &FleetConfig,
+    seed_base: u64,
+    count: u64,
+    stop_at_first: bool,
+    jobs: usize,
+) -> FleetSweepOutcome {
+    let jobs = jobs.max(1);
+    let wave = (jobs * 4).max(1) as u64;
+    let mut out = FleetSweepOutcome::default();
+    let mut next = 0u64;
+    'outer: while next < count {
+        let len = wave.min(count - next) as usize;
+        let first = next;
+        let results = dst::run_indexed(len, jobs, |i| {
+            let mut cfg = base.clone();
+            cfg.seed = seed_base + first + i as u64;
+            run_fleet(&cfg)
+        });
+        for report in results {
+            out.seeds += 1;
+            out.steps += report.steps;
+            out.requests += report.requests;
+            out.crashes += report.crashes;
+            if report.violation.is_some() {
+                out.violations.push(report);
+                if stop_at_first {
+                    break 'outer;
+                }
+            }
+        }
+        next += len as u64;
+    }
+    out
+}
+
+/// A failing fleet case cut down to a 1-minimal reproducer.
+#[derive(Debug, Clone)]
+pub struct ShrunkFleetCase {
+    /// The minimized config: the explicit (pinned) event list; same
+    /// seed, so the schedule replays exactly.
+    pub config: FleetConfig,
+    /// The minimized run, still violating the same invariant.
+    pub report: FleetReport,
+}
+
+/// Shrinks a failing fleet config's event list — link faults, sensor
+/// faults, crashes, and decommissions together — to a 1-minimal set
+/// that still reproduces the *same* invariant violation. Returns
+/// `None` when the config does not fail in the first place.
+pub fn shrink_fleet_failure(cfg: &FleetConfig) -> Option<ShrunkFleetCase> {
+    let baseline = run_fleet(cfg);
+    let target = baseline.violation.as_ref()?.invariant;
+    let events = resolve_fleet_events(cfg);
+    let min_events = shrink_events(events, |evs| {
+        let mut c = cfg.clone();
+        c.events = Some(evs.to_vec());
+        run_fleet(&c)
+            .violation
+            .as_ref()
+            .is_some_and(|v| v.invariant == target)
+    });
+    let mut min_cfg = cfg.clone();
+    min_cfg.events = Some(min_events);
+    let report = run_fleet(&min_cfg);
+    debug_assert!(report
+        .violation
+        .as_ref()
+        .is_some_and(|v| v.invariant == target));
+    Some(ShrunkFleetCase {
+        config: min_cfg,
+        report,
+    })
+}
+
+/// The fleet node a task label belongs to: per-shard maintenance tasks
+/// (`scan-N`, `ckpt-N`) collapse onto their shard, so `--replay-node
+/// shard-N` shows everything that node did.
+pub fn task_node(task: &str) -> String {
+    for prefix in ["scan-", "ckpt-"] {
+        if let Some(idx) = task.strip_prefix(prefix) {
+            return format!("shard-{idx}");
+        }
+    }
+    task.to_string()
+}
+
+/// Renders a replayable fleet trace (and the violation, if any),
+/// optionally filtered to one node's events — `node` matches the
+/// labels `shard-N`, `router`, `client-N`, and `admin`.
+pub fn render_fleet_trace(report: &FleetReport, node: Option<&str>) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "# fleet dst trace: seed {} mutation {} ({} steps{})\n",
+        report.seed,
+        report.mutation,
+        report.trace.len(),
+        node.map(|n| format!(", node {n}")).unwrap_or_default()
+    ));
+    for r in &report.trace {
+        if node.is_some_and(|n| task_node(&r.task) != n) {
+            continue;
+        }
+        s.push_str(&format!("{:>6}  t={:<8} {}\n", r.step, r.at_ms, r.task));
+    }
+    match &report.violation {
+        Some(v) => s.push_str(&format!(
+            "VIOLATION {} at step {} (t={} ms, task {}): {}\n",
+            v.invariant, v.step, v.at_ms, v.task, v.detail
+        )),
+        None => s.push_str("clean\n"),
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> FleetConfig {
+        FleetConfig::default()
+    }
+
+    #[test]
+    fn clean_fleet_run_replays_byte_for_byte() {
+        let cfg = FleetConfig { seed: 5, ..quick() };
+        let a = run_fleet(&cfg);
+        let b = run_fleet(&cfg);
+        assert_eq!(a, b, "identical config must replay identically");
+        assert!(
+            a.violation.is_none(),
+            "shipped fleet must be clean: {:?}",
+            a.violation
+        );
+        assert!(a.requests > 0 && a.steps > 0);
+        assert!(a.served_fresh + a.served_degraded + a.client_errors + a.client_timeouts > 0);
+    }
+
+    #[test]
+    fn shipped_fleet_survives_a_seed_sweep() {
+        let out = fleet_sweep(&quick(), 0, 10, false, 1);
+        assert_eq!(out.seeds, 10);
+        assert!(
+            out.violations.is_empty(),
+            "seed {} violated: {:?}",
+            out.violations[0].seed,
+            out.violations[0].violation
+        );
+    }
+
+    #[test]
+    fn no_decommission_check_mutation_is_caught_and_shrunk() {
+        let base = FleetConfig {
+            mutation: FleetMutation::NoDecommissionCheck,
+            ..quick()
+        };
+        let out = fleet_sweep(&base, 0, 100, true, 1);
+        let caught = out
+            .violations
+            .first()
+            .unwrap_or_else(|| panic!("mutation survived {} seeds", out.seeds));
+        let v = caught.violation.as_ref().expect("violating report");
+        assert_eq!(v.invariant, FleetInvariant::RoutedDecommissioned, "{v:?}");
+
+        // The failing seed replays byte-for-byte.
+        let failing = FleetConfig {
+            seed: caught.seed,
+            ..base.clone()
+        };
+        let r1 = run_fleet(&failing);
+        let r2 = run_fleet(&failing);
+        assert_eq!(r1, r2, "failing seed must replay byte-for-byte");
+        assert_eq!(r1.violation.as_ref(), Some(v));
+
+        // And shrinks to a smaller scenario reproducing the same
+        // invariant — for this bug, the decommission event alone.
+        let shrunk = shrink_fleet_failure(&failing).expect("baseline fails");
+        let kept = shrunk.config.events.as_ref().expect("events pinned");
+        assert!(kept.len() <= resolve_fleet_events(&failing).len());
+        assert!(
+            kept.iter()
+                .any(|e| matches!(e, FleetEvent::Decommission { .. })),
+            "this bug needs a decommission: {kept:?}"
+        );
+        assert_eq!(
+            shrunk.report.violation.as_ref().map(|w| w.invariant),
+            Some(FleetInvariant::RoutedDecommissioned)
+        );
+    }
+
+    #[test]
+    fn parallel_fleet_sweep_is_byte_identical_to_serial() {
+        let base = quick();
+        let serial = fleet_sweep(&base, 0, 6, false, 1);
+        for jobs in [2, 4] {
+            assert_eq!(fleet_sweep(&base, 0, 6, false, jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn ring_routes_consistently_and_respects_eligibility() {
+        let ring = HashRing::new(4, 8);
+        for key in 0..200u64 {
+            let a = ring.route(key, |_| true).unwrap();
+            let b = ring.route(key, |_| true).unwrap();
+            assert_eq!(a, b, "routing is a pure function of the key");
+            let without_a = ring.route(key, |s| s != a).unwrap();
+            assert_ne!(without_a, a, "removing the owner remaps elsewhere");
+        }
+        assert_eq!(ring.route(7, |_| false), None, "no eligible shard");
+    }
+
+    #[test]
+    fn trace_filters_to_one_node() {
+        let report = run_fleet(&FleetConfig { seed: 1, ..quick() });
+        let full = render_fleet_trace(&report, None);
+        let shard0 = render_fleet_trace(&report, Some("shard-0"));
+        assert!(full.lines().count() > shard0.lines().count());
+        for line in shard0.lines().skip(1) {
+            if line.starts_with('#') || line.starts_with("VIOLATION") || line == "clean" {
+                continue;
+            }
+            assert!(
+                line.contains("shard-0") || line.contains("scan-0") || line.contains("ckpt-0"),
+                "foreign node line in filtered trace: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn resolved_scenarios_are_seeded_and_sorted() {
+        let a = resolve_fleet_events(&quick());
+        let b = resolve_fleet_events(&quick());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for w in a.windows(2) {
+            assert!(w[0].at_ms() <= w[1].at_ms());
+        }
+        let c = resolve_fleet_events(&FleetConfig { seed: 9, ..quick() });
+        assert_ne!(a, c, "different seeds draw different scenarios");
+    }
+}

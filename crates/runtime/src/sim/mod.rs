@@ -35,6 +35,8 @@
 //! every run. [`shrink_failure`] then delta-debugs the fault storm and
 //! crash schedule down to a 1-minimal reproducer.
 
+pub mod fleet;
+
 use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -775,6 +777,76 @@ pub fn sweep(base: &SimConfig, seed_base: u64, count: u64, stop_at_first: bool) 
     out
 }
 
+/// Runs `count` seeds starting at `seed_base` across `jobs` worker
+/// threads, merging per-seed results in seed order so the outcome is
+/// byte-identical to the serial [`sweep`] — including under
+/// `stop_at_first`, where seeds are processed in waves and aggregation
+/// stops at the first violating seed exactly as the serial loop does
+/// (later seeds may be *computed* by the wave, but never counted).
+pub fn sweep_jobs(
+    base: &SimConfig,
+    seed_base: u64,
+    count: u64,
+    stop_at_first: bool,
+    jobs: usize,
+) -> SweepOutcome {
+    merge_sweep(count, stop_at_first, jobs, |i| {
+        let mut cfg = base.clone();
+        cfg.seed = seed_base + i;
+        let report = run_sim(&cfg);
+        let violated = report.violation.is_some();
+        SeedResult {
+            steps: report.steps,
+            requests: report.requests,
+            crashes: report.crashes,
+            violating: violated.then_some(report),
+        }
+    })
+}
+
+/// One seed's contribution to a sweep aggregate.
+pub(crate) struct SeedResult {
+    pub(crate) steps: u64,
+    pub(crate) requests: u64,
+    pub(crate) crashes: u64,
+    pub(crate) violating: Option<SimReport>,
+}
+
+/// The shared serial-equivalent merge: runs seeds in waves of
+/// `jobs * 4` via [`dst::run_indexed`] and folds results in seed
+/// order, stopping (when asked) at the first violating seed so the
+/// aggregate matches what the serial loop would have accumulated.
+pub(crate) fn merge_sweep(
+    count: u64,
+    stop_at_first: bool,
+    jobs: usize,
+    run_one: impl Fn(u64) -> SeedResult + Sync,
+) -> SweepOutcome {
+    let jobs = jobs.max(1);
+    let wave = (jobs * 4).max(1) as u64;
+    let mut out = SweepOutcome::default();
+    let mut next = 0u64;
+    'outer: while next < count {
+        let len = wave.min(count - next) as usize;
+        let base_seed = next;
+        let results = dst::run_indexed(len, jobs, |i| run_one(base_seed + i as u64));
+        for r in results {
+            out.seeds += 1;
+            out.steps += r.steps;
+            out.requests += r.requests;
+            out.crashes += r.crashes;
+            if let Some(report) = r.violating {
+                out.violations.push(report);
+                if stop_at_first {
+                    break 'outer;
+                }
+            }
+        }
+        next += len as u64;
+    }
+    out
+}
+
 /// A failing case cut down to a 1-minimal reproducer.
 #[derive(Debug, Clone)]
 pub struct ShrunkCase {
@@ -850,6 +922,29 @@ mod tests {
         );
         assert!(a.requests > 0 && a.steps > 0);
         assert_eq!(a.crashes, 1);
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let base = quick();
+        let serial = sweep(&base, 0, 6, false);
+        for jobs in [1, 2, 4] {
+            assert_eq!(sweep_jobs(&base, 0, 6, false, jobs), serial, "jobs={jobs}");
+        }
+        // stop_at_first aggregates must also match the serial loop,
+        // even when later seeds were computed speculatively in a wave.
+        let mutated = SimConfig {
+            mutation: Mutation::NoCooldownRebase,
+            ..quick()
+        };
+        let serial_stop = sweep(&mutated, 0, 12, true);
+        for jobs in [2, 4] {
+            assert_eq!(
+                sweep_jobs(&mutated, 0, 12, true, jobs),
+                serial_stop,
+                "stop_at_first jobs={jobs}"
+            );
+        }
     }
 
     #[test]

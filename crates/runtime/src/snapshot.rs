@@ -364,6 +364,7 @@ pub struct SnapshotStore {
     fs: Arc<dyn SimFs>,
     dir: PathBuf,
     keep: usize,
+    namespace: Option<Arc<dst::NonceNamespace>>,
 }
 
 impl SnapshotStore {
@@ -393,7 +394,25 @@ impl SnapshotStore {
             fs,
             dir,
             keep: keep.max(1),
+            namespace: None,
         })
+    }
+
+    /// Scopes this store's temp-file names to a per-node nonce
+    /// namespace.
+    ///
+    /// Without a namespace the temp name is derived from the snapshot
+    /// sequence alone — correct for one process, but in a *multi-node*
+    /// simulation two shard nodes replaying the same seed write the
+    /// same sequences, and any shared filesystem (or a per-node trace
+    /// that must not depend on other nodes' draws from a process-wide
+    /// counter) needs names that are unique per node yet a pure
+    /// function of that node's own history. A
+    /// [`dst::NonceNamespace`] provides exactly that: nonces are
+    /// `(node_id << 64) | local_counter`, disjoint across nodes and
+    /// deterministic per node.
+    pub fn set_namespace(&mut self, ns: Arc<dst::NonceNamespace>) {
+        self.namespace = Some(ns);
     }
 
     /// The store's directory.
@@ -406,6 +425,16 @@ impl SnapshotStore {
         self.dir.join(format!("snap-{seq:010}.ckpt"))
     }
 
+    fn tmp_path_for(&self, final_path: &Path) -> PathBuf {
+        match &self.namespace {
+            None => final_path.with_extension("tmp"),
+            Some(ns) => {
+                let nonce = ns.next();
+                final_path.with_extension(format!("tmp-{}-{}", (nonce >> 64) as u64, nonce as u64))
+            }
+        }
+    }
+
     /// Atomically persists a snapshot: temp-file write, fsync, rename.
     /// Prunes snapshots beyond the retention count afterwards.
     ///
@@ -414,7 +443,7 @@ impl SnapshotStore {
     /// [`SnapshotError::Io`] on any filesystem failure.
     pub fn save(&self, snap: &RuntimeSnapshot) -> Result<PathBuf, SnapshotError> {
         let final_path = self.path_for(snap.seq);
-        let tmp_path = final_path.with_extension("tmp");
+        let tmp_path = self.tmp_path_for(&final_path);
         self.fs.write_file(&tmp_path, snap.encode().as_bytes())?;
         self.fs.sync(&tmp_path)?;
         self.fs.rename(&tmp_path, &final_path)?;
@@ -616,6 +645,48 @@ mod tests {
         assert_eq!(snap.seq, 1, "falls back to the newest valid snapshot");
         assert_eq!(log.skipped.len(), 2, "both bad snapshots logged");
         fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn namespaced_tmp_names_are_per_node_deterministic_and_disjoint() {
+        // Two simulated shard nodes share one filesystem and save the
+        // same sequences: namespaced temp names must never collide,
+        // and one node's names must not depend on the other's draws.
+        let disk = Arc::new(SimDisk::new(9, SimDiskProfile::pristine()));
+        let mut a = SnapshotStore::open_on(disk.clone(), "/fleet/shard-0/snaps", 3).unwrap();
+        let mut b = SnapshotStore::open_on(disk.clone(), "/fleet/shard-1/snaps", 3).unwrap();
+        a.set_namespace(Arc::new(dst::NonceNamespace::new(0)));
+        b.set_namespace(Arc::new(dst::NonceNamespace::new(1)));
+        let ta = a.tmp_path_for(&a.path_for(1));
+        let tb = b.tmp_path_for(&b.path_for(1));
+        assert_ne!(
+            ta.extension(),
+            tb.extension(),
+            "same seq on two nodes must draw disjoint temp names"
+        );
+        assert!(ta
+            .extension()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("tmp-0-"));
+        assert!(tb
+            .extension()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("tmp-1-"));
+
+        // Replaying node 0 alone yields the same name sequence.
+        let mut a2 = SnapshotStore::open_on(disk.clone(), "/fleet/shard-0/snaps", 3).unwrap();
+        a2.set_namespace(Arc::new(dst::NonceNamespace::new(0)));
+        assert_eq!(a2.tmp_path_for(&a2.path_for(1)), ta);
+
+        // And saves still land atomically under the namespaced names.
+        a.save(&sample(1)).unwrap();
+        b.save(&sample(1)).unwrap();
+        assert_eq!(a.list().len(), 1);
+        assert_eq!(b.list().len(), 1);
     }
 
     #[test]

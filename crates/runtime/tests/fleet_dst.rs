@@ -1,0 +1,111 @@
+//! End-to-end contract of the fleet deterministic simulator: the
+//! shipped fleet is clean across a seed sweep, the known-bad
+//! no-decommission-check router is caught, the failing seed replays
+//! byte-for-byte, and the shrunk reproducer is **1-minimal** — remove
+//! any single kept event and the violation disappears.
+
+use runtime::{
+    fleet_sweep, render_fleet_trace, resolve_fleet_events, run_fleet, shrink_fleet_failure,
+    task_node, FleetConfig, FleetInvariant, FleetMutation,
+};
+
+fn base() -> FleetConfig {
+    FleetConfig::default()
+}
+
+#[test]
+fn shipped_fleet_is_clean_across_seeds_at_any_job_count() {
+    let serial = fleet_sweep(&base(), 0, 8, false, 1);
+    assert_eq!(serial.seeds, 8);
+    assert!(
+        serial.violations.is_empty(),
+        "shipped fleet violated on seed {}: {:?}",
+        serial.violations[0].seed,
+        serial.violations[0].violation
+    );
+    let parallel = fleet_sweep(&base(), 0, 8, false, 4);
+    assert_eq!(parallel, serial, "parallel sweep must be byte-identical");
+}
+
+#[test]
+fn known_bad_router_mutation_shrinks_to_a_one_minimal_reproducer() {
+    let mutated = FleetConfig {
+        mutation: FleetMutation::NoDecommissionCheck,
+        ..base()
+    };
+    // Find a failing seed the way CI does.
+    let out = fleet_sweep(&mutated, 0, 200, true, 1);
+    let caught = out
+        .violations
+        .first()
+        .unwrap_or_else(|| panic!("mutation survived {} seeds", out.seeds));
+    assert_eq!(
+        caught.violation.as_ref().map(|v| v.invariant),
+        Some(FleetInvariant::RoutedDecommissioned)
+    );
+
+    let failing = FleetConfig {
+        seed: caught.seed,
+        ..mutated
+    };
+
+    // Byte-for-byte replay of the failing seed.
+    let a = run_fleet(&failing);
+    let b = run_fleet(&failing);
+    assert_eq!(a, b);
+    assert_eq!(
+        render_fleet_trace(&a, None),
+        render_fleet_trace(&b, None),
+        "rendered traces must match byte-for-byte"
+    );
+
+    // Shrink, then prove 1-minimality: the kept event set still
+    // reproduces the violation, and dropping ANY single kept event
+    // makes it vanish.
+    let shrunk = shrink_fleet_failure(&failing).expect("baseline must fail");
+    let kept = shrunk.config.events.clone().expect("events pinned");
+    assert!(!kept.is_empty(), "this violation needs at least one event");
+    assert!(kept.len() <= resolve_fleet_events(&failing).len());
+    assert_eq!(
+        shrunk.report.violation.as_ref().map(|v| v.invariant),
+        Some(FleetInvariant::RoutedDecommissioned),
+        "shrunk scenario must reproduce the same invariant"
+    );
+    for drop in 0..kept.len() {
+        let mut thinner = kept.clone();
+        thinner.remove(drop);
+        let mut cfg = shrunk.config.clone();
+        cfg.events = Some(thinner);
+        let report = run_fleet(&cfg);
+        assert!(
+            report
+                .violation
+                .as_ref()
+                .is_none_or(|v| v.invariant != FleetInvariant::RoutedDecommissioned),
+            "dropping kept event #{drop} ({}) still reproduces — not 1-minimal",
+            kept[drop]
+        );
+    }
+}
+
+#[test]
+fn replay_node_filter_shows_only_that_nodes_steps() {
+    let report = run_fleet(&FleetConfig { seed: 2, ..base() });
+    for node in ["router", "shard-1", "client-0", "admin"] {
+        let filtered = render_fleet_trace(&report, Some(node));
+        let mut saw_any = false;
+        for line in filtered.lines() {
+            if line.starts_with('#') || line.starts_with("VIOLATION") || line == "clean" {
+                continue;
+            }
+            let task = line.split_whitespace().last().unwrap_or_default();
+            assert_eq!(
+                task_node(task),
+                node,
+                "foreign task `{task}` in {node} trace"
+            );
+            saw_any = true;
+        }
+        assert!(saw_any, "node {node} never ran");
+    }
+}

@@ -59,6 +59,7 @@ pub mod ta;
 pub mod tb;
 pub mod tc;
 pub mod td;
+pub mod wire_fleet;
 
 /// Writes `contents` to `<out_dir>/<name>`, creating the directory.
 ///
@@ -103,9 +104,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// All experiment ids, in DESIGN.md order.
-pub const ALL_EXPERIMENTS: [&str; 23] = [
+pub const ALL_EXPERIMENTS: [&str; 24] = [
     "fig1", "fig2", "fig3", "ta", "tb", "tc", "td", "abl1", "abl2", "abl3", "abl4", "abl5", "ext1",
-    "ext2", "ext3", "ext4", "sta", "fault", "soak", "dst", "absint", "dataflow", "fleet",
+    "ext2", "ext3", "ext4", "sta", "fault", "soak", "dst", "absint", "dataflow", "fleet", "wire",
 ];
 
 /// Runs one experiment by id, writing artifacts into `out_dir` and
@@ -140,6 +141,7 @@ pub fn run_experiment(id: &str, out_dir: &Path) -> String {
         "absint" => absint::run(out_dir),
         "dataflow" => dataflow::run(out_dir),
         "fleet" => fleet_dst::run(out_dir),
+        "wire" => wire_fleet::run(out_dir),
         other => panic!("unknown experiment id `{other}`; known: {ALL_EXPERIMENTS:?}"),
     }
 }

@@ -34,6 +34,10 @@
 //! * [`par`] — [`run_indexed`], a scoped-thread batch runner whose
 //!   index-ordered results make parallel seed sweeps byte-identical
 //!   to serial ones.
+//! * [`hash`] — the workspace's shared [`fnv1a64`] content
+//!   fingerprint and [`crc32`] checksum, used by the consistent-hash
+//!   ring, driver cache keys, certificate fingerprints, snapshot
+//!   trailers, and the wire protocol's frame check.
 //!
 //! Nothing here knows about sensors: the crate is generic machinery.
 //! The `runtime` crate's `sim` module wires the actual service logic,
@@ -45,6 +49,7 @@
 pub mod clock;
 pub mod executor;
 pub mod fs;
+pub mod hash;
 pub mod net;
 pub mod par;
 pub mod shrink;
@@ -52,6 +57,7 @@ pub mod shrink;
 pub use clock::{unique_nonce, Clock, NonceNamespace, SkewedClock, SystemClock, VirtualClock};
 pub use executor::{Executor, StepRecord, TaskState};
 pub use fs::{FsError, RealFs, SimDisk, SimDiskProfile, SimDiskStats, SimFs};
+pub use hash::{crc32, fnv1a64};
 pub use net::{Envelope, LinkProfile, NetStats, NodeId, SendOutcome, SimNet};
 pub use par::run_indexed;
 pub use shrink::shrink_events;

@@ -139,9 +139,10 @@ impl Certificate {
 /// Fingerprints the analysis-relevant identity of a sensor
 /// configuration: technology, per-stage sizing, wiring, and every
 /// digitizer parameter. Computed as FNV-1a over a canonical
-/// description, rendered as 16 hex digits — collision-resistant enough
-/// to catch "certificate from a different config" mistakes, with no
-/// hashing dependency.
+/// description (via the shared [`dst::hash::fnv1a64`]), rendered as
+/// 16 hex digits — collision-resistant enough to catch "certificate
+/// from a different config" mistakes, with no external hashing
+/// dependency.
 pub fn config_fingerprint(config: &SensorConfig) -> String {
     let mut canon = format!(
         "{}|vdd={:.6e}|clk={:.6e}|win={}|settle={}|cb={}|wb={}|wire={:.6e}",
@@ -162,12 +163,7 @@ pub fn config_fingerprint(config: &SensorConfig) -> String {
             gate.wp()
         ));
     }
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in canon.bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    format!("{hash:016x}")
+    format!("{:016x}", dst::hash::fnv1a64(canon.as_bytes()))
 }
 
 /// Escapes a string for embedding in JSON output.

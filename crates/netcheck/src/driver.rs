@@ -161,15 +161,9 @@ fn run_one(target: &dyn AnalysisTarget, opts: &DriverOptions) -> (Report, bool) 
     (report, false)
 }
 
-/// 64-bit FNV-1a, the workspace's standard content fingerprint.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// 64-bit FNV-1a, the workspace's standard content fingerprint
+/// (shared implementation — see [`dst::hash::fnv1a64`]).
+pub use dst::hash::fnv1a64 as fnv1a;
 
 fn cache_key(target: &dyn AnalysisTarget, rules_version: &str) -> u64 {
     fnv1a(&target.fingerprint_payload())
@@ -444,11 +438,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn fnv1a_matches_reference_vectors() {
-        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
-    }
+    // The FNV-1a reference-vector test lives next to the shared
+    // implementation in `dst::hash`.
 
     #[test]
     fn diagnostic_lines_round_trip_with_escapes() {

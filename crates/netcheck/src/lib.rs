@@ -52,6 +52,7 @@ pub mod preflight;
 pub mod resilience_rules;
 pub mod runtime_rules;
 pub mod timing_rules;
+pub mod wire_rules;
 
 pub use absint::{certify, Certificate, CertifyBundle};
 pub use config_rules::{check_calibration_anchors, check_sensor_config, PAPER_STAGE_COUNTS};
@@ -73,3 +74,4 @@ pub use runtime_rules::{
     DeadlineBudgetPass, FreshnessPass, RuntimeTuning,
 };
 pub use timing_rules::{check_netlist_timing, check_netlist_timing_with, TimingPass};
+pub use wire_rules::{check_wire_frame_budget, FrameBudgetPass, WireTuning};

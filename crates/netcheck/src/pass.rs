@@ -66,7 +66,8 @@ macro_rules! declare_rule {
         /// range/overflow proofs, `NC10xx` = abstract-interpretation
         /// deadline/freshness proofs, `NC11xx` = clock-domain crossing,
         /// `NC12xx` = X-propagation, `NC13xx` = static hazards,
-        /// `NC14xx` = dataflow structural checks.
+        /// `NC14xx` = dataflow structural checks, `NC15xx` = wire
+        /// protocol budgets.
         pub const RULES: &[RuleInfo] = &[
             $(RuleInfo {
                 id: stringify!($id),
@@ -124,6 +125,7 @@ declare_rule! {
     NC1401 => Error, "component input is floating (no driver, no initial value)";
     NC1402 => Warning, "gate is dead (unreachable from any clock or pokable input)";
     NC1403 => Warning, "signal fan-out exceeds the stdcell drive budget for its driver";
+    NC1501 => Error, "wire frame budget cannot carry the largest encodable response for the fleet's array size";
 }
 
 /// Looks up a rule by ID.

@@ -20,6 +20,47 @@
 //! --json             machine-readable output
 //! --help             this text
 //!
+//! runtime serve [OPTIONS]
+//!
+//! --shards N         service shards behind the ring router (default: 3)
+//! --sites N          sensor sites per shard (default: 6)
+//! --port P           TCP port to bind on 127.0.0.1 (default: 0 = ephemeral)
+//! --seconds N        serve for N seconds, then drain (default: 10)
+//! --seed N           router jitter seed (default: 42)
+//! --snapshot-dir P   per-shard checkpoint root (default: none)
+//! --json             machine-readable final stats
+//! --help             this text
+//!
+//! runtime client [OPTIONS]
+//!
+//! --addr HOST:PORT   server address (required; repeatable for failover)
+//! --key K            die-region key to read (default: 0)
+//! --count N          sequential requests to issue (default: 1)
+//! --map              request the whole-fleet thermal map instead
+//! --json             machine-readable output
+//! --help             this text
+//!
+//! runtime wire-soak [OPTIONS]
+//!
+//! --seconds N        load duration (default: 5)
+//! --rate N           mean Poisson arrival rate, req/s (default: 150)
+//! --clients N        client worker threads (default: 4)
+//! --seed N           arrivals + chaos seed (default: 42)
+//! --chaos            route traffic through the hostile chaos proxy
+//! --crash-at MS      crash-and-recover shard 1 at MS (default: midway;
+//!                    0 disables)
+//! --decommission-at MS
+//!                    decommission shard 2 at MS (default: 3/4 point;
+//!                    0 disables)
+//! --snapshot-dir P   per-shard checkpoint root (default: a temp dir)
+//! --p99 MS           with --check, also fail if p99 exceeds MS
+//! --hist-out P       write the latency histogram artifact to P
+//! --check            fail (exit 1) unless the four fleet invariants
+//!                    hold (honest staleness, no decommissioned shard
+//!                    served, no resurrected cache, at-most-once)
+//! --json             machine-readable output
+//! --help             this text
+//!
 //! runtime dst [OPTIONS]
 //!
 //! --seeds N          seeds to sweep (default: 200)
@@ -50,13 +91,22 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use runtime::{
-    fleet_sweep, render_fleet_trace, render_trace, run_fleet, run_sim, run_soak, shrink_failure,
-    shrink_fleet_failure, sweep_jobs, FleetConfig, FleetMutation, FleetReport, FleetSweepOutcome,
-    Mutation, RuntimeConfig, SimConfig, SimReport, SoakConfig, SoakReport, SweepOutcome,
+    fleet_sweep, render_fleet_trace, render_trace, run_fleet, run_sim, run_soak, run_wire_soak,
+    shrink_failure, shrink_fleet_failure, sweep_jobs, FleetConfig, FleetMutation, FleetReport,
+    FleetSweepOutcome, Mutation, RuntimeConfig, SimConfig, SimReport, SoakConfig, SoakReport,
+    SweepOutcome, WireClient, WireClientConfig, WireOutcome, WireServer, WireServerConfig,
+    WireSoakConfig,
 };
 
 const USAGE: &str = "usage: runtime soak [--seconds N] [--seed N] [--sites N] [--faults N] \
                      [--clients N] [--no-chaos] [--restart] [--snapshot-dir P] [--check] [--json]\n\
+                     \x20      runtime serve [--shards N] [--sites N] [--port P] [--seconds N] \
+                     [--seed N] [--snapshot-dir P] [--json]\n\
+                     \x20      runtime client --addr HOST:PORT [--addr ...] [--key K] [--count N] \
+                     [--map] [--json]\n\
+                     \x20      runtime wire-soak [--seconds N] [--rate N] [--clients N] [--seed N] \
+                     [--chaos] [--crash-at MS] [--decommission-at MS] [--snapshot-dir P] [--p99 MS] \
+                     [--hist-out P] [--check] [--json]\n\
                      \x20      runtime dst [--fleet] [--seeds N] [--seed-base N] [--seed-range A..B] \
                      [--jobs N] [--mutation M] [--replay SEED] [--replay-node ID] [--trace-out P] \
                      [--check] [--json]";
@@ -88,6 +138,9 @@ struct DstOptions {
 enum Command {
     Soak(Box<Options>),
     Dst(DstOptions),
+    Serve(ServeOptions),
+    Client(ClientOptions),
+    WireSoak(Box<WireSoakOptions>),
 }
 
 fn parse_dst_args(mut it: std::slice::Iter<'_, String>) -> Result<Option<DstOptions>, String> {
@@ -171,17 +224,242 @@ fn parse_dst_args(mut it: std::slice::Iter<'_, String>) -> Result<Option<DstOpti
     Ok(Some(opts))
 }
 
+struct ServeOptions {
+    shards: usize,
+    sites: usize,
+    port: u16,
+    seconds: u64,
+    seed: u64,
+    snapshot_dir: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_serve_args(mut it: std::slice::Iter<'_, String>) -> Result<Option<ServeOptions>, String> {
+    let mut opts = ServeOptions {
+        shards: 3,
+        sites: 6,
+        port: 0,
+        seconds: 10,
+        seed: 42,
+        snapshot_dir: None,
+        json: false,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                opts.shards = v.parse().map_err(|_| format!("bad shard count `{v}`"))?;
+                if opts.shards == 0 {
+                    return Err("--shards must be positive".into());
+                }
+            }
+            "--sites" => {
+                let v = it.next().ok_or("--sites needs a value")?;
+                opts.sites = v.parse().map_err(|_| format!("bad site count `{v}`"))?;
+                if opts.sites == 0 {
+                    return Err("--sites must be positive".into());
+                }
+            }
+            "--port" => {
+                let v = it.next().ok_or("--port needs a value")?;
+                opts.port = v.parse().map_err(|_| format!("bad port `{v}`"))?;
+            }
+            "--seconds" => {
+                let v = it.next().ok_or("--seconds needs a value")?;
+                opts.seconds = v.parse().map_err(|_| format!("bad seconds `{v}`"))?;
+                if opts.seconds == 0 {
+                    return Err("--seconds must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--snapshot-dir" => {
+                let v = it.next().ok_or("--snapshot-dir needs a value")?;
+                opts.snapshot_dir = Some(PathBuf::from(v));
+            }
+            flag => return Err(format!("unknown argument `{flag}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+struct ClientOptions {
+    addrs: Vec<std::net::SocketAddr>,
+    key: u64,
+    count: u64,
+    map: bool,
+    json: bool,
+}
+
+fn parse_client_args(
+    mut it: std::slice::Iter<'_, String>,
+) -> Result<Option<ClientOptions>, String> {
+    let mut opts = ClientOptions {
+        addrs: Vec::new(),
+        key: 0,
+        count: 1,
+        map: false,
+        json: false,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--map" => opts.map = true,
+            "--json" => opts.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs HOST:PORT")?;
+                opts.addrs
+                    .push(v.parse().map_err(|_| format!("bad address `{v}`"))?);
+            }
+            "--key" => {
+                let v = it.next().ok_or("--key needs a value")?;
+                opts.key = v.parse().map_err(|_| format!("bad key `{v}`"))?;
+            }
+            "--count" => {
+                let v = it.next().ok_or("--count needs a value")?;
+                opts.count = v.parse().map_err(|_| format!("bad count `{v}`"))?;
+                if opts.count == 0 {
+                    return Err("--count must be positive".into());
+                }
+            }
+            flag => return Err(format!("unknown argument `{flag}`")),
+        }
+    }
+    if opts.addrs.is_empty() {
+        return Err("client needs at least one --addr HOST:PORT".into());
+    }
+    Ok(Some(opts))
+}
+
+struct WireSoakOptions {
+    seconds: u64,
+    rate: f64,
+    clients: usize,
+    seed: u64,
+    chaos: bool,
+    crash_at: Option<u64>,
+    decommission_at: Option<u64>,
+    snapshot_dir: Option<PathBuf>,
+    p99_ms: Option<u64>,
+    hist_out: Option<PathBuf>,
+    check: bool,
+    json: bool,
+}
+
+fn parse_wire_soak_args(
+    mut it: std::slice::Iter<'_, String>,
+) -> Result<Option<WireSoakOptions>, String> {
+    let mut opts = WireSoakOptions {
+        seconds: 5,
+        rate: 150.0,
+        clients: 4,
+        seed: 42,
+        chaos: false,
+        crash_at: None,
+        decommission_at: None,
+        snapshot_dir: None,
+        p99_ms: None,
+        hist_out: None,
+        check: false,
+        json: false,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--chaos" => opts.chaos = true,
+            "--check" => opts.check = true,
+            "--json" => opts.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--seconds" => {
+                let v = it.next().ok_or("--seconds needs a value")?;
+                opts.seconds = v.parse().map_err(|_| format!("bad seconds `{v}`"))?;
+                if opts.seconds == 0 {
+                    return Err("--seconds must be positive".into());
+                }
+            }
+            "--rate" => {
+                let v = it.next().ok_or("--rate needs a value")?;
+                opts.rate = v.parse().map_err(|_| format!("bad rate `{v}`"))?;
+                if opts.rate <= 0.0 {
+                    return Err("--rate must be positive".into());
+                }
+            }
+            "--clients" => {
+                let v = it.next().ok_or("--clients needs a value")?;
+                opts.clients = v.parse().map_err(|_| format!("bad client count `{v}`"))?;
+                if opts.clients == 0 {
+                    return Err("--clients must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--crash-at" => {
+                let v = it.next().ok_or("--crash-at needs milliseconds")?;
+                opts.crash_at = Some(v.parse().map_err(|_| format!("bad crash time `{v}`"))?);
+            }
+            "--decommission-at" => {
+                let v = it.next().ok_or("--decommission-at needs milliseconds")?;
+                opts.decommission_at = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad decommission time `{v}`"))?,
+                );
+            }
+            "--snapshot-dir" => {
+                let v = it.next().ok_or("--snapshot-dir needs a value")?;
+                opts.snapshot_dir = Some(PathBuf::from(v));
+            }
+            "--p99" => {
+                let v = it.next().ok_or("--p99 needs milliseconds")?;
+                opts.p99_ms = Some(v.parse().map_err(|_| format!("bad p99 bound `{v}`"))?);
+            }
+            "--hist-out" => {
+                let v = it.next().ok_or("--hist-out needs a path")?;
+                opts.hist_out = Some(PathBuf::from(v));
+            }
+            flag => return Err(format!("unknown argument `{flag}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
 fn parse_args(args: &[String]) -> Result<Option<Command>, String> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("soak") => {}
+        Some("serve") => return Ok(parse_serve_args(it)?.map(Command::Serve)),
+        Some("client") => return Ok(parse_client_args(it)?.map(Command::Client)),
+        Some("wire-soak") => {
+            return Ok(parse_wire_soak_args(it)?.map(|o| Command::WireSoak(Box::new(o))))
+        }
         Some("dst") => return Ok(parse_dst_args(it)?.map(Command::Dst)),
         Some("--help") | Some("-h") => {
             println!("{USAGE}");
             return Ok(None);
         }
-        Some(other) => return Err(format!("unknown command `{other}` (try `soak` or `dst`)")),
-        None => return Err("missing command (try `soak` or `dst`)".into()),
+        Some(other) => {
+            return Err(format!(
+                "unknown command `{other}` (try `soak`, `serve`, `client`, `wire-soak`, or `dst`)"
+            ))
+        }
+        None => {
+            return Err(
+                "missing command (try `soak`, `serve`, `client`, `wire-soak`, or `dst`)".into(),
+            )
+        }
     }
     let mut opts = Options {
         soak: SoakConfig::default(),
@@ -608,10 +886,259 @@ fn run_dst_cmd(opts: DstOptions) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_serve_cmd(opts: ServeOptions) -> ExitCode {
+    let cfg = WireServerConfig {
+        shards: opts.shards,
+        sites_per_shard: opts.sites,
+        seed: opts.seed,
+        snapshot_root: opts.snapshot_dir,
+        ..WireServerConfig::default()
+    };
+    let bind = format!("127.0.0.1:{}", opts.port)
+        .parse()
+        .expect("literal bind address");
+    let server = match WireServer::start(cfg, Some(bind)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("runtime: serve failed to start: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if !opts.json {
+        println!(
+            "serving {} shard(s) x {} site(s) on {} for {} s",
+            opts.shards,
+            opts.sites,
+            server.addr(),
+            opts.seconds
+        );
+    }
+    std::thread::sleep(std::time::Duration::from_secs(opts.seconds));
+    let report = match server.drain() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("runtime: drain failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let s = &report.stats;
+    if opts.json {
+        println!(
+            "{{\n  \"connections\": {},\n  \"frames_in\": {},\n  \"responses\": {},\n  \
+             \"bad_frames\": {},\n  \"shed\": {},\n  \"deduped\": {},\n  \"failovers\": {},\n  \
+             \"idle_closed\": {},\n  \"stalled_closed\": {},\n  \"in_flight_at_drain\": {}\n}}",
+            s.connections,
+            s.frames_in,
+            s.responses,
+            s.bad_frames,
+            s.shed,
+            s.deduped,
+            s.failovers,
+            s.idle_closed,
+            s.stalled_closed,
+            report.in_flight_at_drain,
+        );
+    } else {
+        println!(
+            "drained: {} connection(s), {} frame(s) in, {} response(s), {} bad frame(s), \
+             {} shed, {} deduped, {} failover(s)",
+            s.connections, s.frames_in, s.responses, s.bad_frames, s.shed, s.deduped, s.failovers
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_client_cmd(opts: ClientOptions) -> ExitCode {
+    let mut client = WireClient::new(WireClientConfig {
+        addrs: opts.addrs,
+        ..WireClientConfig::default()
+    });
+    if opts.map {
+        match client.request_map(1) {
+            Ok(map) => {
+                if opts.json {
+                    let rows: Vec<String> = map
+                        .entries
+                        .iter()
+                        .map(|e| {
+                            format!(
+                                "    {{\"shard\": {}, \"site\": {}, \"value_c\": {:.3}, \
+                                 \"age_ms\": {}, \"quarantined\": {}}}",
+                                e.shard, e.site, e.value_c, e.age_ms, e.quarantined
+                            )
+                        })
+                        .collect();
+                    println!("{{\n  \"entries\": [\n{}\n  ]\n}}", rows.join(",\n"));
+                } else {
+                    for e in &map.entries {
+                        println!(
+                            "shard {} site {}: {:.3} °C (age {} ms{})",
+                            e.shard,
+                            e.site,
+                            e.value_c,
+                            e.age_ms,
+                            if e.quarantined { ", quarantined" } else { "" }
+                        );
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("runtime: map request failed: {e}");
+                ExitCode::from(1)
+            }
+        }
+    } else {
+        let mut failed = false;
+        for i in 0..opts.count {
+            match client.request(i + 1, opts.key.wrapping_add(i)) {
+                Ok(out) => {
+                    if opts.json {
+                        println!(
+                            "{{\"key\": {}, \"outcome\": \"{}\", \"origin_shard\": {}, \
+                             \"total_age_ms\": {}, \"attempts\": {}, \"latency_ms\": {}}}",
+                            opts.key.wrapping_add(i),
+                            out.outcome,
+                            out.origin_shard,
+                            out.total_age_ms,
+                            out.attempts,
+                            out.latency_ms
+                        );
+                    } else {
+                        println!(
+                            "key {}: {} (shard {}, {} attempt(s), {} ms)",
+                            opts.key.wrapping_add(i),
+                            out.outcome,
+                            out.origin_shard,
+                            out.attempts,
+                            out.latency_ms
+                        );
+                    }
+                    if !matches!(out.outcome, WireOutcome::Reading { .. }) {
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("runtime: request failed: {e}");
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn run_wire_soak_cmd(opts: WireSoakOptions) -> ExitCode {
+    let duration_ms = opts.seconds * 1000;
+    let crash = match opts.crash_at {
+        Some(0) => None,
+        Some(at) => Some((1usize, at)),
+        None => Some((1usize, duration_ms / 2)),
+    };
+    let decommission = match opts.decommission_at {
+        Some(0) => None,
+        Some(at) => Some((2usize, at)),
+        None => Some((2usize, (duration_ms * 3) / 4)),
+    };
+    let snapshot_root = opts.snapshot_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "tsense-wire-soak-{}-{}",
+            std::process::id(),
+            opts.seed
+        ))
+    });
+    let mut cfg = WireSoakConfig {
+        seed: opts.seed,
+        duration_ms,
+        rate_hz: opts.rate,
+        clients: opts.clients,
+        chaos: opts.chaos.then(wire::chaos::ChaosProfile::hostile),
+        crash,
+        decommission,
+        ..WireSoakConfig::default()
+    };
+    cfg.server.snapshot_root = Some(snapshot_root);
+    let report = match run_wire_soak(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("runtime: wire soak failed to run: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if let Some(path) = &opts.hist_out {
+        if let Err(e) = std::fs::write(path, report.histogram.render()) {
+            eprintln!(
+                "runtime: could not write histogram to {}: {e}",
+                path.display()
+            );
+        }
+    }
+    let p99 = report.histogram.quantile_ms(0.99);
+    let p999 = report.histogram.quantile_ms(0.999);
+    if opts.json {
+        let violations: Vec<String> = report
+            .violations
+            .iter()
+            .map(|v| format!("    \"{}\"", v.replace('"', "'")))
+            .collect();
+        println!(
+            "{{\n  \"requests\": {},\n  \"completed\": {},\n  \"failed\": {},\n  \
+             \"exhausted\": {},\n  \"throughput_rps\": {:.1},\n  \"p50_ms\": {},\n  \
+             \"p99_ms\": {},\n  \"p999_ms\": {},\n  \"shed\": {},\n  \"deduped\": {},\n  \
+             \"failovers\": {},\n  \"bad_frames\": {},\n  \"crashes\": {},\n  \
+             \"chaos_faults\": {},\n  \"invariants_ok\": {},\n  \"violations\": [\n{}\n  ]\n}}",
+            report.requests,
+            report.completed,
+            report.failed,
+            report.exhausted,
+            report.throughput_rps,
+            report.histogram.quantile_ms(0.50),
+            p99,
+            p999,
+            report.server.shed,
+            report.server.deduped,
+            report.server.failovers,
+            report.server.bad_frames,
+            report.server.crashes,
+            report.chaos_faults.map_or("null".into(), |f| f.to_string()),
+            report.invariants_ok(),
+            violations.join(",\n"),
+        );
+    } else {
+        print!("{}", report.render());
+    }
+    if opts.check {
+        let p99_ok = opts.p99_ms.is_none_or(|bound| p99 <= bound);
+        if !report.invariants_ok() || !p99_ok {
+            if !opts.json {
+                eprintln!(
+                    "runtime: wire-soak check FAILED ({} violation(s), p99 <{} ms{})",
+                    report.violations.len(),
+                    p99,
+                    opts.p99_ms
+                        .map_or(String::new(), |b| format!(" vs bound {b} ms")),
+                );
+            }
+            return ExitCode::from(1);
+        }
+        if !opts.json {
+            println!("check PASSED");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
         Ok(Some(Command::Dst(opts))) => return run_dst_cmd(opts),
+        Ok(Some(Command::Serve(opts))) => return run_serve_cmd(opts),
+        Ok(Some(Command::Client(opts))) => return run_client_cmd(opts),
+        Ok(Some(Command::WireSoak(opts))) => return run_wire_soak_cmd(*opts),
         Ok(Some(Command::Soak(opts))) => *opts,
         Ok(None) => return ExitCode::SUCCESS,
         Err(msg) => {

@@ -77,6 +77,19 @@ pub enum RuntimeError {
         /// Channels available.
         available: usize,
     },
+    /// The wire frame budget cannot carry the largest encodable
+    /// response for this fleet's array size, so a full thermal-map
+    /// readout would be unencodable by construction (the `netcheck`
+    /// rule `NC1501` flags the same condition).
+    FrameBudget {
+        /// The configured frame budget, bytes.
+        budget_bytes: usize,
+        /// The largest frame the protocol can produce for this array,
+        /// bytes ([`wire::max_response_frame_len`]).
+        required_bytes: usize,
+        /// Total sites across the fleet.
+        total_sites: usize,
+    },
     /// The runtime is shutting down (or has shut down) and no longer
     /// accepts requests.
     Shutdown,
@@ -131,6 +144,15 @@ impl fmt::Display for RuntimeError {
             RuntimeError::BadChannel { channel, available } => {
                 write!(f, "channel {channel} out of range ({available} available)")
             }
+            RuntimeError::FrameBudget {
+                budget_bytes,
+                required_bytes,
+                total_sites,
+            } => write!(
+                f,
+                "wire frame budget {budget_bytes} B cannot carry the largest response \
+                 for {total_sites} sites ({required_bytes} B required)"
+            ),
             RuntimeError::Shutdown => write!(f, "runtime is shut down"),
             RuntimeError::Sensor(e) => write!(f, "sensor failure: {e}"),
             RuntimeError::Snapshot(e) => write!(f, "snapshot failure: {e}"),

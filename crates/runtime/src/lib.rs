@@ -38,16 +38,23 @@
 #![warn(missing_docs)]
 
 pub mod breaker;
+pub mod client;
 pub mod error;
 pub mod retry;
+pub mod route;
+pub mod serve;
 pub mod service;
 pub mod sim;
 pub mod snapshot;
 pub mod soak;
+pub mod soak_wire;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use client::{ClientError, ClientOutcome, MapOutcome, WireClient, WireClientConfig};
 pub use error::{Result, RuntimeError};
 pub use retry::{Backoff, RetryPolicy};
+pub use route::{Route, RoutePlan, RouterPolicy};
+pub use serve::{DrainReport, WireServer, WireServerConfig, WireServerStats};
 pub use service::{
     Field, MonitorRuntime, Provenance, RecoveryReport, RuntimeConfig, RuntimeHandle, RuntimeStats,
     ServedReading,
@@ -55,11 +62,15 @@ pub use service::{
 pub use sim::fleet::{
     fleet_sweep, render_fleet_trace, resolve_fleet_events, run_fleet, shrink_fleet_failure,
     task_node, FleetConfig, FleetEvent, FleetInvariant, FleetMutation, FleetReport,
-    FleetSweepOutcome, FleetViolation, HashRing, ShrunkFleetCase, WireOutcome,
+    FleetSweepOutcome, FleetViolation, ShrunkFleetCase,
 };
+pub use soak_wire::{run_wire_soak, LatencyHistogram, WireSoakConfig, WireSoakReport};
+// Compatibility re-exports: these types lived in `runtime::sim::fleet`
+// until PR 9 moved them into the `wire` crate.
 pub use sim::{
     render_trace, resolve_events as resolve_sim_events, run_sim, shrink_failure, sweep, sweep_jobs,
     Invariant, Mutation, ShrunkCase, SimConfig, SimReport, SweepOutcome, Violation,
 };
 pub use snapshot::{crc32, RuntimeSnapshot, SiteSnapshot, SnapshotError, SnapshotStore};
 pub use soak::{reference_array, run_soak, SoakConfig, SoakReport};
+pub use wire::{FleetMsg, HashRing, WireOutcome};

@@ -1,0 +1,872 @@
+//! The real wire-protocol fleet tier: a threaded TCP server fronting
+//! shards that run the *same* `build_core` service the deterministic
+//! simulation drives, behind the *same* [`RouterPolicy`] placement.
+//!
+//! ```text
+//!   TCP clients ──▶ accept loop ──▶ per-connection thread
+//!                                      │  incremental Decoder
+//!                                      │  (typed WireError, never
+//!                                      │   a panic on bad bytes)
+//!                                      ▼
+//!                     in-flight gate ──▶ RouterPolicy ──▶ shard Core
+//!                     (over budget?       (HashRing +      (ReadJob,
+//!                      typed Shed)         RetryPolicy      breakers,
+//!                                          failover)        cache)
+//! ```
+//!
+//! Robustness contract, mirroring the PR 8 fleet invariants:
+//!
+//! * **Typed decode errors** — arbitrary bytes on the socket produce a
+//!   counted [`wire::WireError`] and a closed connection, never a
+//!   panic or a hang.
+//! * **Deadlines everywhere** — socket reads and writes are
+//!   timeout-bounded; a connection that dribbles bytes mid-frame
+//!   (slowloris) or goes silent is closed after its budget.
+//! * **Typed backpressure** — past `max_in_flight` concurrent
+//!   requests, the server answers [`WireOutcome::Shed`] with a retry
+//!   hint instead of queueing unboundedly.
+//! * **At-most-once effects** — each shard deduplicates by
+//!   `(incarnation, req_id)`: a retried request replays its recorded
+//!   outcome instead of converting again.
+//! * **Honest decommission and recovery** — a decommissioned shard's
+//!   in-flight answers are discarded (the router fails over), and a
+//!   crash-recovered shard restarts with no resurrected cache.
+//! * **Graceful drain** — [`WireServer::drain`] stops accepting,
+//!   lets every accepted in-flight request finish, flushes a final
+//!   snapshot per shard, and only then stops the cores.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use dst::{Clock, RealFs, SystemClock};
+use wire::{Decoder, FleetMsg, HashRing, MapEntry, WireOutcome};
+
+use crate::error::{Result, RuntimeError};
+use crate::retry::RetryPolicy;
+use crate::route::RouterPolicy;
+use crate::service::{
+    build_core, checkpoint_locked, maintenance_loop, wire_outcome, Core, Field, JobStep, ReadJob,
+    RuntimeConfig,
+};
+use crate::snapshot::{SnapshotError, SnapshotStore};
+use crate::soak::reference_array;
+
+/// Poll tick for non-blocking accept and socket reads, milliseconds.
+const POLL_MS: u64 = 25;
+
+/// Ring virtual nodes per shard — matches the simulated fleet.
+const VNODES: usize = 8;
+
+/// Tuning for one wire fleet server.
+#[derive(Debug, Clone)]
+pub struct WireServerConfig {
+    /// Shards fronted by this server.
+    pub shards: usize,
+    /// Sensor sites per shard.
+    pub sites_per_shard: usize,
+    /// Ambient die temperature of the served thermal field, °C.
+    pub ambient_c: f64,
+    /// Whole-frame byte budget for the wire protocol. Must cover the
+    /// largest encodable response for this array size
+    /// ([`wire::max_response_frame_len`], netcheck `NC1501`).
+    pub frame_budget: usize,
+    /// Concurrent requests admitted before the server sheds with a
+    /// typed [`WireOutcome::Shed`].
+    pub max_in_flight: usize,
+    /// A connection mid-frame with no forward progress for this long
+    /// is closed (slowloris defense), milliseconds.
+    pub read_timeout_ms: u64,
+    /// Socket write budget per response, milliseconds.
+    pub write_timeout_ms: u64,
+    /// A connection with no traffic at all for this long is closed,
+    /// milliseconds.
+    pub idle_timeout_ms: u64,
+    /// Router pacing: placement failover shares the supervisors'
+    /// [`RetryPolicy`] ladder (see [`RouterPolicy`]).
+    pub router_retry: RetryPolicy,
+    /// Per-shard runtime tuning (`snapshot_dir` is overridden with a
+    /// per-shard directory under `snapshot_root`).
+    pub runtime: RuntimeConfig,
+    /// Where shard checkpoints go; `None` disables checkpointing
+    /// (and crash recovery starts cold).
+    pub snapshot_root: Option<PathBuf>,
+    /// Seed for the router's backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for WireServerConfig {
+    fn default() -> Self {
+        WireServerConfig {
+            shards: 3,
+            sites_per_shard: 6,
+            ambient_c: 60.0,
+            frame_budget: wire::DEFAULT_FRAME_BUDGET,
+            max_in_flight: 64,
+            read_timeout_ms: 2_000,
+            write_timeout_ms: 2_000,
+            idle_timeout_ms: 5_000,
+            router_retry: RetryPolicy::default(),
+            runtime: RuntimeConfig::default(),
+            snapshot_root: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Monotonic counters over a server's lifetime.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    frames_in: AtomicU64,
+    responses: AtomicU64,
+    bad_frames: AtomicU64,
+    shed: AtomicU64,
+    deduped: AtomicU64,
+    failovers: AtomicU64,
+    idle_closed: AtomicU64,
+    stalled_closed: AtomicU64,
+    crashes: AtomicU64,
+    resurrected: AtomicU64,
+    duplicate_effects: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A point-in-time snapshot of server counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames decoded successfully.
+    pub frames_in: u64,
+    /// Responses written.
+    pub responses: u64,
+    /// Connections closed on a typed decode error.
+    pub bad_frames: u64,
+    /// Requests answered with [`WireOutcome::Shed`].
+    pub shed: u64,
+    /// Requests replayed from a shard's at-most-once dedup map.
+    pub deduped: u64,
+    /// Router failovers to another replica.
+    pub failovers: u64,
+    /// Connections closed for total silence past the idle timeout.
+    pub idle_closed: u64,
+    /// Connections closed for stalling mid-frame (slowloris).
+    pub stalled_closed: u64,
+    /// Shard crash-and-recover cycles.
+    pub crashes: u64,
+    /// Recoveries that came back with a cached median — must stay 0
+    /// (the `ResurrectedCache` fleet invariant).
+    pub resurrected: u64,
+    /// Requests whose effects ran twice for one
+    /// `(incarnation, req_id)` — must stay 0 (the `DuplicateEffect`
+    /// fleet invariant).
+    pub duplicate_effects: u64,
+    /// Well-formed frames of a type the server does not serve.
+    pub protocol_errors: u64,
+}
+
+/// One shard behind the server: a real service core plus the wire
+/// tier's bookkeeping (dedup, incarnation, decommission).
+struct WireShard {
+    core: Arc<Core>,
+    maintenance: Option<JoinHandle<()>>,
+    incarnation: u64,
+    /// At-most-once dedup for this incarnation: `req_id` → recorded
+    /// outcome, replayed on retry instead of converting again.
+    seen: HashMap<u64, WireOutcome>,
+    /// Requests whose effects actually executed on this shard.
+    effects: u64,
+    /// Server time of decommission, if any.
+    decommissioned_at_ms: Option<u64>,
+}
+
+struct Inner {
+    cfg: WireServerConfig,
+    policy: RouterPolicy,
+    /// Server-wide clock: `forwarded_at_ms` and decommission stamps
+    /// share this timeline, so the soak's "no decommissioned shard
+    /// served" check needs no cross-clock slack.
+    clock: Arc<SystemClock>,
+    epoch_ms: u64,
+    shards: Vec<Mutex<WireShard>>,
+    in_flight: AtomicUsize,
+    accepting: AtomicBool,
+    draining: AtomicBool,
+    stats: Counters,
+}
+
+impl Inner {
+    fn now_ms(&self) -> u64 {
+        self.clock.now_ms().saturating_sub(self.epoch_ms)
+    }
+
+    fn snapshot_stats(&self) -> WireServerStats {
+        let c = &self.stats;
+        let get = |a: &AtomicU64| a.load(Ordering::SeqCst);
+        WireServerStats {
+            connections: get(&c.connections),
+            frames_in: get(&c.frames_in),
+            responses: get(&c.responses),
+            bad_frames: get(&c.bad_frames),
+            shed: get(&c.shed),
+            deduped: get(&c.deduped),
+            failovers: get(&c.failovers),
+            idle_closed: get(&c.idle_closed),
+            stalled_closed: get(&c.stalled_closed),
+            crashes: get(&c.crashes),
+            resurrected: get(&c.resurrected),
+            duplicate_effects: get(&c.duplicate_effects),
+            protocol_errors: get(&c.protocol_errors),
+        }
+    }
+}
+
+/// What a graceful [`WireServer::drain`] accomplished.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Final snapshot sequence flushed per shard (`None` when the
+    /// shard has no snapshot store or the flush failed).
+    pub flushed_seqs: Vec<Option<u64>>,
+    /// Requests still executing when the drain began — all were
+    /// allowed to finish.
+    pub in_flight_at_drain: usize,
+    /// Final counters.
+    pub stats: WireServerStats,
+}
+
+/// A running wire fleet server. Dropping it without [`drain`] leaks
+/// its threads until process exit; tests and the CLI should drain.
+///
+/// [`drain`]: WireServer::drain
+pub struct WireServer {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl WireServer {
+    /// Binds `127.0.0.1:0` (or `bind`), starts one core per shard with
+    /// real clocks and the real filesystem, and begins accepting.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::FrameBudget`] when the frame budget cannot
+    /// carry the largest encodable response for this array size (the
+    /// `netcheck` rule `NC1501` flags the same condition);
+    /// [`RuntimeError::UnservableConfig`] / snapshot errors from the
+    /// per-shard preflight, as [`crate::MonitorRuntime::start`].
+    pub fn start(cfg: WireServerConfig, bind: Option<SocketAddr>) -> Result<WireServer> {
+        // Same pairing the `netcheck` lint flags statically (NC1501),
+        // rejected here with a typed error.
+        let total_sites = cfg.shards * cfg.sites_per_shard;
+        let report = netcheck::check_wire_frame_budget(cfg.frame_budget, total_sites);
+        if report.has_errors() {
+            return Err(RuntimeError::FrameBudget {
+                budget_bytes: cfg.frame_budget,
+                required_bytes: wire::max_response_frame_len(total_sites),
+                total_sites,
+            });
+        }
+
+        let clock = Arc::new(SystemClock::new());
+        let ambient = cfg.ambient_c;
+        let field: Field = Arc::new(move |x, y| ambient + 2.0e3 * x + 1.0e3 * y);
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            shards.push(Mutex::new(start_shard(&cfg, shard, &field, None)?));
+        }
+
+        let policy = RouterPolicy::new(HashRing::new(cfg.shards, VNODES), cfg.router_retry.clone());
+        let epoch_ms = clock.now_ms();
+        let inner = Arc::new(Inner {
+            cfg,
+            policy,
+            clock,
+            epoch_ms,
+            shards,
+            in_flight: AtomicUsize::new(0),
+            accepting: AtomicBool::new(true),
+            draining: AtomicBool::new(false),
+            stats: Counters::default(),
+        });
+
+        let listener =
+            TcpListener::bind(bind.unwrap_or_else(|| "127.0.0.1:0".parse().expect("literal addr")))
+                .map_err(io_snapshot_err)?;
+        let addr = listener.local_addr().map_err(io_snapshot_err)?;
+        listener.set_nonblocking(true).map_err(io_snapshot_err)?;
+
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = thread::Builder::new()
+            .name("wire-accept".into())
+            .spawn(move || accept_loop(&accept_inner, &listener))
+            .expect("spawn accept loop");
+
+        Ok(WireServer {
+            inner,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server-relative time, milliseconds — the timeline of
+    /// `forwarded_at_ms` in responses and of decommission stamps.
+    pub fn now_ms(&self) -> u64 {
+        self.inner.now_ms()
+    }
+
+    /// A point-in-time snapshot of the server's counters.
+    pub fn stats(&self) -> WireServerStats {
+        self.inner.snapshot_stats()
+    }
+
+    /// Per-shard `(incarnation, effects, decommissioned)` view, for
+    /// harnesses asserting at-most-once accounting.
+    pub fn shard_ledger(&self) -> Vec<(u64, u64, bool)> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                let sh = s.lock().expect("shard poisoned");
+                (
+                    sh.incarnation,
+                    sh.effects,
+                    sh.decommissioned_at_ms.is_some(),
+                )
+            })
+            .collect()
+    }
+
+    /// Crash-and-recover `shard` in place: stop its core, reload the
+    /// newest valid snapshot from disk, and start a fresh incarnation.
+    /// The dedup map clears (a new incarnation makes old `req_id`s
+    /// re-executable — exactly the window the at-most-once invariant
+    /// is honest about), and a recovery that comes back holding a
+    /// cached median is counted in [`WireServerStats::resurrected`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::BadChannel`] when `shard` is out of range;
+    /// otherwise as [`crate::MonitorRuntime::recover`].
+    pub fn crash_shard(&self, shard: usize) -> Result<()> {
+        if shard >= self.inner.cfg.shards {
+            return Err(RuntimeError::BadChannel {
+                channel: shard,
+                available: self.inner.cfg.shards,
+            });
+        }
+        let ambient = self.inner.cfg.ambient_c;
+        let field: Field = Arc::new(move |x, y| ambient + 2.0e3 * x + 1.0e3 * y);
+        let mut sh = self.inner.shards[shard].lock().expect("shard poisoned");
+        sh.core.request_stop();
+        if let Some(h) = sh.maintenance.take() {
+            drop(h.join());
+        }
+        let old_incarnation = sh.incarnation;
+        let replacement = start_shard(&self.inner.cfg, shard, &field, Some(&self.inner.stats))?;
+        let decommissioned = sh.decommissioned_at_ms;
+        *sh = replacement;
+        sh.incarnation = old_incarnation + 1;
+        sh.decommissioned_at_ms = decommissioned;
+        self.inner.stats.crashes.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Marks `shard` decommissioned at the current server time and
+    /// returns that stamp. The router stops placing requests on it and
+    /// discards any answer it was still computing; responses already
+    /// forwarded are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::BadChannel`] when `shard` is out of range.
+    pub fn decommission(&self, shard: usize) -> Result<u64> {
+        if shard >= self.inner.cfg.shards {
+            return Err(RuntimeError::BadChannel {
+                channel: shard,
+                available: self.inner.cfg.shards,
+            });
+        }
+        let mut sh = self.inner.shards[shard].lock().expect("shard poisoned");
+        let at = self.inner.now_ms();
+        sh.decommissioned_at_ms.get_or_insert(at);
+        Ok(sh.decommissioned_at_ms.expect("just set"))
+    }
+
+    /// Graceful drain: stop accepting, let every accepted in-flight
+    /// request finish and flush, write a final checkpoint per shard,
+    /// then stop the cores. Consumes the server.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `Result` reserves room for reporting a
+    /// poisoned shard.
+    pub fn drain(mut self) -> Result<DrainReport> {
+        let in_flight_at_drain = self.inner.in_flight.load(Ordering::SeqCst);
+        self.inner.accepting.store(false, Ordering::SeqCst);
+        self.inner.draining.store(true, Ordering::SeqCst);
+        let conn_threads = match self.accept_thread.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => Vec::new(),
+        };
+        for h in conn_threads {
+            drop(h.join());
+        }
+        let mut flushed_seqs = Vec::with_capacity(self.inner.cfg.shards);
+        for shard in &self.inner.shards {
+            let mut sh = shard.lock().expect("shard poisoned");
+            let seq = {
+                let core = Arc::clone(&sh.core);
+                let mut state = core.state.lock().expect("state poisoned");
+                let now = core.now_ms();
+                checkpoint_locked(&core, &mut state, now).ok()
+            };
+            flushed_seqs.push(seq);
+            sh.core.request_stop();
+            if let Some(h) = sh.maintenance.take() {
+                drop(h.join());
+            }
+        }
+        Ok(DrainReport {
+            flushed_seqs,
+            in_flight_at_drain,
+            stats: self.inner.snapshot_stats(),
+        })
+    }
+}
+
+/// An I/O failure binding the listener, reported through the snapshot
+/// error vocabulary (the only `io`-carrying variant the runtime has).
+fn io_snapshot_err(e: std::io::Error) -> RuntimeError {
+    RuntimeError::Snapshot(SnapshotError::Io {
+        path: PathBuf::from("<tcp listener>"),
+        detail: e.to_string(),
+    })
+}
+
+/// Builds one shard's core (optionally recovering from its snapshot
+/// directory) and spawns its maintenance thread.
+fn start_shard(
+    cfg: &WireServerConfig,
+    shard: usize,
+    field: &Field,
+    stats: Option<&Counters>,
+) -> Result<WireShard> {
+    let mut rc = cfg.runtime.clone();
+    rc.seed = cfg.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    rc.snapshot_dir = cfg
+        .snapshot_root
+        .as_ref()
+        .map(|root| root.join(format!("shard-{shard}")));
+    let snap = match (&rc.snapshot_dir, stats.is_some()) {
+        // Initial start is cold; only a crash-recover reloads disk.
+        (Some(dir), true) => {
+            let store = SnapshotStore::open(dir, rc.snapshot_keep)?;
+            match store.load_latest() {
+                Ok((snap, log)) => Some((snap, log.skipped)),
+                Err(SnapshotError::NoValidSnapshot { .. }) => None,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        _ => None,
+    };
+    let clock = Arc::new(SystemClock::new());
+    let (core, _report) = build_core(
+        reference_array(cfg.sites_per_shard),
+        Arc::clone(field),
+        rc,
+        snap,
+        clock as Arc<dyn Clock>,
+        Arc::new(RealFs),
+        true,
+    )?;
+    if let Some(counters) = stats {
+        // Recovery must rescan before serving cached data; a restored
+        // cache would be silent staleness (`ResurrectedCache`).
+        let state = core.state.lock().expect("state poisoned");
+        if state.cache.is_some() {
+            counters.resurrected.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    let maint_core = Arc::clone(&core);
+    let maintenance = thread::Builder::new()
+        .name(format!("wire-shard-{shard}-maint"))
+        .spawn(move || maintenance_loop(&maint_core))
+        .expect("spawn shard maintenance");
+    Ok(WireShard {
+        core,
+        maintenance: Some(maintenance),
+        incarnation: 0,
+        seen: HashMap::new(),
+        effects: 0,
+        decommissioned_at_ms: None,
+    })
+}
+
+/// Accepts until drain, spawning one thread per connection; returns
+/// the connection handles so [`WireServer::drain`] can join them.
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) -> Vec<JoinHandle<()>> {
+    let mut conns = Vec::new();
+    let mut conn_idx: u64 = 0;
+    while inner.accepting.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                inner.stats.connections.fetch_add(1, Ordering::SeqCst);
+                let conn_inner = Arc::clone(inner);
+                let idx = conn_idx;
+                conn_idx += 1;
+                // Spawn failure (out of threads) drops the connection.
+                if let Ok(h) = thread::Builder::new()
+                    .name(format!("wire-conn-{idx}"))
+                    .spawn(move || connection_loop(&conn_inner, stream))
+                {
+                    conns.push(h);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    conns
+}
+
+/// One connection: poll-read into an incremental [`Decoder`], answer
+/// each decoded frame, close on typed error, idle, stall, or drain.
+fn connection_loop(inner: &Arc<Inner>, stream: TcpStream) {
+    let mut stream = stream;
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(POLL_MS)))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(Duration::from_millis(
+                inner.cfg.write_timeout_ms.max(1),
+            )))
+            .is_err()
+    {
+        return;
+    }
+    let mut dec = Decoder::new(inner.cfg.frame_budget);
+    let mut buf = [0u8; 4096];
+    let mut last_activity = inner.now_ms();
+    loop {
+        // Drain: answer what is already buffered, then close. Nothing
+        // accepted (= decoded) is abandoned.
+        let draining = inner.draining.load(Ordering::SeqCst);
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                last_activity = inner.now_ms();
+                dec.feed(&buf[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                let idle = inner.now_ms().saturating_sub(last_activity);
+                if dec.buffered() > 0 && idle > inner.cfg.read_timeout_ms {
+                    inner.stats.stalled_closed.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                if idle > inner.cfg.idle_timeout_ms {
+                    inner.stats.idle_closed.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+        loop {
+            match dec.next_frame() {
+                Ok(Some(msg)) => {
+                    inner.stats.frames_in.fetch_add(1, Ordering::SeqCst);
+                    let resp = handle_request(inner, msg);
+                    match wire::encode_frame(&resp, inner.cfg.frame_budget) {
+                        Ok(bytes) => {
+                            if stream.write_all(&bytes).is_err() {
+                                return;
+                            }
+                            inner.stats.responses.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(_) => return, // response over budget: preflight prevents this
+                    }
+                }
+                Ok(None) => break,
+                Err(_e) => {
+                    // Typed decode failure: count it and hang up. The
+                    // decoder is poisoned — resynchronizing inside a
+                    // corrupted byte stream would be guesswork.
+                    inner.stats.bad_frames.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+        if draining && dec.buffered() == 0 {
+            return;
+        }
+    }
+}
+
+/// Answers one decoded frame. Every path returns a well-typed
+/// response; "wrong message type at the server" is a typed `Failed`,
+/// not a dropped connection.
+fn handle_request(inner: &Arc<Inner>, msg: FleetMsg) -> FleetMsg {
+    match msg {
+        FleetMsg::ClientReq { req_id, key } => {
+            let Some(_slot) = InFlightSlot::acquire(inner) else {
+                inner.stats.shed.fetch_add(1, Ordering::SeqCst);
+                return FleetMsg::ClientResp {
+                    req_id,
+                    outcome: WireOutcome::Shed {
+                        retry_after_ms: inner.cfg.router_retry.base_delay_ms.max(1),
+                    },
+                    origin_shard: usize::MAX,
+                    forwarded_at_ms: inner.now_ms(),
+                    total_age_ms: 0,
+                };
+            };
+            serve_client_req(inner, req_id, key)
+        }
+        FleetMsg::MapReq { req_id } => {
+            let Some(_slot) = InFlightSlot::acquire(inner) else {
+                inner.stats.shed.fetch_add(1, Ordering::SeqCst);
+                return FleetMsg::ClientResp {
+                    req_id,
+                    outcome: WireOutcome::Shed {
+                        retry_after_ms: inner.cfg.router_retry.base_delay_ms.max(1),
+                    },
+                    origin_shard: usize::MAX,
+                    forwarded_at_ms: inner.now_ms(),
+                    total_age_ms: 0,
+                };
+            };
+            serve_map_req(inner, req_id)
+        }
+        // Router-internal and response messages are not served here.
+        other => {
+            inner.stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
+            FleetMsg::ClientResp {
+                req_id: other.req_id(),
+                outcome: WireOutcome::Failed {
+                    kind: "protocol".into(),
+                },
+                origin_shard: usize::MAX,
+                forwarded_at_ms: inner.now_ms(),
+                total_age_ms: 0,
+            }
+        }
+    }
+}
+
+/// RAII in-flight token: admission at construction, release on drop —
+/// the whole backpressure mechanism.
+struct InFlightSlot<'a> {
+    inner: &'a Inner,
+}
+
+impl<'a> InFlightSlot<'a> {
+    fn acquire(inner: &'a Inner) -> Option<Self> {
+        let prev = inner.in_flight.fetch_add(1, Ordering::SeqCst);
+        if prev >= inner.cfg.max_in_flight {
+            inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(InFlightSlot { inner })
+    }
+}
+
+impl Drop for InFlightSlot<'_> {
+    fn drop(&mut self) {
+        self.inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Routes one read through the ring with backoff-paced failover.
+fn serve_client_req(inner: &Arc<Inner>, req_id: u64, key: u64) -> FleetMsg {
+    let mut plan = inner.policy.plan(key, inner.cfg.seed ^ req_id);
+    let eligible = |s: usize| {
+        inner.shards[s]
+            .lock()
+            .map(|sh| sh.decommissioned_at_ms.is_none())
+            .unwrap_or(false)
+    };
+    loop {
+        let Some(route) = inner.policy.advance(&mut plan, eligible) else {
+            return FleetMsg::ClientResp {
+                req_id,
+                outcome: WireOutcome::Failed {
+                    kind: "unservable".into(),
+                },
+                origin_shard: usize::MAX,
+                forwarded_at_ms: inner.now_ms(),
+                total_age_ms: 0,
+            };
+        };
+        if route.attempt > 1 {
+            inner.stats.failovers.fetch_add(1, Ordering::SeqCst);
+        }
+        if route.backoff_ms > 0 {
+            thread::sleep(Duration::from_millis(route.backoff_ms));
+        }
+        match try_shard(inner, route.shard, req_id, key) {
+            Some((outcome, forwarded_at_ms)) => {
+                let total_age_ms = match &outcome {
+                    WireOutcome::Reading { age_ms, .. } => *age_ms,
+                    WireOutcome::Failed { .. } | WireOutcome::Shed { .. } => 0,
+                };
+                return FleetMsg::ClientResp {
+                    req_id,
+                    outcome,
+                    origin_shard: route.shard,
+                    forwarded_at_ms,
+                    total_age_ms,
+                };
+            }
+            // Decommissioned or crashed mid-read: the answer is
+            // discarded (never forwarded) and the plan fails over.
+            None => continue,
+        }
+    }
+}
+
+/// Runs one request on one shard with at-most-once dedup. `None`
+/// means the answer must be discarded: the shard was decommissioned
+/// or changed incarnation while the read ran.
+fn try_shard(
+    inner: &Arc<Inner>,
+    shard: usize,
+    req_id: u64,
+    key: u64,
+) -> Option<(WireOutcome, u64)> {
+    let (core, incarnation) = {
+        let sh = inner.shards[shard].lock().expect("shard poisoned");
+        sh.decommissioned_at_ms.is_none().then_some(())?;
+        if let Some(recorded) = sh.seen.get(&req_id) {
+            inner.stats.deduped.fetch_add(1, Ordering::SeqCst);
+            return Some((recorded.clone(), inner.now_ms()));
+        }
+        (Arc::clone(&sh.core), sh.incarnation)
+    };
+    let channel = (key % inner.cfg.sites_per_shard.max(1) as u64) as usize;
+    let submitted = core.now_ms();
+    let deadline = submitted + core.config.default_deadline_ms;
+    let mut job = ReadJob::new(&core, channel, submitted, deadline);
+    let result = loop {
+        match job.step(&core) {
+            JobStep::Done(result) => break result,
+            JobStep::Backoff { delay_ms } => thread::sleep(Duration::from_millis(delay_ms)),
+        }
+    };
+    let outcome = wire_outcome(&core, deadline, result);
+    let mut sh = inner.shards[shard].lock().expect("shard poisoned");
+    if sh.incarnation != incarnation || sh.decommissioned_at_ms.is_some() {
+        return None;
+    }
+    sh.effects += 1;
+    if sh.seen.insert(req_id, outcome.clone()).is_some() {
+        inner.stats.duplicate_effects.fetch_add(1, Ordering::SeqCst);
+    }
+    // Stamp under the shard lock: a decommission stamp is strictly
+    // ordered against every forwarded answer from that shard.
+    Some((outcome, inner.now_ms()))
+}
+
+/// Assembles the whole-fleet thermal map — the protocol's largest
+/// response, and why the frame budget must be sized to the array.
+fn serve_map_req(inner: &Arc<Inner>, req_id: u64) -> FleetMsg {
+    let mut entries = Vec::new();
+    for (shard_idx, shard) in inner.shards.iter().enumerate() {
+        let sh = shard.lock().expect("shard poisoned");
+        if sh.decommissioned_at_ms.is_some() {
+            continue;
+        }
+        let core = Arc::clone(&sh.core);
+        drop(sh);
+        let state = core.state.lock().expect("state poisoned");
+        let now = core.now_ms();
+        let Some(cache) = state.cache.as_ref() else {
+            continue;
+        };
+        let age_ms = now.saturating_sub(cache.taken_at_ms);
+        if age_ms > core.config.staleness_bound_ms {
+            continue; // honest staleness: too old for any response
+        }
+        let quarantined: Vec<usize> = state.array.quarantined().iter().map(|(c, _)| *c).collect();
+        for site in 0..inner.cfg.sites_per_shard {
+            entries.push(MapEntry {
+                shard: shard_idx as u32,
+                site: site as u32,
+                value_c: cache.value_c,
+                age_ms,
+                quarantined: quarantined.contains(&site),
+            });
+        }
+    }
+    FleetMsg::MapResp {
+        req_id,
+        forwarded_at_ms: inner.now_ms(),
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_budget_preflight_is_typed() {
+        let cfg = WireServerConfig {
+            shards: 4,
+            sites_per_shard: 16,
+            frame_budget: 64,
+            ..WireServerConfig::default()
+        };
+        match WireServer::start(cfg, None) {
+            Err(RuntimeError::FrameBudget {
+                budget_bytes,
+                required_bytes,
+                total_sites,
+            }) => {
+                assert_eq!(budget_bytes, 64);
+                assert_eq!(total_sites, 64);
+                assert_eq!(required_bytes, wire::max_response_frame_len(64));
+            }
+            Err(other) => panic!("expected FrameBudget, got {other:?}"),
+            Ok(_) => panic!("expected FrameBudget, got a running server"),
+        }
+    }
+
+    #[test]
+    fn decommission_and_crash_guard_bad_indices() {
+        let server = WireServer::start(
+            WireServerConfig {
+                shards: 2,
+                sites_per_shard: 3,
+                ..WireServerConfig::default()
+            },
+            None,
+        )
+        .expect("server starts");
+        assert!(matches!(
+            server.decommission(9),
+            Err(RuntimeError::BadChannel { .. })
+        ));
+        assert!(matches!(
+            server.crash_shard(9),
+            Err(RuntimeError::BadChannel { .. })
+        ));
+        let report = server.drain().expect("drain");
+        assert_eq!(report.in_flight_at_drain, 0);
+    }
+}

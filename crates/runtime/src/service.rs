@@ -307,6 +307,13 @@ impl Core {
     pub(crate) fn now_ms(&self) -> u64 {
         self.clock.now_ms().saturating_sub(self.epoch_ms)
     }
+
+    /// Asks this core's worker/maintenance loops to exit at their next
+    /// tick — how the wire tier retires a crashed incarnation's
+    /// background threads without a full [`RuntimeHandle`].
+    pub(crate) fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
 }
 
 /// Namespace for starting and recovering monitoring runtimes.
@@ -749,6 +756,34 @@ pub(crate) fn enforce_deadline(
     }
 }
 
+/// Maps a finished read to its on-the-wire outcome — one translation
+/// shared by the simulated shards and the TCP server tier, so a given
+/// [`RuntimeError`] always shows the same `kind` string to clients.
+pub(crate) fn wire_outcome(
+    core: &Core,
+    deadline_abs: u64,
+    result: Result<ServedReading>,
+) -> wire::WireOutcome {
+    match enforce_deadline(core, deadline_abs, result) {
+        Ok(r) => wire::WireOutcome::Reading {
+            value_c: r.value_c,
+            fresh: matches!(r.provenance, Provenance::Fresh { .. }),
+            age_ms: r.age_ms,
+        },
+        Err(e) => wire::WireOutcome::Failed {
+            kind: match e {
+                RuntimeError::DeadlineExceeded { .. } => "deadline".into(),
+                RuntimeError::StaleCache { .. } => "stale-cache".into(),
+                other => format!("{other:?}")
+                    .split(['{', ' '])
+                    .next()
+                    .unwrap_or("error")
+                    .to_ascii_lowercase(),
+            },
+        },
+    }
+}
+
 /// What one [`ReadJob::step`] asks of its driver.
 pub(crate) enum JobStep {
     /// The request is answered.
@@ -1043,7 +1078,7 @@ pub(crate) fn checkpoint_locked(core: &Core, state: &mut ArrayState, now: u64) -
     Ok(state.seq)
 }
 
-fn maintenance_loop(core: &Core) {
+pub(crate) fn maintenance_loop(core: &Core) {
     let mut last_scan = 0u64;
     let mut last_ckpt = core.now_ms();
     while !core.stop.load(Ordering::SeqCst) {

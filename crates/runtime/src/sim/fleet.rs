@@ -65,13 +65,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sensor::RingFault;
 
-use crate::error::RuntimeError;
+use crate::retry::RetryPolicy;
+use crate::route::RouterPolicy;
 use crate::service::{
-    build_core, checkpoint_locked, enforce_deadline, refresh_cache_locked, Core, Field, JobStep,
-    Provenance, ReadJob, RuntimeConfig,
+    build_core, checkpoint_locked, refresh_cache_locked, wire_outcome, Core, Field, JobStep,
+    ReadJob, RuntimeConfig,
 };
 use crate::snapshot::{SnapshotError, SnapshotStore};
 use crate::soak::reference_array;
+use wire::{FleetMsg, HashRing, WireOutcome};
 
 use super::SimConfig;
 
@@ -272,6 +274,10 @@ pub struct FleetConfig {
     /// Per-shard runtime tuning (threads and queue unused: the
     /// simulation drives the read path directly).
     pub runtime: RuntimeConfig,
+    /// Router failover pacing — the *same* [`RetryPolicy`] machinery
+    /// the per-unit supervisors and the TCP client tier use, so
+    /// simulated and real failover share one backoff policy.
+    pub router_retry: RetryPolicy,
 }
 
 impl Default for FleetConfig {
@@ -294,6 +300,7 @@ impl Default for FleetConfig {
             ambient_c: 85.0,
             mutation: FleetMutation::None,
             runtime: SimConfig::default().runtime,
+            router_retry: RetryPolicy::default(),
         }
     }
 }
@@ -312,9 +319,13 @@ impl FleetConfig {
         self.runtime.default_deadline_ms + 150
     }
 
-    /// How long a client waits for the router before giving up.
+    /// How long a client waits for the router before giving up: worst
+    /// case, every allowed failover attempt times out and every
+    /// backoff rung is fully jittered.
     fn client_timeout_ms(&self) -> u64 {
-        self.shard_timeout_ms() * self.shards.max(1) as u64 + 300
+        let attempts =
+            u64::from(self.router_retry.max_attempts.max(1)).min(self.shards.max(1) as u64);
+        self.shard_timeout_ms() * attempts + self.router_retry.worst_case_backoff_ms() + 300
     }
 
     /// Fabric time at which the run stops stepping (clients may still
@@ -369,122 +380,10 @@ pub struct FleetReport {
 }
 
 // ---------------------------------------------------------------------
-// Wire protocol
-// ---------------------------------------------------------------------
-
-/// A shard's answer on the wire: enough for the router and client to
-/// judge honesty without trusting the shard's clock.
-#[derive(Debug, Clone, PartialEq)]
-pub enum WireOutcome {
-    /// A served reading.
-    Reading {
-        /// Temperature, °C.
-        value_c: f64,
-        /// `true` when the shard served `Provenance::Fresh`.
-        fresh: bool,
-        /// Age reported by the shard, in its local milliseconds.
-        age_ms: u64,
-    },
-    /// A typed shard-side failure (deadline, stale cache, …).
-    Failed {
-        /// Short error kind, for counters and traces.
-        kind: String,
-    },
-}
-
-/// The typed envelope payloads of the fleet protocol.
-#[derive(Debug, Clone, PartialEq)]
-pub enum FleetMsg {
-    /// Client → router: serve a reading for this die-region key.
-    ClientReq {
-        /// Fleet-unique request id.
-        req_id: u64,
-        /// Die-region key, consistent-hashed onto a shard.
-        key: u64,
-    },
-    /// Router → client: the answer.
-    ClientResp {
-        /// Echoed request id.
-        req_id: u64,
-        /// The shard's outcome.
-        outcome: WireOutcome,
-        /// The shard the answer came from.
-        origin_shard: usize,
-        /// Fabric time the router forwarded it.
-        forwarded_at_ms: u64,
-        /// Honest total age: shard-reported age plus fabric transit.
-        total_age_ms: u64,
-    },
-    /// Router → shard: convert for this key.
-    ShardReq {
-        /// Echoed request id (the at-most-once key).
-        req_id: u64,
-        /// Die-region key (the shard maps it to a channel).
-        key: u64,
-    },
-    /// Shard → router: the conversion outcome.
-    ShardResp {
-        /// Echoed request id.
-        req_id: u64,
-        /// What the shard did.
-        outcome: WireOutcome,
-    },
-}
-
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// The router's consistent-hash ring: `vnodes` points per shard,
-/// sorted by hash. Routing walks clockwise from the key's hash to the
-/// first *eligible* shard, so removing a shard only remaps the keys it
-/// owned — the property that makes decommissioning cheap and the
-/// production wire-protocol seam reusable.
-#[derive(Debug, Clone)]
-pub struct HashRing {
-    points: Vec<(u64, usize)>,
-}
-
-impl HashRing {
-    /// A ring over `shards` shards with `vnodes` points each.
-    pub fn new(shards: usize, vnodes: usize) -> Self {
-        let mut points = Vec::with_capacity(shards * vnodes);
-        for s in 0..shards {
-            for v in 0..vnodes {
-                let mut key = [0u8; 16];
-                key[..8].copy_from_slice(&(s as u64).to_le_bytes());
-                key[8..].copy_from_slice(&(v as u64).to_le_bytes());
-                points.push((fnv1a64(&key), s));
-            }
-        }
-        points.sort_unstable();
-        HashRing { points }
-    }
-
-    /// The first eligible shard clockwise from `key`'s hash, or `None`
-    /// when no shard is eligible.
-    pub fn route(&self, key: u64, eligible: impl Fn(usize) -> bool) -> Option<usize> {
-        if self.points.is_empty() {
-            return None;
-        }
-        let h = fnv1a64(&key.to_le_bytes());
-        let start = self.points.partition_point(|&(p, _)| p < h);
-        let n = self.points.len();
-        for i in 0..n {
-            let (_, shard) = self.points[(start + i) % n];
-            if eligible(shard) {
-                return Some(shard);
-            }
-        }
-        None
-    }
-}
-
+// Wire protocol — the vocabulary ([`FleetMsg`], [`WireOutcome`]) and
+// the consistent-hash [`HashRing`] moved to the `wire` crate in PR 9,
+// where the TCP tier shares them; the simulator imports them above and
+// this module's public surface re-exports them for compatibility.
 // ---------------------------------------------------------------------
 // Scenario resolution
 // ---------------------------------------------------------------------
@@ -752,32 +651,10 @@ struct Pending {
     key: u64,
     shard: usize,
     sent_at_ms: u64,
-    tried: Vec<usize>,
-}
-
-fn wire_outcome(
-    core: &Core,
-    deadline_abs: u64,
-    result: crate::error::Result<crate::service::ServedReading>,
-) -> WireOutcome {
-    match enforce_deadline(core, deadline_abs, result) {
-        Ok(r) => WireOutcome::Reading {
-            value_c: r.value_c,
-            fresh: matches!(r.provenance, Provenance::Fresh { .. }),
-            age_ms: r.age_ms,
-        },
-        Err(e) => WireOutcome::Failed {
-            kind: match e {
-                RuntimeError::DeadlineExceeded { .. } => "deadline".into(),
-                RuntimeError::StaleCache { .. } => "stale-cache".into(),
-                other => format!("{other:?}")
-                    .split(['{', ' '])
-                    .next()
-                    .unwrap_or("error")
-                    .to_ascii_lowercase(),
-            },
-        },
-    }
+    /// `Some(t)`: a failover dispatch is waiting out its backoff rung
+    /// and goes on the wire at fabric time `t`.
+    dispatch_at: Option<u64>,
+    plan: crate::route::RoutePlan,
 }
 
 /// Runs one seeded fleet simulation to completion (or to its first
@@ -829,7 +706,8 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     // ----- Router -----
     {
         let world = Rc::clone(&world);
-        let ring = HashRing::new(shards, 8);
+        let policy = RouterPolicy::new(HashRing::new(shards, 8), cfg.router_retry.clone());
+        let seed = cfg.seed;
         let mut pending: BTreeMap<u64, Pending> = BTreeMap::new();
         ex.spawn("router", 0, move |now| {
             let mut w = world.borrow_mut();
@@ -840,12 +718,13 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                         let eligible = |s: usize| {
                             mutation == FleetMutation::NoDecommissionCheck || !w.decommissioned(s)
                         };
-                        match ring.route(key, eligible) {
-                            Some(shard) => {
+                        let mut plan = policy.plan(key, seed ^ req_id);
+                        match policy.advance(&mut plan, eligible) {
+                            Some(route) => {
                                 w.net.send(
                                     now,
                                     router_node,
-                                    shard,
+                                    route.shard,
                                     FleetMsg::ShardReq { req_id, key },
                                 );
                                 pending.insert(
@@ -853,9 +732,10 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                                     Pending {
                                         client_node: env.src,
                                         key,
-                                        shard,
+                                        shard: route.shard,
                                         sent_at_ms: now,
-                                        tried: vec![shard],
+                                        dispatch_at: None,
+                                        plan,
                                     },
                                 );
                             }
@@ -881,13 +761,13 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                         let Some(p) = pending.get(&req_id) else {
                             continue; // answered or abandoned: a late or duplicated reply
                         };
-                        if env.src != p.shard {
+                        if env.src != p.shard || p.dispatch_at.is_some() {
                             continue; // reply from a shard we already failed over from
                         }
                         let transit = now.saturating_sub(env.sent_at_ms);
                         let total_age = match &outcome {
                             WireOutcome::Reading { age_ms, .. } => age_ms + transit,
-                            WireOutcome::Failed { .. } => 0,
+                            WireOutcome::Failed { .. } | WireOutcome::Shed { .. } => 0,
                         };
                         let from_decommissioned = mutation != FleetMutation::NoDecommissionCheck
                             && w.decommissioned(env.src);
@@ -900,28 +780,17 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                             } else {
                                 w.decommissioned_discarded += 1;
                             }
-                            let p = pending.get_mut(&req_id).expect("present above");
-                            let tried = p.tried.clone();
-                            let key = p.key;
-                            let client = p.client_node;
                             let eligible = |s: usize| {
-                                !tried.contains(&s)
-                                    && (mutation == FleetMutation::NoDecommissionCheck
-                                        || !w.decommissioned(s))
+                                mutation == FleetMutation::NoDecommissionCheck
+                                    || !w.decommissioned(s)
                             };
-                            match ring.route(key, eligible) {
-                                Some(next) => {
+                            let p = pending.get_mut(&req_id).expect("present above");
+                            let client = p.client_node;
+                            match policy.advance(&mut p.plan, eligible) {
+                                Some(route) => {
                                     w.failovers += 1;
-                                    let p = pending.get_mut(&req_id).expect("present above");
-                                    p.shard = next;
-                                    p.sent_at_ms = now;
-                                    p.tried.push(next);
-                                    w.net.send(
-                                        now,
-                                        router_node,
-                                        next,
-                                        FleetMsg::ShardReq { req_id, key },
-                                    );
+                                    p.shard = route.shard;
+                                    p.dispatch_at = Some(now + route.backoff_ms);
                                 }
                                 None => {
                                     pending.remove(&req_id);
@@ -960,30 +829,27 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                     _ => {}
                 }
             }
-            // Fail over timed-out shard requests.
+            // Fail over timed-out shard requests (dispatched ones only:
+            // a request waiting out a backoff rung has nothing to time
+            // out yet).
             let timed_out: Vec<u64> = pending
                 .iter()
-                .filter(|(_, p)| now.saturating_sub(p.sent_at_ms) >= shard_timeout)
+                .filter(|(_, p)| {
+                    p.dispatch_at.is_none() && now.saturating_sub(p.sent_at_ms) >= shard_timeout
+                })
                 .map(|(id, _)| *id)
                 .collect();
             for req_id in timed_out {
-                let (key, client, tried) = {
-                    let p = &pending[&req_id];
-                    (p.key, p.client_node, p.tried.clone())
-                };
                 let eligible = |s: usize| {
-                    !tried.contains(&s)
-                        && (mutation == FleetMutation::NoDecommissionCheck || !w.decommissioned(s))
+                    mutation == FleetMutation::NoDecommissionCheck || !w.decommissioned(s)
                 };
-                match ring.route(key, eligible) {
-                    Some(next) => {
+                let p = pending.get_mut(&req_id).expect("still pending");
+                let client = p.client_node;
+                match policy.advance(&mut p.plan, eligible) {
+                    Some(route) => {
                         w.failovers += 1;
-                        let p = pending.get_mut(&req_id).expect("still pending");
-                        p.shard = next;
-                        p.sent_at_ms = now;
-                        p.tried.push(next);
-                        w.net
-                            .send(now, router_node, next, FleetMsg::ShardReq { req_id, key });
+                        p.shard = route.shard;
+                        p.dispatch_at = Some(now + route.backoff_ms);
                     }
                     None => {
                         pending.remove(&req_id);
@@ -1004,16 +870,35 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                     }
                 }
             }
+            // Put due failover dispatches on the wire.
+            for (req_id, p) in pending.iter_mut() {
+                if p.dispatch_at.is_some_and(|t| t <= now) {
+                    p.dispatch_at = None;
+                    p.sent_at_ms = now;
+                    w.net.send(
+                        now,
+                        router_node,
+                        p.shard,
+                        FleetMsg::ShardReq {
+                            req_id: *req_id,
+                            key: p.key,
+                        },
+                    );
+                }
+            }
             if now >= end {
                 return TaskState::Done;
             }
-            let next_timeout = pending
+            let next_deadline = pending
                 .values()
-                .map(|p| p.sent_at_ms + shard_timeout)
+                .map(|p| match p.dispatch_at {
+                    Some(t) => t,
+                    None => p.sent_at_ms + shard_timeout,
+                })
                 .min()
                 .unwrap_or(u64::MAX);
             let next_msg = w.net.next_wake(router_node).unwrap_or(u64::MAX);
-            let wake = next_timeout.min(next_msg).min(now + 25).max(now + 1);
+            let wake = next_deadline.min(next_msg).min(now + 25).max(now + 1);
             TaskState::SleepUntil(wake)
         });
     }
@@ -1203,7 +1088,9 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
                             w.served_degraded += 1;
                         }
                     }
-                    WireOutcome::Failed { .. } => w.client_errors += 1,
+                    WireOutcome::Failed { .. } | WireOutcome::Shed { .. } => {
+                        w.client_errors += 1
+                    }
                 }
             }
             if let Some((_, sent_at)) = waiting {
@@ -1611,18 +1498,7 @@ mod tests {
         }
     }
 
-    #[test]
-    fn ring_routes_consistently_and_respects_eligibility() {
-        let ring = HashRing::new(4, 8);
-        for key in 0..200u64 {
-            let a = ring.route(key, |_| true).unwrap();
-            let b = ring.route(key, |_| true).unwrap();
-            assert_eq!(a, b, "routing is a pure function of the key");
-            let without_a = ring.route(key, |s| s != a).unwrap();
-            assert_ne!(without_a, a, "removing the owner remaps elsewhere");
-        }
-        assert_eq!(ring.route(7, |_| false), None, "no eligible shard");
-    }
+    // `HashRing` routing tests moved to `wire::ring` with the type.
 
     #[test]
     fn trace_filters_to_one_node() {

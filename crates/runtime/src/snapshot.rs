@@ -40,23 +40,7 @@ use crate::breaker::BreakerState;
 /// Magic first line of every snapshot.
 const MAGIC: &str = "TSNAP\tv1";
 
-/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
-/// Bitwise implementation — speed is irrelevant at checkpoint sizes,
-/// auditability is not.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFF_u32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let lsb = crc & 1;
-            crc >>= 1;
-            if lsb != 0 {
-                crc ^= 0xEDB8_8320;
-            }
-        }
-    }
-    !crc
-}
+pub use dst::hash::crc32;
 
 /// Why a snapshot could not be saved or loaded.
 #[derive(Debug, Clone, PartialEq)]

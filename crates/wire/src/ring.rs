@@ -1,0 +1,90 @@
+//! The router's consistent-hash ring, shared by the PR 8 simulator
+//! and the TCP tier (moved here from `runtime::sim::fleet`).
+
+use dst::hash::fnv1a64;
+
+/// The router's consistent-hash ring: `vnodes` points per shard,
+/// sorted by hash. Routing walks clockwise from the key's hash to the
+/// first *eligible* shard, so removing a shard only remaps the keys it
+/// owned — the property that makes decommissioning cheap and lets the
+/// simulator and the wire tier share one routing policy.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// A ring over `shards` shards with `vnodes` points each.
+    pub fn new(shards: usize, vnodes: usize) -> Self {
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for s in 0..shards {
+            for v in 0..vnodes {
+                let mut key = [0u8; 16];
+                key[..8].copy_from_slice(&(s as u64).to_le_bytes());
+                key[8..].copy_from_slice(&(v as u64).to_le_bytes());
+                points.push((fnv1a64(&key), s));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// How many shards the ring was built over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The first eligible shard clockwise from `key`'s hash, or `None`
+    /// when no shard is eligible.
+    pub fn route(&self, key: u64, eligible: impl Fn(usize) -> bool) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = fnv1a64(&key.to_le_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let n = self.points.len();
+        for i in 0..n {
+            let (_, shard) = self.points[(start + i) % n];
+            if eligible(shard) {
+                return Some(shard);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_routes_consistently_and_respects_eligibility() {
+        let ring = HashRing::new(4, 8);
+        for key in 0..200u64 {
+            let a = ring.route(key, |_| true).unwrap();
+            let b = ring.route(key, |_| true).unwrap();
+            assert_eq!(a, b, "routing is a pure function of the key");
+            let without_a = ring.route(key, |s| s != a).unwrap();
+            assert_ne!(without_a, a, "removing the owner remaps elsewhere");
+        }
+        assert_eq!(ring.route(7, |_| false), None, "no eligible shard");
+    }
+
+    #[test]
+    fn removing_one_shard_only_remaps_its_keys() {
+        let ring = HashRing::new(4, 8);
+        let victim = ring.route(0, |_| true).unwrap();
+        let mut remapped = 0usize;
+        for key in 0..500u64 {
+            let owner = ring.route(key, |_| true).unwrap();
+            let after = ring.route(key, |s| s != victim).unwrap();
+            if owner != victim {
+                assert_eq!(owner, after, "key {key} moved although its owner survived");
+            } else {
+                remapped += 1;
+            }
+        }
+        assert!(remapped > 0, "the victim owned at least some keys");
+    }
+}

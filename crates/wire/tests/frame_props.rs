@@ -1,0 +1,173 @@
+//! Property tests of the frame codec's total contract: every
+//! encodable [`FleetMsg`] round-trips exactly, and *any* byte
+//! stream — random, truncated, or bit-flipped — decodes to a typed
+//! [`WireError`], never a panic, a hang, or a silent wrong message.
+
+use proptest::prelude::*;
+
+use wire::{decode_frame, encode_frame, Decoder, FleetMsg, MapEntry, WireOutcome};
+
+/// Budget comfortably above the largest generated message.
+const BUDGET: usize = 1 << 16;
+
+/// NaN breaks `PartialEq` round-trip checks (the codec itself is
+/// bit-exact); pin non-finite values to a sentinel.
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        -273.15
+    }
+}
+
+/// A printable error kind within the wire's 64-byte clamp.
+fn arb_kind() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(b"abcdefg-XYZ0123".to_vec()), 0..24)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+fn arb_outcome() -> impl Strategy<Value = WireOutcome> {
+    (
+        0u8..3,
+        any::<f64>(),
+        any::<bool>(),
+        any::<u64>(),
+        arb_kind(),
+    )
+        .prop_map(|(tag, value, fresh, n, kind)| match tag {
+            0 => WireOutcome::Reading {
+                value_c: finite(value),
+                fresh,
+                age_ms: n,
+            },
+            1 => WireOutcome::Failed { kind },
+            _ => WireOutcome::Shed { retry_after_ms: n },
+        })
+}
+
+fn arb_entry() -> impl Strategy<Value = MapEntry> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<f64>(),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(shard, site, value, age_ms, quarantined)| MapEntry {
+            shard,
+            site,
+            value_c: finite(value),
+            age_ms,
+            quarantined,
+        })
+}
+
+fn arb_msg() -> impl Strategy<Value = FleetMsg> {
+    (
+        0u8..6,
+        any::<u64>(),
+        any::<u64>(),
+        arb_outcome(),
+        prop::collection::vec(arb_entry(), 0..40),
+        any::<bool>(),
+    )
+        .prop_map(|(tag, req_id, n, outcome, entries, max_origin)| match tag {
+            0 => FleetMsg::ClientReq { req_id, key: n },
+            1 => FleetMsg::ClientResp {
+                req_id,
+                outcome,
+                origin_shard: if max_origin {
+                    usize::MAX
+                } else {
+                    (n % 4096) as usize
+                },
+                forwarded_at_ms: n,
+                total_age_ms: n / 3,
+            },
+            2 => FleetMsg::ShardReq { req_id, key: n },
+            3 => FleetMsg::ShardResp { req_id, outcome },
+            4 => FleetMsg::MapReq { req_id },
+            _ => FleetMsg::MapResp {
+                req_id,
+                forwarded_at_ms: n,
+                entries,
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_message_round_trips_exactly(msg in arb_msg()) {
+        let bytes = encode_frame(&msg, BUDGET).expect("within budget");
+        let (back, consumed) = decode_frame(&bytes, BUDGET).expect("own encoding decodes");
+        prop_assert_eq!(&back, &msg);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn round_trip_survives_arbitrary_chunking(msg in arb_msg(), cut in any::<u64>()) {
+        let bytes = encode_frame(&msg, BUDGET).expect("within budget");
+        let mut dec = Decoder::new(BUDGET);
+        // Split the frame at an arbitrary point and feed both halves;
+        // the first half must never yield a frame or an error.
+        let cut = (cut % (bytes.len() as u64 + 1)) as usize;
+        dec.feed(&bytes[..cut]);
+        if cut < bytes.len() {
+            prop_assert!(matches!(dec.next_frame(), Ok(None)));
+            dec.feed(&bytes[cut..]);
+        }
+        let got = dec.next_frame().expect("whole frame decodes");
+        prop_assert_eq!(got, Some(msg));
+        prop_assert_eq!(dec.consumed(), bytes.len());
+    }
+
+    #[test]
+    fn arbitrary_bytes_decode_to_typed_errors_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        // Whole-buffer decode: typed result either way.
+        let _ = decode_frame(&bytes, BUDGET);
+        // Incremental decode of the same noise, fed in small chunks.
+        let mut dec = Decoder::new(BUDGET);
+        for chunk in bytes.chunks(7) {
+            dec.feed(chunk);
+            if dec.next_frame().is_err() {
+                break; // poisoned: a real server hangs up here
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_typed_error(msg in arb_msg(), cut in any::<u64>()) {
+        let bytes = encode_frame(&msg, BUDGET).expect("within budget");
+        let cut = (cut % bytes.len() as u64) as usize;
+        prop_assert!(
+            decode_frame(&bytes[..cut], BUDGET).is_err(),
+            "a {}-byte prefix of a {}-byte frame must not decode",
+            cut,
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn single_bit_flips_never_pass_for_the_original(
+        msg in arb_msg(),
+        pos in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let bytes = encode_frame(&msg, BUDGET).expect("within budget");
+        let mut flipped = bytes.clone();
+        let pos = (pos % bytes.len() as u64) as usize;
+        flipped[pos] ^= 1 << bit;
+        match decode_frame(&flipped, BUDGET) {
+            // Magic, version, length, and CRC checks catch flips with
+            // typed errors...
+            Err(_) => {}
+            // ...and anything that still decodes must not silently
+            // impersonate the original message.
+            Ok((back, _)) => prop_assert_ne!(back, msg),
+        }
+    }
+}
